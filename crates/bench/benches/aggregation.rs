@@ -1,0 +1,62 @@
+//! Wall-clock behaviour of the two-phase aggregation (Section 4.4):
+//! in-cache pre-aggregation with few groups vs. the spill path with many
+//! distinct keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morsel_core::{ExecEnv, Morsel, PipelineJob, TaskContext};
+use morsel_exec::agg::{agg_slot, AggFn, AggMergeJob, AggPartialSink, N_PARTITIONS};
+use morsel_exec::sink::{area_slot, Sink};
+use morsel_numa::Topology;
+use morsel_storage::{Batch, Column, DataType, Schema};
+use std::hint::black_box;
+
+const ROWS: usize = 200_000;
+
+fn run_agg(env: &ExecEnv, groups: i64) -> usize {
+    let batch = Batch::from_columns(vec![
+        Column::I64((0..ROWS as i64).map(|x| x % groups).collect()),
+        Column::I64((0..ROWS as i64).collect()),
+    ]);
+    let nodes = env.worker_sockets(1);
+    let slot = agg_slot();
+    let aggs = vec![AggFn::SumI64(1), AggFn::Count];
+    let sink = AggPartialSink::new(vec![0], aggs.clone(), &nodes, slot.clone());
+    let mut ctx = TaskContext::new(env, 0);
+    sink.consume(&mut ctx, batch);
+    sink.finish(&mut ctx);
+    let parts = slot.lock().take().unwrap();
+    let out = area_slot();
+    let result = morsel_core::result_slot();
+    let schema = Schema::new(vec![
+        ("g", DataType::I64),
+        ("sum", DataType::I64),
+        ("cnt", DataType::I64),
+    ]);
+    let job = AggMergeJob::new(parts.clone(), aggs, schema, &nodes, out, Some(result.clone()));
+    for p in 0..N_PARTITIONS {
+        let rows = parts.partition_rows(p);
+        if rows > 0 {
+            job.run_morsel(&mut ctx, Morsel { chunk: p, range: 0..rows });
+        }
+    }
+    job.finish(&mut ctx);
+    let batch = result.lock().take().unwrap();
+    batch.rows()
+}
+
+fn bench_group_counts(c: &mut Criterion) {
+    let env = ExecEnv::new(Topology::laptop());
+    let mut g = c.benchmark_group("two_phase_aggregation");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.sample_size(20);
+    // 16 groups: pure in-cache pre-aggregation. 100k groups: spill-heavy.
+    for groups in [16i64, 1_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, &groups| {
+            b.iter(|| black_box(run_agg(&env, groups)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_counts);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Wall-clock cost of morsel cut-out (the work-stealing data structure of
+//! Section 3.2) as a function of morsel size — the real-machine companion
+//! of Figure 6: the per-morsel dispatch cost is constant, so smaller
+//! morsels mean more dispatcher work per tuple.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morsel_core::{ChunkMeta, MorselQueues, SchedulingMode};
+use morsel_numa::{SocketId, Topology};
+use std::hint::black_box;
+
+const TOTAL_ROWS: usize = 4_000_000;
+
+fn bench_cutout(c: &mut Criterion) {
+    let topo = Topology::nehalem_ex();
+    let chunks: Vec<ChunkMeta> = (0..64)
+        .map(|i| ChunkMeta { node: SocketId((i % 4) as u16), rows: TOTAL_ROWS / 64 })
+        .collect();
+    let mut g = c.benchmark_group("morsel_cutout");
+    g.throughput(Throughput::Elements(TOTAL_ROWS as u64));
+    for size in [100usize, 1_000, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let q = MorselQueues::build(&chunks, SchedulingMode::NumaAware, size, 4, &topo);
+                let mut rows = 0usize;
+                while let Some((m, _)) = q.next_for(0) {
+                    rows += m.rows();
+                }
+                black_box(rows)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_steal(c: &mut Criterion) {
+    let topo = Topology::nehalem_ex();
+    // All data on socket 3: worker 0 must steal everything.
+    let chunks: Vec<ChunkMeta> =
+        (0..16).map(|_| ChunkMeta { node: SocketId(3), rows: 50_000 }).collect();
+    c.bench_function("morsel_steal_remote", |b| {
+        b.iter(|| {
+            let q = MorselQueues::build(&chunks, SchedulingMode::NumaAware, 10_000, 8, &topo);
+            let mut stolen = 0usize;
+            while let Some((m, was_stolen)) = q.next_for(0) {
+                stolen += usize::from(was_stolen);
+                black_box(m.rows());
+            }
+            black_box(stolen)
+        });
+    });
+}
+
+criterion_group!(benches, bench_cutout, bench_steal);
+criterion_main!(benches);

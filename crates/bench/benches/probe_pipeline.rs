@@ -1,0 +1,82 @@
+//! Wall-clock throughput of a fully pipelined probe (Section 4.1): scan +
+//! filter + hash-join probe + materialize, per morsel, on real threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morsel_core::{DispatchConfig, ExecEnv, ThreadedExecutor};
+use morsel_exec::expr::{col, gt, lit};
+use morsel_exec::plan::{compile_query, Plan};
+use morsel_exec::SystemVariant;
+use morsel_numa::{Placement, Topology};
+use morsel_storage::{Batch, Column, DataType, PartitionBy, Relation, Schema};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const PROBE_ROWS: i64 = 500_000;
+const BUILD_ROWS: i64 = 10_000;
+
+fn relations(topo: &Topology) -> (Arc<Relation>, Arc<Relation>) {
+    let probe = Batch::from_columns(vec![
+        Column::I64((0..PROBE_ROWS).map(|x| x % (BUILD_ROWS * 2)).collect()),
+        Column::I64((0..PROBE_ROWS).collect()),
+    ]);
+    let build = Batch::from_columns(vec![
+        Column::I64((0..BUILD_ROWS).collect()),
+        Column::I64((0..BUILD_ROWS).map(|x| x * 3).collect()),
+    ]);
+    (
+        Arc::new(Relation::partitioned(
+            Schema::new(vec![("fk", DataType::I64), ("v", DataType::I64)]),
+            &probe,
+            PartitionBy::Chunks,
+            16,
+            Placement::FirstTouch,
+            topo,
+        )),
+        Arc::new(Relation::partitioned(
+            Schema::new(vec![("pk", DataType::I64), ("payload", DataType::I64)]),
+            &build,
+            PartitionBy::Hash { column: 0 },
+            16,
+            Placement::FirstTouch,
+            topo,
+        )),
+    )
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let (probe, build) = relations(&topo);
+    let mut g = c.benchmark_group("probe_pipeline");
+    g.throughput(Throughput::Elements(PROBE_ROWS as u64));
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let plan = Plan::scan(probe.clone(), Some(gt(col(1), lit(-1))), &["fk", "v"])
+                    .join(
+                        Plan::scan(build.clone(), None, &["pk", "payload"]),
+                        &["fk"],
+                        &["pk"],
+                        &["payload"],
+                    )
+                    .agg(
+                        &[],
+                        vec![("sum", morsel_exec::AggFn::SumI64(2)), ("cnt", morsel_exec::AggFn::Count)],
+                    );
+                let (spec, result) = compile_query("probe", plan, SystemVariant::full());
+                let exec = ThreadedExecutor::new(
+                    env.clone(),
+                    DispatchConfig::new(workers).with_morsel_size(16_384),
+                );
+                exec.run(vec![spec]);
+                let batch = result.lock().take().unwrap();
+                black_box(batch.column(1).as_i64()[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Wall-clock behaviour of the parallel merge sort (Section 4.5, Figure
+//! 9): local-sort + separator + merge machinery vs. a single monolithic
+//! sort of the same data.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use morsel_core::ExecEnv;
+use morsel_exec::sort::{sort_area_set, sort_batch, SortKey};
+use morsel_numa::{SocketId, Topology};
+use morsel_storage::{AreaSet, Batch, Column, DataType, Schema, StorageArea};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 100_000;
+
+fn pseudo_random(n: usize, seed: i64) -> Vec<i64> {
+    (0..n as i64).map(|x| (x.wrapping_mul(6364136223846793005) ^ seed) % 1_000_000).collect()
+}
+
+fn area_set(runs: usize) -> Arc<AreaSet> {
+    let schema = Schema::new(vec![("k", DataType::I64)]);
+    let areas = (0..runs)
+        .map(|i| {
+            let mut a = StorageArea::new(SocketId((i % 4) as u16), &schema.data_types());
+            a.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(pseudo_random(
+                ROWS / runs,
+                i as i64,
+            ))]));
+            a
+        })
+        .collect();
+    Arc::new(AreaSet::new(schema, areas))
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let env = ExecEnv::new(Topology::nehalem_ex());
+    let mut g = c.benchmark_group("parallel_sort");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.sample_size(15);
+    g.bench_function("monolithic_sort", |b| {
+        let batch = Batch::from_columns(vec![Column::I64(pseudo_random(ROWS, 7))]);
+        b.iter(|| black_box(sort_batch(&batch, &[SortKey::asc(0)]).rows()));
+    });
+    for runs in [4usize, 16] {
+        let input = area_set(runs);
+        g.bench_function(format!("runs_merge_{runs}"), |b| {
+            b.iter(|| {
+                let out =
+                    sort_area_set(Arc::clone(&input), vec![SortKey::asc(0)], runs, &env, None);
+                black_box(out.rows())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! `repro` — regenerate any table or figure from the paper.
+//!
+//! Usage:
+//! ```text
+//! repro [--scale SF] [--ssb-scale SF] [--workers N] [--morsel N] [--quick] <experiment>...
+//! experiments: fig6 fig11 table1 table2 table3 summary numa_placement
+//!              numa_micro fig12 fig13 interference all
+//! ```
+
+use morsel_bench::experiments::{self, ExpConfig};
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut experiments_to_run: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                cfg.scale = args.next().expect("--scale needs a value").parse().unwrap();
+            }
+            "--ssb-scale" => {
+                cfg.ssb_scale = args.next().expect("--ssb-scale needs a value").parse().unwrap();
+            }
+            "--workers" => {
+                cfg.workers = args.next().expect("--workers needs a value").parse().unwrap();
+            }
+            "--morsel" => {
+                cfg.morsel_size = args.next().expect("--morsel needs a value").parse().unwrap();
+            }
+            "--quick" => {
+                let q = ExpConfig::quick();
+                cfg.quick = true;
+                cfg.scale = q.scale.min(cfg.scale);
+                cfg.ssb_scale = q.ssb_scale.min(cfg.ssb_scale);
+            }
+            other => experiments_to_run.push(other.to_owned()),
+        }
+    }
+    if experiments_to_run.is_empty() {
+        eprintln!(
+            "usage: repro [--scale SF] [--workers N] [--morsel N] [--quick] <experiment>...\n\
+             experiments: fig6 fig11 table1 table2 table3 summary numa_placement\n\
+             \x20            numa_micro fig12 fig13 interference all"
+        );
+        std::process::exit(2);
+    }
+    let all = [
+        "fig6",
+        "numa_micro",
+        "summary",
+        "table1",
+        "table2",
+        "table3",
+        "numa_placement",
+        "fig11",
+        "fig12",
+        "fig13",
+        "interference",
+    ];
+    let list: Vec<&str> = if experiments_to_run.iter().any(|e| e == "all") {
+        all.to_vec()
+    } else {
+        experiments_to_run.iter().map(String::as_str).collect()
+    };
+    for exp in list {
+        let started = std::time::Instant::now();
+        let report = match exp {
+            "fig6" => experiments::fig6(&cfg),
+            "fig11" => experiments::fig11(&cfg),
+            "table1" => experiments::table1(&cfg),
+            "table2" => experiments::table2(&cfg),
+            "table3" => experiments::table3(&cfg),
+            "summary" => experiments::summary(&cfg),
+            "numa_placement" => experiments::numa_placement(&cfg),
+            "numa_micro" => experiments::numa_micro(),
+            "fig12" => experiments::fig12(&cfg),
+            "fig13" => experiments::fig13(&cfg),
+            "interference" => experiments::interference(&cfg),
+            other => {
+                eprintln!("unknown experiment {other:?}");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+        println!("[{exp} regenerated in {:.1}s wall time]\n", started.elapsed().as_secs_f64());
+    }
+}

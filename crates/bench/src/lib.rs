@@ -1,0 +1,12 @@
+//! # morsel-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (Section 5), each printing the same rows/series the paper
+//! reports. The `repro` binary dispatches to them; criterion benches under
+//! `benches/` cover the wall-clock micro-benchmarks (hash table tagging,
+//! morsel cut-out, operator ablations).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;

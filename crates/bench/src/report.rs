@@ -1,0 +1,122 @@
+//! Tiny text-table reporting helpers.
+
+/// Geometric mean of positive values.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// A fixed-width text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "table arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a duration in seconds adaptively (laptop-scale runs are far
+/// shorter than the paper's SF-100 numbers).
+pub fn secs(v: f64) -> String {
+    if v >= 0.1 {
+        format!("{v:.3}s")
+    } else if v >= 1e-4 {
+        format!("{:.3}ms", v * 1e3)
+    } else {
+        format!("{:.1}us", v * 1e6)
+    }
+}
+
+/// Format a ratio like "31.4x".
+pub fn ratio(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.0}", v * 100.0)
+}
+
+/// Format GB/s.
+pub fn gbps(bytes: u64, secs: f64) -> String {
+    if secs <= 0.0 {
+        return "-".into();
+    }
+    format!("{:.1}", bytes as f64 / secs / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basic() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geo_mean(&[3.0]) - 3.0).abs() < 1e-9);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_render() {
+        let mut t = Table::new(&["q", "time"]);
+        t.row(vec!["1".into(), "0.123".into()]);
+        let s = t.render();
+        assert!(s.contains("q"));
+        assert!(s.contains("0.123"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.23456), "1.235s");
+        assert_eq!(secs(0.00123), "1.230ms");
+        assert_eq!(secs(0.00000123), "1.2us");
+        assert_eq!(ratio(31.42), "31.4x");
+        assert_eq!(pct(0.4), "40");
+        assert_eq!(gbps(2_000_000_000, 1.0), "2.0");
+        assert_eq!(gbps(1, 0.0), "-");
+    }
+}

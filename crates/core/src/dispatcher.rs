@@ -1,0 +1,519 @@
+//! The dispatcher: assigns (pipeline-job, morsel) tasks to workers.
+//!
+//! Section 3 of the paper. The dispatcher is not a thread: it is a passive
+//! data structure whose code runs on the work-requesting worker itself.
+//! Morsel hand-out is lock-free (see [`crate::queue`]); the query list is
+//! guarded by a small read-write lock that is touched once per *morsel*,
+//! not per tuple, and the pending-job transitions (pipeline → pipeline) are
+//! performed by whichever worker drained the previous pipeline — the
+//! QEPobject as a passive state machine.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use morsel_numa::AccessCounters;
+use parking_lot::{Mutex, RwLock};
+
+use crate::env::ExecEnv;
+use crate::job::{Claim, JobExec};
+use crate::query::{QueryHandle, QueryShared, QuerySpec, QueryStats, Stage};
+use crate::queue::SchedulingMode;
+use crate::task::{Morsel, TaskContext, DEFAULT_MORSEL_SIZE};
+
+/// Dispatcher-wide scheduling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchConfig {
+    pub mode: SchedulingMode,
+    pub morsel_size: usize,
+    /// Number of worker threads that will request tasks.
+    pub workers: usize,
+}
+
+impl DispatchConfig {
+    pub fn new(workers: usize) -> Self {
+        DispatchConfig { mode: SchedulingMode::NumaAware, morsel_size: DEFAULT_MORSEL_SIZE, workers }
+    }
+
+    pub fn with_mode(mut self, mode: SchedulingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    pub fn with_morsel_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "morsel size must be positive");
+        self.morsel_size = size;
+        self
+    }
+}
+
+/// A query under execution.
+pub(crate) struct QueryExec {
+    pub shared: Arc<QueryShared>,
+    stages: Mutex<VecDeque<Box<dyn Stage>>>,
+    pub current: Mutex<Option<Arc<JobExec>>>,
+    /// Workers currently executing a morsel of this query (for fair
+    /// sharing across queries).
+    pub active_workers: AtomicUsize,
+    arrival: u64,
+}
+
+impl QueryExec {
+    fn absorb_job_stats(&self, job: &JobExec) {
+        let mut stats = self.shared.stats.lock();
+        stats.morsels += job.morsels_dispatched.load(Ordering::Relaxed);
+        stats.stolen_morsels += job.morsels_stolen.load(Ordering::Relaxed);
+    }
+}
+
+/// A claimed unit of work: run `job` on `morsel`, then report completion.
+pub struct Task {
+    pub(crate) query: Arc<QueryExec>,
+    pub(crate) job: Arc<JobExec>,
+    pub morsel: Morsel,
+    pub stolen: bool,
+}
+
+impl Task {
+    pub fn query_name(&self) -> &str {
+        &self.query.shared.name
+    }
+
+    pub fn job_label(&self) -> &str {
+        &self.job.label
+    }
+
+    /// Execute the morsel (operators record costs into `ctx`).
+    pub fn run(&self, ctx: &mut TaskContext<'_>) {
+        self.job.job.run_morsel(ctx, self.morsel.clone());
+    }
+
+    /// Per-query traffic counters, so executors can attach them to the
+    /// task context.
+    pub fn query_counters(&self) -> Arc<QueryShared> {
+        Arc::clone(&self.query.shared)
+    }
+}
+
+pub struct Dispatcher {
+    env: ExecEnv,
+    config: DispatchConfig,
+    queries: RwLock<Vec<Arc<QueryExec>>>,
+    /// Queries submitted but not yet done.
+    remaining: AtomicUsize,
+    arrivals: AtomicU64,
+}
+
+impl Dispatcher {
+    pub fn new(env: ExecEnv, config: DispatchConfig) -> Self {
+        assert!(config.workers > 0);
+        Dispatcher {
+            env,
+            config,
+            queries: RwLock::new(Vec::new()),
+            remaining: AtomicUsize::new(0),
+            arrivals: AtomicU64::new(0),
+        }
+    }
+
+    pub fn env(&self) -> &ExecEnv {
+        &self.env
+    }
+
+    pub fn config(&self) -> DispatchConfig {
+        self.config
+    }
+
+    /// Register a query and build its first executable pipeline. `now_ns`
+    /// stamps the query start (virtual or wall clock, per executor).
+    pub fn submit(&self, spec: QuerySpec, now_ns: u64) -> QueryHandle {
+        let shared = Arc::new(QueryShared {
+            name: spec.name,
+            priority: AtomicU32::new(spec.priority),
+            cancelled: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            result: spec.result,
+            counters: AccessCounters::new(self.env.topology()),
+            stats: Mutex::new(QueryStats { started_ns: now_ns, ..QueryStats::default() }),
+            started_ns: AtomicU64::new(now_ns),
+        });
+        let exec = Arc::new(QueryExec {
+            shared: Arc::clone(&shared),
+            stages: Mutex::new(spec.stages.into_iter().collect()),
+            current: Mutex::new(None),
+            active_workers: AtomicUsize::new(0),
+            arrival: self.arrivals.fetch_add(1, Ordering::Relaxed),
+        });
+        self.remaining.fetch_add(1, Ordering::SeqCst);
+        self.queries.write().push(Arc::clone(&exec));
+        // Build the first pipeline on the submitting thread.
+        let mut ctx = TaskContext::new(&self.env, 0);
+        self.advance(&mut ctx, &exec, now_ns);
+        QueryHandle { shared }
+    }
+
+    /// Number of queries not yet finished.
+    pub fn remaining_queries(&self) -> usize {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    pub fn all_done(&self) -> bool {
+        self.remaining_queries() == 0
+    }
+
+    /// Pick a task for `worker`, favouring NUMA-local morsels and fair
+    /// shares across active queries (active workers / priority).
+    ///
+    /// `now_ns` stamps query completion if this work request happens to be
+    /// the one that observes a drained pipeline (see [`Claim::Drained`]).
+    pub fn next_task(&self, worker: usize, now_ns: u64) -> Option<Task> {
+        let queries: Vec<Arc<QueryExec>> = {
+            let guard = self.queries.read();
+            guard.iter().cloned().collect()
+        };
+        // Candidate queries with an installed pipeline, by fairness key.
+        let mut candidates: Vec<&Arc<QueryExec>> = queries
+            .iter()
+            .filter(|q| !q.shared.done.load(Ordering::Acquire))
+            .collect();
+        candidates.sort_by(|a, b| {
+            let ka = Self::fair_key(a);
+            let kb = Self::fair_key(b);
+            ka.partial_cmp(&kb).unwrap().then(a.arrival.cmp(&b.arrival))
+        });
+
+        for q in candidates {
+            if q.shared.cancelled.load(Ordering::Acquire) {
+                self.reap_cancelled(q, worker);
+                continue;
+            }
+            let job = {
+                let guard = q.current.lock();
+                match guard.as_ref() {
+                    Some(j) => Arc::clone(j),
+                    None => continue,
+                }
+            };
+            match job.try_claim(worker) {
+                Claim::Task(morsel, stolen) => {
+                    q.active_workers.fetch_add(1, Ordering::SeqCst);
+                    return Some(Task { query: Arc::clone(q), job, morsel, stolen });
+                }
+                Claim::Empty => {}
+                Claim::Drained => {
+                    // Our failed claim was the last observer of the drained
+                    // pipeline (the race in JobExec::try_claim): finish it
+                    // and advance the query, exactly as the last completer
+                    // would have.
+                    let mut ctx = TaskContext::new(&self.env, worker);
+                    if !q.shared.cancelled.load(Ordering::Acquire) {
+                        job.job.finish(&mut ctx);
+                    }
+                    q.absorb_job_stats(&job);
+                    *q.current.lock() = None;
+                    self.advance(&mut ctx, q, now_ns);
+                    // The query may now have a fresh pipeline; retry it on
+                    // the next request rather than recursing.
+                }
+            }
+        }
+        None
+    }
+
+    fn fair_key(q: &QueryExec) -> f64 {
+        let active = q.active_workers.load(Ordering::SeqCst) as f64;
+        let prio = q.shared.priority.load(Ordering::Acquire).max(1) as f64;
+        active / prio
+    }
+
+    /// Report a finished morsel. If this completed the pipeline, the
+    /// calling worker runs the pipeline's `finish` and advances the QEP.
+    pub fn complete_task(&self, ctx: &mut TaskContext<'_>, task: Task, now_ns: u64) {
+        task.query.active_workers.fetch_sub(1, Ordering::SeqCst);
+        if task.job.release() {
+            if !task.query.shared.cancelled.load(Ordering::Acquire) {
+                task.job.job.finish(ctx);
+            }
+            task.query.absorb_job_stats(&task.job);
+            *task.query.current.lock() = None;
+            self.advance(ctx, &task.query, now_ns);
+        }
+    }
+
+    /// Cancelled query with a drained or idle pipeline: tear it down.
+    fn reap_cancelled(&self, q: &Arc<QueryExec>, _worker: usize) {
+        let job = { q.current.lock().as_ref().cloned() };
+        if let Some(job) = job {
+            // Only finish once nothing is in flight; in-flight morsels
+            // complete normally and their releaser advances the query.
+            if job.in_flight.load(Ordering::SeqCst) == 0 && job.force_finish() {
+                q.absorb_job_stats(&job);
+                *q.current.lock() = None;
+                let mut ctx = TaskContext::new(&self.env, 0);
+                self.advance(&mut ctx, q, 0);
+            }
+        } else if !q.shared.done.load(Ordering::Acquire) {
+            let mut ctx = TaskContext::new(&self.env, 0);
+            self.advance(&mut ctx, q, 0);
+        }
+    }
+
+    /// The passive QEP state machine: install the next executable
+    /// pipeline, skipping empty ones, and mark the query done when all
+    /// stages are complete (or it was cancelled).
+    fn advance(&self, ctx: &mut TaskContext<'_>, q: &Arc<QueryExec>, now_ns: u64) {
+        loop {
+            if q.shared.cancelled.load(Ordering::Acquire) {
+                q.stages.lock().clear();
+            }
+            let stage = q.stages.lock().pop_front();
+            match stage {
+                None => {
+                    if q.shared
+                        .done
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        q.shared.stats.lock().finished_ns = now_ns;
+                        self.remaining.fetch_sub(1, Ordering::SeqCst);
+                        self.queries.write().retain(|e| !Arc::ptr_eq(e, q));
+                    }
+                    return;
+                }
+                Some(stage) => {
+                    let built = stage.build(&self.env, self.config.workers);
+                    let job = JobExec::new(
+                        built,
+                        self.config.mode,
+                        self.config.morsel_size,
+                        self.config.workers,
+                        self.env.topology(),
+                    );
+                    if job.queues.total_rows() == 0 {
+                        // Empty pipeline: finish inline and continue.
+                        if job.force_finish() {
+                            job.job.finish(ctx);
+                            q.absorb_job_stats(&job);
+                        }
+                        continue;
+                    }
+                    *q.current.lock() = Some(Arc::new(job));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{BuiltJob, PipelineJob};
+    use crate::query::{result_slot, FnStage};
+    use crate::task::ChunkMeta;
+    use morsel_numa::{SocketId, Topology};
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    struct CountJob {
+        rows_seen: TestCounter,
+        finished: AtomicBool,
+    }
+
+    impl PipelineJob for CountJob {
+        fn run_morsel(&self, _ctx: &mut TaskContext<'_>, m: Morsel) {
+            self.rows_seen.fetch_add(m.rows() as u64, Ordering::Relaxed);
+        }
+        fn finish(&self, _ctx: &mut TaskContext<'_>) {
+            assert!(!self.finished.swap(true, Ordering::SeqCst), "finish called twice");
+        }
+    }
+
+    fn dispatcher(workers: usize) -> Dispatcher {
+        Dispatcher::new(ExecEnv::new(Topology::laptop()), DispatchConfig::new(workers))
+    }
+
+    fn count_stage(rows: usize, counter: Arc<CountJob>) -> Box<dyn Stage> {
+        Box::new(FnStage::new("count", move |_env, _w| {
+            BuiltJob::new("count", counter, vec![ChunkMeta { node: SocketId(0), rows }])
+        }))
+    }
+
+    fn drive_to_completion(d: &Dispatcher, worker: usize) {
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, worker);
+        while let Some(task) = d.next_task(worker, 42) {
+            task.run(&mut ctx);
+            d.complete_task(&mut ctx, task, 42);
+        }
+    }
+
+    #[test]
+    fn single_query_runs_all_morsels_and_finishes() {
+        let d = dispatcher(1);
+        let job = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let h = d.submit(
+            QuerySpec::new("q1", vec![count_stage(100_000, Arc::clone(&job))], result_slot()),
+            7,
+        );
+        assert!(!h.is_done());
+        drive_to_completion(&d, 0);
+        assert!(h.is_done());
+        assert!(d.all_done());
+        assert_eq!(job.rows_seen.load(Ordering::Relaxed), 100_000);
+        assert!(job.finished.load(Ordering::SeqCst));
+        let stats = h.stats();
+        assert_eq!(stats.started_ns, 7);
+        assert_eq!(stats.finished_ns, 42);
+        assert!(stats.morsels > 1);
+    }
+
+    #[test]
+    fn multi_stage_queries_run_stages_in_order() {
+        let d = dispatcher(1);
+        let j1 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j2 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let h = d.submit(
+            QuerySpec::new(
+                "q",
+                vec![count_stage(10, Arc::clone(&j1)), count_stage(20, Arc::clone(&j2))],
+                result_slot(),
+            ),
+            0,
+        );
+        drive_to_completion(&d, 0);
+        assert!(h.is_done());
+        assert_eq!(j1.rows_seen.load(Ordering::Relaxed), 10);
+        assert_eq!(j2.rows_seen.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn empty_stages_are_skipped() {
+        let d = dispatcher(1);
+        let j = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let h = d.submit(
+            QuerySpec::new("q", vec![count_stage(0, Arc::clone(&j))], result_slot()),
+            0,
+        );
+        // Submission itself drives the empty stage to completion.
+        assert!(h.is_done());
+        assert!(j.finished.load(Ordering::SeqCst));
+        assert!(d.all_done());
+    }
+
+    #[test]
+    fn cancellation_stops_at_morsel_boundary() {
+        let d = dispatcher(1);
+        let j = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let h = d.submit(
+            QuerySpec::new("q", vec![count_stage(1_000_000, Arc::clone(&j))], result_slot()),
+            0,
+        );
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, 0);
+        // Run one morsel, then cancel.
+        let t = d.next_task(0, 0).unwrap();
+        t.run(&mut ctx);
+        d.complete_task(&mut ctx, t, 0);
+        h.cancel();
+        drive_to_completion(&d, 0);
+        assert!(h.is_done());
+        assert!(d.all_done());
+        // Far fewer rows than the full input were processed.
+        assert!(j.rows_seen.load(Ordering::Relaxed) < 1_000_000);
+        // The operator's finish must NOT run for a cancelled query.
+        assert!(!j.finished.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn fair_sharing_prefers_less_served_query() {
+        let d = dispatcher(4);
+        let j1 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j2 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let _h1 = d.submit(
+            QuerySpec::new("a", vec![count_stage(100_000, j1)], result_slot()),
+            0,
+        );
+        let _h2 = d.submit(
+            QuerySpec::new("b", vec![count_stage(100_000, j2)], result_slot()),
+            0,
+        );
+        // Claim for two workers without completing: they must go to
+        // different queries under equal priority.
+        let t1 = d.next_task(0, 0).unwrap();
+        let t2 = d.next_task(1, 0).unwrap();
+        assert_ne!(t1.query_name(), t2.query_name());
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, 0);
+        d.complete_task(&mut ctx, t1, 0);
+        d.complete_task(&mut ctx, t2, 0);
+        drive_to_completion(&d, 0);
+        assert!(d.all_done());
+    }
+
+    #[test]
+    fn priority_biases_dispatch() {
+        let d = dispatcher(4);
+        let j1 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j2 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let _h1 = d.submit(
+            QuerySpec::new("lo", vec![count_stage(100_000, j1)], result_slot()),
+            0,
+        );
+        let _h2 = d.submit(
+            QuerySpec::new("hi", vec![count_stage(100_000, j2)], result_slot()).with_priority(8),
+            0,
+        );
+        // Fairness key is active_workers/priority, ties by arrival.
+        // Round 1: both 0 -> "lo" (earlier arrival). Round 2: lo=1/1,
+        // hi=0/8 -> "hi". Round 3: lo=1/1=1, hi=1/8=0.125 -> "hi" again:
+        // the high-priority query absorbs more workers.
+        let t1 = d.next_task(0, 0).unwrap();
+        assert_eq!(t1.query_name(), "lo");
+        let t2 = d.next_task(1, 0).unwrap();
+        assert_eq!(t2.query_name(), "hi");
+        let t3 = d.next_task(2, 0).unwrap();
+        assert_eq!(t3.query_name(), "hi");
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, 0);
+        for t in [t1, t2, t3] {
+            d.complete_task(&mut ctx, t, 0);
+        }
+        drive_to_completion(&d, 0);
+    }
+
+    #[test]
+    fn threaded_smoke_many_workers() {
+        let d = Arc::new(dispatcher(8));
+        let j = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let h = d.submit(
+            QuerySpec::new("q", vec![count_stage(500_000, Arc::clone(&j))], result_slot()),
+            0,
+        );
+        std::thread::scope(|s| {
+            for w in 0..8 {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    let env = d.env().clone();
+                    let mut ctx = TaskContext::new(&env, w);
+                    loop {
+                        match d.next_task(w, 0) {
+                            Some(t) => {
+                                t.run(&mut ctx);
+                                d.complete_task(&mut ctx, t, 0);
+                            }
+                            None => {
+                                if d.all_done() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(h.is_done());
+        assert_eq!(j.rows_seen.load(Ordering::Relaxed), 500_000);
+        assert!(j.finished.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,246 @@
+//! Pipeline jobs: the unit of work the dispatcher schedules.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use morsel_numa::Topology;
+
+use crate::queue::{MorselQueues, SchedulingMode};
+use crate::task::{ChunkMeta, Morsel, TaskContext};
+
+/// A fully parallelizable pipeline. Implementations live in `morsel-exec`;
+/// the scheduler only needs these two entry points.
+///
+/// `run_morsel` is called concurrently from many workers; implementations
+/// synchronize their shared state themselves (per the paper: operators are
+/// aware of parallelism, using lock-free structures where it matters).
+/// `finish` is called exactly once, by the worker that completed the last
+/// morsel, before the query's next pipeline is constructed.
+pub trait PipelineJob: Send + Sync {
+    fn run_morsel(&self, ctx: &mut TaskContext<'_>, morsel: Morsel);
+    fn finish(&self, _ctx: &mut TaskContext<'_>) {}
+}
+
+/// What a query stage hands to the dispatcher.
+pub struct BuiltJob {
+    pub job: Arc<dyn PipelineJob>,
+    pub chunks: Vec<ChunkMeta>,
+    /// Override the dispatcher's morsel size (e.g. merge stages want one
+    /// morsel per merge segment).
+    pub morsel_size: Option<usize>,
+    /// Chunks are indivisible units (partitions/segments): one morsel per
+    /// chunk, even under static division.
+    pub atomic_chunks: bool,
+    pub label: String,
+}
+
+impl BuiltJob {
+    pub fn new(label: impl Into<String>, job: Arc<dyn PipelineJob>, chunks: Vec<ChunkMeta>) -> Self {
+        BuiltJob { job, chunks, morsel_size: None, atomic_chunks: false, label: label.into() }
+    }
+
+    pub fn with_morsel_size(mut self, size: usize) -> Self {
+        self.morsel_size = Some(size);
+        self
+    }
+
+    /// Mark chunks as indivisible (aggregation partitions, merge segments).
+    pub fn with_atomic_chunks(mut self) -> Self {
+        self.atomic_chunks = true;
+        self
+    }
+
+    pub fn total_rows(&self) -> u64 {
+        self.chunks.iter().map(|c| c.rows as u64).sum()
+    }
+}
+
+/// Outcome of a claim attempt.
+pub(crate) enum Claim {
+    /// A morsel to execute (`stolen` = from a non-preferred queue).
+    Task(Morsel, bool),
+    /// No work now, but morsels are still in flight (or another claimer
+    /// will finish the job).
+    Empty,
+    /// This claim observed the job fully drained and won the finish race:
+    /// the caller must run the pipeline's `finish` and advance the query.
+    Drained,
+}
+
+/// Dispatcher-internal state of an executing pipeline job.
+pub(crate) struct JobExec {
+    pub job: Arc<dyn PipelineJob>,
+    pub queues: MorselQueues,
+    pub label: String,
+    /// Morsels currently being executed.
+    pub in_flight: AtomicUsize,
+    /// Set once by the worker that completes the job.
+    pub finished: AtomicBool,
+    /// Statistics.
+    pub morsels_dispatched: AtomicU64,
+    pub morsels_stolen: AtomicU64,
+}
+
+impl JobExec {
+    pub fn new(
+        built: BuiltJob,
+        mode: SchedulingMode,
+        default_morsel_size: usize,
+        workers: usize,
+        topology: &Topology,
+    ) -> Self {
+        let queues = if built.atomic_chunks {
+            MorselQueues::build_atomic(&built.chunks, mode, workers, topology)
+        } else {
+            let morsel_size = built.morsel_size.unwrap_or(default_morsel_size);
+            MorselQueues::build(&built.chunks, mode, morsel_size, workers, topology)
+        };
+        JobExec {
+            job: built.job,
+            queues,
+            label: built.label,
+            in_flight: AtomicUsize::new(0),
+            finished: AtomicBool::new(false),
+            morsels_dispatched: AtomicU64::new(0),
+            morsels_stolen: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to claim a morsel for `worker`. Keeps `in_flight` consistent:
+    /// the counter is raised *before* cutting so that a concurrent
+    /// completer cannot observe an exhausted queue with zero in-flight
+    /// while a morsel is being handed out.
+    ///
+    /// The failed-claim path must run the same drain check as
+    /// [`Self::release`]: if this claim's decrement is the one that
+    /// observes "exhausted and nothing in flight", the *last completer's*
+    /// own check already lost (it saw our raised counter), so the finish
+    /// duty falls to us — otherwise the job would never finish and every
+    /// worker would spin forever.
+    pub fn try_claim(&self, worker: usize) -> Claim {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        match self.queues.next_for(worker) {
+            Some((m, stolen)) => {
+                self.morsels_dispatched.fetch_add(1, Ordering::Relaxed);
+                if stolen {
+                    self.morsels_stolen.fetch_add(1, Ordering::Relaxed);
+                }
+                Claim::Task(m, stolen)
+            }
+            None => {
+                if self.release() {
+                    Claim::Drained
+                } else {
+                    Claim::Empty
+                }
+            }
+        }
+    }
+
+    /// Drop one in-flight claim; returns `true` if this call observed the
+    /// job fully drained (queue exhausted, nothing in flight) and won the
+    /// race to finish it — the caller must then run `job.finish` and
+    /// advance the query.
+    pub fn release(&self) -> bool {
+        let before = self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(before > 0);
+        before == 1
+            && self.queues.is_exhausted()
+            && self
+                .finished
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+    }
+
+    /// Force-finish an already-drained or cancelled job. Returns whether
+    /// this call won the finish race.
+    pub fn force_finish(&self) -> bool {
+        self.finished
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morsel_numa::SocketId;
+
+    struct NopJob;
+    impl PipelineJob for NopJob {
+        fn run_morsel(&self, _ctx: &mut TaskContext<'_>, _m: Morsel) {}
+    }
+
+    fn job(rows: usize) -> JobExec {
+        let built = BuiltJob::new(
+            "t",
+            Arc::new(NopJob),
+            vec![ChunkMeta { node: SocketId(0), rows }],
+        );
+        JobExec::new(built, SchedulingMode::NumaAware, 10, 2, &Topology::laptop())
+    }
+
+    fn expect_task(c: Claim) -> Morsel {
+        match c {
+            Claim::Task(m, _) => m,
+            _ => panic!("expected a task"),
+        }
+    }
+
+    #[test]
+    fn claim_and_release_lifecycle() {
+        let j = job(15);
+        let m1 = expect_task(j.try_claim(0));
+        assert_eq!(m1.rows(), 10);
+        let m2 = expect_task(j.try_claim(0));
+        assert_eq!(m2.rows(), 5);
+        // Queue exhausted but two morsels in flight: a failed claim is
+        // Empty, not Drained.
+        assert!(matches!(j.try_claim(0), Claim::Empty));
+        // Two in flight; first release is not last.
+        assert!(!j.release());
+        // Second release drains the job and wins the finish race.
+        assert!(j.release());
+        // Nothing further can win it.
+        assert!(!j.force_finish());
+    }
+
+    #[test]
+    fn failed_claim_that_drains_job_must_finish_it() {
+        // The liveness race: A claims the last morsel; B's failed claim
+        // raises in_flight before A's release, so A's check loses; B's
+        // decrement is the one that observes the drain and must finish.
+        let j = job(10); // single morsel
+        let _m = expect_task(j.try_claim(0));
+        // B raises and lowers around A's release.
+        j.in_flight.fetch_add(1, Ordering::SeqCst); // B's fetch_add
+        assert!(!j.release()); // A: sees B's claim in flight -> not last
+        // B's failed-claim path (decrement + drain check) must fire.
+        let before = j.in_flight.fetch_sub(1, Ordering::SeqCst);
+        assert_eq!(before, 1);
+        assert!(j.queues.is_exhausted());
+        assert!(j.force_finish(), "the drain check must still be winnable");
+    }
+
+    #[test]
+    fn release_before_exhaustion_does_not_finish() {
+        let j = job(100);
+        let _ = expect_task(j.try_claim(0));
+        assert!(!j.release()); // queue still has rows
+    }
+
+    #[test]
+    fn built_job_total_rows() {
+        let b = BuiltJob::new(
+            "x",
+            Arc::new(NopJob),
+            vec![
+                ChunkMeta { node: SocketId(0), rows: 5 },
+                ChunkMeta { node: SocketId(0), rows: 7 },
+            ],
+        )
+        .with_morsel_size(3);
+        assert_eq!(b.total_rows(), 12);
+        assert_eq!(b.morsel_size, Some(3));
+    }
+}

@@ -1,0 +1,35 @@
+//! # morsel-core
+//!
+//! The paper's primary contribution: morsel-driven parallel query
+//! execution. A query is a sequence of [`query::Stage`]s; each stage
+//! builds a [`job::PipelineJob`] that the [`dispatcher::Dispatcher`]
+//! schedules morsel-at-a-time onto pinned workers, preferring NUMA-local
+//! morsels, stealing from the closest socket when a local queue drains,
+//! sharing workers fairly (priority-weighted) across concurrent queries,
+//! and cancelling cooperatively at morsel boundaries.
+//!
+//! Two executors run the same dispatcher and pipeline code:
+//! [`threaded::ThreadedExecutor`] on real OS threads, and
+//! [`sim::SimExecutor`], a deterministic discrete-event executor that
+//! reproduces the paper's 64-hardware-thread NUMA boxes on any host via
+//! the calibrated cost model in `morsel-numa`.
+
+pub mod dispatcher;
+pub mod env;
+pub mod job;
+pub mod query;
+pub mod queue;
+pub mod sim;
+pub mod task;
+pub mod threaded;
+pub mod trace;
+
+pub use dispatcher::{DispatchConfig, Dispatcher, Task};
+pub use env::ExecEnv;
+pub use job::{BuiltJob, PipelineJob};
+pub use query::{result_slot, FnStage, QueryHandle, QuerySpec, QueryStats, ResultSlot, Stage};
+pub use queue::{MorselQueues, SchedulingMode};
+pub use sim::{SimExecutor, SimReport};
+pub use task::{ChunkMeta, Morsel, MorselProfile, TaskContext, DEFAULT_MORSEL_SIZE};
+pub use threaded::ThreadedExecutor;
+pub use trace::{render_ascii, TraceEvent, TraceRecorder};

@@ -1,0 +1,220 @@
+//! Queries: stage sequences, handles, and per-query state.
+//!
+//! A query is a sequence of pipeline *stages* executed one after another
+//! (the paper deliberately avoids bushy parallelism — Section 3.2: "we
+//! first execute pipeline T, and only after T is finished, the job for
+//! pipeline S is added"). The QEP state machine that observes dependencies
+//! is [`crate::dispatcher::Dispatcher::advance`]; it is passive and runs on
+//! whichever worker drained the previous pipeline.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use morsel_numa::AccessCounters;
+use morsel_storage::Batch;
+use parking_lot::Mutex;
+
+use crate::env::ExecEnv;
+use crate::job::BuiltJob;
+
+/// One pipeline stage of a query. Built exactly once, when all previous
+/// stages have completed, on a worker thread.
+pub trait Stage: Send {
+    fn label(&self) -> String;
+    fn build(self: Box<Self>, env: &ExecEnv, workers: usize) -> BuiltJob;
+}
+
+/// A stage backed by a closure.
+pub struct FnStage<F> {
+    label: String,
+    f: F,
+}
+
+impl<F> FnStage<F>
+where
+    F: FnOnce(&ExecEnv, usize) -> BuiltJob + Send,
+{
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        FnStage { label: label.into(), f }
+    }
+}
+
+impl<F> Stage for FnStage<F>
+where
+    F: FnOnce(&ExecEnv, usize) -> BuiltJob + Send,
+{
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn build(self: Box<Self>, env: &ExecEnv, workers: usize) -> BuiltJob {
+        (self.f)(env, workers)
+    }
+}
+
+/// A slot for a query's final result, shared between the final stage (the
+/// producer) and the caller holding the [`QueryHandle`].
+pub type ResultSlot = Arc<Mutex<Option<Batch>>>;
+
+/// Create an empty result slot.
+pub fn result_slot() -> ResultSlot {
+    Arc::new(Mutex::new(None))
+}
+
+/// A ready-to-run query.
+pub struct QuerySpec {
+    pub name: String,
+    pub priority: u32,
+    pub stages: Vec<Box<dyn Stage>>,
+    pub result: ResultSlot,
+}
+
+impl QuerySpec {
+    pub fn new(name: impl Into<String>, stages: Vec<Box<dyn Stage>>, result: ResultSlot) -> Self {
+        QuerySpec { name: name.into(), priority: 1, stages, result }
+    }
+
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        assert!(priority > 0, "priority must be positive");
+        self.priority = priority;
+        self
+    }
+}
+
+/// Timing and scheduling statistics for one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Virtual (sim) or wall (threaded) nanoseconds.
+    pub started_ns: u64,
+    pub finished_ns: u64,
+    pub morsels: u64,
+    pub stolen_morsels: u64,
+}
+
+impl QueryStats {
+    pub fn elapsed_ns(&self) -> u64 {
+        self.finished_ns.saturating_sub(self.started_ns)
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e9
+    }
+}
+
+/// State shared between the dispatcher and the caller.
+pub struct QueryShared {
+    pub name: String,
+    pub priority: AtomicU32,
+    pub cancelled: AtomicBool,
+    pub done: AtomicBool,
+    pub result: ResultSlot,
+    /// Per-query traffic counters (the Table 1 per-query statistics).
+    pub counters: AccessCounters,
+    pub stats: Mutex<QueryStats>,
+    pub started_ns: AtomicU64,
+}
+
+/// Caller-facing handle: inspect results, change priority, cancel.
+#[derive(Clone)]
+pub struct QueryHandle {
+    pub(crate) shared: Arc<QueryShared>,
+}
+
+impl QueryHandle {
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.shared.done.load(Ordering::Acquire)
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Mark the query cancelled; workers stop at the next morsel boundary
+    /// (Section 3.2's cooperative cancellation).
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Change the query's scheduling priority while it runs (elasticity).
+    pub fn set_priority(&self, priority: u32) {
+        assert!(priority > 0, "priority must be positive");
+        self.shared.priority.store(priority, Ordering::Release);
+    }
+
+    pub fn priority(&self) -> u32 {
+        self.shared.priority.load(Ordering::Acquire)
+    }
+
+    /// Take the result batch, if the query completed and produced one.
+    pub fn take_result(&self) -> Option<Batch> {
+        self.shared.result.lock().take()
+    }
+
+    pub fn stats(&self) -> QueryStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Per-query memory traffic snapshot.
+    pub fn traffic(&self) -> morsel_numa::TrafficSnapshot {
+        self.shared.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morsel_numa::Topology;
+
+    fn shared() -> Arc<QueryShared> {
+        let topo = Topology::laptop();
+        Arc::new(QueryShared {
+            name: "q".into(),
+            priority: AtomicU32::new(1),
+            cancelled: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            result: result_slot(),
+            counters: AccessCounters::new(&topo),
+            stats: Mutex::new(QueryStats::default()),
+            started_ns: AtomicU64::new(u64::MAX),
+        })
+    }
+
+    #[test]
+    fn handle_controls() {
+        let h = QueryHandle { shared: shared() };
+        assert!(!h.is_done());
+        assert!(!h.is_cancelled());
+        h.cancel();
+        assert!(h.is_cancelled());
+        h.set_priority(5);
+        assert_eq!(h.priority(), 5);
+        assert_eq!(h.name(), "q");
+    }
+
+    #[test]
+    fn result_slot_roundtrip() {
+        let h = QueryHandle { shared: shared() };
+        assert!(h.take_result().is_none());
+        *h.shared.result.lock() = Some(Batch::default());
+        assert!(h.take_result().is_some());
+        assert!(h.take_result().is_none(), "take consumes");
+    }
+
+    #[test]
+    fn stats_elapsed() {
+        let s = QueryStats { started_ns: 100, finished_ns: 1100, morsels: 3, stolen_morsels: 1 };
+        assert_eq!(s.elapsed_ns(), 1000);
+        assert!((s.elapsed_secs() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be positive")]
+    fn zero_priority_rejected() {
+        let h = QueryHandle { shared: shared() };
+        h.set_priority(0);
+    }
+}

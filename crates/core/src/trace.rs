@@ -1,0 +1,134 @@
+//! Execution traces, for the paper's Figure 13 (morsel-wise elasticity).
+
+use parking_lot::Mutex;
+
+/// One executed morsel, as recorded by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub worker: usize,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub query: String,
+    pub job: String,
+}
+
+/// A thread-safe recorder of trace events.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Render a trace as ASCII art in the style of Figure 13: one row per
+/// worker, one glyph per time bucket, with a distinct letter per query.
+pub fn render_ascii(events: &[TraceEvent], workers: usize, columns: usize) -> String {
+    if events.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let t_end = events.iter().map(|e| e.end_ns).max().unwrap_or(1).max(1);
+    let bucket = (t_end as f64 / columns as f64).max(1.0);
+
+    // Assign a letter per distinct query, in order of first appearance.
+    let mut names: Vec<&str> = Vec::new();
+    for e in events {
+        if !names.contains(&e.query.as_str()) {
+            names.push(&e.query);
+        }
+    }
+    let glyph = |q: &str| -> char {
+        let i = names.iter().position(|n| *n == q).unwrap_or(0);
+        (b'A' + (i % 26) as u8) as char
+    };
+
+    let mut rows = vec![vec![' '; columns]; workers];
+    for e in events {
+        if e.worker >= workers {
+            continue;
+        }
+        let c0 = (e.start_ns as f64 / bucket) as usize;
+        let c1 = ((e.end_ns as f64 / bucket) as usize).min(columns.saturating_sub(1));
+        let g = glyph(&e.query);
+        for cell in &mut rows[e.worker][c0..=c1] {
+            *cell = g;
+        }
+    }
+
+    let mut out = String::new();
+    for (w, row) in rows.iter().enumerate() {
+        out.push_str(&format!("worker {w:2} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    let legend: Vec<String> =
+        names.iter().enumerate().map(|(i, n)| format!("{}={}", (b'A' + (i % 26) as u8) as char, n)).collect();
+    out.push_str(&format!("legend: {}\n", legend.join(" ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(worker: usize, start: u64, end: u64, q: &str) -> TraceEvent {
+        TraceEvent { worker, start_ns: start, end_ns: end, query: q.into(), job: "p".into() }
+    }
+
+    #[test]
+    fn recorder_roundtrip() {
+        let r = TraceRecorder::new();
+        assert!(r.is_empty());
+        r.record(ev(0, 0, 10, "q1"));
+        r.record(ev(1, 5, 15, "q2"));
+        assert_eq!(r.len(), 2);
+        let evs = r.take();
+        assert_eq!(evs.len(), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ascii_render_marks_queries_with_letters() {
+        let evs = vec![ev(0, 0, 50, "q13"), ev(1, 50, 100, "q14")];
+        let art = render_ascii(&evs, 2, 20);
+        assert!(art.contains("worker  0"));
+        assert!(art.contains('A'));
+        assert!(art.contains('B'));
+        assert!(art.contains("legend: A=q13 B=q14"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(render_ascii(&[], 4, 10), "(empty trace)\n");
+    }
+
+    #[test]
+    fn out_of_range_worker_ignored() {
+        let evs = vec![ev(9, 0, 10, "q")];
+        let art = render_ascii(&evs, 2, 10);
+        // No grid row may carry the glyph (the legend still lists it).
+        assert!(art
+            .lines()
+            .filter(|l| l.starts_with("worker"))
+            .all(|l| !l.contains('A')));
+    }
+}

@@ -1,0 +1,15 @@
+//! # morsel-datagen
+//!
+//! Deterministic, scale-factor-driven data generators standing in for the
+//! TPC-H `dbgen` and SSB `dbgen` tools (DESIGN.md §2): schema-faithful
+//! tables with the value distributions, correlations, and referential
+//! integrity the benchmark queries' selectivities depend on, partitioned
+//! NUMA-aware on the first primary-key attribute exactly as the paper's
+//! Section 5.1 describes.
+
+pub mod ssb;
+pub mod text;
+pub mod tpch;
+
+pub use ssb::{generate as generate_ssb, SsbConfig, SsbDb};
+pub use tpch::{generate as generate_tpch, TpchConfig, TpchDb};

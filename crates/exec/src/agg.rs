@@ -1,0 +1,614 @@
+//! Two-phase parallel aggregation (paper Section 4.4, Figure 8).
+//!
+//! Phase 1 runs as a pipeline sink: each worker pre-aggregates heavy
+//! hitters in a small fixed-size thread-local table; when the table fills
+//! up on a new key, it is flushed to hash-partitioned overflow buffers
+//! (partitioned by the *high* bits of the group hash). Phase 2 is a
+//! separate pipeline job whose chunks are the partitions: each worker
+//! exclusively aggregates whole partitions into a local table and emits
+//! result tuples immediately (cache-friendly handoff).
+//!
+//! Unlike the join, aggregation only produces output after consuming all
+//! input, so partitioning costs nothing in pipelining (Section 4.4's
+//! closing remark).
+
+use std::sync::Arc;
+
+use morsel_core::{Morsel, PipelineJob, ResultSlot, TaskContext};
+use morsel_numa::SocketId;
+use morsel_storage::{AreaSet, Batch, Column, DataType, Schema, StorageArea};
+use parking_lot::Mutex;
+
+use crate::key::{FxHashMap, FxHashSet, GroupKey};
+use crate::sink::{AreaSlot, Sink};
+use crate::weights;
+
+/// Number of overflow partitions ("more partitions than worker threads",
+/// Section 4.4 — 64 matches the paper's largest thread count).
+pub const N_PARTITIONS: usize = 64;
+
+/// Pre-aggregation table capacity per worker (fits in L2).
+pub const PREAGG_CAPACITY: usize = 4096;
+
+/// An aggregate function over the working batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// `count(*)`.
+    Count,
+    /// `sum` of an integer (fixed-point) column.
+    SumI64(usize),
+    /// `sum` of a float column.
+    SumF64(usize),
+    MinI64(usize),
+    MaxI64(usize),
+    /// `avg` of an integer column, emitted as `f64`.
+    AvgI64(usize),
+    /// `count(distinct col)` of an integer column.
+    CountDistinctI64(usize),
+}
+
+impl AggFn {
+    pub fn output_type(&self) -> DataType {
+        match self {
+            AggFn::Count | AggFn::SumI64(_) | AggFn::MinI64(_) | AggFn::MaxI64(_) => DataType::I64,
+            AggFn::SumF64(_) | AggFn::AvgI64(_) => DataType::F64,
+            AggFn::CountDistinctI64(_) => DataType::I64,
+        }
+    }
+
+    fn new_state(&self) -> AccState {
+        match self {
+            AggFn::Count => AccState::I64(0),
+            AggFn::SumI64(_) => AccState::I64(0),
+            AggFn::SumF64(_) => AccState::F64(0.0),
+            AggFn::MinI64(_) => AccState::I64(i64::MAX),
+            AggFn::MaxI64(_) => AccState::I64(i64::MIN),
+            AggFn::AvgI64(_) => AccState::Avg(0, 0),
+            AggFn::CountDistinctI64(_) => AccState::Set(FxHashSet::default()),
+        }
+    }
+
+    fn update(&self, state: &mut AccState, batch: &Batch, row: usize) {
+        match (self, state) {
+            (AggFn::Count, AccState::I64(c)) => *c += 1,
+            (AggFn::SumI64(col), AccState::I64(s)) => *s += int_at(batch, *col, row),
+            (AggFn::SumF64(col), AccState::F64(s)) => *s += batch.column(*col).as_f64()[row],
+            (AggFn::MinI64(col), AccState::I64(m)) => *m = (*m).min(int_at(batch, *col, row)),
+            (AggFn::MaxI64(col), AccState::I64(m)) => *m = (*m).max(int_at(batch, *col, row)),
+            (AggFn::AvgI64(col), AccState::Avg(s, c)) => {
+                *s += int_at(batch, *col, row);
+                *c += 1;
+            }
+            (AggFn::CountDistinctI64(col), AccState::Set(set)) => {
+                set.insert(int_at(batch, *col, row));
+            }
+            (f, s) => panic!("aggregate state mismatch: {f:?} with {s:?}"),
+        }
+    }
+
+    fn merge(&self, into: &mut AccState, from: &AccState) {
+        match (self, into, from) {
+            (AggFn::Count | AggFn::SumI64(_), AccState::I64(a), AccState::I64(b)) => *a += b,
+            (AggFn::SumF64(_), AccState::F64(a), AccState::F64(b)) => *a += b,
+            (AggFn::MinI64(_), AccState::I64(a), AccState::I64(b)) => *a = (*a).min(*b),
+            (AggFn::MaxI64(_), AccState::I64(a), AccState::I64(b)) => *a = (*a).max(*b),
+            (AggFn::AvgI64(_), AccState::Avg(s, c), AccState::Avg(s2, c2)) => {
+                *s += s2;
+                *c += c2;
+            }
+            (AggFn::CountDistinctI64(_), AccState::Set(a), AccState::Set(b)) => {
+                a.extend(b.iter().copied());
+            }
+            (f, a, b) => panic!("cannot merge {f:?}: {a:?} with {b:?}"),
+        }
+    }
+
+    fn emit(&self, state: &AccState, out: &mut Column) {
+        match (self, state, out) {
+            (AggFn::Count | AggFn::SumI64(_), AccState::I64(v), Column::I64(col)) => col.push(*v),
+            (AggFn::MinI64(_) | AggFn::MaxI64(_), AccState::I64(v), Column::I64(col)) => {
+                col.push(*v)
+            }
+            (AggFn::SumF64(_), AccState::F64(v), Column::F64(col)) => col.push(*v),
+            (AggFn::AvgI64(_), AccState::Avg(s, c), Column::F64(col)) => {
+                col.push(if *c == 0 { 0.0 } else { *s as f64 / *c as f64 })
+            }
+            (AggFn::CountDistinctI64(_), AccState::Set(set), Column::I64(col)) => {
+                col.push(set.len() as i64)
+            }
+            (f, s, c) => panic!("cannot emit {f:?} state {s:?} into {:?}", c.data_type()),
+        }
+    }
+}
+
+#[inline]
+fn int_at(batch: &Batch, col: usize, row: usize) -> i64 {
+    match batch.column(col) {
+        Column::I64(v) => v[row],
+        Column::I32(v) => i64::from(v[row]),
+        other => panic!("expected integer column, got {:?}", other.data_type()),
+    }
+}
+
+/// A partial aggregate state vector.
+#[derive(Debug, Clone)]
+pub enum AccState {
+    I64(i64),
+    F64(f64),
+    Avg(i64, i64),
+    Set(FxHashSet<i64>),
+}
+
+/// Approximate bytes of one spilled entry (key + states), for traffic
+/// accounting.
+fn entry_bytes(key: &GroupKey, states: &[AccState]) -> u64 {
+    let key_bytes = match key {
+        GroupKey::I64(_) => 8,
+        GroupKey::I64x2(..) => 16,
+        GroupKey::Str(s) => 8 + s.len() as u64,
+        GroupKey::Composite(parts) => parts.len() as u64 * 12,
+    };
+    key_bytes + 16 * states.len() as u64
+}
+
+type Entry = (GroupKey, Vec<AccState>);
+
+/// Spilled partition fragments of one worker.
+struct WorkerAgg {
+    table: FxHashMap<GroupKey, Vec<AccState>>,
+    spill: Vec<Vec<Entry>>,
+}
+
+/// Output of phase 1: per partition, fragments tagged with the node of
+/// the worker that produced them.
+pub struct AggPartitions {
+    /// `parts[p]` = list of (node, entries).
+    pub parts: Vec<Vec<(SocketId, Vec<Entry>)>>,
+}
+
+impl AggPartitions {
+    pub fn partition_rows(&self, p: usize) -> usize {
+        self.parts[p].iter().map(|(_, e)| e.len()).sum()
+    }
+}
+
+/// Shared slot between phase 1 and phase 2.
+pub type AggSlot = Arc<Mutex<Option<Arc<AggPartitions>>>>;
+
+pub fn agg_slot() -> AggSlot {
+    Arc::new(Mutex::new(None))
+}
+
+#[inline]
+fn partition_of(key: &GroupKey) -> usize {
+    (key.hash() >> (64 - N_PARTITIONS.trailing_zeros())) as usize
+}
+
+/// Phase-1 sink: thread-local pre-aggregation with overflow partitioning.
+pub struct AggPartialSink {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggFn>,
+    workers: Vec<Mutex<WorkerAgg>>,
+    worker_nodes: Vec<SocketId>,
+    out: AggSlot,
+    capacity: usize,
+}
+
+impl AggPartialSink {
+    pub fn new(
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFn>,
+        worker_nodes: &[SocketId],
+        out: AggSlot,
+    ) -> Self {
+        Self::with_capacity(group_cols, aggs, worker_nodes, out, PREAGG_CAPACITY)
+    }
+
+    pub fn with_capacity(
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFn>,
+        worker_nodes: &[SocketId],
+        out: AggSlot,
+        capacity: usize,
+    ) -> Self {
+        AggPartialSink {
+            group_cols,
+            aggs,
+            workers: (0..worker_nodes.len())
+                .map(|_| {
+                    Mutex::new(WorkerAgg {
+                        table: FxHashMap::default(),
+                        spill: (0..N_PARTITIONS).map(|_| Vec::new()).collect(),
+                    })
+                })
+                .collect(),
+            worker_nodes: worker_nodes.to_vec(),
+            out,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn flush(w: &mut WorkerAgg) -> u64 {
+        let mut bytes = 0;
+        for (key, states) in w.table.drain() {
+            bytes += entry_bytes(&key, &states);
+            w.spill[partition_of(&key)].push((key, states));
+        }
+        bytes
+    }
+}
+
+impl Sink for AggPartialSink {
+    fn consume(&self, ctx: &mut TaskContext<'_>, batch: Batch) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut w = self.workers[ctx.worker].lock();
+        let rows = batch.rows();
+        ctx.cpu(rows as u64, weights::HASH_NS + weights::AGG_UPDATE_NS * self.aggs.len() as f64);
+        let mut spilled_bytes = 0u64;
+        for row in 0..rows {
+            let key = GroupKey::extract(&batch, &self.group_cols, row);
+            if !w.table.contains_key(&key) && w.table.len() >= self.capacity {
+                // Pre-aggregation table full on a new key: flush it to the
+                // overflow partitions (paper Figure 8, "spill when ht
+                // becomes full").
+                spilled_bytes += Self::flush(&mut w);
+            }
+            let entry = w
+                .table
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(AggFn::new_state).collect());
+            for (f, st) in self.aggs.iter().zip(entry.iter_mut()) {
+                f.update(st, &batch, row);
+            }
+        }
+        if spilled_bytes > 0 {
+            ctx.write(self.worker_nodes[ctx.worker], spilled_bytes);
+        }
+    }
+
+    fn finish(&self, ctx: &mut TaskContext<'_>) {
+        let mut parts: Vec<Vec<(SocketId, Vec<Entry>)>> =
+            (0..N_PARTITIONS).map(|_| Vec::new()).collect();
+        let mut bytes = 0;
+        for (wi, w) in self.workers.iter().enumerate() {
+            let mut w = w.lock();
+            bytes += Self::flush(&mut w);
+            let node = self.worker_nodes[wi];
+            for (p, entries) in w.spill.iter_mut().enumerate() {
+                if !entries.is_empty() {
+                    parts[p].push((node, std::mem::take(entries)));
+                }
+            }
+        }
+        ctx.write(ctx.socket, bytes);
+        *self.out.lock() = Some(Arc::new(AggPartitions { parts }));
+    }
+}
+
+/// Phase-2 job: aggregate partitions exclusively, emit result tuples.
+pub struct AggMergeJob {
+    input: Arc<AggPartitions>,
+    aggs: Vec<AggFn>,
+    /// Output schema: group columns then aggregate columns.
+    schema: Schema,
+    areas: Vec<Mutex<StorageArea>>,
+    out: AreaSlot,
+    result: Option<ResultSlot>,
+    /// Scalar (no GROUP BY) aggregation: an empty result is fixed up to
+    /// the SQL default row (count = 0, sum = 0, ...).
+    scalar_default: Option<Vec<AggFn>>,
+}
+
+impl AggMergeJob {
+    pub fn new(
+        input: Arc<AggPartitions>,
+        aggs: Vec<AggFn>,
+        schema: Schema,
+        worker_nodes: &[SocketId],
+        out: AreaSlot,
+        result: Option<ResultSlot>,
+    ) -> Self {
+        let types = schema.data_types();
+        AggMergeJob {
+            input,
+            aggs,
+            schema,
+            areas: worker_nodes.iter().map(|&n| Mutex::new(StorageArea::new(n, &types))).collect(),
+            out,
+            result,
+            scalar_default: None,
+        }
+    }
+
+    /// Configure the SQL scalar-aggregation default row (only meaningful
+    /// when there are no group columns).
+    pub fn with_scalar_default(mut self, scalar: bool, aggs: Vec<AggFn>) -> Self {
+        if scalar {
+            self.scalar_default = Some(aggs);
+        }
+        self
+    }
+
+    /// Chunk metadata for the dispatcher: one chunk per partition.
+    pub fn chunk_meta(input: &AggPartitions, sockets: u16) -> Vec<morsel_core::ChunkMeta> {
+        (0..N_PARTITIONS)
+            .map(|p| morsel_core::ChunkMeta {
+                node: SocketId((p % sockets as usize) as u16),
+                rows: input.partition_rows(p),
+            })
+            .collect()
+    }
+}
+
+impl PipelineJob for AggMergeJob {
+    fn run_morsel(&self, ctx: &mut TaskContext<'_>, morsel: Morsel) {
+        // One morsel = one whole partition (the dispatcher is configured
+        // with an unbounded morsel size for this job).
+        let p = morsel.chunk;
+        let fragments = &self.input.parts[p];
+        let mut table: FxHashMap<GroupKey, Vec<AccState>> = FxHashMap::default();
+        let mut entries = 0u64;
+        for (node, frag) in fragments {
+            let bytes: u64 = frag.iter().map(|(k, s)| entry_bytes(k, s)).sum();
+            ctx.read(*node, bytes);
+            entries += frag.len() as u64;
+            for (key, states) in frag {
+                match table.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        for (f, (a, b)) in
+                            self.aggs.iter().zip(o.get_mut().iter_mut().zip(states))
+                        {
+                            f.merge(a, b);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(states.clone());
+                    }
+                }
+            }
+        }
+        ctx.cpu(entries, weights::AGG_MERGE_NS * self.aggs.len() as f64);
+
+        // Emit: group key columns then aggregate columns, straight into
+        // the worker's local area.
+        let n_groups = table.len();
+        if n_groups == 0 {
+            return;
+        }
+        let types = self.schema.data_types();
+        let n_group_cols = types.len() - self.aggs.len();
+        let mut cols: Vec<Column> =
+            types.iter().map(|&t| Column::with_capacity(t, n_groups)).collect();
+        for (key, states) in &table {
+            if n_group_cols > 0 {
+                key.push_into(&mut cols[..n_group_cols]);
+            }
+            for ((f, st), col) in
+                self.aggs.iter().zip(states).zip(cols[n_group_cols..].iter_mut())
+            {
+                f.emit(st, col);
+            }
+        }
+        let batch = Batch::from_columns(cols);
+        let mut area = self.areas[ctx.worker].lock();
+        ctx.write(area.node(), batch.total_bytes());
+        area.data_mut().extend_from(&batch);
+    }
+
+    fn finish(&self, _ctx: &mut TaskContext<'_>) {
+        let areas: Vec<StorageArea> = self
+            .areas
+            .iter()
+            .map(|a| {
+                let mut guard = a.lock();
+                let node = guard.node();
+                std::mem::replace(&mut *guard, StorageArea::new(node, &[]))
+            })
+            .collect();
+        let mut set = AreaSet::new(self.schema.clone(), areas).prune_empty();
+        if set.total_rows() == 0 {
+            if let Some(aggs) = &self.scalar_default {
+                let types = self.schema.data_types();
+                let mut area = StorageArea::new(SocketId(0), &types);
+                area.data_mut().push_row(scalar_default_row(aggs));
+                set = AreaSet::new(self.schema.clone(), vec![area]);
+            }
+        }
+        if let Some(result) = &self.result {
+            *result.lock() = Some(set.gather());
+        }
+        *self.out.lock() = Some(Arc::new(set));
+    }
+}
+
+/// A scalar (no GROUP BY) aggregation always produces exactly one row,
+/// even over empty input. `ensure_scalar_row` fixes up the gathered result
+/// (SQL semantics: `select count(*) from empty` returns 0).
+pub fn scalar_default_row(aggs: &[AggFn]) -> Vec<morsel_storage::Value> {
+    aggs.iter()
+        .map(|f| match f {
+            AggFn::Count | AggFn::CountDistinctI64(_) => morsel_storage::Value::I64(0),
+            AggFn::SumI64(_) => morsel_storage::Value::I64(0),
+            AggFn::MinI64(_) => morsel_storage::Value::I64(i64::MAX),
+            AggFn::MaxI64(_) => morsel_storage::Value::I64(i64::MIN),
+            AggFn::SumF64(_) | AggFn::AvgI64(_) => morsel_storage::Value::F64(0.0),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morsel_core::{result_slot, ExecEnv};
+    use morsel_numa::Topology;
+    use crate::sink::area_slot;
+
+    fn env() -> ExecEnv {
+        ExecEnv::new(Topology::nehalem_ex())
+    }
+
+    /// Run both phases single-threaded over the given batches.
+    fn run_agg(
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFn>,
+        schema: Schema,
+        batches: Vec<Batch>,
+        capacity: usize,
+    ) -> Batch {
+        let env = env();
+        let nodes = env.worker_sockets(2);
+        let slot = agg_slot();
+        let sink = AggPartialSink::with_capacity(group_cols, aggs.clone(), &nodes, slot.clone(), capacity);
+        let mut ctx = TaskContext::new(&env, 0);
+        for b in batches {
+            sink.consume(&mut ctx, b);
+        }
+        sink.finish(&mut ctx);
+        let parts = slot.lock().take().unwrap();
+        let out = area_slot();
+        let result = result_slot();
+        let job = AggMergeJob::new(parts.clone(), aggs, schema, &nodes, out, Some(result.clone()));
+        for p in 0..N_PARTITIONS {
+            if parts.partition_rows(p) > 0 {
+                job.run_morsel(&mut ctx, Morsel { chunk: p, range: 0..parts.partition_rows(p) });
+            }
+        }
+        job.finish(&mut ctx);
+        let batch = result.lock().take().unwrap();
+        batch
+    }
+
+    fn sorted_by_key(b: &Batch) -> Vec<Vec<morsel_storage::Value>> {
+        let mut rows: Vec<Vec<morsel_storage::Value>> = (0..b.rows()).map(|i| b.row(i)).collect();
+        rows.sort_by_key(|r| r[0].as_i64());
+        rows
+    }
+
+    #[test]
+    fn grouped_sum_count_min_max_avg() {
+        let batch = Batch::from_columns(vec![
+            Column::I64(vec![1, 2, 1, 2, 1]),
+            Column::I64(vec![10, 20, 30, 40, 50]),
+        ]);
+        let schema = Schema::new(vec![
+            ("g", DataType::I64),
+            ("cnt", DataType::I64),
+            ("sum", DataType::I64),
+            ("min", DataType::I64),
+            ("max", DataType::I64),
+            ("avg", DataType::F64),
+        ]);
+        let out = run_agg(
+            vec![0],
+            vec![
+                AggFn::Count,
+                AggFn::SumI64(1),
+                AggFn::MinI64(1),
+                AggFn::MaxI64(1),
+                AggFn::AvgI64(1),
+            ],
+            schema,
+            vec![batch],
+            PREAGG_CAPACITY,
+        );
+        let rows = sorted_by_key(&out);
+        assert_eq!(rows.len(), 2);
+        use morsel_storage::Value as V;
+        assert_eq!(rows[0], vec![V::I64(1), V::I64(3), V::I64(90), V::I64(10), V::I64(50), V::F64(30.0)]);
+        assert_eq!(rows[1], vec![V::I64(2), V::I64(2), V::I64(60), V::I64(20), V::I64(40), V::F64(30.0)]);
+    }
+
+    #[test]
+    fn spilling_matches_in_cache_results() {
+        // Many distinct groups with a tiny pre-agg capacity: the result
+        // must be identical to the roomy-capacity run.
+        let n = 10_000i64;
+        let batch = Batch::from_columns(vec![
+            Column::I64((0..n).map(|x| x % 1000).collect()),
+            Column::I64((0..n).collect()),
+        ]);
+        let schema = Schema::new(vec![("g", DataType::I64), ("sum", DataType::I64)]);
+        let roomy = run_agg(
+            vec![0],
+            vec![AggFn::SumI64(1)],
+            schema.clone(),
+            vec![batch.clone()],
+            PREAGG_CAPACITY,
+        );
+        let tiny = run_agg(vec![0], vec![AggFn::SumI64(1)], schema, vec![batch], 16);
+        assert_eq!(sorted_by_key(&roomy), sorted_by_key(&tiny));
+        assert_eq!(roomy.rows(), 1000);
+    }
+
+    #[test]
+    fn scalar_aggregation_single_group() {
+        let batch = Batch::from_columns(vec![Column::I64(vec![5, 7, 9])]);
+        let schema = Schema::new(vec![("cnt", DataType::I64), ("sum", DataType::I64)]);
+        let out = run_agg(
+            vec![],
+            vec![AggFn::Count, AggFn::SumI64(0)],
+            schema,
+            vec![batch],
+            PREAGG_CAPACITY,
+        );
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0), vec![morsel_storage::Value::I64(3), morsel_storage::Value::I64(21)]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let batch = Batch::from_columns(vec![
+            Column::I64(vec![1, 1, 1, 2]),
+            Column::I64(vec![7, 7, 8, 9]),
+        ]);
+        let schema = Schema::new(vec![("g", DataType::I64), ("d", DataType::I64)]);
+        let out = run_agg(
+            vec![0],
+            vec![AggFn::CountDistinctI64(1)],
+            schema,
+            vec![batch],
+            2, // force spills to also exercise distinct-set merging
+        );
+        let rows = sorted_by_key(&out);
+        assert_eq!(rows[0][1].as_i64(), 2); // group 1: {7, 8}
+        assert_eq!(rows[1][1].as_i64(), 1); // group 2: {9}
+    }
+
+    #[test]
+    fn string_group_keys() {
+        let batch = Batch::from_columns(vec![
+            Column::Str(vec!["x".into(), "y".into(), "x".into()]),
+            Column::I64(vec![1, 2, 3]),
+        ]);
+        let schema = Schema::new(vec![("g", DataType::Str), ("sum", DataType::I64)]);
+        let out = run_agg(vec![0], vec![AggFn::SumI64(1)], schema, vec![batch], PREAGG_CAPACITY);
+        let mut rows: Vec<(String, i64)> = (0..out.rows())
+            .map(|i| (out.column(0).as_str()[i].clone(), out.column(1).as_i64()[i]))
+            .collect();
+        rows.sort();
+        assert_eq!(rows, vec![("x".into(), 4), ("y".into(), 2)]);
+    }
+
+    #[test]
+    fn empty_input_produces_no_groups() {
+        let schema = Schema::new(vec![("g", DataType::I64), ("sum", DataType::I64)]);
+        let out = run_agg(vec![0], vec![AggFn::SumI64(1)], schema, vec![], PREAGG_CAPACITY);
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn scalar_default_row_values() {
+        let row = scalar_default_row(&[AggFn::Count, AggFn::SumF64(0)]);
+        assert_eq!(row[0], morsel_storage::Value::I64(0));
+        assert_eq!(row[1], morsel_storage::Value::F64(0.0));
+    }
+
+    #[test]
+    fn partition_routing_is_stable() {
+        let k = GroupKey::I64(42);
+        assert_eq!(partition_of(&k), partition_of(&GroupKey::I64(42)));
+        assert!(partition_of(&k) < N_PARTITIONS);
+    }
+}

@@ -1,0 +1,816 @@
+//! Vectorized scalar expressions.
+//!
+//! Expressions are evaluated batch-at-a-time over column slices. HyPer
+//! JIT-compiles pipelines; we rely on monomorphised vectorized kernels
+//! instead (see DESIGN.md §2 — the framework is agnostic to this choice).
+//!
+//! Decimals are fixed-point `i64`; expressions operate on raw integers and
+//! plans scale explicitly (e.g. `price * (100 - disc) / 100`), exactly as a
+//! fixed-point engine would generate.
+
+use morsel_storage::{Batch, Column, DataType};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn holds<T: PartialOrd>(self, a: &T, b: &T) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Input column by index.
+    Col(usize),
+    ConstI64(i64),
+    ConstF64(f64),
+    ConstStr(String),
+    /// Integer arithmetic (used for fixed-point decimals too).
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    /// Integer division (plans use it to rescale fixed-point products).
+    Div(Box<Expr>, Box<Expr>),
+    /// Cast an integer expression to f64 (for averages).
+    ToF64(Box<Expr>),
+    /// Comparison of two expressions of the same type family.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `a AND b`, `a OR b`, `NOT a` on boolean expressions.
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// `col BETWEEN lo AND hi` on integers (dates, decimals).
+    BetweenI64(Box<Expr>, i64, i64),
+    /// Integer membership test (e.g. `l_shipmode IN (...)` on dictionary
+    /// codes, `nation IN (...)`).
+    InI64(Box<Expr>, Vec<i64>),
+    /// String membership test.
+    InStr(Box<Expr>, Vec<String>),
+    /// SQL LIKE with `%` wildcards only (TPC-H never needs `_`).
+    Like(Box<Expr>, LikePattern),
+    /// `substring(s, 1, n) = prefix`-style prefix test.
+    StrPrefix(Box<Expr>, String),
+    /// If-then-else on a boolean condition (Q8, Q12 style conditional
+    /// aggregation inputs).
+    Case(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Calendar year of a day-number date expression (Q7/Q8/Q9).
+    YearOf(Box<Expr>),
+    /// `substring(s, from, len)` with 1-based `from` (Q22's country code).
+    Substr(Box<Expr>, usize, usize),
+}
+
+/// A pre-parsed LIKE pattern: literal segments separated by `%`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikePattern {
+    segments: Vec<String>,
+    starts_anchored: bool,
+    ends_anchored: bool,
+}
+
+impl LikePattern {
+    /// Parse a pattern containing only `%` wildcards.
+    pub fn parse(pattern: &str) -> Self {
+        let starts_anchored = !pattern.starts_with('%');
+        let ends_anchored = !pattern.ends_with('%');
+        let segments: Vec<String> =
+            pattern.split('%').filter(|s| !s.is_empty()).map(str::to_owned).collect();
+        LikePattern { segments, starts_anchored, ends_anchored }
+    }
+
+    /// Match semantics of SQL LIKE restricted to `%`.
+    pub fn matches(&self, s: &str) -> bool {
+        let segs = &self.segments;
+        if segs.is_empty() {
+            // Pattern was "" (both anchored) or all-wildcards like "%".
+            return !(self.starts_anchored && self.ends_anchored) || s.is_empty();
+        }
+        let mut rest = s;
+        let mut idx = 0;
+        if self.starts_anchored {
+            match rest.strip_prefix(segs[0].as_str()) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+            idx = 1;
+        }
+        if self.ends_anchored {
+            if self.starts_anchored && segs.len() == 1 {
+                // Exact pattern: the single segment must be the whole string.
+                return rest.is_empty();
+            }
+            // Match all but the last segment greedily leftmost, then the
+            // last one as a non-overlapping suffix.
+            let end_idx = segs.len() - 1;
+            while idx < end_idx {
+                match rest.find(segs[idx].as_str()) {
+                    Some(p) => rest = &rest[p + segs[idx].len()..],
+                    None => return false,
+                }
+                idx += 1;
+            }
+            let last = &segs[end_idx];
+            rest.len() >= last.len() && rest.ends_with(last.as_str())
+        } else {
+            while idx < segs.len() {
+                match rest.find(segs[idx].as_str()) {
+                    Some(p) => rest = &rest[p + segs[idx].len()..],
+                    None => return false,
+                }
+                idx += 1;
+            }
+            true
+        }
+    }
+}
+
+/// Result of evaluating an expression over `n` rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Vector {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Str(Vec<String>),
+    Bool(Vec<bool>),
+}
+
+impl Vector {
+    pub fn len(&self) -> usize {
+        match self {
+            Vector::I64(v) => v.len(),
+            Vector::F64(v) => v.len(),
+            Vector::Str(v) => v.len(),
+            Vector::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_bool(&self) -> &[bool] {
+        match self {
+            Vector::Bool(v) => v,
+            other => panic!("expected boolean vector, got {other:?}"),
+        }
+    }
+
+    pub fn as_i64(&self) -> &[i64] {
+        match self {
+            Vector::I64(v) => v,
+            other => panic!("expected i64 vector, got {other:?}"),
+        }
+    }
+
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Vector::F64(v) => v,
+            other => panic!("expected f64 vector, got {other:?}"),
+        }
+    }
+
+    /// Convert into a storage column (booleans become 0/1 integers).
+    pub fn into_column(self) -> Column {
+        match self {
+            Vector::I64(v) => Column::I64(v),
+            Vector::F64(v) => Column::F64(v),
+            Vector::Str(v) => Column::Str(v),
+            Vector::Bool(v) => Column::I64(v.into_iter().map(i64::from).collect()),
+        }
+    }
+}
+
+impl Expr {
+    /// Number of nodes in the expression tree — used as a CPU cost proxy.
+    pub fn weight(&self) -> u32 {
+        match self {
+            Expr::Col(_) | Expr::ConstI64(_) | Expr::ConstF64(_) | Expr::ConstStr(_) => 1,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => 1 + a.weight() + b.weight(),
+            Expr::Not(a) | Expr::ToF64(a) => 1 + a.weight(),
+            Expr::BetweenI64(a, _, _) => 2 + a.weight(),
+            Expr::InI64(a, l) => 1 + a.weight() + l.len() as u32 / 2,
+            Expr::InStr(a, l) => 2 + a.weight() + l.len() as u32,
+            Expr::Like(a, _) => 4 + a.weight(),
+            Expr::StrPrefix(a, _) => 2 + a.weight(),
+            Expr::Case(c, t, e) => 1 + c.weight() + t.weight() + e.weight(),
+            Expr::YearOf(a) => 3 + a.weight(),
+            Expr::Substr(a, _, _) => 2 + a.weight(),
+        }
+    }
+
+    /// Evaluate over the rows `rows` of `batch`'s columns.
+    pub fn eval(&self, batch: &Batch, rows: std::ops::Range<usize>) -> Vector {
+        let n = rows.len();
+        match self {
+            Expr::Col(i) => match batch.column(*i) {
+                Column::I64(v) => Vector::I64(v[rows].to_vec()),
+                Column::I32(v) => Vector::I64(v[rows].iter().map(|&x| i64::from(x)).collect()),
+                Column::F64(v) => Vector::F64(v[rows].to_vec()),
+                Column::Str(v) => Vector::Str(v[rows].to_vec()),
+            },
+            Expr::ConstI64(c) => Vector::I64(vec![*c; n]),
+            Expr::ConstF64(c) => Vector::F64(vec![*c; n]),
+            Expr::ConstStr(c) => Vector::Str(vec![c.clone(); n]),
+            Expr::Add(a, b) => Self::arith(a, b, batch, rows, |x, y| x + y, |x, y| x + y),
+            Expr::Sub(a, b) => Self::arith(a, b, batch, rows, |x, y| x - y, |x, y| x - y),
+            Expr::Mul(a, b) => Self::arith(a, b, batch, rows, |x, y| x * y, |x, y| x * y),
+            Expr::Div(a, b) => Self::arith(
+                a,
+                b,
+                batch,
+                rows,
+                |x, y| if y == 0 { 0 } else { x / y },
+                |x, y| x / y,
+            ),
+            Expr::ToF64(a) => {
+                let v = a.eval(batch, rows);
+                match v {
+                    Vector::I64(v) => Vector::F64(v.into_iter().map(|x| x as f64).collect()),
+                    f @ Vector::F64(_) => f,
+                    other => panic!("ToF64 on non-numeric {other:?}"),
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                let va = a.eval(batch, rows.clone());
+                let vb = b.eval(batch, rows);
+                let out = match (&va, &vb) {
+                    (Vector::I64(x), Vector::I64(y)) => {
+                        x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
+                    }
+                    (Vector::F64(x), Vector::F64(y)) => {
+                        x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
+                    }
+                    (Vector::I64(x), Vector::F64(y)) => {
+                        x.iter().zip(y).map(|(a, b)| op.holds(&(*a as f64), b)).collect()
+                    }
+                    (Vector::F64(x), Vector::I64(y)) => {
+                        x.iter().zip(y).map(|(a, b)| op.holds(a, &(*b as f64))).collect()
+                    }
+                    (Vector::Str(x), Vector::Str(y)) => {
+                        x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
+                    }
+                    _ => panic!("incomparable operand types in {self:?}"),
+                };
+                Vector::Bool(out)
+            }
+            Expr::And(a, b) => {
+                let va = a.eval(batch, rows.clone());
+                let vb = b.eval(batch, rows);
+                Vector::Bool(
+                    va.as_bool().iter().zip(vb.as_bool()).map(|(&x, &y)| x && y).collect(),
+                )
+            }
+            Expr::Or(a, b) => {
+                let va = a.eval(batch, rows.clone());
+                let vb = b.eval(batch, rows);
+                Vector::Bool(
+                    va.as_bool().iter().zip(vb.as_bool()).map(|(&x, &y)| x || y).collect(),
+                )
+            }
+            Expr::Not(a) => {
+                let v = a.eval(batch, rows);
+                Vector::Bool(v.as_bool().iter().map(|&x| !x).collect())
+            }
+            Expr::BetweenI64(a, lo, hi) => {
+                let v = a.eval(batch, rows);
+                Vector::Bool(v.as_i64().iter().map(|x| x >= lo && x <= hi).collect())
+            }
+            Expr::InI64(a, list) => {
+                let v = a.eval(batch, rows);
+                Vector::Bool(v.as_i64().iter().map(|x| list.contains(x)).collect())
+            }
+            Expr::InStr(a, list) => {
+                let v = a.eval(batch, rows);
+                match v {
+                    Vector::Str(vs) => Vector::Bool(
+                        vs.iter().map(|s| list.iter().any(|l| l == s)).collect(),
+                    ),
+                    other => panic!("InStr over non-string {other:?}"),
+                }
+            }
+            Expr::Like(a, pat) => {
+                let v = a.eval(batch, rows);
+                match v {
+                    Vector::Str(vs) => {
+                        Vector::Bool(vs.iter().map(|s| pat.matches(s)).collect())
+                    }
+                    other => panic!("Like over non-string {other:?}"),
+                }
+            }
+            Expr::StrPrefix(a, prefix) => {
+                let v = a.eval(batch, rows);
+                match v {
+                    Vector::Str(vs) => Vector::Bool(
+                        vs.iter().map(|s| s.starts_with(prefix.as_str())).collect(),
+                    ),
+                    other => panic!("StrPrefix over non-string {other:?}"),
+                }
+            }
+            Expr::Case(c, t, e) => {
+                let vc = c.eval(batch, rows.clone());
+                let vt = t.eval(batch, rows.clone());
+                let ve = e.eval(batch, rows);
+                match (vt, ve) {
+                    (Vector::I64(t), Vector::I64(e)) => Vector::I64(
+                        vc.as_bool()
+                            .iter()
+                            .zip(t.into_iter().zip(e))
+                            .map(|(&c, (t, e))| if c { t } else { e })
+                            .collect(),
+                    ),
+                    (Vector::F64(t), Vector::F64(e)) => Vector::F64(
+                        vc.as_bool()
+                            .iter()
+                            .zip(t.into_iter().zip(e))
+                            .map(|(&c, (t, e))| if c { t } else { e })
+                            .collect(),
+                    ),
+                    other => panic!("Case branches of mismatched types {other:?}"),
+                }
+            }
+            Expr::YearOf(a) => {
+                let v = a.eval(batch, rows);
+                Vector::I64(
+                    v.as_i64()
+                        .iter()
+                        .map(|&d| {
+                            let (y, _, _) = morsel_storage::date_parts(d as i32);
+                            i64::from(y)
+                        })
+                        .collect(),
+                )
+            }
+            Expr::Substr(a, from, len) => {
+                let v = a.eval(batch, rows);
+                match v {
+                    Vector::Str(vs) => Vector::Str(
+                        vs.iter()
+                            .map(|s| {
+                                s.chars().skip(from.saturating_sub(1)).take(*len).collect()
+                            })
+                            .collect(),
+                    ),
+                    other => panic!("Substr over non-string {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn arith(
+        a: &Expr,
+        b: &Expr,
+        batch: &Batch,
+        rows: std::ops::Range<usize>,
+        fi: impl Fn(i64, i64) -> i64,
+        ff: impl Fn(f64, f64) -> f64,
+    ) -> Vector {
+        let va = a.eval(batch, rows.clone());
+        let vb = b.eval(batch, rows);
+        match (va, vb) {
+            (Vector::I64(x), Vector::I64(y)) => {
+                Vector::I64(x.into_iter().zip(y).map(|(a, b)| fi(a, b)).collect())
+            }
+            (Vector::F64(x), Vector::F64(y)) => {
+                Vector::F64(x.into_iter().zip(y).map(|(a, b)| ff(a, b)).collect())
+            }
+            (Vector::I64(x), Vector::F64(y)) => {
+                Vector::F64(x.into_iter().zip(y).map(|(a, b)| ff(a as f64, b)).collect())
+            }
+            (Vector::F64(x), Vector::I64(y)) => {
+                Vector::F64(x.into_iter().zip(y).map(|(a, b)| ff(a, b as f64)).collect())
+            }
+            other => panic!("arithmetic over non-numeric operands {other:?}"),
+        }
+    }
+
+    /// Evaluate as a filter: absolute row indexes within `rows` where the
+    /// predicate holds.
+    pub fn eval_filter(&self, batch: &Batch, rows: std::ops::Range<usize>) -> Vec<u32> {
+        let base = rows.start as u32;
+        let v = self.eval(batch, rows);
+        v.as_bool()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(base + i as u32))
+            .collect()
+    }
+
+    /// Source column indexes referenced by this expression (deduplicated,
+    /// sorted).
+    pub fn referenced_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::ConstI64(_) | Expr::ConstF64(_) | Expr::ConstStr(_) => {}
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.referenced_cols(out);
+                b.referenced_cols(out);
+            }
+            Expr::Not(a)
+            | Expr::ToF64(a)
+            | Expr::BetweenI64(a, _, _)
+            | Expr::InI64(a, _)
+            | Expr::InStr(a, _)
+            | Expr::Like(a, _)
+            | Expr::StrPrefix(a, _)
+            | Expr::YearOf(a)
+            | Expr::Substr(a, _, _) => a.referenced_cols(out),
+            Expr::Case(c, t, e) => {
+                c.referenced_cols(out);
+                t.referenced_cols(out);
+                e.referenced_cols(out);
+            }
+        }
+    }
+
+    /// Rewrite column references through `map` (`map[old] = Some(new)`).
+    ///
+    /// # Panics
+    /// Panics if a referenced column has no mapping.
+    pub fn remap(&self, map: &[Option<usize>]) -> Expr {
+        let bx = |e: &Expr| Box::new(e.remap(map));
+        match self {
+            Expr::Col(i) => Expr::Col(
+                map[*i].unwrap_or_else(|| panic!("column {i} not available after remap")),
+            ),
+            Expr::ConstI64(c) => Expr::ConstI64(*c),
+            Expr::ConstF64(c) => Expr::ConstF64(*c),
+            Expr::ConstStr(c) => Expr::ConstStr(c.clone()),
+            Expr::Add(a, b) => Expr::Add(bx(a), bx(b)),
+            Expr::Sub(a, b) => Expr::Sub(bx(a), bx(b)),
+            Expr::Mul(a, b) => Expr::Mul(bx(a), bx(b)),
+            Expr::Div(a, b) => Expr::Div(bx(a), bx(b)),
+            Expr::ToF64(a) => Expr::ToF64(bx(a)),
+            Expr::Cmp(op, a, b) => Expr::Cmp(*op, bx(a), bx(b)),
+            Expr::And(a, b) => Expr::And(bx(a), bx(b)),
+            Expr::Or(a, b) => Expr::Or(bx(a), bx(b)),
+            Expr::Not(a) => Expr::Not(bx(a)),
+            Expr::BetweenI64(a, lo, hi) => Expr::BetweenI64(bx(a), *lo, *hi),
+            Expr::InI64(a, l) => Expr::InI64(bx(a), l.clone()),
+            Expr::InStr(a, l) => Expr::InStr(bx(a), l.clone()),
+            Expr::Like(a, p) => Expr::Like(bx(a), p.clone()),
+            Expr::StrPrefix(a, p) => Expr::StrPrefix(bx(a), p.clone()),
+            Expr::Case(c, t, e) => Expr::Case(bx(c), bx(t), bx(e)),
+            Expr::YearOf(a) => Expr::YearOf(bx(a)),
+            Expr::Substr(a, f, l) => Expr::Substr(bx(a), *f, *l),
+        }
+    }
+
+    /// Result type of this expression given input types.
+    pub fn result_type(&self, input: &[DataType]) -> DataType {
+        match self {
+            Expr::Col(i) => match input[*i] {
+                DataType::I32 => DataType::I64, // widened at eval
+                t => t,
+            },
+            Expr::ConstI64(_) => DataType::I64,
+            Expr::ConstF64(_) => DataType::F64,
+            Expr::ConstStr(_) => DataType::Str,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                let (ta, tb) = (a.result_type(input), b.result_type(input));
+                if ta == DataType::F64 || tb == DataType::F64 {
+                    DataType::F64
+                } else {
+                    DataType::I64
+                }
+            }
+            Expr::ToF64(_) => DataType::F64,
+            Expr::Cmp(..)
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(_)
+            | Expr::BetweenI64(..)
+            | Expr::InI64(..)
+            | Expr::InStr(..)
+            | Expr::Like(..)
+            | Expr::StrPrefix(..) => DataType::I64, // booleans surface as 0/1
+            Expr::Case(_, t, _) => t.result_type(input),
+            Expr::YearOf(_) => DataType::I64,
+            Expr::Substr(..) => DataType::Str,
+        }
+    }
+}
+
+// ---- convenience constructors ------------------------------------------
+
+pub fn col(i: usize) -> Expr {
+    Expr::Col(i)
+}
+
+pub fn lit(v: i64) -> Expr {
+    Expr::ConstI64(v)
+}
+
+pub fn litf(v: f64) -> Expr {
+    Expr::ConstF64(v)
+}
+
+pub fn lits(v: &str) -> Expr {
+    Expr::ConstStr(v.to_owned())
+}
+
+pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(op, Box::new(a), Box::new(b))
+}
+
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    cmp(CmpOp::Eq, a, b)
+}
+
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    cmp(CmpOp::Lt, a, b)
+}
+
+pub fn le(a: Expr, b: Expr) -> Expr {
+    cmp(CmpOp::Le, a, b)
+}
+
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    cmp(CmpOp::Gt, a, b)
+}
+
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    cmp(CmpOp::Ge, a, b)
+}
+
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    cmp(CmpOp::Ne, a, b)
+}
+
+pub fn and(a: Expr, b: Expr) -> Expr {
+    Expr::And(Box::new(a), Box::new(b))
+}
+
+pub fn or(a: Expr, b: Expr) -> Expr {
+    Expr::Or(Box::new(a), Box::new(b))
+}
+
+pub fn not(a: Expr) -> Expr {
+    Expr::Not(Box::new(a))
+}
+
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Sub(Box::new(a), Box::new(b))
+}
+
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Mul(Box::new(a), Box::new(b))
+}
+
+pub fn div(a: Expr, b: Expr) -> Expr {
+    Expr::Div(Box::new(a), Box::new(b))
+}
+
+pub fn between(a: Expr, lo: i64, hi: i64) -> Expr {
+    Expr::BetweenI64(Box::new(a), lo, hi)
+}
+
+pub fn in_i64(a: Expr, list: Vec<i64>) -> Expr {
+    Expr::InI64(Box::new(a), list)
+}
+
+pub fn in_str(a: Expr, list: &[&str]) -> Expr {
+    Expr::InStr(Box::new(a), list.iter().map(|s| (*s).to_owned()).collect())
+}
+
+pub fn like(a: Expr, pattern: &str) -> Expr {
+    Expr::Like(Box::new(a), LikePattern::parse(pattern))
+}
+
+pub fn prefix(a: Expr, p: &str) -> Expr {
+    Expr::StrPrefix(Box::new(a), p.to_owned())
+}
+
+pub fn case(c: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::Case(Box::new(c), Box::new(t), Box::new(e))
+}
+
+pub fn to_f64(a: Expr) -> Expr {
+    Expr::ToF64(Box::new(a))
+}
+
+pub fn year_of(a: Expr) -> Expr {
+    Expr::YearOf(Box::new(a))
+}
+
+pub fn substr(a: Expr, from: usize, len: usize) -> Expr {
+    Expr::Substr(Box::new(a), from, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::from_columns(vec![
+            Column::I64(vec![1, 2, 3, 4, 5]),
+            Column::F64(vec![1.0, 0.5, 2.0, 0.25, 1.5]),
+            Column::Str(vec![
+                "apple".into(),
+                "banana".into(),
+                "cherry".into(),
+                "date".into(),
+                "grape".into(),
+            ]),
+            Column::I32(vec![10, 20, 30, 40, 50]),
+        ])
+    }
+
+    #[test]
+    fn column_and_const() {
+        let b = batch();
+        assert_eq!(col(0).eval(&b, 1..4), Vector::I64(vec![2, 3, 4]));
+        assert_eq!(lit(7).eval(&b, 0..2), Vector::I64(vec![7, 7]));
+        // I32 widens to I64.
+        assert_eq!(col(3).eval(&b, 0..2), Vector::I64(vec![10, 20]));
+    }
+
+    #[test]
+    fn arithmetic_fixed_point_discount() {
+        // price * (100 - disc) / 100 on cents.
+        let b = Batch::from_columns(vec![
+            Column::I64(vec![10_000, 20_000]), // 100.00, 200.00
+            Column::I64(vec![10, 5]),          // 10%, 5%
+        ]);
+        let e = div(mul(col(0), sub(lit(100), col(1))), lit(100));
+        assert_eq!(e.eval(&b, 0..2), Vector::I64(vec![9_000, 19_000]));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let b = Batch::from_columns(vec![Column::I64(vec![10])]);
+        assert_eq!(div(col(0), lit(0)).eval(&b, 0..1), Vector::I64(vec![0]));
+    }
+
+    #[test]
+    fn mixed_numeric_promotes_to_f64() {
+        let b = batch();
+        let v = add(col(0), col(1)).eval(&b, 0..2);
+        assert_eq!(v, Vector::F64(vec![2.0, 2.5]));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let b = batch();
+        let e = and(gt(col(0), lit(1)), lt(col(0), lit(5)));
+        assert_eq!(e.eval(&b, 0..5).as_bool(), &[false, true, true, true, false]);
+        let e2 = or(eq(col(0), lit(1)), eq(col(0), lit(5)));
+        assert_eq!(e2.eval(&b, 0..5).as_bool(), &[true, false, false, false, true]);
+        let e3 = not(le(col(0), lit(3)));
+        assert_eq!(e3.eval(&b, 0..5).as_bool(), &[false, false, false, true, true]);
+        let e4 = ne(col(0), lit(3));
+        assert_eq!(e4.eval(&b, 0..5).as_bool(), &[true, true, false, true, true]);
+    }
+
+    #[test]
+    fn between_and_in() {
+        let b = batch();
+        assert_eq!(between(col(0), 2, 4).eval(&b, 0..5).as_bool(), &[false, true, true, true, false]);
+        assert_eq!(
+            in_i64(col(0), vec![1, 4]).eval(&b, 0..5).as_bool(),
+            &[true, false, false, true, false]
+        );
+        assert_eq!(
+            in_str(col(2), &["banana", "date"]).eval(&b, 0..5).as_bool(),
+            &[false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn string_predicates() {
+        let b = batch();
+        assert_eq!(
+            like(col(2), "%an%").eval(&b, 0..5).as_bool(),
+            &[false, true, false, false, false]
+        );
+        assert_eq!(
+            prefix(col(2), "da").eval(&b, 0..5).as_bool(),
+            &[false, false, false, true, false]
+        );
+        assert_eq!(
+            eq(col(2), lits("cherry")).eval(&b, 0..5).as_bool(),
+            &[false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn like_pattern_semantics() {
+        let p = LikePattern::parse("%special%requests%");
+        assert!(p.matches("the special customer requests"));
+        assert!(!p.matches("special only"));
+        let anchored = LikePattern::parse("PROMO%");
+        assert!(anchored.matches("PROMO BURNISHED"));
+        assert!(!anchored.matches("X PROMO"));
+        let suffix = LikePattern::parse("%BRASS");
+        assert!(suffix.matches("SMALL BRASS"));
+        assert!(!suffix.matches("BRASS PLATED"));
+        let exact = LikePattern::parse("abc");
+        assert!(exact.matches("abc"));
+        assert!(!exact.matches("abcd"));
+        // Non-overlap: 'ab' must not match 'abab'.
+        assert!(!LikePattern::parse("ab").matches("abab"));
+        // Anchored prefix+suffix: 'a%a' needs two distinct 'a's.
+        let p = LikePattern::parse("a%a");
+        assert!(p.matches("aa"));
+        assert!(p.matches("aba"));
+        assert!(!p.matches("a"));
+        assert!(!p.matches("ab"));
+        // All-wildcard patterns.
+        assert!(LikePattern::parse("%").matches("anything"));
+        assert!(LikePattern::parse("%").matches(""));
+        assert!(LikePattern::parse("").matches(""));
+        assert!(!LikePattern::parse("").matches("x"));
+    }
+
+    #[test]
+    fn case_expression() {
+        let b = batch();
+        let e = case(gt(col(0), lit(3)), lit(1), lit(0));
+        assert_eq!(e.eval(&b, 0..5), Vector::I64(vec![0, 0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn filter_returns_absolute_indexes() {
+        let b = batch();
+        let sel = gt(col(0), lit(2)).eval_filter(&b, 1..5);
+        assert_eq!(sel, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn to_f64_cast() {
+        let b = batch();
+        assert_eq!(to_f64(col(0)).eval(&b, 0..2), Vector::F64(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn result_types() {
+        let types = [DataType::I64, DataType::F64, DataType::Str, DataType::I32];
+        assert_eq!(col(3).result_type(&types), DataType::I64);
+        assert_eq!(add(col(0), col(1)).result_type(&types), DataType::F64);
+        assert_eq!(eq(col(0), lit(1)).result_type(&types), DataType::I64);
+        assert_eq!(case(eq(col(0), lit(1)), litf(1.0), litf(0.0)).result_type(&types), DataType::F64);
+    }
+
+    #[test]
+    fn weight_grows_with_complexity() {
+        assert!(and(gt(col(0), lit(1)), lt(col(0), lit(5))).weight() > gt(col(0), lit(1)).weight());
+    }
+
+    #[test]
+    fn year_of_dates() {
+        let b = Batch::from_columns(vec![Column::I32(vec![
+            morsel_storage::date(1995, 3, 15),
+            morsel_storage::date(1998, 12, 31),
+        ])]);
+        assert_eq!(year_of(col(0)).eval(&b, 0..2), Vector::I64(vec![1995, 1998]));
+        assert_eq!(year_of(col(0)).result_type(&[DataType::I32]), DataType::I64);
+    }
+
+    #[test]
+    fn substr_one_based() {
+        let b = Batch::from_columns(vec![Column::Str(vec!["13-555".into(), "x".into()])]);
+        let v = substr(col(0), 1, 2).eval(&b, 0..2);
+        assert_eq!(v, Vector::Str(vec!["13".into(), "x".into()]));
+        assert_eq!(substr(col(0), 1, 2).result_type(&[DataType::Str]), DataType::Str);
+    }
+
+    #[test]
+    fn bool_vector_into_column() {
+        let v = Vector::Bool(vec![true, false, true]);
+        assert_eq!(v.into_column().as_i64(), &[1, 0, 1]);
+    }
+}

@@ -1,0 +1,486 @@
+//! Parallel hash join (paper Section 4.1).
+//!
+//! The build side runs as two pipelines: (1) materialize filtered build
+//! tuples into per-worker NUMA-local storage areas (no synchronization),
+//! then (2) insert pointers to those tuples into a perfectly sized global
+//! [`TaggedHashTable`] with lock-free CAS (Figure 3's two phases). The
+//! probe side is fully pipelined: a [`ProbeOp`] inside the probe pipeline
+//! probes the shared table morsel-wise.
+
+use std::sync::{Arc, OnceLock};
+
+use morsel_core::{Morsel, PipelineJob, TaskContext};
+use morsel_storage::{AreaSet, Batch, Column, DataType};
+
+use crate::ht::TaggedHashTable;
+use crate::key::{hash_row, rows_equal};
+use crate::pipeline::PipeOp;
+use crate::weights;
+
+/// A completed build side: hash table + the tuples it points into.
+pub struct JoinTable {
+    pub ht: Arc<TaggedHashTable>,
+    pub build: Arc<AreaSet>,
+    pub key_cols: Vec<usize>,
+}
+
+/// Slot through which the probe pipeline receives the build result.
+pub type JoinSlot = Arc<OnceLock<Arc<JoinTable>>>;
+
+/// Create an empty join slot.
+pub fn join_slot() -> JoinSlot {
+    Arc::new(OnceLock::new())
+}
+
+/// Pipeline job for the second build phase: scan the build storage areas
+/// morsel-wise and CAS pointers into the global hash table.
+pub struct HtInsertJob {
+    ht: Arc<TaggedHashTable>,
+    build: Arc<AreaSet>,
+    key_cols: Vec<usize>,
+    /// Entry index base per area.
+    bases: Vec<usize>,
+    out: JoinSlot,
+}
+
+impl HtInsertJob {
+    /// Allocate the perfectly-sized table for the materialized build side
+    /// and prepare the insert job. `sockets` controls the simulated
+    /// interleaving of the table.
+    pub fn new(build: Arc<AreaSet>, key_cols: Vec<usize>, sockets: u16, out: JoinSlot) -> Self {
+        Self::with_tagging(build, key_cols, sockets, out, true)
+    }
+
+    pub fn with_tagging(
+        build: Arc<AreaSet>,
+        key_cols: Vec<usize>,
+        sockets: u16,
+        out: JoinSlot,
+        tagging: bool,
+    ) -> Self {
+        let rows: Vec<usize> = build.areas().iter().map(|a| a.rows()).collect();
+        let ht = Arc::new(TaggedHashTable::with_tagging(&rows, sockets, tagging));
+        let mut bases = Vec::with_capacity(rows.len());
+        let mut acc = 0;
+        for r in &rows {
+            bases.push(acc);
+            acc += r;
+        }
+        HtInsertJob { ht, build, key_cols, bases, out }
+    }
+}
+
+impl PipelineJob for HtInsertJob {
+    fn run_morsel(&self, ctx: &mut TaskContext<'_>, morsel: Morsel) {
+        let area = self.build.area(morsel.chunk);
+        let batch = area.data();
+        let base = self.bases[morsel.chunk];
+        let rows = morsel.range.len() as u64;
+
+        // Stream the key columns from the area's node.
+        let mut key_bytes = 0;
+        for &c in &self.key_cols {
+            key_bytes += batch.column(c).byte_size(morsel.range.start, morsel.range.end);
+        }
+        ctx.read(area.node(), key_bytes);
+        // Inserts touch a random interleaved directory word, but unlike
+        // probe loads they are not *dependent* accesses: the CAS result is
+        // not needed before the next tuple, so the store buffer and
+        // out-of-order execution hide most of the miss latency (this is
+        // why the paper's lock-free build scales). Charge a quarter of the
+        // misses as unhidden.
+        ctx.random_access_interleaved(rows / 4);
+        ctx.write_spread(rows * (weights::HT_DIR_BYTES + weights::HT_ENTRY_BYTES));
+        ctx.cpu(rows, weights::HASH_NS + weights::INSERT_NS);
+
+        for row in morsel.range {
+            let h = hash_row(batch, &self.key_cols, row);
+            self.ht.insert(base + row, h);
+        }
+    }
+
+    fn finish(&self, _ctx: &mut TaskContext<'_>) {
+        let table = JoinTable {
+            ht: Arc::clone(&self.ht),
+            build: Arc::clone(&self.build),
+            key_cols: self.key_cols.clone(),
+        };
+        self.out.set(Arc::new(table)).ok().expect("join slot set twice");
+    }
+}
+
+/// Join semantics of a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Emit probe ⨝ build matches.
+    Inner,
+    /// Inner, and additionally set the build-side match markers (for
+    /// build-side outer joins — paper Section 4.1's marker technique).
+    InnerMark,
+    /// Emit probe rows with at least one match.
+    Semi,
+    /// Emit probe rows with no match.
+    Anti,
+    /// Emit every probe row plus an `i64` column counting its matches
+    /// (left-outer-join + COUNT aggregate fusion, used by TPC-H Q13).
+    Count,
+}
+
+/// Probe operator inside a pipeline.
+pub struct ProbeOp {
+    pub table: JoinSlot,
+    /// Key columns in the working batch.
+    pub probe_keys: Vec<usize>,
+    pub kind: JoinKind,
+    /// Build-side columns appended to the output (Inner/InnerMark only).
+    pub build_cols: Vec<usize>,
+}
+
+impl ProbeOp {
+    fn build_types(&self, jt: &JoinTable) -> Vec<DataType> {
+        self.build_cols.iter().map(|&c| jt.build.schema().dtype(c)).collect()
+    }
+}
+
+impl PipeOp for ProbeOp {
+    fn apply(&self, ctx: &mut TaskContext<'_>, input: Batch) -> Batch {
+        let jt = self.table.get().expect("probe ran before build completed").clone();
+        let rows = input.rows();
+        ctx.cpu(rows as u64, weights::HASH_NS + weights::PROBE_NS);
+        // Directory lookups: dependent random accesses, interleaved.
+        ctx.random_access_interleaved(rows as u64);
+        ctx.read_spread(rows as u64 * weights::HT_DIR_BYTES);
+
+        let mut traversed = 0u64;
+        match self.kind {
+            JoinKind::Inner | JoinKind::InnerMark => {
+                let mark = self.kind == JoinKind::InnerMark;
+                let mut probe_sel: Vec<u32> = Vec::new();
+                let mut matches: Vec<usize> = Vec::new(); // entry idx
+                for row in 0..rows {
+                    let h = hash_row(&input, &self.probe_keys, row);
+                    traversed += u64::from(jt.ht.probe(h, |idx| {
+                        let (a, r) = jt.ht.loc(idx);
+                        if rows_equal(
+                            &input,
+                            &self.probe_keys,
+                            row,
+                            jt.build.area(a).data(),
+                            &jt.key_cols,
+                            r,
+                        ) {
+                            probe_sel.push(row as u32);
+                            matches.push(idx);
+                            if mark {
+                                jt.ht.set_marker(idx);
+                            }
+                        }
+                    }));
+                }
+                self.charge_chain(ctx, traversed, &jt, &matches);
+                // Assemble output: probe columns then build columns.
+                let mut out_cols: Vec<Column> = input
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        let mut col = Column::with_capacity(c.data_type(), probe_sel.len());
+                        col.extend_selected(c, &probe_sel);
+                        col
+                    })
+                    .collect();
+                for (bi, &bc) in self.build_cols.iter().enumerate() {
+                    let dt = self.build_types(&jt)[bi];
+                    let mut col = Column::with_capacity(dt, matches.len());
+                    for &idx in &matches {
+                        let (a, r) = jt.ht.loc(idx);
+                        col.push_from(jt.build.area(a).data().column(bc), r);
+                    }
+                    out_cols.push(col);
+                }
+                ctx.cpu(
+                    matches.len() as u64,
+                    weights::MATCH_NS
+                        + weights::GATHER_NS * (input.width() + self.build_cols.len()) as f64,
+                );
+                Batch::from_columns(out_cols)
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let want = self.kind == JoinKind::Semi;
+                let mut sel: Vec<u32> = Vec::new();
+                for row in 0..rows {
+                    let h = hash_row(&input, &self.probe_keys, row);
+                    let mut found = false;
+                    traversed += u64::from(jt.ht.probe(h, |idx| {
+                        if found {
+                            return;
+                        }
+                        let (a, r) = jt.ht.loc(idx);
+                        if rows_equal(
+                            &input,
+                            &self.probe_keys,
+                            row,
+                            jt.build.area(a).data(),
+                            &jt.key_cols,
+                            r,
+                        ) {
+                            found = true;
+                        }
+                    }));
+                    if found == want {
+                        sel.push(row as u32);
+                    }
+                }
+                self.charge_chain(ctx, traversed, &jt, &[]);
+                let mut out = Batch::empty(
+                    &input.columns().iter().map(Column::data_type).collect::<Vec<_>>(),
+                );
+                out.extend_selected(&input, &sel);
+                ctx.cpu(sel.len() as u64, weights::GATHER_NS * input.width() as f64);
+                out
+            }
+            JoinKind::Count => {
+                let mut counts: Vec<i64> = Vec::with_capacity(rows);
+                for row in 0..rows {
+                    let h = hash_row(&input, &self.probe_keys, row);
+                    let mut n = 0i64;
+                    traversed += u64::from(jt.ht.probe(h, |idx| {
+                        let (a, r) = jt.ht.loc(idx);
+                        if rows_equal(
+                            &input,
+                            &self.probe_keys,
+                            row,
+                            jt.build.area(a).data(),
+                            &jt.key_cols,
+                            r,
+                        ) {
+                            n += 1;
+                        }
+                    }));
+                    counts.push(n);
+                }
+                self.charge_chain(ctx, traversed, &jt, &[]);
+                let mut cols: Vec<Column> = input.columns().to_vec();
+                cols.push(Column::I64(counts));
+                Batch::from_columns(cols)
+            }
+        }
+    }
+
+    fn out_types(&self, input: &[DataType]) -> Vec<DataType> {
+        let mut t = input.to_vec();
+        match self.kind {
+            JoinKind::Inner | JoinKind::InnerMark => {
+                let jt = self
+                    .table
+                    .get()
+                    .expect("out_types on Inner probe requires completed build");
+                t.extend(self.build_types(jt));
+            }
+            JoinKind::Semi | JoinKind::Anti => {}
+            JoinKind::Count => t.push(DataType::I64),
+        }
+        t
+    }
+}
+
+impl ProbeOp {
+    fn charge_chain(
+        &self,
+        ctx: &mut TaskContext<'_>,
+        traversed: u64,
+        jt: &JoinTable,
+        matches: &[usize],
+    ) {
+        ctx.cpu(traversed, weights::CHAIN_NS);
+        ctx.read_spread(traversed * weights::HT_ENTRY_BYTES);
+        if !matches.is_empty() && !self.build_cols.is_empty() {
+            // Gathering build payloads: bytes from the areas' nodes.
+            let mut per_area = vec![0u64; jt.build.areas().len()];
+            for &idx in matches {
+                let (a, r) = jt.ht.loc(idx);
+                for &bc in &self.build_cols {
+                    per_area[a] += jt.build.area(a).data().column(bc).byte_size(r, r + 1);
+                }
+            }
+            for (a, bytes) in per_area.into_iter().enumerate() {
+                if bytes > 0 {
+                    ctx.read(jt.build.area(a).node(), bytes);
+                }
+            }
+        }
+    }
+}
+
+/// Expose the set of build tuples that never matched, as a batch of the
+/// requested build columns (the completion pass of a build-side outer
+/// join). Runs serially in a stage `finish`; TPC-H's outer join (Q13) uses
+/// the fused [`JoinKind::Count`] instead, so this is a completeness
+/// feature exercised by tests.
+pub fn unmatched_build_rows(jt: &JoinTable, cols: &[usize]) -> Batch {
+    let types: Vec<DataType> = cols.iter().map(|&c| jt.build.schema().dtype(c)).collect();
+    let mut out = Batch::empty(&types);
+    for idx in jt.ht.unmatched() {
+        let (a, r) = jt.ht.loc(idx);
+        let src = jt.build.area(a).data();
+        let row: Vec<morsel_storage::Value> =
+            cols.iter().map(|&c| src.column(c).value(r)).collect();
+        out.push_row(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morsel_core::ExecEnv;
+    use morsel_numa::{SocketId, Topology};
+    use morsel_storage::{Schema, StorageArea};
+
+    fn env() -> ExecEnv {
+        ExecEnv::new(Topology::nehalem_ex())
+    }
+
+    /// Build an AreaSet with one area holding (key, payload) rows.
+    fn build_side(keys: &[i64], payload: &[i64]) -> Arc<AreaSet> {
+        let schema =
+            Schema::new(vec![("bk", DataType::I64), ("bv", DataType::I64)]);
+        let mut area = StorageArea::new(SocketId(0), &schema.data_types());
+        area.data_mut().extend_from(&Batch::from_columns(vec![
+            Column::I64(keys.to_vec()),
+            Column::I64(payload.to_vec()),
+        ]));
+        Arc::new(AreaSet::new(schema, vec![area]))
+    }
+
+    /// Run the insert job to completion over one area.
+    fn built_table(keys: &[i64], payload: &[i64]) -> JoinSlot {
+        let env = env();
+        let slot = join_slot();
+        let build = build_side(keys, payload);
+        let job = HtInsertJob::new(Arc::clone(&build), vec![0], 4, slot.clone());
+        let mut ctx = TaskContext::new(&env, 0);
+        job.run_morsel(&mut ctx, Morsel { chunk: 0, range: 0..keys.len() });
+        job.finish(&mut ctx);
+        slot
+    }
+
+    fn probe_batch(keys: &[i64]) -> Batch {
+        Batch::from_columns(vec![
+            Column::I64(keys.to_vec()),
+            Column::I64(keys.iter().map(|k| k * 100).collect()),
+        ])
+    }
+
+    #[test]
+    fn inner_join_matches_and_payload() {
+        let slot = built_table(&[1, 2, 3], &[10, 20, 30]);
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1] };
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let out = op.apply(&mut ctx, probe_batch(&[2, 4, 3, 2]));
+        // Rows: (2,200,20), (3,300,30), (2,200,20) in probe order.
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.column(0).as_i64(), &[2, 3, 2]);
+        assert_eq!(out.column(1).as_i64(), &[200, 300, 200]);
+        assert_eq!(out.column(2).as_i64(), &[20, 30, 20]);
+        assert_eq!(op.out_types(&[DataType::I64, DataType::I64]).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_build_keys_multiply() {
+        let slot = built_table(&[5, 5, 5], &[1, 2, 3]);
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1] };
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let out = op.apply(&mut ctx, probe_batch(&[5]));
+        assert_eq!(out.rows(), 3);
+        let mut got = out.column(2).as_i64().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn semi_and_anti_join() {
+        let slot = built_table(&[1, 3], &[0, 0]);
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let semi = ProbeOp {
+            table: slot.clone(),
+            probe_keys: vec![0],
+            kind: JoinKind::Semi,
+            build_cols: vec![],
+        };
+        let out = semi.apply(&mut ctx, probe_batch(&[1, 2, 3, 3]));
+        assert_eq!(out.column(0).as_i64(), &[1, 3, 3]);
+        let anti = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Anti, build_cols: vec![] };
+        let out = anti.apply(&mut ctx, probe_batch(&[1, 2, 3, 4]));
+        assert_eq!(out.column(0).as_i64(), &[2, 4]);
+        assert_eq!(anti.out_types(&[DataType::I64, DataType::I64]).len(), 2);
+    }
+
+    #[test]
+    fn count_join_keeps_zero_rows() {
+        let slot = built_table(&[7, 7, 9], &[0, 0, 0]);
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Count, build_cols: vec![] };
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let out = op.apply(&mut ctx, probe_batch(&[7, 8, 9]));
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.column(2).as_i64(), &[2, 0, 1]);
+        assert_eq!(
+            op.out_types(&[DataType::I64, DataType::I64]),
+            vec![DataType::I64, DataType::I64, DataType::I64]
+        );
+    }
+
+    #[test]
+    fn inner_mark_sets_markers_and_unmatched_scan_works() {
+        let slot = built_table(&[1, 2, 3, 4], &[10, 20, 30, 40]);
+        let op = ProbeOp {
+            table: slot.clone(),
+            probe_keys: vec![0],
+            kind: JoinKind::InnerMark,
+            build_cols: vec![1],
+        };
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let _ = op.apply(&mut ctx, probe_batch(&[2, 4]));
+        let jt = slot.get().unwrap();
+        let unmatched = unmatched_build_rows(jt, &[0, 1]);
+        let mut keys = unmatched.column(0).as_i64().to_vec();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn parallel_insert_from_multiple_areas() {
+        let env = env();
+        let schema = Schema::new(vec![("bk", DataType::I64)]);
+        let mut a0 = StorageArea::new(SocketId(0), &schema.data_types());
+        a0.data_mut().extend_from(&Batch::from_columns(vec![Column::I64((0..500).collect())]));
+        let mut a1 = StorageArea::new(SocketId(1), &schema.data_types());
+        a1.data_mut().extend_from(&Batch::from_columns(vec![Column::I64((500..1000).collect())]));
+        let build = Arc::new(AreaSet::new(schema, vec![a0, a1]));
+        let slot = join_slot();
+        let job = HtInsertJob::new(build, vec![0], 4, slot.clone());
+        let mut ctx = TaskContext::new(&env, 0);
+        job.run_morsel(&mut ctx, Morsel { chunk: 0, range: 0..500 });
+        job.run_morsel(&mut ctx, Morsel { chunk: 1, range: 0..500 });
+        job.finish(&mut ctx);
+        let jt = slot.get().unwrap();
+        for k in 0..1000i64 {
+            assert_eq!(jt.ht.probe_key_i64(k).len(), 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn empty_build_side_probes_empty() {
+        let slot = built_table(&[], &[]);
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1] };
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let out = op.apply(&mut ctx, probe_batch(&[1, 2]));
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.width(), 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Join/group key hashing and row equality over columns.
+
+use morsel_storage::{hash_bytes, hash_combine, hash_i64, Batch, Column};
+
+/// Hash the key columns `cols` of `batch` at `row`.
+#[inline]
+pub fn hash_row(batch: &Batch, cols: &[usize], row: usize) -> u64 {
+    let mut h = 0u64;
+    for (i, &c) in cols.iter().enumerate() {
+        let hc = match batch.column(c) {
+            Column::I64(v) => hash_i64(v[row]),
+            Column::I32(v) => hash_i64(i64::from(v[row])),
+            Column::F64(v) => hash_i64(v[row].to_bits() as i64),
+            Column::Str(v) => hash_bytes(v[row].as_bytes()),
+        };
+        h = if i == 0 { hc } else { hash_combine(h, hc) };
+    }
+    h
+}
+
+/// Compare key columns of two rows for equality.
+#[inline]
+pub fn rows_equal(
+    a: &Batch,
+    a_cols: &[usize],
+    a_row: usize,
+    b: &Batch,
+    b_cols: &[usize],
+    b_row: usize,
+) -> bool {
+    debug_assert_eq!(a_cols.len(), b_cols.len());
+    a_cols.iter().zip(b_cols).all(|(&ca, &cb)| {
+        match (a.column(ca), b.column(cb)) {
+            (Column::I64(x), Column::I64(y)) => x[a_row] == y[b_row],
+            (Column::I32(x), Column::I32(y)) => x[a_row] == y[b_row],
+            (Column::I64(x), Column::I32(y)) => x[a_row] == i64::from(y[b_row]),
+            (Column::I32(x), Column::I64(y)) => i64::from(x[a_row]) == y[b_row],
+            (Column::F64(x), Column::F64(y)) => x[a_row] == y[b_row],
+            (Column::Str(x), Column::Str(y)) => x[a_row] == y[b_row],
+            (x, y) => panic!(
+                "incomparable key columns {:?} vs {:?}",
+                x.data_type(),
+                y.data_type()
+            ),
+        }
+    })
+}
+
+/// An owned group key for aggregation hash tables. Mixed-type composite
+/// keys fall back to a vector of scalar keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    I64(i64),
+    I64x2(i64, i64),
+    Str(String),
+    Composite(Vec<ScalarKey>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScalarKey {
+    I64(i64),
+    Str(String),
+}
+
+impl GroupKey {
+    /// Extract the group key of `row` from `cols` of `batch`. F64 group
+    /// columns are not supported (TPC-H never groups by floats).
+    pub fn extract(batch: &Batch, cols: &[usize], row: usize) -> GroupKey {
+        let scalar = |c: usize| match batch.column(c) {
+            Column::I64(v) => ScalarKey::I64(v[row]),
+            Column::I32(v) => ScalarKey::I64(i64::from(v[row])),
+            Column::Str(v) => ScalarKey::Str(v[row].clone()),
+            Column::F64(_) => panic!("cannot group by F64 column"),
+        };
+        match cols {
+            [] => GroupKey::I64(0),
+            [c] => match scalar(*c) {
+                ScalarKey::I64(v) => GroupKey::I64(v),
+                ScalarKey::Str(s) => GroupKey::Str(s),
+            },
+            [a, b] => match (scalar(*a), scalar(*b)) {
+                (ScalarKey::I64(x), ScalarKey::I64(y)) => GroupKey::I64x2(x, y),
+                (x, y) => GroupKey::Composite(vec![x, y]),
+            },
+            many => GroupKey::Composite(many.iter().map(|&c| scalar(c)).collect()),
+        }
+    }
+
+    /// Push this key's scalar parts onto output columns (inverse of
+    /// `extract`, used when emitting aggregation results).
+    pub fn push_into(&self, out: &mut [Column]) {
+        match self {
+            GroupKey::I64(v) => Self::push_scalar(&mut out[0], &ScalarKey::I64(*v)),
+            GroupKey::I64x2(a, b) => {
+                Self::push_scalar(&mut out[0], &ScalarKey::I64(*a));
+                Self::push_scalar(&mut out[1], &ScalarKey::I64(*b));
+            }
+            GroupKey::Str(s) => Self::push_scalar(&mut out[0], &ScalarKey::Str(s.clone())),
+            GroupKey::Composite(parts) => {
+                for (c, p) in out.iter_mut().zip(parts) {
+                    Self::push_scalar(c, p);
+                }
+            }
+        }
+    }
+
+    fn push_scalar(col: &mut Column, k: &ScalarKey) {
+        match (col, k) {
+            (Column::I64(v), ScalarKey::I64(x)) => v.push(*x),
+            (Column::I32(v), ScalarKey::I64(x)) => v.push(*x as i32),
+            (Column::Str(v), ScalarKey::Str(s)) => v.push(s.clone()),
+            (c, k) => panic!("key part {k:?} does not fit column {:?}", c.data_type()),
+        }
+    }
+
+    /// Stable hash (used to route groups to spill partitions).
+    pub fn hash(&self) -> u64 {
+        match self {
+            GroupKey::I64(v) => hash_i64(*v),
+            GroupKey::I64x2(a, b) => hash_combine(hash_i64(*a), hash_i64(*b)),
+            GroupKey::Str(s) => hash_bytes(s.as_bytes()),
+            GroupKey::Composite(parts) => {
+                let mut h = 0;
+                for (i, p) in parts.iter().enumerate() {
+                    let hp = match p {
+                        ScalarKey::I64(v) => hash_i64(*v),
+                        ScalarKey::Str(s) => hash_bytes(s.as_bytes()),
+                    };
+                    h = if i == 0 { hp } else { hash_combine(h, hp) };
+                }
+                h
+            }
+        }
+    }
+}
+
+/// A fast, non-DoS-resistant hasher for internal hash maps (the engine is
+/// not exposed to untrusted keys; see the Rust perf guide on hashing).
+/// Algorithm follows rustc's FxHash.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, std::hash::BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::from_columns(vec![
+            Column::I64(vec![1, 2, 1]),
+            Column::Str(vec!["a".into(), "b".into(), "a".into()]),
+            Column::I32(vec![10, 20, 10]),
+        ])
+    }
+
+    #[test]
+    fn hash_row_consistency() {
+        let b = batch();
+        assert_eq!(hash_row(&b, &[0], 0), hash_row(&b, &[0], 2));
+        assert_ne!(hash_row(&b, &[0], 0), hash_row(&b, &[0], 1));
+        assert_eq!(hash_row(&b, &[0, 1], 0), hash_row(&b, &[0, 1], 2));
+        // i32 and i64 with equal values hash identically.
+        let b2 = Batch::from_columns(vec![Column::I64(vec![10])]);
+        assert_eq!(hash_row(&b, &[2], 0), hash_row(&b2, &[0], 0));
+    }
+
+    #[test]
+    fn rows_equal_mixed_widths() {
+        let b = batch();
+        let b2 = Batch::from_columns(vec![Column::I64(vec![10, 99])]);
+        assert!(rows_equal(&b, &[2], 0, &b2, &[0], 0));
+        assert!(!rows_equal(&b, &[2], 1, &b2, &[0], 0));
+        assert!(rows_equal(&b, &[0, 1], 0, &b, &[0, 1], 2));
+        assert!(!rows_equal(&b, &[0, 1], 0, &b, &[0, 1], 1));
+    }
+
+    #[test]
+    fn group_key_shapes() {
+        let b = batch();
+        assert_eq!(GroupKey::extract(&b, &[0], 1), GroupKey::I64(2));
+        assert_eq!(GroupKey::extract(&b, &[1], 0), GroupKey::Str("a".into()));
+        assert_eq!(GroupKey::extract(&b, &[0, 2], 0), GroupKey::I64x2(1, 10));
+        assert_eq!(GroupKey::extract(&b, &[], 0), GroupKey::I64(0));
+        let k3 = GroupKey::extract(&b, &[0, 1, 2], 0);
+        assert!(matches!(k3, GroupKey::Composite(ref p) if p.len() == 3));
+    }
+
+    #[test]
+    fn group_key_roundtrip_through_columns() {
+        let b = batch();
+        let k = GroupKey::extract(&b, &[0, 1], 1);
+        let mut out = vec![Column::I64(vec![]), Column::Str(vec![])];
+        k.push_into(&mut out);
+        assert_eq!(out[0].as_i64(), &[2]);
+        assert_eq!(out[1].as_str(), &["b".to_owned()]);
+    }
+
+    #[test]
+    fn group_key_hash_matches_equality() {
+        let b = batch();
+        let a = GroupKey::extract(&b, &[0, 1], 0);
+        let c = GroupKey::extract(&b, &[0, 1], 2);
+        assert_eq!(a, c);
+        assert_eq!(a.hash(), c.hash());
+        let d = GroupKey::extract(&b, &[0, 1], 1);
+        assert_ne!(a.hash(), d.hash());
+    }
+}

@@ -1,0 +1,22 @@
+//! # morsel-numa
+//!
+//! Simulated NUMA substrate for the morsel-driven query engine: machine
+//! [`topology::Topology`] descriptions (including the paper's Nehalem EX
+//! and Sandy Bridge EP boxes), memory [`mem::Placement`] policies and
+//! [`mem::Residency`] tags, byte-accurate traffic [`mem::AccessCounters`],
+//! and the calibrated [`cost::CostModel`] that converts access profiles to
+//! virtual time.
+//!
+//! The paper ran on real 4-socket hardware; this crate substitutes an
+//! explicit model so that every NUMA experiment of the paper (Tables 1-3,
+//! the placement-policy comparison, and the bandwidth/latency
+//! micro-benchmark of Section 5.3) can be regenerated deterministically on
+//! any host. See DESIGN.md §2 for the substitution argument.
+
+pub mod cost;
+pub mod mem;
+pub mod topology;
+
+pub use cost::CostModel;
+pub use mem::{AccessCounters, Placement, Residency, TrafficSnapshot, DEFAULT_STRIPE};
+pub use topology::{CoreId, SocketId, Topology};

@@ -1,0 +1,259 @@
+//! Machine topology descriptions.
+//!
+//! The paper evaluates on two 4-socket machines with very different NUMA
+//! interconnects (its Figure 10): a fully-connected Nehalem EX and a
+//! partially-connected Sandy Bridge EP where some socket pairs are two QPI
+//! hops apart. We model a topology as a set of sockets, each with a number
+//! of physical cores and an SMT factor, plus a hop-count matrix between
+//! sockets.
+
+/// Identifier of a NUMA socket (equivalently, a memory node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SocketId(pub u16);
+
+/// Identifier of a hardware thread (a "core" in the paper's loose sense —
+/// with SMT, two hardware threads share one physical core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u32);
+
+/// A machine topology: sockets, cores, SMT, and the socket interconnect.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: &'static str,
+    sockets: u16,
+    cores_per_socket: u16,
+    /// Hardware threads per physical core (2 = HyperThreading).
+    smt: u16,
+    /// `hops[a][b]` = number of interconnect hops from socket `a` to `b`
+    /// (0 on the diagonal).
+    hops: Vec<Vec<u8>>,
+}
+
+impl Topology {
+    /// Build a topology with an explicit hop matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square of dimension `sockets`, if the
+    /// diagonal is non-zero, or if any parameter is zero.
+    pub fn new(
+        name: &'static str,
+        sockets: u16,
+        cores_per_socket: u16,
+        smt: u16,
+        hops: Vec<Vec<u8>>,
+    ) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0 && smt > 0);
+        assert_eq!(hops.len(), sockets as usize, "hop matrix must be square");
+        for (i, row) in hops.iter().enumerate() {
+            assert_eq!(row.len(), sockets as usize, "hop matrix must be square");
+            assert_eq!(row[i], 0, "diagonal of hop matrix must be zero");
+        }
+        Topology { name, sockets, cores_per_socket, smt, hops }
+    }
+
+    /// Fully-connected topology where every remote socket is one hop away.
+    pub fn fully_connected(
+        name: &'static str,
+        sockets: u16,
+        cores_per_socket: u16,
+        smt: u16,
+    ) -> Self {
+        let n = sockets as usize;
+        let hops = (0..n)
+            .map(|i| (0..n).map(|j| u8::from(i != j)).collect())
+            .collect();
+        Self::new(name, sockets, cores_per_socket, smt, hops)
+    }
+
+    /// The paper's Nehalem EX box: 4 sockets fully connected by QPI,
+    /// 8 cores per socket, 2-way SMT (64 hardware threads total).
+    pub fn nehalem_ex() -> Self {
+        Self::fully_connected("Nehalem EX", 4, 8, 2)
+    }
+
+    /// The paper's Sandy Bridge EP box: 4 sockets in a ring, so opposite
+    /// sockets (0<->2 and 1<->3) are two hops apart; 8 cores per socket,
+    /// 2-way SMT.
+    pub fn sandy_bridge_ep() -> Self {
+        let hops = vec![
+            vec![0, 1, 2, 1],
+            vec![1, 0, 1, 2],
+            vec![2, 1, 0, 1],
+            vec![1, 2, 1, 0],
+        ];
+        Self::new("Sandy Bridge EP", 4, 8, 2, hops)
+    }
+
+    /// A single-socket "laptop" topology, useful for tests and for running
+    /// the engine with real threads on commodity hardware.
+    pub fn laptop() -> Self {
+        Self::fully_connected("laptop", 1, 4, 1)
+    }
+
+    /// Human-readable topology name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of sockets (= NUMA memory nodes).
+    pub fn sockets(&self) -> u16 {
+        self.sockets
+    }
+
+    /// Physical cores per socket.
+    pub fn cores_per_socket(&self) -> u16 {
+        self.cores_per_socket
+    }
+
+    /// Hardware threads per physical core.
+    pub fn smt(&self) -> u16 {
+        self.smt
+    }
+
+    /// Total physical cores.
+    pub fn physical_cores(&self) -> u32 {
+        u32::from(self.sockets) * u32::from(self.cores_per_socket)
+    }
+
+    /// Total hardware threads (what the paper calls "threads 1..64").
+    pub fn hardware_threads(&self) -> u32 {
+        self.physical_cores() * u32::from(self.smt)
+    }
+
+    /// Socket that a given hardware thread is pinned to.
+    ///
+    /// Hardware threads are numbered the way the paper plots them:
+    /// threads `0..physical_cores` are the first SMT context of each
+    /// core, spread round-robin across the sockets (so that a 8-thread
+    /// run on a 4-socket box uses all memory controllers, as `numactl`
+    /// spreading does); threads `physical_cores..` are the second SMT
+    /// contexts in the same order.
+    pub fn socket_of(&self, core: CoreId) -> SocketId {
+        let phys = core.0 % self.physical_cores();
+        SocketId((phys % u32::from(self.sockets)) as u16)
+    }
+
+    /// Whether a hardware thread id is an SMT sibling (a "virtual" core in
+    /// Figure 11's terminology, i.e. threads 33..64 on the paper's boxes).
+    pub fn is_smt_sibling(&self, core: CoreId) -> bool {
+        core.0 >= self.physical_cores()
+    }
+
+    /// Interconnect hops between two sockets (0 if equal).
+    pub fn hops(&self, a: SocketId, b: SocketId) -> u8 {
+        self.hops[a.0 as usize][b.0 as usize]
+    }
+
+    /// All sockets ordered by distance from `from` (closest first, `from`
+    /// itself excluded). Used for the "steal from closer sockets first"
+    /// policy of Section 3.2.
+    pub fn steal_order(&self, from: SocketId) -> Vec<SocketId> {
+        let mut order: Vec<SocketId> = (0..self.sockets)
+            .filter(|&s| s != from.0)
+            .map(SocketId)
+            .collect();
+        order.sort_by_key(|&s| (self.hops(from, s), s.0));
+        order
+    }
+
+    /// Iterate over all socket ids.
+    pub fn socket_ids(&self) -> impl Iterator<Item = SocketId> {
+        (0..self.sockets).map(SocketId)
+    }
+
+    /// Enumerate the hardware-thread ids pinned to `socket`.
+    pub fn cores_of(&self, socket: SocketId) -> Vec<CoreId> {
+        (0..self.hardware_threads())
+            .map(CoreId)
+            .filter(|&c| self.socket_of(c) == socket)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_counts() {
+        let t = Topology::nehalem_ex();
+        assert_eq!(t.sockets(), 4);
+        assert_eq!(t.physical_cores(), 32);
+        assert_eq!(t.hardware_threads(), 64);
+    }
+
+    #[test]
+    fn socket_assignment_is_round_robin() {
+        let t = Topology::nehalem_ex();
+        assert_eq!(t.socket_of(CoreId(0)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(1)), SocketId(1));
+        assert_eq!(t.socket_of(CoreId(3)), SocketId(3));
+        assert_eq!(t.socket_of(CoreId(4)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(31)), SocketId(3));
+        // SMT siblings map back onto the same sockets.
+        assert_eq!(t.socket_of(CoreId(32)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(33)), SocketId(1));
+        assert_eq!(t.socket_of(CoreId(63)), SocketId(3));
+    }
+
+    #[test]
+    fn smt_sibling_detection() {
+        let t = Topology::nehalem_ex();
+        assert!(!t.is_smt_sibling(CoreId(31)));
+        assert!(t.is_smt_sibling(CoreId(32)));
+    }
+
+    #[test]
+    fn sandy_bridge_has_two_hop_pairs() {
+        let t = Topology::sandy_bridge_ep();
+        assert_eq!(t.hops(SocketId(0), SocketId(2)), 2);
+        assert_eq!(t.hops(SocketId(1), SocketId(3)), 2);
+        assert_eq!(t.hops(SocketId(0), SocketId(1)), 1);
+        assert_eq!(t.hops(SocketId(0), SocketId(0)), 0);
+    }
+
+    #[test]
+    fn nehalem_is_fully_connected() {
+        let t = Topology::nehalem_ex();
+        for a in t.socket_ids() {
+            for b in t.socket_ids() {
+                assert_eq!(t.hops(a, b), u8::from(a != b));
+            }
+        }
+    }
+
+    #[test]
+    fn steal_order_prefers_closer_sockets() {
+        let t = Topology::sandy_bridge_ep();
+        let order = t.steal_order(SocketId(0));
+        assert_eq!(order, vec![SocketId(1), SocketId(3), SocketId(2)]);
+    }
+
+    #[test]
+    fn steal_order_excludes_self() {
+        let t = Topology::nehalem_ex();
+        for s in t.socket_ids() {
+            assert!(!t.steal_order(s).contains(&s));
+            assert_eq!(t.steal_order(s).len(), 3);
+        }
+    }
+
+    #[test]
+    fn cores_of_partitions_all_threads() {
+        let t = Topology::sandy_bridge_ep();
+        let mut seen = vec![false; t.hardware_threads() as usize];
+        for s in t.socket_ids() {
+            for c in t.cores_of(s) {
+                assert!(!seen[c.0 as usize]);
+                seen[c.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn bad_matrix_rejected() {
+        Topology::new("bad", 2, 1, 1, vec![vec![0]]);
+    }
+}

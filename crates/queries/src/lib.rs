@@ -1,0 +1,12 @@
+//! # morsel-queries
+//!
+//! Hand-authored physical plans for the paper's evaluation workloads: all
+//! 22 TPC-H queries ([`tpch_queries`]) and the 13 Star Schema Benchmark
+//! queries ([`ssb_queries`]), plus [`runner`] helpers that execute a plan
+//! under any system variant on either executor.
+
+pub mod runner;
+pub mod ssb_queries;
+pub mod tpch_queries;
+
+pub use runner::{format_rows, run_sim, run_threaded, RunOutcome};

@@ -1,0 +1,86 @@
+//! Convenience runners used by tests, examples, and the bench harness.
+
+use morsel_core::{DispatchConfig, ExecEnv, QueryStats, SimExecutor, ThreadedExecutor};
+use morsel_exec::plan::{compile_query, Plan};
+use morsel_exec::SystemVariant;
+use morsel_numa::TrafficSnapshot;
+use morsel_storage::Batch;
+
+/// Outcome of one query run.
+pub struct RunOutcome {
+    pub name: String,
+    pub result: Batch,
+    pub stats: QueryStats,
+    pub traffic: TrafficSnapshot,
+}
+
+impl RunOutcome {
+    /// Virtual (sim) or wall (threaded) seconds.
+    pub fn seconds(&self) -> f64 {
+        self.stats.elapsed_secs()
+    }
+}
+
+/// Run one plan in the deterministic simulator.
+pub fn run_sim(
+    env: &ExecEnv,
+    name: &str,
+    plan: Plan,
+    variant: SystemVariant,
+    workers: usize,
+    morsel_size: usize,
+) -> RunOutcome {
+    let config = DispatchConfig::new(workers)
+        .with_mode(variant.mode(workers))
+        .with_morsel_size(morsel_size);
+    let (spec, result) = compile_query(name, plan, variant);
+    let mut sim = SimExecutor::new(env.clone(), config);
+    sim.submit(spec);
+    let report = sim.run();
+    let handle = report.handle(name);
+    let outcome = RunOutcome {
+        name: name.to_owned(),
+        result: result.lock().take().unwrap_or_default(),
+        stats: handle.stats(),
+        traffic: handle.traffic(),
+    };
+    outcome
+}
+
+/// Run one plan on real threads.
+pub fn run_threaded(
+    env: &ExecEnv,
+    name: &str,
+    plan: Plan,
+    variant: SystemVariant,
+    workers: usize,
+    morsel_size: usize,
+) -> RunOutcome {
+    let config = DispatchConfig::new(workers)
+        .with_mode(variant.mode(workers))
+        .with_morsel_size(morsel_size);
+    let (spec, result) = compile_query(name, plan, variant);
+    let exec = ThreadedExecutor::new(env.clone(), config);
+    let handles = exec.run(vec![spec]);
+    let outcome = RunOutcome {
+        name: name.to_owned(),
+        result: result.lock().take().unwrap_or_default(),
+        stats: handles[0].stats(),
+        traffic: handles[0].traffic(),
+    };
+    outcome
+}
+
+/// Render a batch as rows of strings (tests, examples, harness output).
+pub fn format_rows(batch: &Batch, limit: usize) -> Vec<String> {
+    (0..batch.rows().min(limit))
+        .map(|i| {
+            batch
+                .row(i)
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" | ")
+        })
+        .collect()
+}

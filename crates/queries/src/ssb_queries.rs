@@ -1,0 +1,323 @@
+//! The 13 Star Schema Benchmark queries (Table 3 of the paper).
+//!
+//! Every query probes the big `lineorder` fact table through one or more
+//! small dimension hash tables — the workload where the paper's pipelined
+//! single-table join shines (Section 5.5: "All SSB queries join a large
+//! fact table with multiple smaller dimension tables").
+
+use morsel_datagen::SsbDb;
+use morsel_exec::agg::AggFn;
+use morsel_exec::expr::{self, and, between, col, eq, ge, in_str, le, lit, sub};
+use morsel_exec::join::JoinKind;
+use morsel_exec::plan::Plan;
+use morsel_exec::sort::SortKey;
+
+/// Dimension scan helpers.
+fn dates(db: &SsbDb, filter: Option<expr::Expr>, cols: &[&str]) -> Plan {
+    Plan::scan(db.date_dim.clone(), filter, cols)
+}
+
+/// Q1.x: revenue from discount brackets in a date window.
+fn q1_template(db: &SsbDb, date_filter: expr::Expr, disc: (i64, i64), qty: expr::Expr) -> Plan {
+    let dim = dates(db, Some(date_filter), &["d_datekey"]);
+    Plan::scan_project(
+        db.lineorder.clone(),
+        Some(and(between(col(7), disc.0, disc.1), qty)),
+        vec![
+            ("lo_orderdate", col(4)),
+            ("rev", expr::div(expr::mul(col(6), col(7)), lit(100))),
+        ],
+    )
+    .join_kind(dim, &["lo_orderdate"], &["d_datekey"], &[], JoinKind::Semi)
+    .agg(&[], vec![("revenue", AggFn::SumI64(1))])
+}
+
+pub fn q1_1(db: &SsbDb) -> Plan {
+    q1_template(db, eq(col(1), lit(1993)), (1, 3), expr::lt(col(5), lit(25)))
+}
+
+pub fn q1_2(db: &SsbDb) -> Plan {
+    q1_template(db, eq(col(2), lit(199401)), (4, 6), between(col(5), 26, 35))
+}
+
+pub fn q1_3(db: &SsbDb) -> Plan {
+    q1_template(
+        db,
+        and(eq(col(4), lit(6)), eq(col(1), lit(1994))),
+        (5, 7),
+        between(col(5), 26, 35),
+    )
+}
+
+/// Q2.x: revenue by year and brand for a part subset and supplier region.
+fn q2_template(db: &SsbDb, part_filter: expr::Expr, region: &str) -> Plan {
+    let parts = Plan::scan(db.part.clone(), Some(part_filter), &["p_partkey", "p_brand1"]);
+    let supp = Plan::scan(
+        db.supplier.clone(),
+        Some(eq(col(4), expr::lits(region))),
+        &["s_suppkey"],
+    );
+    let dim = dates(db, None, &["d_datekey", "d_year"]);
+    Plan::scan(db.lineorder.clone(), None, &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
+        .join(parts, &["lo_partkey"], &["p_partkey"], &["p_brand1"])
+        .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], &[], JoinKind::Semi)
+        .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
+        .agg(&["d_year", "p_brand1"], vec![("revenue", AggFn::SumI64(3))])
+        .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None)
+}
+
+pub fn q2_1(db: &SsbDb) -> Plan {
+    q2_template(db, eq(col(3), expr::lits("MFGR#12")), "AMERICA")
+}
+
+pub fn q2_2(db: &SsbDb) -> Plan {
+    q2_template(
+        db,
+        and(
+            ge(col(4), expr::lits("MFGR#2221")),
+            le(col(4), expr::lits("MFGR#2228")),
+        ),
+        "ASIA",
+    )
+}
+
+pub fn q2_3(db: &SsbDb) -> Plan {
+    q2_template(db, eq(col(4), expr::lits("MFGR#2239")), "EUROPE")
+}
+
+/// Q3.x: revenue by customer/supplier geography and year.
+fn q3_template(
+    db: &SsbDb,
+    cust_filter: expr::Expr,
+    supp_filter: expr::Expr,
+    cust_group: &str,
+    supp_group: &str,
+    date_filter: Option<expr::Expr>,
+) -> Plan {
+    let cust = Plan::scan_project(
+        db.customer.clone(),
+        Some(cust_filter),
+        vec![("c_custkey", col(0)), ("c_group", col_by_name_cust(cust_group))],
+    );
+    let supp = Plan::scan_project(
+        db.supplier.clone(),
+        Some(supp_filter),
+        vec![("s_suppkey", col(0)), ("s_group", col_by_name_supp(supp_group))],
+    );
+    let dim = dates(db, date_filter, &["d_datekey", "d_year"]);
+    Plan::scan(db.lineorder.clone(), None, &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
+        .join(cust, &["lo_custkey"], &["c_custkey"], &["c_group"])
+        .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_group"])
+        .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
+        .agg(
+            &["c_group", "s_group", "d_year"],
+            vec![("revenue", AggFn::SumI64(3))],
+        )
+        .sort_by(vec![SortKey::asc(2), SortKey::desc(3)], None)
+}
+
+// Customer columns: 0 key, 1 name, 2 city, 3 nation, 4 region.
+fn col_by_name_cust(name: &str) -> expr::Expr {
+    match name {
+        "c_city" => col(2),
+        "c_nation" => col(3),
+        "c_region" => col(4),
+        other => panic!("unknown customer group column {other}"),
+    }
+}
+
+// Supplier columns: 0 key, 1 name, 2 city, 3 nation, 4 region.
+fn col_by_name_supp(name: &str) -> expr::Expr {
+    match name {
+        "s_city" => col(2),
+        "s_nation" => col(3),
+        "s_region" => col(4),
+        other => panic!("unknown supplier group column {other}"),
+    }
+}
+
+pub fn q3_1(db: &SsbDb) -> Plan {
+    q3_template(
+        db,
+        eq(col(4), expr::lits("ASIA")),
+        eq(col(4), expr::lits("ASIA")),
+        "c_nation",
+        "s_nation",
+        Some(between(col(1), 1992, 1997)),
+    )
+}
+
+pub fn q3_2(db: &SsbDb) -> Plan {
+    q3_template(
+        db,
+        eq(col(3), expr::lits("UNITED STATES")),
+        eq(col(3), expr::lits("UNITED STATES")),
+        "c_city",
+        "s_city",
+        Some(between(col(1), 1992, 1997)),
+    )
+}
+
+pub fn q3_3(db: &SsbDb) -> Plan {
+    let cities: [&str; 2] = ["UNITED KI1", "UNITED KI5"];
+    q3_template(
+        db,
+        in_str(col(2), &cities),
+        in_str(col(2), &cities),
+        "c_city",
+        "s_city",
+        Some(between(col(1), 1992, 1997)),
+    )
+}
+
+pub fn q3_4(db: &SsbDb) -> Plan {
+    let cities: [&str; 2] = ["UNITED KI1", "UNITED KI5"];
+    q3_template(
+        db,
+        in_str(col(2), &cities),
+        in_str(col(2), &cities),
+        "c_city",
+        "s_city",
+        Some(eq(col(3), expr::lits("Dec1997"))),
+    )
+}
+
+/// Q4.x: profit (revenue - supplycost) drill-down.
+pub fn q4_1(db: &SsbDb) -> Plan {
+    let cust = Plan::scan(
+        db.customer.clone(),
+        Some(eq(col(4), expr::lits("AMERICA"))),
+        &["c_custkey", "c_nation"],
+    );
+    let supp = Plan::scan(
+        db.supplier.clone(),
+        Some(eq(col(4), expr::lits("AMERICA"))),
+        &["s_suppkey"],
+    );
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(in_str(col(2), &["MFGR#1", "MFGR#2"])),
+        &["p_partkey"],
+    );
+    let dim = dates(db, None, &["d_datekey", "d_year"]);
+    Plan::scan_project(
+        db.lineorder.clone(),
+        None,
+        vec![
+            ("lo_custkey", col(1)),
+            ("lo_partkey", col(2)),
+            ("lo_suppkey", col(3)),
+            ("lo_orderdate", col(4)),
+            ("profit", sub(col(8), col(9))),
+        ],
+    )
+    .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], &[], JoinKind::Semi)
+    .join_kind(parts, &["lo_partkey"], &["p_partkey"], &[], JoinKind::Semi)
+    .join(cust, &["lo_custkey"], &["c_custkey"], &["c_nation"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
+    .agg(&["d_year", "c_nation"], vec![("profit", AggFn::SumI64(4))])
+    .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None)
+}
+
+pub fn q4_2(db: &SsbDb) -> Plan {
+    let cust = Plan::scan(
+        db.customer.clone(),
+        Some(eq(col(4), expr::lits("AMERICA"))),
+        &["c_custkey"],
+    );
+    let supp = Plan::scan(
+        db.supplier.clone(),
+        Some(eq(col(4), expr::lits("AMERICA"))),
+        &["s_suppkey", "s_nation"],
+    );
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(in_str(col(2), &["MFGR#1", "MFGR#2"])),
+        &["p_partkey", "p_category"],
+    );
+    let dim = dates(db, Some(in_str_i64_years()), &["d_datekey", "d_year"]);
+    Plan::scan_project(
+        db.lineorder.clone(),
+        None,
+        vec![
+            ("lo_custkey", col(1)),
+            ("lo_partkey", col(2)),
+            ("lo_suppkey", col(3)),
+            ("lo_orderdate", col(4)),
+            ("profit", sub(col(8), col(9))),
+        ],
+    )
+    .join_kind(cust, &["lo_custkey"], &["c_custkey"], &[], JoinKind::Semi)
+    .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_nation"])
+    .join(parts, &["lo_partkey"], &["p_partkey"], &["p_category"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
+    .agg(
+        &["d_year", "s_nation", "p_category"],
+        vec![("profit", AggFn::SumI64(4))],
+    )
+    .sort_by(vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)], None)
+}
+
+fn in_str_i64_years() -> expr::Expr {
+    expr::in_i64(col(1), vec![1997, 1998])
+}
+
+pub fn q4_3(db: &SsbDb) -> Plan {
+    let supp = Plan::scan(
+        db.supplier.clone(),
+        Some(eq(col(3), expr::lits("UNITED STATES"))),
+        &["s_suppkey", "s_city"],
+    );
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(eq(col(3), expr::lits("MFGR#14"))),
+        &["p_partkey", "p_brand1"],
+    );
+    let dim = dates(db, Some(in_str_i64_years()), &["d_datekey", "d_year"]);
+    Plan::scan_project(
+        db.lineorder.clone(),
+        None,
+        vec![
+            ("lo_partkey", col(2)),
+            ("lo_suppkey", col(3)),
+            ("lo_orderdate", col(4)),
+            ("profit", sub(col(8), col(9))),
+        ],
+    )
+    .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_city"])
+    .join(parts, &["lo_partkey"], &["p_partkey"], &["p_brand1"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
+    .agg(
+        &["d_year", "s_city", "p_brand1"],
+        vec![("profit", AggFn::SumI64(3))],
+    )
+    .sort_by(vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)], None)
+}
+
+/// The 13 query ids in Table 3 order.
+pub const IDS: [&str; 13] = [
+    "1.1", "1.2", "1.3", "2.1", "2.2", "2.3", "3.1", "3.2", "3.3", "3.4", "4.1", "4.2", "4.3",
+];
+
+pub fn query(db: &SsbDb, id: &str) -> Plan {
+    match id {
+        "1.1" => q1_1(db),
+        "1.2" => q1_2(db),
+        "1.3" => q1_3(db),
+        "2.1" => q2_1(db),
+        "2.2" => q2_2(db),
+        "2.3" => q2_3(db),
+        "3.1" => q3_1(db),
+        "3.2" => q3_2(db),
+        "3.3" => q3_3(db),
+        "3.4" => q3_4(db),
+        "4.1" => q4_1(db),
+        "4.2" => q4_2(db),
+        "4.3" => q4_3(db),
+        other => panic!("unknown SSB query {other}"),
+    }
+}
+
+pub fn all(db: &SsbDb) -> Vec<(String, Plan)> {
+    IDS.iter().map(|id| (format!("SSB Q{id}"), query(db, id))).collect()
+}

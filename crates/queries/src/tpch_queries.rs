@@ -1,0 +1,857 @@
+//! Hand-authored physical plans for all 22 TPC-H queries.
+//!
+//! The paper evaluates execution, not optimization; like its authors we
+//! fix the plans (hash joins everywhere, probe side = the larger input,
+//! dimension tables built — the "team player" property of Section 4.1).
+//! Dates are day numbers, decimals are cents, and arithmetic rescales
+//! fixed-point values explicitly.
+//!
+//! Correlated subqueries are decorrelated the standard way (aggregate +
+//! re-join); Q13's left outer join uses the fused count-join
+//! ([`JoinKind::Count`]).
+
+use morsel_datagen::TpchDb;
+use morsel_exec::agg::AggFn;
+use morsel_exec::expr::{
+    self, add, and, between, case, col, div, eq, ge, gt, in_i64, in_str, le, like, lit, litf,
+    lt, mul, ne, not, or, prefix, sub, substr, to_f64, year_of, Expr,
+};
+use morsel_exec::join::JoinKind;
+use morsel_exec::plan::Plan;
+use morsel_exec::sort::SortKey;
+use morsel_storage::date;
+
+fn d(y: i32, m: u32, day: u32) -> i64 {
+    i64::from(date(y, m, day))
+}
+
+/// Append a computed column to a plan, keeping all existing columns.
+fn append(plan: Plan, name: &str, e: Expr) -> Plan {
+    let s = plan.schema();
+    let mut project: Vec<(String, Expr)> =
+        (0..s.len()).map(|i| (s.name(i).to_owned(), col(i))).collect();
+    project.push((name.to_owned(), e));
+    Plan::Map { input: Box::new(plan), project }
+}
+
+/// `revenue`-style expression: `price * (100 - disc) / 100` in cents.
+fn discounted(price: Expr, disc: Expr) -> Expr {
+    div(mul(price, sub(lit(100), disc)), lit(100))
+}
+
+/// Q1: pricing summary report.
+pub fn q1(db: &TpchDb) -> Plan {
+    let l = db.lineitem.clone();
+    let p = Plan::scan_project(
+        l,
+        Some(le(col(10), lit(d(1998, 9, 2)))),
+        vec![
+            ("l_returnflag", col(8)),
+            ("l_linestatus", col(9)),
+            ("l_quantity", col(4)),
+            ("l_extendedprice", col(5)),
+            ("disc_price", discounted(col(5), col(6))),
+            (
+                "charge",
+                div(mul(discounted(col(5), col(6)), add(lit(100), col(7))), lit(100)),
+            ),
+            ("l_discount", col(6)),
+        ],
+    );
+    p.agg(
+        &["l_returnflag", "l_linestatus"],
+        vec![
+            ("sum_qty", AggFn::SumI64(2)),
+            ("sum_base_price", AggFn::SumI64(3)),
+            ("sum_disc_price", AggFn::SumI64(4)),
+            ("sum_charge", AggFn::SumI64(5)),
+            ("avg_qty", AggFn::AvgI64(2)),
+            ("avg_price", AggFn::AvgI64(3)),
+            ("avg_disc", AggFn::AvgI64(6)),
+            ("count_order", AggFn::Count),
+        ],
+    )
+    .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None)
+}
+
+/// Q2: minimum cost supplier (EUROPE, size 15, %BRASS).
+pub fn q2(db: &TpchDb) -> Plan {
+    // European suppliers with their nation name.
+    let eu_nations = Plan::scan(db.nation.clone(), None, &["n_nationkey", "n_name", "n_regionkey"])
+        .join(
+            Plan::scan(
+                db.region.clone(),
+                Some(eq(col(1), expr::lits("EUROPE"))),
+                &["r_regionkey"],
+            ),
+            &["n_regionkey"],
+            &["r_regionkey"],
+            &[],
+        );
+    let eu_supp = Plan::scan(
+        db.supplier.clone(),
+        None,
+        &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+    )
+    .join(eu_nations, &["s_nationkey"], &["n_nationkey"], &["n_name"]);
+
+    // Candidate parts.
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(and(eq(col(5), lit(15)), like(col(4), "%BRASS"))),
+        &["p_partkey", "p_mfgr"],
+    );
+
+    // partsupp ⨝ eu_supp ⨝ parts.
+    let ps = Plan::scan(
+        db.partsupp.clone(),
+        None,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )
+    .join(
+        eu_supp,
+        &["ps_suppkey"],
+        &["s_suppkey"],
+        &["s_name", "s_address", "s_phone", "s_acctbal", "s_comment", "n_name"],
+    )
+    .join(parts, &["ps_partkey"], &["p_partkey"], &["p_mfgr"]);
+
+    // min cost per part over the same join (re-computed as a build side).
+    let eu_nations2 = Plan::scan(db.nation.clone(), None, &["n_nationkey", "n_regionkey"]).join(
+        Plan::scan(
+            db.region.clone(),
+            Some(eq(col(1), expr::lits("EUROPE"))),
+            &["r_regionkey"],
+        ),
+        &["n_regionkey"],
+        &["r_regionkey"],
+        &[],
+    );
+    let eu_supp2 = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
+        eu_nations2,
+        &["s_nationkey"],
+        &["n_nationkey"],
+        &[],
+    );
+    let min_cost = Plan::scan(db.partsupp.clone(), None, &["ps_partkey", "ps_suppkey", "ps_supplycost"])
+        .join(eu_supp2, &["ps_suppkey"], &["s_suppkey"], &[])
+        .agg(&["ps_partkey"], vec![("min_cost", AggFn::MinI64(2))]);
+
+    ps.join(min_cost, &["ps_partkey"], &["ps_partkey"], &["min_cost"])
+        .filter(eq(col(2), col(10))) // ps_supplycost == min_cost
+        .sort_by(
+            vec![SortKey::desc(6), SortKey::asc(8), SortKey::asc(3), SortKey::asc(0)],
+            Some(100),
+        )
+}
+
+/// Q3: shipping priority.
+pub fn q3(db: &TpchDb) -> Plan {
+    let cust = Plan::scan(
+        db.customer.clone(),
+        Some(eq(col(6), expr::lits("BUILDING"))),
+        &["c_custkey"],
+    );
+    let orders = Plan::scan(
+        db.orders.clone(),
+        Some(lt(col(4), lit(d(1995, 3, 15)))),
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+    )
+    .join(cust, &["o_custkey"], &["c_custkey"], &[]);
+    Plan::scan_project(
+        db.lineitem.clone(),
+        Some(gt(col(10), lit(d(1995, 3, 15)))),
+        vec![("l_orderkey", col(0)), ("revenue", discounted(col(5), col(6)))],
+    )
+    .join(orders, &["l_orderkey"], &["o_orderkey"], &["o_orderdate", "o_shippriority"])
+    .agg(
+        &["l_orderkey", "o_orderdate", "o_shippriority"],
+        vec![("revenue", AggFn::SumI64(1))],
+    )
+    .sort_by(vec![SortKey::desc(3), SortKey::asc(1)], Some(10))
+}
+
+/// Q4: order priority checking (EXISTS -> semi join).
+pub fn q4(db: &TpchDb) -> Plan {
+    let late_lines = Plan::scan_project(
+        db.lineitem.clone(),
+        Some(lt(col(11), col(12))), // l_commitdate < l_receiptdate
+        vec![("l_orderkey", col(0))],
+    );
+    Plan::scan(
+        db.orders.clone(),
+        Some(between(col(4), d(1993, 7, 1), d(1993, 10, 1) - 1)),
+        &["o_orderkey", "o_orderpriority"],
+    )
+    .join_kind(late_lines, &["o_orderkey"], &["l_orderkey"], &[], JoinKind::Semi)
+    .agg(&["o_orderpriority"], vec![("order_count", AggFn::Count)])
+    .sort_by(vec![SortKey::asc(0)], None)
+}
+
+/// Q5: local supplier volume (ASIA 1994).
+pub fn q5(db: &TpchDb) -> Plan {
+    let asia_nations = Plan::scan(db.nation.clone(), None, &["n_nationkey", "n_name", "n_regionkey"])
+        .join(
+            Plan::scan(db.region.clone(), Some(eq(col(1), expr::lits("ASIA"))), &["r_regionkey"]),
+            &["n_regionkey"],
+            &["r_regionkey"],
+            &[],
+        );
+    let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"])
+        .join(asia_nations, &["s_nationkey"], &["n_nationkey"], &["n_name"]);
+    let cust = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_nationkey"]);
+    let orders = Plan::scan(
+        db.orders.clone(),
+        Some(between(col(4), d(1994, 1, 1), d(1995, 1, 1) - 1)),
+        &["o_orderkey", "o_custkey"],
+    )
+    .join(cust, &["o_custkey"], &["c_custkey"], &["c_nationkey"]);
+    Plan::scan_project(
+        db.lineitem.clone(),
+        None,
+        vec![
+            ("l_orderkey", col(0)),
+            ("l_suppkey", col(2)),
+            ("revenue", discounted(col(5), col(6))),
+        ],
+    )
+    .join(orders, &["l_orderkey"], &["o_orderkey"], &["c_nationkey"])
+    .join(supp, &["l_suppkey"], &["s_suppkey"], &["s_nationkey", "n_name"])
+    .filter(eq(col(3), col(4))) // c_nationkey == s_nationkey
+    .agg(&["n_name"], vec![("revenue", AggFn::SumI64(2))])
+    .sort_by(vec![SortKey::desc(1)], None)
+}
+
+/// Q6: forecasting revenue change (scan only).
+pub fn q6(db: &TpchDb) -> Plan {
+    Plan::scan_project(
+        db.lineitem.clone(),
+        Some(and(
+            and(
+                between(col(10), d(1994, 1, 1), d(1995, 1, 1) - 1),
+                between(col(6), 5, 7),
+            ),
+            lt(col(4), lit(24)),
+        )),
+        vec![("rev", div(mul(col(5), col(6)), lit(100)))],
+    )
+    .agg(&[], vec![("revenue", AggFn::SumI64(0))])
+}
+
+/// Q7: volume shipping between FRANCE and GERMANY.
+pub fn q7(db: &TpchDb) -> Plan {
+    let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
+        Plan::scan_project(
+            db.nation.clone(),
+            Some(in_str(col(1), &["FRANCE", "GERMANY"])),
+            vec![("n1_key", col(0)), ("supp_nation", col(1))],
+        ),
+        &["s_nationkey"],
+        &["n1_key"],
+        &["supp_nation"],
+    );
+    let cust = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_nationkey"]).join(
+        Plan::scan_project(
+            db.nation.clone(),
+            Some(in_str(col(1), &["FRANCE", "GERMANY"])),
+            vec![("n2_key", col(0)), ("cust_nation", col(1))],
+        ),
+        &["c_nationkey"],
+        &["n2_key"],
+        &["cust_nation"],
+    );
+    let orders = Plan::scan(db.orders.clone(), None, &["o_orderkey", "o_custkey"])
+        .join(cust, &["o_custkey"], &["c_custkey"], &["cust_nation"]);
+    Plan::scan_project(
+        db.lineitem.clone(),
+        Some(between(col(10), d(1995, 1, 1), d(1996, 12, 31))),
+        vec![
+            ("l_orderkey", col(0)),
+            ("l_suppkey", col(2)),
+            ("l_year", year_of(col(10))),
+            ("volume", discounted(col(5), col(6))),
+        ],
+    )
+    .join(supp, &["l_suppkey"], &["s_suppkey"], &["supp_nation"])
+    .join(orders, &["l_orderkey"], &["o_orderkey"], &["cust_nation"])
+    .filter(or(
+        and(
+            eq(col(4), expr::lits("FRANCE")),
+            eq(col(5), expr::lits("GERMANY")),
+        ),
+        and(
+            eq(col(4), expr::lits("GERMANY")),
+            eq(col(5), expr::lits("FRANCE")),
+        ),
+    ))
+    .agg(
+        &["supp_nation", "cust_nation", "l_year"],
+        vec![("revenue", AggFn::SumI64(3))],
+    )
+    .sort_by(vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)], None)
+}
+
+/// Q8: national market share (BRAZIL, AMERICA, ECONOMY ANODIZED STEEL).
+pub fn q8(db: &TpchDb) -> Plan {
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(eq(col(4), expr::lits("ECONOMY ANODIZED STEEL"))),
+        &["p_partkey"],
+    );
+    let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
+        Plan::scan_project(db.nation.clone(), None, vec![("nkey", col(0)), ("supp_nation", col(1))]),
+        &["s_nationkey"],
+        &["nkey"],
+        &["supp_nation"],
+    );
+    let america_cust = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_nationkey"]).join(
+        Plan::scan(db.nation.clone(), None, &["n_nationkey", "n_regionkey"]).join(
+            Plan::scan(
+                db.region.clone(),
+                Some(eq(col(1), expr::lits("AMERICA"))),
+                &["r_regionkey"],
+            ),
+            &["n_regionkey"],
+            &["r_regionkey"],
+            &[],
+        ),
+        &["c_nationkey"],
+        &["n_nationkey"],
+        &[],
+    );
+    let orders = Plan::scan(
+        db.orders.clone(),
+        Some(between(col(4), d(1995, 1, 1), d(1996, 12, 31))),
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+    )
+    .join(america_cust, &["o_custkey"], &["c_custkey"], &[]);
+
+    Plan::scan_project(
+        db.lineitem.clone(),
+        None,
+        vec![
+            ("l_orderkey", col(0)),
+            ("l_partkey", col(1)),
+            ("l_suppkey", col(2)),
+            ("volume", discounted(col(5), col(6))),
+        ],
+    )
+    .join(parts, &["l_partkey"], &["p_partkey"], &[])
+    .join(supp, &["l_suppkey"], &["s_suppkey"], &["supp_nation"])
+    .join(orders, &["l_orderkey"], &["o_orderkey"], &["o_orderdate"])
+    .map(vec![
+        ("o_year", year_of(col(5))),
+        ("volume", col(3)),
+        (
+            "brazil_volume",
+            case(eq(col(4), expr::lits("BRAZIL")), col(3), lit(0)),
+        ),
+    ])
+    .agg(
+        &["o_year"],
+        vec![("brazil", AggFn::SumI64(2)), ("total", AggFn::SumI64(1))],
+    )
+    .map(vec![
+        ("o_year", col(0)),
+        ("mkt_share", div(mul(to_f64(col(1)), litf(1.0)), to_f64(col(2)))),
+    ])
+    .sort_by(vec![SortKey::asc(0)], None)
+}
+
+/// Q9: product type profit measure (%green%).
+pub fn q9(db: &TpchDb) -> Plan {
+    let parts = Plan::scan(db.part.clone(), Some(like(col(1), "%green%")), &["p_partkey"]);
+    let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
+        Plan::scan_project(db.nation.clone(), None, vec![("nkey", col(0)), ("nation", col(1))]),
+        &["s_nationkey"],
+        &["nkey"],
+        &["nation"],
+    );
+    let ps = Plan::scan(db.partsupp.clone(), None, &["ps_partkey", "ps_suppkey", "ps_supplycost"]);
+    let orders = Plan::scan(db.orders.clone(), None, &["o_orderkey", "o_orderdate"]);
+
+    Plan::scan_project(
+        db.lineitem.clone(),
+        None,
+        vec![
+            ("l_orderkey", col(0)),
+            ("l_partkey", col(1)),
+            ("l_suppkey", col(2)),
+            ("l_quantity", col(4)),
+            ("disc_rev", discounted(col(5), col(6))),
+        ],
+    )
+    .join(parts, &["l_partkey"], &["p_partkey"], &[])
+    .join(
+        ps,
+        &["l_partkey", "l_suppkey"],
+        &["ps_partkey", "ps_suppkey"],
+        &["ps_supplycost"],
+    )
+    .join(supp, &["l_suppkey"], &["s_suppkey"], &["nation"])
+    .join(orders, &["l_orderkey"], &["o_orderkey"], &["o_orderdate"])
+    .map(vec![
+        ("nation", col(6)),
+        ("o_year", year_of(col(7))),
+        ("amount", sub(col(4), mul(col(5), col(3)))),
+    ])
+    .agg(&["nation", "o_year"], vec![("sum_profit", AggFn::SumI64(2))])
+    .sort_by(vec![SortKey::asc(0), SortKey::desc(1)], None)
+}
+
+/// Q10: returned item reporting (top 20 customers).
+pub fn q10(db: &TpchDb) -> Plan {
+    let nations =
+        Plan::scan_project(db.nation.clone(), None, vec![("nkey", col(0)), ("n_name", col(1))]);
+    let cust = Plan::scan(
+        db.customer.clone(),
+        None,
+        &["c_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "c_nationkey"],
+    )
+    .join(nations, &["c_nationkey"], &["nkey"], &["n_name"]);
+    let orders = Plan::scan(
+        db.orders.clone(),
+        Some(between(col(4), d(1993, 10, 1), d(1994, 1, 1) - 1)),
+        &["o_orderkey", "o_custkey"],
+    )
+    .join(
+        cust,
+        &["o_custkey"],
+        &["c_custkey"],
+        &["c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "n_name"],
+    );
+    Plan::scan_project(
+        db.lineitem.clone(),
+        Some(eq(col(8), expr::lits("R"))),
+        vec![("l_orderkey", col(0)), ("revenue", discounted(col(5), col(6)))],
+    )
+    .join(
+        orders,
+        &["l_orderkey"],
+        &["o_orderkey"],
+        &["o_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "n_name"],
+    )
+    .agg(
+        &["o_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"],
+        vec![("revenue", AggFn::SumI64(1))],
+    )
+    .sort_by(vec![SortKey::desc(7)], Some(20))
+}
+
+/// Q11: important stock identification (GERMANY).
+pub fn q11(db: &TpchDb) -> Plan {
+    let german_supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
+        Plan::scan(db.nation.clone(), Some(eq(col(1), expr::lits("GERMANY"))), &["n_nationkey"]),
+        &["s_nationkey"],
+        &["n_nationkey"],
+        &[],
+    );
+    let value_per_part = Plan::scan(
+        db.partsupp.clone(),
+        None,
+        &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
+    )
+    .join(german_supp, &["ps_suppkey"], &["s_suppkey"], &[])
+    .map(vec![("ps_partkey", col(0)), ("value", mul(col(3), col(2)))])
+    .agg(&["ps_partkey"], vec![("value", AggFn::SumI64(1))]);
+
+    // Total value (scalar) broadcast back via a constant-key join.
+    let german_supp2 = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
+        Plan::scan(db.nation.clone(), Some(eq(col(1), expr::lits("GERMANY"))), &["n_nationkey"]),
+        &["s_nationkey"],
+        &["n_nationkey"],
+        &[],
+    );
+    let total = Plan::scan(
+        db.partsupp.clone(),
+        None,
+        &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
+    )
+    .join(german_supp2, &["ps_suppkey"], &["s_suppkey"], &[])
+    .map(vec![("value", mul(col(3), col(2)))])
+    .agg(&[], vec![("total", AggFn::SumI64(0))])
+    .map(vec![("k", lit(0)), ("total", col(0))]);
+
+    // Spec threshold: total * 0.0001 / SF.
+    let frac = 0.0001 / db.config.scale;
+    append(value_per_part, "k", lit(0))
+        .join(total, &["k"], &["k"], &["total"])
+        .filter(gt(to_f64(col(1)), mul(litf(frac), to_f64(col(3)))))
+        .map(vec![("ps_partkey", col(0)), ("value", col(1))])
+        .sort_by(vec![SortKey::desc(1)], None)
+}
+
+/// Q12: shipping modes and order priority (MAIL, SHIP in 1994).
+pub fn q12(db: &TpchDb) -> Plan {
+    let lines = Plan::scan_project(
+        db.lineitem.clone(),
+        Some(and(
+            and(
+                in_str(col(14), &["MAIL", "SHIP"]),
+                and(lt(col(11), col(12)), lt(col(10), col(11))),
+            ),
+            between(col(12), d(1994, 1, 1), d(1995, 1, 1) - 1),
+        )),
+        vec![("l_orderkey", col(0)), ("l_shipmode", col(14))],
+    );
+    Plan::scan(db.orders.clone(), None, &["o_orderkey", "o_orderpriority"])
+        .join(lines, &["o_orderkey"], &["l_orderkey"], &["l_shipmode"])
+        .map(vec![
+            ("l_shipmode", col(2)),
+            (
+                "high",
+                case(
+                    in_str(col(1), &["1-URGENT", "2-HIGH"]),
+                    lit(1),
+                    lit(0),
+                ),
+            ),
+            (
+                "low",
+                case(
+                    in_str(col(1), &["1-URGENT", "2-HIGH"]),
+                    lit(0),
+                    lit(1),
+                ),
+            ),
+        ])
+        .agg(
+            &["l_shipmode"],
+            vec![("high_line_count", AggFn::SumI64(1)), ("low_line_count", AggFn::SumI64(2))],
+        )
+        .sort_by(vec![SortKey::asc(0)], None)
+}
+
+/// Q13: customer distribution (left outer join + count, fused).
+pub fn q13(db: &TpchDb) -> Plan {
+    let orders = Plan::scan_project(
+        db.orders.clone(),
+        Some(not(like(col(8), "%special%requests%"))),
+        vec![("o_custkey", col(1))],
+    );
+    Plan::scan(db.customer.clone(), None, &["c_custkey"])
+        .join_kind(orders, &["c_custkey"], &["o_custkey"], &[], JoinKind::Count)
+        .agg(&["match_count"], vec![("custdist", AggFn::Count)])
+        .sort_by(vec![SortKey::desc(1), SortKey::desc(0)], None)
+}
+
+/// Q14: promotion effect (1995-09).
+pub fn q14(db: &TpchDb) -> Plan {
+    let parts = Plan::scan_project(
+        db.part.clone(),
+        None,
+        vec![("p_partkey", col(0)), ("p_type", col(4))],
+    );
+    Plan::scan_project(
+        db.lineitem.clone(),
+        Some(between(col(10), d(1995, 9, 1), d(1995, 10, 1) - 1)),
+        vec![("l_partkey", col(1)), ("rev", discounted(col(5), col(6)))],
+    )
+    .join(parts, &["l_partkey"], &["p_partkey"], &["p_type"])
+    .map(vec![
+        ("rev", col(1)),
+        ("promo_rev", case(prefix(col(2), "PROMO"), col(1), lit(0))),
+    ])
+    .agg(&[], vec![("promo", AggFn::SumI64(1)), ("total", AggFn::SumI64(0))])
+    .map(vec![(
+        "promo_revenue",
+        div(mul(litf(100.0), to_f64(col(0))), to_f64(col(1))),
+    )])
+}
+
+/// Q15: top supplier (revenue view + max).
+pub fn q15(db: &TpchDb) -> Plan {
+    let revenue = |db: &TpchDb| {
+        Plan::scan_project(
+            db.lineitem.clone(),
+            Some(between(col(10), d(1996, 1, 1), d(1996, 4, 1) - 1)),
+            vec![("l_suppkey", col(2)), ("rev", discounted(col(5), col(6)))],
+        )
+        .agg(&["l_suppkey"], vec![("total_revenue", AggFn::SumI64(1))])
+    };
+    let max_rev = revenue(db)
+        .agg(&[], vec![("max_rev", AggFn::MaxI64(1))])
+        .map(vec![("k", lit(0)), ("max_rev", col(0))]);
+    let best = append(revenue(db), "k", lit(0))
+        .join(max_rev, &["k"], &["k"], &["max_rev"])
+        .filter(eq(col(1), col(3)));
+    Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_name", "s_address", "s_phone"])
+        .join(best, &["s_suppkey"], &["l_suppkey"], &["total_revenue"])
+        .sort_by(vec![SortKey::asc(0)], None)
+}
+
+/// Q16: parts/supplier relationship (anti join on complaints).
+pub fn q16(db: &TpchDb) -> Plan {
+    let complainers = Plan::scan_project(
+        db.supplier.clone(),
+        Some(like(col(6), "%Customer%Complaints%")),
+        vec![("bad_suppkey", col(0))],
+    );
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(and(
+            and(
+                ne(col(3), expr::lits("Brand#45")),
+                not(prefix(col(4), "MEDIUM POLISHED")),
+            ),
+            in_i64(col(5), vec![49, 14, 23, 45, 19, 3, 36, 9]),
+        )),
+        &["p_partkey", "p_brand", "p_type", "p_size"],
+    );
+    Plan::scan(db.partsupp.clone(), None, &["ps_partkey", "ps_suppkey"])
+        .join_kind(complainers, &["ps_suppkey"], &["bad_suppkey"], &[], JoinKind::Anti)
+        .join(parts, &["ps_partkey"], &["p_partkey"], &["p_brand", "p_type", "p_size"])
+        .agg(
+            &["p_brand", "p_type", "p_size"],
+            vec![("supplier_cnt", AggFn::CountDistinctI64(1))],
+        )
+        .sort_by(
+            vec![SortKey::desc(3), SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+            None,
+        )
+}
+
+/// Q17: small-quantity-order revenue (Brand#23, MED BOX).
+pub fn q17(db: &TpchDb) -> Plan {
+    let parts = |db: &TpchDb| {
+        Plan::scan(
+            db.part.clone(),
+            Some(and(
+                eq(col(3), expr::lits("Brand#23")),
+                eq(col(6), expr::lits("MED BOX")),
+            )),
+            &["p_partkey"],
+        )
+    };
+    let avg_qty = Plan::scan_project(
+        db.lineitem.clone(),
+        None,
+        vec![("l_partkey", col(1)), ("l_quantity", col(4))],
+    )
+    .join(parts(db), &["l_partkey"], &["p_partkey"], &[])
+    .agg(&["l_partkey"], vec![("avg_qty", AggFn::AvgI64(1))]);
+
+    Plan::scan_project(
+        db.lineitem.clone(),
+        None,
+        vec![
+            ("l_partkey", col(1)),
+            ("l_quantity", col(4)),
+            ("l_extendedprice", col(5)),
+        ],
+    )
+    .join(avg_qty, &["l_partkey"], &["l_partkey"], &["avg_qty"])
+    .filter(lt(to_f64(col(1)), mul(litf(0.2), col(3))))
+    .agg(&[], vec![("sum_price", AggFn::SumI64(2))])
+    .map(vec![("avg_yearly", div(to_f64(col(0)), litf(7.0)))])
+}
+
+/// Q18: large volume customers (top 100).
+pub fn q18(db: &TpchDb) -> Plan {
+    let big_orders = Plan::scan_project(
+        db.lineitem.clone(),
+        None,
+        vec![("l_orderkey", col(0)), ("l_quantity", col(4))],
+    )
+    .agg(&["l_orderkey"], vec![("sum_qty", AggFn::SumI64(1))])
+    .filter(gt(col(1), lit(300)));
+    let cust = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_name"]);
+    Plan::scan(
+        db.orders.clone(),
+        None,
+        &["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"],
+    )
+    .join(big_orders, &["o_orderkey"], &["l_orderkey"], &["sum_qty"])
+    .join(cust, &["o_custkey"], &["c_custkey"], &["c_name"])
+    .sort_by(vec![SortKey::desc(2), SortKey::asc(3)], Some(100))
+}
+
+/// Q19: discounted revenue (three OR-ed brand/container brackets).
+pub fn q19(db: &TpchDb) -> Plan {
+    let parts = Plan::scan(
+        db.part.clone(),
+        None,
+        &["p_partkey", "p_brand", "p_container", "p_size"],
+    );
+    let bracket = |brand: &str, containers: &[&str], qlo: i64, qhi: i64, smax: i64| {
+        and(
+            and(eq(col(3), expr::lits(brand)), in_str(col(4), containers)),
+            and(
+                between(col(1), qlo, qhi),
+                between(col(5), 1, smax),
+            ),
+        )
+    };
+    Plan::scan_project(
+        db.lineitem.clone(),
+        Some(and(
+            in_str(col(14), &["AIR", "AIR REG"]),
+            eq(col(13), expr::lits("DELIVER IN PERSON")),
+        )),
+        vec![
+            ("l_partkey", col(1)),
+            ("l_quantity", col(4)),
+            ("rev", discounted(col(5), col(6))),
+        ],
+    )
+    .join(parts, &["l_partkey"], &["p_partkey"], &["p_brand", "p_container", "p_size"])
+    .filter(or(
+        or(
+            bracket("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
+            bracket("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
+        ),
+        bracket("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
+    ))
+    .agg(&[], vec![("revenue", AggFn::SumI64(2))])
+}
+
+/// Q20: potential part promotion (forest%, CANADA, excess stock).
+pub fn q20(db: &TpchDb) -> Plan {
+    let forest_parts =
+        Plan::scan(db.part.clone(), Some(prefix(col(1), "forest")), &["p_partkey"]);
+    let shipped = Plan::scan_project(
+        db.lineitem.clone(),
+        Some(between(col(10), d(1994, 1, 1), d(1995, 1, 1) - 1)),
+        vec![
+            ("l_partkey", col(1)),
+            ("l_suppkey", col(2)),
+            ("l_quantity", col(4)),
+        ],
+    )
+    .agg(&["l_partkey", "l_suppkey"], vec![("sum_qty", AggFn::SumI64(2))]);
+
+    let qualified_ps = Plan::scan(
+        db.partsupp.clone(),
+        None,
+        &["ps_partkey", "ps_suppkey", "ps_availqty"],
+    )
+    .join_kind(forest_parts, &["ps_partkey"], &["p_partkey"], &[], JoinKind::Semi)
+    .join(
+        shipped,
+        &["ps_partkey", "ps_suppkey"],
+        &["l_partkey", "l_suppkey"],
+        &["sum_qty"],
+    )
+    .filter(gt(mul(col(2), lit(2)), col(3))) // availqty > 0.5 * sum_qty
+    .map(vec![("q_suppkey", col(1))]);
+
+    let canada = Plan::scan(db.nation.clone(), Some(eq(col(1), expr::lits("CANADA"))), &["n_nationkey"]);
+    Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_name", "s_address", "s_nationkey"])
+        .join_kind(qualified_ps, &["s_suppkey"], &["q_suppkey"], &[], JoinKind::Semi)
+        .join_kind(canada, &["s_nationkey"], &["n_nationkey"], &[], JoinKind::Semi)
+        .sort_by(vec![SortKey::asc(1)], None)
+}
+
+/// Q21: suppliers who kept orders waiting (SAUDI ARABIA).
+pub fn q21(db: &TpchDb) -> Plan {
+    // Orders with >= 2 distinct suppliers overall.
+    let multi_supp = Plan::scan_project(
+        db.lineitem.clone(),
+        None,
+        vec![("l_orderkey", col(0)), ("l_suppkey", col(2))],
+    )
+    .agg(&["l_orderkey"], vec![("n_supp", AggFn::CountDistinctI64(1))])
+    .filter(ge(col(1), lit(2)))
+    .map(vec![("m_orderkey", col(0))]);
+
+    // Orders whose late lines all come from a single supplier.
+    let single_late = Plan::scan_project(
+        db.lineitem.clone(),
+        Some(gt(col(12), col(11))), // receipt > commit
+        vec![("l_orderkey", col(0)), ("l_suppkey", col(2))],
+    )
+    .agg(&["l_orderkey"], vec![("n_late_supp", AggFn::CountDistinctI64(1))])
+    .filter(eq(col(1), lit(1)))
+    .map(vec![("s_orderkey", col(0))]);
+
+    let f_orders = Plan::scan_project(
+        db.orders.clone(),
+        Some(eq(col(2), expr::lits("F"))),
+        vec![("fo_orderkey", col(0))],
+    );
+    let saudi_supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_name", "s_nationkey"])
+        .join(
+            Plan::scan(
+                db.nation.clone(),
+                Some(eq(col(1), expr::lits("SAUDI ARABIA"))),
+                &["n_nationkey"],
+            ),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            &[],
+        );
+
+    Plan::scan_project(
+        db.lineitem.clone(),
+        Some(gt(col(12), col(11))),
+        vec![("l_orderkey", col(0)), ("l_suppkey", col(2))],
+    )
+    .join_kind(multi_supp, &["l_orderkey"], &["m_orderkey"], &[], JoinKind::Semi)
+    .join_kind(single_late, &["l_orderkey"], &["s_orderkey"], &[], JoinKind::Semi)
+    .join_kind(f_orders, &["l_orderkey"], &["fo_orderkey"], &[], JoinKind::Semi)
+    .join(saudi_supp, &["l_suppkey"], &["s_suppkey"], &["s_name"])
+    .agg(&["s_name"], vec![("numwait", AggFn::Count)])
+    .sort_by(vec![SortKey::desc(1), SortKey::asc(0)], Some(100))
+}
+
+/// Q22: global sales opportunity (country codes, no orders, above-average
+/// balance).
+pub fn q22(db: &TpchDb) -> Plan {
+    const CODES: [&str; 7] = ["13", "31", "23", "29", "30", "18", "17"];
+    let code_filter = |phone_col: usize| {
+        in_str(substr(col(phone_col), 1, 2), &CODES)
+    };
+    let avg_bal = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_phone", "c_acctbal"])
+        .filter(and(code_filter(1), gt(col(2), lit(0))))
+        .agg(&[], vec![("avg_bal", AggFn::AvgI64(2))])
+        .map(vec![("k", lit(0)), ("avg_bal", col(0))]);
+
+    let orders = Plan::scan(db.orders.clone(), None, &["o_custkey"]);
+    let candidates = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_phone", "c_acctbal"])
+        .filter(code_filter(1))
+        .join_kind(orders, &["c_custkey"], &["o_custkey"], &[], JoinKind::Anti);
+
+    append(candidates, "k", lit(0))
+        .join(avg_bal, &["k"], &["k"], &["avg_bal"])
+        .filter(gt(to_f64(col(2)), col(4)))
+        .map(vec![("cntrycode", substr(col(1), 1, 2)), ("c_acctbal", col(2))])
+        .agg(
+            &["cntrycode"],
+            vec![("numcust", AggFn::Count), ("totacctbal", AggFn::SumI64(1))],
+        )
+        .sort_by(vec![SortKey::asc(0)], None)
+}
+
+/// All 22 queries by number.
+pub fn query(db: &TpchDb, number: usize) -> Plan {
+    match number {
+        1 => q1(db),
+        2 => q2(db),
+        3 => q3(db),
+        4 => q4(db),
+        5 => q5(db),
+        6 => q6(db),
+        7 => q7(db),
+        8 => q8(db),
+        9 => q9(db),
+        10 => q10(db),
+        11 => q11(db),
+        12 => q12(db),
+        13 => q13(db),
+        14 => q14(db),
+        15 => q15(db),
+        16 => q16(db),
+        17 => q17(db),
+        18 => q18(db),
+        19 => q19(db),
+        20 => q20(db),
+        21 => q21(db),
+        22 => q22(db),
+        other => panic!("TPC-H has queries 1..=22, not {other}"),
+    }
+}
+
+/// All queries as (name, plan) pairs.
+pub fn all(db: &TpchDb) -> Vec<(String, Plan)> {
+    (1..=22).map(|q| (format!("TPC-H Q{q}"), query(db, q))).collect()
+}

@@ -1,0 +1,133 @@
+//! Smoke tests: every TPC-H and SSB query compiles, runs to completion on
+//! both executors, and agrees between the simulator and the real-thread
+//! executor (the result-identity claim of DESIGN.md §5).
+
+use morsel_core::ExecEnv;
+use morsel_datagen::{generate_ssb, generate_tpch, SsbConfig, TpchConfig};
+use morsel_exec::sort::{cmp_rows, SortKey};
+use morsel_exec::SystemVariant;
+use morsel_numa::Topology;
+use morsel_queries::{run_sim, run_threaded, ssb_queries, tpch_queries};
+use morsel_storage::Batch;
+
+/// Canonical form: rows sorted by every column ascending.
+fn canonical(b: &Batch) -> Batch {
+    let keys: Vec<SortKey> = (0..b.width()).map(SortKey::asc).collect();
+    let mut perm: Vec<u32> = (0..b.rows() as u32).collect();
+    perm.sort_by(|&x, &y| cmp_rows(b, x as usize, b, y as usize, &keys));
+    b.reordered(&perm)
+}
+
+fn batches_close(a: &Batch, b: &Batch) -> bool {
+    if a.rows() != b.rows() || a.width() != b.width() {
+        return false;
+    }
+    for c in 0..a.width() {
+        match (a.column(c), b.column(c)) {
+            (morsel_storage::Column::F64(x), morsel_storage::Column::F64(y)) => {
+                if !x.iter().zip(y).all(|(p, q)| (p - q).abs() < 1e-6 * (1.0 + p.abs())) {
+                    return false;
+                }
+            }
+            (x, y) => {
+                if x != y {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn all_tpch_queries_run_and_executors_agree() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+    for q in 1..=22 {
+        let sim = run_sim(
+            &env,
+            &format!("q{q}"),
+            tpch_queries::query(&db, q),
+            SystemVariant::full(),
+            16,
+            1024,
+        );
+        let thr = run_threaded(
+            &env,
+            &format!("q{q}"),
+            tpch_queries::query(&db, q),
+            SystemVariant::full(),
+            4,
+            1024,
+        );
+        assert!(
+            batches_close(&canonical(&sim.result), &canonical(&thr.result)),
+            "Q{q}: sim and threaded results differ ({} vs {} rows)",
+            sim.result.rows(),
+            thr.result.rows()
+        );
+        assert!(sim.stats.elapsed_ns() > 0, "Q{q}: no virtual time elapsed");
+        assert!(sim.traffic.total_read() > 0, "Q{q}: no traffic recorded");
+    }
+}
+
+#[test]
+fn all_ssb_queries_run_and_executors_agree() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let db = generate_ssb(SsbConfig { scale: 0.002, ..Default::default() }, &topo);
+    for id in ssb_queries::IDS {
+        let sim = run_sim(
+            &env,
+            &format!("ssb{id}"),
+            ssb_queries::query(&db, id),
+            SystemVariant::full(),
+            16,
+            1024,
+        );
+        let thr = run_threaded(
+            &env,
+            &format!("ssb{id}"),
+            ssb_queries::query(&db, id),
+            SystemVariant::full(),
+            4,
+            1024,
+        );
+        assert!(
+            batches_close(&canonical(&sim.result), &canonical(&thr.result)),
+            "SSB {id}: executors disagree"
+        );
+    }
+}
+
+#[test]
+fn tpch_variants_agree_on_results() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+    // A representative subset across operator shapes.
+    for q in [1, 3, 6, 13, 18] {
+        let reference = canonical(
+            &run_sim(
+                &env,
+                "ref",
+                tpch_queries::query(&db, q),
+                SystemVariant::full(),
+                16,
+                1024,
+            )
+            .result,
+        );
+        for variant in SystemVariant::all() {
+            let got = canonical(
+                &run_sim(&env, "v", tpch_queries::query(&db, q), variant, 16, 1024).result,
+            );
+            assert!(
+                batches_close(&reference, &got),
+                "Q{q}: variant {} diverges",
+                variant.name
+            );
+        }
+    }
+}

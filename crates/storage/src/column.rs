@@ -1,0 +1,232 @@
+//! Columnar storage.
+//!
+//! HyPer stores relations column-wise (Section 5: "we used the column
+//! format in all experiments"). A [`Column`] is one attribute's values for
+//! one partition; operators work on contiguous slices of it (one morsel at
+//! a time).
+
+use crate::value::{DataType, Value};
+
+/// A single column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    I64(Vec<i64>),
+    I32(Vec<i32>),
+    F64(Vec<f64>),
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn empty(dt: DataType) -> Self {
+        match dt {
+            DataType::I64 => Column::I64(Vec::new()),
+            DataType::I32 => Column::I32(Vec::new()),
+            DataType::F64 => Column::F64(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// Create an empty column with reserved capacity.
+    pub fn with_capacity(dt: DataType, cap: usize) -> Self {
+        match dt {
+            DataType::I64 => Column::I64(Vec::with_capacity(cap)),
+            DataType::I32 => Column::I32(Vec::with_capacity(cap)),
+            DataType::F64 => Column::F64(Vec::with_capacity(cap)),
+            DataType::Str => Column::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::I64(_) => DataType::I64,
+            Column::I32(_) => DataType::I32,
+            Column::F64(_) => DataType::F64,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::I32(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Typed slice accessors. Panic on type mismatch — a schema violation
+    /// is an engine bug, not a runtime condition.
+    pub fn as_i64(&self) -> &[i64] {
+        match self {
+            Column::I64(v) => v,
+            other => panic!("expected I64 column, got {:?}", other.data_type()),
+        }
+    }
+
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            Column::I32(v) => v,
+            other => panic!("expected I32 column, got {:?}", other.data_type()),
+        }
+    }
+
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Column::F64(v) => v,
+            other => panic!("expected F64 column, got {:?}", other.data_type()),
+        }
+    }
+
+    pub fn as_str(&self) -> &[String] {
+        match self {
+            Column::Str(v) => v,
+            other => panic!("expected Str column, got {:?}", other.data_type()),
+        }
+    }
+
+    /// Value at row `i` as a dynamic [`Value`] (edge use only; slow path).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::I64(v) => Value::I64(v[i]),
+            Column::I32(v) => Value::I32(v[i]),
+            Column::F64(v) => Value::F64(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Append a dynamic value (edge use only; slow path).
+    pub fn push(&mut self, v: Value) {
+        match (self, v) {
+            (Column::I64(c), Value::I64(x)) => c.push(x),
+            (Column::I32(c), Value::I32(x)) => c.push(x),
+            (Column::F64(c), Value::F64(x)) => c.push(x),
+            (Column::Str(c), Value::Str(x)) => c.push(x),
+            (c, v) => panic!("cannot push {:?} into {:?} column", v.data_type(), c.data_type()),
+        }
+    }
+
+    /// Append row `i` of `src` to this column.
+    pub fn push_from(&mut self, src: &Column, i: usize) {
+        match (self, src) {
+            (Column::I64(dst), Column::I64(s)) => dst.push(s[i]),
+            (Column::I32(dst), Column::I32(s)) => dst.push(s[i]),
+            (Column::F64(dst), Column::F64(s)) => dst.push(s[i]),
+            (Column::Str(dst), Column::Str(s)) => dst.push(s[i].clone()),
+            (dst, s) => {
+                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+            }
+        }
+    }
+
+    /// Append the row range `rows` of `src`, filtered by `sel` (row indexes
+    /// relative to the whole column of `src`).
+    pub fn extend_selected(&mut self, src: &Column, sel: &[u32]) {
+        match (self, src) {
+            (Column::I64(dst), Column::I64(s)) => dst.extend(sel.iter().map(|&i| s[i as usize])),
+            (Column::I32(dst), Column::I32(s)) => dst.extend(sel.iter().map(|&i| s[i as usize])),
+            (Column::F64(dst), Column::F64(s)) => dst.extend(sel.iter().map(|&i| s[i as usize])),
+            (Column::Str(dst), Column::Str(s)) => {
+                dst.extend(sel.iter().map(|&i| s[i as usize].clone()))
+            }
+            (dst, s) => {
+                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+            }
+        }
+    }
+
+    /// Append all rows of `src`.
+    pub fn extend_from(&mut self, src: &Column) {
+        match (self, src) {
+            (Column::I64(dst), Column::I64(s)) => dst.extend_from_slice(s),
+            (Column::I32(dst), Column::I32(s)) => dst.extend_from_slice(s),
+            (Column::F64(dst), Column::F64(s)) => dst.extend_from_slice(s),
+            (Column::Str(dst), Column::Str(s)) => dst.extend_from_slice(s),
+            (dst, s) => {
+                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+            }
+        }
+    }
+
+    /// Approximate in-memory bytes of rows `[from, to)`, used to charge the
+    /// NUMA traffic counters. Strings count their byte length plus the
+    /// 8-byte offset a real column store would keep.
+    pub fn byte_size(&self, from: usize, to: usize) -> u64 {
+        match self {
+            Column::I64(_) | Column::F64(_) => 8 * (to - from) as u64,
+            Column::I32(_) => 4 * (to - from) as u64,
+            Column::Str(v) => v[from..to].iter().map(|s| s.len() as u64 + 8).sum(),
+        }
+    }
+
+    /// Total approximate bytes of the whole column.
+    pub fn total_bytes(&self) -> u64 {
+        self.byte_size(0, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip() {
+        let mut c = Column::empty(DataType::I64);
+        c.push(Value::I64(1));
+        c.push(Value::I64(2));
+        assert_eq!(c.as_i64(), &[1, 2]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.value(1), Value::I64(2));
+    }
+
+    #[test]
+    fn extend_selected_filters() {
+        let src = Column::I64(vec![10, 20, 30, 40]);
+        let mut dst = Column::empty(DataType::I64);
+        dst.extend_selected(&src, &[0, 2]);
+        assert_eq!(dst.as_i64(), &[10, 30]);
+    }
+
+    #[test]
+    fn extend_from_appends_all() {
+        let src = Column::Str(vec!["a".into(), "b".into()]);
+        let mut dst = Column::empty(DataType::Str);
+        dst.extend_from(&src);
+        dst.extend_from(&src);
+        assert_eq!(dst.len(), 4);
+    }
+
+    #[test]
+    fn push_from_copies_row() {
+        let src = Column::F64(vec![1.5, 2.5]);
+        let mut dst = Column::empty(DataType::F64);
+        dst.push_from(&src, 1);
+        assert_eq!(dst.as_f64(), &[2.5]);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Column::I64(vec![0; 10]).byte_size(2, 5), 24);
+        assert_eq!(Column::I32(vec![0; 10]).byte_size(0, 10), 40);
+        let s = Column::Str(vec!["ab".into(), "c".into()]);
+        assert_eq!(s.total_bytes(), (2 + 8) + (1 + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected I64")]
+    fn type_mismatch_panics() {
+        Column::F64(vec![]).as_i64();
+    }
+
+    #[test]
+    fn with_capacity_type() {
+        let c = Column::with_capacity(DataType::Str, 8);
+        assert_eq!(c.data_type(), DataType::Str);
+        assert!(c.is_empty());
+    }
+}

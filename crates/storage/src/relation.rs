@@ -1,0 +1,285 @@
+//! NUMA-partitioned base relations.
+//!
+//! Section 4.3: relations are distributed over the memory nodes, either
+//! round-robin or — better — hash-partitioned on an "important" attribute
+//! so that co-partitioned joins mostly find their partners NUMA-locally.
+//! Section 5.1: HyPer partitions each relation on the first attribute of
+//! the primary key into 64 partitions. A partition lives entirely on one
+//! node; morsels never span partitions.
+
+use morsel_numa::{Placement, SocketId, Topology};
+
+use crate::batch::Batch;
+use crate::hash::hash_i64;
+use crate::schema::Schema;
+
+/// One NUMA-resident fragment of a relation.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub node: SocketId,
+    pub data: Batch,
+}
+
+/// How rows are assigned to partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionBy {
+    /// Hash of an `i64` key column (the paper's preferred scheme).
+    Hash { column: usize },
+    /// Contiguous chunks in row order (round-robin across nodes).
+    Chunks,
+}
+
+/// A base relation: schema plus NUMA-resident partitions.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    partitions: Vec<Partition>,
+}
+
+impl Relation {
+    /// Partition `data` into `partition_count` fragments and place them on
+    /// nodes according to `placement`.
+    ///
+    /// With [`Placement::FirstTouch`] partitions go round-robin over nodes
+    /// (each is "first touched" by the loader thread of its node); with
+    /// [`Placement::OsDefault`] everything lands on node 0 (paper,
+    /// footnote 6); with [`Placement::Interleaved`] partitions go
+    /// round-robin as well (per-page interleaving and per-partition
+    /// round-robin are equivalent at morsel granularity);
+    /// [`Placement::OnNode`] pins all partitions to one node.
+    pub fn partitioned(
+        schema: Schema,
+        data: &Batch,
+        by: PartitionBy,
+        partition_count: usize,
+        placement: Placement,
+        topology: &Topology,
+    ) -> Self {
+        assert!(partition_count > 0, "need at least one partition");
+        let sockets = topology.sockets();
+        let types = schema.data_types();
+        let mut parts: Vec<Batch> = (0..partition_count).map(|_| Batch::empty(&types)).collect();
+
+        match by {
+            PartitionBy::Hash { column } => {
+                let keys = data.column(column).as_i64();
+                let mut sel: Vec<Vec<u32>> = vec![Vec::new(); partition_count];
+                for (i, &k) in keys.iter().enumerate() {
+                    // The *lowest* bits of the same hash the join hash
+                    // table will use its highest bits of (Section 4.3).
+                    let p = (hash_i64(k) % partition_count as u64) as usize;
+                    sel[p].push(i as u32);
+                }
+                for (p, s) in parts.iter_mut().zip(&sel) {
+                    p.extend_selected(data, s);
+                }
+            }
+            PartitionBy::Chunks => {
+                let n = data.rows();
+                let per = n.div_ceil(partition_count);
+                for (pi, part) in parts.iter_mut().enumerate() {
+                    let from = (pi * per).min(n);
+                    let to = ((pi + 1) * per).min(n);
+                    if from < to {
+                        let sel: Vec<u32> = (from as u32..to as u32).collect();
+                        part.extend_selected(data, &sel);
+                    }
+                }
+            }
+        }
+
+        let partitions = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| Partition {
+                node: placement.node_for(i, SocketId((i % sockets as usize) as u16), sockets),
+                data,
+            })
+            .collect();
+        Relation { schema, partitions }
+    }
+
+    /// A single-partition relation on node 0 (for tests and tiny tables).
+    pub fn single(schema: Schema, data: Batch) -> Self {
+        Relation { schema, partitions: vec![Partition { node: SocketId(0), data }] }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    pub fn partition(&self, i: usize) -> &Partition {
+        &self.partitions[i]
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.data.rows()).sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.data.total_bytes()).sum()
+    }
+
+    /// Re-place the partitions under a different policy without copying
+    /// row data (used by the Section 5.3 placement comparison).
+    pub fn with_placement(&self, placement: Placement, topology: &Topology) -> Relation {
+        let sockets = topology.sockets();
+        let partitions = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Partition {
+                node: placement.node_for(i, SocketId((i % sockets as usize) as u16), sockets),
+                data: p.data.clone(),
+            })
+            .collect();
+        Relation { schema: self.schema.clone(), partitions }
+    }
+
+    /// Concatenate all partitions back into one batch (tests/verification).
+    pub fn gather(&self) -> Batch {
+        let mut out = Batch::empty(&self.schema.data_types());
+        for p in &self.partitions {
+            out.extend_from(&p.data);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::DataType;
+
+    fn sample_batch(n: usize) -> Batch {
+        Batch::from_columns(vec![
+            Column::I64((0..n as i64).collect()),
+            Column::I64((0..n as i64).map(|x| x * 10).collect()),
+        ])
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![("k", DataType::I64), ("v", DataType::I64)])
+    }
+
+    #[test]
+    fn hash_partitioning_preserves_all_rows() {
+        let t = Topology::nehalem_ex();
+        let data = sample_batch(1000);
+        let r = Relation::partitioned(
+            schema(),
+            &data,
+            PartitionBy::Hash { column: 0 },
+            64,
+            Placement::FirstTouch,
+            &t,
+        );
+        assert_eq!(r.partitions().len(), 64);
+        assert_eq!(r.total_rows(), 1000);
+        // Key k must be in the partition hash says it is.
+        for p in r.partitions() {
+            for &k in p.data.column(0).as_i64() {
+                assert_eq!((hash_i64(k) % 64) as usize % 4, p.node.0 as usize % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partitioning_is_roughly_balanced() {
+        let t = Topology::nehalem_ex();
+        let data = sample_batch(6400);
+        let r = Relation::partitioned(
+            schema(),
+            &data,
+            PartitionBy::Hash { column: 0 },
+            64,
+            Placement::FirstTouch,
+            &t,
+        );
+        let avg = 100.0;
+        for p in r.partitions() {
+            let n = p.data.rows() as f64;
+            assert!(n > avg * 0.5 && n < avg * 1.7, "partition size {n} too far from {avg}");
+        }
+    }
+
+    #[test]
+    fn chunk_partitioning_keeps_order() {
+        let t = Topology::laptop();
+        let data = sample_batch(10);
+        let r = Relation::partitioned(
+            schema(),
+            &data,
+            PartitionBy::Chunks,
+            3,
+            Placement::FirstTouch,
+            &t,
+        );
+        assert_eq!(r.partition(0).data.column(0).as_i64(), &[0, 1, 2, 3]);
+        assert_eq!(r.partition(2).data.column(0).as_i64(), &[8, 9]);
+        assert_eq!(r.gather().column(0).as_i64(), sample_batch(10).column(0).as_i64());
+    }
+
+    #[test]
+    fn os_default_places_everything_on_node0() {
+        let t = Topology::nehalem_ex();
+        let data = sample_batch(100);
+        let r = Relation::partitioned(
+            schema(),
+            &data,
+            PartitionBy::Chunks,
+            8,
+            Placement::OsDefault,
+            &t,
+        );
+        assert!(r.partitions().iter().all(|p| p.node == SocketId(0)));
+    }
+
+    #[test]
+    fn first_touch_spreads_over_nodes() {
+        let t = Topology::nehalem_ex();
+        let data = sample_batch(100);
+        let r = Relation::partitioned(
+            schema(),
+            &data,
+            PartitionBy::Chunks,
+            8,
+            Placement::FirstTouch,
+            &t,
+        );
+        let nodes: std::collections::HashSet<u16> =
+            r.partitions().iter().map(|p| p.node.0).collect();
+        assert_eq!(nodes.len(), 4);
+    }
+
+    #[test]
+    fn replacement_changes_nodes_not_data() {
+        let t = Topology::nehalem_ex();
+        let data = sample_batch(100);
+        let r = Relation::partitioned(
+            schema(),
+            &data,
+            PartitionBy::Chunks,
+            8,
+            Placement::FirstTouch,
+            &t,
+        );
+        let r2 = r.with_placement(Placement::OsDefault, &t);
+        assert!(r2.partitions().iter().all(|p| p.node == SocketId(0)));
+        assert_eq!(r2.total_rows(), r.total_rows());
+        assert_eq!(r2.gather(), r.gather());
+    }
+
+    #[test]
+    fn single_partition_relation() {
+        let r = Relation::single(schema(), sample_batch(5));
+        assert_eq!(r.partitions().len(), 1);
+        assert_eq!(r.total_rows(), 5);
+        assert!(r.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Scalar values and types.
+//!
+//! The engine is columnar; `Value` is only used at the edges (query
+//! constants, final results, tests). TPC-H decimals are fixed-point `i64`
+//! scaled by 100, dates are days since 1970-01-01 — both standard for
+//! TPC-H reproductions and what HyPer's column store does internally.
+
+use std::fmt;
+
+/// Physical column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer; also used for fixed-point decimals (cents).
+    I64,
+    /// 32-bit integer; also used for dates (days since epoch).
+    I32,
+    /// 64-bit float (used for a handful of TPC-H averages).
+    F64,
+    /// Variable-length string.
+    Str,
+}
+
+/// A scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    I64(i64),
+    I32(i32),
+    F64(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::I64(_) => DataType::I64,
+            Value::I32(_) => DataType::I32,
+            Value::F64(_) => DataType::F64,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            Value::I32(v) => i64::from(*v),
+            _ => panic!("value {self:?} is not an integer"),
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(v) => *v,
+            Value::I64(v) => *v as f64,
+            Value::I32(v) => f64::from(*v),
+            Value::Str(_) => panic!("value {self:?} is not numeric"),
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            _ => panic!("value {self:?} is not a string"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+/// Fixed-point decimal scale used for TPC-H money columns (2 digits).
+pub const DECIMAL_SCALE: i64 = 100;
+
+/// Build a fixed-point decimal from whole and hundredth parts.
+pub fn decimal(units: i64, cents: i64) -> i64 {
+    units * DECIMAL_SCALE + cents
+}
+
+/// Days from 1970-01-01 to `year-month-day` (proleptic Gregorian).
+///
+/// Valid for the TPC-H date range (1992..1999) and far beyond; verified
+/// against known anchors in tests.
+pub fn date(year: i32, month: u32, day: u32) -> i32 {
+    debug_assert!((1..=12).contains(&month));
+    debug_assert!((1..=31).contains(&day));
+    // Howard Hinnant's days_from_civil algorithm.
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (i64::from(month) + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Inverse of [`date`]: (year, month, day) for a day number.
+pub fn date_parts(days: i32) -> (i32, u32, u32) {
+    let z = i64::from(days) + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+/// Format a day number as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = date_parts(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_anchors() {
+        assert_eq!(date(1970, 1, 1), 0);
+        assert_eq!(date(1970, 1, 2), 1);
+        assert_eq!(date(1969, 12, 31), -1);
+        assert_eq!(date(2000, 1, 1), 10957);
+        assert_eq!(date(1992, 1, 1), 8035);
+        assert_eq!(date(1998, 12, 1), 10561);
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for days in (-20000..30000).step_by(17) {
+            let (y, m, d) = date_parts(days);
+            assert_eq!(date(y, m, d), days, "roundtrip failed at {days}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(date(1996, 2, 29) + 1, date(1996, 3, 1));
+        assert_eq!(date(1900, 2, 28) + 1, date(1900, 3, 1)); // 1900 not leap
+        assert_eq!(date(2000, 2, 29) + 1, date(2000, 3, 1)); // 2000 leap
+    }
+
+    #[test]
+    fn format_dates() {
+        assert_eq!(format_date(date(1995, 3, 15)), "1995-03-15");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::I64(5).as_i64(), 5);
+        assert_eq!(Value::I32(5).as_i64(), 5);
+        assert_eq!(Value::F64(2.5).as_f64(), 2.5);
+        assert_eq!(Value::from("abc").as_str(), "abc");
+        assert_eq!(Value::from(7i64).data_type(), DataType::I64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an integer")]
+    fn wrong_accessor_panics() {
+        Value::F64(1.0).as_i64();
+    }
+
+    #[test]
+    fn decimal_helper() {
+        assert_eq!(decimal(12, 34), 1234);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::I64(3).to_string(), "3");
+        assert_eq!(Value::F64(1.5).to_string(), "1.5000");
+        assert_eq!(Value::from("x").to_string(), "x");
+    }
+}

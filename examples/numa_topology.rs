@@ -1,0 +1,71 @@
+//! NUMA substrate demo: topologies, placement policies, and the effect of
+//! locality on a bandwidth-bound scan (paper Section 5.3).
+//!
+//! ```sh
+//! cargo run --release --example numa_topology
+//! ```
+
+use std::sync::Arc;
+
+use morsel_repro::prelude::*;
+
+fn scan_time(env: &ExecEnv, rel: &Arc<Relation>, numa_aware: bool) -> (f64, f64) {
+    let plan = Plan::scan(rel.clone(), None, &["a"])
+        .agg(&[], vec![("sum", AggFn::SumI64(0))]);
+    let variant = if numa_aware {
+        SystemVariant::full()
+    } else {
+        SystemVariant { numa_aware_scheduling: false, ..SystemVariant::full() }
+    };
+    let out = run_sim(env, "scan", plan, variant, 32, 16_384);
+    (out.seconds() * 1e3, out.traffic.remote_fraction())
+}
+
+fn main() {
+    for topo in [Topology::nehalem_ex(), Topology::sandy_bridge_ep()] {
+        println!("== {} ==", topo.name());
+        println!(
+            "   {} sockets x {} cores x {}-way SMT = {} hardware threads",
+            topo.sockets(),
+            topo.cores_per_socket(),
+            topo.smt(),
+            topo.hardware_threads()
+        );
+        for a in topo.socket_ids() {
+            let hops: Vec<String> =
+                topo.socket_ids().map(|b| topo.hops(a, b).to_string()).collect();
+            println!("   hops from socket {}: [{}]", a.0, hops.join(" "));
+        }
+        let m = CostModel::for_topology(&topo);
+        println!(
+            "   local latency {:.0} ns, 1-hop {:.0} ns, 2-hop {:.0} ns",
+            m.latency(0),
+            m.latency(1),
+            m.latency(2)
+        );
+
+        // A 32 MB single-column table under three placements.
+        let env = ExecEnv::new(topo.clone());
+        let n = 4_000_000i64;
+        let batch = Batch::from_columns(vec![Column::I64((0..n).collect())]);
+        let schema = Schema::new(vec![("a", DataType::I64)]);
+        let spread = Arc::new(Relation::partitioned(
+            schema.clone(),
+            &batch,
+            PartitionBy::Chunks,
+            64,
+            Placement::FirstTouch,
+            &topo,
+        ));
+        let node0 = Arc::new(spread.with_placement(Placement::OsDefault, &topo));
+
+        let (t_aware, r_aware) = scan_time(&env, &spread, true);
+        let (t_blind, r_blind) = scan_time(&env, &spread, false);
+        let (t_node0, r_node0) = scan_time(&env, &node0, true);
+        println!("   sum(a) over {n} rows, 32 threads:");
+        println!("     NUMA-aware placement+scheduling: {t_aware:>7.3} ms  ({:.0}% remote)", r_aware * 100.0);
+        println!("     locality-blind scheduling:       {t_blind:>7.3} ms  ({:.0}% remote)", r_blind * 100.0);
+        println!("     all data on socket 0:            {t_node0:>7.3} ms  ({:.0}% remote)", r_node0 * 100.0);
+        println!();
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: build a table, write a plan, run it morsel-driven.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use morsel_repro::prelude::*;
+
+fn main() {
+    // 1. A machine. `Topology::nehalem_ex()` is the paper's 4-socket,
+    //    64-hardware-thread box; `Topology::laptop()` is a plain
+    //    single-socket machine.
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+
+    // 2. A NUMA-partitioned base table: sales(id, region_id, amount).
+    let n = 200_000i64;
+    let batch = Batch::from_columns(vec![
+        Column::I64((0..n).collect()),
+        Column::I64((0..n).map(|x| x % 5).collect()),
+        Column::I64((0..n).map(|x| (x * 37) % 10_000).collect()),
+    ]);
+    let sales = Arc::new(Relation::partitioned(
+        Schema::new(vec![
+            ("id", DataType::I64),
+            ("region_id", DataType::I64),
+            ("amount", DataType::I64),
+        ]),
+        &batch,
+        PartitionBy::Hash { column: 0 },
+        64,
+        Placement::FirstTouch,
+        &topo,
+    ));
+    let regions = Arc::new(Relation::single(
+        Schema::new(vec![("r_id", DataType::I64), ("r_name", DataType::Str)]),
+        Batch::from_columns(vec![
+            Column::I64(vec![0, 1, 2, 3, 4]),
+            Column::Str(
+                ["north", "south", "east", "west", "online"]
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            ),
+        ]),
+    ));
+
+    // 3. A plan: SELECT r_name, count(*), sum(amount)
+    //            FROM sales JOIN regions ON region_id = r_id
+    //            WHERE amount >= 100 GROUP BY r_name ORDER BY sum DESC.
+    let plan = Plan::scan(sales, Some(ge(col(2), lit(100))), &["region_id", "amount"])
+        .join(
+            Plan::scan(regions, None, &["r_id", "r_name"]),
+            &["region_id"],
+            &["r_id"],
+            &["r_name"],
+        )
+        .agg(&["r_name"], vec![("cnt", AggFn::Count), ("total", AggFn::SumI64(1))])
+        .sort_by(vec![SortKey::desc(2)], None);
+
+    // 4. Execute on 64 virtual threads in the deterministic simulator.
+    let out = run_sim(&env, "quickstart", plan, SystemVariant::full(), 64, 8_192);
+
+    println!("result ({} groups):", out.result.rows());
+    for row in format_rows(&out.result, 10) {
+        println!("  {row}");
+    }
+    println!(
+        "\nvirtual time: {:.3} ms on 64 threads ({} morsels, {} stolen)",
+        out.seconds() * 1e3,
+        out.stats.morsels,
+        out.stats.stolen_morsels
+    );
+    println!(
+        "memory traffic: {:.1} MB read, {:.1} MB written, {:.1}% remote",
+        out.traffic.total_read() as f64 / 1e6,
+        out.traffic.total_write() as f64 / 1e6,
+        out.traffic.remote_fraction() * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! TPC-H demo: generate a scale-factor database, run queries on both the
+//! many-core simulator and real threads, compare scheduling variants.
+//!
+//! ```sh
+//! cargo run --release --example tpch_demo
+//! ```
+
+use morsel_repro::prelude::*;
+use morsel_repro::queries::tpch_queries;
+
+fn main() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let scale = 0.005;
+    println!("generating TPC-H SF {scale}...");
+    let db = generate_tpch(TpchConfig { scale, ..Default::default() }, &topo);
+    println!(
+        "  lineitem: {} rows, orders: {} rows, total {:.1} MB\n",
+        db.lineitem.total_rows(),
+        db.orders.total_rows(),
+        db.total_bytes() as f64 / 1e6
+    );
+
+    // Run a few representative queries on 64 virtual threads.
+    for q in [1usize, 3, 6, 13, 18] {
+        let o64 = run_sim(
+            &env,
+            &format!("Q{q}"),
+            tpch_queries::query(&db, q),
+            SystemVariant::full(),
+            64,
+            4096,
+        );
+        let o1 = run_sim(
+            &env,
+            &format!("Q{q}"),
+            tpch_queries::query(&db, q),
+            SystemVariant::full(),
+            1,
+            4096,
+        );
+        println!(
+            "Q{q:<2}  {:>8.3} ms on 64 threads   speedup {:>5.1}x   remote {:>3.0}%   {} rows",
+            o64.seconds() * 1e3,
+            o1.seconds() / o64.seconds(),
+            o64.traffic.remote_fraction() * 100.0,
+            o64.result.rows()
+        );
+        for row in format_rows(&o64.result, 3) {
+            println!("      {row}");
+        }
+    }
+
+    // The same query under the four compared systems (paper Figure 11).
+    println!("\nQ6 under the compared systems (64 threads):");
+    for v in SystemVariant::all() {
+        let vdb = db.with_placement(v.placement, &topo);
+        let out = run_sim(&env, "Q6", tpch_queries::query(&vdb, 6), v, 64, 4096);
+        println!(
+            "  {:<28} {:>8.3} ms   remote {:>3.0}%",
+            v.name,
+            out.seconds() * 1e3,
+            out.traffic.remote_fraction() * 100.0
+        );
+    }
+
+    // And for real: the threaded executor on this machine.
+    let wall = run_threaded(&env, "Q1", tpch_queries::query(&db, 1), SystemVariant::full(), 2, 8192);
+    println!(
+        "\nQ1 on 2 real OS threads: {:.1} ms wall time, {} rows",
+        wall.seconds() * 1e3,
+        wall.result.rows()
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests through the public facade API.
+
+use std::sync::Arc;
+
+use morsel_repro::prelude::*;
+use morsel_repro::queries::tpch_queries;
+
+fn sales_relation(topo: &Topology, n: i64) -> Arc<Relation> {
+    let batch = Batch::from_columns(vec![
+        Column::I64((0..n).collect()),
+        Column::I64((0..n).map(|x| x % 5).collect()),
+        Column::I64((0..n).map(|x| (x * 37) % 10_000).collect()),
+    ]);
+    Arc::new(Relation::partitioned(
+        Schema::new(vec![
+            ("id", DataType::I64),
+            ("region_id", DataType::I64),
+            ("amount", DataType::I64),
+        ]),
+        &batch,
+        PartitionBy::Hash { column: 0 },
+        32,
+        Placement::FirstTouch,
+        topo,
+    ))
+}
+
+#[test]
+fn quickstart_flow_produces_correct_answer() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let n = 50_000i64;
+    let sales = sales_relation(&topo, n);
+    let plan = Plan::scan(sales, Some(ge(col(2), lit(100))), &["region_id", "amount"])
+        .agg(&["region_id"], vec![("cnt", AggFn::Count), ("total", AggFn::SumI64(1))])
+        .sort_by(vec![SortKey::asc(0)], None);
+    let out = run_sim(&env, "q", plan, SystemVariant::full(), 64, 4096);
+
+    // Brute force.
+    let mut cnt = [0i64; 5];
+    let mut tot = [0i64; 5];
+    for x in 0..n {
+        let amount = (x * 37) % 10_000;
+        if amount >= 100 {
+            cnt[(x % 5) as usize] += 1;
+            tot[(x % 5) as usize] += amount;
+        }
+    }
+    assert_eq!(out.result.rows(), 5);
+    for i in 0..5 {
+        assert_eq!(out.result.column(0).as_i64()[i], i as i64);
+        assert_eq!(out.result.column(1).as_i64()[i], cnt[i]);
+        assert_eq!(out.result.column(2).as_i64()[i], tot[i]);
+    }
+}
+
+#[test]
+fn priority_elasticity_shortens_interactive_latency() {
+    // A high-priority short query arriving mid-flight must finish sooner
+    // than the same query at equal priority (the Section 3.1 scenario).
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+
+    let latency_with_priority = |prio: u32| -> u64 {
+        let mut sim = SimExecutor::new(
+            env.clone(),
+            DispatchConfig::new(8).with_morsel_size(1024),
+        );
+        let (long, _) =
+            compile_query("long", tpch_queries::query(&db, 13), SystemVariant::full());
+        let (short, _) =
+            compile_query("short", tpch_queries::query(&db, 6), SystemVariant::full());
+        sim.submit(long);
+        sim.submit_at(1_000_000, short.with_priority(prio));
+        let report = sim.run();
+        assert!(report.handle("long").is_done());
+        report.handle("short").stats().elapsed_ns()
+    };
+
+    let high = latency_with_priority(16);
+    let low = latency_with_priority(1);
+    assert!(
+        high <= low,
+        "high priority latency {high} should not exceed equal-priority {low}"
+    );
+}
+
+#[test]
+fn cancellation_frees_workers_for_other_queries() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+    let mut sim =
+        SimExecutor::new(env, DispatchConfig::new(4).with_morsel_size(512));
+    let (victim, victim_result) =
+        compile_query("victim", tpch_queries::query(&db, 9), SystemVariant::full());
+    let (survivor, survivor_result) =
+        compile_query("survivor", tpch_queries::query(&db, 6), SystemVariant::full());
+    sim.submit(victim);
+    sim.submit(survivor);
+    sim.cancel_at(10_000, "victim");
+    let report = sim.run();
+    assert!(report.handle("victim").is_cancelled());
+    assert!(report.handle("survivor").is_done());
+    assert!(!report.handle("survivor").is_cancelled());
+    // The survivor produced its scalar result; the victim produced none.
+    assert!(survivor_result.lock().take().is_some());
+    assert!(victim_result.lock().take().is_none());
+}
+
+#[test]
+fn threaded_and_sim_agree_on_tpch_q5() {
+    // Q5 exercises the deepest probe pipeline (4 hash tables + a
+    // cross-key filter); executor agreement here is a strong signal.
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+    let sim = run_sim(&env, "q5", tpch_queries::query(&db, 5), SystemVariant::full(), 32, 1024);
+    let thr =
+        run_threaded(&env, "q5", tpch_queries::query(&db, 5), SystemVariant::full(), 4, 1024);
+    assert_eq!(sim.result, thr.result, "Q5 results diverge between executors");
+}
+
+#[test]
+fn work_stealing_keeps_all_data_reachable() {
+    // Put all data on one socket; workers of other sockets must steal and
+    // the result must still be exact.
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let n = 100_000i64;
+    let sales = sales_relation(&topo, n);
+    let pinned = Arc::new(sales.with_placement(Placement::OsDefault, &topo));
+    let plan = Plan::scan(pinned, None, &["amount"])
+        .agg(&[], vec![("total", AggFn::SumI64(0))]);
+    let out = run_sim(&env, "q", plan, SystemVariant::full(), 32, 2048);
+    let expect: i64 = (0..n).map(|x| (x * 37) % 10_000).sum();
+    assert_eq!(out.result.column(0).as_i64(), &[expect]);
+    // Most morsels were stolen (only 8 of 32 workers are on socket 0).
+    assert!(out.stats.stolen_morsels > 0);
+    assert!(out.traffic.remote_fraction() > 0.5);
+}
+
+#[test]
+fn traffic_counters_balance() {
+    // Reads reported by a scan must equal the bytes of the scanned
+    // columns, independent of scheduling.
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let n = 64_000i64;
+    let sales = sales_relation(&topo, n);
+    let plan = Plan::scan(sales, None, &["id"]).agg(&[], vec![("c", AggFn::Count)]);
+    let out = run_sim(&env, "q", plan, SystemVariant::full(), 16, 1000);
+    // Scan bytes exactly, plus the small phase-2 read-back of per-worker
+    // partial aggregate states (bounded by workers * entry size).
+    let scan_bytes = n as u64 * 8;
+    assert!(out.traffic.total_read() >= scan_bytes);
+    assert!(out.traffic.total_read() < scan_bytes + 16 * 64);
+    assert_eq!(out.result.column(0).as_i64(), &[n]);
+}

@@ -1,0 +1,217 @@
+//! Property-based tests on the engine's core invariants.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use morsel_repro::core::{ChunkMeta, MorselQueues, SchedulingMode};
+use morsel_repro::exec::expr::LikePattern;
+use morsel_repro::exec::ht::TaggedHashTable;
+use morsel_repro::exec::sort::{is_sorted, sort_batch, SortKey};
+use morsel_repro::prelude::*;
+use morsel_repro::storage::{date_parts, hash64};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Morsel queues hand out every row exactly once, under any mode,
+    /// morsel size, and chunk layout.
+    #[test]
+    fn morsel_queues_partition_rows(
+        chunk_rows in proptest::collection::vec(0usize..5_000, 1..12),
+        morsel_size in 1usize..4_000,
+        mode_sel in 0u8..3,
+        workers in 1usize..9,
+    ) {
+        let topo = Topology::nehalem_ex();
+        let chunks: Vec<ChunkMeta> = chunk_rows
+            .iter()
+            .enumerate()
+            .map(|(i, &rows)| ChunkMeta { node: SocketId((i % 4) as u16), rows })
+            .collect();
+        let mode = match mode_sel {
+            0 => SchedulingMode::NumaAware,
+            1 => SchedulingMode::NumaOblivious,
+            _ => SchedulingMode::Static { workers, align: true },
+        };
+        let q = MorselQueues::build(&chunks, mode, morsel_size, workers, &topo);
+        let mut seen: Vec<Vec<bool>> = chunk_rows.iter().map(|&r| vec![false; r]).collect();
+        for w in 0..workers {
+            while let Some((m, _)) = q.next_for(w) {
+                for r in m.range.clone() {
+                    prop_assert!(!seen[m.chunk][r], "row handed out twice");
+                    seen[m.chunk][r] = true;
+                }
+                prop_assert!(m.rows() <= morsel_size.max(1));
+            }
+        }
+        prop_assert!(seen.iter().flatten().all(|&b| b), "row never handed out");
+    }
+
+    /// The tagged hash table finds exactly the inserted occurrences of
+    /// every key, and nothing for absent keys.
+    #[test]
+    fn tagged_ht_is_exact(keys in proptest::collection::vec(-50i64..50, 0..400)) {
+        let ht = TaggedHashTable::new(&[keys.len()], 4);
+        for (row, &k) in keys.iter().enumerate() {
+            ht.insert(row, hash64(k as u64));
+        }
+        let mut expect: HashMap<i64, usize> = HashMap::new();
+        for &k in &keys {
+            *expect.entry(k).or_default() += 1;
+        }
+        for k in -60i64..60 {
+            let got = ht.probe_key_i64(k).len();
+            prop_assert_eq!(got, expect.get(&k).copied().unwrap_or(0), "key {}", k);
+        }
+    }
+
+    /// sort_batch returns a sorted permutation of its input.
+    #[test]
+    fn sort_is_sorted_permutation(
+        mut values in proptest::collection::vec(-1000i64..1000, 0..500),
+        desc in any::<bool>(),
+    ) {
+        let batch = Batch::from_columns(vec![Column::I64(values.clone())]);
+        let key = if desc { SortKey::desc(0) } else { SortKey::asc(0) };
+        let sorted = sort_batch(&batch, &[key]);
+        prop_assert!(is_sorted(&sorted, &[key]));
+        let mut got = sorted.column(0).as_i64().to_vec();
+        got.sort_unstable();
+        values.sort_unstable();
+        prop_assert_eq!(got, values);
+    }
+
+    /// Date arithmetic round-trips across the whole supported range.
+    #[test]
+    fn date_roundtrip(days in -100_000i32..100_000) {
+        let (y, m, d) = date_parts(days);
+        prop_assert_eq!(date(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    /// LikePattern agrees with a naive backtracking matcher.
+    #[test]
+    fn like_matches_naive_reference(
+        pattern in "[ab%]{0,8}",
+        input in "[ab]{0,10}",
+    ) {
+        fn naive(p: &[u8], s: &[u8]) -> bool {
+            match (p.first(), s.first()) {
+                (None, None) => true,
+                (None, Some(_)) => false,
+                (Some(b'%'), _) => {
+                    naive(&p[1..], s) || (!s.is_empty() && naive(p, &s[1..]))
+                }
+                (Some(&c), Some(&x)) if c == x => naive(&p[1..], &s[1..]),
+                _ => false,
+            }
+        }
+        let fast = LikePattern::parse(&pattern).matches(&input);
+        let slow = naive(pattern.as_bytes(), input.as_bytes());
+        prop_assert_eq!(fast, slow, "pattern {:?} input {:?}", pattern, input);
+    }
+
+    /// Hash partitioning preserves the exact multiset of rows.
+    #[test]
+    fn partitioning_preserves_rows(
+        keys in proptest::collection::vec(any::<i64>(), 1..300),
+        parts in 1usize..40,
+    ) {
+        let topo = Topology::nehalem_ex();
+        let batch = Batch::from_columns(vec![Column::I64(keys.clone())]);
+        let rel = Relation::partitioned(
+            Schema::new(vec![("k", DataType::I64)]),
+            &batch,
+            PartitionBy::Hash { column: 0 },
+            parts,
+            Placement::FirstTouch,
+            &topo,
+        );
+        let mut got = rel.gather().column(0).as_i64().to_vec();
+        let mut want = keys;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    // Fewer cases for the expensive whole-engine properties.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A grouped aggregation over random data matches a HashMap reference,
+    /// for any worker count and morsel size.
+    #[test]
+    fn grouped_agg_matches_reference(
+        rows in proptest::collection::vec((0i64..20, -100i64..100), 1..2_000),
+        workers in 1usize..17,
+        morsel in 1usize..3_000,
+    ) {
+        let topo = Topology::nehalem_ex();
+        let env = ExecEnv::new(topo.clone());
+        let batch = Batch::from_columns(vec![
+            Column::I64(rows.iter().map(|r| r.0).collect()),
+            Column::I64(rows.iter().map(|r| r.1).collect()),
+        ]);
+        let rel = Arc::new(Relation::partitioned(
+            Schema::new(vec![("g", DataType::I64), ("v", DataType::I64)]),
+            &batch,
+            PartitionBy::Hash { column: 0 },
+            8,
+            Placement::FirstTouch,
+            &topo,
+        ));
+        let plan = Plan::scan(rel, None, &["g", "v"])
+            .agg(&["g"], vec![("cnt", AggFn::Count), ("sum", AggFn::SumI64(1))])
+            .sort_by(vec![SortKey::asc(0)], None);
+        let out = run_sim(&env, "agg", plan, SystemVariant::full(), workers, morsel);
+
+        let mut expect: HashMap<i64, (i64, i64)> = HashMap::new();
+        for (g, v) in &rows {
+            let e = expect.entry(*g).or_default();
+            e.0 += 1;
+            e.1 += v;
+        }
+        prop_assert_eq!(out.result.rows(), expect.len());
+        for i in 0..out.result.rows() {
+            let g = out.result.column(0).as_i64()[i];
+            let (cnt, sum) = expect[&g];
+            prop_assert_eq!(out.result.column(1).as_i64()[i], cnt);
+            prop_assert_eq!(out.result.column(2).as_i64()[i], sum);
+        }
+    }
+
+    /// An inner join over random keys matches the nested-loop reference.
+    #[test]
+    fn join_matches_reference(
+        probe_keys in proptest::collection::vec(0i64..30, 0..500),
+        build_keys in proptest::collection::vec(0i64..30, 0..60),
+        workers in 1usize..9,
+    ) {
+        let topo = Topology::nehalem_ex();
+        let env = ExecEnv::new(topo.clone());
+        let probe = Arc::new(Relation::partitioned(
+            Schema::new(vec![("k", DataType::I64)]),
+            &Batch::from_columns(vec![Column::I64(probe_keys.clone())]),
+            PartitionBy::Chunks,
+            4,
+            Placement::FirstTouch,
+            &topo,
+        ));
+        let build = Arc::new(Relation::single(
+            Schema::new(vec![("bk", DataType::I64)]),
+            Batch::from_columns(vec![Column::I64(build_keys.clone())]),
+        ));
+        let plan = Plan::scan(probe, None, &["k"])
+            .join(Plan::scan(build, None, &["bk"]), &["k"], &["bk"], &[])
+            .agg(&[], vec![("cnt", AggFn::Count)]);
+        let out = run_sim(&env, "join", plan, SystemVariant::full(), workers, 64);
+        let expect: i64 = probe_keys
+            .iter()
+            .map(|p| build_keys.iter().filter(|b| *b == p).count() as i64)
+            .sum();
+        prop_assert_eq!(out.result.column(0).as_i64(), &[expect]);
+    }
+}
