@@ -132,7 +132,7 @@ fn gen_customer(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relatio
     let mut region = Vec::with_capacity(n);
     let mut segment = Vec::with_capacity(n);
     for i in 0..n as i64 {
-        let (nat, reg) = text::NATIONS[rng.gen_range(0..25)];
+        let (nat, reg) = text::NATIONS[rng.gen_range(0..25usize)];
         key.push(i + 1);
         name.push(format!("Customer#{:09}", i + 1));
         cty.push(city(&mut rng, nat));
@@ -174,7 +174,7 @@ fn gen_supplier(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relatio
     let mut nation = Vec::with_capacity(n);
     let mut region = Vec::with_capacity(n);
     for i in 0..n as i64 {
-        let (nat, reg) = text::NATIONS[rng.gen_range(0..25)];
+        let (nat, reg) = text::NATIONS[rng.gen_range(0..25usize)];
         key.push(i + 1);
         name.push(format!("Supplier#{:09}", i + 1));
         cty.push(city(&mut rng, nat));

@@ -1,0 +1,281 @@
+//! Minimal API-compatible wall-clock benchmark harness standing in for
+//! `criterion` (offline vendored stub, see DESIGN.md §6). It implements the
+//! subset the repo's benches use — groups, throughput annotation, sample
+//! size, `bench_function` / `bench_with_input`, `b.iter` — and measures for
+//! real: per sample it times one closure invocation with `std::time::Instant`
+//! after a short warm-up, then reports median / mean / min / max and derived
+//! throughput in a stable, greppable one-line format:
+//!
+//! ```text
+//! bench probe_pipeline/4  time: [12.345 ms 12.500 ms 13.001 ms]  thrpt: [40.000 Melem/s]
+//! ```
+//!
+//! (the three bracketed times are min, median, max of the samples).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation: scales time into elements or bytes per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the bench closure; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Duration of each measured sample (one closure call per sample).
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_iters: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { samples: Vec::new(), sample_size, warm_up_iters: 2 }
+    }
+
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.warm_up_iters {
+            hint::black_box(routine());
+        }
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility (`cargo bench` passes `--bench`);
+    /// arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    pub fn bench_function<S: Into<BenchmarkId>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one("", &id.into().id, None, sample_size, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S: Into<BenchmarkId>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<S: Into<BenchmarkId>, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().id, self.throughput, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    let full = if group.is_empty() { id.to_owned() } else { format!("{group}/{id}") };
+    if b.samples.is_empty() {
+        println!("bench {full}  (no samples: closure never called iter)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    let min = sorted[0];
+    let max = *sorted.last().unwrap();
+    let median = sorted[sorted.len() / 2];
+    let line = format!(
+        "bench {full}  time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("{line}  thrpt: [{:.3} Melem/s]", rate / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("{line}  thrpt: [{:.3} MiB/s]", rate / (1024.0 * 1024.0));
+        }
+        None => println!("{line}"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a bench group function invoking each registered bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("insert", "tagged").id, "insert/tagged");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        // 2 warm-up + 5 measured.
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10)).sample_size(3);
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::from_parameter(1), &5u64, |b, &x| {
+            b.iter(|| x * 2);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Minimal API-compatible stand-in for `crossbeam` (offline vendored stub,
+//! see DESIGN.md §6). Only `utils::CachePadded` is needed: a wrapper that
+//! aligns its contents to a cache-line boundary so hot atomics in adjacent
+//! queue slots do not false-share.
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) one cache line. 128 bytes
+    /// covers the common 64-byte line plus adjacent-line prefetchers.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn aligned_and_transparent() {
+        let p = CachePadded::new(AtomicU64::new(7));
+        assert_eq!(std::mem::align_of_val(&p), 128);
+        p.store(9, Ordering::Relaxed);
+        assert_eq!(p.load(Ordering::Relaxed), 9);
+        assert_eq!(CachePadded::new(5u32).into_inner(), 5);
+    }
+}

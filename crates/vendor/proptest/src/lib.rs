@@ -1,0 +1,355 @@
+//! Minimal API-compatible property-testing harness standing in for
+//! `proptest` (offline vendored stub, see DESIGN.md §6). Supports the
+//! surface this repo's property tests use:
+//!
+//! - the `proptest! { #![proptest_config(..)] #[test] fn f(x in strat, ..) {..} }`
+//!   macro form,
+//! - integer range strategies (`0usize..5_000`, `-50i64..50`, `1..=9`),
+//! - `any::<T>()` for integers and `bool`,
+//! - tuple strategies `(stratA, stratB)`,
+//! - `proptest::collection::vec(strat, len_range)`,
+//! - string strategies from the `[chars]{lo,hi}` regex subset,
+//! - `prop_assert!` / `prop_assert_eq!` (panic-based; no shrinking).
+//!
+//! Cases are generated deterministically from the test name and case
+//! index, so failures are reproducible by rerunning the test. Shrinking is
+//! not implemented; failures report the panic message directly.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case RNG (xoshiro256++ seeded by splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x1_0000_01b3);
+        }
+        let mut sm = seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Something that can produce random values of a type.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// `any::<T>()` marker.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Bias towards small magnitudes now and then: uniform bits
+                // rarely produce the interesting collisions around zero.
+                match rng.below(4) {
+                    0 => (rng.below(201) as i128 - 100) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// String strategy from the `[chars]{lo,hi}` regex subset (literal
+/// characters inside one class, repeated a bounded number of times).
+/// Unsupported patterns panic with a clear message.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_repeat(self).unwrap_or_else(|| {
+            panic!(
+                "vendored proptest stub only supports '[chars]{{lo,hi}}' string \
+                 strategies, got {self:?}"
+            )
+        });
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let rest = rest.strip_prefix('{')?;
+    let body = rest.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let chars: Vec<char> = class.chars().collect();
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: a vector whose length is drawn from
+    /// `len_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Assert within a property (panic-based in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The `proptest!` block: declares `#[test]` functions whose arguments are
+/// drawn from strategies for `config.cases` deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..u64::from(cfg.cases) {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_case("t", 0);
+        for _ in 0..1_000 {
+            let v = Strategy::sample(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::sample(&(0usize..=3), &mut rng);
+            assert!(u <= 3);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies() {
+        let mut rng = TestRng::for_case("t2", 1);
+        let v = Strategy::sample(&collection::vec((0i64..20, -100i64..100), 1..2_000), &mut rng);
+        assert!(!v.is_empty() && v.len() < 2_000);
+        for (a, b) in v {
+            assert!((0..20).contains(&a));
+            assert!((-100..100).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_class_repeat() {
+        let mut rng = TestRng::for_case("t3", 2);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ab%]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| "ab%".contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        let mut a = TestRng::for_case("same", 3);
+        let mut b = TestRng::for_case("same", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("same", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro form itself works end to end.
+        #[test]
+        fn macro_form_runs(x in 0i64..10, mut v in collection::vec(0i64..5, 0..4)) {
+            prop_assert!((0..10).contains(&x));
+            v.push(x);
+            prop_assert_eq!(*v.last().unwrap(), x, "x was {}", x);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Minimal API-compatible stand-in for the `rand` crate (offline vendored
+//! stub, see DESIGN.md §6). Implements exactly the surface the data
+//! generators use: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` methods `gen_range` (half-open and inclusive integer ranges),
+//! `gen_bool`, and `gen_ratio`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — a solid,
+//! deterministic PRNG. Value streams differ from upstream `rand`'s
+//! `StdRng` (ChaCha12), which is fine: all datagen consumers derive their
+//! reference answers from the generated data itself, never from hardcoded
+//! expected values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be positive");
+        assert!(numerator <= denominator, "gen_ratio numerator > denominator");
+        uniform_u64(self, u64::from(denominator)) < u64::from(numerator)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Uniform `u64` in `[0, bound)` via Lemire-style rejection.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Rejection zone keeps the sample exactly uniform.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Ranges an RNG can sample from.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: i64 = rng.gen_range(-5..17);
+            assert!((-5..17).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+            let z: i64 = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&z));
+        }
+    }
+
+    #[test]
+    fn all_range_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen_inc = [false; 3];
+        for _ in 0..1_000 {
+            seen_inc[rng.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen_inc.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_and_ratio_are_calibrated() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "gen_bool(0.25) hit {hits}/100000");
+        let hits = (0..100_000).filter(|_| rng.gen_ratio(1, 10)).count();
+        assert!((8_500..11_500).contains(&hits), "gen_ratio(1,10) hit {hits}/100000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn negative_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v: i64 = rng.gen_range(-99_999..=999_999i64);
+            assert!((-99_999..=999_999).contains(&v));
+        }
+    }
+}
