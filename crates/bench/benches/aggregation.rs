@@ -1,10 +1,12 @@
 //! Wall-clock behaviour of the two-phase aggregation (Section 4.4):
 //! in-cache pre-aggregation with few groups vs. the spill path with many
-//! distinct keys.
+//! distinct keys, and the vectorized (flat-table, columnar-key) phase-1
+//! path against the row-at-a-time `GroupKey` reference path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use morsel_core::{ExecEnv, Morsel, PipelineJob, TaskContext};
 use morsel_exec::agg::{agg_slot, AggFn, AggMergeJob, AggPartialSink, N_PARTITIONS};
+use morsel_exec::pipeline::SelBatch;
 use morsel_exec::sink::{area_slot, Sink};
 use morsel_numa::Topology;
 use morsel_storage::{Batch, Column, DataType, Schema};
@@ -12,7 +14,7 @@ use std::hint::black_box;
 
 const ROWS: usize = 200_000;
 
-fn run_agg(env: &ExecEnv, groups: i64) -> usize {
+fn run_agg(env: &ExecEnv, groups: i64, scalar: bool) -> usize {
     let batch = Batch::from_columns(vec![
         Column::I64((0..ROWS as i64).map(|x| x % groups).collect()),
         Column::I64((0..ROWS as i64).collect()),
@@ -20,9 +22,10 @@ fn run_agg(env: &ExecEnv, groups: i64) -> usize {
     let nodes = env.worker_sockets(1);
     let slot = agg_slot();
     let aggs = vec![AggFn::SumI64(1), AggFn::Count];
-    let sink = AggPartialSink::new(vec![0], aggs.clone(), &nodes, slot.clone());
+    let sink = AggPartialSink::new(vec![0], aggs.clone(), &nodes, slot.clone())
+        .with_scalar_path(scalar);
     let mut ctx = TaskContext::new(env, 0);
-    sink.consume(&mut ctx, batch);
+    sink.consume(&mut ctx, SelBatch::dense(batch));
     sink.finish(&mut ctx);
     let parts = slot.lock().take().unwrap();
     let out = area_slot();
@@ -52,8 +55,17 @@ fn bench_group_counts(c: &mut Criterion) {
     // 16 groups: pure in-cache pre-aggregation. 100k groups: spill-heavy.
     for groups in [16i64, 1_000, 100_000] {
         g.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, &groups| {
-            b.iter(|| black_box(run_agg(&env, groups)));
+            b.iter(|| black_box(run_agg(&env, groups, false)));
         });
+        // Row-at-a-time reference path, same workload (the speedup of the
+        // vectorized phase 1 is the gap between the two IDs).
+        g.bench_with_input(
+            BenchmarkId::new("scalar", groups),
+            &groups,
+            |b, &groups| {
+                b.iter(|| black_box(run_agg(&env, groups, true)));
+            },
+        );
     }
     g.finish();
 }

@@ -1,5 +1,9 @@
 //! Wall-clock throughput of a fully pipelined probe (Section 4.1): scan +
 //! filter + hash-join probe + materialize, per morsel, on real threads.
+//! Each worker count runs twice: the default vectorized operators
+//! (selection vectors + batched probe) and the row-at-a-time scalar
+//! reference (`SystemVariant::scalar_ops`), so the kernel speedup is
+//! visible directly in the criterion output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use morsel_core::{DispatchConfig, ExecEnv, ThreadedExecutor};
@@ -51,29 +55,36 @@ fn bench_probe(c: &mut Criterion) {
     g.throughput(Throughput::Elements(PROBE_ROWS as u64));
     g.sample_size(10);
     for workers in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            b.iter(|| {
-                let plan = Plan::scan(probe.clone(), Some(gt(col(1), lit(-1))), &["fk", "v"])
-                    .join(
-                        Plan::scan(build.clone(), None, &["pk", "payload"]),
-                        &["fk"],
-                        &["pk"],
-                        &["payload"],
-                    )
-                    .agg(
-                        &[],
-                        vec![("sum", morsel_exec::AggFn::SumI64(2)), ("cnt", morsel_exec::AggFn::Count)],
+        for (label, variant) in
+            [("vectorized", SystemVariant::full()), ("scalar", SystemVariant::scalar_ops())]
+        {
+            g.bench_with_input(BenchmarkId::new(label, workers), &workers, |b, &workers| {
+                b.iter(|| {
+                    let plan = Plan::scan(probe.clone(), Some(gt(col(1), lit(-1))), &["fk", "v"])
+                        .join(
+                            Plan::scan(build.clone(), None, &["pk", "payload"]),
+                            &["fk"],
+                            &["pk"],
+                            &["payload"],
+                        )
+                        .agg(
+                            &[],
+                            vec![
+                                ("sum", morsel_exec::AggFn::SumI64(2)),
+                                ("cnt", morsel_exec::AggFn::Count),
+                            ],
+                        );
+                    let (spec, result) = compile_query("probe", plan, variant);
+                    let exec = ThreadedExecutor::new(
+                        env.clone(),
+                        DispatchConfig::new(workers).with_morsel_size(16_384),
                     );
-                let (spec, result) = compile_query("probe", plan, SystemVariant::full());
-                let exec = ThreadedExecutor::new(
-                    env.clone(),
-                    DispatchConfig::new(workers).with_morsel_size(16_384),
-                );
-                exec.run(vec![spec]);
-                let batch = result.lock().take().unwrap();
-                black_box(batch.column(1).as_i64()[0])
+                    exec.run(vec![spec]);
+                    let batch = result.lock().take().unwrap();
+                    black_box(batch.column(1).as_i64()[0])
+                });
             });
-        });
+        }
     }
     g.finish();
 }

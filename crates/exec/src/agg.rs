@@ -19,7 +19,8 @@ use morsel_numa::SocketId;
 use morsel_storage::{AreaSet, Batch, Column, DataType, Schema, StorageArea};
 use parking_lot::Mutex;
 
-use crate::key::{FxHashMap, FxHashSet, GroupKey};
+use crate::key::{for_each_row, hash_rows, FxHashMap, FxHashSet, GroupKey, Rows};
+use crate::pipeline::SelBatch;
 use crate::sink::{AreaSlot, Sink};
 use crate::weights;
 
@@ -139,6 +140,40 @@ pub enum AccState {
     Set(FxHashSet<i64>),
 }
 
+impl AccState {
+    #[inline]
+    fn as_i64_mut(&mut self) -> &mut i64 {
+        match self {
+            AccState::I64(v) => v,
+            other => panic!("expected I64 state, got {other:?}"),
+        }
+    }
+
+    #[inline]
+    fn as_f64_mut(&mut self) -> &mut f64 {
+        match self {
+            AccState::F64(v) => v,
+            other => panic!("expected F64 state, got {other:?}"),
+        }
+    }
+
+    #[inline]
+    fn as_avg_mut(&mut self) -> (&mut i64, &mut i64) {
+        match self {
+            AccState::Avg(s, c) => (s, c),
+            other => panic!("expected Avg state, got {other:?}"),
+        }
+    }
+
+    #[inline]
+    fn as_set_mut(&mut self) -> &mut FxHashSet<i64> {
+        match self {
+            AccState::Set(s) => s,
+            other => panic!("expected Set state, got {other:?}"),
+        }
+    }
+}
+
 /// Approximate bytes of one spilled entry (key + states), for traffic
 /// accounting.
 fn entry_bytes(key: &GroupKey, states: &[AccState]) -> u64 {
@@ -151,24 +186,137 @@ fn entry_bytes(key: &GroupKey, states: &[AccState]) -> u64 {
     key_bytes + 16 * states.len() as u64
 }
 
-type Entry = (GroupKey, Vec<AccState>);
+/// A columnar run of spilled groups: `keys[i]`'s aggregate states live at
+/// `states[i*n_aggs .. (i+1)*n_aggs]`. Flat storage keeps spilling and
+/// merging free of per-entry heap allocations.
+#[derive(Default)]
+struct Fragment {
+    keys: Vec<GroupKey>,
+    states: Vec<AccState>,
+}
+
+impl Fragment {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn push(&mut self, key: GroupKey, states: impl IntoIterator<Item = AccState>) {
+        self.keys.push(key);
+        self.states.extend(states);
+    }
+}
+
+/// Open-addressing pre-aggregation table with inline keys, addressed by a
+/// precomputed hash vector (the all-integer-key fast path). Sized at twice
+/// the flush capacity so the load factor stays ≤ 0.5. States are stored
+/// flat (`slots * n_aggs`), so inserting a group allocates nothing.
+struct FlatTable<K> {
+    keys: Vec<K>,
+    occupied: Vec<bool>,
+    states: Vec<AccState>,
+    n_aggs: usize,
+    mask: usize,
+    len: usize,
+    /// Distinct keys before a flush is forced.
+    capacity: usize,
+}
+
+impl<K: Copy + PartialEq + Default> FlatTable<K> {
+    fn new(capacity: usize, n_aggs: usize) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two();
+        FlatTable {
+            keys: vec![K::default(); slots],
+            occupied: vec![false; slots],
+            states: vec![AccState::I64(0); slots * n_aggs],
+            n_aggs,
+            mask: slots - 1,
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Find or insert `key`; `None` means the table is full on a new key
+    /// (the caller must flush and retry).
+    #[inline]
+    fn upsert(&mut self, hash: u64, key: K, aggs: &[AggFn]) -> Option<usize> {
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            if self.occupied[slot] {
+                if self.keys[slot] == key {
+                    return Some(slot);
+                }
+                slot = (slot + 1) & self.mask;
+            } else {
+                if self.len >= self.capacity {
+                    return None;
+                }
+                self.occupied[slot] = true;
+                self.keys[slot] = key;
+                let base = slot * self.n_aggs;
+                for (ai, f) in aggs.iter().enumerate() {
+                    self.states[base + ai] = f.new_state();
+                }
+                self.len += 1;
+                return Some(slot);
+            }
+        }
+    }
+
+    /// Move every entry into its overflow partition fragment; returns the
+    /// spilled bytes.
+    fn drain_into(&mut self, to_key: impl Fn(K) -> GroupKey, spill: &mut [Fragment]) -> u64 {
+        let mut bytes = 0;
+        for slot in 0..self.keys.len() {
+            if self.occupied[slot] {
+                self.occupied[slot] = false;
+                let key = to_key(self.keys[slot]);
+                let base = slot * self.n_aggs;
+                let states = &mut self.states[base..base + self.n_aggs];
+                bytes += entry_bytes(&key, states);
+                let frag = &mut spill[partition_of(&key)];
+                frag.keys.push(key);
+                frag.states.extend(
+                    states.iter_mut().map(|s| std::mem::replace(s, AccState::I64(0))),
+                );
+            }
+        }
+        self.len = 0;
+        bytes
+    }
+}
+
+/// Per-worker pre-aggregation state. The mode is picked on the first
+/// batch: inline `i64` / `(i64, i64)` keys with the flat table for
+/// all-integer group columns, the `GroupKey` hash map otherwise (strings,
+/// 3+ columns, or the scalar reference path).
+enum PreAgg {
+    /// Mode not yet decided (no batch seen).
+    Pending,
+    Scalar(FxHashMap<GroupKey, Vec<AccState>>),
+    /// Scalar (no GROUP BY) aggregation: exactly one group, no hashing.
+    Single(Vec<AccState>),
+    Int1(FlatTable<i64>),
+    Int2(FlatTable<(i64, i64)>),
+}
 
 /// Spilled partition fragments of one worker.
 struct WorkerAgg {
-    table: FxHashMap<GroupKey, Vec<AccState>>,
-    spill: Vec<Vec<Entry>>,
+    table: PreAgg,
+    spill: Vec<Fragment>,
 }
 
 /// Output of phase 1: per partition, fragments tagged with the node of
-/// the worker that produced them.
+/// the worker that produced them. Each partition is consumed exclusively
+/// by one phase-2 morsel, which *takes* the fragments (no entry cloning);
+/// the mutex only guards that single handoff.
 pub struct AggPartitions {
-    /// `parts[p]` = list of (node, entries).
-    pub parts: Vec<Vec<(SocketId, Vec<Entry>)>>,
+    /// `parts[p]` = list of (node, fragment).
+    parts: Vec<Vec<(SocketId, Mutex<Fragment>)>>,
 }
 
 impl AggPartitions {
     pub fn partition_rows(&self, p: usize) -> usize {
-        self.parts[p].iter().map(|(_, e)| e.len()).sum()
+        self.parts[p].iter().map(|(_, e)| e.lock().len()).sum()
     }
 }
 
@@ -192,6 +340,8 @@ pub struct AggPartialSink {
     worker_nodes: Vec<SocketId>,
     out: AggSlot,
     capacity: usize,
+    /// Force the row-at-a-time `GroupKey` path (benches, property tests).
+    scalar: bool,
 }
 
 impl AggPartialSink {
@@ -217,68 +367,308 @@ impl AggPartialSink {
             workers: (0..worker_nodes.len())
                 .map(|_| {
                     Mutex::new(WorkerAgg {
-                        table: FxHashMap::default(),
-                        spill: (0..N_PARTITIONS).map(|_| Vec::new()).collect(),
+                        table: PreAgg::Pending,
+                        spill: (0..N_PARTITIONS).map(|_| Fragment::default()).collect(),
                     })
                 })
                 .collect(),
             worker_nodes: worker_nodes.to_vec(),
             out,
             capacity: capacity.max(1),
+            scalar: false,
         }
     }
 
-    fn flush(w: &mut WorkerAgg) -> u64 {
-        let mut bytes = 0;
-        for (key, states) in w.table.drain() {
-            bytes += entry_bytes(&key, &states);
-            w.spill[partition_of(&key)].push((key, states));
-        }
-        bytes
+    /// Use the row-at-a-time reference path even for integer keys.
+    pub fn with_scalar_path(mut self, scalar: bool) -> Self {
+        self.scalar = scalar;
+        self
     }
-}
 
-impl Sink for AggPartialSink {
-    fn consume(&self, ctx: &mut TaskContext<'_>, batch: Batch) {
-        if batch.is_empty() {
-            return;
+    /// Pick the pre-aggregation mode for this sink given the first batch.
+    fn make_table(&self, batch: &Batch) -> PreAgg {
+        let int_col = |c: usize| {
+            matches!(batch.column(c), Column::I64(_) | Column::I32(_))
+        };
+        if self.scalar {
+            return PreAgg::Scalar(FxHashMap::default());
         }
-        let mut w = self.workers[ctx.worker].lock();
-        let rows = batch.rows();
-        ctx.cpu(rows as u64, weights::HASH_NS + weights::AGG_UPDATE_NS * self.aggs.len() as f64);
-        let mut spilled_bytes = 0u64;
-        for row in 0..rows {
-            let key = GroupKey::extract(&batch, &self.group_cols, row);
-            if !w.table.contains_key(&key) && w.table.len() >= self.capacity {
+        match self.group_cols.as_slice() {
+            [] => PreAgg::Single(self.aggs.iter().map(AggFn::new_state).collect()),
+            [a] if int_col(*a) => PreAgg::Int1(FlatTable::new(self.capacity, self.aggs.len())),
+            [a, b] if int_col(*a) && int_col(*b) => {
+                PreAgg::Int2(FlatTable::new(self.capacity, self.aggs.len()))
+            }
+            _ => PreAgg::Scalar(FxHashMap::default()),
+        }
+    }
+
+    /// Spill every in-table group to its overflow partition; returns the
+    /// spilled bytes.
+    fn flush(table: &mut PreAgg, spill: &mut [Fragment]) -> u64 {
+        match table {
+            PreAgg::Pending => 0,
+            PreAgg::Scalar(map) => {
+                let mut bytes = 0;
+                for (key, states) in map.drain() {
+                    bytes += entry_bytes(&key, &states);
+                    spill[partition_of(&key)].push(key, states);
+                }
+                bytes
+            }
+            // The one-group key mirrors `GroupKey::extract` over no
+            // columns, so partition routing agrees with the scalar path.
+            PreAgg::Single(states) => {
+                let key = GroupKey::I64(0);
+                let states = std::mem::take(states);
+                let bytes = entry_bytes(&key, &states);
+                spill[partition_of(&key)].push(key, states);
+                bytes
+            }
+            PreAgg::Int1(t) => t.drain_into(GroupKey::I64, spill),
+            PreAgg::Int2(t) => t.drain_into(|(a, b)| GroupKey::I64x2(a, b), spill),
+        }
+    }
+
+    /// Reference path: per-row `GroupKey` extraction into the hash map.
+    fn consume_scalar(
+        &self,
+        map: &mut FxHashMap<GroupKey, Vec<AccState>>,
+        spill: &mut [Fragment],
+        batch: &Batch,
+        rows: Rows<'_>,
+    ) -> u64 {
+        let mut spilled = 0u64;
+        let n = rows.len();
+        for i in 0..n {
+            let row = rows.at(i);
+            let key = GroupKey::extract(batch, &self.group_cols, row);
+            if !map.contains_key(&key) && map.len() >= self.capacity {
                 // Pre-aggregation table full on a new key: flush it to the
                 // overflow partitions (paper Figure 8, "spill when ht
                 // becomes full").
-                spilled_bytes += Self::flush(&mut w);
+                let mut t = PreAgg::Scalar(std::mem::take(map));
+                spilled += Self::flush(&mut t, spill);
+                if let PreAgg::Scalar(m) = t {
+                    *map = m;
+                }
             }
-            let entry = w
-                .table
+            let entry = map
                 .entry(key)
                 .or_insert_with(|| self.aggs.iter().map(AggFn::new_state).collect());
             for (f, st) in self.aggs.iter().zip(entry.iter_mut()) {
-                f.update(st, &batch, row);
+                f.update(st, batch, row);
             }
         }
+        spilled
+    }
+
+    /// Fast path: columnar key extraction + precomputed hash vector into
+    /// the flat table, then one typed update pass per aggregate over each
+    /// flush-free segment.
+    #[allow(clippy::too_many_arguments)] // kernel plumbing: table + spill + batch views
+    fn consume_fast<K: Copy + PartialEq + Default>(
+        &self,
+        table: &mut FlatTable<K>,
+        spill: &mut [Fragment],
+        batch: &Batch,
+        rows: Rows<'_>,
+        keys: &[K],
+        hashes: &[u64],
+        to_key: impl Fn(K) -> GroupKey + Copy,
+    ) -> u64 {
+        let n = keys.len();
+        let n_aggs = self.aggs.len();
+        let mut slot_of: Vec<u32> = Vec::with_capacity(n);
+        let mut seg_start = 0;
+        let mut spilled = 0u64;
+        let mut i = 0;
+        while i < n {
+            match table.upsert(hashes[i], keys[i], &self.aggs) {
+                Some(slot) => {
+                    slot_of.push(slot as u32);
+                    i += 1;
+                }
+                None => {
+                    // Full on a new key: update the states for the segment
+                    // seen so far (their slots are still valid), then spill
+                    // the whole table and continue with an empty one.
+                    Self::apply_updates(
+                        &self.aggs,
+                        batch,
+                        rows.slice(seg_start..i),
+                        &slot_of,
+                        &mut table.states,
+                        n_aggs,
+                    );
+                    slot_of.clear();
+                    spilled += table.drain_into(to_key, spill);
+                    seg_start = i;
+                }
+            }
+        }
+        Self::apply_updates(
+            &self.aggs,
+            batch,
+            rows.slice(seg_start..n),
+            &slot_of,
+            &mut table.states,
+            n_aggs,
+        );
+        spilled
+    }
+
+    /// One typed pass per aggregate function over a segment: the column
+    /// is matched once, the inner loop only indexes slices and states.
+    fn apply_updates(
+        aggs: &[AggFn],
+        batch: &Batch,
+        seg_rows: Rows<'_>,
+        slot_of: &[u32],
+        states: &mut [AccState],
+        n_aggs: usize,
+    ) {
+        debug_assert_eq!(seg_rows.len(), slot_of.len());
+        for (ai, f) in aggs.iter().enumerate() {
+            match f {
+                AggFn::Count => {
+                    for &slot in slot_of {
+                        *states[slot as usize * n_aggs + ai].as_i64_mut() += 1;
+                    }
+                }
+                AggFn::SumI64(c) => match batch.column(*c) {
+                    Column::I64(v) => for_each_row!(seg_rows, i, r, {
+                        *states[slot_of[i] as usize * n_aggs + ai].as_i64_mut() += v[r];
+                    }),
+                    Column::I32(v) => for_each_row!(seg_rows, i, r, {
+                        *states[slot_of[i] as usize * n_aggs + ai].as_i64_mut() += i64::from(v[r]);
+                    }),
+                    other => panic!("expected integer column, got {:?}", other.data_type()),
+                },
+                AggFn::SumF64(c) => {
+                    let v = batch.column(*c).as_f64();
+                    for_each_row!(seg_rows, i, r, {
+                        *states[slot_of[i] as usize * n_aggs + ai].as_f64_mut() += v[r];
+                    });
+                }
+                AggFn::MinI64(c) => match batch.column(*c) {
+                    Column::I64(v) => for_each_row!(seg_rows, i, r, {
+                        let m = states[slot_of[i] as usize * n_aggs + ai].as_i64_mut();
+                        *m = (*m).min(v[r]);
+                    }),
+                    Column::I32(v) => for_each_row!(seg_rows, i, r, {
+                        let m = states[slot_of[i] as usize * n_aggs + ai].as_i64_mut();
+                        *m = (*m).min(i64::from(v[r]));
+                    }),
+                    other => panic!("expected integer column, got {:?}", other.data_type()),
+                },
+                AggFn::MaxI64(c) => match batch.column(*c) {
+                    Column::I64(v) => for_each_row!(seg_rows, i, r, {
+                        let m = states[slot_of[i] as usize * n_aggs + ai].as_i64_mut();
+                        *m = (*m).max(v[r]);
+                    }),
+                    Column::I32(v) => for_each_row!(seg_rows, i, r, {
+                        let m = states[slot_of[i] as usize * n_aggs + ai].as_i64_mut();
+                        *m = (*m).max(i64::from(v[r]));
+                    }),
+                    other => panic!("expected integer column, got {:?}", other.data_type()),
+                },
+                AggFn::AvgI64(c) => match batch.column(*c) {
+                    Column::I64(v) => for_each_row!(seg_rows, i, r, {
+                        let (s, cnt) = states[slot_of[i] as usize * n_aggs + ai].as_avg_mut();
+                        *s += v[r];
+                        *cnt += 1;
+                    }),
+                    Column::I32(v) => for_each_row!(seg_rows, i, r, {
+                        let (s, cnt) = states[slot_of[i] as usize * n_aggs + ai].as_avg_mut();
+                        *s += i64::from(v[r]);
+                        *cnt += 1;
+                    }),
+                    other => panic!("expected integer column, got {:?}", other.data_type()),
+                },
+                AggFn::CountDistinctI64(c) => match batch.column(*c) {
+                    Column::I64(v) => for_each_row!(seg_rows, i, r, {
+                        states[slot_of[i] as usize * n_aggs + ai].as_set_mut().insert(v[r]);
+                    }),
+                    Column::I32(v) => for_each_row!(seg_rows, i, r, {
+                        states[slot_of[i] as usize * n_aggs + ai].as_set_mut().insert(i64::from(v[r]));
+                    }),
+                    other => panic!("expected integer column, got {:?}", other.data_type()),
+                },
+            }
+        }
+    }
+}
+
+/// Extract an integer group column as widened `i64` keys.
+fn extract_i64_keys(col: &Column, rows: Rows<'_>) -> Vec<i64> {
+    let mut out = vec![0i64; rows.len()];
+    match col {
+        Column::I64(v) => for_each_row!(rows, i, r, out[i] = v[r]),
+        Column::I32(v) => for_each_row!(rows, i, r, out[i] = i64::from(v[r])),
+        other => panic!("expected integer group column, got {:?}", other.data_type()),
+    }
+    out
+}
+
+impl Sink for AggPartialSink {
+    fn consume(&self, ctx: &mut TaskContext<'_>, input: SelBatch) {
+        if input.is_empty() {
+            return;
+        }
+        let mut w = self.workers[ctx.worker].lock();
+        let rows = input.rows();
+        ctx.cpu(rows as u64, weights::HASH_NS + weights::AGG_UPDATE_NS * self.aggs.len() as f64);
+        if matches!(w.table, PreAgg::Pending) {
+            w.table = self.make_table(&input.batch);
+        }
+        let WorkerAgg { table, spill } = &mut *w;
+        let batch = &input.batch;
+        let row_ref = input.rows_ref();
+        let spilled_bytes = match table {
+            PreAgg::Pending => unreachable!("mode decided above"),
+            PreAgg::Scalar(map) => self.consume_scalar(map, spill, batch, row_ref),
+            PreAgg::Single(states) => {
+                // One group: typed update passes straight into the single
+                // state vector, no key extraction or lookup at all.
+                let slot_of = vec![0u32; rows];
+                let n_aggs = self.aggs.len();
+                Self::apply_updates(&self.aggs, batch, row_ref, &slot_of, states, n_aggs);
+                0
+            }
+            PreAgg::Int1(t) => {
+                let keys = extract_i64_keys(batch.column(self.group_cols[0]), row_ref);
+                let hashes = hash_rows(batch, &self.group_cols, row_ref);
+                self.consume_fast(t, spill, batch, row_ref, &keys, &hashes, GroupKey::I64)
+            }
+            PreAgg::Int2(t) => {
+                let a = extract_i64_keys(batch.column(self.group_cols[0]), row_ref);
+                let b = extract_i64_keys(batch.column(self.group_cols[1]), row_ref);
+                let keys: Vec<(i64, i64)> =
+                    a.into_iter().zip(b).collect();
+                let hashes = hash_rows(batch, &self.group_cols, row_ref);
+                self.consume_fast(t, spill, batch, row_ref, &keys, &hashes, |(x, y)| {
+                    GroupKey::I64x2(x, y)
+                })
+            }
+        };
         if spilled_bytes > 0 {
             ctx.write(self.worker_nodes[ctx.worker], spilled_bytes);
         }
     }
 
     fn finish(&self, ctx: &mut TaskContext<'_>) {
-        let mut parts: Vec<Vec<(SocketId, Vec<Entry>)>> =
+        let mut parts: Vec<Vec<(SocketId, Mutex<Fragment>)>> =
             (0..N_PARTITIONS).map(|_| Vec::new()).collect();
         let mut bytes = 0;
         for (wi, w) in self.workers.iter().enumerate() {
             let mut w = w.lock();
-            bytes += Self::flush(&mut w);
+            let WorkerAgg { table, spill } = &mut *w;
+            bytes += Self::flush(table, spill);
             let node = self.worker_nodes[wi];
-            for (p, entries) in w.spill.iter_mut().enumerate() {
-                if !entries.is_empty() {
-                    parts[p].push((node, std::mem::take(entries)));
+            for (p, frag) in w.spill.iter_mut().enumerate() {
+                if frag.len() > 0 {
+                    parts[p].push((node, Mutex::new(std::mem::take(frag))));
                 }
             }
         }
@@ -348,23 +738,38 @@ impl PipelineJob for AggMergeJob {
         // with an unbounded morsel size for this job).
         let p = morsel.chunk;
         let fragments = &self.input.parts[p];
-        let mut table: FxHashMap<GroupKey, Vec<AccState>> = FxHashMap::default();
+        let n_aggs = self.aggs.len();
+        // Slot map + flat state storage: each distinct group gets a stride
+        // of `n_aggs` states in `flat`; the map only holds the slot.
+        let mut table: FxHashMap<GroupKey, u32> = FxHashMap::default();
+        let mut flat: Vec<AccState> = Vec::new();
         let mut entries = 0u64;
         for (node, frag) in fragments {
-            let bytes: u64 = frag.iter().map(|(k, s)| entry_bytes(k, s)).sum();
+            // Exclusive consumption: take the fragment and move its
+            // entries into the table (first occurrence of a group needs no
+            // clone of key or states).
+            let frag = std::mem::take(&mut *frag.lock());
+            let bytes: u64 = frag
+                .keys
+                .iter()
+                .zip(frag.states.chunks_exact(n_aggs))
+                .map(|(k, s)| entry_bytes(k, s))
+                .sum();
             ctx.read(*node, bytes);
             entries += frag.len() as u64;
-            for (key, states) in frag {
-                match table.entry(key.clone()) {
-                    std::collections::hash_map::Entry::Occupied(mut o) => {
-                        for (f, (a, b)) in
-                            self.aggs.iter().zip(o.get_mut().iter_mut().zip(states))
-                        {
-                            f.merge(a, b);
+            let mut states = frag.states.into_iter();
+            for key in frag.keys {
+                match table.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        let base = *o.get() as usize * n_aggs;
+                        for (ai, f) in self.aggs.iter().enumerate() {
+                            let b = states.next().expect("fragment state stride");
+                            f.merge(&mut flat[base + ai], &b);
                         }
                     }
                     std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(states.clone());
+                        v.insert((flat.len() / n_aggs) as u32);
+                        flat.extend(states.by_ref().take(n_aggs));
                     }
                 }
             }
@@ -381,14 +786,15 @@ impl PipelineJob for AggMergeJob {
         let n_group_cols = types.len() - self.aggs.len();
         let mut cols: Vec<Column> =
             types.iter().map(|&t| Column::with_capacity(t, n_groups)).collect();
-        for (key, states) in &table {
+        for (key, slot) in &table {
             if n_group_cols > 0 {
                 key.push_into(&mut cols[..n_group_cols]);
             }
-            for ((f, st), col) in
-                self.aggs.iter().zip(states).zip(cols[n_group_cols..].iter_mut())
+            let base = *slot as usize * n_aggs;
+            for (ai, (f, col)) in
+                self.aggs.iter().zip(cols[n_group_cols..].iter_mut()).enumerate()
             {
-                f.emit(st, col);
+                f.emit(&flat[base + ai], col);
             }
         }
         let batch = Batch::from_columns(cols);
@@ -463,7 +869,7 @@ mod tests {
         let sink = AggPartialSink::with_capacity(group_cols, aggs.clone(), &nodes, slot.clone(), capacity);
         let mut ctx = TaskContext::new(&env, 0);
         for b in batches {
-            sink.consume(&mut ctx, b);
+            sink.consume(&mut ctx, crate::pipeline::SelBatch::dense(b));
         }
         sink.finish(&mut ctx);
         let parts = slot.lock().take().unwrap();
@@ -603,6 +1009,131 @@ mod tests {
         let row = scalar_default_row(&[AggFn::Count, AggFn::SumF64(0)]);
         assert_eq!(row[0], morsel_storage::Value::I64(0));
         assert_eq!(row[1], morsel_storage::Value::F64(0.0));
+    }
+
+    /// Like `run_agg` but forcing the row-at-a-time reference path.
+    fn run_agg_scalar(
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFn>,
+        schema: Schema,
+        batches: Vec<Batch>,
+        capacity: usize,
+    ) -> Batch {
+        let env = env();
+        let nodes = env.worker_sockets(2);
+        let slot = agg_slot();
+        let sink =
+            AggPartialSink::with_capacity(group_cols, aggs.clone(), &nodes, slot.clone(), capacity)
+                .with_scalar_path(true);
+        let mut ctx = TaskContext::new(&env, 0);
+        for b in batches {
+            sink.consume(&mut ctx, crate::pipeline::SelBatch::dense(b));
+        }
+        sink.finish(&mut ctx);
+        let parts = slot.lock().take().unwrap();
+        let out = area_slot();
+        let result = result_slot();
+        let job = AggMergeJob::new(parts.clone(), aggs, schema, &nodes, out, Some(result.clone()));
+        for p in 0..N_PARTITIONS {
+            if parts.partition_rows(p) > 0 {
+                job.run_morsel(&mut ctx, Morsel { chunk: p, range: 0..parts.partition_rows(p) });
+            }
+        }
+        job.finish(&mut ctx);
+        let batch = result.lock().take().unwrap();
+        batch
+    }
+
+    #[test]
+    fn fast_path_matches_scalar_path() {
+        // Single i64 key, all aggregate kinds, through spills (capacity 8).
+        let n = 5_000i64;
+        let batch = Batch::from_columns(vec![
+            Column::I64((0..n).map(|x| (x * 7) % 400).collect()),
+            Column::I64((0..n).map(|x| (x % 91) - 45).collect()),
+        ]);
+        let schema = Schema::new(vec![
+            ("g", DataType::I64),
+            ("cnt", DataType::I64),
+            ("sum", DataType::I64),
+            ("min", DataType::I64),
+            ("max", DataType::I64),
+            ("avg", DataType::F64),
+            ("dist", DataType::I64),
+        ]);
+        let aggs = vec![
+            AggFn::Count,
+            AggFn::SumI64(1),
+            AggFn::MinI64(1),
+            AggFn::MaxI64(1),
+            AggFn::AvgI64(1),
+            AggFn::CountDistinctI64(1),
+        ];
+        let fast =
+            run_agg(vec![0], aggs.clone(), schema.clone(), vec![batch.clone()], 8);
+        let scalar = run_agg_scalar(vec![0], aggs, schema, vec![batch], 8);
+        assert_eq!(sorted_by_key(&fast), sorted_by_key(&scalar));
+        assert_eq!(fast.rows(), 400);
+    }
+
+    #[test]
+    fn fast_path_two_int_keys_matches_scalar() {
+        let n = 3_000i64;
+        let batch = Batch::from_columns(vec![
+            Column::I64((0..n).map(|x| x % 13).collect()),
+            Column::I32((0..n).map(|x| (x % 7) as i32).collect()),
+            Column::I64((0..n).collect()),
+        ]);
+        let schema = Schema::new(vec![
+            ("a", DataType::I64),
+            ("b", DataType::I32),
+            ("sum", DataType::I64),
+        ]);
+        let aggs = vec![AggFn::SumI64(2)];
+        let fast =
+            run_agg(vec![0, 1], aggs.clone(), schema.clone(), vec![batch.clone()], 16);
+        let scalar = run_agg_scalar(vec![0, 1], aggs, schema, vec![batch], 16);
+        let key2 = |b: &Batch| {
+            let mut rows: Vec<Vec<morsel_storage::Value>> =
+                (0..b.rows()).map(|i| b.row(i)).collect();
+            rows.sort_by_key(|r| (r[0].as_i64(), r[1].as_i64()));
+            rows
+        };
+        assert_eq!(key2(&fast), key2(&scalar));
+        assert_eq!(fast.rows(), 13 * 7);
+    }
+
+    #[test]
+    fn selection_vector_input_aggregates_selected_rows_only() {
+        let batch = Batch::from_columns(vec![
+            Column::I64(vec![1, 1, 2, 2, 3]),
+            Column::I64(vec![10, 20, 30, 40, 50]),
+        ]);
+        let env = env();
+        let nodes = env.worker_sockets(1);
+        let slot = agg_slot();
+        let aggs = vec![AggFn::SumI64(1)];
+        let sink = AggPartialSink::new(vec![0], aggs.clone(), &nodes, slot.clone());
+        let mut ctx = TaskContext::new(&env, 0);
+        sink.consume(
+            &mut ctx,
+            crate::pipeline::SelBatch { batch, sel: Some(vec![0, 2, 3]) },
+        );
+        sink.finish(&mut ctx);
+        let parts = slot.lock().take().unwrap();
+        let out = area_slot();
+        let result = result_slot();
+        let schema = Schema::new(vec![("g", DataType::I64), ("sum", DataType::I64)]);
+        let job = AggMergeJob::new(parts.clone(), aggs, schema, &nodes, out, Some(result.clone()));
+        for p in 0..N_PARTITIONS {
+            if parts.partition_rows(p) > 0 {
+                job.run_morsel(&mut ctx, Morsel { chunk: p, range: 0..parts.partition_rows(p) });
+            }
+        }
+        job.finish(&mut ctx);
+        let got = sorted_by_key(&result.lock().take().unwrap());
+        use morsel_storage::Value as V;
+        assert_eq!(got, vec![vec![V::I64(1), V::I64(10)], vec![V::I64(2), V::I64(70)]]);
     }
 
     #[test]

@@ -252,6 +252,27 @@ impl Expr {
                 }
             }
             Expr::Cmp(op, a, b) => {
+                // Column-vs-constant comparisons (the dominant scan-filter
+                // shape) read the column slice directly instead of copying
+                // it into a Vector first.
+                if let (Expr::Col(i), Expr::ConstI64(c)) = (&**a, &**b) {
+                    match batch.column(*i) {
+                        Column::I64(v) => {
+                            return Vector::Bool(v[rows].iter().map(|x| op.holds(x, c)).collect())
+                        }
+                        Column::I32(v) => {
+                            return Vector::Bool(
+                                v[rows].iter().map(|x| op.holds(&i64::from(*x), c)).collect(),
+                            )
+                        }
+                        _ => {}
+                    }
+                }
+                if let (Expr::Col(i), Expr::ConstStr(s)) = (&**a, &**b) {
+                    if let Column::Str(v) = batch.column(*i) {
+                        return Vector::Bool(v[rows].iter().map(|x| op.holds(x, s)).collect());
+                    }
+                }
                 let va = a.eval(batch, rows.clone());
                 let vb = b.eval(batch, rows);
                 let out = match (&va, &vb) {
@@ -293,14 +314,56 @@ impl Expr {
                 Vector::Bool(v.as_bool().iter().map(|&x| !x).collect())
             }
             Expr::BetweenI64(a, lo, hi) => {
+                if let Expr::Col(i) = &**a {
+                    match batch.column(*i) {
+                        Column::I64(v) => {
+                            return Vector::Bool(
+                                v[rows].iter().map(|x| x >= lo && x <= hi).collect(),
+                            )
+                        }
+                        Column::I32(v) => {
+                            return Vector::Bool(
+                                v[rows]
+                                    .iter()
+                                    .map(|&x| i64::from(x) >= *lo && i64::from(x) <= *hi)
+                                    .collect(),
+                            )
+                        }
+                        _ => {}
+                    }
+                }
                 let v = a.eval(batch, rows);
                 Vector::Bool(v.as_i64().iter().map(|x| x >= lo && x <= hi).collect())
             }
             Expr::InI64(a, list) => {
+                if let Expr::Col(i) = &**a {
+                    match batch.column(*i) {
+                        Column::I64(v) => {
+                            return Vector::Bool(
+                                v[rows].iter().map(|x| list.contains(x)).collect(),
+                            )
+                        }
+                        Column::I32(v) => {
+                            return Vector::Bool(
+                                v[rows].iter().map(|&x| list.contains(&i64::from(x))).collect(),
+                            )
+                        }
+                        _ => {}
+                    }
+                }
                 let v = a.eval(batch, rows);
                 Vector::Bool(v.as_i64().iter().map(|x| list.contains(x)).collect())
             }
             Expr::InStr(a, list) => {
+                // String predicates on a bare column skip the per-row
+                // String clones a leaf eval would make.
+                if let Expr::Col(i) = &**a {
+                    if let Column::Str(v) = batch.column(*i) {
+                        return Vector::Bool(
+                            v[rows].iter().map(|s| list.iter().any(|l| l == s)).collect(),
+                        );
+                    }
+                }
                 let v = a.eval(batch, rows);
                 match v {
                     Vector::Str(vs) => Vector::Bool(
@@ -310,6 +373,11 @@ impl Expr {
                 }
             }
             Expr::Like(a, pat) => {
+                if let Expr::Col(i) = &**a {
+                    if let Column::Str(v) = batch.column(*i) {
+                        return Vector::Bool(v[rows].iter().map(|s| pat.matches(s)).collect());
+                    }
+                }
                 let v = a.eval(batch, rows);
                 match v {
                     Vector::Str(vs) => {
@@ -319,6 +387,13 @@ impl Expr {
                 }
             }
             Expr::StrPrefix(a, prefix) => {
+                if let Expr::Col(i) = &**a {
+                    if let Column::Str(v) = batch.column(*i) {
+                        return Vector::Bool(
+                            v[rows].iter().map(|s| s.starts_with(prefix.as_str())).collect(),
+                        );
+                    }
+                }
                 let v = a.eval(batch, rows);
                 match v {
                     Vector::Str(vs) => Vector::Bool(

@@ -13,8 +13,8 @@ use morsel_core::{Morsel, PipelineJob, TaskContext};
 use morsel_storage::{AreaSet, Batch, Column, DataType};
 
 use crate::ht::TaggedHashTable;
-use crate::key::{hash_row, rows_equal};
-use crate::pipeline::PipeOp;
+use crate::key::{hash_row, hash_rows, rows_equal, MatchCandidates, Rows};
+use crate::pipeline::{PipeOp, SelBatch};
 use crate::weights;
 
 /// A completed build side: hash table + the tuples it points into.
@@ -93,9 +93,10 @@ impl PipelineJob for HtInsertJob {
         ctx.write_spread(rows * (weights::HT_DIR_BYTES + weights::HT_ENTRY_BYTES));
         ctx.cpu(rows, weights::HASH_NS + weights::INSERT_NS);
 
-        for row in morsel.range {
-            let h = hash_row(batch, &self.key_cols, row);
-            self.ht.insert(base + row, h);
+        // Columnar key hashing for the whole morsel, then the CAS loop.
+        let hashes = hash_rows(batch, &self.key_cols, Rows::range(morsel.range.clone()));
+        for (i, row) in morsel.range.enumerate() {
+            self.ht.insert(base + row, hashes[i]);
         }
     }
 
@@ -127,6 +128,13 @@ pub enum JoinKind {
 }
 
 /// Probe operator inside a pipeline.
+///
+/// The default path is batched: hash every live row with one columnar
+/// pass, tag-filter all rows against the directory, chain-walk only the
+/// surviving candidates into match lists, key-compare them with one typed
+/// pass per key column, then gather each output side once. The
+/// row-at-a-time reference path is kept behind `scalar` for the
+/// scalar-vs-vectorized benches and the equivalence property tests.
 pub struct ProbeOp {
     pub table: JoinSlot,
     /// Key columns in the working batch.
@@ -134,6 +142,8 @@ pub struct ProbeOp {
     pub kind: JoinKind,
     /// Build-side columns appended to the output (Inner/InnerMark only).
     pub build_cols: Vec<usize>,
+    /// Use the row-at-a-time reference implementation.
+    pub scalar: bool,
 }
 
 impl ProbeOp {
@@ -143,11 +153,124 @@ impl ProbeOp {
 }
 
 impl PipeOp for ProbeOp {
-    fn apply(&self, ctx: &mut TaskContext<'_>, input: Batch) -> Batch {
+    fn apply(&self, ctx: &mut TaskContext<'_>, input: SelBatch) -> SelBatch {
         let jt = self.table.get().expect("probe ran before build completed").clone();
+        if self.scalar {
+            let dense = input.materialize(ctx);
+            return SelBatch::dense(self.apply_scalar(ctx, dense, &jt));
+        }
         let rows = input.rows();
         ctx.cpu(rows as u64, weights::HASH_NS + weights::PROBE_NS);
         // Directory lookups: dependent random accesses, interleaved.
+        ctx.random_access_interleaved(rows as u64);
+        ctx.read_spread(rows as u64 * weights::HT_DIR_BYTES);
+
+        // One columnar hashing pass over the live rows, then the batched
+        // directory walk. Candidates carry both the underlying batch row
+        // (for key comparison and gather) and the position within the
+        // selection (for per-probe-row state in semi/anti/count).
+        let hashes = hash_rows(&input.batch, &self.probe_keys, input.rows_ref());
+        let sel = input.sel.as_deref();
+        let underlying = |i: u32| match sel {
+            Some(s) => s[i as usize],
+            None => i,
+        };
+        let mut cand = MatchCandidates::with_capacity(rows);
+        let traversed = jt.ht.probe_batch(&hashes, |i, entry| {
+            let (a, r) = jt.ht.loc(entry);
+            cand.push(underlying(i), i, entry, a, r);
+        });
+        cand.retain_key_equal(&input.batch, &self.probe_keys, &jt.build, &jt.key_cols);
+
+        match self.kind {
+            JoinKind::Inner | JoinKind::InnerMark => {
+                if self.kind == JoinKind::InnerMark {
+                    for &entry in &cand.entry {
+                        jt.ht.set_marker(entry);
+                    }
+                }
+                self.charge_chain(
+                    ctx,
+                    traversed,
+                    &jt,
+                    cand.area.iter().zip(&cand.row).map(|(&a, &r)| (a as usize, r as usize)),
+                );
+                // Assemble output: one gather per probe column through the
+                // match list, then one typed gather per build column.
+                let mut out_cols: Vec<Column> = input
+                    .batch
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        let mut col = Column::with_capacity(c.data_type(), cand.len());
+                        col.extend_selected(c, &cand.probe_row);
+                        col
+                    })
+                    .collect();
+                for &bc in &self.build_cols {
+                    out_cols.push(cand.gather_build_column(&jt.build, bc));
+                }
+                ctx.cpu(
+                    cand.len() as u64,
+                    weights::MATCH_NS
+                        + weights::GATHER_NS
+                            * (input.batch.width() + self.build_cols.len()) as f64,
+                );
+                SelBatch::dense(Batch::from_columns(out_cols))
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let want = self.kind == JoinKind::Semi;
+                self.charge_chain(ctx, traversed, &jt, std::iter::empty());
+                let mut found = vec![false; rows];
+                for &p in &cand.pos {
+                    found[p as usize] = true;
+                }
+                // No copy: the output is a narrowed selection over the
+                // same underlying batch.
+                let out_sel: Vec<u32> = (0..rows as u32)
+                    .filter(|&i| found[i as usize] == want)
+                    .map(underlying)
+                    .collect();
+                SelBatch { batch: input.batch, sel: Some(out_sel) }.compact_if_sparse(ctx)
+            }
+            JoinKind::Count => {
+                self.charge_chain(ctx, traversed, &jt, std::iter::empty());
+                let mut counts = vec![0i64; rows];
+                for &p in &cand.pos {
+                    counts[p as usize] += 1;
+                }
+                // The count column is dense over the live rows, so the
+                // probe side materializes here.
+                let dense = input.materialize(ctx);
+                let mut cols: Vec<Column> = dense.columns().to_vec();
+                cols.push(Column::I64(counts));
+                SelBatch::dense(Batch::from_columns(cols))
+            }
+        }
+    }
+
+    fn out_types(&self, input: &[DataType]) -> Vec<DataType> {
+        let mut t = input.to_vec();
+        match self.kind {
+            JoinKind::Inner | JoinKind::InnerMark => {
+                let jt = self
+                    .table
+                    .get()
+                    .expect("out_types on Inner probe requires completed build");
+                t.extend(self.build_types(jt));
+            }
+            JoinKind::Semi | JoinKind::Anti => {}
+            JoinKind::Count => t.push(DataType::I64),
+        }
+        t
+    }
+}
+
+impl ProbeOp {
+    /// Row-at-a-time reference implementation (pre-vectorization).
+    fn apply_scalar(&self, ctx: &mut TaskContext<'_>, input: Batch, jt: &JoinTable) -> Batch {
+        let rows = input.rows();
+        ctx.cpu(rows as u64, weights::HASH_NS + weights::PROBE_NS);
         ctx.random_access_interleaved(rows as u64);
         ctx.read_spread(rows as u64 * weights::HT_DIR_BYTES);
 
@@ -177,7 +300,7 @@ impl PipeOp for ProbeOp {
                         }
                     }));
                 }
-                self.charge_chain(ctx, traversed, &jt, &matches);
+                self.charge_chain(ctx, traversed, jt, matches.iter().map(|&idx| jt.ht.loc(idx)));
                 // Assemble output: probe columns then build columns.
                 let mut out_cols: Vec<Column> = input
                     .columns()
@@ -189,7 +312,7 @@ impl PipeOp for ProbeOp {
                     })
                     .collect();
                 for (bi, &bc) in self.build_cols.iter().enumerate() {
-                    let dt = self.build_types(&jt)[bi];
+                    let dt = self.build_types(jt)[bi];
                     let mut col = Column::with_capacity(dt, matches.len());
                     for &idx in &matches {
                         let (a, r) = jt.ht.loc(idx);
@@ -230,7 +353,7 @@ impl PipeOp for ProbeOp {
                         sel.push(row as u32);
                     }
                 }
-                self.charge_chain(ctx, traversed, &jt, &[]);
+                self.charge_chain(ctx, traversed, jt, std::iter::empty());
                 let mut out = Batch::empty(
                     &input.columns().iter().map(Column::data_type).collect::<Vec<_>>(),
                 );
@@ -258,7 +381,7 @@ impl PipeOp for ProbeOp {
                     }));
                     counts.push(n);
                 }
-                self.charge_chain(ctx, traversed, &jt, &[]);
+                self.charge_chain(ctx, traversed, jt, std::iter::empty());
                 let mut cols: Vec<Column> = input.columns().to_vec();
                 cols.push(Column::I64(counts));
                 Batch::from_columns(cols)
@@ -266,46 +389,30 @@ impl PipeOp for ProbeOp {
         }
     }
 
-    fn out_types(&self, input: &[DataType]) -> Vec<DataType> {
-        let mut t = input.to_vec();
-        match self.kind {
-            JoinKind::Inner | JoinKind::InnerMark => {
-                let jt = self
-                    .table
-                    .get()
-                    .expect("out_types on Inner probe requires completed build");
-                t.extend(self.build_types(jt));
-            }
-            JoinKind::Semi | JoinKind::Anti => {}
-            JoinKind::Count => t.push(DataType::I64),
-        }
-        t
-    }
-}
-
-impl ProbeOp {
-    fn charge_chain(
+    /// Charge chain traversal plus, for inner joins, the build-payload
+    /// gather bytes from each area's node (`match_locs` yields one
+    /// `(area, row)` per produced match).
+    fn charge_chain<I: Iterator<Item = (usize, usize)>>(
         &self,
         ctx: &mut TaskContext<'_>,
         traversed: u64,
         jt: &JoinTable,
-        matches: &[usize],
+        match_locs: I,
     ) {
         ctx.cpu(traversed, weights::CHAIN_NS);
         ctx.read_spread(traversed * weights::HT_ENTRY_BYTES);
-        if !matches.is_empty() && !self.build_cols.is_empty() {
-            // Gathering build payloads: bytes from the areas' nodes.
-            let mut per_area = vec![0u64; jt.build.areas().len()];
-            for &idx in matches {
-                let (a, r) = jt.ht.loc(idx);
-                for &bc in &self.build_cols {
-                    per_area[a] += jt.build.area(a).data().column(bc).byte_size(r, r + 1);
-                }
+        if self.build_cols.is_empty() {
+            return;
+        }
+        let mut per_area = vec![0u64; jt.build.areas().len()];
+        for (a, r) in match_locs {
+            for &bc in &self.build_cols {
+                per_area[a] += jt.build.area(a).data().column(bc).byte_size(r, r + 1);
             }
-            for (a, bytes) in per_area.into_iter().enumerate() {
-                if bytes > 0 {
-                    ctx.read(jt.build.area(a).node(), bytes);
-                }
+        }
+        for (a, bytes) in per_area.into_iter().enumerate() {
+            if bytes > 0 {
+                ctx.read(jt.build.area(a).node(), bytes);
             }
         }
     }
@@ -371,13 +478,18 @@ mod tests {
         ])
     }
 
+    /// Apply through the SelBatch interface and materialize the result.
+    fn run_op(op: &ProbeOp, ctx: &mut TaskContext<'_>, batch: Batch) -> Batch {
+        op.apply(ctx, SelBatch::dense(batch)).materialize(ctx)
+    }
+
     #[test]
     fn inner_join_matches_and_payload() {
         let slot = built_table(&[1, 2, 3], &[10, 20, 30]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1] };
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1], scalar: false };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
-        let out = op.apply(&mut ctx, probe_batch(&[2, 4, 3, 2]));
+        let out = run_op(&op, &mut ctx, probe_batch(&[2, 4, 3, 2]));
         // Rows: (2,200,20), (3,300,30), (2,200,20) in probe order.
         assert_eq!(out.rows(), 3);
         assert_eq!(out.column(0).as_i64(), &[2, 3, 2]);
@@ -389,10 +501,10 @@ mod tests {
     #[test]
     fn duplicate_build_keys_multiply() {
         let slot = built_table(&[5, 5, 5], &[1, 2, 3]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1] };
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1], scalar: false };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
-        let out = op.apply(&mut ctx, probe_batch(&[5]));
+        let out = run_op(&op, &mut ctx, probe_batch(&[5]));
         assert_eq!(out.rows(), 3);
         let mut got = out.column(2).as_i64().to_vec();
         got.sort_unstable();
@@ -409,11 +521,12 @@ mod tests {
             probe_keys: vec![0],
             kind: JoinKind::Semi,
             build_cols: vec![],
+            scalar: false,
         };
-        let out = semi.apply(&mut ctx, probe_batch(&[1, 2, 3, 3]));
+        let out = run_op(&semi, &mut ctx, probe_batch(&[1, 2, 3, 3]));
         assert_eq!(out.column(0).as_i64(), &[1, 3, 3]);
-        let anti = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Anti, build_cols: vec![] };
-        let out = anti.apply(&mut ctx, probe_batch(&[1, 2, 3, 4]));
+        let anti = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Anti, build_cols: vec![], scalar: false };
+        let out = run_op(&anti, &mut ctx, probe_batch(&[1, 2, 3, 4]));
         assert_eq!(out.column(0).as_i64(), &[2, 4]);
         assert_eq!(anti.out_types(&[DataType::I64, DataType::I64]).len(), 2);
     }
@@ -421,10 +534,10 @@ mod tests {
     #[test]
     fn count_join_keeps_zero_rows() {
         let slot = built_table(&[7, 7, 9], &[0, 0, 0]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Count, build_cols: vec![] };
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Count, build_cols: vec![], scalar: false };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
-        let out = op.apply(&mut ctx, probe_batch(&[7, 8, 9]));
+        let out = run_op(&op, &mut ctx, probe_batch(&[7, 8, 9]));
         assert_eq!(out.rows(), 3);
         assert_eq!(out.column(2).as_i64(), &[2, 0, 1]);
         assert_eq!(
@@ -441,10 +554,11 @@ mod tests {
             probe_keys: vec![0],
             kind: JoinKind::InnerMark,
             build_cols: vec![1],
+            scalar: false,
         };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
-        let _ = op.apply(&mut ctx, probe_batch(&[2, 4]));
+        let _ = run_op(&op, &mut ctx, probe_batch(&[2, 4]));
         let jt = slot.get().unwrap();
         let unmatched = unmatched_build_rows(jt, &[0, 1]);
         let mut keys = unmatched.column(0).as_i64().to_vec();
@@ -474,12 +588,63 @@ mod tests {
     }
 
     #[test]
-    fn empty_build_side_probes_empty() {
-        let slot = built_table(&[], &[]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1] };
+    fn vectorized_probe_matches_scalar_for_all_kinds() {
+        let slot = built_table(&[1, 2, 2, 3, 5, 8], &[10, 20, 21, 30, 50, 80]);
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
-        let out = op.apply(&mut ctx, probe_batch(&[1, 2]));
+        let probe_keys: Vec<i64> = (0..64).map(|x| x % 11).collect();
+        for kind in [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti, JoinKind::Count] {
+            let build_cols = if kind == JoinKind::Inner { vec![1] } else { vec![] };
+            let vec_op = ProbeOp {
+                table: slot.clone(),
+                probe_keys: vec![0],
+                kind,
+                build_cols: build_cols.clone(),
+                scalar: false,
+            };
+            let sc_op = ProbeOp {
+                table: slot.clone(),
+                probe_keys: vec![0],
+                kind,
+                build_cols,
+                scalar: true,
+            };
+            let got = run_op(&vec_op, &mut ctx, probe_batch(&probe_keys));
+            let want = run_op(&sc_op, &mut ctx, probe_batch(&probe_keys));
+            assert_eq!(got, want, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn probe_respects_input_selection() {
+        let slot = built_table(&[1, 2, 3], &[10, 20, 30]);
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let op = ProbeOp {
+            table: slot,
+            probe_keys: vec![0],
+            kind: JoinKind::Inner,
+            build_cols: vec![1],
+            scalar: false,
+        };
+        // Rows 0 and 3 are selected away; only rows 1 (key 2) and 2
+        // (key 3) may match.
+        let input = SelBatch {
+            batch: probe_batch(&[1, 2, 3, 2]),
+            sel: Some(vec![1, 2]),
+        };
+        let out = op.apply(&mut ctx, input).materialize(&mut ctx);
+        assert_eq!(out.column(0).as_i64(), &[2, 3]);
+        assert_eq!(out.column(2).as_i64(), &[20, 30]);
+    }
+
+    #[test]
+    fn empty_build_side_probes_empty() {
+        let slot = built_table(&[], &[]);
+        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1], scalar: false };
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let out = run_op(&op, &mut ctx, probe_batch(&[1, 2]));
         assert_eq!(out.rows(), 0);
         assert_eq!(out.width(), 3);
     }

@@ -1,6 +1,27 @@
 //! Join/group key hashing and row equality over columns.
+//!
+//! Two tiers live here. The row-at-a-time functions ([`hash_row`],
+//! [`rows_equal`], [`GroupKey::extract`]) dispatch on the `Column` enum per
+//! row; they remain as the reference/fallback path (string or composite
+//! keys, benches, property-test oracles). The columnar kernels
+//! ([`hash_rows`], [`MatchCandidates::retain_key_equal`]) dispatch once per
+//! column and run a monomorphised loop over a whole batch (optionally
+//! through a selection vector) — the hot path for joins and aggregation.
+//! See DESIGN.md §4 for the policy and §3 for float-key semantics.
 
-use morsel_storage::{hash_bytes, hash_combine, hash_i64, Batch, Column};
+use std::ops::Range;
+
+use morsel_storage::{hash_bytes, hash_combine, hash_i64, AreaSet, Batch, Column};
+
+/// Canonical bit pattern of an `f64` key: `-0.0` normalizes to `0.0` so
+/// that values that compare equal also hash equal. NaNs keep their bit
+/// pattern; they hash *somewhere* but never compare equal (`==` is false
+/// for NaN), so a NaN key never matches — the same behavior a raw
+/// comparison-based engine exhibits (documented in DESIGN.md §3).
+#[inline]
+pub fn canon_f64_bits(x: f64) -> u64 {
+    if x == 0.0 { 0.0f64.to_bits() } else { x.to_bits() }
+}
 
 /// Hash the key columns `cols` of `batch` at `row`.
 #[inline]
@@ -10,12 +31,276 @@ pub fn hash_row(batch: &Batch, cols: &[usize], row: usize) -> u64 {
         let hc = match batch.column(c) {
             Column::I64(v) => hash_i64(v[row]),
             Column::I32(v) => hash_i64(i64::from(v[row])),
-            Column::F64(v) => hash_i64(v[row].to_bits() as i64),
+            Column::F64(v) => hash_i64(canon_f64_bits(v[row]) as i64),
             Column::Str(v) => hash_bytes(v[row].as_bytes()),
         };
         h = if i == 0 { hc } else { hash_combine(h, hc) };
     }
     h
+}
+
+/// The rows a kernel operates on: a contiguous range or a selection vector
+/// of row indexes. Kernels match on this once and monomorphise both loops.
+#[derive(Debug, Clone, Copy)]
+pub enum Rows<'a> {
+    Range(usize, usize),
+    Sel(&'a [u32]),
+}
+
+impl<'a> Rows<'a> {
+    pub fn range(r: Range<usize>) -> Self {
+        Rows::Range(r.start, r.end)
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Rows::Range(s, e) => e - s,
+            Rows::Sel(sel) => sel.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row index of the `i`-th operand (edge use; kernels inline the loop).
+    #[inline]
+    pub fn at(&self, i: usize) -> usize {
+        match self {
+            Rows::Range(s, _) => s + i,
+            Rows::Sel(sel) => sel[i] as usize,
+        }
+    }
+
+    /// The sub-span covering operand positions `span` (for segmented
+    /// kernel passes, e.g. aggregation between flushes).
+    pub fn slice(&self, span: Range<usize>) -> Rows<'_> {
+        match self {
+            Rows::Range(s, e) => {
+                debug_assert!(s + span.end <= *e);
+                Rows::Range(s + span.start, s + span.end)
+            }
+            Rows::Sel(sel) => Rows::Sel(&sel[span]),
+        }
+    }
+}
+
+/// Dispatch a per-value statement over both `Rows` layouts with the row
+/// variable bound. Keeps the inner loops free of per-row branching.
+macro_rules! for_each_row {
+    ($rows:expr, $i:ident, $r:ident, $body:expr) => {
+        match $rows {
+            $crate::key::Rows::Range(start, end) => {
+                for ($i, $r) in (start..end).enumerate() {
+                    $body
+                }
+            }
+            $crate::key::Rows::Sel(sel) => {
+                for ($i, &__row) in sel.iter().enumerate() {
+                    let $r = __row as usize;
+                    $body
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use for_each_row;
+
+/// Columnar key hashing: one pass per key column, no per-row enum
+/// dispatch. Produces the same hashes as [`hash_row`] over the same rows
+/// (and as [`GroupKey::hash`] for integer keys).
+pub fn hash_rows(batch: &Batch, cols: &[usize], rows: Rows<'_>) -> Vec<u64> {
+    let n = rows.len();
+    let mut out = vec![0u64; n];
+    for (ci, &c) in cols.iter().enumerate() {
+        hash_column(batch.column(c), rows, ci == 0, &mut out);
+    }
+    out
+}
+
+/// Fold one key column into the hash vector (first column initializes,
+/// later columns combine).
+fn hash_column(col: &Column, rows: Rows<'_>, first: bool, out: &mut [u64]) {
+    macro_rules! fold {
+        ($v:ident, $hash_one:expr) => {
+            if first {
+                for_each_row!(rows, i, r, {
+                    let x = &$v[r];
+                    out[i] = $hash_one(x);
+                });
+            } else {
+                for_each_row!(rows, i, r, {
+                    let x = &$v[r];
+                    out[i] = hash_combine(out[i], $hash_one(x));
+                });
+            }
+        };
+    }
+    match col {
+        Column::I64(v) => fold!(v, |x: &i64| hash_i64(*x)),
+        Column::I32(v) => fold!(v, |x: &i32| hash_i64(i64::from(*x))),
+        Column::F64(v) => fold!(v, |x: &f64| hash_i64(canon_f64_bits(*x) as i64)),
+        Column::Str(v) => fold!(v, |x: &String| hash_bytes(x.as_bytes())),
+    }
+}
+
+/// Candidate matches of a batched probe, as a struct-of-arrays: for each
+/// candidate, the probe row (index into the probe batch), the hash-table
+/// entry, and its resolved `(area, row)` build location.
+#[derive(Debug, Default)]
+pub struct MatchCandidates {
+    /// Row in the (unmaterialized) probe batch.
+    pub probe_row: Vec<u32>,
+    /// Position of the probe row within the selection (equals `probe_row`
+    /// for dense input); used by semi/anti/count to index per-row state.
+    pub pos: Vec<u32>,
+    /// Hash-table entry index.
+    pub entry: Vec<usize>,
+    /// Build area holding the candidate tuple.
+    pub area: Vec<u32>,
+    /// Row within that area.
+    pub row: Vec<u32>,
+}
+
+impl MatchCandidates {
+    pub fn with_capacity(n: usize) -> Self {
+        MatchCandidates {
+            probe_row: Vec::with_capacity(n),
+            pos: Vec::with_capacity(n),
+            entry: Vec::with_capacity(n),
+            area: Vec::with_capacity(n),
+            row: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.probe_row.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.probe_row.is_empty()
+    }
+
+    #[inline]
+    pub fn push(&mut self, probe_row: u32, pos: u32, entry: usize, area: usize, row: usize) {
+        debug_assert!(area <= u32::MAX as usize && row <= u32::MAX as usize);
+        self.probe_row.push(probe_row);
+        self.pos.push(pos);
+        self.entry.push(entry);
+        self.area.push(area as u32);
+        self.row.push(row as u32);
+    }
+
+    /// Keep only candidates whose `(probe_row, area, row)` satisfy `eq`,
+    /// preserving order. The closure captures typed slices only, so each
+    /// call site monomorphises a branch-free compaction loop.
+    #[inline]
+    fn retain_where<F: FnMut(usize, usize, usize) -> bool>(&mut self, mut eq: F) {
+        let mut w = 0;
+        for i in 0..self.len() {
+            let keep = eq(
+                self.probe_row[i] as usize,
+                self.area[i] as usize,
+                self.row[i] as usize,
+            );
+            if keep {
+                self.probe_row[w] = self.probe_row[i];
+                self.pos[w] = self.pos[i];
+                self.entry[w] = self.entry[i];
+                self.area[w] = self.area[i];
+                self.row[w] = self.row[i];
+                w += 1;
+            }
+        }
+        self.probe_row.truncate(w);
+        self.pos.truncate(w);
+        self.entry.truncate(w);
+        self.area.truncate(w);
+        self.row.truncate(w);
+    }
+
+    /// Drop candidates whose keys differ: one typed pass per key column,
+    /// comparing the probe column against per-area build column slices.
+    /// Column-type dispatch happens once per column, not per row.
+    pub fn retain_key_equal(
+        &mut self,
+        probe: &Batch,
+        probe_cols: &[usize],
+        build: &AreaSet,
+        build_cols: &[usize],
+    ) {
+        debug_assert_eq!(probe_cols.len(), build_cols.len());
+        for (&pc, &bc) in probe_cols.iter().zip(build_cols) {
+            if self.is_empty() {
+                return;
+            }
+            self.retain_column_equal(probe.column(pc), build, bc);
+        }
+    }
+
+    fn retain_column_equal(&mut self, probe_col: &Column, build: &AreaSet, bc: usize) {
+        macro_rules! slices {
+            ($as_ty:ident) => {
+                build.areas().iter().map(|a| a.data().column(bc).$as_ty()).collect()
+            };
+        }
+        match (probe_col, build.schema().dtype(bc)) {
+            (Column::I64(pv), morsel_storage::DataType::I64) => {
+                let bs: Vec<&[i64]> = slices!(as_i64);
+                self.retain_where(|p, a, r| pv[p] == bs[a][r]);
+            }
+            (Column::I64(pv), morsel_storage::DataType::I32) => {
+                let bs: Vec<&[i32]> = slices!(as_i32);
+                self.retain_where(|p, a, r| pv[p] == i64::from(bs[a][r]));
+            }
+            (Column::I32(pv), morsel_storage::DataType::I32) => {
+                let bs: Vec<&[i32]> = slices!(as_i32);
+                self.retain_where(|p, a, r| pv[p] == bs[a][r]);
+            }
+            (Column::I32(pv), morsel_storage::DataType::I64) => {
+                let bs: Vec<&[i64]> = slices!(as_i64);
+                self.retain_where(|p, a, r| i64::from(pv[p]) == bs[a][r]);
+            }
+            (Column::F64(pv), morsel_storage::DataType::F64) => {
+                // `==` already treats -0.0 == 0.0 and NaN != NaN, matching
+                // the canonical hash (DESIGN.md §3).
+                let bs: Vec<&[f64]> = slices!(as_f64);
+                self.retain_where(|p, a, r| pv[p] == bs[a][r]);
+            }
+            (Column::Str(pv), morsel_storage::DataType::Str) => {
+                let bs: Vec<&[String]> = slices!(as_str);
+                self.retain_where(|p, a, r| pv[p] == bs[a][r]);
+            }
+            (p, b) => {
+                panic!("incomparable key columns {:?} vs {:?}", p.data_type(), b)
+            }
+        }
+    }
+
+    /// Gather one build column for all candidates: typed per-area slices,
+    /// one dispatch per column.
+    pub fn gather_build_column(&self, build: &AreaSet, bc: usize) -> Column {
+        let n = self.len();
+        macro_rules! gather {
+            ($as_ty:ident, $variant:ident, $get:expr) => {{
+                let bs: Vec<_> =
+                    build.areas().iter().map(|a| a.data().column(bc).$as_ty()).collect();
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let v = &bs[self.area[i] as usize][self.row[i] as usize];
+                    out.push($get(v));
+                }
+                Column::$variant(out)
+            }};
+        }
+        match build.schema().dtype(bc) {
+            morsel_storage::DataType::I64 => gather!(as_i64, I64, |v: &i64| *v),
+            morsel_storage::DataType::I32 => gather!(as_i32, I32, |v: &i32| *v),
+            morsel_storage::DataType::F64 => gather!(as_f64, F64, |v: &f64| *v),
+            morsel_storage::DataType::Str => gather!(as_str, Str, |v: &String| v.clone()),
+        }
+    }
 }
 
 /// Compare key columns of two rows for equality.
@@ -208,6 +493,107 @@ mod tests {
             Column::Str(vec!["a".into(), "b".into(), "a".into()]),
             Column::I32(vec![10, 20, 10]),
         ])
+    }
+
+    fn one_area_set(batch: Batch, types: &[(&str, morsel_storage::DataType)]) -> AreaSet {
+        use morsel_storage::{Schema, StorageArea};
+        let schema = Schema::new(types.to_vec());
+        let mut area = StorageArea::new(morsel_numa::SocketId(0), &schema.data_types());
+        area.data_mut().extend_from(&batch);
+        AreaSet::new(schema, vec![area])
+    }
+
+    #[test]
+    fn hash_rows_matches_hash_row() {
+        let b = batch();
+        let all = hash_rows(&b, &[0, 1], Rows::Range(0, 3));
+        for (row, h) in all.iter().enumerate() {
+            assert_eq!(*h, hash_row(&b, &[0, 1], row));
+        }
+        let sel = [2u32, 0];
+        let selected = hash_rows(&b, &[0, 1], Rows::Sel(&sel));
+        assert_eq!(selected, vec![all[2], all[0]]);
+        // Sub-range and slice agree.
+        let sub = hash_rows(&b, &[0, 1], Rows::Range(1, 3));
+        assert_eq!(sub, all[1..]);
+    }
+
+    #[test]
+    fn f64_keys_hash_canonically() {
+        let b = Batch::from_columns(vec![Column::F64(vec![0.0, -0.0, 1.5, f64::NAN])]);
+        let h = hash_rows(&b, &[0], Rows::Range(0, 4));
+        // -0.0 and 0.0 compare equal, so they must hash equal.
+        assert_eq!(h[0], h[1]);
+        assert_ne!(h[0], h[2]);
+        assert_eq!(hash_row(&b, &[0], 0), hash_row(&b, &[0], 1));
+        assert_eq!(canon_f64_bits(-0.0), canon_f64_bits(0.0));
+        assert_ne!(canon_f64_bits(1.0), canon_f64_bits(2.0));
+    }
+
+    #[test]
+    fn rows_views() {
+        let r = Rows::Range(2, 6);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.at(1), 3);
+        assert_eq!(r.slice(1..3).at(0), 3);
+        let sel = [5u32, 7, 9];
+        let s = Rows::Sel(&sel);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.at(2), 9);
+        assert_eq!(s.slice(1..3).at(0), 7);
+        assert_eq!(Rows::range(4..4).len(), 0);
+        assert!(Rows::range(4..4).is_empty());
+    }
+
+    #[test]
+    fn candidates_filter_and_gather() {
+        use morsel_storage::DataType;
+        // Build side: keys 10, 20, 30 with payloads "a", "b", "c".
+        let build = one_area_set(
+            Batch::from_columns(vec![
+                Column::I64(vec![10, 20, 30]),
+                Column::Str(vec!["a".into(), "b".into(), "c".into()]),
+            ]),
+            &[("bk", DataType::I64), ("bp", DataType::Str)],
+        );
+        let probe = Batch::from_columns(vec![Column::I64(vec![10, 25, 30])]);
+        let mut cand = MatchCandidates::with_capacity(3);
+        // Candidates pair probe rows with same-index build rows: only the
+        // (0 -> 10) and (2 -> 30) pairs key-match.
+        cand.push(0, 0, 0, 0, 0);
+        cand.push(1, 1, 1, 0, 1);
+        cand.push(2, 2, 2, 0, 2);
+        assert_eq!(cand.len(), 3);
+        cand.retain_key_equal(&probe, &[0], &build, &[0]);
+        assert_eq!(cand.probe_row, vec![0, 2]);
+        assert_eq!(cand.entry, vec![0, 2]);
+        let payload = cand.gather_build_column(&build, 1);
+        assert_eq!(payload.as_str(), &["a".to_owned(), "c".to_owned()]);
+        // Filtering to empty keeps the gather well-defined.
+        cand.retain_key_equal(
+            &Batch::from_columns(vec![Column::I64(vec![99, 99, 99])]),
+            &[0],
+            &build,
+            &[0],
+        );
+        assert!(cand.is_empty());
+        assert_eq!(cand.gather_build_column(&build, 0).len(), 0);
+    }
+
+    #[test]
+    fn candidates_mixed_width_keys() {
+        use morsel_storage::DataType;
+        let build = one_area_set(
+            Batch::from_columns(vec![Column::I32(vec![10, 20])]),
+            &[("bk", DataType::I32)],
+        );
+        let probe = Batch::from_columns(vec![Column::I64(vec![10, 21])]);
+        let mut cand = MatchCandidates::with_capacity(2);
+        cand.push(0, 0, 0, 0, 0);
+        cand.push(1, 1, 1, 0, 1);
+        cand.retain_key_equal(&probe, &[0], &build, &[0]);
+        assert_eq!(cand.probe_row, vec![0]);
     }
 
     #[test]

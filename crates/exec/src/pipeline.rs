@@ -1,6 +1,15 @@
 //! The vectorized pipeline job: scan/filter source morsels, apply a chain
 //! of operators, feed a sink. One `ExecPipeline` instance is shared by all
 //! workers executing the pipeline; all per-worker state lives in the sink.
+//!
+//! Operators exchange a [`SelBatch`] — a batch plus an optional selection
+//! vector — instead of materializing a fresh batch after every predicate.
+//! Filters only narrow the selection; the copy is deferred to whoever
+//! genuinely needs compact data (the probe gather, a projection, the
+//! sink), or forced early by a density heuristic when the selection drops
+//! below `1/`[`SEL_COMPACT_DENOM`] of the underlying rows (at that point
+//! the gather is cheap and every later pass would otherwise keep streaming
+//! the sparse underlying columns). Policy details in DESIGN.md §4.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -9,29 +18,106 @@ use morsel_core::{Morsel, PipelineJob, TaskContext};
 use morsel_storage::{Batch, Column, DataType};
 
 use crate::expr::Expr;
+use crate::key::Rows;
 use crate::sink::Sink;
 use crate::source::InputSource;
 use crate::weights;
 
+/// Compact a selection when fewer than `1/SEL_COMPACT_DENOM` of the
+/// underlying rows survive.
+pub const SEL_COMPACT_DENOM: usize = 8;
+
+/// A batch with an optional selection vector of surviving row indexes
+/// (sorted ascending). `sel: None` means every row is live ("dense").
+#[derive(Debug, Clone)]
+pub struct SelBatch {
+    pub batch: Batch,
+    pub sel: Option<Vec<u32>>,
+}
+
+impl SelBatch {
+    /// A fully dense batch.
+    pub fn dense(batch: Batch) -> Self {
+        SelBatch { batch, sel: None }
+    }
+
+    /// Number of *selected* rows.
+    pub fn rows(&self) -> usize {
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.batch.rows(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// Kernel view of the live rows.
+    pub fn rows_ref(&self) -> Rows<'_> {
+        match &self.sel {
+            Some(sel) => Rows::Sel(sel),
+            None => Rows::Range(0, self.batch.rows()),
+        }
+    }
+
+    /// Compact copy of the live rows, charging the gather. No-op (and no
+    /// charge) when already dense.
+    pub fn materialize(self, ctx: &mut TaskContext<'_>) -> Batch {
+        match self.sel {
+            None => self.batch,
+            Some(sel) => {
+                ctx.cpu(sel.len() as u64, weights::GATHER_NS * self.batch.width() as f64);
+                self.batch.gather(&sel)
+            }
+        }
+    }
+
+    /// Apply the density heuristic: gather now if the selection became
+    /// sparse, otherwise keep carrying the selection vector.
+    pub fn compact_if_sparse(self, ctx: &mut TaskContext<'_>) -> SelBatch {
+        match &self.sel {
+            Some(sel) if sel.len() * SEL_COMPACT_DENOM < self.batch.rows() => {
+                SelBatch::dense(self.materialize(ctx))
+            }
+            _ => self,
+        }
+    }
+}
+
 /// A batch-to-batch operator in a pipeline (probe, filter, map).
 pub trait PipeOp: Send + Sync {
-    fn apply(&self, ctx: &mut TaskContext<'_>, input: Batch) -> Batch;
+    fn apply(&self, ctx: &mut TaskContext<'_>, input: SelBatch) -> SelBatch;
     fn out_types(&self, input: &[DataType]) -> Vec<DataType>;
 }
 
-/// Filter rows of the working batch by a predicate.
+/// Filter rows of the working batch by a predicate. Produces a narrowed
+/// selection vector; no column is copied unless the density heuristic
+/// decides the survivors are sparse enough to gather.
 pub struct FilterOp {
     pub predicate: Expr,
 }
 
 impl PipeOp for FilterOp {
-    fn apply(&self, ctx: &mut TaskContext<'_>, input: Batch) -> Batch {
-        ctx.cpu(input.rows() as u64, f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS);
-        let sel = self.predicate.eval_filter(&input, 0..input.rows());
-        let mut out = Batch::empty(&input.columns().iter().map(Column::data_type).collect::<Vec<_>>());
-        out.extend_selected(&input, &sel);
-        ctx.cpu(sel.len() as u64, weights::GATHER_NS * input.width() as f64);
-        out
+    fn apply(&self, ctx: &mut TaskContext<'_>, input: SelBatch) -> SelBatch {
+        let underlying = input.batch.rows();
+        // The predicate is evaluated over all underlying rows (vectorized
+        // kernels do not skip holes); with a selection present the result
+        // is intersected with it. Charged accordingly.
+        ctx.cpu(underlying as u64, f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS);
+        let out = match input.sel {
+            None => {
+                let sel = self.predicate.eval_filter(&input.batch, 0..underlying);
+                SelBatch { batch: input.batch, sel: Some(sel) }
+            }
+            Some(mut sel) => {
+                let mask = self.predicate.eval(&input.batch, 0..underlying);
+                let mask = mask.as_bool();
+                sel.retain(|&r| mask[r as usize]);
+                SelBatch { batch: input.batch, sel: Some(sel) }
+            }
+        };
+        out.compact_if_sparse(ctx)
     }
 
     fn out_types(&self, input: &[DataType]) -> Vec<DataType> {
@@ -40,17 +126,20 @@ impl PipeOp for FilterOp {
 }
 
 /// Replace the working batch by evaluated expressions (projection).
+/// Projections produce fresh dense columns, so the input is materialized
+/// first (this is one of the deferred-gather points).
 pub struct MapOp {
     pub exprs: Vec<Expr>,
 }
 
 impl PipeOp for MapOp {
-    fn apply(&self, ctx: &mut TaskContext<'_>, input: Batch) -> Batch {
+    fn apply(&self, ctx: &mut TaskContext<'_>, input: SelBatch) -> SelBatch {
+        let input = input.materialize(ctx);
         let weight: u32 = self.exprs.iter().map(Expr::weight).sum();
         ctx.cpu(input.rows() as u64, f64::from(weight) * weights::EXPR_NODE_NS);
         let cols: Vec<Column> =
             self.exprs.iter().map(|e| e.eval(&input, 0..input.rows()).into_column()).collect();
-        Batch::from_columns(cols)
+        SelBatch::dense(Batch::from_columns(cols))
     }
 
     fn out_types(&self, input: &[DataType]) -> Vec<DataType> {
@@ -71,6 +160,10 @@ pub struct ExecPipeline {
     /// filter runs against the source batch directly, so it needs no
     /// rewrite).
     projection_c: Vec<Expr>,
+    /// True when `projection_c` is exactly `col(0), col(1), ..` over every
+    /// gathered column — the projection then reuses the gathered batch
+    /// instead of re-copying each column.
+    identity_projection: bool,
     ops: Vec<Box<dyn PipeOp>>,
     sink: Box<dyn Sink>,
     /// Extra per-tuple CPU charged at the scan (Volcano exchange
@@ -99,13 +192,22 @@ impl ExecPipeline {
         for (new, &old) in used.iter().enumerate() {
             map[old] = Some(new);
         }
-        let projection_c = projection.iter().map(|p| p.remap(&map)).collect();
+        let projection_c: Vec<Expr> = projection.iter().map(|p| p.remap(&map)).collect();
+        // Identity only holds when eval would be a verbatim copy: same
+        // column order AND no I32 column (a `Col` eval widens I32 to I64,
+        // so skipping it would change the working schema).
+        let src_types = source.types();
+        let identity_projection = projection_c.len() == used.len()
+            && projection_c.iter().enumerate().all(|(i, e)| {
+                matches!(e, Expr::Col(c) if *c == i) && src_types[used[i]] != DataType::I32
+            });
         ExecPipeline {
             source,
             filter,
             projection,
             used,
             projection_c,
+            identity_projection,
             ops,
             sink,
             extra_scan_ns: 0.0,
@@ -142,7 +244,9 @@ impl ExecPipeline {
             ctx.cpu(rows, self.extra_scan_ns);
         }
 
-        // Gather used columns (filtered) into a compact morsel batch.
+        // Gather used columns (filtered) into a compact morsel batch. A
+        // selection that keeps every row (or no filter at all) takes the
+        // contiguous memcpy path instead of an indexed gather.
         let sel: Option<Vec<u32>> = match &self.filter {
             Some(f) => {
                 ctx.cpu(rows, f64::from(f.weight()) * weights::EXPR_NODE_NS);
@@ -150,41 +254,36 @@ impl ExecPipeline {
             }
             None => None,
         };
-        let types: Vec<DataType> =
-            self.used.iter().map(|&c| batch.column(c).data_type()).collect();
-        let mut compact = Batch::empty(&types);
-        {
-            let cols: Vec<Column> = match &sel {
-                Some(sel) => self
-                    .used
-                    .iter()
-                    .map(|&c| {
-                        let mut col = Column::with_capacity(batch.column(c).data_type(), sel.len());
-                        col.extend_selected(batch.column(c), sel);
-                        col
-                    })
-                    .collect(),
-                None => {
-                    let sel_all: Vec<u32> = (range.start as u32..range.end as u32).collect();
-                    self.used
-                        .iter()
-                        .map(|&c| {
-                            let mut col =
-                                Column::with_capacity(batch.column(c).data_type(), sel_all.len());
-                            col.extend_selected(batch.column(c), &sel_all);
-                            col
-                        })
-                        .collect()
-                }
-            };
-            if !cols.is_empty() {
-                compact = Batch::from_columns(cols);
+        let all_kept = sel.as_ref().is_none_or(|s| s.len() == range.len());
+        let gather_one = |c: usize| -> Column {
+            let src = batch.column(c);
+            if all_kept {
+                let mut col = Column::with_capacity(src.data_type(), range.len());
+                col.extend_range(src, range.start, range.end);
+                col
+            } else {
+                let sel = sel.as_ref().expect("partial keep implies a selection");
+                let mut col = Column::with_capacity(src.data_type(), sel.len());
+                col.extend_selected(src, sel);
+                col
             }
-        }
+        };
+        let cols: Vec<Column> = self.used.iter().map(|&c| gather_one(c)).collect();
+        let compact = if cols.is_empty() {
+            let types: Vec<DataType> =
+                self.used.iter().map(|&c| batch.column(c).data_type()).collect();
+            Batch::empty(&types)
+        } else {
+            Batch::from_columns(cols)
+        };
         let kept = compact.rows() as u64;
         ctx.cpu(kept, weights::GATHER_NS * self.used.len() as f64);
 
-        // Projection to the working batch.
+        // Projection to the working batch. An identity projection reuses
+        // the gathered columns outright.
+        if self.identity_projection {
+            return compact;
+        }
         let weight: u32 = self.projection_c.iter().map(Expr::weight).sum();
         ctx.cpu(kept, f64::from(weight) * weights::EXPR_NODE_NS);
         let out_cols: Vec<Column> = self
@@ -203,7 +302,7 @@ impl ExecPipeline {
 
 impl PipelineJob for ExecPipeline {
     fn run_morsel(&self, ctx: &mut TaskContext<'_>, morsel: Morsel) {
-        let mut working = self.scan(ctx, morsel.chunk, morsel.range);
+        let mut working = SelBatch::dense(self.scan(ctx, morsel.chunk, morsel.range));
         for op in &self.ops {
             if working.is_empty() {
                 break;
@@ -281,15 +380,48 @@ mod tests {
     fn filter_op_and_map_op_chain() {
         let env = ExecEnv::new(Topology::laptop());
         let mut ctx = TaskContext::new(&env, 0);
-        let input = Batch::from_columns(vec![Column::I64(vec![1, 2, 3, 4])]);
+        let input = SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2, 3, 4])]));
         let f = FilterOp { predicate: gt(col(0), lit(2)) };
         let out = f.apply(&mut ctx, input);
-        assert_eq!(out.column(0).as_i64(), &[3, 4]);
+        // Half the rows survive: dense enough to stay a selection vector.
+        assert_eq!(out.sel.as_deref(), Some(&[2u32, 3][..]));
+        assert_eq!(out.rows(), 2);
         let m = MapOp { exprs: vec![mul(col(0), lit(10))] };
         let out2 = m.apply(&mut ctx, out);
-        assert_eq!(out2.column(0).as_i64(), &[30, 40]);
+        assert!(out2.sel.is_none());
+        assert_eq!(out2.batch.column(0).as_i64(), &[30, 40]);
         assert_eq!(m.out_types(&[DataType::I64]), vec![DataType::I64]);
         assert_eq!(f.out_types(&[DataType::I64]), vec![DataType::I64]);
+    }
+
+    #[test]
+    fn chained_filters_intersect_selections() {
+        let env = ExecEnv::new(Topology::laptop());
+        let mut ctx = TaskContext::new(&env, 0);
+        let input =
+            SelBatch::dense(Batch::from_columns(vec![Column::I64((0..16).collect())]));
+        let f1 = FilterOp { predicate: gt(col(0), lit(3)) };
+        let f2 = FilterOp { predicate: gt(col(0), lit(11)) };
+        let mid = f1.apply(&mut ctx, input);
+        let out = f2.apply(&mut ctx, mid);
+        // 4/16 survivors sits above the 1/8 compaction bound: stays a
+        // selection vector.
+        assert_eq!(out.sel.as_deref(), Some(&[12u32, 13, 14, 15][..]));
+        let got = out.materialize(&mut ctx);
+        assert_eq!(got.column(0).as_i64(), &[12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn sparse_selection_compacts_eagerly() {
+        let env = ExecEnv::new(Topology::laptop());
+        let mut ctx = TaskContext::new(&env, 0);
+        let input =
+            SelBatch::dense(Batch::from_columns(vec![Column::I64((0..100).collect())]));
+        let f = FilterOp { predicate: gt(col(0), lit(95)) };
+        let out = f.apply(&mut ctx, input);
+        // 4/100 < 1/8: the heuristic gathers immediately.
+        assert!(out.sel.is_none());
+        assert_eq!(out.batch.column(0).as_i64(), &[96, 97, 98, 99]);
     }
 
     #[test]
@@ -307,7 +439,7 @@ mod tests {
 
     struct NullSink;
     impl Sink for NullSink {
-        fn consume(&self, _ctx: &mut TaskContext<'_>, _b: Batch) {}
+        fn consume(&self, _ctx: &mut TaskContext<'_>, _b: SelBatch) {}
         fn finish(&self, _ctx: &mut TaskContext<'_>) {}
     }
 }

@@ -10,6 +10,10 @@
 //! pipelines (scan/filter/project/probe chains), exactly as Figure 2 of
 //! the paper decomposes its example plan.
 
+// File layout keeps the plan-tree tests next to the Plan type, with the
+// compiler below them.
+#![allow(clippy::items_after_test_module)]
+
 use std::sync::Arc;
 
 use morsel_core::{result_slot, BuiltJob, FnStage, QuerySpec, ResultSlot, Stage};
@@ -505,6 +509,7 @@ impl Compiler {
                     probe_keys,
                     kind,
                     build_cols: build_payload,
+                    scalar: !self.variant.vectorized,
                 }));
                 pu
             }
@@ -548,7 +553,8 @@ impl Compiler {
                 let source = u.source.resolve();
                 let chunks = source.chunk_meta();
                 let sink =
-                    AggPartialSink::new(group_cols, fns, &env.worker_sockets(workers), slot);
+                    AggPartialSink::new(group_cols, fns, &env.worker_sockets(workers), slot)
+                        .with_scalar_path(!variant.vectorized);
                 let pipe = ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
                     .with_extra_scan_ns(variant.exchange_ns);
                 BuiltJob::new(label, Arc::new(pipe), chunks)

@@ -4,8 +4,10 @@ use std::sync::Arc;
 
 use morsel_core::TaskContext;
 use morsel_core::ResultSlot;
-use morsel_storage::{AreaSet, Batch, Schema, StorageArea};
+use morsel_storage::{AreaSet, Schema, StorageArea};
 use parking_lot::Mutex;
+
+use crate::pipeline::SelBatch;
 
 /// Shared slot holding a completed pipeline's materialized output.
 pub type AreaSlot = Arc<Mutex<Option<Arc<AreaSet>>>>;
@@ -17,8 +19,11 @@ pub fn area_slot() -> AreaSlot {
 
 /// A pipeline sink. `consume` is called concurrently (one worker at a
 /// time per worker slot); `finish` exactly once after the last morsel.
+/// Sinks receive a [`SelBatch`] and are one of the pipeline's deferred
+/// materialization points: a sink that copies anyway (materialize, top-k)
+/// gathers through the selection in the same pass.
 pub trait Sink: Send + Sync {
-    fn consume(&self, ctx: &mut TaskContext<'_>, batch: Batch);
+    fn consume(&self, ctx: &mut TaskContext<'_>, input: SelBatch);
     fn finish(&self, ctx: &mut TaskContext<'_>);
 }
 
@@ -52,14 +57,27 @@ impl MaterializeSink {
 }
 
 impl Sink for MaterializeSink {
-    fn consume(&self, ctx: &mut TaskContext<'_>, batch: Batch) {
-        if batch.is_empty() {
+    fn consume(&self, ctx: &mut TaskContext<'_>, input: SelBatch) {
+        if input.is_empty() {
             return;
         }
         let mut area = self.areas[ctx.worker].lock();
-        ctx.write(area.node(), batch.total_bytes());
-        ctx.cpu(batch.rows() as u64, crate::weights::GATHER_NS * batch.width() as f64);
-        area.data_mut().extend_from(&batch);
+        ctx.cpu(
+            input.rows() as u64,
+            crate::weights::GATHER_NS * input.batch.width() as f64,
+        );
+        match &input.sel {
+            None => {
+                ctx.write(area.node(), input.batch.total_bytes());
+                area.data_mut().extend_from(&input.batch);
+            }
+            Some(sel) => {
+                // Gather through the selection straight into the area:
+                // the single deferred copy of the filtered pipeline.
+                ctx.write(area.node(), input.batch.selected_bytes(sel));
+                area.data_mut().extend_selected(&input.batch, sel);
+            }
+        }
     }
 
     fn finish(&self, _ctx: &mut TaskContext<'_>) {
@@ -85,7 +103,7 @@ mod tests {
     use super::*;
     use morsel_core::{result_slot, DispatchConfig, ExecEnv};
     use morsel_numa::{SocketId, Topology};
-    use morsel_storage::{Column, DataType};
+    use morsel_storage::{Batch, Column, DataType};
 
     fn ctx_env() -> ExecEnv {
         ExecEnv::new(Topology::nehalem_ex())
@@ -102,11 +120,11 @@ mod tests {
         let sink = MaterializeSink::new(schema, &nodes, out.clone(), Some(result.clone()));
 
         let mut ctx0 = TaskContext::new(&env, 0);
-        sink.consume(&mut ctx0, Batch::from_columns(vec![Column::I64(vec![1, 2])]));
+        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2])])));
         let mut ctx1 = TaskContext::new(&env, 1);
-        sink.consume(&mut ctx1, Batch::from_columns(vec![Column::I64(vec![3])]));
+        sink.consume(&mut ctx1, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![3])])));
         // Empty batches are ignored.
-        sink.consume(&mut ctx0, Batch::from_columns(vec![Column::I64(vec![])]));
+        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![])])));
         sink.finish(&mut ctx0);
 
         let set = out.lock().take().unwrap();

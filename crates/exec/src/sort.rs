@@ -19,6 +19,7 @@ use morsel_numa::SocketId;
 use morsel_storage::{AreaSet, Batch, Column, Schema, Value};
 use parking_lot::Mutex;
 
+use crate::pipeline::SelBatch;
 use crate::sink::{AreaSlot, Sink};
 use crate::weights;
 
@@ -360,18 +361,23 @@ impl TopKSink {
 }
 
 impl Sink for TopKSink {
-    fn consume(&self, ctx: &mut TaskContext<'_>, batch: Batch) {
-        if batch.is_empty() {
+    fn consume(&self, ctx: &mut TaskContext<'_>, input: SelBatch) {
+        if input.is_empty() {
             return;
         }
         let mut best = self.workers[ctx.worker].lock();
-        // Merge current best with the new batch, keep first k.
+        // Merge current best with the new rows, keep first k. A selection
+        // vector gathers here (the sink copies anyway).
         let mut combined = Batch::empty(&self.schema.data_types());
         combined.extend_from(&best);
-        combined.extend_from(&batch);
+        let consumed = input.rows();
+        match &input.sel {
+            None => combined.extend_from(&input.batch),
+            Some(sel) => combined.extend_selected(&input.batch, sel),
+        }
         let n = combined.rows();
         ctx.cpu(
-            batch.rows() as u64,
+            consumed as u64,
             weights::SORT_CMP_NS * ((self.k.max(2)) as f64).log2(),
         );
         let sorted = sort_batch(&combined, &self.keys);
@@ -565,9 +571,9 @@ mod tests {
         );
         let mut ctx0 = TaskContext::new(&env, 0);
         let mut ctx1 = TaskContext::new(&env, 1);
-        sink.consume(&mut ctx0, Batch::from_columns(vec![Column::I64(vec![9, 2, 7])]));
-        sink.consume(&mut ctx1, Batch::from_columns(vec![Column::I64(vec![1, 8, 3])]));
-        sink.consume(&mut ctx0, Batch::from_columns(vec![Column::I64(vec![4])]));
+        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![9, 2, 7])])));
+        sink.consume(&mut ctx1, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 8, 3])])));
+        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![4])])));
         sink.finish(&mut ctx0);
         let b = result.lock().take().unwrap();
         assert_eq!(b.column(0).as_i64(), &[1, 2, 3]);
@@ -581,7 +587,7 @@ mod tests {
         let result = morsel_core::result_slot();
         let sink = TopKSink::new(vec![SortKey::desc(0)], 10, schema, 1, out, Some(result.clone()));
         let mut ctx = TaskContext::new(&env, 0);
-        sink.consume(&mut ctx, Batch::from_columns(vec![Column::I64(vec![1, 2])]));
+        sink.consume(&mut ctx, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2])])));
         sink.finish(&mut ctx);
         assert_eq!(result.lock().take().unwrap().column(0).as_i64(), &[2, 1]);
     }

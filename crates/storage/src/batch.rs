@@ -98,12 +98,32 @@ impl Batch {
         self.byte_size(0, self.rows)
     }
 
+    /// Approximate bytes of the selected rows across all columns.
+    pub fn selected_bytes(&self, sel: &[u32]) -> u64 {
+        self.columns.iter().map(|c| c.selected_bytes(sel)).sum()
+    }
+
     /// Sort all rows by the given key extraction on row indices and return
     /// a reordered copy. Used by tests and the result comparator.
     pub fn reordered(&self, perm: &[u32]) -> Batch {
         let mut out = Batch::empty(&self.columns.iter().map(Column::data_type).collect::<Vec<_>>());
         out.extend_selected(self, perm);
         out
+    }
+
+    /// Compact copy of the selected rows (capacity-exact gather; the
+    /// pipeline's selection-vector materialization point).
+    pub fn gather(&self, sel: &[u32]) -> Batch {
+        let cols: Vec<Column> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut out = Column::with_capacity(c.data_type(), sel.len());
+                out.extend_selected(c, sel);
+                out
+            })
+            .collect();
+        Batch { columns: cols, rows: sel.len() }
     }
 }
 
@@ -154,6 +174,15 @@ mod tests {
     fn reorder() {
         let b = sample().reordered(&[1, 2, 0]);
         assert_eq!(b.column(0).as_i64(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn gather_compacts_selection() {
+        let b = sample().gather(&[2, 0]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.column(0).as_i64(), &[2, 3]);
+        assert_eq!(b.column(1).as_str(), &["b".to_owned(), "c".to_owned()]);
+        assert_eq!(sample().gather(&[]).rows(), 0);
     }
 
     #[test]

@@ -139,6 +139,20 @@ impl Column {
         }
     }
 
+    /// Append the contiguous row range `[from, to)` of `src` (memcpy-style
+    /// fast path used when a scan keeps every row of a morsel).
+    pub fn extend_range(&mut self, src: &Column, from: usize, to: usize) {
+        match (self, src) {
+            (Column::I64(dst), Column::I64(s)) => dst.extend_from_slice(&s[from..to]),
+            (Column::I32(dst), Column::I32(s)) => dst.extend_from_slice(&s[from..to]),
+            (Column::F64(dst), Column::F64(s)) => dst.extend_from_slice(&s[from..to]),
+            (Column::Str(dst), Column::Str(s)) => dst.extend_from_slice(&s[from..to]),
+            (dst, s) => {
+                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+            }
+        }
+    }
+
     /// Append all rows of `src`.
     pub fn extend_from(&mut self, src: &Column) {
         match (self, src) {
@@ -167,6 +181,16 @@ impl Column {
     pub fn total_bytes(&self) -> u64 {
         self.byte_size(0, self.len())
     }
+
+    /// Approximate bytes of the selected rows (same accounting rules as
+    /// [`Column::byte_size`]).
+    pub fn selected_bytes(&self, sel: &[u32]) -> u64 {
+        match self {
+            Column::I64(_) | Column::F64(_) => 8 * sel.len() as u64,
+            Column::I32(_) => 4 * sel.len() as u64,
+            Column::Str(v) => sel.iter().map(|&i| v[i as usize].len() as u64 + 8).sum(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +217,16 @@ mod tests {
     }
 
     #[test]
+    fn extend_range_copies_contiguous_rows() {
+        let src = Column::I64(vec![10, 20, 30, 40]);
+        let mut dst = Column::empty(DataType::I64);
+        dst.extend_range(&src, 1, 3);
+        assert_eq!(dst.as_i64(), &[20, 30]);
+        dst.extend_range(&src, 0, 0);
+        assert_eq!(dst.len(), 2);
+    }
+
+    #[test]
     fn extend_from_appends_all() {
         let src = Column::Str(vec!["a".into(), "b".into()]);
         let mut dst = Column::empty(DataType::Str);
@@ -215,6 +249,15 @@ mod tests {
         assert_eq!(Column::I32(vec![0; 10]).byte_size(0, 10), 40);
         let s = Column::Str(vec!["ab".into(), "c".into()]);
         assert_eq!(s.total_bytes(), (2 + 8) + (1 + 8));
+    }
+
+    #[test]
+    fn selected_byte_sizes() {
+        assert_eq!(Column::I64(vec![0; 10]).selected_bytes(&[1, 5, 9]), 24);
+        assert_eq!(Column::I32(vec![0; 10]).selected_bytes(&[0]), 4);
+        let s = Column::Str(vec!["ab".into(), "c".into()]);
+        assert_eq!(s.selected_bytes(&[1]), 1 + 8);
+        assert_eq!(s.selected_bytes(&[0, 1]), s.total_bytes());
     }
 
     #[test]

@@ -3,12 +3,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use morsel_repro::core::{ChunkMeta, MorselQueues, SchedulingMode};
+use morsel_repro::core::{ChunkMeta, ExecEnv, MorselQueues, PipelineJob, SchedulingMode, TaskContext};
 use morsel_repro::exec::expr::LikePattern;
 use morsel_repro::exec::ht::TaggedHashTable;
+use morsel_repro::exec::join::{join_slot, HtInsertJob, ProbeOp};
+use morsel_repro::exec::pipeline::{FilterOp, PipeOp, SelBatch};
 use morsel_repro::exec::sort::{is_sorted, sort_batch, SortKey};
 use morsel_repro::prelude::*;
-use morsel_repro::storage::{date_parts, hash64};
+use morsel_repro::storage::{date_parts, hash64, AreaSet, StorageArea};
 use proptest::prelude::*;
 
 proptest! {
@@ -113,6 +115,102 @@ proptest! {
         prop_assert_eq!(fast, slow, "pattern {:?} input {:?}", pattern, input);
     }
 
+    /// The selection-vector pipeline path (filters narrowing a selection,
+    /// batched probe, deferred gather) produces exactly the rows of a
+    /// force-materialize path that gathers after every operator and uses
+    /// the row-at-a-time reference probe.
+    #[test]
+    fn selection_vector_path_matches_materialized_path(
+        rows in proptest::collection::vec((0i64..30, -100i64..100), 0..600),
+        build_keys in proptest::collection::vec(0i64..30, 0..80),
+        threshold in -110i64..110,
+    ) {
+        let env = ExecEnv::new(Topology::nehalem_ex());
+        let mut ctx = TaskContext::new(&env, 0);
+
+        // Build side: one area with (bk, bv) rows, inserted into the
+        // tagged hash table.
+        let schema = Schema::new(vec![("bk", DataType::I64), ("bv", DataType::I64)]);
+        let mut area = StorageArea::new(SocketId(0), &schema.data_types());
+        area.data_mut().extend_from(&Batch::from_columns(vec![
+            Column::I64(build_keys.clone()),
+            Column::I64(build_keys.iter().map(|k| k * 1000).collect()),
+        ]));
+        let build = Arc::new(AreaSet::new(schema, vec![area]));
+        let slot = join_slot();
+        let insert = HtInsertJob::new(Arc::clone(&build), vec![0], 4, slot.clone());
+        insert.run_morsel(
+            &mut ctx,
+            morsel_repro::core::Morsel { chunk: 0, range: 0..build_keys.len() },
+        );
+        PipelineJob::finish(&insert, &mut ctx);
+
+        let input = Batch::from_columns(vec![
+            Column::I64(rows.iter().map(|r| r.0).collect()),
+            Column::I64(rows.iter().map(|r| r.1).collect()),
+        ]);
+        let filter = FilterOp { predicate: gt(col(1), lit(threshold)) };
+        let make_probe = |scalar: bool| ProbeOp {
+            table: slot.clone(),
+            probe_keys: vec![0],
+            kind: JoinKind::Inner,
+            build_cols: vec![1],
+            scalar,
+        };
+
+        // Path A: selection vectors throughout, vectorized probe.
+        let a = {
+            let s = filter.apply(&mut ctx, SelBatch::dense(input.clone()));
+            let s = make_probe(false).apply(&mut ctx, s);
+            s.materialize(&mut ctx)
+        };
+        // Path B: force-materialize after every operator, scalar probe.
+        let b = {
+            let s = filter.apply(&mut ctx, SelBatch::dense(input));
+            let dense = SelBatch::dense(s.materialize(&mut ctx));
+            let s = make_probe(true).apply(&mut ctx, dense);
+            s.materialize(&mut ctx)
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// Semi/anti joins agree between the two paths as well (their
+    /// vectorized output stays a selection vector).
+    #[test]
+    fn selection_vector_semi_anti_matches(
+        probe_keys in proptest::collection::vec(0i64..20, 0..300),
+        build_keys in proptest::collection::vec(0i64..20, 0..40),
+        anti in any::<bool>(),
+    ) {
+        let env = ExecEnv::new(Topology::nehalem_ex());
+        let mut ctx = TaskContext::new(&env, 0);
+        let schema = Schema::new(vec![("bk", DataType::I64)]);
+        let mut area = StorageArea::new(SocketId(0), &schema.data_types());
+        area.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64(build_keys.clone())]));
+        let build = Arc::new(AreaSet::new(schema, vec![area]));
+        let slot = join_slot();
+        let insert = HtInsertJob::new(build, vec![0], 4, slot.clone());
+        insert.run_morsel(
+            &mut ctx,
+            morsel_repro::core::Morsel { chunk: 0, range: 0..build_keys.len() },
+        );
+        PipelineJob::finish(&insert, &mut ctx);
+
+        let kind = if anti { JoinKind::Anti } else { JoinKind::Semi };
+        let input = Batch::from_columns(vec![Column::I64(probe_keys)]);
+        let make = |scalar: bool| ProbeOp {
+            table: slot.clone(),
+            probe_keys: vec![0],
+            kind,
+            build_cols: vec![],
+            scalar,
+        };
+        let a = make(false).apply(&mut ctx, SelBatch::dense(input.clone())).materialize(&mut ctx);
+        let b = make(true).apply(&mut ctx, SelBatch::dense(input)).materialize(&mut ctx);
+        prop_assert_eq!(a, b);
+    }
+
     /// Hash partitioning preserves the exact multiset of rows.
     #[test]
     fn partitioning_preserves_rows(
@@ -181,6 +279,48 @@ proptest! {
             prop_assert_eq!(out.result.column(1).as_i64()[i], cnt);
             prop_assert_eq!(out.result.column(2).as_i64()[i], sum);
         }
+    }
+
+    /// A whole query (scan + filter + join + grouped agg + sort) returns
+    /// identical results under the vectorized and the scalar-operator
+    /// variants, for any worker count.
+    #[test]
+    fn vectorized_and_scalar_variants_agree(
+        rows in proptest::collection::vec((0i64..25, -50i64..50), 1..1_500),
+        build_keys in proptest::collection::vec(0i64..25, 1..40),
+        workers in 1usize..9,
+    ) {
+        let topo = Topology::nehalem_ex();
+        let env = ExecEnv::new(topo.clone());
+        let probe = Arc::new(Relation::partitioned(
+            Schema::new(vec![("k", DataType::I64), ("v", DataType::I64)]),
+            &Batch::from_columns(vec![
+                Column::I64(rows.iter().map(|r| r.0).collect()),
+                Column::I64(rows.iter().map(|r| r.1).collect()),
+            ]),
+            PartitionBy::Chunks,
+            4,
+            Placement::FirstTouch,
+            &topo,
+        ));
+        let build = Arc::new(Relation::single(
+            Schema::new(vec![("bk", DataType::I64)]),
+            Batch::from_columns(vec![Column::I64(build_keys)]),
+        ));
+        let make_plan = || {
+            Plan::scan(Arc::clone(&probe), Some(gt(col(1), lit(0))), &["k", "v"])
+                .join(
+                    Plan::scan(Arc::clone(&build), None, &["bk"]),
+                    &["k"],
+                    &["bk"],
+                    &[],
+                )
+                .agg(&["k"], vec![("cnt", AggFn::Count), ("sum", AggFn::SumI64(1))])
+                .sort_by(vec![SortKey::asc(0)], None)
+        };
+        let a = run_sim(&env, "vec", make_plan(), SystemVariant::full(), workers, 128);
+        let b = run_sim(&env, "sca", make_plan(), SystemVariant::scalar_ops(), workers, 128);
+        prop_assert_eq!(a.result, b.result);
     }
 
     /// An inner join over random keys matches the nested-loop reference.
