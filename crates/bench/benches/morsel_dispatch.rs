@@ -13,7 +13,10 @@ const TOTAL_ROWS: usize = 4_000_000;
 fn bench_cutout(c: &mut Criterion) {
     let topo = Topology::nehalem_ex();
     let chunks: Vec<ChunkMeta> = (0..64)
-        .map(|i| ChunkMeta { node: SocketId((i % 4) as u16), rows: TOTAL_ROWS / 64 })
+        .map(|i| ChunkMeta {
+            node: SocketId((i % 4) as u16),
+            rows: TOTAL_ROWS / 64,
+        })
         .collect();
     let mut g = c.benchmark_group("morsel_cutout");
     g.throughput(Throughput::Elements(TOTAL_ROWS as u64));
@@ -35,8 +38,12 @@ fn bench_cutout(c: &mut Criterion) {
 fn bench_steal(c: &mut Criterion) {
     let topo = Topology::nehalem_ex();
     // All data on socket 3: worker 0 must steal everything.
-    let chunks: Vec<ChunkMeta> =
-        (0..16).map(|_| ChunkMeta { node: SocketId(3), rows: 50_000 }).collect();
+    let chunks: Vec<ChunkMeta> = (0..16)
+        .map(|_| ChunkMeta {
+            node: SocketId(3),
+            rows: 50_000,
+        })
+        .collect();
     c.bench_function("morsel_steal_remote", |b| {
         b.iter(|| {
             let q = MorselQueues::build(&chunks, SchedulingMode::NumaAware, 10_000, 8, &topo);

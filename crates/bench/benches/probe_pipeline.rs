@@ -55,9 +55,10 @@ fn bench_probe(c: &mut Criterion) {
     g.throughput(Throughput::Elements(PROBE_ROWS as u64));
     g.sample_size(10);
     for workers in [1usize, 2, 4] {
-        for (label, variant) in
-            [("vectorized", SystemVariant::full()), ("scalar", SystemVariant::scalar_ops())]
-        {
+        for (label, variant) in [
+            ("vectorized", SystemVariant::full()),
+            ("scalar", SystemVariant::scalar_ops()),
+        ] {
             g.bench_with_input(BenchmarkId::new(label, workers), &workers, |b, &workers| {
                 b.iter(|| {
                     let plan = Plan::scan(probe.clone(), Some(gt(col(1), lit(-1))), &["fk", "v"])

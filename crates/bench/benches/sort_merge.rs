@@ -13,7 +13,9 @@ use std::sync::Arc;
 const ROWS: usize = 100_000;
 
 fn pseudo_random(n: usize, seed: i64) -> Vec<i64> {
-    (0..n as i64).map(|x| (x.wrapping_mul(6364136223846793005) ^ seed) % 1_000_000).collect()
+    (0..n as i64)
+        .map(|x| (x.wrapping_mul(6364136223846793005) ^ seed) % 1_000_000)
+        .collect()
 }
 
 fn area_set(runs: usize) -> Arc<AreaSet> {
@@ -21,10 +23,11 @@ fn area_set(runs: usize) -> Arc<AreaSet> {
     let areas = (0..runs)
         .map(|i| {
             let mut a = StorageArea::new(SocketId((i % 4) as u16), &schema.data_types());
-            a.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(pseudo_random(
-                ROWS / runs,
-                i as i64,
-            ))]));
+            a.data_mut()
+                .extend_from(&Batch::from_columns(vec![Column::I64(pseudo_random(
+                    ROWS / runs,
+                    i as i64,
+                ))]));
             a
         })
         .collect();

@@ -13,7 +13,13 @@ use std::hint::black_box;
 fn bench_queries(c: &mut Criterion) {
     let topo = Topology::laptop();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_tpch(TpchConfig { scale: 0.005, ..Default::default() }, &topo);
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.005,
+            ..Default::default()
+        },
+        &topo,
+    );
     let mut g = c.benchmark_group("tpch_wall");
     g.sample_size(10);
     // A scan query, a join-heavy query, an outer-join query, an

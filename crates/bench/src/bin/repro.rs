@@ -19,13 +19,25 @@ fn main() {
                 cfg.scale = args.next().expect("--scale needs a value").parse().unwrap();
             }
             "--ssb-scale" => {
-                cfg.ssb_scale = args.next().expect("--ssb-scale needs a value").parse().unwrap();
+                cfg.ssb_scale = args
+                    .next()
+                    .expect("--ssb-scale needs a value")
+                    .parse()
+                    .unwrap();
             }
             "--workers" => {
-                cfg.workers = args.next().expect("--workers needs a value").parse().unwrap();
+                cfg.workers = args
+                    .next()
+                    .expect("--workers needs a value")
+                    .parse()
+                    .unwrap();
             }
             "--morsel" => {
-                cfg.morsel_size = args.next().expect("--morsel needs a value").parse().unwrap();
+                cfg.morsel_size = args
+                    .next()
+                    .expect("--morsel needs a value")
+                    .parse()
+                    .unwrap();
             }
             "--quick" => {
                 let q = ExpConfig::quick();
@@ -82,6 +94,9 @@ fn main() {
             }
         };
         println!("{report}");
-        println!("[{exp} regenerated in {:.1}s wall time]\n", started.elapsed().as_secs_f64());
+        println!(
+            "[{exp} regenerated in {:.1}s wall time]\n",
+            started.elapsed().as_secs_f64()
+        );
     }
 }

@@ -39,13 +39,24 @@ impl Default for ExpConfig {
         // 512-tuple morsels: at laptop scale factors this preserves the
         // paper's morsels-per-worker ratio (the paper used 100k-tuple
         // morsels at SF 100); see DESIGN.md.
-        ExpConfig { scale: 0.02, ssb_scale: 0.02, workers: 64, morsel_size: 512, quick: false }
+        ExpConfig {
+            scale: 0.02,
+            ssb_scale: 0.02,
+            workers: 64,
+            morsel_size: 512,
+            quick: false,
+        }
     }
 }
 
 impl ExpConfig {
     pub fn quick() -> Self {
-        ExpConfig { scale: 0.002, ssb_scale: 0.002, quick: true, ..Default::default() }
+        ExpConfig {
+            scale: 0.002,
+            ssb_scale: 0.002,
+            quick: true,
+            ..Default::default()
+        }
     }
 
     fn thread_counts(&self) -> Vec<usize> {
@@ -57,7 +68,13 @@ impl ExpConfig {
     }
 
     fn tpch_db(&self, topo: &Topology) -> TpchDb {
-        generate_tpch(TpchConfig { scale: self.scale, ..Default::default() }, topo)
+        generate_tpch(
+            TpchConfig {
+                scale: self.scale,
+                ..Default::default()
+            },
+            topo,
+        )
     }
 }
 
@@ -69,7 +86,14 @@ fn run_query(
     workers: usize,
     morsel: usize,
 ) -> morsel_queries::RunOutcome {
-    run_sim(env, &format!("Q{q}"), tpch_queries::query(db, q), variant, workers, morsel)
+    run_sim(
+        env,
+        &format!("Q{q}"),
+        tpch_queries::query(db, q),
+        variant,
+        workers,
+        morsel,
+    )
 }
 
 // ---------------------------------------------------------------- fig 6
@@ -81,7 +105,9 @@ pub fn fig6(cfg: &ExpConfig) -> String {
     // R: one integer column, spread over the sockets.
     let n = ((40_000_000.0 * cfg.scale) as usize).max(400_000);
     let data = Batch::from_columns(vec![Column::I64(
-        (0..n as i64).map(|x| x.wrapping_mul(2654435761) % 1_000_000).collect(),
+        (0..n as i64)
+            .map(|x| x.wrapping_mul(2654435761) % 1_000_000)
+            .collect(),
     )]);
     let r = Arc::new(Relation::partitioned(
         Schema::new(vec![("a", DataType::I64)]),
@@ -96,7 +122,11 @@ pub fn fig6(cfg: &ExpConfig) -> String {
     for &size in sizes {
         let plan = Plan::scan(r.clone(), None, &["a"]).agg(&[], vec![("min", AggFn::MinI64(0))]);
         let out = run_sim(&env, "min", plan, SystemVariant::full(), cfg.workers, size);
-        t.row(vec![size.to_string(), secs(out.seconds()), out.stats.morsels.to_string()]);
+        t.row(vec![
+            size.to_string(),
+            secs(out.seconds()),
+            out.stats.morsels.to_string(),
+        ]);
     }
     format!(
         "Figure 6 — morsel size vs. execution time (select min(a) from R, |R|={n}, {} threads)\n{}",
@@ -115,19 +145,26 @@ pub fn fig11(cfg: &ExpConfig) -> String {
     let db = cfg.tpch_db(&topo);
     let variants = SystemVariant::all();
     let threads = cfg.thread_counts();
-    let queries: Vec<usize> = if cfg.quick { vec![1, 3, 6, 13, 18] } else { (1..=22).collect() };
+    let queries: Vec<usize> = if cfg.quick {
+        vec![1, 3, 6, 13, 18]
+    } else {
+        (1..=22).collect()
+    };
 
     // Materialize each variant's placement once (cloning relations per
     // run would dominate the harness wall time).
-    let variant_dbs: Vec<TpchDb> =
-        variants.iter().map(|v| db.with_placement(v.placement, &topo)).collect();
+    let variant_dbs: Vec<TpchDb> = variants
+        .iter()
+        .map(|v| db.with_placement(v.placement, &topo))
+        .collect();
 
     let mut out = String::from("Figure 11 — TPC-H speedup over single-threaded execution\n");
     for &q in &queries {
         let base = run_query(&env, &db, q, SystemVariant::full(), 1, cfg.morsel_size).seconds();
         out.push_str(&format!("\nQ{q} (single-threaded: {})\n", secs(base)));
-        let header: Vec<&str> =
-            std::iter::once("threads").chain(variants.iter().map(|v| v.name)).collect();
+        let header: Vec<&str> = std::iter::once("threads")
+            .chain(variants.iter().map(|v| v.name))
+            .collect();
         let mut t = Table::new(&header);
         for &w in &threads {
             let mut row = vec![w.to_string()];
@@ -152,20 +189,40 @@ fn tpch_stats_table(cfg: &ExpConfig, topo: Topology, with_baseline: bool) -> Str
     let link_bw_gbps = env.cost().link_bw; // bytes/ns == GB/s
     let header: Vec<&str> = if with_baseline {
         vec![
-            "#", "time", "scal.", "rd GB/s", "wr GB/s", "remote%", "QPI%", "| VW time",
-            "VW scal.", "VW remote%",
+            "#",
+            "time",
+            "scal.",
+            "rd GB/s",
+            "wr GB/s",
+            "remote%",
+            "QPI%",
+            "| VW time",
+            "VW scal.",
+            "VW remote%",
         ]
     } else {
-        vec!["#", "time", "scal.", "rd GB/s", "wr GB/s", "remote%", "QPI%"]
+        vec![
+            "#", "time", "scal.", "rd GB/s", "wr GB/s", "remote%", "QPI%",
+        ]
     };
     let mut t = Table::new(&header);
     let mut hy_times = Vec::new();
     let mut hy_scals = Vec::new();
     let volcano = SystemVariant::volcano();
-    let volcano_db =
-        if with_baseline { Some(db.with_placement(volcano.placement, &topo)) } else { None };
+    let volcano_db = if with_baseline {
+        Some(db.with_placement(volcano.placement, &topo))
+    } else {
+        None
+    };
     for q in 1..=22 {
-        let o64 = run_query(&env, &db, q, SystemVariant::full(), cfg.workers, cfg.morsel_size);
+        let o64 = run_query(
+            &env,
+            &db,
+            q,
+            SystemVariant::full(),
+            cfg.workers,
+            cfg.morsel_size,
+        );
         let o1 = run_query(&env, &db, q, SystemVariant::full(), 1, cfg.morsel_size);
         let time = o64.seconds();
         let scal = o1.seconds() / time;
@@ -205,12 +262,18 @@ fn tpch_stats_table(cfg: &ExpConfig, topo: Topology, with_baseline: bool) -> Str
 /// Table 1: per-query time/scalability/bandwidth/remote/QPI on Nehalem EX,
 /// morsel-driven vs. Volcano baseline.
 pub fn table1(cfg: &ExpConfig) -> String {
-    format!("Table 1 — {}", tpch_stats_table(cfg, Topology::nehalem_ex(), true))
+    format!(
+        "Table 1 — {}",
+        tpch_stats_table(cfg, Topology::nehalem_ex(), true)
+    )
 }
 
 /// Table 2: time and scalability on Sandy Bridge EP.
 pub fn table2(cfg: &ExpConfig) -> String {
-    format!("Table 2 — {}", tpch_stats_table(cfg, Topology::sandy_bridge_ep(), false))
+    format!(
+        "Table 2 — {}",
+        tpch_stats_table(cfg, Topology::sandy_bridge_ep(), false)
+    )
 }
 
 // --------------------------------------------------------------- 5.1
@@ -251,10 +314,12 @@ pub fn summary(cfg: &ExpConfig) -> String {
 /// Section 5.3: NUMA-aware placement vs. "OS default" and "interleaved",
 /// on both topologies (geo mean and max speedup over the alternative).
 pub fn numa_placement(cfg: &ExpConfig) -> String {
-    let mut out =
-        String::from("Section 5.3 — speedup of NUMA-aware placement over alternatives\n");
-    let queries: Vec<usize> =
-        if cfg.quick { vec![1, 3, 5, 6, 9, 13, 18] } else { (1..=22).collect() };
+    let mut out = String::from("Section 5.3 — speedup of NUMA-aware placement over alternatives\n");
+    let queries: Vec<usize> = if cfg.quick {
+        vec![1, 3, 5, 6, 9, 13, 18]
+    } else {
+        (1..=22).collect()
+    };
     for topo in [Topology::nehalem_ex(), Topology::sandy_bridge_ep()] {
         let env = ExecEnv::new(topo.clone());
         let db = cfg.tpch_db(&topo);
@@ -262,8 +327,15 @@ pub fn numa_placement(cfg: &ExpConfig) -> String {
         let aware: Vec<f64> = queries
             .iter()
             .map(|&q| {
-                run_query(&env, &db, q, SystemVariant::full(), cfg.workers, cfg.morsel_size)
-                    .seconds()
+                run_query(
+                    &env,
+                    &db,
+                    q,
+                    SystemVariant::full(),
+                    cfg.workers,
+                    cfg.morsel_size,
+                )
+                .seconds()
             })
             .collect();
         // "OS default": everything on node 0 (paper footnote 6).
@@ -271,19 +343,27 @@ pub fn numa_placement(cfg: &ExpConfig) -> String {
         let os: Vec<f64> = queries
             .iter()
             .map(|&q| {
-                run_query(&env, &os_db, q, SystemVariant::full(), cfg.workers, cfg.morsel_size)
-                    .seconds()
+                run_query(
+                    &env,
+                    &os_db,
+                    q,
+                    SystemVariant::full(),
+                    cfg.workers,
+                    cfg.morsel_size,
+                )
+                .seconds()
             })
             .collect();
         // "Interleaved": data spread over all nodes page-wise; modelled by
         // spread partitions + locality-blind scheduling (uniform ~75%
         // remote on 4 sockets), see DESIGN.md.
-        let il_variant = SystemVariant { numa_aware_scheduling: false, ..SystemVariant::full() };
+        let il_variant = SystemVariant {
+            numa_aware_scheduling: false,
+            ..SystemVariant::full()
+        };
         let il: Vec<f64> = queries
             .iter()
-            .map(|&q| {
-                run_query(&env, &db, q, il_variant, cfg.workers, cfg.morsel_size).seconds()
-            })
+            .map(|&q| run_query(&env, &db, q, il_variant, cfg.workers, cfg.morsel_size).seconds())
             .collect();
 
         let speedups = |alt: &[f64]| -> (f64, f64) {
@@ -293,8 +373,16 @@ pub fn numa_placement(cfg: &ExpConfig) -> String {
         let (os_geo, os_max) = speedups(&os);
         let (il_geo, il_max) = speedups(&il);
         let mut t = Table::new(&["alternative", "geo.mean", "max"]);
-        t.row(vec!["OS default".into(), format!("{os_geo:.2}x"), format!("{os_max:.2}x")]);
-        t.row(vec!["interleaved".into(), format!("{il_geo:.2}x"), format!("{il_max:.2}x")]);
+        t.row(vec![
+            "OS default".into(),
+            format!("{os_geo:.2}x"),
+            format!("{os_max:.2}x"),
+        ]);
+        t.row(vec![
+            "interleaved".into(),
+            format!("{il_geo:.2}x"),
+            format!("{il_max:.2}x"),
+        ]);
         out.push_str(&format!("\n{}:\n{}", topo.name(), t.render()));
     }
     out
@@ -308,8 +396,7 @@ pub fn numa_micro() -> String {
         ("Sandy Bridge EP", CostModel::sandy_bridge_ep(), true),
     ] {
         let streams_per_node = 8u32;
-        let local_agg =
-            4.0 * f64::from(streams_per_node) * m.stream_rate(0, streams_per_node, 0);
+        let local_agg = 4.0 * f64::from(streams_per_node) * m.stream_rate(0, streams_per_node, 0);
         // Mix: 25% local; remote split across the topology's link structure.
         let (mix_agg, mix_lat) = if two_hop_topology {
             let local = 8.0 * m.stream_rate(0, streams_per_node, 0);
@@ -352,10 +439,16 @@ pub fn fig12(cfg: &ExpConfig) -> String {
     // A representative mix of scan-, join-, and aggregation-heavy
     // queries; every stream cycles through a rotation of it. Using all 22
     // queries per stream only rescales the totals.
-    let queries: Vec<usize> =
-        if cfg.quick { vec![1, 3, 6, 13] } else { vec![1, 3, 5, 6, 9, 12, 13, 18] };
-    let stream_counts: Vec<usize> =
-        if cfg.quick { vec![1, 4, 16, 64] } else { vec![1, 2, 4, 8, 16, 32, 64] };
+    let queries: Vec<usize> = if cfg.quick {
+        vec![1, 3, 6, 13]
+    } else {
+        vec![1, 3, 5, 6, 9, 12, 13, 18]
+    };
+    let stream_counts: Vec<usize> = if cfg.quick {
+        vec![1, 4, 16, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
     let mut t = Table::new(&["streams", "queries", "time", "throughput [q/s]"]);
     for &s in &stream_counts {
         let mut total_time = 0.0;
@@ -447,7 +540,9 @@ pub fn interference(cfg: &ExpConfig) -> String {
     // granularity (thousands of morsels per query).
     let morsel = 256;
     let run = |mode: SchedulingMode, slow: bool| -> f64 {
-        let config = DispatchConfig::new(workers).with_mode(mode).with_morsel_size(morsel);
+        let config = DispatchConfig::new(workers)
+            .with_mode(mode)
+            .with_morsel_size(morsel);
         let mut sim = SimExecutor::new(env.clone(), config);
         if slow {
             sim.set_cpu_slowdown(0, 2.0);
@@ -458,8 +553,20 @@ pub fn interference(cfg: &ExpConfig) -> String {
     };
     let dyn_base = run(SchedulingMode::NumaAware, false);
     let dyn_slow = run(SchedulingMode::NumaAware, true);
-    let st_base = run(SchedulingMode::Static { workers, align: true }, false);
-    let st_slow = run(SchedulingMode::Static { workers, align: true }, true);
+    let st_base = run(
+        SchedulingMode::Static {
+            workers,
+            align: true,
+        },
+        false,
+    );
+    let st_slow = run(
+        SchedulingMode::Static {
+            workers,
+            align: true,
+        },
+        true,
+    );
     let mut t = Table::new(&["division", "clean", "interfered", "slowdown"]);
     t.row(vec![
         "dynamic (morsel)".into(),
@@ -485,9 +592,17 @@ pub fn interference(cfg: &ExpConfig) -> String {
 pub fn table3(cfg: &ExpConfig) -> String {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_ssb(SsbConfig { scale: cfg.ssb_scale, ..Default::default() }, &topo);
+    let db = generate_ssb(
+        SsbConfig {
+            scale: cfg.ssb_scale,
+            ..Default::default()
+        },
+        &topo,
+    );
     let link_bw_gbps = env.cost().link_bw;
-    let mut t = Table::new(&["#", "time[s]", "scal.", "rd GB/s", "wr GB/s", "remote%", "QPI%"]);
+    let mut t = Table::new(&[
+        "#", "time[s]", "scal.", "rd GB/s", "wr GB/s", "remote%", "QPI%",
+    ]);
     for id in ssb_queries::IDS {
         let o64 = run_sim(
             &env,
@@ -530,7 +645,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { scale: 0.001, ssb_scale: 0.001, workers: 16, morsel_size: 2048, quick: true }
+        ExpConfig {
+            scale: 0.001,
+            ssb_scale: 0.001,
+            workers: 16,
+            morsel_size: 2048,
+            quick: true,
+        }
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct DispatchConfig {
 
 impl DispatchConfig {
     pub fn new(workers: usize) -> Self {
-        DispatchConfig { mode: SchedulingMode::NumaAware, morsel_size: DEFAULT_MORSEL_SIZE, workers }
+        DispatchConfig {
+            mode: SchedulingMode::NumaAware,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            workers,
+        }
     }
 
     pub fn with_mode(mut self, mode: SchedulingMode) -> Self {
@@ -134,7 +138,10 @@ impl Dispatcher {
             done: AtomicBool::new(false),
             result: spec.result,
             counters: AccessCounters::new(self.env.topology()),
-            stats: Mutex::new(QueryStats { started_ns: now_ns, ..QueryStats::default() }),
+            stats: Mutex::new(QueryStats {
+                started_ns: now_ns,
+                ..QueryStats::default()
+            }),
             started_ns: AtomicU64::new(now_ns),
         });
         let exec = Arc::new(QueryExec {
@@ -197,7 +204,12 @@ impl Dispatcher {
             match job.try_claim(worker) {
                 Claim::Task(morsel, stolen) => {
                     q.active_workers.fetch_add(1, Ordering::SeqCst);
-                    return Some(Task { query: Arc::clone(q), job, morsel, stolen });
+                    return Some(Task {
+                        query: Arc::clone(q),
+                        job,
+                        morsel,
+                        stolen,
+                    });
                 }
                 Claim::Empty => {}
                 Claim::Drained => {
@@ -324,17 +336,30 @@ mod tests {
             self.rows_seen.fetch_add(m.rows() as u64, Ordering::Relaxed);
         }
         fn finish(&self, _ctx: &mut TaskContext<'_>) {
-            assert!(!self.finished.swap(true, Ordering::SeqCst), "finish called twice");
+            assert!(
+                !self.finished.swap(true, Ordering::SeqCst),
+                "finish called twice"
+            );
         }
     }
 
     fn dispatcher(workers: usize) -> Dispatcher {
-        Dispatcher::new(ExecEnv::new(Topology::laptop()), DispatchConfig::new(workers))
+        Dispatcher::new(
+            ExecEnv::new(Topology::laptop()),
+            DispatchConfig::new(workers),
+        )
     }
 
     fn count_stage(rows: usize, counter: Arc<CountJob>) -> Box<dyn Stage> {
         Box::new(FnStage::new("count", move |_env, _w| {
-            BuiltJob::new("count", counter, vec![ChunkMeta { node: SocketId(0), rows }])
+            BuiltJob::new(
+                "count",
+                counter,
+                vec![ChunkMeta {
+                    node: SocketId(0),
+                    rows,
+                }],
+            )
         }))
     }
 
@@ -350,9 +375,16 @@ mod tests {
     #[test]
     fn single_query_runs_all_morsels_and_finishes() {
         let d = dispatcher(1);
-        let job = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let job = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
         let h = d.submit(
-            QuerySpec::new("q1", vec![count_stage(100_000, Arc::clone(&job))], result_slot()),
+            QuerySpec::new(
+                "q1",
+                vec![count_stage(100_000, Arc::clone(&job))],
+                result_slot(),
+            ),
             7,
         );
         assert!(!h.is_done());
@@ -370,12 +402,21 @@ mod tests {
     #[test]
     fn multi_stage_queries_run_stages_in_order() {
         let d = dispatcher(1);
-        let j1 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
-        let j2 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j1 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let j2 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
         let h = d.submit(
             QuerySpec::new(
                 "q",
-                vec![count_stage(10, Arc::clone(&j1)), count_stage(20, Arc::clone(&j2))],
+                vec![
+                    count_stage(10, Arc::clone(&j1)),
+                    count_stage(20, Arc::clone(&j2)),
+                ],
                 result_slot(),
             ),
             0,
@@ -389,7 +430,10 @@ mod tests {
     #[test]
     fn empty_stages_are_skipped() {
         let d = dispatcher(1);
-        let j = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
         let h = d.submit(
             QuerySpec::new("q", vec![count_stage(0, Arc::clone(&j))], result_slot()),
             0,
@@ -403,9 +447,16 @@ mod tests {
     #[test]
     fn cancellation_stops_at_morsel_boundary() {
         let d = dispatcher(1);
-        let j = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
         let h = d.submit(
-            QuerySpec::new("q", vec![count_stage(1_000_000, Arc::clone(&j))], result_slot()),
+            QuerySpec::new(
+                "q",
+                vec![count_stage(1_000_000, Arc::clone(&j))],
+                result_slot(),
+            ),
             0,
         );
         let env = d.env().clone();
@@ -427,8 +478,14 @@ mod tests {
     #[test]
     fn fair_sharing_prefers_less_served_query() {
         let d = dispatcher(4);
-        let j1 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
-        let j2 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j1 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let j2 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
         let _h1 = d.submit(
             QuerySpec::new("a", vec![count_stage(100_000, j1)], result_slot()),
             0,
@@ -453,8 +510,14 @@ mod tests {
     #[test]
     fn priority_biases_dispatch() {
         let d = dispatcher(4);
-        let j1 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
-        let j2 = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j1 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let j2 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
         let _h1 = d.submit(
             QuerySpec::new("lo", vec![count_stage(100_000, j1)], result_slot()),
             0,
@@ -484,9 +547,16 @@ mod tests {
     #[test]
     fn threaded_smoke_many_workers() {
         let d = Arc::new(dispatcher(8));
-        let j = Arc::new(CountJob { rows_seen: TestCounter::new(0), finished: AtomicBool::new(false) });
+        let j = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
         let h = d.submit(
-            QuerySpec::new("q", vec![count_stage(500_000, Arc::clone(&j))], result_slot()),
+            QuerySpec::new(
+                "q",
+                vec![count_stage(500_000, Arc::clone(&j))],
+                result_slot(),
+            ),
             0,
         );
         std::thread::scope(|s| {

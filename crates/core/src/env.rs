@@ -26,7 +26,11 @@ impl ExecEnv {
 
     pub fn with_cost_model(topology: Topology, cost: CostModel) -> Self {
         let counters = AccessCounters::new(&topology);
-        ExecEnv { topology: Arc::new(topology), cost: Arc::new(cost), counters: Arc::new(counters) }
+        ExecEnv {
+            topology: Arc::new(topology),
+            cost: Arc::new(cost),
+            counters: Arc::new(counters),
+        }
     }
 
     pub fn topology(&self) -> &Topology {

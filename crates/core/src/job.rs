@@ -35,8 +35,18 @@ pub struct BuiltJob {
 }
 
 impl BuiltJob {
-    pub fn new(label: impl Into<String>, job: Arc<dyn PipelineJob>, chunks: Vec<ChunkMeta>) -> Self {
-        BuiltJob { job, chunks, morsel_size: None, atomic_chunks: false, label: label.into() }
+    pub fn new(
+        label: impl Into<String>,
+        job: Arc<dyn PipelineJob>,
+        chunks: Vec<ChunkMeta>,
+    ) -> Self {
+        BuiltJob {
+            job,
+            chunks,
+            morsel_size: None,
+            atomic_chunks: false,
+            label: label.into(),
+        }
     }
 
     pub fn with_morsel_size(mut self, size: usize) -> Self {
@@ -175,7 +185,10 @@ mod tests {
         let built = BuiltJob::new(
             "t",
             Arc::new(NopJob),
-            vec![ChunkMeta { node: SocketId(0), rows }],
+            vec![ChunkMeta {
+                node: SocketId(0),
+                rows,
+            }],
         );
         JobExec::new(built, SchedulingMode::NumaAware, 10, 2, &Topology::laptop())
     }
@@ -215,7 +228,7 @@ mod tests {
         // B raises and lowers around A's release.
         j.in_flight.fetch_add(1, Ordering::SeqCst); // B's fetch_add
         assert!(!j.release()); // A: sees B's claim in flight -> not last
-        // B's failed-claim path (decrement + drain check) must fire.
+                               // B's failed-claim path (decrement + drain check) must fire.
         let before = j.in_flight.fetch_sub(1, Ordering::SeqCst);
         assert_eq!(before, 1);
         assert!(j.queues.is_exhausted());
@@ -235,8 +248,14 @@ mod tests {
             "x",
             Arc::new(NopJob),
             vec![
-                ChunkMeta { node: SocketId(0), rows: 5 },
-                ChunkMeta { node: SocketId(0), rows: 7 },
+                ChunkMeta {
+                    node: SocketId(0),
+                    rows: 5,
+                },
+                ChunkMeta {
+                    node: SocketId(0),
+                    rows: 7,
+                },
             ],
         )
         .with_morsel_size(3);

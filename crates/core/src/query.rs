@@ -35,7 +35,10 @@ where
     F: FnOnce(&ExecEnv, usize) -> BuiltJob + Send,
 {
     pub fn new(label: impl Into<String>, f: F) -> Self {
-        FnStage { label: label.into(), f }
+        FnStage {
+            label: label.into(),
+            f,
+        }
     }
 }
 
@@ -71,7 +74,12 @@ pub struct QuerySpec {
 
 impl QuerySpec {
     pub fn new(name: impl Into<String>, stages: Vec<Box<dyn Stage>>, result: ResultSlot) -> Self {
-        QuerySpec { name: name.into(), priority: 1, stages, result }
+        QuerySpec {
+            name: name.into(),
+            priority: 1,
+            stages,
+            result,
+        }
     }
 
     pub fn with_priority(mut self, priority: u32) -> Self {
@@ -206,7 +214,12 @@ mod tests {
 
     #[test]
     fn stats_elapsed() {
-        let s = QueryStats { started_ns: 100, finished_ns: 1100, morsels: 3, stolen_morsels: 1 };
+        let s = QueryStats {
+            started_ns: 100,
+            finished_ns: 1100,
+            morsels: 3,
+            stolen_morsels: 1,
+        };
         assert_eq!(s.elapsed_ns(), 1000);
         assert!((s.elapsed_secs() - 1e-6).abs() < 1e-15);
     }

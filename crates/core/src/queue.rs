@@ -51,7 +51,12 @@ impl RangeQueue {
             prefix.push(total);
             total += (e - s) as u64;
         }
-        RangeQueue { pieces, prefix, total, cursor: CachePadded::new(AtomicU64::new(0)) }
+        RangeQueue {
+            pieces,
+            prefix,
+            total,
+            cursor: CachePadded::new(AtomicU64::new(0)),
+        }
     }
 
     /// Cut out up to `morsel_size` rows. The morsel never crosses a chunk
@@ -79,7 +84,10 @@ impl RangeQueue {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    return Some(Morsel { chunk, range: begin..begin + take });
+                    return Some(Morsel {
+                        chunk,
+                        range: begin..begin + take,
+                    });
                 }
                 Err(actual) => cur = actual,
             }
@@ -87,7 +95,8 @@ impl RangeQueue {
     }
 
     fn remaining(&self) -> u64 {
-        self.total.saturating_sub(self.cursor.load(Ordering::Relaxed))
+        self.total
+            .saturating_sub(self.cursor.load(Ordering::Relaxed))
     }
 }
 
@@ -152,7 +161,13 @@ impl MorselQueues {
                 }
                 let queues: Vec<RangeQueue> = per.into_iter().map(RangeQueue::new).collect();
                 let plans = (0..workers).map(|wk| vec![wk % w]).collect();
-                return MorselQueues { queues, mode, plans, morsel_size, total_rows };
+                return MorselQueues {
+                    queues,
+                    mode,
+                    plans,
+                    morsel_size,
+                    total_rows,
+                };
             }
         }
         let (queues, plans) = match mode {
@@ -207,9 +222,8 @@ impl MorselQueues {
                     // assigns ranges with no relation to placement. (A
                     // plain chunk-order split can *accidentally* align
                     // when chunk and worker round-robin periods match.)
-                    ordered.sort_by_key(|&(i, _, _)| {
-                        (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    });
+                    ordered
+                        .sort_by_key(|&(i, _, _)| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 }
                 let mut chunk_iter = ordered.into_iter();
                 let mut current = chunk_iter.next();
@@ -239,7 +253,13 @@ impl MorselQueues {
                 (queues, plans)
             }
         };
-        MorselQueues { queues, mode, plans, morsel_size: morsel_size.max(1), total_rows }
+        MorselQueues {
+            queues,
+            mode,
+            plans,
+            morsel_size: morsel_size.max(1),
+            total_rows,
+        }
     }
 
     /// Cut the next morsel for `worker`. Returns the morsel and whether it
@@ -287,7 +307,13 @@ mod tests {
     use morsel_numa::SocketId;
 
     fn chunks_on(nodes: &[(u16, usize)]) -> Vec<ChunkMeta> {
-        nodes.iter().map(|&(n, rows)| ChunkMeta { node: SocketId(n), rows }).collect()
+        nodes
+            .iter()
+            .map(|&(n, rows)| ChunkMeta {
+                node: SocketId(n),
+                rows,
+            })
+            .collect()
     }
 
     fn drain(q: &MorselQueues, worker: usize) -> Vec<Morsel> {
@@ -305,7 +331,12 @@ mod tests {
         let q = MorselQueues::build(&chunks, SchedulingMode::NumaAware, 128, 8, &t);
         assert_eq!(q.total_rows(), 2500);
         let morsels = drain(&q, 0);
-        let mut covered = [vec![false; 1000], vec![false; 500], vec![false; 700], vec![false; 300]];
+        let mut covered = [
+            vec![false; 1000],
+            vec![false; 500],
+            vec![false; 700],
+            vec![false; 300],
+        ];
         for m in &morsels {
             for r in m.range.clone() {
                 assert!(!covered[m.chunk][r], "row covered twice");
@@ -357,7 +388,10 @@ mod tests {
         let chunks = chunks_on(&[(0, 100), (1, 100)]);
         let q = MorselQueues::build(
             &chunks,
-            SchedulingMode::Static { workers: 4, align: true },
+            SchedulingMode::Static {
+                workers: 4,
+                align: true,
+            },
             1_000_000,
             4,
             &t,
@@ -420,7 +454,10 @@ mod tests {
         for mode in [
             SchedulingMode::NumaAware,
             SchedulingMode::NumaOblivious,
-            SchedulingMode::Static { workers: 2, align: true },
+            SchedulingMode::Static {
+                workers: 2,
+                align: true,
+            },
         ] {
             let q = MorselQueues::build_atomic(&chunks, mode, 4, &t);
             let mut morsels = Vec::new();

@@ -112,13 +112,15 @@ impl SimExecutor {
 
     /// Cancel the named query at virtual time `at_ns`.
     pub fn cancel_at(&mut self, at_ns: u64, name: &str) -> &mut Self {
-        self.actions.push((at_ns, Some(Action::Cancel(name.to_owned()))));
+        self.actions
+            .push((at_ns, Some(Action::Cancel(name.to_owned()))));
         self
     }
 
     /// Change the named query's priority at virtual time `at_ns`.
     pub fn set_priority_at(&mut self, at_ns: u64, name: &str, priority: u32) -> &mut Self {
-        self.actions.push((at_ns, Some(Action::SetPriority(name.to_owned(), priority))));
+        self.actions
+            .push((at_ns, Some(Action::SetPriority(name.to_owned(), priority))));
         self
     }
 
@@ -160,7 +162,11 @@ impl SimExecutor {
         }
 
         let mut states: Vec<WorkerState> = (0..workers)
-            .map(|_| WorkerState { busy: false, has_pending: false, running: None })
+            .map(|_| WorkerState {
+                busy: false,
+                has_pending: false,
+                running: None,
+            })
             .collect();
         let mut node_streams = vec![0u32; sockets];
         let mut link_streams = vec![0u32; sockets * sockets];
@@ -201,8 +207,7 @@ impl SimExecutor {
                         }
                         states[w].busy = false;
                         let qs = rt.task.query_counters();
-                        let mut ctx =
-                            TaskContext::new(&env, w).with_query_counters(&qs.counters);
+                        let mut ctx = TaskContext::new(&env, w).with_query_counters(&qs.counters);
                         dispatcher.complete_task(&mut ctx, rt.task, t);
                         // A pipeline may have completed and a new one been
                         // installed: give idle workers a chance.
@@ -211,8 +216,7 @@ impl SimExecutor {
                     // Phase 2: request the next task.
                     if let Some(task) = dispatcher.next_task(w, t) {
                         let qs = task.query_counters();
-                        let mut ctx =
-                            TaskContext::new(&env, w).with_query_counters(&qs.counters);
+                        let mut ctx = TaskContext::new(&env, w).with_query_counters(&qs.counters);
                         task.run(&mut ctx);
                         let profile = ctx.take_profile();
 
@@ -277,7 +281,11 @@ impl SimExecutor {
             "simulation went quiescent with {} unfinished queries",
             dispatcher.remaining_queries()
         );
-        SimReport { handles, trace: recorder.take(), makespan_ns: makespan }
+        SimReport {
+            handles,
+            trace: recorder.take(),
+            makespan_ns: makespan,
+        }
     }
 
     fn wake_idle(
@@ -329,8 +337,14 @@ mod tests {
         topo: &Topology,
         job: Arc<SyntheticScan>,
     ) -> QuerySpec {
-        let chunks: Vec<ChunkMeta> =
-            job.nodes.iter().map(|&n| ChunkMeta { node: n, rows: rows_per_node }).collect();
+        let chunks: Vec<ChunkMeta> = job
+            .nodes
+            .iter()
+            .map(|&n| ChunkMeta {
+                node: n,
+                rows: rows_per_node,
+            })
+            .collect();
         let stage: Box<dyn Stage> = Box::new(FnStage::new("scan", move |_env, _w| {
             BuiltJob::new("scan", job.clone(), chunks.clone())
         }));
@@ -353,7 +367,10 @@ mod tests {
         let mut sim = SimExecutor::new(env, DispatchConfig::new(workers).with_morsel_size(10_000));
         sim.submit(scan_query("q", rows_per_node, &topo, Arc::clone(&job)));
         let report = sim.run();
-        assert_eq!(job.rows_seen.load(Ordering::Relaxed), rows_per_node as u64 * 4);
+        assert_eq!(
+            job.rows_seen.load(Ordering::Relaxed),
+            rows_per_node as u64 * 4
+        );
         report.handle("q").stats().elapsed_ns()
     }
 
@@ -468,7 +485,9 @@ mod tests {
                 bytes_per_tuple: 8,
                 rows_seen: AtomicU64::new(0),
             });
-            let cfg = DispatchConfig::new(8).with_morsel_size(2_000).with_mode(mode);
+            let cfg = DispatchConfig::new(8)
+                .with_morsel_size(2_000)
+                .with_mode(mode);
             let mut sim = SimExecutor::new(env, cfg);
             if slow {
                 sim.set_cpu_slowdown(0, 2.0);
@@ -479,8 +498,20 @@ mod tests {
         use crate::queue::SchedulingMode;
         let dyn_base = run(SchedulingMode::NumaAware, false);
         let dyn_slow = run(SchedulingMode::NumaAware, true);
-        let static_base = run(SchedulingMode::Static { workers: 8, align: true }, false);
-        let static_slow = run(SchedulingMode::Static { workers: 8, align: true }, true);
+        let static_base = run(
+            SchedulingMode::Static {
+                workers: 8,
+                align: true,
+            },
+            false,
+        );
+        let static_slow = run(
+            SchedulingMode::Static {
+                workers: 8,
+                align: true,
+            },
+            true,
+        );
         let dyn_penalty = dyn_slow as f64 / dyn_base as f64;
         let static_penalty = static_slow as f64 / static_base as f64;
         assert!(
@@ -488,7 +519,13 @@ mod tests {
             "static {static_penalty} vs dynamic {dyn_penalty}"
         );
         // The paper reports ~36.8% vs ~4.7%.
-        assert!(dyn_penalty < 1.25, "dynamic penalty too high: {dyn_penalty}");
-        assert!(static_penalty > 1.5, "static penalty too low: {static_penalty}");
+        assert!(
+            dyn_penalty < 1.25,
+            "dynamic penalty too high: {dyn_penalty}"
+        );
+        assert!(
+            static_penalty > 1.5,
+            "static penalty too low: {static_penalty}"
+        );
     }
 }

@@ -45,7 +45,11 @@ pub struct MorselProfile {
 
 impl MorselProfile {
     pub fn new(sockets: u16) -> Self {
-        MorselProfile { cpu_ns: 0.0, node_bytes: vec![0; sockets as usize], random_by_hops: [0; 3] }
+        MorselProfile {
+            cpu_ns: 0.0,
+            node_bytes: vec![0; sockets as usize],
+            random_by_hops: [0; 3],
+        }
     }
 
     pub fn clear(&mut self) {
@@ -74,7 +78,13 @@ impl<'a> TaskContext<'a> {
     pub fn new(env: &'a ExecEnv, worker: usize) -> Self {
         let socket = env.socket_of_worker(worker);
         let profile = MorselProfile::new(env.topology().sockets());
-        TaskContext { env, query_counters: None, worker, socket, profile }
+        TaskContext {
+            env,
+            query_counters: None,
+            worker,
+            socket,
+            profile,
+        }
     }
 
     pub fn with_query_counters(mut self, counters: &'a AccessCounters) -> Self {
@@ -197,7 +207,10 @@ mod tests {
 
     #[test]
     fn morsel_rows() {
-        let m = Morsel { chunk: 3, range: 100..250 };
+        let m = Morsel {
+            chunk: 3,
+            range: 100..250,
+        };
         assert_eq!(m.rows(), 150);
     }
 

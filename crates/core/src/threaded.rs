@@ -46,25 +46,23 @@ impl ThreadedExecutor {
                 let dispatcher = &dispatcher;
                 let env = &self.env;
                 let executed = &executed;
-                scope.spawn(move || {
-                    loop {
-                        let now = start.elapsed().as_nanos() as u64;
-                        match dispatcher.next_task(w, now) {
-                            Some(task) => {
-                                let qs = task.query_counters();
-                                let mut ctx =
-                                    TaskContext::new(env, w).with_query_counters(&qs.counters);
-                                task.run(&mut ctx);
-                                let now = start.elapsed().as_nanos() as u64;
-                                dispatcher.complete_task(&mut ctx, task, now);
-                                executed.fetch_add(1, Ordering::Relaxed);
+                scope.spawn(move || loop {
+                    let now = start.elapsed().as_nanos() as u64;
+                    match dispatcher.next_task(w, now) {
+                        Some(task) => {
+                            let qs = task.query_counters();
+                            let mut ctx =
+                                TaskContext::new(env, w).with_query_counters(&qs.counters);
+                            task.run(&mut ctx);
+                            let now = start.elapsed().as_nanos() as u64;
+                            dispatcher.complete_task(&mut ctx, task, now);
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if dispatcher.all_done() {
+                                break;
                             }
-                            None => {
-                                if dispatcher.all_done() {
-                                    break;
-                                }
-                                std::thread::yield_now();
-                            }
+                            std::thread::yield_now();
                         }
                     }
                 });
@@ -92,13 +90,21 @@ mod tests {
     impl PipelineJob for SumJob {
         fn run_morsel(&self, ctx: &mut TaskContext<'_>, m: Morsel) {
             ctx.read(SocketId(0), m.rows() as u64 * 8);
-            self.total.fetch_add(m.range.clone().map(|r| r as u64).sum(), Ordering::Relaxed);
+            self.total
+                .fetch_add(m.range.clone().map(|r| r as u64).sum(), Ordering::Relaxed);
         }
     }
 
     fn spec(name: &str, rows: usize, job: Arc<SumJob>) -> QuerySpec {
         let stage: Box<dyn Stage> = Box::new(FnStage::new("sum", move |_e, _w| {
-            BuiltJob::new("sum", job, vec![ChunkMeta { node: SocketId(0), rows }])
+            BuiltJob::new(
+                "sum",
+                job,
+                vec![ChunkMeta {
+                    node: SocketId(0),
+                    rows,
+                }],
+            )
         }));
         QuerySpec::new(name, vec![stage], result_slot())
     }
@@ -107,7 +113,9 @@ mod tests {
     fn parallel_execution_is_exact() {
         let env = ExecEnv::new(Topology::laptop());
         let exec = ThreadedExecutor::new(env, DispatchConfig::new(4).with_morsel_size(1_000));
-        let job = Arc::new(SumJob { total: Counter::new(0) });
+        let job = Arc::new(SumJob {
+            total: Counter::new(0),
+        });
         let n = 100_000u64;
         let handles = exec.run(vec![spec("q", n as usize, Arc::clone(&job))]);
         assert!(handles[0].is_done());
@@ -120,8 +128,13 @@ mod tests {
     fn many_concurrent_queries() {
         let env = ExecEnv::new(Topology::laptop());
         let exec = ThreadedExecutor::new(env, DispatchConfig::new(4).with_morsel_size(500));
-        let jobs: Vec<Arc<SumJob>> =
-            (0..6).map(|_| Arc::new(SumJob { total: Counter::new(0) })).collect();
+        let jobs: Vec<Arc<SumJob>> = (0..6)
+            .map(|_| {
+                Arc::new(SumJob {
+                    total: Counter::new(0),
+                })
+            })
+            .collect();
         let specs = jobs
             .iter()
             .enumerate()

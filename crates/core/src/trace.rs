@@ -80,8 +80,11 @@ pub fn render_ascii(events: &[TraceEvent], workers: usize, columns: usize) -> St
         out.extend(row.iter());
         out.push_str("|\n");
     }
-    let legend: Vec<String> =
-        names.iter().enumerate().map(|(i, n)| format!("{}={}", (b'A' + (i % 26) as u8) as char, n)).collect();
+    let legend: Vec<String> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| format!("{}={}", (b'A' + (i % 26) as u8) as char, n))
+        .collect();
     out.push_str(&format!("legend: {}\n", legend.join(" ")));
     out
 }
@@ -91,7 +94,13 @@ mod tests {
     use super::*;
 
     fn ev(worker: usize, start: u64, end: u64, q: &str) -> TraceEvent {
-        TraceEvent { worker, start_ns: start, end_ns: end, query: q.into(), job: "p".into() }
+        TraceEvent {
+            worker,
+            start_ns: start,
+            end_ns: end,
+            query: q.into(),
+            job: "p".into(),
+        }
     }
 
     #[test]

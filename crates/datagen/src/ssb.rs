@@ -27,13 +27,21 @@ pub struct SsbConfig {
 
 impl Default for SsbConfig {
     fn default() -> Self {
-        SsbConfig { scale: 0.01, partitions: 64, placement: Placement::FirstTouch, seed: 7 }
+        SsbConfig {
+            scale: 0.01,
+            partitions: 64,
+            placement: Placement::FirstTouch,
+            seed: 7,
+        }
     }
 }
 
 impl SsbConfig {
     pub fn scaled(scale: f64) -> Self {
-        SsbConfig { scale, ..Default::default() }
+        SsbConfig {
+            scale,
+            ..Default::default()
+        }
     }
 }
 
@@ -49,10 +57,16 @@ pub struct SsbDb {
 
 impl SsbDb {
     pub fn total_bytes(&self) -> u64 {
-        [&self.lineorder, &self.date_dim, &self.customer, &self.supplier, &self.part]
-            .iter()
-            .map(|r| r.total_bytes())
-            .sum()
+        [
+            &self.lineorder,
+            &self.date_dim,
+            &self.customer,
+            &self.supplier,
+            &self.part,
+        ]
+        .iter()
+        .map(|r| r.total_bytes())
+        .sum()
     }
 }
 
@@ -76,9 +90,22 @@ pub fn generate(config: SsbConfig, topology: &Topology) -> SsbDb {
     let customer = gen_customer(config, n_customer, topology);
     let supplier = gen_supplier(config, n_supplier, topology);
     let part = gen_part(config, n_part, topology);
-    let lineorder =
-        gen_lineorder(config, n_lineorder, n_customer, n_supplier, n_part, topology);
-    SsbDb { lineorder, date_dim, customer, supplier, part, config }
+    let lineorder = gen_lineorder(
+        config,
+        n_lineorder,
+        n_customer,
+        n_supplier,
+        n_part,
+        topology,
+    );
+    SsbDb {
+        lineorder,
+        date_dim,
+        customer,
+        supplier,
+        part,
+        config,
+    }
 }
 
 /// The date dimension covers 1992-01-01 .. 1998-12-31 (2556 days).
@@ -325,7 +352,13 @@ mod tests {
     use super::*;
 
     fn db() -> SsbDb {
-        generate(SsbConfig { scale: 0.005, ..Default::default() }, &Topology::nehalem_ex())
+        generate(
+            SsbConfig {
+                scale: 0.005,
+                ..Default::default()
+            },
+            &Topology::nehalem_ex(),
+        )
     }
 
     #[test]

@@ -35,22 +35,47 @@ pub const NATIONS: [(&str, usize); 25] = [
 
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
-pub const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Colors for `p_name` (subset of dbgen's 92; Q9 filters on "green").
 pub const COLORS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream",
-    "cyan", "green", "grey",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "green",
+    "grey",
 ];
 
 pub const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
@@ -58,20 +83,45 @@ pub const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED"
 pub const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
 pub const CONTAINER_SYLL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
-pub const CONTAINER_SYLL2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_SYLL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Filler words for comments.
 pub const COMMENT_WORDS: [&str; 24] = [
-    "furiously", "slyly", "carefully", "blithely", "quickly", "fluffily", "final", "ironic",
-    "pending", "regular", "express", "bold", "even", "silent", "unusual", "accounts", "deposits",
-    "packages", "foxes", "ideas", "theodolites", "pinto", "beans", "instructions",
+    "furiously",
+    "slyly",
+    "carefully",
+    "blithely",
+    "quickly",
+    "fluffily",
+    "final",
+    "ironic",
+    "pending",
+    "regular",
+    "express",
+    "bold",
+    "even",
+    "silent",
+    "unusual",
+    "accounts",
+    "deposits",
+    "packages",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
 ];
 
 /// Random comment. With probability `special_ppm` parts-per-million the
 /// comment embeds `injected` (used for Q13's "special ... requests" and
 /// Q16's "Customer ... Complaints" correlations).
-pub fn comment(rng: &mut StdRng, words: usize, injected: Option<(&str, &str)>, special_ppm: u32) -> String {
+pub fn comment(
+    rng: &mut StdRng,
+    words: usize,
+    injected: Option<(&str, &str)>,
+    special_ppm: u32,
+) -> String {
     let mut out = String::new();
     let inject = injected.is_some() && rng.gen_ratio(special_ppm, 1_000_000);
     let n = words.max(2);

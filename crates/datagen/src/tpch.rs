@@ -41,7 +41,10 @@ impl Default for TpchConfig {
 
 impl TpchConfig {
     pub fn scaled(scale: f64) -> Self {
-        TpchConfig { scale, ..Default::default() }
+        TpchConfig {
+            scale,
+            ..Default::default()
+        }
     }
 
     fn count(&self, base: usize, min: usize) -> usize {
@@ -92,7 +95,10 @@ impl TpchDb {
             partsupp: Arc::new(self.partsupp.with_placement(placement, topology)),
             orders: Arc::new(self.orders.with_placement(placement, topology)),
             lineitem: Arc::new(self.lineitem.with_placement(placement, topology)),
-            config: TpchConfig { placement, ..self.config },
+            config: TpchConfig {
+                placement,
+                ..self.config
+            },
         }
     }
 }
@@ -118,7 +124,17 @@ pub fn generate(config: TpchConfig, topology: &Topology) -> TpchDb {
     let (orders, lineitem) =
         gen_orders_lineitem(config, n_orders, n_customer, n_part, n_supplier, topology);
 
-    TpchDb { region, nation, supplier, customer, part, partsupp, orders, lineitem, config }
+    TpchDb {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+        config,
+    }
 }
 
 fn gen_region() -> Arc<Relation> {
@@ -169,7 +185,12 @@ fn gen_supplier(config: TpchConfig, n: usize, topology: &Topology) -> Arc<Relati
         phone.push(text::phone(&mut rng, nk));
         acctbal.push(rng.gen_range(-99_999..=999_999i64));
         // Q16: ~0.05% of suppliers have complaint comments.
-        comment.push(text::comment(&mut rng, 5, Some(("Customer", "Complaints")), 5_000));
+        comment.push(text::comment(
+            &mut rng,
+            5,
+            Some(("Customer", "Complaints")),
+            5_000,
+        ));
     }
     let schema = Schema::new(vec![
         ("s_suppkey", DataType::I64),
@@ -463,15 +484,28 @@ fn gen_orders_lineitem(
         }
         o_orderkey.push(orderkey);
         o_custkey.push(custkey);
-        o_orderstatus.push(if all_f { "F" } else if all_o { "O" } else { "P" }.to_owned());
+        o_orderstatus.push(
+            if all_f {
+                "F"
+            } else if all_o {
+                "O"
+            } else {
+                "P"
+            }
+            .to_owned(),
+        );
         o_totalprice.push(total);
         o_orderdate.push(orderdate);
-        o_orderpriority
-            .push(text::PRIORITIES[rng.gen_range(0..text::PRIORITIES.len())].to_owned());
+        o_orderpriority.push(text::PRIORITIES[rng.gen_range(0..text::PRIORITIES.len())].to_owned());
         o_clerk.push(format!("Clerk#{:09}", rng.gen_range(1..=1000)));
         o_shippriority.push(0i64);
         // Q13: ~1% of orders carry "special ... requests" comments.
-        o_comment.push(text::comment(&mut rng, 4, Some(("special", "requests")), 10_000));
+        o_comment.push(text::comment(
+            &mut rng,
+            4,
+            Some(("special", "requests")),
+            10_000,
+        ));
     }
 
     let orders_schema = Schema::new(vec![
@@ -558,7 +592,13 @@ mod tests {
     use super::*;
 
     fn small_db() -> TpchDb {
-        generate(TpchConfig { scale: 0.002, ..Default::default() }, &Topology::nehalem_ex())
+        generate(
+            TpchConfig {
+                scale: 0.002,
+                ..Default::default()
+            },
+            &Topology::nehalem_ex(),
+        )
     }
 
     #[test]

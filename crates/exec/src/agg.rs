@@ -276,7 +276,9 @@ impl<K: Copy + PartialEq + Default> FlatTable<K> {
                 let frag = &mut spill[partition_of(&key)];
                 frag.keys.push(key);
                 frag.states.extend(
-                    states.iter_mut().map(|s| std::mem::replace(s, AccState::I64(0))),
+                    states
+                        .iter_mut()
+                        .map(|s| std::mem::replace(s, AccState::I64(0))),
                 );
             }
         }
@@ -387,9 +389,7 @@ impl AggPartialSink {
 
     /// Pick the pre-aggregation mode for this sink given the first batch.
     fn make_table(&self, batch: &Batch) -> PreAgg {
-        let int_col = |c: usize| {
-            matches!(batch.column(c), Column::I64(_) | Column::I32(_))
-        };
+        let int_col = |c: usize| matches!(batch.column(c), Column::I64(_) | Column::I32(_));
         if self.scalar {
             return PreAgg::Scalar(FxHashMap::default());
         }
@@ -588,10 +588,14 @@ impl AggPartialSink {
                 },
                 AggFn::CountDistinctI64(c) => match batch.column(*c) {
                     Column::I64(v) => for_each_row!(seg_rows, i, r, {
-                        states[slot_of[i] as usize * n_aggs + ai].as_set_mut().insert(v[r]);
+                        states[slot_of[i] as usize * n_aggs + ai]
+                            .as_set_mut()
+                            .insert(v[r]);
                     }),
                     Column::I32(v) => for_each_row!(seg_rows, i, r, {
-                        states[slot_of[i] as usize * n_aggs + ai].as_set_mut().insert(i64::from(v[r]));
+                        states[slot_of[i] as usize * n_aggs + ai]
+                            .as_set_mut()
+                            .insert(i64::from(v[r]));
                     }),
                     other => panic!("expected integer column, got {:?}", other.data_type()),
                 },
@@ -618,7 +622,10 @@ impl Sink for AggPartialSink {
         }
         let mut w = self.workers[ctx.worker].lock();
         let rows = input.rows();
-        ctx.cpu(rows as u64, weights::HASH_NS + weights::AGG_UPDATE_NS * self.aggs.len() as f64);
+        ctx.cpu(
+            rows as u64,
+            weights::HASH_NS + weights::AGG_UPDATE_NS * self.aggs.len() as f64,
+        );
         if matches!(w.table, PreAgg::Pending) {
             w.table = self.make_table(&input.batch);
         }
@@ -644,8 +651,7 @@ impl Sink for AggPartialSink {
             PreAgg::Int2(t) => {
                 let a = extract_i64_keys(batch.column(self.group_cols[0]), row_ref);
                 let b = extract_i64_keys(batch.column(self.group_cols[1]), row_ref);
-                let keys: Vec<(i64, i64)> =
-                    a.into_iter().zip(b).collect();
+                let keys: Vec<(i64, i64)> = a.into_iter().zip(b).collect();
                 let hashes = hash_rows(batch, &self.group_cols, row_ref);
                 self.consume_fast(t, spill, batch, row_ref, &keys, &hashes, |(x, y)| {
                     GroupKey::I64x2(x, y)
@@ -705,7 +711,10 @@ impl AggMergeJob {
             input,
             aggs,
             schema,
-            areas: worker_nodes.iter().map(|&n| Mutex::new(StorageArea::new(n, &types))).collect(),
+            areas: worker_nodes
+                .iter()
+                .map(|&n| Mutex::new(StorageArea::new(n, &types)))
+                .collect(),
             out,
             result,
             scalar_default: None,
@@ -784,15 +793,20 @@ impl PipelineJob for AggMergeJob {
         }
         let types = self.schema.data_types();
         let n_group_cols = types.len() - self.aggs.len();
-        let mut cols: Vec<Column> =
-            types.iter().map(|&t| Column::with_capacity(t, n_groups)).collect();
+        let mut cols: Vec<Column> = types
+            .iter()
+            .map(|&t| Column::with_capacity(t, n_groups))
+            .collect();
         for (key, slot) in &table {
             if n_group_cols > 0 {
                 key.push_into(&mut cols[..n_group_cols]);
             }
             let base = *slot as usize * n_aggs;
-            for (ai, (f, col)) in
-                self.aggs.iter().zip(cols[n_group_cols..].iter_mut()).enumerate()
+            for (ai, (f, col)) in self
+                .aggs
+                .iter()
+                .zip(cols[n_group_cols..].iter_mut())
+                .enumerate()
             {
                 f.emit(&flat[base + ai], col);
             }
@@ -847,9 +861,9 @@ pub fn scalar_default_row(aggs: &[AggFn]) -> Vec<morsel_storage::Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::area_slot;
     use morsel_core::{result_slot, ExecEnv};
     use morsel_numa::Topology;
-    use crate::sink::area_slot;
 
     fn env() -> ExecEnv {
         ExecEnv::new(Topology::nehalem_ex())
@@ -866,7 +880,8 @@ mod tests {
         let env = env();
         let nodes = env.worker_sockets(2);
         let slot = agg_slot();
-        let sink = AggPartialSink::with_capacity(group_cols, aggs.clone(), &nodes, slot.clone(), capacity);
+        let sink =
+            AggPartialSink::with_capacity(group_cols, aggs.clone(), &nodes, slot.clone(), capacity);
         let mut ctx = TaskContext::new(&env, 0);
         for b in batches {
             sink.consume(&mut ctx, crate::pipeline::SelBatch::dense(b));
@@ -875,10 +890,23 @@ mod tests {
         let parts = slot.lock().take().unwrap();
         let out = area_slot();
         let result = result_slot();
-        let job = AggMergeJob::new(parts.clone(), aggs, schema, &nodes, out, Some(result.clone()));
+        let job = AggMergeJob::new(
+            parts.clone(),
+            aggs,
+            schema,
+            &nodes,
+            out,
+            Some(result.clone()),
+        );
         for p in 0..N_PARTITIONS {
             if parts.partition_rows(p) > 0 {
-                job.run_morsel(&mut ctx, Morsel { chunk: p, range: 0..parts.partition_rows(p) });
+                job.run_morsel(
+                    &mut ctx,
+                    Morsel {
+                        chunk: p,
+                        range: 0..parts.partition_rows(p),
+                    },
+                );
             }
         }
         job.finish(&mut ctx);
@@ -922,8 +950,28 @@ mod tests {
         let rows = sorted_by_key(&out);
         assert_eq!(rows.len(), 2);
         use morsel_storage::Value as V;
-        assert_eq!(rows[0], vec![V::I64(1), V::I64(3), V::I64(90), V::I64(10), V::I64(50), V::F64(30.0)]);
-        assert_eq!(rows[1], vec![V::I64(2), V::I64(2), V::I64(60), V::I64(20), V::I64(40), V::F64(30.0)]);
+        assert_eq!(
+            rows[0],
+            vec![
+                V::I64(1),
+                V::I64(3),
+                V::I64(90),
+                V::I64(10),
+                V::I64(50),
+                V::F64(30.0)
+            ]
+        );
+        assert_eq!(
+            rows[1],
+            vec![
+                V::I64(2),
+                V::I64(2),
+                V::I64(60),
+                V::I64(20),
+                V::I64(40),
+                V::F64(30.0)
+            ]
+        );
     }
 
     #[test]
@@ -960,7 +1008,13 @@ mod tests {
             PREAGG_CAPACITY,
         );
         assert_eq!(out.rows(), 1);
-        assert_eq!(out.row(0), vec![morsel_storage::Value::I64(3), morsel_storage::Value::I64(21)]);
+        assert_eq!(
+            out.row(0),
+            vec![
+                morsel_storage::Value::I64(3),
+                morsel_storage::Value::I64(21)
+            ]
+        );
     }
 
     #[test]
@@ -989,7 +1043,13 @@ mod tests {
             Column::I64(vec![1, 2, 3]),
         ]);
         let schema = Schema::new(vec![("g", DataType::Str), ("sum", DataType::I64)]);
-        let out = run_agg(vec![0], vec![AggFn::SumI64(1)], schema, vec![batch], PREAGG_CAPACITY);
+        let out = run_agg(
+            vec![0],
+            vec![AggFn::SumI64(1)],
+            schema,
+            vec![batch],
+            PREAGG_CAPACITY,
+        );
         let mut rows: Vec<(String, i64)> = (0..out.rows())
             .map(|i| (out.column(0).as_str()[i].clone(), out.column(1).as_i64()[i]))
             .collect();
@@ -1000,7 +1060,13 @@ mod tests {
     #[test]
     fn empty_input_produces_no_groups() {
         let schema = Schema::new(vec![("g", DataType::I64), ("sum", DataType::I64)]);
-        let out = run_agg(vec![0], vec![AggFn::SumI64(1)], schema, vec![], PREAGG_CAPACITY);
+        let out = run_agg(
+            vec![0],
+            vec![AggFn::SumI64(1)],
+            schema,
+            vec![],
+            PREAGG_CAPACITY,
+        );
         assert_eq!(out.rows(), 0);
     }
 
@@ -1033,10 +1099,23 @@ mod tests {
         let parts = slot.lock().take().unwrap();
         let out = area_slot();
         let result = result_slot();
-        let job = AggMergeJob::new(parts.clone(), aggs, schema, &nodes, out, Some(result.clone()));
+        let job = AggMergeJob::new(
+            parts.clone(),
+            aggs,
+            schema,
+            &nodes,
+            out,
+            Some(result.clone()),
+        );
         for p in 0..N_PARTITIONS {
             if parts.partition_rows(p) > 0 {
-                job.run_morsel(&mut ctx, Morsel { chunk: p, range: 0..parts.partition_rows(p) });
+                job.run_morsel(
+                    &mut ctx,
+                    Morsel {
+                        chunk: p,
+                        range: 0..parts.partition_rows(p),
+                    },
+                );
             }
         }
         job.finish(&mut ctx);
@@ -1069,8 +1148,13 @@ mod tests {
             AggFn::AvgI64(1),
             AggFn::CountDistinctI64(1),
         ];
-        let fast =
-            run_agg(vec![0], aggs.clone(), schema.clone(), vec![batch.clone()], 8);
+        let fast = run_agg(
+            vec![0],
+            aggs.clone(),
+            schema.clone(),
+            vec![batch.clone()],
+            8,
+        );
         let scalar = run_agg_scalar(vec![0], aggs, schema, vec![batch], 8);
         assert_eq!(sorted_by_key(&fast), sorted_by_key(&scalar));
         assert_eq!(fast.rows(), 400);
@@ -1090,8 +1174,13 @@ mod tests {
             ("sum", DataType::I64),
         ]);
         let aggs = vec![AggFn::SumI64(2)];
-        let fast =
-            run_agg(vec![0, 1], aggs.clone(), schema.clone(), vec![batch.clone()], 16);
+        let fast = run_agg(
+            vec![0, 1],
+            aggs.clone(),
+            schema.clone(),
+            vec![batch.clone()],
+            16,
+        );
         let scalar = run_agg_scalar(vec![0, 1], aggs, schema, vec![batch], 16);
         let key2 = |b: &Batch| {
             let mut rows: Vec<Vec<morsel_storage::Value>> =
@@ -1117,23 +1206,42 @@ mod tests {
         let mut ctx = TaskContext::new(&env, 0);
         sink.consume(
             &mut ctx,
-            crate::pipeline::SelBatch { batch, sel: Some(vec![0, 2, 3]) },
+            crate::pipeline::SelBatch {
+                batch,
+                sel: Some(vec![0, 2, 3]),
+            },
         );
         sink.finish(&mut ctx);
         let parts = slot.lock().take().unwrap();
         let out = area_slot();
         let result = result_slot();
         let schema = Schema::new(vec![("g", DataType::I64), ("sum", DataType::I64)]);
-        let job = AggMergeJob::new(parts.clone(), aggs, schema, &nodes, out, Some(result.clone()));
+        let job = AggMergeJob::new(
+            parts.clone(),
+            aggs,
+            schema,
+            &nodes,
+            out,
+            Some(result.clone()),
+        );
         for p in 0..N_PARTITIONS {
             if parts.partition_rows(p) > 0 {
-                job.run_morsel(&mut ctx, Morsel { chunk: p, range: 0..parts.partition_rows(p) });
+                job.run_morsel(
+                    &mut ctx,
+                    Morsel {
+                        chunk: p,
+                        range: 0..parts.partition_rows(p),
+                    },
+                );
             }
         }
         job.finish(&mut ctx);
         let got = sorted_by_key(&result.lock().take().unwrap());
         use morsel_storage::Value as V;
-        assert_eq!(got, vec![vec![V::I64(1), V::I64(10)], vec![V::I64(2), V::I64(70)]]);
+        assert_eq!(
+            got,
+            vec![vec![V::I64(1), V::I64(10)], vec![V::I64(2), V::I64(70)]]
+        );
     }
 
     #[test]

@@ -89,9 +89,16 @@ impl LikePattern {
     pub fn parse(pattern: &str) -> Self {
         let starts_anchored = !pattern.starts_with('%');
         let ends_anchored = !pattern.ends_with('%');
-        let segments: Vec<String> =
-            pattern.split('%').filter(|s| !s.is_empty()).map(str::to_owned).collect();
-        LikePattern { segments, starts_anchored, ends_anchored }
+        let segments: Vec<String> = pattern
+            .split('%')
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        LikePattern {
+            segments,
+            starts_anchored,
+            ends_anchored,
+        }
     }
 
     /// Match semantics of SQL LIKE restricted to `%`.
@@ -262,7 +269,10 @@ impl Expr {
                         }
                         Column::I32(v) => {
                             return Vector::Bool(
-                                v[rows].iter().map(|x| op.holds(&i64::from(*x), c)).collect(),
+                                v[rows]
+                                    .iter()
+                                    .map(|x| op.holds(&i64::from(*x), c))
+                                    .collect(),
                             )
                         }
                         _ => {}
@@ -282,12 +292,16 @@ impl Expr {
                     (Vector::F64(x), Vector::F64(y)) => {
                         x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
                     }
-                    (Vector::I64(x), Vector::F64(y)) => {
-                        x.iter().zip(y).map(|(a, b)| op.holds(&(*a as f64), b)).collect()
-                    }
-                    (Vector::F64(x), Vector::I64(y)) => {
-                        x.iter().zip(y).map(|(a, b)| op.holds(a, &(*b as f64))).collect()
-                    }
+                    (Vector::I64(x), Vector::F64(y)) => x
+                        .iter()
+                        .zip(y)
+                        .map(|(a, b)| op.holds(&(*a as f64), b))
+                        .collect(),
+                    (Vector::F64(x), Vector::I64(y)) => x
+                        .iter()
+                        .zip(y)
+                        .map(|(a, b)| op.holds(a, &(*b as f64)))
+                        .collect(),
                     (Vector::Str(x), Vector::Str(y)) => {
                         x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
                     }
@@ -299,14 +313,22 @@ impl Expr {
                 let va = a.eval(batch, rows.clone());
                 let vb = b.eval(batch, rows);
                 Vector::Bool(
-                    va.as_bool().iter().zip(vb.as_bool()).map(|(&x, &y)| x && y).collect(),
+                    va.as_bool()
+                        .iter()
+                        .zip(vb.as_bool())
+                        .map(|(&x, &y)| x && y)
+                        .collect(),
                 )
             }
             Expr::Or(a, b) => {
                 let va = a.eval(batch, rows.clone());
                 let vb = b.eval(batch, rows);
                 Vector::Bool(
-                    va.as_bool().iter().zip(vb.as_bool()).map(|(&x, &y)| x || y).collect(),
+                    va.as_bool()
+                        .iter()
+                        .zip(vb.as_bool())
+                        .map(|(&x, &y)| x || y)
+                        .collect(),
                 )
             }
             Expr::Not(a) => {
@@ -339,13 +361,14 @@ impl Expr {
                 if let Expr::Col(i) = &**a {
                     match batch.column(*i) {
                         Column::I64(v) => {
-                            return Vector::Bool(
-                                v[rows].iter().map(|x| list.contains(x)).collect(),
-                            )
+                            return Vector::Bool(v[rows].iter().map(|x| list.contains(x)).collect())
                         }
                         Column::I32(v) => {
                             return Vector::Bool(
-                                v[rows].iter().map(|&x| list.contains(&i64::from(x))).collect(),
+                                v[rows]
+                                    .iter()
+                                    .map(|&x| list.contains(&i64::from(x)))
+                                    .collect(),
                             )
                         }
                         _ => {}
@@ -360,15 +383,18 @@ impl Expr {
                 if let Expr::Col(i) = &**a {
                     if let Column::Str(v) = batch.column(*i) {
                         return Vector::Bool(
-                            v[rows].iter().map(|s| list.iter().any(|l| l == s)).collect(),
+                            v[rows]
+                                .iter()
+                                .map(|s| list.iter().any(|l| l == s))
+                                .collect(),
                         );
                     }
                 }
                 let v = a.eval(batch, rows);
                 match v {
-                    Vector::Str(vs) => Vector::Bool(
-                        vs.iter().map(|s| list.iter().any(|l| l == s)).collect(),
-                    ),
+                    Vector::Str(vs) => {
+                        Vector::Bool(vs.iter().map(|s| list.iter().any(|l| l == s)).collect())
+                    }
                     other => panic!("InStr over non-string {other:?}"),
                 }
             }
@@ -380,9 +406,7 @@ impl Expr {
                 }
                 let v = a.eval(batch, rows);
                 match v {
-                    Vector::Str(vs) => {
-                        Vector::Bool(vs.iter().map(|s| pat.matches(s)).collect())
-                    }
+                    Vector::Str(vs) => Vector::Bool(vs.iter().map(|s| pat.matches(s)).collect()),
                     other => panic!("Like over non-string {other:?}"),
                 }
             }
@@ -390,15 +414,18 @@ impl Expr {
                 if let Expr::Col(i) = &**a {
                     if let Column::Str(v) = batch.column(*i) {
                         return Vector::Bool(
-                            v[rows].iter().map(|s| s.starts_with(prefix.as_str())).collect(),
+                            v[rows]
+                                .iter()
+                                .map(|s| s.starts_with(prefix.as_str()))
+                                .collect(),
                         );
                     }
                 }
                 let v = a.eval(batch, rows);
                 match v {
-                    Vector::Str(vs) => Vector::Bool(
-                        vs.iter().map(|s| s.starts_with(prefix.as_str())).collect(),
-                    ),
+                    Vector::Str(vs) => {
+                        Vector::Bool(vs.iter().map(|s| s.starts_with(prefix.as_str())).collect())
+                    }
                     other => panic!("StrPrefix over non-string {other:?}"),
                 }
             }
@@ -441,9 +468,7 @@ impl Expr {
                 match v {
                     Vector::Str(vs) => Vector::Str(
                         vs.iter()
-                            .map(|s| {
-                                s.chars().skip(from.saturating_sub(1)).take(*len).collect()
-                            })
+                            .map(|s| s.chars().skip(from.saturating_sub(1)).take(*len).collect())
                             .collect(),
                     ),
                     other => panic!("Substr over non-string {other:?}"),
@@ -535,9 +560,9 @@ impl Expr {
     pub fn remap(&self, map: &[Option<usize>]) -> Expr {
         let bx = |e: &Expr| Box::new(e.remap(map));
         match self {
-            Expr::Col(i) => Expr::Col(
-                map[*i].unwrap_or_else(|| panic!("column {i} not available after remap")),
-            ),
+            Expr::Col(i) => {
+                Expr::Col(map[*i].unwrap_or_else(|| panic!("column {i} not available after remap")))
+            }
             Expr::ConstI64(c) => Expr::ConstI64(*c),
             Expr::ConstF64(c) => Expr::ConstF64(*c),
             Expr::ConstStr(c) => Expr::ConstStr(c.clone()),
@@ -762,19 +787,34 @@ mod tests {
     fn comparisons_and_logic() {
         let b = batch();
         let e = and(gt(col(0), lit(1)), lt(col(0), lit(5)));
-        assert_eq!(e.eval(&b, 0..5).as_bool(), &[false, true, true, true, false]);
+        assert_eq!(
+            e.eval(&b, 0..5).as_bool(),
+            &[false, true, true, true, false]
+        );
         let e2 = or(eq(col(0), lit(1)), eq(col(0), lit(5)));
-        assert_eq!(e2.eval(&b, 0..5).as_bool(), &[true, false, false, false, true]);
+        assert_eq!(
+            e2.eval(&b, 0..5).as_bool(),
+            &[true, false, false, false, true]
+        );
         let e3 = not(le(col(0), lit(3)));
-        assert_eq!(e3.eval(&b, 0..5).as_bool(), &[false, false, false, true, true]);
+        assert_eq!(
+            e3.eval(&b, 0..5).as_bool(),
+            &[false, false, false, true, true]
+        );
         let e4 = ne(col(0), lit(3));
-        assert_eq!(e4.eval(&b, 0..5).as_bool(), &[true, true, false, true, true]);
+        assert_eq!(
+            e4.eval(&b, 0..5).as_bool(),
+            &[true, true, false, true, true]
+        );
     }
 
     #[test]
     fn between_and_in() {
         let b = batch();
-        assert_eq!(between(col(0), 2, 4).eval(&b, 0..5).as_bool(), &[false, true, true, true, false]);
+        assert_eq!(
+            between(col(0), 2, 4).eval(&b, 0..5).as_bool(),
+            &[false, true, true, true, false]
+        );
         assert_eq!(
             in_i64(col(0), vec![1, 4]).eval(&b, 0..5).as_bool(),
             &[true, false, false, true, false]
@@ -857,7 +897,10 @@ mod tests {
         assert_eq!(col(3).result_type(&types), DataType::I64);
         assert_eq!(add(col(0), col(1)).result_type(&types), DataType::F64);
         assert_eq!(eq(col(0), lit(1)).result_type(&types), DataType::I64);
-        assert_eq!(case(eq(col(0), lit(1)), litf(1.0), litf(0.0)).result_type(&types), DataType::F64);
+        assert_eq!(
+            case(eq(col(0), lit(1)), litf(1.0), litf(0.0)).result_type(&types),
+            DataType::F64
+        );
     }
 
     #[test]
@@ -871,7 +914,10 @@ mod tests {
             morsel_storage::date(1995, 3, 15),
             morsel_storage::date(1998, 12, 31),
         ])]);
-        assert_eq!(year_of(col(0)).eval(&b, 0..2), Vector::I64(vec![1995, 1998]));
+        assert_eq!(
+            year_of(col(0)).eval(&b, 0..2),
+            Vector::I64(vec![1995, 1998])
+        );
         assert_eq!(year_of(col(0)).result_type(&[DataType::I32]), DataType::I64);
     }
 
@@ -880,7 +926,10 @@ mod tests {
         let b = Batch::from_columns(vec![Column::Str(vec!["13-555".into(), "x".into()])]);
         let v = substr(col(0), 1, 2).eval(&b, 0..2);
         assert_eq!(v, Vector::Str(vec!["13".into(), "x".into()]));
-        assert_eq!(substr(col(0), 1, 2).result_type(&[DataType::Str]), DataType::Str);
+        assert_eq!(
+            substr(col(0), 1, 2).result_type(&[DataType::Str]),
+            DataType::Str
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl TaggedHashTable {
             markers: (0..n).map(|_| AtomicBool::new(false)).collect(),
             locs,
             tagging,
-            residency: Residency::Interleaved { sockets, stripe: DEFAULT_STRIPE },
+            residency: Residency::Interleaved {
+                sockets,
+                stripe: DEFAULT_STRIPE,
+            },
         }
     }
 
@@ -119,7 +122,9 @@ impl TaggedHashTable {
     /// Global entry index for `(area, row)` — the handle minus one.
     pub fn entry_index(&self, area: usize, row: usize) -> usize {
         let key = ((area as u64) << 40) | row as u64;
-        self.locs.binary_search(&key).expect("unknown (area,row) for entry")
+        self.locs
+            .binary_search(&key)
+            .expect("unknown (area,row) for entry")
     }
 
     /// Tuple location of entry `idx`.

@@ -66,7 +66,13 @@ impl HtInsertJob {
             bases.push(acc);
             acc += r;
         }
-        HtInsertJob { ht, build, key_cols, bases, out }
+        HtInsertJob {
+            ht,
+            build,
+            key_cols,
+            bases,
+            out,
+        }
     }
 }
 
@@ -80,7 +86,9 @@ impl PipelineJob for HtInsertJob {
         // Stream the key columns from the area's node.
         let mut key_bytes = 0;
         for &c in &self.key_cols {
-            key_bytes += batch.column(c).byte_size(morsel.range.start, morsel.range.end);
+            key_bytes += batch
+                .column(c)
+                .byte_size(morsel.range.start, morsel.range.end);
         }
         ctx.read(area.node(), key_bytes);
         // Inserts touch a random interleaved directory word, but unlike
@@ -106,7 +114,10 @@ impl PipelineJob for HtInsertJob {
             build: Arc::clone(&self.build),
             key_cols: self.key_cols.clone(),
         };
-        self.out.set(Arc::new(table)).ok().expect("join slot set twice");
+        self.out
+            .set(Arc::new(table))
+            .ok()
+            .expect("join slot set twice");
     }
 }
 
@@ -148,13 +159,20 @@ pub struct ProbeOp {
 
 impl ProbeOp {
     fn build_types(&self, jt: &JoinTable) -> Vec<DataType> {
-        self.build_cols.iter().map(|&c| jt.build.schema().dtype(c)).collect()
+        self.build_cols
+            .iter()
+            .map(|&c| jt.build.schema().dtype(c))
+            .collect()
     }
 }
 
 impl PipeOp for ProbeOp {
     fn apply(&self, ctx: &mut TaskContext<'_>, input: SelBatch) -> SelBatch {
-        let jt = self.table.get().expect("probe ran before build completed").clone();
+        let jt = self
+            .table
+            .get()
+            .expect("probe ran before build completed")
+            .clone();
         if self.scalar {
             let dense = input.materialize(ctx);
             return SelBatch::dense(self.apply_scalar(ctx, dense, &jt));
@@ -193,7 +211,10 @@ impl PipeOp for ProbeOp {
                     ctx,
                     traversed,
                     &jt,
-                    cand.area.iter().zip(&cand.row).map(|(&a, &r)| (a as usize, r as usize)),
+                    cand.area
+                        .iter()
+                        .zip(&cand.row)
+                        .map(|(&a, &r)| (a as usize, r as usize)),
                 );
                 // Assemble output: one gather per probe column through the
                 // match list, then one typed gather per build column.
@@ -213,8 +234,7 @@ impl PipeOp for ProbeOp {
                 ctx.cpu(
                     cand.len() as u64,
                     weights::MATCH_NS
-                        + weights::GATHER_NS
-                            * (input.batch.width() + self.build_cols.len()) as f64,
+                        + weights::GATHER_NS * (input.batch.width() + self.build_cols.len()) as f64,
                 );
                 SelBatch::dense(Batch::from_columns(out_cols))
             }
@@ -231,7 +251,11 @@ impl PipeOp for ProbeOp {
                     .filter(|&i| found[i as usize] == want)
                     .map(underlying)
                     .collect();
-                SelBatch { batch: input.batch, sel: Some(out_sel) }.compact_if_sparse(ctx)
+                SelBatch {
+                    batch: input.batch,
+                    sel: Some(out_sel),
+                }
+                .compact_if_sparse(ctx)
             }
             JoinKind::Count => {
                 self.charge_chain(ctx, traversed, &jt, std::iter::empty());
@@ -300,7 +324,12 @@ impl ProbeOp {
                         }
                     }));
                 }
-                self.charge_chain(ctx, traversed, jt, matches.iter().map(|&idx| jt.ht.loc(idx)));
+                self.charge_chain(
+                    ctx,
+                    traversed,
+                    jt,
+                    matches.iter().map(|&idx| jt.ht.loc(idx)),
+                );
                 // Assemble output: probe columns then build columns.
                 let mut out_cols: Vec<Column> = input
                     .columns()
@@ -355,7 +384,11 @@ impl ProbeOp {
                 }
                 self.charge_chain(ctx, traversed, jt, std::iter::empty());
                 let mut out = Batch::empty(
-                    &input.columns().iter().map(Column::data_type).collect::<Vec<_>>(),
+                    &input
+                        .columns()
+                        .iter()
+                        .map(Column::data_type)
+                        .collect::<Vec<_>>(),
                 );
                 out.extend_selected(&input, &sel);
                 ctx.cpu(sel.len() as u64, weights::GATHER_NS * input.width() as f64);
@@ -449,8 +482,7 @@ mod tests {
 
     /// Build an AreaSet with one area holding (key, payload) rows.
     fn build_side(keys: &[i64], payload: &[i64]) -> Arc<AreaSet> {
-        let schema =
-            Schema::new(vec![("bk", DataType::I64), ("bv", DataType::I64)]);
+        let schema = Schema::new(vec![("bk", DataType::I64), ("bv", DataType::I64)]);
         let mut area = StorageArea::new(SocketId(0), &schema.data_types());
         area.data_mut().extend_from(&Batch::from_columns(vec![
             Column::I64(keys.to_vec()),
@@ -466,7 +498,13 @@ mod tests {
         let build = build_side(keys, payload);
         let job = HtInsertJob::new(Arc::clone(&build), vec![0], 4, slot.clone());
         let mut ctx = TaskContext::new(&env, 0);
-        job.run_morsel(&mut ctx, Morsel { chunk: 0, range: 0..keys.len() });
+        job.run_morsel(
+            &mut ctx,
+            Morsel {
+                chunk: 0,
+                range: 0..keys.len(),
+            },
+        );
         job.finish(&mut ctx);
         slot
     }
@@ -486,7 +524,13 @@ mod tests {
     #[test]
     fn inner_join_matches_and_payload() {
         let slot = built_table(&[1, 2, 3], &[10, 20, 30]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1], scalar: false };
+        let op = ProbeOp {
+            table: slot,
+            probe_keys: vec![0],
+            kind: JoinKind::Inner,
+            build_cols: vec![1],
+            scalar: false,
+        };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
         let out = run_op(&op, &mut ctx, probe_batch(&[2, 4, 3, 2]));
@@ -501,7 +545,13 @@ mod tests {
     #[test]
     fn duplicate_build_keys_multiply() {
         let slot = built_table(&[5, 5, 5], &[1, 2, 3]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1], scalar: false };
+        let op = ProbeOp {
+            table: slot,
+            probe_keys: vec![0],
+            kind: JoinKind::Inner,
+            build_cols: vec![1],
+            scalar: false,
+        };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
         let out = run_op(&op, &mut ctx, probe_batch(&[5]));
@@ -525,7 +575,13 @@ mod tests {
         };
         let out = run_op(&semi, &mut ctx, probe_batch(&[1, 2, 3, 3]));
         assert_eq!(out.column(0).as_i64(), &[1, 3, 3]);
-        let anti = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Anti, build_cols: vec![], scalar: false };
+        let anti = ProbeOp {
+            table: slot,
+            probe_keys: vec![0],
+            kind: JoinKind::Anti,
+            build_cols: vec![],
+            scalar: false,
+        };
         let out = run_op(&anti, &mut ctx, probe_batch(&[1, 2, 3, 4]));
         assert_eq!(out.column(0).as_i64(), &[2, 4]);
         assert_eq!(anti.out_types(&[DataType::I64, DataType::I64]).len(), 2);
@@ -534,7 +590,13 @@ mod tests {
     #[test]
     fn count_join_keeps_zero_rows() {
         let slot = built_table(&[7, 7, 9], &[0, 0, 0]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Count, build_cols: vec![], scalar: false };
+        let op = ProbeOp {
+            table: slot,
+            probe_keys: vec![0],
+            kind: JoinKind::Count,
+            build_cols: vec![],
+            scalar: false,
+        };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
         let out = run_op(&op, &mut ctx, probe_batch(&[7, 8, 9]));
@@ -571,15 +633,31 @@ mod tests {
         let env = env();
         let schema = Schema::new(vec![("bk", DataType::I64)]);
         let mut a0 = StorageArea::new(SocketId(0), &schema.data_types());
-        a0.data_mut().extend_from(&Batch::from_columns(vec![Column::I64((0..500).collect())]));
+        a0.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64((0..500).collect())]));
         let mut a1 = StorageArea::new(SocketId(1), &schema.data_types());
-        a1.data_mut().extend_from(&Batch::from_columns(vec![Column::I64((500..1000).collect())]));
+        a1.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64(
+                (500..1000).collect(),
+            )]));
         let build = Arc::new(AreaSet::new(schema, vec![a0, a1]));
         let slot = join_slot();
         let job = HtInsertJob::new(build, vec![0], 4, slot.clone());
         let mut ctx = TaskContext::new(&env, 0);
-        job.run_morsel(&mut ctx, Morsel { chunk: 0, range: 0..500 });
-        job.run_morsel(&mut ctx, Morsel { chunk: 1, range: 0..500 });
+        job.run_morsel(
+            &mut ctx,
+            Morsel {
+                chunk: 0,
+                range: 0..500,
+            },
+        );
+        job.run_morsel(
+            &mut ctx,
+            Morsel {
+                chunk: 1,
+                range: 0..500,
+            },
+        );
         job.finish(&mut ctx);
         let jt = slot.get().unwrap();
         for k in 0..1000i64 {
@@ -593,8 +671,17 @@ mod tests {
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
         let probe_keys: Vec<i64> = (0..64).map(|x| x % 11).collect();
-        for kind in [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti, JoinKind::Count] {
-            let build_cols = if kind == JoinKind::Inner { vec![1] } else { vec![] };
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::Semi,
+            JoinKind::Anti,
+            JoinKind::Count,
+        ] {
+            let build_cols = if kind == JoinKind::Inner {
+                vec![1]
+            } else {
+                vec![]
+            };
             let vec_op = ProbeOp {
                 table: slot.clone(),
                 probe_keys: vec![0],
@@ -641,7 +728,13 @@ mod tests {
     #[test]
     fn empty_build_side_probes_empty() {
         let slot = built_table(&[], &[]);
-        let op = ProbeOp { table: slot, probe_keys: vec![0], kind: JoinKind::Inner, build_cols: vec![1], scalar: false };
+        let op = ProbeOp {
+            table: slot,
+            probe_keys: vec![0],
+            kind: JoinKind::Inner,
+            build_cols: vec![1],
+            scalar: false,
+        };
         let env = env();
         let mut ctx = TaskContext::new(&env, 0);
         let out = run_op(&op, &mut ctx, probe_batch(&[1, 2]));

@@ -20,7 +20,11 @@ use morsel_storage::{hash_bytes, hash_combine, hash_i64, AreaSet, Batch, Column}
 /// comparison-based engine exhibits (documented in DESIGN.md §3).
 #[inline]
 pub fn canon_f64_bits(x: f64) -> u64 {
-    if x == 0.0 { 0.0f64.to_bits() } else { x.to_bits() }
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
 }
 
 /// Hash the key columns `cols` of `batch` at `row`.
@@ -242,7 +246,11 @@ impl MatchCandidates {
     fn retain_column_equal(&mut self, probe_col: &Column, build: &AreaSet, bc: usize) {
         macro_rules! slices {
             ($as_ty:ident) => {
-                build.areas().iter().map(|a| a.data().column(bc).$as_ty()).collect()
+                build
+                    .areas()
+                    .iter()
+                    .map(|a| a.data().column(bc).$as_ty())
+                    .collect()
             };
         }
         match (probe_col, build.schema().dtype(bc)) {
@@ -284,8 +292,11 @@ impl MatchCandidates {
         let n = self.len();
         macro_rules! gather {
             ($as_ty:ident, $variant:ident, $get:expr) => {{
-                let bs: Vec<_> =
-                    build.areas().iter().map(|a| a.data().column(bc).$as_ty()).collect();
+                let bs: Vec<_> = build
+                    .areas()
+                    .iter()
+                    .map(|a| a.data().column(bc).$as_ty())
+                    .collect();
                 let mut out = Vec::with_capacity(n);
                 for i in 0..n {
                     let v = &bs[self.area[i] as usize][self.row[i] as usize];
@@ -314,8 +325,10 @@ pub fn rows_equal(
     b_row: usize,
 ) -> bool {
     debug_assert_eq!(a_cols.len(), b_cols.len());
-    a_cols.iter().zip(b_cols).all(|(&ca, &cb)| {
-        match (a.column(ca), b.column(cb)) {
+    a_cols
+        .iter()
+        .zip(b_cols)
+        .all(|(&ca, &cb)| match (a.column(ca), b.column(cb)) {
             (Column::I64(x), Column::I64(y)) => x[a_row] == y[b_row],
             (Column::I32(x), Column::I32(y)) => x[a_row] == y[b_row],
             (Column::I64(x), Column::I32(y)) => x[a_row] == i64::from(y[b_row]),
@@ -327,8 +340,7 @@ pub fn rows_equal(
                 x.data_type(),
                 y.data_type()
             ),
-        }
-    })
+        })
 }
 
 /// An owned group key for aggregation hash tables. Mixed-type composite

@@ -67,7 +67,10 @@ impl SelBatch {
         match self.sel {
             None => self.batch,
             Some(sel) => {
-                ctx.cpu(sel.len() as u64, weights::GATHER_NS * self.batch.width() as f64);
+                ctx.cpu(
+                    sel.len() as u64,
+                    weights::GATHER_NS * self.batch.width() as f64,
+                );
                 self.batch.gather(&sel)
             }
         }
@@ -104,17 +107,26 @@ impl PipeOp for FilterOp {
         // The predicate is evaluated over all underlying rows (vectorized
         // kernels do not skip holes); with a selection present the result
         // is intersected with it. Charged accordingly.
-        ctx.cpu(underlying as u64, f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS);
+        ctx.cpu(
+            underlying as u64,
+            f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS,
+        );
         let out = match input.sel {
             None => {
                 let sel = self.predicate.eval_filter(&input.batch, 0..underlying);
-                SelBatch { batch: input.batch, sel: Some(sel) }
+                SelBatch {
+                    batch: input.batch,
+                    sel: Some(sel),
+                }
             }
             Some(mut sel) => {
                 let mask = self.predicate.eval(&input.batch, 0..underlying);
                 let mask = mask.as_bool();
                 sel.retain(|&r| mask[r as usize]);
-                SelBatch { batch: input.batch, sel: Some(sel) }
+                SelBatch {
+                    batch: input.batch,
+                    sel: Some(sel),
+                }
             }
         };
         out.compact_if_sparse(ctx)
@@ -136,9 +148,15 @@ impl PipeOp for MapOp {
     fn apply(&self, ctx: &mut TaskContext<'_>, input: SelBatch) -> SelBatch {
         let input = input.materialize(ctx);
         let weight: u32 = self.exprs.iter().map(Expr::weight).sum();
-        ctx.cpu(input.rows() as u64, f64::from(weight) * weights::EXPR_NODE_NS);
-        let cols: Vec<Column> =
-            self.exprs.iter().map(|e| e.eval(&input, 0..input.rows()).into_column()).collect();
+        ctx.cpu(
+            input.rows() as u64,
+            f64::from(weight) * weights::EXPR_NODE_NS,
+        );
+        let cols: Vec<Column> = self
+            .exprs
+            .iter()
+            .map(|e| e.eval(&input, 0..input.rows()).into_column())
+            .collect();
         SelBatch::dense(Batch::from_columns(cols))
     }
 
@@ -223,8 +241,11 @@ impl ExecPipeline {
     /// Output types of the working batch after projection and all ops.
     pub fn output_types(&self) -> Vec<DataType> {
         let src = self.source.types();
-        let mut t: Vec<DataType> =
-            self.projection.iter().map(|p| p.result_type(&src)).collect();
+        let mut t: Vec<DataType> = self
+            .projection
+            .iter()
+            .map(|p| p.result_type(&src))
+            .collect();
         for op in &self.ops {
             t = op.out_types(&t);
         }
@@ -270,8 +291,11 @@ impl ExecPipeline {
         };
         let cols: Vec<Column> = self.used.iter().map(|&c| gather_one(c)).collect();
         let compact = if cols.is_empty() {
-            let types: Vec<DataType> =
-                self.used.iter().map(|&c| batch.column(c).data_type()).collect();
+            let types: Vec<DataType> = self
+                .used
+                .iter()
+                .map(|&c| batch.column(c).data_type())
+                .collect();
             Batch::empty(&types)
         } else {
             Batch::from_columns(cols)
@@ -364,7 +388,13 @@ mod tests {
         let mut ctx = TaskContext::new(&env, 0);
         // Run over all 4 partitions as whole-chunk morsels.
         for chunk in 0..4 {
-            pipe.run_morsel(&mut ctx, Morsel { chunk, range: 0..25 });
+            pipe.run_morsel(
+                &mut ctx,
+                Morsel {
+                    chunk,
+                    range: 0..25,
+                },
+            );
         }
         pipe.finish(&mut ctx);
         let mut got = result.lock().take().unwrap().column(0).as_i64().to_vec();
@@ -381,12 +411,16 @@ mod tests {
         let env = ExecEnv::new(Topology::laptop());
         let mut ctx = TaskContext::new(&env, 0);
         let input = SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2, 3, 4])]));
-        let f = FilterOp { predicate: gt(col(0), lit(2)) };
+        let f = FilterOp {
+            predicate: gt(col(0), lit(2)),
+        };
         let out = f.apply(&mut ctx, input);
         // Half the rows survive: dense enough to stay a selection vector.
         assert_eq!(out.sel.as_deref(), Some(&[2u32, 3][..]));
         assert_eq!(out.rows(), 2);
-        let m = MapOp { exprs: vec![mul(col(0), lit(10))] };
+        let m = MapOp {
+            exprs: vec![mul(col(0), lit(10))],
+        };
         let out2 = m.apply(&mut ctx, out);
         assert!(out2.sel.is_none());
         assert_eq!(out2.batch.column(0).as_i64(), &[30, 40]);
@@ -398,10 +432,13 @@ mod tests {
     fn chained_filters_intersect_selections() {
         let env = ExecEnv::new(Topology::laptop());
         let mut ctx = TaskContext::new(&env, 0);
-        let input =
-            SelBatch::dense(Batch::from_columns(vec![Column::I64((0..16).collect())]));
-        let f1 = FilterOp { predicate: gt(col(0), lit(3)) };
-        let f2 = FilterOp { predicate: gt(col(0), lit(11)) };
+        let input = SelBatch::dense(Batch::from_columns(vec![Column::I64((0..16).collect())]));
+        let f1 = FilterOp {
+            predicate: gt(col(0), lit(3)),
+        };
+        let f2 = FilterOp {
+            predicate: gt(col(0), lit(11)),
+        };
         let mid = f1.apply(&mut ctx, input);
         let out = f2.apply(&mut ctx, mid);
         // 4/16 survivors sits above the 1/8 compaction bound: stays a
@@ -415,9 +452,10 @@ mod tests {
     fn sparse_selection_compacts_eagerly() {
         let env = ExecEnv::new(Topology::laptop());
         let mut ctx = TaskContext::new(&env, 0);
-        let input =
-            SelBatch::dense(Batch::from_columns(vec![Column::I64((0..100).collect())]));
-        let f = FilterOp { predicate: gt(col(0), lit(95)) };
+        let input = SelBatch::dense(Batch::from_columns(vec![Column::I64((0..100).collect())]));
+        let f = FilterOp {
+            predicate: gt(col(0), lit(95)),
+        };
         let out = f.apply(&mut ctx, input);
         // 4/100 < 1/8: the heuristic gathers immediately.
         assert!(out.sel.is_none());
@@ -431,7 +469,9 @@ mod tests {
             rel,
             None,
             vec![col(0), mul(col(1), lit(2))],
-            vec![Box::new(FilterOp { predicate: gt(col(0), lit(0)) })],
+            vec![Box::new(FilterOp {
+                predicate: gt(col(0), lit(0)),
+            })],
             Box::new(NullSink),
         );
         assert_eq!(pipe.output_types(), vec![DataType::I64, DataType::I64]);

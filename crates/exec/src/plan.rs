@@ -44,7 +44,10 @@ pub enum Plan {
     /// Filter on the current working schema.
     Filter { input: Box<Plan>, predicate: Expr },
     /// Replace the working schema by projected expressions.
-    Map { input: Box<Plan>, project: Vec<(String, Expr)> },
+    Map {
+        input: Box<Plan>,
+        project: Vec<(String, Expr)>,
+    },
     /// Hash join: `build` is materialized and hashed on `build_keys`;
     /// `probe` streams through, matching on `probe_keys`. Inner joins
     /// append `build_payload` columns to the working schema.
@@ -63,14 +66,20 @@ pub enum Plan {
         aggs: Vec<(String, AggFn)>,
     },
     /// Order by, with optional limit.
-    Sort { input: Box<Plan>, keys: Vec<SortKey>, limit: Option<usize> },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+        limit: Option<usize>,
+    },
 }
 
 impl Plan {
     /// Output schema of the plan.
     pub fn schema(&self) -> Schema {
         match self {
-            Plan::Scan { relation, project, .. } => {
+            Plan::Scan {
+                relation, project, ..
+            } => {
                 let src = relation.schema().data_types();
                 Schema::new(
                     project
@@ -89,10 +98,18 @@ impl Plan {
                         .collect(),
                 )
             }
-            Plan::Join { build, probe, kind, build_payload, .. } => {
+            Plan::Join {
+                build,
+                probe,
+                kind,
+                build_payload,
+                ..
+            } => {
                 let mut fields: Vec<(String, DataType)> = {
                     let p = probe.schema();
-                    (0..p.len()).map(|i| (p.name(i).to_owned(), p.dtype(i))).collect()
+                    (0..p.len())
+                        .map(|i| (p.name(i).to_owned(), p.dtype(i)))
+                        .collect()
                 };
                 match kind {
                     JoinKind::Inner | JoinKind::InnerMark => {
@@ -106,7 +123,11 @@ impl Plan {
                 }
                 Schema::new(fields.iter().map(|(n, t)| (n.as_str(), *t)).collect())
             }
-            Plan::Agg { input, group_cols, aggs } => {
+            Plan::Agg {
+                input,
+                group_cols,
+                aggs,
+            } => {
                 let src = input.schema();
                 let mut fields: Vec<(String, DataType)> = group_cols
                     .iter()
@@ -128,7 +149,11 @@ impl Plan {
             .iter()
             .map(|&c| (c.to_owned(), col(relation.schema().index_of(c))))
             .collect();
-        Plan::Scan { relation, filter, project }
+        Plan::Scan {
+            relation,
+            filter,
+            project,
+        }
     }
 
     pub fn scan_project(
@@ -139,18 +164,27 @@ impl Plan {
         Plan::Scan {
             relation,
             filter,
-            project: project.into_iter().map(|(n, e)| (n.to_owned(), e)).collect(),
+            project: project
+                .into_iter()
+                .map(|(n, e)| (n.to_owned(), e))
+                .collect(),
         }
     }
 
     pub fn filter(self, predicate: Expr) -> Plan {
-        Plan::Filter { input: Box::new(self), predicate }
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     pub fn map(self, project: Vec<(&str, Expr)>) -> Plan {
         Plan::Map {
             input: Box::new(self),
-            project: project.into_iter().map(|(n, e)| (n.to_owned(), e)).collect(),
+            project: project
+                .into_iter()
+                .map(|(n, e)| (n.to_owned(), e))
+                .collect(),
         }
     }
 
@@ -195,7 +229,11 @@ impl Plan {
     }
 
     pub fn sort_by(self, keys: Vec<SortKey>, limit: Option<usize>) -> Plan {
-        Plan::Sort { input: Box::new(self), keys, limit }
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+            limit,
+        }
     }
 
     /// Resolve a named column index in this plan's output schema.
@@ -215,7 +253,11 @@ impl Plan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         match self {
-            Plan::Scan { relation, filter, project } => {
+            Plan::Scan {
+                relation,
+                filter,
+                project,
+            } => {
                 out.push_str(&format!(
                     "{pad}Scan [{} rows, {} partitions]",
                     relation.total_rows(),
@@ -234,7 +276,13 @@ impl Plan {
                 out.push_str(&format!("{pad}Map -> {} cols\n", project.len()));
                 input.explain_into(out, depth + 1);
             }
-            Plan::Join { build, probe, kind, probe_keys, .. } => {
+            Plan::Join {
+                build,
+                probe,
+                kind,
+                probe_keys,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}HashJoin {kind:?} on {} key(s)\n{pad}  build:\n",
                     probe_keys.len()
@@ -243,7 +291,11 @@ impl Plan {
                 out.push_str(&format!("{pad}  probe:\n"));
                 probe.explain_into(out, depth + 2);
             }
-            Plan::Agg { input, group_cols, aggs } => {
+            Plan::Agg {
+                input,
+                group_cols,
+                aggs,
+            } => {
                 out.push_str(&format!(
                     "{pad}Aggregate [{} group col(s), {} aggregate(s)]\n",
                     group_cols.len(),
@@ -331,7 +383,10 @@ impl Source {
         match self {
             Source::Rel(r) => Arc::clone(r) as Arc<dyn InputSource>,
             Source::Slot(s) => {
-                let set = s.lock().clone().expect("upstream pipeline not materialized");
+                let set = s
+                    .lock()
+                    .clone()
+                    .expect("upstream pipeline not materialized");
                 set as Arc<dyn InputSource>
             }
         }
@@ -355,7 +410,11 @@ pub struct Compiler {
 
 impl Compiler {
     pub fn new(variant: SystemVariant) -> Self {
-        Compiler { variant, stages: Vec::new(), counter: 0 }
+        Compiler {
+            variant,
+            stages: Vec::new(),
+            counter: 0,
+        }
     }
 
     fn label(&mut self, kind: &str) -> String {
@@ -373,7 +432,11 @@ impl Compiler {
 
     fn compile_root(&mut self, plan: Plan, result: ResultSlot) {
         match plan {
-            Plan::Agg { input, group_cols, aggs } => {
+            Plan::Agg {
+                input,
+                group_cols,
+                aggs,
+            } => {
                 let u = self.compile(*input);
                 self.emit_agg(u, group_cols, aggs, Some(result));
             }
@@ -387,26 +450,39 @@ impl Compiler {
                 let label = self.label("materialize");
                 let variant = self.variant;
                 let out = area_slot();
-                self.stages.push(Box::new(FnStage::new(label.clone(), move |env, workers| {
-                    let source = u.source.resolve();
-                    let chunks = source.chunk_meta();
-                    let sink = MaterializeSink::new(
-                        schema,
-                        &env.worker_sockets(workers),
-                        out,
-                        Some(result),
-                    );
-                    let pipe = ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
+                self.stages.push(Box::new(FnStage::new(
+                    label.clone(),
+                    move |env, workers| {
+                        let source = u.source.resolve();
+                        let chunks = source.chunk_meta();
+                        let sink = MaterializeSink::new(
+                            schema,
+                            &env.worker_sockets(workers),
+                            out,
+                            Some(result),
+                        );
+                        let pipe = ExecPipeline::new(
+                            source,
+                            u.filter,
+                            u.projection,
+                            u.ops,
+                            Box::new(sink),
+                        )
                         .with_extra_scan_ns(variant.exchange_ns);
-                    BuiltJob::new(label, Arc::new(pipe), chunks)
-                })));
+                        BuiltJob::new(label, Arc::new(pipe), chunks)
+                    },
+                )));
             }
         }
     }
 
     fn compile(&mut self, plan: Plan) -> PipeUnder {
         match plan {
-            Plan::Scan { relation, filter, project } => {
+            Plan::Scan {
+                relation,
+                filter,
+                project,
+            } => {
                 let src_types = relation.schema().data_types();
                 let schema = Schema::new(
                     project
@@ -442,7 +518,14 @@ impl Compiler {
                 u.schema = schema;
                 u
             }
-            Plan::Join { build, probe, build_keys, probe_keys, kind, build_payload } => {
+            Plan::Join {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                kind,
+                build_payload,
+            } => {
                 // Build side: two stages (Figure 3's phases).
                 let build_schema = build.schema();
                 let bu = self.compile(*build);
@@ -452,20 +535,28 @@ impl Compiler {
                     let schema = bu.schema.clone();
                     let out = built_slot.clone();
                     let variant = self.variant;
-                    self.stages.push(Box::new(FnStage::new(label.clone(), move |env, workers| {
-                        let source = bu.source.resolve();
-                        let chunks = source.chunk_meta();
-                        let sink = MaterializeSink::new(
-                            schema,
-                            &env.worker_sockets(workers),
-                            out,
-                            None,
-                        );
-                        let pipe =
-                            ExecPipeline::new(source, bu.filter, bu.projection, bu.ops, Box::new(sink))
-                                .with_extra_scan_ns(variant.exchange_ns);
-                        BuiltJob::new(label, Arc::new(pipe), chunks)
-                    })));
+                    self.stages.push(Box::new(FnStage::new(
+                        label.clone(),
+                        move |env, workers| {
+                            let source = bu.source.resolve();
+                            let chunks = source.chunk_meta();
+                            let sink = MaterializeSink::new(
+                                schema,
+                                &env.worker_sockets(workers),
+                                out,
+                                None,
+                            );
+                            let pipe = ExecPipeline::new(
+                                source,
+                                bu.filter,
+                                bu.projection,
+                                bu.ops,
+                                Box::new(sink),
+                            )
+                            .with_extra_scan_ns(variant.exchange_ns);
+                            BuiltJob::new(label, Arc::new(pipe), chunks)
+                        },
+                    )));
                 }
                 let jslot = join_slot();
                 {
@@ -474,18 +565,21 @@ impl Compiler {
                     let out = jslot.clone();
                     let keys = build_keys;
                     let tagging = self.variant.tagging;
-                    self.stages.push(Box::new(FnStage::new(label.clone(), move |env, _workers| {
-                        let set = slot.lock().clone().expect("build side not materialized");
-                        let chunks = set.chunk_meta();
-                        let job = HtInsertJob::with_tagging(
-                            set,
-                            keys,
-                            env.topology().sockets(),
-                            out,
-                            tagging,
-                        );
-                        BuiltJob::new(label, Arc::new(job), chunks)
-                    })));
+                    self.stages.push(Box::new(FnStage::new(
+                        label.clone(),
+                        move |env, _workers| {
+                            let set = slot.lock().clone().expect("build side not materialized");
+                            let chunks = set.chunk_meta();
+                            let job = HtInsertJob::with_tagging(
+                                set,
+                                keys,
+                                env.topology().sockets(),
+                                out,
+                                tagging,
+                            );
+                            BuiltJob::new(label, Arc::new(job), chunks)
+                        },
+                    )));
                 }
 
                 // Probe side: continue its pipeline with the probe op.
@@ -513,7 +607,11 @@ impl Compiler {
                 }));
                 pu
             }
-            Plan::Agg { input, group_cols, aggs } => {
+            Plan::Agg {
+                input,
+                group_cols,
+                aggs,
+            } => {
                 let u = self.compile(*input);
                 self.emit_agg(u, group_cols, aggs, None)
             }
@@ -549,16 +647,20 @@ impl Compiler {
             let slot = parts_slot.clone();
             let fns = agg_fns.clone();
             let variant = self.variant;
-            self.stages.push(Box::new(FnStage::new(label.clone(), move |env, workers| {
-                let source = u.source.resolve();
-                let chunks = source.chunk_meta();
-                let sink =
-                    AggPartialSink::new(group_cols, fns, &env.worker_sockets(workers), slot)
-                        .with_scalar_path(!variant.vectorized);
-                let pipe = ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
-                    .with_extra_scan_ns(variant.exchange_ns);
-                BuiltJob::new(label, Arc::new(pipe), chunks)
-            })));
+            self.stages.push(Box::new(FnStage::new(
+                label.clone(),
+                move |env, workers| {
+                    let source = u.source.resolve();
+                    let chunks = source.chunk_meta();
+                    let sink =
+                        AggPartialSink::new(group_cols, fns, &env.worker_sockets(workers), slot)
+                            .with_scalar_path(!variant.vectorized);
+                    let pipe =
+                        ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
+                            .with_extra_scan_ns(variant.exchange_ns);
+                    BuiltJob::new(label, Arc::new(pipe), chunks)
+                },
+            )));
         }
         let out = area_slot();
         {
@@ -569,20 +671,26 @@ impl Compiler {
             let scalar = fields.len() == aggs.len();
             let fns = agg_fns;
             let aggs_for_default = aggs.clone();
-            self.stages.push(Box::new(FnStage::new(label.clone(), move |env, workers| {
-                let parts = slot.lock().clone().expect("phase 1 not finished");
-                let chunks = AggMergeJob::chunk_meta(&parts, env.topology().sockets());
-                let job = AggMergeJob::new(
-                    parts,
-                    fns,
-                    schema,
-                    &env.worker_sockets(workers),
-                    out,
-                    result,
-                )
-                .with_scalar_default(scalar, aggs_for_default.iter().map(|(_, f)| *f).collect());
-                BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
-            })));
+            self.stages.push(Box::new(FnStage::new(
+                label.clone(),
+                move |env, workers| {
+                    let parts = slot.lock().clone().expect("phase 1 not finished");
+                    let chunks = AggMergeJob::chunk_meta(&parts, env.topology().sockets());
+                    let job = AggMergeJob::new(
+                        parts,
+                        fns,
+                        schema,
+                        &env.worker_sockets(workers),
+                        out,
+                        result,
+                    )
+                    .with_scalar_default(
+                        scalar,
+                        aggs_for_default.iter().map(|(_, f)| *f).collect(),
+                    );
+                    BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
+                },
+            )));
         }
         PipeUnder {
             source: Source::Slot(out),
@@ -610,16 +718,24 @@ impl Compiler {
                 let out2 = out.clone();
                 let schema2 = schema.clone();
                 let variant = self.variant;
-                self.stages.push(Box::new(FnStage::new(label.clone(), move |env, workers| {
-                    let _ = env;
-                    let source = u.source.resolve();
-                    let chunks = source.chunk_meta();
-                    let sink = TopKSink::new(keys, k, schema2, workers, out2, result);
-                    let pipe =
-                        ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
-                            .with_extra_scan_ns(variant.exchange_ns);
-                    BuiltJob::new(label, Arc::new(pipe), chunks)
-                })));
+                self.stages.push(Box::new(FnStage::new(
+                    label.clone(),
+                    move |env, workers| {
+                        let _ = env;
+                        let source = u.source.resolve();
+                        let chunks = source.chunk_meta();
+                        let sink = TopKSink::new(keys, k, schema2, workers, out2, result);
+                        let pipe = ExecPipeline::new(
+                            source,
+                            u.filter,
+                            u.projection,
+                            u.ops,
+                            Box::new(sink),
+                        )
+                        .with_extra_scan_ns(variant.exchange_ns);
+                        BuiltJob::new(label, Arc::new(pipe), chunks)
+                    },
+                )));
                 return PipeUnder {
                     source: Source::Slot(out),
                     filter: None,
@@ -636,15 +752,19 @@ impl Compiler {
             let slot = mat_slot.clone();
             let schema2 = schema.clone();
             let variant = self.variant;
-            self.stages.push(Box::new(FnStage::new(label.clone(), move |env, workers| {
-                let source = u.source.resolve();
-                let chunks = source.chunk_meta();
-                let sink =
-                    MaterializeSink::new(schema2, &env.worker_sockets(workers), slot, None);
-                let pipe = ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
-                    .with_extra_scan_ns(variant.exchange_ns);
-                BuiltJob::new(label, Arc::new(pipe), chunks)
-            })));
+            self.stages.push(Box::new(FnStage::new(
+                label.clone(),
+                move |env, workers| {
+                    let source = u.source.resolve();
+                    let chunks = source.chunk_meta();
+                    let sink =
+                        MaterializeSink::new(schema2, &env.worker_sockets(workers), slot, None);
+                    let pipe =
+                        ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
+                            .with_extra_scan_ns(variant.exchange_ns);
+                    BuiltJob::new(label, Arc::new(pipe), chunks)
+                },
+            )));
         }
         // Stage 2: local sort.
         let runs = runs_slot();
@@ -653,25 +773,31 @@ impl Compiler {
             let slot = mat_slot;
             let runs = runs.clone();
             let keys = keys.clone();
-            self.stages.push(Box::new(FnStage::new(label.clone(), move |_env, _workers| {
-                let input = slot.lock().clone().expect("sort input not materialized");
-                let chunks = input.chunk_meta();
-                let job = LocalSortJob::new(input, keys, runs);
-                BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
-            })));
+            self.stages.push(Box::new(FnStage::new(
+                label.clone(),
+                move |_env, _workers| {
+                    let input = slot.lock().clone().expect("sort input not materialized");
+                    let chunks = input.chunk_meta();
+                    let job = LocalSortJob::new(input, keys, runs);
+                    BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
+                },
+            )));
         }
         // Stage 3: merge.
         {
             let label = self.label("sort-merge");
             let out = out.clone();
             let schema2 = schema.clone();
-            self.stages.push(Box::new(FnStage::new(label.clone(), move |env, workers| {
-                let runs = runs.lock().clone().expect("local sort not finished");
-                let plan = Arc::new(MergePlan::compute(runs, workers.max(1)));
-                let chunks = MergeJob::chunk_meta(&plan, env.topology().sockets());
-                let job = MergeJob::new(plan, schema2, out, result, limit);
-                BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
-            })));
+            self.stages.push(Box::new(FnStage::new(
+                label.clone(),
+                move |env, workers| {
+                    let runs = runs.lock().clone().expect("local sort not finished");
+                    let plan = Arc::new(MergePlan::compute(runs, workers.max(1)));
+                    let chunks = MergeJob::chunk_meta(&plan, env.topology().sockets());
+                    let job = MergeJob::new(plan, schema2, out, result, limit);
+                    BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
+                },
+            )));
         }
         PipeUnder {
             source: Source::Slot(out),

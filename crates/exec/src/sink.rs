@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use morsel_core::TaskContext;
 use morsel_core::ResultSlot;
+use morsel_core::TaskContext;
 use morsel_storage::{AreaSet, Schema, StorageArea};
 use parking_lot::Mutex;
 
@@ -48,7 +48,10 @@ impl MaterializeSink {
     ) -> Self {
         let types = schema.data_types();
         MaterializeSink {
-            areas: worker_nodes.iter().map(|&n| Mutex::new(StorageArea::new(n, &types))).collect(),
+            areas: worker_nodes
+                .iter()
+                .map(|&n| Mutex::new(StorageArea::new(n, &types)))
+                .collect(),
             schema,
             out,
             result,
@@ -120,11 +123,20 @@ mod tests {
         let sink = MaterializeSink::new(schema, &nodes, out.clone(), Some(result.clone()));
 
         let mut ctx0 = TaskContext::new(&env, 0);
-        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2])])));
+        sink.consume(
+            &mut ctx0,
+            SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2])])),
+        );
         let mut ctx1 = TaskContext::new(&env, 1);
-        sink.consume(&mut ctx1, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![3])])));
+        sink.consume(
+            &mut ctx1,
+            SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![3])])),
+        );
         // Empty batches are ignored.
-        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![])])));
+        sink.consume(
+            &mut ctx0,
+            SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![])])),
+        );
         sink.finish(&mut ctx0);
 
         let set = out.lock().take().unwrap();

@@ -48,7 +48,11 @@ pub fn cmp_rows(a: &Batch, ra: usize, b: &Batch, rb: usize, keys: &[SortKey]) ->
             (Column::I32(x), Column::I32(y)) => x[ra].cmp(&y[rb]),
             (Column::F64(x), Column::F64(y)) => x[ra].total_cmp(&y[rb]),
             (Column::Str(x), Column::Str(y)) => x[ra].cmp(&y[rb]),
-            (x, y) => panic!("incomparable sort columns {:?} vs {:?}", x.data_type(), y.data_type()),
+            (x, y) => panic!(
+                "incomparable sort columns {:?} vs {:?}",
+                x.data_type(),
+                y.data_type()
+            ),
         };
         let ord = if k.desc { ord.reverse() } else { ord };
         if ord != Ordering::Equal {
@@ -110,7 +114,10 @@ impl AreaSetExt for AreaSet {
     fn chunk_meta_for_sort(&self) -> Vec<morsel_core::ChunkMeta> {
         self.areas()
             .iter()
-            .map(|a| morsel_core::ChunkMeta { node: a.node(), rows: a.rows() })
+            .map(|a| morsel_core::ChunkMeta {
+                node: a.node(),
+                rows: a.rows(),
+            })
             .collect()
     }
 }
@@ -122,8 +129,15 @@ impl PipelineJob for LocalSortJob {
         let n = batch.rows();
         ctx.read(area.node(), batch.total_bytes());
         // n log n comparisons.
-        let cmps = if n > 1 { n as f64 * (n as f64).log2() } else { 0.0 };
-        ctx.cpu(1, cmps * weights::SORT_CMP_NS * self.keys.len().max(1) as f64);
+        let cmps = if n > 1 {
+            n as f64 * (n as f64).log2()
+        } else {
+            0.0
+        };
+        ctx.cpu(
+            1,
+            cmps * weights::SORT_CMP_NS * self.keys.len().max(1) as f64,
+        );
         let sorted = sort_batch(batch, &self.keys);
         ctx.write(ctx.socket, sorted.total_bytes());
         *self.sorted[morsel.chunk].lock() = Some(sorted);
@@ -135,11 +149,16 @@ impl PipelineJob for LocalSortJob {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                (self.input.area(i).node(), s.lock().take().expect("area not sorted"))
+                (
+                    self.input.area(i).node(),
+                    s.lock().take().expect("area not sorted"),
+                )
             })
             .collect();
-        *self.out.lock() =
-            Some(Arc::new(SortedRuns { runs, keys: self.keys.clone() }));
+        *self.out.lock() = Some(Arc::new(SortedRuns {
+            runs,
+            keys: self.keys.clone(),
+        }));
     }
 }
 
@@ -206,11 +225,18 @@ impl MergePlan {
             cuts.push(n);
             bounds.push(cuts);
         }
-        MergePlan { runs, bounds, segments }
+        MergePlan {
+            runs,
+            bounds,
+            segments,
+        }
     }
 
     pub fn segment_rows(&self, seg: usize) -> usize {
-        self.bounds.iter().map(|cuts| cuts[seg + 1] - cuts[seg]).sum()
+        self.bounds
+            .iter()
+            .map(|cuts| cuts[seg + 1] - cuts[seg])
+            .sum()
     }
 }
 
@@ -273,7 +299,10 @@ impl PipelineJob for MergeJob {
             let (node, run) = &runs.runs[r];
             ctx.read(*node, run.byte_size(lo, hi));
         }
-        ctx.cpu(total as u64, weights::MERGE_NS * (cursors.len().max(2) as f64).log2());
+        ctx.cpu(
+            total as u64,
+            weights::MERGE_NS * (cursors.len().max(2) as f64).log2(),
+        );
 
         let types = self.schema.data_types();
         let mut out = Batch::empty(&types);
@@ -322,8 +351,9 @@ impl PipelineJob for MergeJob {
         if let Some(result) = &self.result {
             *result.lock() = Some(final_batch);
         }
-        *self.out.lock() =
-            Some(Arc::new(AreaSet::new(self.schema.clone(), areas).prune_empty()));
+        *self.out.lock() = Some(Arc::new(
+            AreaSet::new(self.schema.clone(), areas).prune_empty(),
+        ));
     }
 }
 
@@ -353,7 +383,9 @@ impl TopKSink {
             keys,
             k,
             schema,
-            workers: (0..workers).map(|_| Mutex::new(Batch::empty(&types))).collect(),
+            workers: (0..workers)
+                .map(|_| Mutex::new(Batch::empty(&types)))
+                .collect(),
             result,
             out,
         }
@@ -403,8 +435,9 @@ impl Sink for TopKSink {
         if let Some(result) = &self.result {
             *result.lock() = Some(final_batch);
         }
-        *self.out.lock() =
-            Some(Arc::new(AreaSet::new(self.schema.clone(), vec![area]).prune_empty()));
+        *self.out.lock() = Some(Arc::new(
+            AreaSet::new(self.schema.clone(), vec![area]).prune_empty(),
+        ));
     }
 }
 
@@ -423,9 +456,21 @@ pub fn sort_area_set(
     let mut ctx = TaskContext::new(env, 0);
     for (i, a) in input.areas().iter().enumerate() {
         if a.rows() > 0 {
-            local.run_morsel(&mut ctx, Morsel { chunk: i, range: 0..a.rows() });
+            local.run_morsel(
+                &mut ctx,
+                Morsel {
+                    chunk: i,
+                    range: 0..a.rows(),
+                },
+            );
         } else {
-            local.run_morsel(&mut ctx, Morsel { chunk: i, range: 0..0 });
+            local.run_morsel(
+                &mut ctx,
+                Morsel {
+                    chunk: i,
+                    range: 0..0,
+                },
+            );
         }
     }
     local.finish(&mut ctx);
@@ -436,7 +481,13 @@ pub fn sort_area_set(
     let schema = input.schema().clone();
     let merge = MergeJob::new(Arc::clone(&plan), schema, out, Some(result.clone()), limit);
     for seg in 0..plan.segments {
-        merge.run_morsel(&mut ctx, Morsel { chunk: seg, range: 0..plan.segment_rows(seg).max(1) });
+        merge.run_morsel(
+            &mut ctx,
+            Morsel {
+                chunk: seg,
+                range: 0..plan.segment_rows(seg).max(1),
+            },
+        );
     }
     merge.finish(&mut ctx);
     let batch = result.lock().take().unwrap();
@@ -471,7 +522,8 @@ mod tests {
             .enumerate()
             .map(|(i, v)| {
                 let mut a = StorageArea::new(SocketId((i % 4) as u16), &schema.data_types());
-                a.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(v)]));
+                a.data_mut()
+                    .extend_from(&Batch::from_columns(vec![Column::I64(v)]));
                 a
             })
             .collect();
@@ -487,7 +539,10 @@ mod tests {
         let keys = vec![SortKey::asc(0), SortKey::desc(1)];
         let s = sort_batch(&b, &keys);
         assert_eq!(s.column(0).as_i64(), &[1, 1, 2, 3]);
-        assert_eq!(s.column(1).as_str(), &["b".to_owned(), "a".into(), "a".into(), "c".into()]);
+        assert_eq!(
+            s.column(1).as_str(),
+            &["b".to_owned(), "a".into(), "a".into(), "c".into()]
+        );
         assert!(is_sorted(&s, &keys));
     }
 
@@ -497,7 +552,9 @@ mod tests {
         let mut all: Vec<i64> = Vec::new();
         let chunks: Vec<Vec<i64>> = (0..4)
             .map(|c| {
-                let v: Vec<i64> = (0..1000).map(|i| ((i * 37 + c * 13) % 500) as i64).collect();
+                let v: Vec<i64> = (0..1000)
+                    .map(|i| ((i * 37 + c * 13) % 500) as i64)
+                    .collect();
                 all.extend(&v);
                 v
             })
@@ -524,7 +581,10 @@ mod tests {
         let env = env();
         let input = area_set_of(vec![(0..1000).collect(), (1000..2000).collect()]);
         let out = sort_area_set(input, vec![SortKey::asc(0)], 8, &env, None);
-        assert_eq!(out.column(0).as_i64(), (0..2000).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            out.column(0).as_i64(),
+            (0..2000).collect::<Vec<_>>().as_slice()
+        );
     }
 
     #[test]
@@ -539,8 +599,20 @@ mod tests {
     fn merge_plan_covers_all_rows_disjointly() {
         let runs = Arc::new(SortedRuns {
             runs: vec![
-                (SocketId(0), sort_batch(&Batch::from_columns(vec![Column::I64(vec![1, 5, 9, 12])]), &[SortKey::asc(0)])),
-                (SocketId(1), sort_batch(&Batch::from_columns(vec![Column::I64(vec![2, 3, 4, 20])]), &[SortKey::asc(0)])),
+                (
+                    SocketId(0),
+                    sort_batch(
+                        &Batch::from_columns(vec![Column::I64(vec![1, 5, 9, 12])]),
+                        &[SortKey::asc(0)],
+                    ),
+                ),
+                (
+                    SocketId(1),
+                    sort_batch(
+                        &Batch::from_columns(vec![Column::I64(vec![2, 3, 4, 20])]),
+                        &[SortKey::asc(0)],
+                    ),
+                ),
             ],
             keys: vec![SortKey::asc(0)],
         });
@@ -571,9 +643,18 @@ mod tests {
         );
         let mut ctx0 = TaskContext::new(&env, 0);
         let mut ctx1 = TaskContext::new(&env, 1);
-        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![9, 2, 7])])));
-        sink.consume(&mut ctx1, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 8, 3])])));
-        sink.consume(&mut ctx0, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![4])])));
+        sink.consume(
+            &mut ctx0,
+            SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![9, 2, 7])])),
+        );
+        sink.consume(
+            &mut ctx1,
+            SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 8, 3])])),
+        );
+        sink.consume(
+            &mut ctx0,
+            SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![4])])),
+        );
         sink.finish(&mut ctx0);
         let b = result.lock().take().unwrap();
         assert_eq!(b.column(0).as_i64(), &[1, 2, 3]);
@@ -585,9 +666,19 @@ mod tests {
         let schema = Schema::new(vec![("k", DataType::I64)]);
         let out = crate::sink::area_slot();
         let result = morsel_core::result_slot();
-        let sink = TopKSink::new(vec![SortKey::desc(0)], 10, schema, 1, out, Some(result.clone()));
+        let sink = TopKSink::new(
+            vec![SortKey::desc(0)],
+            10,
+            schema,
+            1,
+            out,
+            Some(result.clone()),
+        );
         let mut ctx = TaskContext::new(&env, 0);
-        sink.consume(&mut ctx, SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2])])));
+        sink.consume(
+            &mut ctx,
+            SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2])])),
+        );
         sink.finish(&mut ctx);
         assert_eq!(result.lock().take().unwrap().column(0).as_i64(), &[2, 1]);
     }

@@ -22,7 +22,10 @@ impl InputSource for Relation {
     fn chunk_meta(&self) -> Vec<ChunkMeta> {
         self.partitions()
             .iter()
-            .map(|p| ChunkMeta { node: p.node, rows: p.data.rows() })
+            .map(|p| ChunkMeta {
+                node: p.node,
+                rows: p.data.rows(),
+            })
             .collect()
     }
 
@@ -42,7 +45,13 @@ impl InputSource for AreaSet {
     }
 
     fn chunk_meta(&self) -> Vec<ChunkMeta> {
-        self.areas().iter().map(|a| ChunkMeta { node: a.node(), rows: a.rows() }).collect()
+        self.areas()
+            .iter()
+            .map(|a| ChunkMeta {
+                node: a.node(),
+                rows: a.rows(),
+            })
+            .collect()
     }
 
     fn types(&self) -> Vec<DataType> {
@@ -86,7 +95,8 @@ mod tests {
     #[test]
     fn area_set_source() {
         let mut a0 = StorageArea::new(SocketId(2), &[DataType::I64]);
-        a0.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(vec![1, 2])]));
+        a0.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64(vec![1, 2])]));
         let set = AreaSet::new(Schema::new(vec![("x", DataType::I64)]), vec![a0]);
         let meta = set.chunk_meta();
         assert_eq!(meta.len(), 1);

@@ -102,7 +102,10 @@ impl SystemVariant {
         if self.static_division {
             // HyPer's own static emulation keeps NUMA alignment; the
             // Volcano baseline is NUMA-oblivious throughout.
-            SchedulingMode::Static { workers, align: self.numa_aware_scheduling || self.exchange_ns == 0.0 }
+            SchedulingMode::Static {
+                workers,
+                align: self.numa_aware_scheduling || self.exchange_ns == 0.0,
+            }
         } else if self.numa_aware_scheduling {
             SchedulingMode::NumaAware
         } else {
@@ -112,7 +115,12 @@ impl SystemVariant {
 
     /// All four variants, in the paper's plotting order.
     pub fn all() -> Vec<SystemVariant> {
-        vec![Self::full(), Self::not_numa_aware(), Self::non_adaptive(), Self::volcano()]
+        vec![
+            Self::full(),
+            Self::not_numa_aware(),
+            Self::non_adaptive(),
+            Self::volcano(),
+        ]
     }
 }
 
@@ -123,8 +131,17 @@ mod tests {
     #[test]
     fn modes() {
         assert_eq!(SystemVariant::full().mode(8), SchedulingMode::NumaAware);
-        assert_eq!(SystemVariant::not_numa_aware().mode(8), SchedulingMode::NumaOblivious);
-        assert_eq!(SystemVariant::volcano().mode(8), SchedulingMode::Static { workers: 8, align: false });
+        assert_eq!(
+            SystemVariant::not_numa_aware().mode(8),
+            SchedulingMode::NumaOblivious
+        );
+        assert_eq!(
+            SystemVariant::volcano().mode(8),
+            SchedulingMode::Static {
+                workers: 8,
+                align: false
+            }
+        );
     }
 
     #[test]

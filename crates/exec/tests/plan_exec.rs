@@ -19,12 +19,16 @@ use morsel_storage::{Batch, Column, DataType, PartitionBy, Relation, Schema};
 /// The paper's running example: R(a, b, z) ⋈_a S(a, b, c) ⋈_b T(b, c).
 fn relation_r(n: i64, topo: &Topology) -> Arc<Relation> {
     let data = Batch::from_columns(vec![
-        Column::I64((0..n).map(|i| i % 100).collect()),      // a: join key to S
+        Column::I64((0..n).map(|i| i % 100).collect()), // a: join key to S
         Column::I64((0..n).map(|i| (i * 7) % 50).collect()), // b: join key to T
-        Column::I64((0..n).collect()),                       // z: payload
+        Column::I64((0..n).collect()),                  // z: payload
     ]);
     Arc::new(Relation::partitioned(
-        Schema::new(vec![("a", DataType::I64), ("b", DataType::I64), ("z", DataType::I64)]),
+        Schema::new(vec![
+            ("a", DataType::I64),
+            ("b", DataType::I64),
+            ("z", DataType::I64),
+        ]),
         &data,
         PartitionBy::Hash { column: 0 },
         16,
@@ -159,7 +163,11 @@ fn results_invariant_under_scheduling() {
     for workers in [1, 7, 64] {
         for morsel in [128, 100_000] {
             let out = run_sim(three_way_plan(&topo, n), workers, morsel);
-            assert_eq!(out.column(0).as_i64(), &[sum], "workers={workers} morsel={morsel}");
+            assert_eq!(
+                out.column(0).as_i64(),
+                &[sum],
+                "workers={workers} morsel={morsel}"
+            );
             assert_eq!(out.column(1).as_i64(), &[cnt]);
         }
     }
@@ -180,7 +188,10 @@ fn grouped_aggregation_and_sort() {
     let topo = Topology::nehalem_ex();
     let r = relation_r(10_000, &topo);
     let plan = Plan::scan(r, None, &["a", "z"])
-        .agg(&["a"], vec![("cnt", AggFn::Count), ("sum_z", AggFn::SumI64(1))])
+        .agg(
+            &["a"],
+            vec![("cnt", AggFn::Count), ("sum_z", AggFn::SumI64(1))],
+        )
         .sort_by(vec![SortKey::desc(2)], None);
     let out = run_sim(plan, 16, 1024);
     assert_eq!(out.rows(), 100);
@@ -221,7 +232,11 @@ fn semi_anti_count_joins_in_plans() {
     assert_eq!(out.column(0).as_i64(), &[expect]);
 
     // Anti: complement.
-    let s_small = Plan::scan_project(s.clone(), Some(expr::lt(col(0), lit(10))), vec![("sa", col(0))]);
+    let s_small = Plan::scan_project(
+        s.clone(),
+        Some(expr::lt(col(0), lit(10))),
+        vec![("sa", col(0))],
+    );
     let plan = Plan::scan(r.clone(), None, &["a", "z"])
         .join_kind(s_small, &["a"], &["sa"], &[], JoinKind::Anti)
         .agg(&[], vec![("cnt", AggFn::Count)]);
@@ -233,7 +248,10 @@ fn semi_anti_count_joins_in_plans() {
     let s_all = Plan::scan(s, None, &["sa"]);
     let plan = Plan::scan(r, None, &["a", "z"])
         .join_kind(s_all, &["a"], &["sa"], &[], JoinKind::Count)
-        .agg(&[], vec![("total_matches", AggFn::SumI64(2)), ("rows", AggFn::Count)]);
+        .agg(
+            &[],
+            vec![("total_matches", AggFn::SumI64(2)), ("rows", AggFn::Count)],
+        );
     let out = run_sim(plan, 8, 256);
     assert_eq!(out.column(0).as_i64(), &[1_000]);
     assert_eq!(out.column(1).as_i64(), &[1_000]);
@@ -264,5 +282,9 @@ fn per_query_traffic_is_recorded() {
     let traffic = report.handle("q").traffic();
     assert!(traffic.total_read() >= 50_000 * 8);
     // NUMA-aware scan: the vast majority of reads are local.
-    assert!(traffic.remote_fraction() < 0.3, "remote {}", traffic.remote_fraction());
+    assert!(
+        traffic.remote_fraction() < 0.3,
+        "remote {}",
+        traffic.remote_fraction()
+    );
 }

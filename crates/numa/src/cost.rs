@@ -100,14 +100,22 @@ impl CostModel {
     /// `hops` away, with `node_streams` concurrent streams on that memory
     /// node and `link_streams` concurrent streams on the bottleneck link.
     pub fn stream_rate(&self, hops: u8, node_streams: u32, link_streams: u32) -> f64 {
-        let efficiency = if hops > 0 { self.remote_node_efficiency } else { 1.0 };
+        let efficiency = if hops > 0 {
+            self.remote_node_efficiency
+        } else {
+            1.0
+        };
         let node_share = self.node_bw * efficiency / node_streams.max(1) as f64;
         let mut rate = self.per_core_bw.min(node_share);
         if hops > 0 {
             let link_share = self.link_bw / link_streams.max(1) as f64;
             // A 2-hop path is limited by each of its two links; model as a
             // single link of half the effective bandwidth.
-            let path = if hops >= 2 { link_share / 2.0 } else { link_share };
+            let path = if hops >= 2 {
+                link_share / 2.0
+            } else {
+                link_share
+            };
             rate = rate.min(path);
         }
         rate
@@ -260,7 +268,10 @@ mod tests {
 
     #[test]
     fn topology_dispatch() {
-        assert_eq!(CostModel::for_topology(&Topology::nehalem_ex()).node_bw, 23.25);
+        assert_eq!(
+            CostModel::for_topology(&Topology::nehalem_ex()).node_bw,
+            23.25
+        );
         assert_eq!(CostModel::for_topology(&Topology::laptop()).node_bw, 40.0);
     }
 }

@@ -177,7 +177,11 @@ impl AccessCounters {
             read_remote: self.read_remote.load(Ordering::Relaxed),
             write_local: self.write_local.load(Ordering::Relaxed),
             write_remote: self.write_remote.load(Ordering::Relaxed),
-            link_bytes: self.link_bytes.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            link_bytes: self
+                .link_bytes
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -245,12 +249,18 @@ mod tests {
         assert_eq!(Placement::FirstTouch.node_for(7, s2, 4), s2);
         assert_eq!(Placement::Interleaved.node_for(6, s0, 4), SocketId(2));
         assert_eq!(Placement::OsDefault.node_for(3, s2, 4), SocketId(0));
-        assert_eq!(Placement::OnNode(SocketId(3)).node_for(9, s0, 4), SocketId(3));
+        assert_eq!(
+            Placement::OnNode(SocketId(3)).node_for(9, s0, 4),
+            SocketId(3)
+        );
     }
 
     #[test]
     fn interleaved_residency_stripes() {
-        let r = Residency::Interleaved { sockets: 4, stripe: 100 };
+        let r = Residency::Interleaved {
+            sockets: 4,
+            stripe: 100,
+        };
         assert_eq!(r.node_at(0), SocketId(0));
         assert_eq!(r.node_at(99), SocketId(0));
         assert_eq!(r.node_at(100), SocketId(1));
@@ -260,7 +270,10 @@ mod tests {
 
     #[test]
     fn split_bytes_covers_all_bytes() {
-        let r = Residency::Interleaved { sockets: 4, stripe: 100 };
+        let r = Residency::Interleaved {
+            sockets: 4,
+            stripe: 100,
+        };
         let split = r.split_bytes(50, 400, 4);
         assert_eq!(split.iter().sum::<u64>(), 400);
         // 50 bytes on node 0, 100 on node 1, 100 on node 2, 100 on node 3,

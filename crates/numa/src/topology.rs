@@ -48,7 +48,13 @@ impl Topology {
             assert_eq!(row.len(), sockets as usize, "hop matrix must be square");
             assert_eq!(row[i], 0, "diagonal of hop matrix must be zero");
         }
-        Topology { name, sockets, cores_per_socket, smt, hops }
+        Topology {
+            name,
+            sockets,
+            cores_per_socket,
+            smt,
+            hops,
+        }
     }
 
     /// Fully-connected topology where every remote socket is one hop away.

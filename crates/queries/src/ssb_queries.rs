@@ -51,19 +51,27 @@ pub fn q1_3(db: &SsbDb) -> Plan {
 
 /// Q2.x: revenue by year and brand for a part subset and supplier region.
 fn q2_template(db: &SsbDb, part_filter: expr::Expr, region: &str) -> Plan {
-    let parts = Plan::scan(db.part.clone(), Some(part_filter), &["p_partkey", "p_brand1"]);
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(part_filter),
+        &["p_partkey", "p_brand1"],
+    );
     let supp = Plan::scan(
         db.supplier.clone(),
         Some(eq(col(4), expr::lits(region))),
         &["s_suppkey"],
     );
     let dim = dates(db, None, &["d_datekey", "d_year"]);
-    Plan::scan(db.lineorder.clone(), None, &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
-        .join(parts, &["lo_partkey"], &["p_partkey"], &["p_brand1"])
-        .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], &[], JoinKind::Semi)
-        .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
-        .agg(&["d_year", "p_brand1"], vec![("revenue", AggFn::SumI64(3))])
-        .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None)
+    Plan::scan(
+        db.lineorder.clone(),
+        None,
+        &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"],
+    )
+    .join(parts, &["lo_partkey"], &["p_partkey"], &["p_brand1"])
+    .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], &[], JoinKind::Semi)
+    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
+    .agg(&["d_year", "p_brand1"], vec![("revenue", AggFn::SumI64(3))])
+    .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None)
 }
 
 pub fn q2_1(db: &SsbDb) -> Plan {
@@ -97,23 +105,33 @@ fn q3_template(
     let cust = Plan::scan_project(
         db.customer.clone(),
         Some(cust_filter),
-        vec![("c_custkey", col(0)), ("c_group", col_by_name_cust(cust_group))],
+        vec![
+            ("c_custkey", col(0)),
+            ("c_group", col_by_name_cust(cust_group)),
+        ],
     );
     let supp = Plan::scan_project(
         db.supplier.clone(),
         Some(supp_filter),
-        vec![("s_suppkey", col(0)), ("s_group", col_by_name_supp(supp_group))],
+        vec![
+            ("s_suppkey", col(0)),
+            ("s_group", col_by_name_supp(supp_group)),
+        ],
     );
     let dim = dates(db, date_filter, &["d_datekey", "d_year"]);
-    Plan::scan(db.lineorder.clone(), None, &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
-        .join(cust, &["lo_custkey"], &["c_custkey"], &["c_group"])
-        .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_group"])
-        .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
-        .agg(
-            &["c_group", "s_group", "d_year"],
-            vec![("revenue", AggFn::SumI64(3))],
-        )
-        .sort_by(vec![SortKey::asc(2), SortKey::desc(3)], None)
+    Plan::scan(
+        db.lineorder.clone(),
+        None,
+        &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"],
+    )
+    .join(cust, &["lo_custkey"], &["c_custkey"], &["c_group"])
+    .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_group"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
+    .agg(
+        &["c_group", "s_group", "d_year"],
+        vec![("revenue", AggFn::SumI64(3))],
+    )
+    .sort_by(vec![SortKey::asc(2), SortKey::desc(3)], None)
 }
 
 // Customer columns: 0 key, 1 name, 2 city, 3 nation, 4 region.
@@ -255,7 +273,10 @@ pub fn q4_2(db: &SsbDb) -> Plan {
         &["d_year", "s_nation", "p_category"],
         vec![("profit", AggFn::SumI64(4))],
     )
-    .sort_by(vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)], None)
+    .sort_by(
+        vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+        None,
+    )
 }
 
 fn in_str_i64_years() -> expr::Expr {
@@ -291,7 +312,10 @@ pub fn q4_3(db: &SsbDb) -> Plan {
         &["d_year", "s_city", "p_brand1"],
         vec![("profit", AggFn::SumI64(3))],
     )
-    .sort_by(vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)], None)
+    .sort_by(
+        vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+        None,
+    )
 }
 
 /// The 13 query ids in Table 3 order.
@@ -319,5 +343,7 @@ pub fn query(db: &SsbDb, id: &str) -> Plan {
 }
 
 pub fn all(db: &SsbDb) -> Vec<(String, Plan)> {
-    IDS.iter().map(|id| (format!("SSB Q{id}"), query(db, id))).collect()
+    IDS.iter()
+        .map(|id| (format!("SSB Q{id}"), query(db, id)))
+        .collect()
 }

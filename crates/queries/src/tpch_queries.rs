@@ -13,8 +13,8 @@
 use morsel_datagen::TpchDb;
 use morsel_exec::agg::AggFn;
 use morsel_exec::expr::{
-    self, add, and, between, case, col, div, eq, ge, gt, in_i64, in_str, le, like, lit, litf,
-    lt, mul, ne, not, or, prefix, sub, substr, to_f64, year_of, Expr,
+    self, add, and, between, case, col, div, eq, ge, gt, in_i64, in_str, le, like, lit, litf, lt,
+    mul, ne, not, or, prefix, sub, substr, to_f64, year_of, Expr,
 };
 use morsel_exec::join::JoinKind;
 use morsel_exec::plan::Plan;
@@ -28,10 +28,14 @@ fn d(y: i32, m: u32, day: u32) -> i64 {
 /// Append a computed column to a plan, keeping all existing columns.
 fn append(plan: Plan, name: &str, e: Expr) -> Plan {
     let s = plan.schema();
-    let mut project: Vec<(String, Expr)> =
-        (0..s.len()).map(|i| (s.name(i).to_owned(), col(i))).collect();
+    let mut project: Vec<(String, Expr)> = (0..s.len())
+        .map(|i| (s.name(i).to_owned(), col(i)))
+        .collect();
     project.push((name.to_owned(), e));
-    Plan::Map { input: Box::new(plan), project }
+    Plan::Map {
+        input: Box::new(plan),
+        project,
+    }
 }
 
 /// `revenue`-style expression: `price * (100 - disc) / 100` in cents.
@@ -53,7 +57,10 @@ pub fn q1(db: &TpchDb) -> Plan {
             ("disc_price", discounted(col(5), col(6))),
             (
                 "charge",
-                div(mul(discounted(col(5), col(6)), add(lit(100), col(7))), lit(100)),
+                div(
+                    mul(discounted(col(5), col(6)), add(lit(100), col(7))),
+                    lit(100),
+                ),
             ),
             ("l_discount", col(6)),
         ],
@@ -77,21 +84,33 @@ pub fn q1(db: &TpchDb) -> Plan {
 /// Q2: minimum cost supplier (EUROPE, size 15, %BRASS).
 pub fn q2(db: &TpchDb) -> Plan {
     // European suppliers with their nation name.
-    let eu_nations = Plan::scan(db.nation.clone(), None, &["n_nationkey", "n_name", "n_regionkey"])
-        .join(
-            Plan::scan(
-                db.region.clone(),
-                Some(eq(col(1), expr::lits("EUROPE"))),
-                &["r_regionkey"],
-            ),
-            &["n_regionkey"],
+    let eu_nations = Plan::scan(
+        db.nation.clone(),
+        None,
+        &["n_nationkey", "n_name", "n_regionkey"],
+    )
+    .join(
+        Plan::scan(
+            db.region.clone(),
+            Some(eq(col(1), expr::lits("EUROPE"))),
             &["r_regionkey"],
-            &[],
-        );
+        ),
+        &["n_regionkey"],
+        &["r_regionkey"],
+        &[],
+    );
     let eu_supp = Plan::scan(
         db.supplier.clone(),
         None,
-        &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+        &[
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_nationkey",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+        ],
     )
     .join(eu_nations, &["s_nationkey"], &["n_nationkey"], &["n_name"]);
 
@@ -112,7 +131,14 @@ pub fn q2(db: &TpchDb) -> Plan {
         eu_supp,
         &["ps_suppkey"],
         &["s_suppkey"],
-        &["s_name", "s_address", "s_phone", "s_acctbal", "s_comment", "n_name"],
+        &[
+            "s_name",
+            "s_address",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+            "n_name",
+        ],
     )
     .join(parts, &["ps_partkey"], &["p_partkey"], &["p_mfgr"]);
 
@@ -133,14 +159,23 @@ pub fn q2(db: &TpchDb) -> Plan {
         &["n_nationkey"],
         &[],
     );
-    let min_cost = Plan::scan(db.partsupp.clone(), None, &["ps_partkey", "ps_suppkey", "ps_supplycost"])
-        .join(eu_supp2, &["ps_suppkey"], &["s_suppkey"], &[])
-        .agg(&["ps_partkey"], vec![("min_cost", AggFn::MinI64(2))]);
+    let min_cost = Plan::scan(
+        db.partsupp.clone(),
+        None,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )
+    .join(eu_supp2, &["ps_suppkey"], &["s_suppkey"], &[])
+    .agg(&["ps_partkey"], vec![("min_cost", AggFn::MinI64(2))]);
 
     ps.join(min_cost, &["ps_partkey"], &["ps_partkey"], &["min_cost"])
         .filter(eq(col(2), col(10))) // ps_supplycost == min_cost
         .sort_by(
-            vec![SortKey::desc(6), SortKey::asc(8), SortKey::asc(3), SortKey::asc(0)],
+            vec![
+                SortKey::desc(6),
+                SortKey::asc(8),
+                SortKey::asc(3),
+                SortKey::asc(0),
+            ],
             Some(100),
         )
 }
@@ -161,9 +196,17 @@ pub fn q3(db: &TpchDb) -> Plan {
     Plan::scan_project(
         db.lineitem.clone(),
         Some(gt(col(10), lit(d(1995, 3, 15)))),
-        vec![("l_orderkey", col(0)), ("revenue", discounted(col(5), col(6)))],
+        vec![
+            ("l_orderkey", col(0)),
+            ("revenue", discounted(col(5), col(6))),
+        ],
     )
-    .join(orders, &["l_orderkey"], &["o_orderkey"], &["o_orderdate", "o_shippriority"])
+    .join(
+        orders,
+        &["l_orderkey"],
+        &["o_orderkey"],
+        &["o_orderdate", "o_shippriority"],
+    )
     .agg(
         &["l_orderkey", "o_orderdate", "o_shippriority"],
         vec![("revenue", AggFn::SumI64(1))],
@@ -183,22 +226,40 @@ pub fn q4(db: &TpchDb) -> Plan {
         Some(between(col(4), d(1993, 7, 1), d(1993, 10, 1) - 1)),
         &["o_orderkey", "o_orderpriority"],
     )
-    .join_kind(late_lines, &["o_orderkey"], &["l_orderkey"], &[], JoinKind::Semi)
+    .join_kind(
+        late_lines,
+        &["o_orderkey"],
+        &["l_orderkey"],
+        &[],
+        JoinKind::Semi,
+    )
     .agg(&["o_orderpriority"], vec![("order_count", AggFn::Count)])
     .sort_by(vec![SortKey::asc(0)], None)
 }
 
 /// Q5: local supplier volume (ASIA 1994).
 pub fn q5(db: &TpchDb) -> Plan {
-    let asia_nations = Plan::scan(db.nation.clone(), None, &["n_nationkey", "n_name", "n_regionkey"])
-        .join(
-            Plan::scan(db.region.clone(), Some(eq(col(1), expr::lits("ASIA"))), &["r_regionkey"]),
-            &["n_regionkey"],
+    let asia_nations = Plan::scan(
+        db.nation.clone(),
+        None,
+        &["n_nationkey", "n_name", "n_regionkey"],
+    )
+    .join(
+        Plan::scan(
+            db.region.clone(),
+            Some(eq(col(1), expr::lits("ASIA"))),
             &["r_regionkey"],
-            &[],
-        );
-    let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"])
-        .join(asia_nations, &["s_nationkey"], &["n_nationkey"], &["n_name"]);
+        ),
+        &["n_regionkey"],
+        &["r_regionkey"],
+        &[],
+    );
+    let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
+        asia_nations,
+        &["s_nationkey"],
+        &["n_nationkey"],
+        &["n_name"],
+    );
     let cust = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_nationkey"]);
     let orders = Plan::scan(
         db.orders.clone(),
@@ -216,7 +277,12 @@ pub fn q5(db: &TpchDb) -> Plan {
         ],
     )
     .join(orders, &["l_orderkey"], &["o_orderkey"], &["c_nationkey"])
-    .join(supp, &["l_suppkey"], &["s_suppkey"], &["s_nationkey", "n_name"])
+    .join(
+        supp,
+        &["l_suppkey"],
+        &["s_suppkey"],
+        &["s_nationkey", "n_name"],
+    )
     .filter(eq(col(3), col(4))) // c_nationkey == s_nationkey
     .agg(&["n_name"], vec![("revenue", AggFn::SumI64(2))])
     .sort_by(vec![SortKey::desc(1)], None)
@@ -260,8 +326,12 @@ pub fn q7(db: &TpchDb) -> Plan {
         &["n2_key"],
         &["cust_nation"],
     );
-    let orders = Plan::scan(db.orders.clone(), None, &["o_orderkey", "o_custkey"])
-        .join(cust, &["o_custkey"], &["c_custkey"], &["cust_nation"]);
+    let orders = Plan::scan(db.orders.clone(), None, &["o_orderkey", "o_custkey"]).join(
+        cust,
+        &["o_custkey"],
+        &["c_custkey"],
+        &["cust_nation"],
+    );
     Plan::scan_project(
         db.lineitem.clone(),
         Some(between(col(10), d(1995, 1, 1), d(1996, 12, 31))),
@@ -288,7 +358,10 @@ pub fn q7(db: &TpchDb) -> Plan {
         &["supp_nation", "cust_nation", "l_year"],
         vec![("revenue", AggFn::SumI64(3))],
     )
-    .sort_by(vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)], None)
+    .sort_by(
+        vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+        None,
+    )
 }
 
 /// Q8: national market share (BRAZIL, AMERICA, ECONOMY ANODIZED STEEL).
@@ -299,7 +372,11 @@ pub fn q8(db: &TpchDb) -> Plan {
         &["p_partkey"],
     );
     let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
-        Plan::scan_project(db.nation.clone(), None, vec![("nkey", col(0)), ("supp_nation", col(1))]),
+        Plan::scan_project(
+            db.nation.clone(),
+            None,
+            vec![("nkey", col(0)), ("supp_nation", col(1))],
+        ),
         &["s_nationkey"],
         &["nkey"],
         &["supp_nation"],
@@ -353,21 +430,36 @@ pub fn q8(db: &TpchDb) -> Plan {
     )
     .map(vec![
         ("o_year", col(0)),
-        ("mkt_share", div(mul(to_f64(col(1)), litf(1.0)), to_f64(col(2)))),
+        (
+            "mkt_share",
+            div(mul(to_f64(col(1)), litf(1.0)), to_f64(col(2))),
+        ),
     ])
     .sort_by(vec![SortKey::asc(0)], None)
 }
 
 /// Q9: product type profit measure (%green%).
 pub fn q9(db: &TpchDb) -> Plan {
-    let parts = Plan::scan(db.part.clone(), Some(like(col(1), "%green%")), &["p_partkey"]);
+    let parts = Plan::scan(
+        db.part.clone(),
+        Some(like(col(1), "%green%")),
+        &["p_partkey"],
+    );
     let supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
-        Plan::scan_project(db.nation.clone(), None, vec![("nkey", col(0)), ("nation", col(1))]),
+        Plan::scan_project(
+            db.nation.clone(),
+            None,
+            vec![("nkey", col(0)), ("nation", col(1))],
+        ),
         &["s_nationkey"],
         &["nkey"],
         &["nation"],
     );
-    let ps = Plan::scan(db.partsupp.clone(), None, &["ps_partkey", "ps_suppkey", "ps_supplycost"]);
+    let ps = Plan::scan(
+        db.partsupp.clone(),
+        None,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    );
     let orders = Plan::scan(db.orders.clone(), None, &["o_orderkey", "o_orderdate"]);
 
     Plan::scan_project(
@@ -395,18 +487,32 @@ pub fn q9(db: &TpchDb) -> Plan {
         ("o_year", year_of(col(7))),
         ("amount", sub(col(4), mul(col(5), col(3)))),
     ])
-    .agg(&["nation", "o_year"], vec![("sum_profit", AggFn::SumI64(2))])
+    .agg(
+        &["nation", "o_year"],
+        vec![("sum_profit", AggFn::SumI64(2))],
+    )
     .sort_by(vec![SortKey::asc(0), SortKey::desc(1)], None)
 }
 
 /// Q10: returned item reporting (top 20 customers).
 pub fn q10(db: &TpchDb) -> Plan {
-    let nations =
-        Plan::scan_project(db.nation.clone(), None, vec![("nkey", col(0)), ("n_name", col(1))]);
+    let nations = Plan::scan_project(
+        db.nation.clone(),
+        None,
+        vec![("nkey", col(0)), ("n_name", col(1))],
+    );
     let cust = Plan::scan(
         db.customer.clone(),
         None,
-        &["c_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "c_nationkey"],
+        &[
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_address",
+            "c_comment",
+            "c_nationkey",
+        ],
     )
     .join(nations, &["c_nationkey"], &["nkey"], &["n_name"]);
     let orders = Plan::scan(
@@ -418,21 +524,47 @@ pub fn q10(db: &TpchDb) -> Plan {
         cust,
         &["o_custkey"],
         &["c_custkey"],
-        &["c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "n_name"],
+        &[
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_address",
+            "c_comment",
+            "n_name",
+        ],
     );
     Plan::scan_project(
         db.lineitem.clone(),
         Some(eq(col(8), expr::lits("R"))),
-        vec![("l_orderkey", col(0)), ("revenue", discounted(col(5), col(6)))],
+        vec![
+            ("l_orderkey", col(0)),
+            ("revenue", discounted(col(5), col(6))),
+        ],
     )
     .join(
         orders,
         &["l_orderkey"],
         &["o_orderkey"],
-        &["o_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "n_name"],
+        &[
+            "o_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_address",
+            "c_comment",
+            "n_name",
+        ],
     )
     .agg(
-        &["o_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"],
+        &[
+            "o_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "n_name",
+            "c_address",
+            "c_comment",
+        ],
         vec![("revenue", AggFn::SumI64(1))],
     )
     .sort_by(vec![SortKey::desc(7)], Some(20))
@@ -441,7 +573,11 @@ pub fn q10(db: &TpchDb) -> Plan {
 /// Q11: important stock identification (GERMANY).
 pub fn q11(db: &TpchDb) -> Plan {
     let german_supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
-        Plan::scan(db.nation.clone(), Some(eq(col(1), expr::lits("GERMANY"))), &["n_nationkey"]),
+        Plan::scan(
+            db.nation.clone(),
+            Some(eq(col(1), expr::lits("GERMANY"))),
+            &["n_nationkey"],
+        ),
         &["s_nationkey"],
         &["n_nationkey"],
         &[],
@@ -457,7 +593,11 @@ pub fn q11(db: &TpchDb) -> Plan {
 
     // Total value (scalar) broadcast back via a constant-key join.
     let german_supp2 = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_nationkey"]).join(
-        Plan::scan(db.nation.clone(), Some(eq(col(1), expr::lits("GERMANY"))), &["n_nationkey"]),
+        Plan::scan(
+            db.nation.clone(),
+            Some(eq(col(1), expr::lits("GERMANY"))),
+            &["n_nationkey"],
+        ),
         &["s_nationkey"],
         &["n_nationkey"],
         &[],
@@ -500,24 +640,19 @@ pub fn q12(db: &TpchDb) -> Plan {
             ("l_shipmode", col(2)),
             (
                 "high",
-                case(
-                    in_str(col(1), &["1-URGENT", "2-HIGH"]),
-                    lit(1),
-                    lit(0),
-                ),
+                case(in_str(col(1), &["1-URGENT", "2-HIGH"]), lit(1), lit(0)),
             ),
             (
                 "low",
-                case(
-                    in_str(col(1), &["1-URGENT", "2-HIGH"]),
-                    lit(0),
-                    lit(1),
-                ),
+                case(in_str(col(1), &["1-URGENT", "2-HIGH"]), lit(0), lit(1)),
             ),
         ])
         .agg(
             &["l_shipmode"],
-            vec![("high_line_count", AggFn::SumI64(1)), ("low_line_count", AggFn::SumI64(2))],
+            vec![
+                ("high_line_count", AggFn::SumI64(1)),
+                ("low_line_count", AggFn::SumI64(2)),
+            ],
         )
         .sort_by(vec![SortKey::asc(0)], None)
 }
@@ -552,7 +687,10 @@ pub fn q14(db: &TpchDb) -> Plan {
         ("rev", col(1)),
         ("promo_rev", case(prefix(col(2), "PROMO"), col(1), lit(0))),
     ])
-    .agg(&[], vec![("promo", AggFn::SumI64(1)), ("total", AggFn::SumI64(0))])
+    .agg(
+        &[],
+        vec![("promo", AggFn::SumI64(1)), ("total", AggFn::SumI64(0))],
+    )
     .map(vec![(
         "promo_revenue",
         div(mul(litf(100.0), to_f64(col(0))), to_f64(col(1))),
@@ -575,9 +713,13 @@ pub fn q15(db: &TpchDb) -> Plan {
     let best = append(revenue(db), "k", lit(0))
         .join(max_rev, &["k"], &["k"], &["max_rev"])
         .filter(eq(col(1), col(3)));
-    Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_name", "s_address", "s_phone"])
-        .join(best, &["s_suppkey"], &["l_suppkey"], &["total_revenue"])
-        .sort_by(vec![SortKey::asc(0)], None)
+    Plan::scan(
+        db.supplier.clone(),
+        None,
+        &["s_suppkey", "s_name", "s_address", "s_phone"],
+    )
+    .join(best, &["s_suppkey"], &["l_suppkey"], &["total_revenue"])
+    .sort_by(vec![SortKey::asc(0)], None)
 }
 
 /// Q16: parts/supplier relationship (anti join on complaints).
@@ -599,14 +741,30 @@ pub fn q16(db: &TpchDb) -> Plan {
         &["p_partkey", "p_brand", "p_type", "p_size"],
     );
     Plan::scan(db.partsupp.clone(), None, &["ps_partkey", "ps_suppkey"])
-        .join_kind(complainers, &["ps_suppkey"], &["bad_suppkey"], &[], JoinKind::Anti)
-        .join(parts, &["ps_partkey"], &["p_partkey"], &["p_brand", "p_type", "p_size"])
+        .join_kind(
+            complainers,
+            &["ps_suppkey"],
+            &["bad_suppkey"],
+            &[],
+            JoinKind::Anti,
+        )
+        .join(
+            parts,
+            &["ps_partkey"],
+            &["p_partkey"],
+            &["p_brand", "p_type", "p_size"],
+        )
         .agg(
             &["p_brand", "p_type", "p_size"],
             vec![("supplier_cnt", AggFn::CountDistinctI64(1))],
         )
         .sort_by(
-            vec![SortKey::desc(3), SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+            vec![
+                SortKey::desc(3),
+                SortKey::asc(0),
+                SortKey::asc(1),
+                SortKey::asc(2),
+            ],
             None,
         )
 }
@@ -676,10 +834,7 @@ pub fn q19(db: &TpchDb) -> Plan {
     let bracket = |brand: &str, containers: &[&str], qlo: i64, qhi: i64, smax: i64| {
         and(
             and(eq(col(3), expr::lits(brand)), in_str(col(4), containers)),
-            and(
-                between(col(1), qlo, qhi),
-                between(col(5), 1, smax),
-            ),
+            and(between(col(1), qlo, qhi), between(col(5), 1, smax)),
         )
     };
     Plan::scan_project(
@@ -694,21 +849,47 @@ pub fn q19(db: &TpchDb) -> Plan {
             ("rev", discounted(col(5), col(6))),
         ],
     )
-    .join(parts, &["l_partkey"], &["p_partkey"], &["p_brand", "p_container", "p_size"])
+    .join(
+        parts,
+        &["l_partkey"],
+        &["p_partkey"],
+        &["p_brand", "p_container", "p_size"],
+    )
     .filter(or(
         or(
-            bracket("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
-            bracket("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
+            bracket(
+                "Brand#12",
+                &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                1,
+                11,
+                5,
+            ),
+            bracket(
+                "Brand#23",
+                &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                10,
+                20,
+                10,
+            ),
         ),
-        bracket("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
+        bracket(
+            "Brand#34",
+            &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20,
+            30,
+            15,
+        ),
     ))
     .agg(&[], vec![("revenue", AggFn::SumI64(2))])
 }
 
 /// Q20: potential part promotion (forest%, CANADA, excess stock).
 pub fn q20(db: &TpchDb) -> Plan {
-    let forest_parts =
-        Plan::scan(db.part.clone(), Some(prefix(col(1), "forest")), &["p_partkey"]);
+    let forest_parts = Plan::scan(
+        db.part.clone(),
+        Some(prefix(col(1), "forest")),
+        &["p_partkey"],
+    );
     let shipped = Plan::scan_project(
         db.lineitem.clone(),
         Some(between(col(10), d(1994, 1, 1), d(1995, 1, 1) - 1)),
@@ -718,14 +899,23 @@ pub fn q20(db: &TpchDb) -> Plan {
             ("l_quantity", col(4)),
         ],
     )
-    .agg(&["l_partkey", "l_suppkey"], vec![("sum_qty", AggFn::SumI64(2))]);
+    .agg(
+        &["l_partkey", "l_suppkey"],
+        vec![("sum_qty", AggFn::SumI64(2))],
+    );
 
     let qualified_ps = Plan::scan(
         db.partsupp.clone(),
         None,
         &["ps_partkey", "ps_suppkey", "ps_availqty"],
     )
-    .join_kind(forest_parts, &["ps_partkey"], &["p_partkey"], &[], JoinKind::Semi)
+    .join_kind(
+        forest_parts,
+        &["ps_partkey"],
+        &["p_partkey"],
+        &[],
+        JoinKind::Semi,
+    )
     .join(
         shipped,
         &["ps_partkey", "ps_suppkey"],
@@ -735,11 +925,31 @@ pub fn q20(db: &TpchDb) -> Plan {
     .filter(gt(mul(col(2), lit(2)), col(3))) // availqty > 0.5 * sum_qty
     .map(vec![("q_suppkey", col(1))]);
 
-    let canada = Plan::scan(db.nation.clone(), Some(eq(col(1), expr::lits("CANADA"))), &["n_nationkey"]);
-    Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_name", "s_address", "s_nationkey"])
-        .join_kind(qualified_ps, &["s_suppkey"], &["q_suppkey"], &[], JoinKind::Semi)
-        .join_kind(canada, &["s_nationkey"], &["n_nationkey"], &[], JoinKind::Semi)
-        .sort_by(vec![SortKey::asc(1)], None)
+    let canada = Plan::scan(
+        db.nation.clone(),
+        Some(eq(col(1), expr::lits("CANADA"))),
+        &["n_nationkey"],
+    );
+    Plan::scan(
+        db.supplier.clone(),
+        None,
+        &["s_suppkey", "s_name", "s_address", "s_nationkey"],
+    )
+    .join_kind(
+        qualified_ps,
+        &["s_suppkey"],
+        &["q_suppkey"],
+        &[],
+        JoinKind::Semi,
+    )
+    .join_kind(
+        canada,
+        &["s_nationkey"],
+        &["n_nationkey"],
+        &[],
+        JoinKind::Semi,
+    )
+    .sort_by(vec![SortKey::asc(1)], None)
 }
 
 /// Q21: suppliers who kept orders waiting (SAUDI ARABIA).
@@ -750,7 +960,10 @@ pub fn q21(db: &TpchDb) -> Plan {
         None,
         vec![("l_orderkey", col(0)), ("l_suppkey", col(2))],
     )
-    .agg(&["l_orderkey"], vec![("n_supp", AggFn::CountDistinctI64(1))])
+    .agg(
+        &["l_orderkey"],
+        vec![("n_supp", AggFn::CountDistinctI64(1))],
+    )
     .filter(ge(col(1), lit(2)))
     .map(vec![("m_orderkey", col(0))]);
 
@@ -760,7 +973,10 @@ pub fn q21(db: &TpchDb) -> Plan {
         Some(gt(col(12), col(11))), // receipt > commit
         vec![("l_orderkey", col(0)), ("l_suppkey", col(2))],
     )
-    .agg(&["l_orderkey"], vec![("n_late_supp", AggFn::CountDistinctI64(1))])
+    .agg(
+        &["l_orderkey"],
+        vec![("n_late_supp", AggFn::CountDistinctI64(1))],
+    )
     .filter(eq(col(1), lit(1)))
     .map(vec![("s_orderkey", col(0))]);
 
@@ -769,26 +985,48 @@ pub fn q21(db: &TpchDb) -> Plan {
         Some(eq(col(2), expr::lits("F"))),
         vec![("fo_orderkey", col(0))],
     );
-    let saudi_supp = Plan::scan(db.supplier.clone(), None, &["s_suppkey", "s_name", "s_nationkey"])
-        .join(
-            Plan::scan(
-                db.nation.clone(),
-                Some(eq(col(1), expr::lits("SAUDI ARABIA"))),
-                &["n_nationkey"],
-            ),
-            &["s_nationkey"],
+    let saudi_supp = Plan::scan(
+        db.supplier.clone(),
+        None,
+        &["s_suppkey", "s_name", "s_nationkey"],
+    )
+    .join(
+        Plan::scan(
+            db.nation.clone(),
+            Some(eq(col(1), expr::lits("SAUDI ARABIA"))),
             &["n_nationkey"],
-            &[],
-        );
+        ),
+        &["s_nationkey"],
+        &["n_nationkey"],
+        &[],
+    );
 
     Plan::scan_project(
         db.lineitem.clone(),
         Some(gt(col(12), col(11))),
         vec![("l_orderkey", col(0)), ("l_suppkey", col(2))],
     )
-    .join_kind(multi_supp, &["l_orderkey"], &["m_orderkey"], &[], JoinKind::Semi)
-    .join_kind(single_late, &["l_orderkey"], &["s_orderkey"], &[], JoinKind::Semi)
-    .join_kind(f_orders, &["l_orderkey"], &["fo_orderkey"], &[], JoinKind::Semi)
+    .join_kind(
+        multi_supp,
+        &["l_orderkey"],
+        &["m_orderkey"],
+        &[],
+        JoinKind::Semi,
+    )
+    .join_kind(
+        single_late,
+        &["l_orderkey"],
+        &["s_orderkey"],
+        &[],
+        JoinKind::Semi,
+    )
+    .join_kind(
+        f_orders,
+        &["l_orderkey"],
+        &["fo_orderkey"],
+        &[],
+        JoinKind::Semi,
+    )
     .join(saudi_supp, &["l_suppkey"], &["s_suppkey"], &["s_name"])
     .agg(&["s_name"], vec![("numwait", AggFn::Count)])
     .sort_by(vec![SortKey::desc(1), SortKey::asc(0)], Some(100))
@@ -798,23 +1036,32 @@ pub fn q21(db: &TpchDb) -> Plan {
 /// balance).
 pub fn q22(db: &TpchDb) -> Plan {
     const CODES: [&str; 7] = ["13", "31", "23", "29", "30", "18", "17"];
-    let code_filter = |phone_col: usize| {
-        in_str(substr(col(phone_col), 1, 2), &CODES)
-    };
-    let avg_bal = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_phone", "c_acctbal"])
-        .filter(and(code_filter(1), gt(col(2), lit(0))))
-        .agg(&[], vec![("avg_bal", AggFn::AvgI64(2))])
-        .map(vec![("k", lit(0)), ("avg_bal", col(0))]);
+    let code_filter = |phone_col: usize| in_str(substr(col(phone_col), 1, 2), &CODES);
+    let avg_bal = Plan::scan(
+        db.customer.clone(),
+        None,
+        &["c_custkey", "c_phone", "c_acctbal"],
+    )
+    .filter(and(code_filter(1), gt(col(2), lit(0))))
+    .agg(&[], vec![("avg_bal", AggFn::AvgI64(2))])
+    .map(vec![("k", lit(0)), ("avg_bal", col(0))]);
 
     let orders = Plan::scan(db.orders.clone(), None, &["o_custkey"]);
-    let candidates = Plan::scan(db.customer.clone(), None, &["c_custkey", "c_phone", "c_acctbal"])
-        .filter(code_filter(1))
-        .join_kind(orders, &["c_custkey"], &["o_custkey"], &[], JoinKind::Anti);
+    let candidates = Plan::scan(
+        db.customer.clone(),
+        None,
+        &["c_custkey", "c_phone", "c_acctbal"],
+    )
+    .filter(code_filter(1))
+    .join_kind(orders, &["c_custkey"], &["o_custkey"], &[], JoinKind::Anti);
 
     append(candidates, "k", lit(0))
         .join(avg_bal, &["k"], &["k"], &["avg_bal"])
         .filter(gt(to_f64(col(2)), col(4)))
-        .map(vec![("cntrycode", substr(col(1), 1, 2)), ("c_acctbal", col(2))])
+        .map(vec![
+            ("cntrycode", substr(col(1), 1, 2)),
+            ("c_acctbal", col(2)),
+        ])
         .agg(
             &["cntrycode"],
             vec![("numcust", AggFn::Count), ("totacctbal", AggFn::SumI64(1))],
@@ -853,5 +1100,7 @@ pub fn query(db: &TpchDb, number: usize) -> Plan {
 
 /// All queries as (name, plan) pairs.
 pub fn all(db: &TpchDb) -> Vec<(String, Plan)> {
-    (1..=22).map(|q| (format!("TPC-H Q{q}"), query(db, q))).collect()
+    (1..=22)
+        .map(|q| (format!("TPC-H Q{q}"), query(db, q)))
+        .collect()
 }

@@ -25,7 +25,11 @@ fn batches_close(a: &Batch, b: &Batch) -> bool {
     for c in 0..a.width() {
         match (a.column(c), b.column(c)) {
             (morsel_storage::Column::F64(x), morsel_storage::Column::F64(y)) => {
-                if !x.iter().zip(y).all(|(p, q)| (p - q).abs() < 1e-6 * (1.0 + p.abs())) {
+                if !x
+                    .iter()
+                    .zip(y)
+                    .all(|(p, q)| (p - q).abs() < 1e-6 * (1.0 + p.abs()))
+                {
                     return false;
                 }
             }
@@ -43,7 +47,13 @@ fn batches_close(a: &Batch, b: &Batch) -> bool {
 fn all_tpch_queries_run_and_executors_agree() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    );
     for q in 1..=22 {
         let sim = run_sim(
             &env,
@@ -76,7 +86,13 @@ fn all_tpch_queries_run_and_executors_agree() {
 fn all_ssb_queries_run_and_executors_agree() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_ssb(SsbConfig { scale: 0.002, ..Default::default() }, &topo);
+    let db = generate_ssb(
+        SsbConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    );
     for id in ssb_queries::IDS {
         let sim = run_sim(
             &env,
@@ -105,7 +121,13 @@ fn all_ssb_queries_run_and_executors_agree() {
 fn tpch_variants_agree_on_results() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    );
     // A representative subset across operator shapes.
     for q in [1, 3, 6, 13, 18] {
         let reference = canonical(

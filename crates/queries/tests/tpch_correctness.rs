@@ -12,13 +12,26 @@ use morsel_storage::{date, Batch};
 
 fn db() -> (TpchDb, ExecEnv) {
     let topo = Topology::nehalem_ex();
-    let db = generate_tpch(TpchConfig { scale: 0.003, ..Default::default() }, &topo);
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.003,
+            ..Default::default()
+        },
+        &topo,
+    );
     (db, ExecEnv::new(topo))
 }
 
 fn run(db: &TpchDb, env: &ExecEnv, q: usize) -> Batch {
-    run_sim(env, &format!("q{q}"), tpch_queries::query(db, q), SystemVariant::full(), 16, 2048)
-        .result
+    run_sim(
+        env,
+        &format!("q{q}"),
+        tpch_queries::query(db, q),
+        SystemVariant::full(),
+        16,
+        2048,
+    )
+    .result
 }
 
 struct Lineitem {
@@ -92,7 +105,10 @@ fn q1_matches_reference() {
     }
     // Sorted by returnflag, linestatus.
     for i in 1..out.rows() {
-        let a = (&out.column(0).as_str()[i - 1], &out.column(1).as_str()[i - 1]);
+        let a = (
+            &out.column(0).as_str()[i - 1],
+            &out.column(1).as_str()[i - 1],
+        );
         let b = (&out.column(0).as_str()[i], &out.column(1).as_str()[i]);
         assert!(a <= b);
     }
@@ -201,7 +217,10 @@ fn q13_matches_reference() {
     }
     let mut dist: HashMap<i64, i64> = HashMap::new();
     for i in 0..c.rows() {
-        let n = orders_per_cust.get(&c.column(0).as_i64()[i]).copied().unwrap_or(0);
+        let n = orders_per_cust
+            .get(&c.column(0).as_i64()[i])
+            .copied()
+            .unwrap_or(0);
         *dist.entry(n).or_default() += 1;
     }
     assert_eq!(out.rows(), dist.len());
@@ -209,7 +228,11 @@ fn q13_matches_reference() {
     assert!(dist[&0] > 0);
     for i in 0..out.rows() {
         let c_count = out.column(0).as_i64()[i];
-        assert_eq!(out.column(1).as_i64()[i], dist[&c_count], "c_count {c_count}");
+        assert_eq!(
+            out.column(1).as_i64()[i],
+            dist[&c_count],
+            "c_count {c_count}"
+        );
     }
     // Sorted by custdist desc, c_count desc.
     for i in 1..out.rows() {
@@ -304,7 +327,11 @@ fn q22_matches_reference() {
     for i in 0..out.rows() {
         let code = &out.column(0).as_str()[i];
         assert_eq!(out.column(1).as_i64()[i], expect[code].0, "numcust {code}");
-        assert_eq!(out.column(2).as_i64()[i], expect[code].1, "totacctbal {code}");
+        assert_eq!(
+            out.column(2).as_i64()[i],
+            expect[code].1,
+            "totacctbal {code}"
+        );
     }
 }
 

@@ -24,7 +24,10 @@ pub struct StorageArea {
 
 impl StorageArea {
     pub fn new(node: SocketId, types: &[DataType]) -> Self {
-        StorageArea { node, data: Batch::empty(types) }
+        StorageArea {
+            node,
+            data: Batch::empty(types),
+        }
     }
 
     pub fn node(&self) -> SocketId {
@@ -59,7 +62,10 @@ impl AreaSet {
 
     /// An empty set (pipeline produced nothing).
     pub fn empty(schema: Schema) -> Self {
-        AreaSet { schema, areas: Vec::new() }
+        AreaSet {
+            schema,
+            areas: Vec::new(),
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -111,16 +117,19 @@ mod tests {
     fn area_append_and_tag() {
         let mut a = StorageArea::new(SocketId(2), &[DataType::I64]);
         assert_eq!(a.node(), SocketId(2));
-        a.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(vec![1, 2, 3])]));
+        a.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64(vec![1, 2, 3])]));
         assert_eq!(a.rows(), 3);
     }
 
     #[test]
     fn area_set_gather_concatenates_in_area_order() {
         let mut a0 = StorageArea::new(SocketId(0), &[DataType::I64]);
-        a0.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(vec![1, 2])]));
+        a0.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64(vec![1, 2])]));
         let mut a1 = StorageArea::new(SocketId(1), &[DataType::I64]);
-        a1.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(vec![3])]));
+        a1.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64(vec![3])]));
         let set = AreaSet::new(schema(), vec![a0, a1]);
         assert_eq!(set.total_rows(), 3);
         assert_eq!(set.gather().column(0).as_i64(), &[1, 2, 3]);
@@ -130,7 +139,8 @@ mod tests {
     fn prune_empty_removes_idle_workers() {
         let a0 = StorageArea::new(SocketId(0), &[DataType::I64]);
         let mut a1 = StorageArea::new(SocketId(1), &[DataType::I64]);
-        a1.data_mut().extend_from(&Batch::from_columns(vec![Column::I64(vec![3])]));
+        a1.data_mut()
+            .extend_from(&Batch::from_columns(vec![Column::I64(vec![3])]));
         let set = AreaSet::new(schema(), vec![a0, a1]).prune_empty();
         assert_eq!(set.areas().len(), 1);
         assert_eq!(set.area(0).node(), SocketId(1));

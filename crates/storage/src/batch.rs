@@ -13,7 +13,10 @@ pub struct Batch {
 impl Batch {
     /// An empty batch with columns of the given types.
     pub fn empty(types: &[DataType]) -> Self {
-        Batch { columns: types.iter().map(|&t| Column::empty(t)).collect(), rows: 0 }
+        Batch {
+            columns: types.iter().map(|&t| Column::empty(t)).collect(),
+            rows: 0,
+        }
     }
 
     /// Build a batch from columns.
@@ -106,7 +109,13 @@ impl Batch {
     /// Sort all rows by the given key extraction on row indices and return
     /// a reordered copy. Used by tests and the result comparator.
     pub fn reordered(&self, perm: &[u32]) -> Batch {
-        let mut out = Batch::empty(&self.columns.iter().map(Column::data_type).collect::<Vec<_>>());
+        let mut out = Batch::empty(
+            &self
+                .columns
+                .iter()
+                .map(Column::data_type)
+                .collect::<Vec<_>>(),
+        );
         out.extend_selected(self, perm);
         out
     }
@@ -123,7 +132,10 @@ impl Batch {
                 out
             })
             .collect();
-        Batch { columns: cols, rows: sel.len() }
+        Batch {
+            columns: cols,
+            rows: sel.len(),
+        }
     }
 }
 

@@ -106,7 +106,11 @@ impl Column {
             (Column::I32(c), Value::I32(x)) => c.push(x),
             (Column::F64(c), Value::F64(x)) => c.push(x),
             (Column::Str(c), Value::Str(x)) => c.push(x),
-            (c, v) => panic!("cannot push {:?} into {:?} column", v.data_type(), c.data_type()),
+            (c, v) => panic!(
+                "cannot push {:?} into {:?} column",
+                v.data_type(),
+                c.data_type()
+            ),
         }
     }
 
@@ -118,7 +122,11 @@ impl Column {
             (Column::F64(dst), Column::F64(s)) => dst.push(s[i]),
             (Column::Str(dst), Column::Str(s)) => dst.push(s[i].clone()),
             (dst, s) => {
-                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+                panic!(
+                    "column type mismatch: {:?} vs {:?}",
+                    dst.data_type(),
+                    s.data_type()
+                )
             }
         }
     }
@@ -134,7 +142,11 @@ impl Column {
                 dst.extend(sel.iter().map(|&i| s[i as usize].clone()))
             }
             (dst, s) => {
-                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+                panic!(
+                    "column type mismatch: {:?} vs {:?}",
+                    dst.data_type(),
+                    s.data_type()
+                )
             }
         }
     }
@@ -148,7 +160,11 @@ impl Column {
             (Column::F64(dst), Column::F64(s)) => dst.extend_from_slice(&s[from..to]),
             (Column::Str(dst), Column::Str(s)) => dst.extend_from_slice(&s[from..to]),
             (dst, s) => {
-                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+                panic!(
+                    "column type mismatch: {:?} vs {:?}",
+                    dst.data_type(),
+                    s.data_type()
+                )
             }
         }
     }
@@ -161,7 +177,11 @@ impl Column {
             (Column::F64(dst), Column::F64(s)) => dst.extend_from_slice(s),
             (Column::Str(dst), Column::Str(s)) => dst.extend_from_slice(s),
             (dst, s) => {
-                panic!("column type mismatch: {:?} vs {:?}", dst.data_type(), s.data_type())
+                panic!(
+                    "column type mismatch: {:?} vs {:?}",
+                    dst.data_type(),
+                    s.data_type()
+                )
             }
         }
     }

@@ -54,7 +54,10 @@ mod tests {
     fn distinct_inputs_differ() {
         assert_ne!(hash64(1), hash64(2));
         assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
-        assert_ne!(hash_combine(hash64(1), hash64(2)), hash_combine(hash64(2), hash64(1)));
+        assert_ne!(
+            hash_combine(hash64(1), hash64(2)),
+            hash_combine(hash64(2), hash64(1))
+        );
     }
 
     #[test]
@@ -66,7 +69,10 @@ mod tests {
             buckets[(hash64(k) >> 56) as usize] += 1;
         }
         let max = buckets.iter().copied().max().unwrap();
-        assert!(max < 20, "top-bit distribution too skewed: max bucket {max}");
+        assert!(
+            max < 20,
+            "top-bit distribution too skewed: max bucket {max}"
+        );
     }
 
     #[test]

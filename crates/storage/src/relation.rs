@@ -101,7 +101,13 @@ impl Relation {
 
     /// A single-partition relation on node 0 (for tests and tiny tables).
     pub fn single(schema: Schema, data: Batch) -> Self {
-        Relation { schema, partitions: vec![Partition { node: SocketId(0), data }] }
+        Relation {
+            schema,
+            partitions: vec![Partition {
+                node: SocketId(0),
+                data,
+            }],
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -137,7 +143,10 @@ impl Relation {
                 data: p.data.clone(),
             })
             .collect();
-        Relation { schema: self.schema.clone(), partitions }
+        Relation {
+            schema: self.schema.clone(),
+            partitions,
+        }
     }
 
     /// Concatenate all partitions back into one batch (tests/verification).
@@ -204,7 +213,10 @@ mod tests {
         let avg = 100.0;
         for p in r.partitions() {
             let n = p.data.rows() as f64;
-            assert!(n > avg * 0.5 && n < avg * 1.7, "partition size {n} too far from {avg}");
+            assert!(
+                n > avg * 0.5 && n < avg * 1.7,
+                "partition size {n} too far from {avg}"
+            );
         }
     }
 
@@ -222,7 +234,10 @@ mod tests {
         );
         assert_eq!(r.partition(0).data.column(0).as_i64(), &[0, 1, 2, 3]);
         assert_eq!(r.partition(2).data.column(0).as_i64(), &[8, 9]);
-        assert_eq!(r.gather().column(0).as_i64(), sample_batch(10).column(0).as_i64());
+        assert_eq!(
+            r.gather().column(0).as_i64(),
+            sample_batch(10).column(0).as_i64()
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl Schema {
         Schema {
             fields: fields
                 .into_iter()
-                .map(|(name, dtype)| Field { name: name.to_owned(), dtype })
+                .map(|(name, dtype)| Field {
+                    name: name.to_owned(),
+                    dtype,
+                })
                 .collect(),
         }
     }
@@ -63,7 +66,9 @@ impl Schema {
 
     /// Schema with a subset of columns, in the given order.
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema { fields: indices.iter().map(|&i| self.fields[i].clone()).collect() }
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
     }
 
     pub fn data_types(&self) -> Vec<DataType> {
@@ -76,7 +81,11 @@ mod tests {
     use super::*;
 
     fn sample() -> Schema {
-        Schema::new(vec![("a", DataType::I64), ("b", DataType::Str), ("c", DataType::F64)])
+        Schema::new(vec![
+            ("a", DataType::I64),
+            ("b", DataType::Str),
+            ("c", DataType::F64),
+        ])
     }
 
     #[test]

@@ -36,11 +36,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -66,7 +70,11 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_size: usize) -> Self {
-        Bencher { samples: Vec::new(), sample_size, warm_up_iters: 2 }
+        Bencher {
+            samples: Vec::new(),
+            sample_size,
+            warm_up_iters: 2,
+        }
     }
 
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
@@ -89,7 +97,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 10 }
+        Criterion {
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -102,7 +112,12 @@ impl Criterion {
 
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { _parent: self, name: name.into(), throughput: None, sample_size }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
     }
 
     pub fn bench_function<S: Into<BenchmarkId>, F>(&mut self, id: S, f: F) -> &mut Self
@@ -142,7 +157,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, &id.into().id, self.throughput, self.sample_size, f);
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.throughput,
+            self.sample_size,
+            f,
+        );
         self
     }
 
@@ -155,9 +176,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&self.name, &id.into().id, self.throughput, self.sample_size, |b| {
-            f(b, input)
-        });
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.throughput,
+            self.sample_size,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -173,7 +198,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
 ) {
     let mut b = Bencher::new(sample_size);
     f(&mut b);
-    let full = if group.is_empty() { id.to_owned() } else { format!("{group}/{id}") };
+    let full = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
     if b.samples.is_empty() {
         println!("bench {full}  (no samples: closure never called iter)");
         return;

@@ -17,17 +17,23 @@ pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
@@ -39,7 +45,9 @@ impl<T: ?Sized> Mutex<T> {
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -54,25 +62,35 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

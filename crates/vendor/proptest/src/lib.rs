@@ -119,7 +119,9 @@ pub fn any<T>() -> Any<T>
 where
     Any<T>: Strategy,
 {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 macro_rules! impl_any_int {
@@ -174,7 +176,9 @@ impl Strategy for &str {
             )
         });
         let len = lo + rng.below((hi - lo + 1) as u64) as usize;
-        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
     }
 }
 
@@ -314,7 +318,10 @@ mod tests {
     #[test]
     fn vec_and_tuple_strategies() {
         let mut rng = TestRng::for_case("t2", 1);
-        let v = Strategy::sample(&collection::vec((0i64..20, -100i64..100), 1..2_000), &mut rng);
+        let v = Strategy::sample(
+            &collection::vec((0i64..20, -100i64..100), 1..2_000),
+            &mut rng,
+        );
         assert!(!v.is_empty() && v.len() < 2_000);
         for (a, b) in v {
             assert!((0..20).contains(&a));

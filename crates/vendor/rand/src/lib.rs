@@ -47,7 +47,10 @@ pub trait Rng: RngCore {
     /// `true` with probability `numerator / denominator`.
     fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
         assert!(denominator > 0, "gen_ratio denominator must be positive");
-        assert!(numerator <= denominator, "gen_ratio numerator > denominator");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio numerator > denominator"
+        );
         uniform_u64(self, u64::from(denominator)) < u64::from(numerator)
     }
 }
@@ -143,10 +146,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -213,9 +213,15 @@ mod tests {
     fn gen_bool_and_ratio_are_calibrated() {
         let mut rng = StdRng::seed_from_u64(9);
         let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
-        assert!((23_000..27_000).contains(&hits), "gen_bool(0.25) hit {hits}/100000");
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "gen_bool(0.25) hit {hits}/100000"
+        );
         let hits = (0..100_000).filter(|_| rng.gen_ratio(1, 10)).count();
-        assert!((8_500..11_500).contains(&hits), "gen_ratio(1,10) hit {hits}/100000");
+        assert!(
+            (8_500..11_500).contains(&hits),
+            "gen_ratio(1,10) hit {hits}/100000"
+        );
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
     }

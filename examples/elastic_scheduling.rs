@@ -12,7 +12,13 @@ use morsel_repro::queries::tpch_queries;
 fn main() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_tpch(TpchConfig { scale: 0.003, ..Default::default() }, &topo);
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.003,
+            ..Default::default()
+        },
+        &topo,
+    );
     let workers = 4;
 
     // Measure the long query alone to time the arrival.
@@ -31,7 +37,11 @@ fn main() {
     let config = DispatchConfig::new(workers).with_morsel_size(2048);
     let mut sim = SimExecutor::new(env.clone(), config);
     sim.enable_trace();
-    let (q13, _) = compile_query("Q13-long", tpch_queries::query(&db, 13), SystemVariant::full());
+    let (q13, _) = compile_query(
+        "Q13-long",
+        tpch_queries::query(&db, 13),
+        SystemVariant::full(),
+    );
     let (q14, _) = compile_query(
         "Q14-interactive",
         tpch_queries::query(&db, 14),
@@ -56,7 +66,10 @@ fn main() {
         s14.elapsed_ns() as f64 / 1e6
     );
     println!("\nmorsel trace (A = Q13, B = Q14):");
-    print!("{}", morsel_repro::core::render_ascii(&report.trace, workers, 100));
+    print!(
+        "{}",
+        morsel_repro::core::render_ascii(&report.trace, workers, 100)
+    );
 
     // Cancellation: workers stop at the next morsel boundary.
     let mut sim = SimExecutor::new(env, DispatchConfig::new(workers).with_morsel_size(2048));

@@ -10,12 +10,14 @@ use std::sync::Arc;
 use morsel_repro::prelude::*;
 
 fn scan_time(env: &ExecEnv, rel: &Arc<Relation>, numa_aware: bool) -> (f64, f64) {
-    let plan = Plan::scan(rel.clone(), None, &["a"])
-        .agg(&[], vec![("sum", AggFn::SumI64(0))]);
+    let plan = Plan::scan(rel.clone(), None, &["a"]).agg(&[], vec![("sum", AggFn::SumI64(0))]);
     let variant = if numa_aware {
         SystemVariant::full()
     } else {
-        SystemVariant { numa_aware_scheduling: false, ..SystemVariant::full() }
+        SystemVariant {
+            numa_aware_scheduling: false,
+            ..SystemVariant::full()
+        }
     };
     let out = run_sim(env, "scan", plan, variant, 32, 16_384);
     (out.seconds() * 1e3, out.traffic.remote_fraction())
@@ -32,8 +34,10 @@ fn main() {
             topo.hardware_threads()
         );
         for a in topo.socket_ids() {
-            let hops: Vec<String> =
-                topo.socket_ids().map(|b| topo.hops(a, b).to_string()).collect();
+            let hops: Vec<String> = topo
+                .socket_ids()
+                .map(|b| topo.hops(a, b).to_string())
+                .collect();
             println!("   hops from socket {}: [{}]", a.0, hops.join(" "));
         }
         let m = CostModel::for_topology(&topo);
@@ -63,9 +67,18 @@ fn main() {
         let (t_blind, r_blind) = scan_time(&env, &spread, false);
         let (t_node0, r_node0) = scan_time(&env, &node0, true);
         println!("   sum(a) over {n} rows, 32 threads:");
-        println!("     NUMA-aware placement+scheduling: {t_aware:>7.3} ms  ({:.0}% remote)", r_aware * 100.0);
-        println!("     locality-blind scheduling:       {t_blind:>7.3} ms  ({:.0}% remote)", r_blind * 100.0);
-        println!("     all data on socket 0:            {t_node0:>7.3} ms  ({:.0}% remote)", r_node0 * 100.0);
+        println!(
+            "     NUMA-aware placement+scheduling: {t_aware:>7.3} ms  ({:.0}% remote)",
+            r_aware * 100.0
+        );
+        println!(
+            "     locality-blind scheduling:       {t_blind:>7.3} ms  ({:.0}% remote)",
+            r_blind * 100.0
+        );
+        println!(
+            "     all data on socket 0:            {t_node0:>7.3} ms  ({:.0}% remote)",
+            r_node0 * 100.0
+        );
         println!();
     }
 }

@@ -57,7 +57,10 @@ fn main() {
             &["r_id"],
             &["r_name"],
         )
-        .agg(&["r_name"], vec![("cnt", AggFn::Count), ("total", AggFn::SumI64(1))])
+        .agg(
+            &["r_name"],
+            vec![("cnt", AggFn::Count), ("total", AggFn::SumI64(1))],
+        )
         .sort_by(vec![SortKey::desc(2)], None);
 
     // 4. Execute on 64 virtual threads in the deterministic simulator.

@@ -13,7 +13,13 @@ fn main() {
     let env = ExecEnv::new(topo.clone());
     let scale = 0.005;
     println!("generating TPC-H SF {scale}...");
-    let db = generate_tpch(TpchConfig { scale, ..Default::default() }, &topo);
+    let db = generate_tpch(
+        TpchConfig {
+            scale,
+            ..Default::default()
+        },
+        &topo,
+    );
     println!(
         "  lineitem: {} rows, orders: {} rows, total {:.1} MB\n",
         db.lineitem.total_rows(),
@@ -65,7 +71,14 @@ fn main() {
     }
 
     // And for real: the threaded executor on this machine.
-    let wall = run_threaded(&env, "Q1", tpch_queries::query(&db, 1), SystemVariant::full(), 2, 8192);
+    let wall = run_threaded(
+        &env,
+        "Q1",
+        tpch_queries::query(&db, 1),
+        SystemVariant::full(),
+        2,
+        8192,
+    );
     println!(
         "\nQ1 on 2 real OS threads: {:.1} ms wall time, {} rows",
         wall.seconds() * 1e3,

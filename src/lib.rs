@@ -50,8 +50,8 @@ pub use morsel_storage as storage;
 /// Everything needed to build and run queries.
 pub mod prelude {
     pub use morsel_core::{
-        result_slot, DispatchConfig, ExecEnv, QueryHandle, QuerySpec, SchedulingMode,
-        SimExecutor, ThreadedExecutor, DEFAULT_MORSEL_SIZE,
+        result_slot, DispatchConfig, ExecEnv, QueryHandle, QuerySpec, SchedulingMode, SimExecutor,
+        ThreadedExecutor, DEFAULT_MORSEL_SIZE,
     };
     pub use morsel_datagen::{generate_ssb, generate_tpch, SsbConfig, TpchConfig};
     pub use morsel_exec::agg::AggFn;
@@ -62,7 +62,5 @@ pub mod prelude {
     pub use morsel_exec::SystemVariant;
     pub use morsel_numa::{CostModel, Placement, SocketId, Topology};
     pub use morsel_queries::{format_rows, run_sim, run_threaded};
-    pub use morsel_storage::{
-        date, Batch, Column, DataType, PartitionBy, Relation, Schema, Value,
-    };
+    pub use morsel_storage::{date, Batch, Column, DataType, PartitionBy, Relation, Schema, Value};
 }

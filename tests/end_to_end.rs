@@ -32,7 +32,10 @@ fn quickstart_flow_produces_correct_answer() {
     let n = 50_000i64;
     let sales = sales_relation(&topo, n);
     let plan = Plan::scan(sales, Some(ge(col(2), lit(100))), &["region_id", "amount"])
-        .agg(&["region_id"], vec![("cnt", AggFn::Count), ("total", AggFn::SumI64(1))])
+        .agg(
+            &["region_id"],
+            vec![("cnt", AggFn::Count), ("total", AggFn::SumI64(1))],
+        )
         .sort_by(vec![SortKey::asc(0)], None);
     let out = run_sim(&env, "q", plan, SystemVariant::full(), 64, 4096);
 
@@ -60,17 +63,18 @@ fn priority_elasticity_shortens_interactive_latency() {
     // than the same query at equal priority (the Section 3.1 scenario).
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    );
 
     let latency_with_priority = |prio: u32| -> u64 {
-        let mut sim = SimExecutor::new(
-            env.clone(),
-            DispatchConfig::new(8).with_morsel_size(1024),
-        );
-        let (long, _) =
-            compile_query("long", tpch_queries::query(&db, 13), SystemVariant::full());
-        let (short, _) =
-            compile_query("short", tpch_queries::query(&db, 6), SystemVariant::full());
+        let mut sim = SimExecutor::new(env.clone(), DispatchConfig::new(8).with_morsel_size(1024));
+        let (long, _) = compile_query("long", tpch_queries::query(&db, 13), SystemVariant::full());
+        let (short, _) = compile_query("short", tpch_queries::query(&db, 6), SystemVariant::full());
         sim.submit(long);
         sim.submit_at(1_000_000, short.with_priority(prio));
         let report = sim.run();
@@ -90,13 +94,21 @@ fn priority_elasticity_shortens_interactive_latency() {
 fn cancellation_frees_workers_for_other_queries() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
-    let mut sim =
-        SimExecutor::new(env, DispatchConfig::new(4).with_morsel_size(512));
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    );
+    let mut sim = SimExecutor::new(env, DispatchConfig::new(4).with_morsel_size(512));
     let (victim, victim_result) =
         compile_query("victim", tpch_queries::query(&db, 9), SystemVariant::full());
-    let (survivor, survivor_result) =
-        compile_query("survivor", tpch_queries::query(&db, 6), SystemVariant::full());
+    let (survivor, survivor_result) = compile_query(
+        "survivor",
+        tpch_queries::query(&db, 6),
+        SystemVariant::full(),
+    );
     sim.submit(victim);
     sim.submit(survivor);
     sim.cancel_at(10_000, "victim");
@@ -115,11 +127,33 @@ fn threaded_and_sim_agree_on_tpch_q5() {
     // cross-key filter); executor agreement here is a strong signal.
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let db = generate_tpch(TpchConfig { scale: 0.002, ..Default::default() }, &topo);
-    let sim = run_sim(&env, "q5", tpch_queries::query(&db, 5), SystemVariant::full(), 32, 1024);
-    let thr =
-        run_threaded(&env, "q5", tpch_queries::query(&db, 5), SystemVariant::full(), 4, 1024);
-    assert_eq!(sim.result, thr.result, "Q5 results diverge between executors");
+    let db = generate_tpch(
+        TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    );
+    let sim = run_sim(
+        &env,
+        "q5",
+        tpch_queries::query(&db, 5),
+        SystemVariant::full(),
+        32,
+        1024,
+    );
+    let thr = run_threaded(
+        &env,
+        "q5",
+        tpch_queries::query(&db, 5),
+        SystemVariant::full(),
+        4,
+        1024,
+    );
+    assert_eq!(
+        sim.result, thr.result,
+        "Q5 results diverge between executors"
+    );
 }
 
 #[test]
@@ -131,8 +165,7 @@ fn work_stealing_keeps_all_data_reachable() {
     let n = 100_000i64;
     let sales = sales_relation(&topo, n);
     let pinned = Arc::new(sales.with_placement(Placement::OsDefault, &topo));
-    let plan = Plan::scan(pinned, None, &["amount"])
-        .agg(&[], vec![("total", AggFn::SumI64(0))]);
+    let plan = Plan::scan(pinned, None, &["amount"]).agg(&[], vec![("total", AggFn::SumI64(0))]);
     let out = run_sim(&env, "q", plan, SystemVariant::full(), 32, 2048);
     let expect: i64 = (0..n).map(|x| (x * 37) % 10_000).sum();
     assert_eq!(out.result.column(0).as_i64(), &[expect]);

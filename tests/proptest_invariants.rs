@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use morsel_repro::core::{ChunkMeta, ExecEnv, MorselQueues, PipelineJob, SchedulingMode, TaskContext};
+use morsel_repro::core::{
+    ChunkMeta, ExecEnv, MorselQueues, PipelineJob, SchedulingMode, TaskContext,
+};
 use morsel_repro::exec::expr::LikePattern;
 use morsel_repro::exec::ht::TaggedHashTable;
 use morsel_repro::exec::join::{join_slot, HtInsertJob, ProbeOp};
