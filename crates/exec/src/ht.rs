@@ -69,7 +69,13 @@ impl TaggedHashTable {
         let shift = 64 - cap.trailing_zeros();
         let mut locs = Vec::with_capacity(n);
         for (area, &rows) in area_rows.iter().enumerate() {
-            assert!(rows < (1 << 40), "area too large for 40-bit row index");
+            // The loc word has room for 40-bit rows, but the batched
+            // probe's match lists store rows as u32 — enforce the tighter
+            // bound here (in release too) so they can never truncate.
+            assert!(
+                rows <= u32::MAX as usize,
+                "area too large for 32-bit row index"
+            );
             assert!(area < (1 << 8), "too many areas for 8-bit area index");
             for row in 0..rows {
                 locs.push(((area as u64) << 40) | row as u64);
