@@ -1,0 +1,77 @@
+//! Wall-clock service throughput: closed-loop clients pushing the
+//! `service_load` query rotation through the admission-controlled query
+//! service. One measurement = one full service lifetime (start, serve
+//! `clients × QUERIES_PER_CLIENT` queries, drain, shutdown), so the
+//! reported time includes admission, scheduling, and metric collection
+//! overheads — the serving analogue of `tpch_wall`. The workload builder
+//! (query mix and priority split) is shared with the `service_load`
+//! experiment so bench and experiment measure the same traffic shape.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morsel_bench::service_load::build_query;
+use morsel_core::{AgingPolicy, ExecEnv};
+use morsel_datagen::{generate_ssb, generate_tpch, SsbConfig, TpchConfig};
+use morsel_numa::Topology;
+use morsel_service::{run_closed_loop, QueryRequest, QueryService, ServiceConfig};
+use std::hint::black_box;
+
+const WORKERS: usize = 2;
+const QUERIES_PER_CLIENT: usize = 6;
+
+fn bench_service(c: &mut Criterion) {
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let tpch = Arc::new(generate_tpch(
+        TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    ));
+    let ssb = Arc::new(generate_ssb(
+        SsbConfig {
+            scale: 0.002,
+            ..Default::default()
+        },
+        &topo,
+    ));
+    let mut g = c.benchmark_group("service_throughput");
+    g.sample_size(10);
+    for clients in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements((clients * QUERIES_PER_CLIENT) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let service = QueryService::start(
+                        env.clone(),
+                        ServiceConfig::new(WORKERS)
+                            .with_morsel_size(4_096)
+                            .with_max_in_flight(WORKERS)
+                            .with_max_queue(4 * clients)
+                            .with_aging(AgingPolicy::every(
+                                Duration::from_millis(5).as_nanos() as u64
+                            )),
+                    );
+                    let tpch = Arc::clone(&tpch);
+                    let ssb = Arc::clone(&ssb);
+                    let reports =
+                        run_closed_loop(&service, clients, QUERIES_PER_CLIENT, move |cl, seq| {
+                            QueryRequest::new(build_query(&tpch, &ssb, cl, seq))
+                        });
+                    let summary = service.shutdown();
+                    assert_eq!(summary.completed as usize, reports.len());
+                    black_box(summary.completed)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

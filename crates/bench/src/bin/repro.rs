@@ -5,6 +5,7 @@
 //! repro [--scale SF] [--ssb-scale SF] [--workers N] [--morsel N] [--quick] <experiment>...
 //! experiments: fig6 fig11 table1 table2 table3 summary numa_placement
 //!              numa_micro fig12 fig13 interference all
+//! extras:      service_load (wall-clock serving scenario; not part of "all")
 //! ```
 
 use morsel_bench::experiments::{self, ExpConfig};
@@ -52,7 +53,8 @@ fn main() {
         eprintln!(
             "usage: repro [--scale SF] [--workers N] [--morsel N] [--quick] <experiment>...\n\
              experiments: fig6 fig11 table1 table2 table3 summary numa_placement\n\
-             \x20            numa_micro fig12 fig13 interference all"
+             \x20            numa_micro fig12 fig13 interference all\n\
+             extras: service_load (wall-clock serving scenario)"
         );
         std::process::exit(2);
     }
@@ -88,6 +90,7 @@ fn main() {
             "fig12" => experiments::fig12(&cfg),
             "fig13" => experiments::fig13(&cfg),
             "interference" => experiments::interference(&cfg),
+            "service_load" => morsel_bench::service_load(&cfg),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 std::process::exit(2);

@@ -2,11 +2,15 @@
 //!
 //! The experiment harness: one function per table/figure of the paper's
 //! evaluation (Section 5), each printing the same rows/series the paper
-//! reports. The `repro` binary dispatches to them; criterion benches under
-//! `benches/` cover the wall-clock micro-benchmarks (hash table tagging,
-//! morsel cut-out, operator ablations).
+//! reports, plus the [`service_load()`] serving experiment over
+//! `morsel-service`. The `repro` binary dispatches to them; criterion
+//! benches under `benches/` cover the wall-clock micro-benchmarks (hash
+//! table tagging, morsel cut-out, operator ablations, service
+//! throughput).
 
 pub mod experiments;
 pub mod report;
+pub mod service_load;
 
 pub use experiments::*;
+pub use service_load::service_load;

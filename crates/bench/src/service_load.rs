@@ -1,0 +1,165 @@
+//! The serving scenario: closed-loop clients driving the query service.
+//!
+//! Unlike the figure experiments (deterministic virtual time), this one
+//! measures the real `morsel-service` front end on OS threads: N
+//! closed-loop clients submit a mixed TPC-H/SSB query rotation through
+//! admission control, and the report shows completed/cancelled/rejected
+//! counts, aggregate throughput, and per-priority latency percentiles per
+//! client count. Numbers are wall-clock and host-dependent — the *shape*
+//! to look for is throughput saturating (not collapsing) as clients grow
+//! past the in-flight bound, with high-priority p50 staying well below
+//! low-priority p50.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morsel_core::{AgingPolicy, ExecEnv, QuerySpec};
+use morsel_datagen::{generate_ssb, generate_tpch, SsbConfig, SsbDb, TpchConfig, TpchDb};
+use morsel_exec::plan::compile_query;
+use morsel_exec::SystemVariant;
+use morsel_numa::Topology;
+use morsel_queries::{ssb_queries, tpch_queries};
+use morsel_service::{fmt_ns, run_closed_loop, QueryRequest, QueryService, ServiceConfig};
+
+use crate::experiments::ExpConfig;
+use crate::report::Table;
+
+/// The query rotation every client cycles through: scan-, join-, and
+/// aggregation-heavy TPC-H plus two SSB flight patterns.
+///
+/// Shared with the `service_throughput` criterion bench so experiment
+/// and bench measure the same workload.
+pub const TPCH_MIX: [usize; 4] = [1, 6, 13, 14];
+pub const SSB_MIX: [&str; 2] = ["1.1", "2.1"];
+
+/// Priority assigned to client `c`: every fourth client is an
+/// "interactive" priority-8 stream, the rest are priority-1 analytics.
+pub fn client_priority(client: usize) -> u32 {
+    if client.is_multiple_of(4) {
+        8
+    } else {
+        1
+    }
+}
+
+/// Compile the `seq`-th query of client `client`'s rotation, priority
+/// already applied.
+pub fn build_query(tpch: &Arc<TpchDb>, ssb: &Arc<SsbDb>, client: usize, seq: usize) -> QuerySpec {
+    let mix_len = TPCH_MIX.len() + SSB_MIX.len();
+    let pick = (client + seq) % mix_len;
+    let name = format!("c{client}-s{seq}");
+    let (spec, _result) = if pick < TPCH_MIX.len() {
+        let q = TPCH_MIX[pick];
+        compile_query(name, tpch_queries::query(tpch, q), SystemVariant::full())
+    } else {
+        let id = SSB_MIX[pick - TPCH_MIX.len()];
+        compile_query(name, ssb_queries::query(ssb, id), SystemVariant::full())
+    };
+    spec.with_priority(client_priority(client))
+}
+
+/// The `service_load` experiment: mixed TPC-H/SSB traffic from a sweep
+/// of closed-loop client counts through the admission-controlled query
+/// service.
+pub fn service_load(cfg: &ExpConfig) -> String {
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let tpch = Arc::new(generate_tpch(
+        TpchConfig {
+            scale: cfg.scale,
+            ..Default::default()
+        },
+        &topo,
+    ));
+    let ssb = Arc::new(generate_ssb(
+        SsbConfig {
+            scale: cfg.ssb_scale,
+            ..Default::default()
+        },
+        &topo,
+    ));
+    // Wall-clock workers: a small pool (this runs on the host, not the
+    // simulated 64-thread box).
+    let workers = cfg.workers.min(4);
+    let client_counts: Vec<usize> = if cfg.quick {
+        vec![2, 8]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let per_client = if cfg.quick { 4 } else { 8 };
+
+    let mut t = Table::new(&[
+        "clients", "done", "canc", "rej", "q/s", "p50 lo", "p99 lo", "p50 hi", "p99 hi",
+    ]);
+    for &clients in &client_counts {
+        let service = QueryService::start(
+            env.clone(),
+            ServiceConfig::new(workers)
+                .with_morsel_size(cfg.morsel_size.max(2_048))
+                .with_max_in_flight(workers.max(2))
+                .with_max_queue(4 * clients + 8)
+                .with_aging(AgingPolicy::every(
+                    Duration::from_millis(5).as_nanos() as u64
+                )),
+        );
+        let tpch = Arc::clone(&tpch);
+        let ssb = Arc::clone(&ssb);
+        let _reports = run_closed_loop(&service, clients, per_client, move |client, seq| {
+            QueryRequest::new(build_query(&tpch, &ssb, client, seq))
+        });
+        let summary = service.shutdown();
+        let quantiles = |prio: u32| -> (String, String) {
+            summary
+                .per_priority
+                .iter()
+                .find(|(p, _)| *p == prio)
+                .map(|(_, h)| (fmt_ns(h.p50()), fmt_ns(h.p99())))
+                .unwrap_or_else(|| ("-".into(), "-".into()))
+        };
+        let (lo50, lo99) = quantiles(1);
+        let (hi50, hi99) = quantiles(8);
+        t.row(vec![
+            clients.to_string(),
+            summary.completed.to_string(),
+            summary.cancelled.to_string(),
+            summary.rejected.to_string(),
+            format!("{:.1}", summary.throughput_qps()),
+            lo50,
+            lo99,
+            hi50,
+            hi99,
+        ]);
+    }
+    format!(
+        "Service load — closed-loop clients over admission-controlled service \
+         ({workers} workers, TPC-H SF {} + SSB SF {}, {per_client} queries/client; \
+         lo = priority 1, hi = priority 8)\n{}",
+        cfg.scale,
+        cfg.ssb_scale,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_load_reports_all_client_counts() {
+        let cfg = ExpConfig {
+            scale: 0.001,
+            ssb_scale: 0.001,
+            workers: 2,
+            morsel_size: 2048,
+            quick: true,
+        };
+        let out = service_load(&cfg);
+        assert!(out.contains("clients"), "missing header:\n{out}");
+        for c in ["2", "8"] {
+            assert!(
+                out.lines().any(|l| l.trim_start().starts_with(c)),
+                "missing row for {c} clients:\n{out}"
+            );
+        }
+    }
+}

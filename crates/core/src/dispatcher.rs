@@ -7,6 +7,13 @@
 //! not per tuple, and the pending-job transitions (pipeline → pipeline) are
 //! performed by whichever worker drained the previous pipeline — the
 //! QEPobject as a passive state machine.
+//!
+//! Worker shares across concurrent queries follow `active workers /
+//! effective priority`, where the effective priority ages upward with
+//! time since submission under an [`AgingPolicy`] (disabled by default).
+//! Deadlines ride the same work-request path: a query past its
+//! [`crate::query::QuerySpec::deadline_ns`] is cancelled cooperatively,
+//! exactly like an explicit [`crate::query::QueryHandle::cancel`].
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -21,6 +28,74 @@ use crate::query::{QueryHandle, QueryShared, QuerySpec, QueryStats, Stage};
 use crate::queue::SchedulingMode;
 use crate::task::{Morsel, TaskContext, DEFAULT_MORSEL_SIZE};
 
+/// Priority aging: a waiting query's *effective* priority grows with the
+/// time since its submission, so sustained high-priority traffic cannot
+/// starve low-priority work indefinitely.
+///
+/// The boost is `min(waited_ns / interval_ns, max_boost)` added to the
+/// base priority; it feeds both the dispatcher's share computation
+/// ([`Dispatcher::next_task`]) and the admission ordering in
+/// `morsel-service`. `AgingPolicy::none()` (the default) disables aging
+/// and reproduces the paper's plain `active workers / priority` share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgingPolicy {
+    /// Nanoseconds of waiting per +1 effective priority; `0` disables
+    /// aging.
+    pub interval_ns: u64,
+    /// Cap on the aging boost, so aged queries cannot grow unboundedly
+    /// past genuinely urgent traffic.
+    pub max_boost: u32,
+}
+
+impl AgingPolicy {
+    /// No aging: effective priority equals base priority.
+    pub fn none() -> Self {
+        AgingPolicy {
+            interval_ns: 0,
+            max_boost: 0,
+        }
+    }
+
+    /// Gain +1 effective priority per `interval_ns` of waiting, capped at
+    /// a default boost of 64.
+    pub fn every(interval_ns: u64) -> Self {
+        assert!(interval_ns > 0, "aging interval must be positive");
+        AgingPolicy {
+            interval_ns,
+            max_boost: 64,
+        }
+    }
+
+    pub fn with_max_boost(mut self, max_boost: u32) -> Self {
+        self.max_boost = max_boost;
+        self
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.interval_ns > 0
+    }
+
+    /// The aging boost after waiting `waited_ns` (0 when aging is
+    /// disabled).
+    pub fn boost(&self, waited_ns: u64) -> u32 {
+        waited_ns
+            .checked_div(self.interval_ns)
+            .map_or(0, |steps| steps.min(u64::from(self.max_boost)) as u32)
+    }
+
+    /// Effective priority of a query with `base` priority that has waited
+    /// `waited_ns` since submission.
+    pub fn effective_priority(&self, base: u32, waited_ns: u64) -> u32 {
+        base.max(1).saturating_add(self.boost(waited_ns))
+    }
+}
+
+impl Default for AgingPolicy {
+    fn default() -> Self {
+        AgingPolicy::none()
+    }
+}
+
 /// Dispatcher-wide scheduling configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DispatchConfig {
@@ -28,6 +103,9 @@ pub struct DispatchConfig {
     pub morsel_size: usize,
     /// Number of worker threads that will request tasks.
     pub workers: usize,
+    /// Priority aging applied in the share computation (disabled by
+    /// default).
+    pub aging: AgingPolicy,
 }
 
 impl DispatchConfig {
@@ -36,6 +114,7 @@ impl DispatchConfig {
             mode: SchedulingMode::NumaAware,
             morsel_size: DEFAULT_MORSEL_SIZE,
             workers,
+            aging: AgingPolicy::none(),
         }
     }
 
@@ -47,6 +126,11 @@ impl DispatchConfig {
     pub fn with_morsel_size(mut self, size: usize) -> Self {
         assert!(size > 0, "morsel size must be positive");
         self.morsel_size = size;
+        self
+    }
+
+    pub fn with_aging(mut self, aging: AgingPolicy) -> Self {
+        self.aging = aging;
         self
     }
 }
@@ -143,6 +227,8 @@ impl Dispatcher {
                 ..QueryStats::default()
             }),
             started_ns: AtomicU64::new(now_ns),
+            submitted_ns: AtomicU64::new(spec.submitted_ns.unwrap_or(now_ns)),
+            deadline_ns: AtomicU64::new(spec.deadline_ns.unwrap_or(u64::MAX)),
         });
         let exec = Arc::new(QueryExec {
             shared: Arc::clone(&shared),
@@ -169,10 +255,16 @@ impl Dispatcher {
     }
 
     /// Pick a task for `worker`, favouring NUMA-local morsels and fair
-    /// shares across active queries (active workers / priority).
+    /// shares across active queries (active workers / *effective*
+    /// priority, where the effective priority is the base priority plus
+    /// the [`AgingPolicy`] boost for time waited since submission).
+    ///
+    /// Also enforces deadlines: a query whose [`QuerySpec::deadline_ns`]
+    /// has passed is marked cancelled here, so workers stop handing out
+    /// its morsels and the reaping path tears it down.
     ///
     /// `now_ns` stamps query completion if this work request happens to be
-    /// the one that observes a drained pipeline (see [`Claim::Drained`]).
+    /// the one that observes a drained pipeline (see `Claim::Drained`).
     pub fn next_task(&self, worker: usize, now_ns: u64) -> Option<Task> {
         let queries: Vec<Arc<QueryExec>> = {
             let guard = self.queries.read();
@@ -183,17 +275,31 @@ impl Dispatcher {
             .iter()
             .filter(|q| !q.shared.done.load(Ordering::Acquire))
             .collect();
+        // Deadline/cancellation sweep over *every* live query before
+        // claiming: the claim loop below returns at the first morsel, so
+        // checking there would let a busy worker starve the check for
+        // queries it never reaches.
+        candidates.retain(|q| {
+            if now_ns >= q.shared.deadline_ns.load(Ordering::Acquire) {
+                // Deadline passed: cancel cooperatively. In-flight morsels
+                // still finish; the reap (or the last completer) tears the
+                // query down.
+                q.shared.cancelled.store(true, Ordering::Release);
+            }
+            if q.shared.cancelled.load(Ordering::Acquire) {
+                self.reap_cancelled(q, now_ns);
+                false
+            } else {
+                true
+            }
+        });
         candidates.sort_by(|a, b| {
-            let ka = Self::fair_key(a);
-            let kb = Self::fair_key(b);
+            let ka = self.fair_key(a, now_ns);
+            let kb = self.fair_key(b, now_ns);
             ka.partial_cmp(&kb).unwrap().then(a.arrival.cmp(&b.arrival))
         });
 
         for q in candidates {
-            if q.shared.cancelled.load(Ordering::Acquire) {
-                self.reap_cancelled(q, worker);
-                continue;
-            }
             let job = {
                 let guard = q.current.lock();
                 match guard.as_ref() {
@@ -232,9 +338,15 @@ impl Dispatcher {
         None
     }
 
-    fn fair_key(q: &QueryExec) -> f64 {
+    /// The share key: `active workers / effective priority`. Lower keys
+    /// are served first, so a query holding fewer workers relative to its
+    /// (aged) priority absorbs the next one — the paper's elastic sharing,
+    /// extended with aging so waiting queries grow their share over time.
+    fn fair_key(&self, q: &QueryExec, now_ns: u64) -> f64 {
         let active = q.active_workers.load(Ordering::SeqCst) as f64;
-        let prio = q.shared.priority.load(Ordering::Acquire).max(1) as f64;
+        let base = q.shared.priority.load(Ordering::Acquire);
+        let waited = now_ns.saturating_sub(q.shared.submitted_ns.load(Ordering::Acquire));
+        let prio = self.config.aging.effective_priority(base, waited) as f64;
         active / prio
     }
 
@@ -253,7 +365,8 @@ impl Dispatcher {
     }
 
     /// Cancelled query with a drained or idle pipeline: tear it down.
-    fn reap_cancelled(&self, q: &Arc<QueryExec>, _worker: usize) {
+    /// `now_ns` stamps the query's completion time.
+    fn reap_cancelled(&self, q: &Arc<QueryExec>, now_ns: u64) {
         let job = { q.current.lock().as_ref().cloned() };
         if let Some(job) = job {
             // Only finish once nothing is in flight; in-flight morsels
@@ -262,11 +375,11 @@ impl Dispatcher {
                 q.absorb_job_stats(&job);
                 *q.current.lock() = None;
                 let mut ctx = TaskContext::new(&self.env, 0);
-                self.advance(&mut ctx, q, 0);
+                self.advance(&mut ctx, q, now_ns);
             }
         } else if !q.shared.done.load(Ordering::Acquire) {
             let mut ctx = TaskContext::new(&self.env, 0);
-            self.advance(&mut ctx, q, 0);
+            self.advance(&mut ctx, q, now_ns);
         }
     }
 
@@ -281,12 +394,22 @@ impl Dispatcher {
             let stage = q.stages.lock().pop_front();
             match stage {
                 None => {
+                    // Stamp completion *before* publishing `done`:
+                    // readers treat `done` as the acquire point for
+                    // stats, so a concurrent observer of `done == true`
+                    // must never see an unset finished_ns. The ==0 guard
+                    // keeps a racing second observer from re-stamping.
+                    {
+                        let mut stats = q.shared.stats.lock();
+                        if stats.finished_ns == 0 {
+                            stats.finished_ns = now_ns;
+                        }
+                    }
                     if q.shared
                         .done
                         .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                     {
-                        q.shared.stats.lock().finished_ns = now_ns;
                         self.remaining.fetch_sub(1, Ordering::SeqCst);
                         self.queries.write().retain(|e| !Arc::ptr_eq(e, q));
                     }
@@ -539,6 +662,101 @@ mod tests {
         let env = d.env().clone();
         let mut ctx = TaskContext::new(&env, 0);
         for t in [t1, t2, t3] {
+            d.complete_task(&mut ctx, t, 0);
+        }
+        drive_to_completion(&d, 0);
+    }
+
+    #[test]
+    fn aging_policy_math() {
+        let none = AgingPolicy::none();
+        assert!(!none.is_enabled());
+        assert_eq!(none.effective_priority(3, 1_000_000), 3);
+        let aging = AgingPolicy::every(100).with_max_boost(10);
+        assert_eq!(aging.boost(0), 0);
+        assert_eq!(aging.boost(99), 0);
+        assert_eq!(aging.boost(100), 1);
+        assert_eq!(aging.boost(950), 9);
+        assert_eq!(aging.boost(u64::MAX), 10);
+        assert_eq!(aging.effective_priority(1, 350), 4);
+        // Zero base priority is clamped to 1 before boosting.
+        assert_eq!(aging.effective_priority(0, 0), 1);
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_at_morsel_boundary() {
+        let d = dispatcher(1);
+        let j = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let h = d.submit(
+            QuerySpec::new(
+                "q",
+                vec![count_stage(1_000_000, Arc::clone(&j))],
+                result_slot(),
+            )
+            .with_deadline_ns(100),
+            0,
+        );
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, 0);
+        // Before the deadline, work is handed out normally.
+        let t = d.next_task(0, 50).unwrap();
+        t.run(&mut ctx);
+        d.complete_task(&mut ctx, t, 50);
+        assert!(!h.is_cancelled());
+        // Past the deadline, the dispatcher cancels and reaps the query.
+        while let Some(t) = d.next_task(0, 150) {
+            t.run(&mut ctx);
+            d.complete_task(&mut ctx, t, 150);
+        }
+        assert!(h.is_cancelled());
+        assert!(h.is_done());
+        assert_eq!(h.outcome(), Some(crate::query::QueryOutcome::Cancelled));
+        assert!(j.rows_seen.load(Ordering::Relaxed) < 1_000_000);
+        assert!(!j.finished.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn aging_lifts_starved_low_priority_share() {
+        let env = ExecEnv::new(Topology::laptop());
+        let d = Dispatcher::new(
+            env,
+            DispatchConfig::new(4).with_aging(AgingPolicy::every(100).with_max_boost(64)),
+        );
+        let j1 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let j2 = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let _lo = d.submit(
+            QuerySpec::new("lo", vec![count_stage(100_000, j1)], result_slot()),
+            0,
+        );
+        let _hi = d.submit(
+            QuerySpec::new("hi", vec![count_stage(100_000, j2)], result_slot()).with_priority(8),
+            0,
+        );
+        // At t=0 the share computation matches the unaged one: lo first
+        // (arrival tie-break), then hi twice (1/1 vs n/8).
+        let t1 = d.next_task(0, 0).unwrap();
+        assert_eq!(t1.query_name(), "lo");
+        let t2 = d.next_task(1, 0).unwrap();
+        assert_eq!(t2.query_name(), "hi");
+        let t3 = d.next_task(2, 0).unwrap();
+        assert_eq!(t3.query_name(), "hi");
+        // Without aging the fourth claim would go to hi again (lo 1/1=1.0
+        // vs hi 2/8=0.25). With both queries aged by the full boost, lo's
+        // key 1/65 beats hi's 2/72: the starved query absorbs the worker.
+        let t4 = d.next_task(3, 10_000).unwrap();
+        assert_eq!(t4.query_name(), "lo");
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, 0);
+        for t in [t1, t2, t3, t4] {
             d.complete_task(&mut ctx, t, 0);
         }
         drive_to_completion(&d, 0);

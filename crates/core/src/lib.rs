@@ -5,8 +5,10 @@
 //! builds a [`job::PipelineJob`] that the [`dispatcher::Dispatcher`]
 //! schedules morsel-at-a-time onto pinned workers, preferring NUMA-local
 //! morsels, stealing from the closest socket when a local queue drains,
-//! sharing workers fairly (priority-weighted) across concurrent queries,
-//! and cancelling cooperatively at morsel boundaries.
+//! sharing workers fairly across concurrent queries (priority-weighted,
+//! with optional [`dispatcher::AgingPolicy`] aging so waiting queries are
+//! never starved), and cancelling cooperatively at morsel boundaries —
+//! on explicit request or when a query's deadline passes.
 //!
 //! Two executors run the same dispatcher and pipeline code:
 //! [`threaded::ThreadedExecutor`] on real OS threads, and
@@ -24,10 +26,12 @@ pub mod task;
 pub mod threaded;
 pub mod trace;
 
-pub use dispatcher::{DispatchConfig, Dispatcher, Task};
+pub use dispatcher::{AgingPolicy, DispatchConfig, Dispatcher, Task};
 pub use env::ExecEnv;
 pub use job::{BuiltJob, PipelineJob};
-pub use query::{result_slot, FnStage, QueryHandle, QuerySpec, QueryStats, ResultSlot, Stage};
+pub use query::{
+    result_slot, FnStage, QueryHandle, QueryOutcome, QuerySpec, QueryStats, ResultSlot, Stage,
+};
 pub use queue::{MorselQueues, SchedulingMode};
 pub use sim::{SimExecutor, SimReport};
 pub use task::{ChunkMeta, Morsel, MorselProfile, TaskContext, DEFAULT_MORSEL_SIZE};

@@ -4,7 +4,7 @@
 //! (the paper deliberately avoids bushy parallelism — Section 3.2: "we
 //! first execute pipeline T, and only after T is finished, the job for
 //! pipeline S is added"). The QEP state machine that observes dependencies
-//! is [`crate::dispatcher::Dispatcher::advance`]; it is passive and runs on
+//! is `Dispatcher::advance` in [`crate::dispatcher`]; it is passive and runs on
 //! whichever worker drained the previous pipeline.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -70,6 +70,16 @@ pub struct QuerySpec {
     pub priority: u32,
     pub stages: Vec<Box<dyn Stage>>,
     pub result: ResultSlot,
+    /// When the query was *submitted* by its client, in executor
+    /// nanoseconds (virtual or wall clock). Defaults to the dispatch time;
+    /// a service front end that queues queries before dispatching sets it
+    /// explicitly so that priority aging and end-to-end latency measure
+    /// from submission, not admission.
+    pub submitted_ns: Option<u64>,
+    /// Absolute deadline in executor nanoseconds. The dispatcher cancels
+    /// the query cooperatively (at the next morsel boundary) once the
+    /// clock passes it.
+    pub deadline_ns: Option<u64>,
 }
 
 impl QuerySpec {
@@ -79,6 +89,8 @@ impl QuerySpec {
             priority: 1,
             stages,
             result,
+            submitted_ns: None,
+            deadline_ns: None,
         }
     }
 
@@ -86,6 +98,46 @@ impl QuerySpec {
         assert!(priority > 0, "priority must be positive");
         self.priority = priority;
         self
+    }
+
+    /// Stamp the client-side submission time (see [`QuerySpec::submitted_ns`]).
+    pub fn with_submitted_at(mut self, submitted_ns: u64) -> Self {
+        self.submitted_ns = Some(submitted_ns);
+        self
+    }
+
+    /// Set an absolute cancellation deadline (see [`QuerySpec::deadline_ns`]).
+    pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+}
+
+/// Terminal state of a query, as reported to service clients.
+///
+/// The dispatcher itself only produces [`Completed`](QueryOutcome::Completed)
+/// and [`Cancelled`](QueryOutcome::Cancelled) (deadline expiry and explicit
+/// [`QueryHandle::cancel`] both surface as `Cancelled`);
+/// [`Rejected`](QueryOutcome::Rejected) is produced by an admission-control
+/// layer such as `morsel-service` when a query is refused before dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryOutcome {
+    /// Ran all stages and produced its result.
+    Completed,
+    /// Stopped at a morsel boundary before finishing (explicit cancel or
+    /// deadline expiry); no result was produced.
+    Cancelled,
+    /// Refused by admission control; never dispatched.
+    Rejected,
+}
+
+impl std::fmt::Display for QueryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QueryOutcome::Completed => "completed",
+            QueryOutcome::Cancelled => "cancelled",
+            QueryOutcome::Rejected => "rejected",
+        })
     }
 }
 
@@ -120,6 +172,11 @@ pub struct QueryShared {
     pub counters: AccessCounters,
     pub stats: Mutex<QueryStats>,
     pub started_ns: AtomicU64,
+    /// Client submission time (executor nanoseconds); the base for
+    /// priority aging and end-to-end latency.
+    pub submitted_ns: AtomicU64,
+    /// Absolute cancellation deadline; `u64::MAX` means none.
+    pub deadline_ns: AtomicU64,
 }
 
 /// Caller-facing handle: inspect results, change priority, cancel.
@@ -157,6 +214,32 @@ impl QueryHandle {
         self.shared.priority.load(Ordering::Acquire)
     }
 
+    /// Client submission time (executor nanoseconds).
+    pub fn submitted_ns(&self) -> u64 {
+        self.shared.submitted_ns.load(Ordering::Acquire)
+    }
+
+    /// The absolute cancellation deadline, if one was set.
+    pub fn deadline_ns(&self) -> Option<u64> {
+        match self.shared.deadline_ns.load(Ordering::Acquire) {
+            u64::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Terminal outcome, or `None` while the query is still running. A
+    /// handle never reports [`QueryOutcome::Rejected`]: rejection happens
+    /// in admission control, before a handle exists.
+    pub fn outcome(&self) -> Option<QueryOutcome> {
+        if !self.is_done() {
+            None
+        } else if self.is_cancelled() {
+            Some(QueryOutcome::Cancelled)
+        } else {
+            Some(QueryOutcome::Completed)
+        }
+    }
+
     /// Take the result batch, if the query completed and produced one.
     pub fn take_result(&self) -> Option<Batch> {
         self.shared.result.lock().take()
@@ -188,6 +271,8 @@ mod tests {
             counters: AccessCounters::new(&topo),
             stats: Mutex::new(QueryStats::default()),
             started_ns: AtomicU64::new(u64::MAX),
+            submitted_ns: AtomicU64::new(0),
+            deadline_ns: AtomicU64::new(u64::MAX),
         })
     }
 
@@ -229,5 +314,39 @@ mod tests {
     fn zero_priority_rejected() {
         let h = QueryHandle { shared: shared() };
         h.set_priority(0);
+    }
+
+    #[test]
+    fn spec_builders_set_timestamps() {
+        let s = QuerySpec::new("q", vec![], result_slot())
+            .with_priority(3)
+            .with_submitted_at(17)
+            .with_deadline_ns(99);
+        assert_eq!(s.priority, 3);
+        assert_eq!(s.submitted_ns, Some(17));
+        assert_eq!(s.deadline_ns, Some(99));
+        let fresh = QuerySpec::new("q", vec![], result_slot());
+        assert_eq!(fresh.submitted_ns, None);
+        assert_eq!(fresh.deadline_ns, None);
+    }
+
+    #[test]
+    fn outcome_tracks_done_and_cancelled() {
+        let h = QueryHandle { shared: shared() };
+        assert_eq!(h.outcome(), None);
+        h.shared.done.store(true, Ordering::Release);
+        assert_eq!(h.outcome(), Some(QueryOutcome::Completed));
+        h.cancel();
+        assert_eq!(h.outcome(), Some(QueryOutcome::Cancelled));
+        assert_eq!(QueryOutcome::Rejected.to_string(), "rejected");
+    }
+
+    #[test]
+    fn handle_reports_deadline() {
+        let h = QueryHandle { shared: shared() };
+        assert_eq!(h.deadline_ns(), None);
+        h.shared.deadline_ns.store(123, Ordering::Release);
+        assert_eq!(h.deadline_ns(), Some(123));
+        assert_eq!(h.submitted_ns(), 0);
     }
 }

@@ -1,0 +1,48 @@
+//! Closed-loop load clients.
+//!
+//! The standard database-serving load model (and the one the paper's
+//! Figure 12 stream experiment uses): each client submits one query,
+//! waits for its terminal state, then submits the next. Offered load
+//! therefore scales with the number of clients, and the system is never
+//! driven past `clients` outstanding queries.
+
+use crate::service::{QueryReport, QueryRequest, QueryService};
+
+/// Run `clients` concurrent closed-loop clients against `service`, each
+/// issuing `queries_per_client` queries built by `make(client, seq)`.
+/// Returns every query's terminal [`QueryReport`] (completed, cancelled,
+/// and rejected alike), grouped by client in submission order.
+///
+/// `make` runs on the client threads, so it must be `Sync`; plans that
+/// share relations via `Arc` (as all of `morsel-queries` does) satisfy
+/// this naturally.
+pub fn run_closed_loop<F>(
+    service: &QueryService,
+    clients: usize,
+    queries_per_client: usize,
+    make: F,
+) -> Vec<QueryReport>
+where
+    F: Fn(usize, usize) -> QueryRequest + Sync,
+{
+    let mut all = Vec::with_capacity(clients * queries_per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let make = &make;
+                scope.spawn(move || {
+                    let mut reports = Vec::with_capacity(queries_per_client);
+                    for seq in 0..queries_per_client {
+                        let ticket = service.submit(make(client, seq));
+                        reports.push(ticket.wait());
+                    }
+                    reports
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("client thread panicked"));
+        }
+    });
+    all
+}

@@ -1,0 +1,259 @@
+//! Bounded-memory latency histograms with quantile queries.
+//!
+//! Service metrics need per-query end-to-end latencies aggregated over
+//! millions of queries without storing them. [`LatencyHistogram`] uses
+//! HDR-style log-linear bucketing: each power-of-two range is split into
+//! 32 linear sub-buckets, so any recorded value lands in a bucket whose
+//! width is at most 1/32 of its magnitude (≤ ~3.2% relative quantile
+//! error), with exact counts below 64 ns. Memory is a fixed ~15 KiB per
+//! histogram regardless of sample count, and histograms merge losslessly
+//! (bucket-wise), so per-worker or per-priority histograms can be
+//! combined into aggregate views.
+
+/// Sub-bucket resolution: 32 linear buckets per power of two.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Exponents 6..=63 each contribute `SUB` buckets above the 64 exact ones.
+const BUCKETS: usize = 64 + (63 - 6 + 1) * SUB;
+
+/// A log-linear histogram of nanosecond latencies.
+///
+/// Recording is O(1); [`quantile`](Self::quantile) walks the bucket array
+/// (fixed size) and returns the midpoint of the bucket holding the
+/// requested rank, clamped to the observed min/max.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < 64 {
+            v as usize
+        } else {
+            let exp = 63 - u64::from(v.leading_zeros()); // >= 6
+            let mantissa = (v >> (exp - u64::from(SUB_BITS))) as usize; // in [32, 64)
+            (exp as usize - SUB_BITS as usize) * SUB + mantissa
+        }
+    }
+
+    /// Midpoint of bucket `idx` (its exact value below 64).
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < 64 {
+            idx as u64
+        } else {
+            // index = (exp - 5) * SUB + mantissa with mantissa in [32, 64),
+            // so idx lands in [(exp - 4) * SUB, (exp - 3) * SUB).
+            let exp = (idx / SUB + SUB_BITS as usize - 1) as u64;
+            let mantissa = (idx - (exp as usize - SUB_BITS as usize) * SUB) as u64;
+            let low = mantissa << (exp - u64::from(SUB_BITS));
+            let width = 1u64 << (exp - u64::from(SUB_BITS));
+            low + width / 2
+        }
+    }
+
+    /// Record one latency observation.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::index(ns)] += 1;
+        self.total += 1;
+        self.sum += u128::from(ns);
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Fold another histogram into this one (bucket-wise, lossless).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean of the recorded values (exact, not bucketed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the bucket
+    /// midpoint at rank `ceil(q * count)`, clamped to `[min, max]`.
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile latency.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile latency.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Format nanoseconds with an auto-selected unit (for reports).
+pub fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}us", v / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_and_in_bounds() {
+        let mut values: Vec<u64> = (0..63)
+            .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift).saturating_add(off)))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = LatencyHistogram::index(v);
+            assert!(idx < BUCKETS, "index {idx} out of bounds for {v}");
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+        }
+        assert!(LatencyHistogram::index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 63);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        // 1..=100_000 uniformly: the q-quantile is q * 100_000.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.50, 0.95, 0.99] {
+            let exact = q * 100_000.0;
+            let got = h.quantile(q) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err < 0.04, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+        let mean_err = (h.mean_ns() - 50_000.5).abs();
+        assert!(mean_err < 1.0, "mean off by {mean_err}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in 1..5_000u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.record(v * 17);
+            both.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+        assert_eq!(a.min_ns(), both.min_ns());
+        assert_eq!(a.max_ns(), both.max_ns());
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(4_500), "4.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.50s");
+    }
+}

@@ -1,0 +1,57 @@
+//! # morsel-service
+//!
+//! A concurrent query-service front end over the morsel-driven engine:
+//! the serving layer that turns `morsel-core`'s dispatcher — built in the
+//! paper for many queries sharing all cores with morsel-wise elasticity —
+//! into a long-lived system serving a stream of query submissions from
+//! many concurrent clients.
+//!
+//! What it adds on top of the raw [`morsel_core::Dispatcher`]:
+//!
+//! - **Admission control** ([`admission`]): a hard bound on concurrently
+//!   dispatched queries, a bounded prioritized wait queue beyond it, and
+//!   rejection past both — so tail latency stays controlled under
+//!   overload instead of every query slowing down every other.
+//! - **Priority aging**: waiting queries gain effective priority over
+//!   time (in both admission order and the dispatcher's share
+//!   computation), so sustained high-priority traffic cannot starve
+//!   low-priority analytics.
+//! - **Deadlines**: a per-query deadline covering queue wait and
+//!   execution; overdue queries are cancelled cooperatively at morsel
+//!   boundaries and report [`morsel_core::QueryOutcome::Cancelled`].
+//! - **Metrics** ([`histogram`]): per-priority end-to-end latency
+//!   histograms (p50/p95/p99) and aggregate throughput, collected with
+//!   bounded memory and reported at shutdown.
+//! - **Load clients** ([`client`]): closed-loop drivers for benchmarks
+//!   and demos.
+//!
+//! ```no_run
+//! use morsel_core::{AgingPolicy, ExecEnv};
+//! use morsel_service::{QueryRequest, QueryService, ServiceConfig};
+//!
+//! let env = ExecEnv::new(morsel_numa::Topology::laptop());
+//! let service = QueryService::start(
+//!     env,
+//!     ServiceConfig::new(4)
+//!         .with_max_in_flight(8)
+//!         .with_aging(AgingPolicy::every(1_000_000)),
+//! );
+//! # let spec = morsel_core::QuerySpec::new("q", vec![], morsel_core::result_slot());
+//! let ticket = service.submit(QueryRequest::new(spec));
+//! let report = ticket.wait();
+//! println!("{} -> {}", report.name, report.outcome);
+//! let summary = service.shutdown();
+//! println!("{}", summary.summary());
+//! ```
+
+pub mod admission;
+pub mod client;
+pub mod histogram;
+pub mod service;
+
+pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue};
+pub use client::run_closed_loop;
+pub use histogram::{fmt_ns, LatencyHistogram};
+pub use service::{
+    QueryReport, QueryRequest, QueryService, QueryTicket, ServiceConfig, ServiceReport,
+};

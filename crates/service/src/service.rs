@@ -1,0 +1,523 @@
+//! The query service: a long-lived front end over the morsel-driven
+//! dispatcher.
+//!
+//! [`QueryService::start`] spins up a worker pool running the paper's
+//! worker loop (request a task, run it to the morsel boundary, report
+//! completion) against a single shared [`Dispatcher`]. Clients submit
+//! [`QueryRequest`]s from any thread and get back a [`QueryTicket`]; the
+//! service applies admission control ([`crate::admission`]), enforces
+//! deadlines (queued queries expire in the wait queue, dispatched ones
+//! are cancelled cooperatively by the dispatcher at morsel boundaries),
+//! and records per-priority end-to-end latency histograms plus aggregate
+//! throughput, reported by [`QueryService::shutdown`] as a
+//! [`ServiceReport`].
+//!
+//! End-to-end latency is measured from *submission* (including any time
+//! spent waiting for admission) to completion, on the service's own
+//! monotonic clock. The same clock feeds the dispatcher, so priority
+//! aging and deadlines use identical timestamps.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use morsel_core::{
+    AgingPolicy, DispatchConfig, Dispatcher, ExecEnv, QueryHandle, QueryOutcome, QuerySpec,
+    TaskContext, DEFAULT_MORSEL_SIZE,
+};
+use parking_lot::Mutex;
+
+use crate::admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue};
+use crate::histogram::{fmt_ns, LatencyHistogram};
+
+/// Service-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing morsels.
+    pub workers: usize,
+    pub morsel_size: usize,
+    /// Maximum queries dispatched concurrently (admission bound).
+    pub max_in_flight: usize,
+    /// Maximum queries waiting beyond the bound; further submissions are
+    /// rejected.
+    pub max_queue: usize,
+    /// Priority aging, applied both to admission order and to the
+    /// dispatcher's share computation.
+    pub aging: AgingPolicy,
+}
+
+impl ServiceConfig {
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "service needs at least one worker");
+        ServiceConfig {
+            workers,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            max_in_flight: workers.max(2),
+            max_queue: 256,
+            aging: AgingPolicy::none(),
+        }
+    }
+
+    pub fn with_morsel_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "morsel size must be positive");
+        self.morsel_size = size;
+        self
+    }
+
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        assert!(max_in_flight > 0, "in-flight bound must be positive");
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+
+    pub fn with_aging(mut self, aging: AgingPolicy) -> Self {
+        self.aging = aging;
+        self
+    }
+}
+
+/// One query submission: the compiled spec plus service-level options.
+pub struct QueryRequest {
+    pub spec: QuerySpec,
+    /// Cancel the query if it has not completed within this much time of
+    /// its submission (covers queue wait *and* execution).
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    pub fn new(spec: QuerySpec) -> Self {
+        QueryRequest {
+            spec,
+            deadline: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Terminal report for one query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    pub name: String,
+    pub priority: u32,
+    pub outcome: QueryOutcome,
+    /// Submission-to-termination latency on the service clock (0 for
+    /// rejected queries, which never wait).
+    pub latency_ns: u64,
+}
+
+struct TicketState {
+    report: Option<QueryReport>,
+}
+
+struct TicketInner {
+    name: String,
+    priority: u32,
+    submitted_ns: u64,
+    state: StdMutex<TicketState>,
+    done: Condvar,
+}
+
+impl TicketInner {
+    fn finalize(&self, report: QueryReport) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(st.report.is_none(), "ticket finalized twice");
+        st.report = Some(report);
+        drop(st);
+        self.done.notify_all();
+    }
+}
+
+/// Client-side handle to a submitted query. Cheap to clone; any clone can
+/// wait for or poll the outcome.
+#[derive(Clone)]
+pub struct QueryTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl QueryTicket {
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    pub fn priority(&self) -> u32 {
+        self.inner.priority
+    }
+
+    /// Block until the query reaches a terminal state.
+    pub fn wait(&self) -> QueryReport {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(r) = &st.report {
+                return r.clone();
+            }
+            st = self.inner.done.wait(st).unwrap();
+        }
+    }
+
+    /// The report, if the query already terminated.
+    pub fn try_report(&self) -> Option<QueryReport> {
+        self.inner.state.lock().unwrap().report.clone()
+    }
+}
+
+/// A queued-but-not-yet-dispatched query.
+struct Pending {
+    spec: QuerySpec,
+    ticket: Arc<TicketInner>,
+}
+
+/// A dispatched query the service is tracking to completion.
+struct Running {
+    handle: QueryHandle,
+    ticket: Arc<TicketInner>,
+}
+
+/// Admission queue + in-flight tracking, under one lock so admission
+/// decisions and dispatches are atomic.
+struct ServiceState {
+    admission: AdmissionQueue<Pending>,
+    running: Vec<Running>,
+}
+
+#[derive(Default)]
+struct Metrics {
+    completed: u64,
+    cancelled: u64,
+    rejected: u64,
+    per_priority: BTreeMap<u32, LatencyHistogram>,
+}
+
+struct ServiceInner {
+    dispatcher: Dispatcher,
+    start: Instant,
+    state: Mutex<ServiceState>,
+    metrics: Mutex<Metrics>,
+    /// Once set, new submissions are rejected and workers exit when the
+    /// service drains.
+    draining: AtomicBool,
+}
+
+impl ServiceInner {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn finalize(&self, ticket: &TicketInner, outcome: QueryOutcome, latency_ns: u64) {
+        {
+            let mut m = self.metrics.lock();
+            match outcome {
+                QueryOutcome::Completed => {
+                    m.completed += 1;
+                    m.per_priority
+                        .entry(ticket.priority)
+                        .or_default()
+                        .record(latency_ns);
+                }
+                QueryOutcome::Cancelled => m.cancelled += 1,
+                QueryOutcome::Rejected => m.rejected += 1,
+            }
+        }
+        ticket.finalize(QueryReport {
+            name: ticket.name.clone(),
+            priority: ticket.priority,
+            outcome,
+            latency_ns,
+        });
+    }
+
+    /// Service housekeeping, run by workers between morsels: reap
+    /// finished queries, admit queued ones into freed capacity, and
+    /// expire overdue waiters. Ticket finalization *and* dispatching
+    /// (which builds the admitted query's first pipeline via
+    /// `Stage::build`) happen outside the state lock, so waiting clients
+    /// and other workers never contend with a slow plan build; the
+    /// admission counters taken under the lock keep the capacity
+    /// accounting (and the drain check) exact in the gap.
+    fn maintain(&self) {
+        let now = self.now_ns();
+        let mut finished: Vec<(Arc<TicketInner>, QueryOutcome, u64)> = Vec::new();
+        let mut to_dispatch: Vec<Pending> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let mut i = 0;
+            while i < st.running.len() {
+                if let Some(outcome) = st.running[i].handle.outcome() {
+                    let r = st.running.swap_remove(i);
+                    let end = r.handle.stats().finished_ns;
+                    let latency = end.saturating_sub(r.ticket.submitted_ns);
+                    finished.push((r.ticket, outcome, latency));
+                    to_dispatch.extend(st.admission.complete(now));
+                } else {
+                    i += 1;
+                }
+            }
+            for p in st.admission.expire_overdue(now) {
+                let latency = now.saturating_sub(p.ticket.submitted_ns);
+                finished.push((p.ticket, QueryOutcome::Cancelled, latency));
+            }
+        }
+        if !to_dispatch.is_empty() {
+            let running: Vec<Running> = to_dispatch
+                .into_iter()
+                .map(|p| Running {
+                    handle: self.dispatcher.submit(p.spec, now),
+                    ticket: p.ticket,
+                })
+                .collect();
+            self.state.lock().running.extend(running);
+        }
+        for (ticket, outcome, latency) in finished {
+            self.finalize(&ticket, outcome, latency);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        let st = self.state.lock();
+        st.running.is_empty() && st.admission.is_idle() && self.dispatcher.all_done()
+    }
+}
+
+/// The running service. See the [module docs](self).
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Start the worker pool and begin accepting queries.
+    pub fn start(env: ExecEnv, config: ServiceConfig) -> Self {
+        let dispatch = DispatchConfig::new(config.workers)
+            .with_morsel_size(config.morsel_size)
+            .with_aging(config.aging);
+        let admission = AdmissionConfig::new(config.max_in_flight)
+            .with_max_queue(config.max_queue)
+            .with_aging(config.aging);
+        let inner = Arc::new(ServiceInner {
+            dispatcher: Dispatcher::new(env, dispatch),
+            start: Instant::now(),
+            state: Mutex::new(ServiceState {
+                admission: AdmissionQueue::new(admission),
+                running: Vec::new(),
+            }),
+            metrics: Mutex::new(Metrics::default()),
+            draining: AtomicBool::new(false),
+        });
+        let threads = (0..config.workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("morsel-service-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService { inner, threads }
+    }
+
+    /// Submit a query. Never blocks on execution: the returned ticket
+    /// resolves when the query completes, is cancelled (deadline), or is
+    /// rejected by admission control.
+    pub fn submit(&self, request: QueryRequest) -> QueryTicket {
+        let inner = &self.inner;
+        let now = inner.now_ns();
+        let deadline_ns = request
+            .deadline
+            .map(|d| now.saturating_add(d.as_nanos() as u64));
+        let mut spec = request.spec.with_submitted_at(now);
+        if let Some(d) = deadline_ns {
+            spec = spec.with_deadline_ns(d);
+        }
+        let ticket = Arc::new(TicketInner {
+            name: spec.name.clone(),
+            priority: spec.priority,
+            submitted_ns: now,
+            state: StdMutex::new(TicketState { report: None }),
+            done: Condvar::new(),
+        });
+        let priority = spec.priority;
+        let decision = {
+            let mut st = inner.state.lock();
+            // Checked under the state lock: a worker deciding to exit
+            // takes the same lock for its idle check, so a submission
+            // that observes `draining == false` here is guaranteed to be
+            // seen (and drained) by the workers before they stop — the
+            // admission counters bumped below keep `is_idle()` false
+            // until the dispatch lands.
+            if inner.draining.load(Ordering::SeqCst) {
+                drop(st);
+                inner.finalize(&ticket, QueryOutcome::Rejected, 0);
+                return QueryTicket { inner: ticket };
+            }
+            st.admission.submit(
+                Pending {
+                    spec,
+                    ticket: Arc::clone(&ticket),
+                },
+                priority,
+                now,
+                deadline_ns,
+            )
+        };
+        match decision {
+            AdmissionDecision::Admitted(p) => {
+                // Dispatch (first-pipeline build) outside the state lock.
+                let handle = inner.dispatcher.submit(p.spec, now);
+                inner.state.lock().running.push(Running {
+                    handle,
+                    ticket: p.ticket,
+                });
+            }
+            AdmissionDecision::Queued => {}
+            AdmissionDecision::Rejected(p) => {
+                inner.finalize(&p.ticket, QueryOutcome::Rejected, 0);
+            }
+        }
+        QueryTicket { inner: ticket }
+    }
+
+    /// Queries currently dispatched / waiting (for tests and monitoring).
+    pub fn depth(&self) -> (usize, usize) {
+        let st = self.inner.state.lock();
+        (st.admission.in_flight(), st.admission.queued())
+    }
+
+    /// Stop accepting queries, drain everything in flight and queued,
+    /// join the workers, and return the aggregate report.
+    pub fn shutdown(self) -> ServiceReport {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            t.join().expect("service worker panicked");
+        }
+        // Workers exit only once the service is fully idle, but the last
+        // finalizations happen after the exit condition check.
+        self.inner.maintain();
+        debug_assert!(self.inner.is_idle());
+        let wall_ns = self.inner.now_ns();
+        let m = self.inner.metrics.lock();
+        ServiceReport {
+            wall_ns,
+            completed: m.completed,
+            cancelled: m.cancelled,
+            rejected: m.rejected,
+            per_priority: m
+                .per_priority
+                .iter()
+                .map(|(p, h)| (*p, h.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// How long a worker may go between housekeeping passes while busy.
+/// Queries reaped by the dispatcher (deadline expiry, cancellation) and
+/// overdue queued waiters finish *between* completion events, so without
+/// this bound their tickets would not resolve until some query completed
+/// or a worker went idle — potentially much later under saturation.
+const MAINTAIN_INTERVAL_NS: u64 = 1_000_000;
+
+/// The paper's worker loop, plus service housekeeping: when a morsel
+/// completes a query, when no work is available, and at least every
+/// [`MAINTAIN_INTERVAL_NS`] while busy, the worker reaps finished
+/// queries and admits queued ones. Idle workers back off exponentially so
+/// a drained service does not burn cores.
+fn worker_loop(inner: &Arc<ServiceInner>, w: usize) {
+    let env = inner.dispatcher.env().clone();
+    let mut idle_polls = 0u32;
+    let mut last_maintain = 0u64;
+    loop {
+        let now = inner.now_ns();
+        match inner.dispatcher.next_task(w, now) {
+            Some(task) => {
+                idle_polls = 0;
+                let qs = task.query_counters();
+                let mut ctx = TaskContext::new(&env, w).with_query_counters(&qs.counters);
+                task.run(&mut ctx);
+                let now = inner.now_ns();
+                inner.dispatcher.complete_task(&mut ctx, task, now);
+                if qs.done.load(Ordering::Acquire)
+                    || now.saturating_sub(last_maintain) >= MAINTAIN_INTERVAL_NS
+                {
+                    inner.maintain();
+                    last_maintain = now;
+                }
+            }
+            None => {
+                last_maintain = now;
+                inner.maintain();
+                if inner.draining.load(Ordering::SeqCst) && inner.is_idle() {
+                    break;
+                }
+                idle_polls += 1;
+                if idle_polls < 16 {
+                    std::thread::yield_now();
+                } else {
+                    // Cap the backoff at ~1ms so deadline expiry of
+                    // queued queries stays responsive.
+                    let us = 1u64 << idle_polls.min(26).saturating_sub(16);
+                    std::thread::sleep(Duration::from_micros(us.min(1_000)));
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate metrics for one service lifetime.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Total service lifetime (start to shutdown) in wall nanoseconds.
+    pub wall_ns: u64,
+    pub completed: u64,
+    pub cancelled: u64,
+    pub rejected: u64,
+    /// Completed-query latency histograms, keyed by priority.
+    pub per_priority: Vec<(u32, LatencyHistogram)>,
+}
+
+impl ServiceReport {
+    /// Completed queries per second of service lifetime.
+    pub fn throughput_qps(&self) -> f64 {
+        self.completed as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// All priorities merged into one latency histogram.
+    pub fn overall(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for (_, h) in &self.per_priority {
+            all.merge(h);
+        }
+        all
+    }
+
+    /// A human-readable per-priority summary (used by the example and the
+    /// bench harness).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "completed {}  cancelled {}  rejected {}  throughput {:.1} q/s\n",
+            self.completed,
+            self.cancelled,
+            self.rejected,
+            self.throughput_qps()
+        );
+        for (prio, h) in &self.per_priority {
+            out.push_str(&format!(
+                "  priority {:>2}: {:>6} queries  p50 {:>9}  p95 {:>9}  p99 {:>9}\n",
+                prio,
+                h.count(),
+                fmt_ns(h.p50()),
+                fmt_ns(h.p95()),
+                fmt_ns(h.p99()),
+            ));
+        }
+        out
+    }
+}

@@ -1,5 +1,5 @@
 //! Minimal API-compatible wall-clock benchmark harness standing in for
-//! `criterion` (offline vendored stub, see DESIGN.md §6). It implements the
+//! `criterion` (offline vendored stub, see DESIGN.md §7). It implements the
 //! subset the repo's benches use — groups, throughput annotation, sample
 //! size, `bench_function` / `bench_with_input`, `b.iter` — and measures for
 //! real: per sample it times one closure invocation with `std::time::Instant`

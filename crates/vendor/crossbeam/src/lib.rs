@@ -1,5 +1,5 @@
 //! Minimal API-compatible stand-in for `crossbeam` (offline vendored stub,
-//! see DESIGN.md §6). Only `utils::CachePadded` is needed: a wrapper that
+//! see DESIGN.md §7). Only `utils::CachePadded` is needed: a wrapper that
 //! aligns its contents to a cache-line boundary so hot atomics in adjacent
 //! queue slots do not false-share.
 

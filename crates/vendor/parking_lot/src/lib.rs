@@ -1,7 +1,7 @@
 //! Minimal API-compatible stand-in for the `parking_lot` crate, backed by
 //! `std::sync`. The container this repo builds in has no crates.io access,
 //! so the handful of external dependencies are vendored as thin stubs (see
-//! DESIGN.md §6). Semantics match what the engine relies on: `lock()`
+//! DESIGN.md §7). Semantics match what the engine relies on: `lock()`
 //! returns a guard directly (no `Result`), and poisoning is transparent —
 //! a panicked holder does not poison the lock for later users.
 

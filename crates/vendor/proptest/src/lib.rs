@@ -1,5 +1,5 @@
 //! Minimal API-compatible property-testing harness standing in for
-//! `proptest` (offline vendored stub, see DESIGN.md §6). Supports the
+//! `proptest` (offline vendored stub, see DESIGN.md §7). Supports the
 //! surface this repo's property tests use:
 //!
 //! - the `proptest! { #![proptest_config(..)] #[test] fn f(x in strat, ..) {..} }`

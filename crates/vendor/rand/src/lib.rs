@@ -1,5 +1,5 @@
 //! Minimal API-compatible stand-in for the `rand` crate (offline vendored
-//! stub, see DESIGN.md §6). Implements exactly the surface the data
+//! stub, see DESIGN.md §7). Implements exactly the surface the data
 //! generators use: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
 //! `Rng` methods `gen_range` (half-open and inclusive integer ranges),
 //! `gen_bool`, and `gen_ratio`.

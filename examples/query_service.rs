@@ -1,0 +1,119 @@
+//! Query-service demo: concurrent closed-loop clients, admission
+//! control, priority aging, and deadline cancellation over the
+//! morsel-driven engine.
+//!
+//! Serves a mixed-priority TPC-H workload at two client counts and
+//! prints per-priority p50/p99 end-to-end latency plus total throughput,
+//! then demonstrates a deadline-cancelled query and an admission
+//! rejection under a deliberately tiny queue.
+//!
+//! ```sh
+//! cargo run --release --example query_service
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morsel_repro::prelude::*;
+use morsel_repro::queries::tpch_queries;
+use morsel_repro::service::{run_closed_loop, QueryRequest, QueryService, ServiceConfig};
+
+fn main() {
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let db = Arc::new(generate_tpch(
+        TpchConfig {
+            scale: 0.005,
+            ..Default::default()
+        },
+        &topo,
+    ));
+    let workers = 4;
+    let mix = [1usize, 6, 13, 14];
+
+    // --- Mixed-priority load at two client counts -----------------------
+    for clients in [2usize, 8] {
+        let service = QueryService::start(
+            env.clone(),
+            ServiceConfig::new(workers)
+                .with_morsel_size(4_096)
+                .with_max_in_flight(workers)
+                .with_max_queue(4 * clients)
+                // +1 effective priority per 5ms of waiting.
+                .with_aging(AgingPolicy::every(
+                    Duration::from_millis(5).as_nanos() as u64
+                )),
+        );
+        let db = Arc::clone(&db);
+        let queries_per_client = 6;
+        run_closed_loop(&service, clients, queries_per_client, move |client, seq| {
+            let q = mix[(client + seq) % mix.len()];
+            let (spec, _result) = compile_query(
+                format!("c{client}-q{q}"),
+                tpch_queries::query(&db, q),
+                SystemVariant::full(),
+            );
+            // Every fourth client is an interactive priority-8 stream.
+            let priority = if client.is_multiple_of(4) { 8 } else { 1 };
+            QueryRequest::new(spec.with_priority(priority))
+        });
+        let report = service.shutdown();
+        println!(
+            "=== {clients} closed-loop clients x {queries_per_client} queries, {workers} workers ===\n{}",
+            report.summary()
+        );
+    }
+
+    // --- Deadline cancellation ------------------------------------------
+    let service = QueryService::start(
+        env.clone(),
+        ServiceConfig::new(workers).with_morsel_size(512),
+    );
+    let (spec, _r) = compile_query(
+        "impatient-q13",
+        tpch_queries::query(&db, 13),
+        SystemVariant::full(),
+    );
+    let doomed = service.submit(QueryRequest::new(spec).with_deadline(Duration::from_micros(300)));
+    let report = doomed.wait();
+    println!(
+        "deadline demo: {} -> {} after {:.3}ms (300us deadline)",
+        report.name,
+        report.outcome,
+        report.latency_ns as f64 / 1e6
+    );
+    // No assert on the outcome: on a fast enough host the query can
+    // legitimately beat a 300us deadline (demos print, tests prove —
+    // the deterministic guarantees live in crates/service/tests).
+    service.shutdown();
+
+    // --- Admission rejection under overload -----------------------------
+    let service = QueryService::start(
+        env.clone(),
+        ServiceConfig::new(workers)
+            .with_max_in_flight(1)
+            .with_max_queue(1),
+    );
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            let (spec, _r) = compile_query(
+                format!("burst-{i}"),
+                tpch_queries::query(&db, 1),
+                SystemVariant::full(),
+            );
+            service.submit(QueryRequest::new(spec))
+        })
+        .collect();
+    for t in tickets {
+        let r = t.wait();
+        println!("burst demo: {} -> {}", r.name, r.outcome);
+    }
+    let summary = service.shutdown();
+    println!(
+        "burst summary: {} completed, {} rejected (max_in_flight 1, queue 1)",
+        summary.completed, summary.rejected
+    );
+    // Conservation always holds; how many are rejected vs completed
+    // depends on how fast burst-0 drains, so it is printed, not asserted.
+    assert_eq!(summary.completed + summary.rejected + summary.cancelled, 3);
+}

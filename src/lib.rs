@@ -45,13 +45,14 @@ pub use morsel_datagen as datagen;
 pub use morsel_exec as exec;
 pub use morsel_numa as numa;
 pub use morsel_queries as queries;
+pub use morsel_service as service;
 pub use morsel_storage as storage;
 
 /// Everything needed to build and run queries.
 pub mod prelude {
     pub use morsel_core::{
-        result_slot, DispatchConfig, ExecEnv, QueryHandle, QuerySpec, SchedulingMode, SimExecutor,
-        ThreadedExecutor, DEFAULT_MORSEL_SIZE,
+        result_slot, AgingPolicy, DispatchConfig, ExecEnv, QueryHandle, QueryOutcome, QuerySpec,
+        SchedulingMode, SimExecutor, ThreadedExecutor, DEFAULT_MORSEL_SIZE,
     };
     pub use morsel_datagen::{generate_ssb, generate_tpch, SsbConfig, TpchConfig};
     pub use morsel_exec::agg::AggFn;
