@@ -5,7 +5,10 @@
 //! repro [--scale SF] [--ssb-scale SF] [--workers N] [--morsel N] [--quick] <experiment>...
 //! experiments: fig6 fig11 table1 table2 table3 summary numa_placement
 //!              numa_micro fig12 fig13 interference all
-//! extras:      service_load (wall-clock serving scenario; not part of "all")
+//! extras:      service_load  (wall-clock serving scenario; not part of "all")
+//!              plan_quality  (cost-based planner vs hand-authored plans)
+//!              explain <q>   (planner join order + est/actual rows, e.g.
+//!                             `explain q5` or `explain ssb2.1`)
 //! ```
 
 use morsel_bench::experiments::{self, ExpConfig};
@@ -13,9 +16,13 @@ use morsel_bench::experiments::{self, ExpConfig};
 fn main() {
     let mut cfg = ExpConfig::default();
     let mut experiments_to_run: Vec<String> = Vec::new();
+    let mut explain_targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "explain" => {
+                explain_targets.push(args.next().expect("explain needs a query, e.g. q5"));
+            }
             "--scale" => {
                 cfg.scale = args.next().expect("--scale needs a value").parse().unwrap();
             }
@@ -49,14 +56,18 @@ fn main() {
             other => experiments_to_run.push(other.to_owned()),
         }
     }
-    if experiments_to_run.is_empty() {
+    if experiments_to_run.is_empty() && explain_targets.is_empty() {
         eprintln!(
             "usage: repro [--scale SF] [--workers N] [--morsel N] [--quick] <experiment>...\n\
              experiments: fig6 fig11 table1 table2 table3 summary numa_placement\n\
              \x20            numa_micro fig12 fig13 interference all\n\
-             extras: service_load (wall-clock serving scenario)"
+             extras: service_load (wall-clock serving scenario)\n\
+             \x20       plan_quality | explain <q> (cost-based planner)"
         );
         std::process::exit(2);
+    }
+    for q in &explain_targets {
+        println!("{}", morsel_bench::explain_query(&cfg, q));
     }
     let all = [
         "fig6",
@@ -91,6 +102,7 @@ fn main() {
             "fig13" => experiments::fig13(&cfg),
             "interference" => experiments::interference(&cfg),
             "service_load" => morsel_bench::service_load(&cfg),
+            "plan_quality" => morsel_bench::plan_quality(&cfg),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 std::process::exit(2);

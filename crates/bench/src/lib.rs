@@ -3,14 +3,17 @@
 //! The experiment harness: one function per table/figure of the paper's
 //! evaluation (Section 5), each printing the same rows/series the paper
 //! reports, plus the [`service_load()`] serving experiment over
-//! `morsel-service`. The `repro` binary dispatches to them; criterion
-//! benches under `benches/` cover the wall-clock micro-benchmarks (hash
-//! table tagging, morsel cut-out, operator ablations, service
-//! throughput).
+//! `morsel-service` and the [`plan_quality()`]/[`explain_query()`]
+//! planner comparisons over `morsel-planner`. The `repro` binary
+//! dispatches to them; criterion benches under `benches/` cover the
+//! wall-clock micro-benchmarks (hash table tagging, morsel cut-out,
+//! operator ablations, service throughput, plan search).
 
 pub mod experiments;
+pub mod plan_quality;
 pub mod report;
 pub mod service_load;
 
 pub use experiments::*;
+pub use plan_quality::{explain_query, plan_quality};
 pub use service_load::service_load;

@@ -1,0 +1,249 @@
+//! Planner-vs-oracle comparison (`repro plan_quality`) and the
+//! `repro explain` command.
+//!
+//! For every query that exists in both hand-authored and logical form,
+//! `plan_quality` lowers the logical plan with the cost-based planner and
+//! compares it against the hand plan on equal footing: both are priced by
+//! the same estimator + NUMA cost model (simulated cost) and both are run
+//! in the virtual-time executor (simulated wall clock), across scale
+//! factors. `explain` prints one query's chosen join order and
+//! per-operator estimated vs. actual cardinalities, optd-demo style.
+
+use morsel_core::ExecEnv;
+use morsel_exec::plan::Plan;
+use morsel_exec::SystemVariant;
+use morsel_numa::Topology;
+use morsel_planner::{explain, plan_cost, Planner};
+use morsel_queries::{run_sim, ssb_logical, ssb_queries, tpch_logical, tpch_queries};
+
+use crate::experiments::ExpConfig;
+use crate::report::{ratio, secs, Table};
+
+/// Queries compared at each scale factor: the TPC-H logical slice plus
+/// three SSB representatives per join-depth class.
+const SSB_PICKS: [&str; 4] = ["2.1", "3.1", "4.1", "4.3"];
+
+struct Pair {
+    name: String,
+    oracle: Plan,
+    lowered: Plan,
+    order: String,
+}
+
+fn pairs(topo: &Topology, scale: f64, ssb_scale: f64) -> Vec<Pair> {
+    let planner = Planner::new(topo);
+    let tpch = morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(scale), topo);
+    let ssb = morsel_datagen::generate_ssb(morsel_datagen::SsbConfig::scaled(ssb_scale), topo);
+    let mut out = Vec::new();
+    for &q in &tpch_logical::IDS {
+        let logical = tpch_logical::query(&tpch, q).unwrap();
+        let (lowered, report) = planner.plan_with_report(&logical);
+        out.push(Pair {
+            name: format!("Q{q}"),
+            oracle: tpch_queries::query(&tpch, q),
+            lowered,
+            order: widest_order(&report),
+        });
+    }
+    for id in SSB_PICKS {
+        let (lowered, report) = planner.plan_with_report(&ssb_logical::query(&ssb, id));
+        out.push(Pair {
+            name: format!("SSB{id}"),
+            oracle: ssb_queries::query(&ssb, id),
+            lowered,
+            order: widest_order(&report),
+        });
+    }
+    out
+}
+
+fn widest_order(report: &morsel_planner::PlanReport) -> String {
+    report
+        .blocks
+        .iter()
+        .max_by_key(|b| b.leaves.len())
+        .map(|b| b.order.clone())
+        .unwrap_or_else(|| "-".to_owned())
+}
+
+/// The `plan_quality` experiment.
+pub fn plan_quality(cfg: &ExpConfig) -> String {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let planner = Planner::new(&topo);
+    // Sweep both workloads' scale factors together (quarter scale, then
+    // the configured scale), honoring --scale and --ssb-scale.
+    let scales: Vec<(f64, f64)> = if cfg.quick {
+        vec![(cfg.scale, cfg.ssb_scale)]
+    } else {
+        vec![
+            (cfg.scale / 4.0, cfg.ssb_scale / 4.0),
+            (cfg.scale, cfg.ssb_scale),
+        ]
+    };
+    let mut out = String::from(
+        "plan_quality: cost-based planner vs hand-authored plans\n\
+         (cost = simulated virtual ns under the shared NUMA model; time = \n\
+         virtual-time executor seconds, 16 workers)\n\n",
+    );
+    for &(sf, ssb_sf) in &scales {
+        let mut table = Table::new(&[
+            "query",
+            "cost hand",
+            "cost plan",
+            "ratio",
+            "time hand",
+            "time plan",
+            "speedup",
+        ]);
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        let mut orders: Vec<(String, String)> = Vec::new();
+        for p in pairs(&topo, sf, ssb_sf) {
+            let ch = plan_cost(&planner.params, &planner.estimator, &p.oracle);
+            let cp = plan_cost(&planner.params, &planner.estimator, &p.lowered);
+            let th = run_sim(
+                &env,
+                &format!("{}-hand", p.name),
+                p.oracle,
+                SystemVariant::full(),
+                16,
+                cfg.morsel_size,
+            )
+            .seconds();
+            let tp = run_sim(
+                &env,
+                &format!("{}-plan", p.name),
+                p.lowered,
+                SystemVariant::full(),
+                16,
+                cfg.morsel_size,
+            )
+            .seconds();
+            total += 1;
+            if cp <= ch * 1.000_001 {
+                wins += 1;
+            }
+            if p.order != "-" {
+                orders.push((p.name.clone(), p.order.clone()));
+            }
+            table.row(vec![
+                p.name.clone(),
+                format!("{:.2e}", ch),
+                format!("{:.2e}", cp),
+                ratio(ch / cp),
+                secs(th),
+                secs(tp),
+                ratio(th / tp),
+            ]);
+        }
+        out.push_str(&format!("TPC-H SF {sf} / SSB SF {ssb_sf}\n"));
+        out.push_str(&table.render());
+        out.push_str(&format!(
+            "planner cost <= hand cost on {wins}/{total} queries\n"
+        ));
+        if (sf, ssb_sf) == *scales.last().unwrap() {
+            out.push_str("\nchosen join orders (probe side first):\n");
+            for (name, order) in &orders {
+                out.push_str(&format!("  {name:>7}: {order}\n"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The `repro explain <query>` command. Accepts `q5`/`5` (TPC-H) or
+/// `ssb2.1`/`2.1` (SSB).
+pub fn explain_query(cfg: &ExpConfig, query: &str) -> String {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let planner = Planner::new(&topo);
+    let spec = query.trim().to_lowercase();
+
+    let (name, scale, lowered, report) = if let Some(id) = spec
+        .strip_prefix("ssb")
+        .map(str::to_owned)
+        .or_else(|| spec.contains('.').then(|| spec.clone()))
+    {
+        let db =
+            morsel_datagen::generate_ssb(morsel_datagen::SsbConfig::scaled(cfg.ssb_scale), &topo);
+        let (lowered, report) = planner.plan_with_report(&ssb_logical::query(&db, &id));
+        (format!("SSB Q{id}"), cfg.ssb_scale, lowered, report)
+    } else {
+        let n: usize = spec
+            .strip_prefix('q')
+            .unwrap_or(&spec)
+            .parse()
+            .unwrap_or_else(|_| panic!("unrecognized query {query:?}; try q5 or ssb2.1"));
+        let db =
+            morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(cfg.scale), &topo);
+        let logical = tpch_logical::query(&db, n).unwrap_or_else(|| {
+            panic!(
+                "TPC-H Q{n} has no logical form yet (available: {:?})",
+                tpch_logical::IDS
+            )
+        });
+        let (lowered, report) = planner.plan_with_report(&logical);
+        (format!("TPC-H Q{n}"), cfg.scale, lowered, report)
+    };
+
+    let mut out = format!("explain {name} (scale {scale}, workers 16)\n\n");
+    for (i, b) in report.blocks.iter().enumerate() {
+        out.push_str(&format!(
+            "join block {}: {} relation(s), estimated block cost {:.2e} ns{}\n  order: {}\n",
+            i + 1,
+            b.leaves.len(),
+            b.cost,
+            if b.forced_cross {
+                " (cross product forced)"
+            } else {
+                ""
+            },
+            b.order
+        ));
+    }
+
+    // Estimated vs actual: run every operator's subtree and count rows.
+    let lines = explain::collect(&lowered, &planner.estimator);
+    let actuals: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            run_sim(
+                &env,
+                &format!("explain-{i}"),
+                line.subplan.clone(),
+                SystemVariant::full(),
+                16,
+                cfg.morsel_size,
+            )
+            .result
+            .rows()
+        })
+        .collect();
+    out.push_str("\noperators (estimated vs measured cardinality):\n");
+    out.push_str(&explain::render(&lines, Some(&actuals)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_reports_join_order_and_cardinalities() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            ssb_scale: 0.002,
+            quick: true,
+            ..Default::default()
+        };
+        let text = explain_query(&cfg, "q5");
+        assert!(text.contains("join block 1:"), "{text}");
+        assert!(text.contains("⋈"));
+        assert!(text.contains("actual="));
+        let ssb = explain_query(&cfg, "ssb2.1");
+        assert!(ssb.contains("SSB Q2.1"));
+    }
+}

@@ -33,6 +33,11 @@ use crate::variant::SystemVariant;
 pub const TOPK_THRESHOLD: usize = 1024;
 
 /// A physical query plan.
+///
+/// `Clone` is part of the plan-introspection surface: the planner's
+/// `repro explain` support clones subtrees to execute them individually
+/// when reporting estimated-vs-actual cardinalities.
+#[derive(Clone)]
 pub enum Plan {
     /// Scan a base relation: filter on the relation schema, project into
     /// the working schema with `names`.

@@ -1,0 +1,253 @@
+//! Simulated operator costs on top of the calibrated NUMA model.
+//!
+//! The planner prices candidate plans in virtual nanoseconds of total
+//! work using the same [`CostModel`] that drives the discrete-event
+//! executor: scans and materializations are streaming transfers
+//! ([`CostModel::stream_ns`]), hash-table builds and probes are dependent
+//! random accesses ([`CostModel::random_ns`]) whose miss rate scales with
+//! how far the table outgrows the last-level cache, and CPU work overlaps
+//! with streaming but not with stalls ([`CostModel::combine`]).
+//!
+//! Hash tables are NUMA-spread (Section 4.2 of the paper: the table is
+//! interleaved across sockets), so `1 - 1/sockets` of the probe misses
+//! pay a one-hop latency. That term is what makes a small build side
+//! cheap — the signal the join enumerator optimizes.
+
+use morsel_exec::plan::Plan;
+use morsel_numa::{CostModel, Topology};
+
+use crate::estimate::{EstMemo, Estimator, PlanEst};
+
+/// CPU nanoseconds per expression-weight unit per row.
+const CPU_NS_PER_WEIGHT: f64 = 0.4;
+/// CPU nanoseconds to hash a key and walk a bucket.
+const HASH_CPU_NS: f64 = 2.5;
+/// CPU nanoseconds per comparison in a sort.
+const SORT_CPU_NS: f64 = 1.5;
+/// Effective last-level cache per socket: accesses to hash tables smaller
+/// than this mostly hit cache and pay no memory stall.
+const CACHE_BYTES: f64 = 8.0 * (1 << 20) as f64;
+
+/// Cost parameters for one simulated machine.
+#[derive(Debug, Clone)]
+pub struct CostParams {
+    pub model: CostModel,
+    pub sockets: u32,
+}
+
+impl CostParams {
+    pub fn for_topology(topology: &Topology) -> Self {
+        CostParams {
+            model: CostModel::for_topology(topology),
+            sockets: u32::from(topology.sockets().max(1)),
+        }
+    }
+
+    /// Streaming cost of moving `bytes` (NUMA-local: morsel scheduling
+    /// keeps scans on the partition's socket).
+    fn stream(&self, bytes: f64) -> f64 {
+        self.model.stream_ns(bytes.max(0.0) as u64, 0, 1, 0)
+    }
+
+    /// Stall cost of `misses` dependent accesses into a socket-spread
+    /// structure: `1/sockets` of them are local, the rest one hop away.
+    fn spread_random(&self, misses: f64) -> f64 {
+        let misses = misses.max(0.0);
+        let local = misses / f64::from(self.sockets);
+        let remote = misses - local;
+        self.model.random_ns(local as u64, 0) + self.model.random_ns(remote as u64, 1)
+    }
+
+    /// Stall cost of probing/updating a hash structure of `table_bytes`
+    /// total size `accesses` times: fully cached tables stall on nothing,
+    /// tables far beyond cache stall on every access.
+    fn table_random(&self, accesses: f64, table_bytes: f64) -> f64 {
+        let miss_rate = (table_bytes / CACHE_BYTES).min(1.0);
+        self.spread_random(accesses * miss_rate)
+    }
+
+    /// Cost of one hash-join step. Shared between the DP enumerator's
+    /// incremental search and [`plan_cost`]'s full-plan evaluation so the
+    /// two always agree on what "cheaper" means.
+    pub fn join_step(
+        &self,
+        build_rows: f64,
+        build_bytes: f64,
+        probe_rows: f64,
+        probe_bytes: f64,
+        out_rows: f64,
+        out_bytes: f64,
+    ) -> f64 {
+        // Build: materialize the side, then insert every row (a random
+        // write into the spread table).
+        let build = self.model.combine(
+            build_rows * HASH_CPU_NS,
+            self.stream(build_bytes),
+            self.table_random(build_rows, build_bytes),
+        );
+        // Probe: stream the probe side through, one dependent lookup per
+        // row, then emit matches.
+        let probe = self.model.combine(
+            probe_rows * HASH_CPU_NS,
+            self.stream(probe_bytes),
+            self.table_random(probe_rows, build_bytes),
+        );
+        let emit = self.stream((out_bytes - probe_bytes).max(0.0)) + out_rows * 0.5;
+        build + probe + emit
+    }
+}
+
+/// Total simulated cost (virtual ns of work) of a physical plan.
+///
+/// Used to compare planner-chosen against hand-authored plans on equal
+/// footing: both are lowered `exec` plans priced by the same model and
+/// the same cardinality estimates.
+pub fn plan_cost(params: &CostParams, est: &Estimator, plan: &Plan) -> f64 {
+    // One memo for the whole walk keeps costing linear in plan size.
+    cost_node(params, est, plan, &mut EstMemo::new()).0
+}
+
+/// Returns `(cumulative cost, output estimate)`.
+fn cost_node(
+    params: &CostParams,
+    est: &Estimator,
+    plan: &Plan,
+    memo: &mut EstMemo,
+) -> (f64, PlanEst) {
+    let out = est.estimate_memo(plan, memo);
+    match plan {
+        Plan::Scan {
+            relation,
+            filter,
+            project,
+        } => {
+            let bytes = relation.total_bytes() as f64;
+            let rows = relation.total_rows() as f64;
+            let weight: u32 = project.iter().map(|(_, e)| e.weight()).sum::<u32>()
+                + filter.as_ref().map_or(0, |f| f.weight());
+            let cpu = rows * f64::from(weight.max(1)) * CPU_NS_PER_WEIGHT;
+            (params.model.combine(cpu, params.stream(bytes), 0.0), out)
+        }
+        Plan::Filter { input, predicate } => {
+            let (c, i) = cost_node(params, est, input, memo);
+            let cpu = i.rows * f64::from(predicate.weight()) * CPU_NS_PER_WEIGHT;
+            (c + cpu, out)
+        }
+        Plan::Map { input, project } => {
+            let (c, i) = cost_node(params, est, input, memo);
+            let weight: u32 = project.iter().map(|(_, e)| e.weight()).sum();
+            let cpu = i.rows * f64::from(weight.max(1)) * CPU_NS_PER_WEIGHT;
+            (c + cpu, out)
+        }
+        Plan::Join { build, probe, .. } => {
+            let (cb, b) = cost_node(params, est, build, memo);
+            let (cp, p) = cost_node(params, est, probe, memo);
+            let step =
+                params.join_step(b.rows, b.bytes(), p.rows, p.bytes(), out.rows, out.bytes());
+            (cb + cp + step, out)
+        }
+        Plan::Agg { input, aggs, .. } => {
+            let (c, i) = cost_node(params, est, input, memo);
+            let cpu = i.rows * HASH_CPU_NS * (1.0 + aggs.len() as f64);
+            let groups_bytes = out.rows * out.row_width();
+            let stall = params.table_random(i.rows, groups_bytes);
+            (c + params.model.combine(cpu, 0.0, stall), out)
+        }
+        Plan::Sort { input, limit, .. } => {
+            let (c, i) = cost_node(params, est, input, memo);
+            let sort_cost = match limit {
+                // Top-k: a heap that rejects most rows cheaply.
+                Some(k) if *k <= morsel_exec::plan::TOPK_THRESHOLD => {
+                    let k = (*k as f64).max(2.0);
+                    i.rows * SORT_CPU_NS + out.rows * k.log2() * SORT_CPU_NS
+                }
+                _ => {
+                    let n = i.rows.max(2.0);
+                    params.model.combine(
+                        n * n.log2() * SORT_CPU_NS,
+                        params.stream(2.0 * i.bytes()), // materialize in, merge out
+                        0.0,
+                    )
+                }
+            };
+            (c + sort_cost, out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morsel_exec::expr::{col, gt, lit};
+    use morsel_numa::{Placement, Topology};
+    use morsel_storage::{Batch, Column, DataType, PartitionBy, Relation, Schema};
+    use std::sync::Arc;
+
+    fn rel(n: i64) -> Arc<Relation> {
+        Arc::new(Relation::partitioned(
+            Schema::new(vec![("k", DataType::I64), ("v", DataType::I64)]),
+            &Batch::from_columns(vec![
+                Column::I64((0..n).collect()),
+                Column::I64((0..n).map(|x| x % 97).collect()),
+            ]),
+            PartitionBy::Hash { column: 0 },
+            8,
+            Placement::FirstTouch,
+            &Topology::nehalem_ex(),
+        ))
+    }
+
+    fn params() -> CostParams {
+        CostParams::for_topology(&Topology::nehalem_ex())
+    }
+
+    #[test]
+    fn bigger_scans_cost_more() {
+        let est = Estimator::default();
+        let small = plan_cost(&params(), &est, &Plan::scan(rel(1_000), None, &["k"]));
+        let large = plan_cost(&params(), &est, &Plan::scan(rel(100_000), None, &["k"]));
+        assert!(large > 10.0 * small, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn building_the_small_side_is_cheaper() {
+        let est = Estimator::default();
+        let p = params();
+        let build_small = Plan::scan(rel(200_000), None, &["k", "v"]).join(
+            Plan::scan(rel(500), None, &["k"]),
+            &["k"],
+            &["k"],
+            &[],
+        );
+        let build_large = Plan::scan(rel(500), None, &["k"]).join(
+            Plan::scan(rel(200_000), None, &["k", "v"]),
+            &["k"],
+            &["k"],
+            &["v"],
+        );
+        let cs = plan_cost(&p, &est, &build_small);
+        let cl = plan_cost(&p, &est, &build_large);
+        assert!(cs < cl, "build-small {cs} should beat build-large {cl}");
+    }
+
+    #[test]
+    fn selective_filter_cheapens_downstream_join() {
+        let est = Estimator::default();
+        let p = params();
+        let unfiltered = Plan::scan(rel(100_000), None, &["k", "v"]).join(
+            Plan::scan(rel(100_000), None, &["k"]),
+            &["k"],
+            &["k"],
+            &[],
+        );
+        let filtered = Plan::scan(rel(100_000), Some(gt(col(0), lit(99_000))), &["k", "v"]).join(
+            Plan::scan(rel(100_000), None, &["k"]),
+            &["k"],
+            &["k"],
+            &[],
+        );
+        // The filtered probe side costs less overall even though the scan
+        // itself is identical.
+        assert!(plan_cost(&p, &est, &filtered) < plan_cost(&p, &est, &unfiltered));
+    }
+}

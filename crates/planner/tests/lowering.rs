@@ -1,0 +1,307 @@
+//! Lowered plans must compute exactly what the logical plan describes:
+//! property tests over synthetic join graphs compare planner output
+//! against hand-authored oracle plans, row for row.
+
+use std::sync::Arc;
+
+use morsel_core::{DispatchConfig, ExecEnv, SimExecutor};
+use morsel_exec::agg::AggFn;
+use morsel_exec::expr::{col, ge, gt, lit};
+use morsel_exec::join::JoinKind;
+use morsel_exec::plan::{compile_query, Plan};
+use morsel_exec::sort::{sort_batch, SortKey};
+use morsel_exec::SystemVariant;
+use morsel_numa::{Placement, Topology};
+use morsel_planner::{AggSpec, LogicalPlan, OrderBy, Planner};
+use morsel_storage::{Batch, Column, PartitionBy, Relation, Schema};
+use proptest::prelude::*;
+
+fn run(env: &ExecEnv, plan: Plan) -> Batch {
+    let (spec, result) = compile_query("q", plan, SystemVariant::full());
+    let mut sim = SimExecutor::new(env.clone(), DispatchConfig::new(8).with_morsel_size(512));
+    sim.submit(spec);
+    sim.run();
+    let out = result.lock().take().unwrap_or_default();
+    out
+}
+
+/// Sort by every column so multiset comparison ignores row order.
+fn normalized(batch: &Batch) -> Batch {
+    let keys: Vec<SortKey> = (0..batch.width()).map(SortKey::asc).collect();
+    sort_batch(batch, &keys)
+}
+
+fn rel(topo: &Topology, cols: Vec<(&str, Column)>) -> Arc<Relation> {
+    let schema = Schema::new(
+        cols.iter()
+            .map(|(n, c)| (*n, c.data_type()))
+            .collect::<Vec<_>>(),
+    );
+    let batch = Batch::from_columns(cols.into_iter().map(|(_, c)| c).collect());
+    Arc::new(Relation::partitioned(
+        schema,
+        &batch,
+        PartitionBy::Chunks,
+        4,
+        Placement::FirstTouch,
+        topo,
+    ))
+}
+
+/// Fact(n) with two foreign keys; two dimensions with payloads.
+struct Star {
+    fact: Arc<Relation>,
+    dim_a: Arc<Relation>,
+    dim_b: Arc<Relation>,
+}
+
+fn star(topo: &Topology, n: i64, na: i64, nb: i64, seed: i64) -> Star {
+    let mix = |x: i64, m: i64| (x.wrapping_mul(2654435761) ^ seed).rem_euclid(m);
+    Star {
+        fact: rel(
+            topo,
+            vec![
+                ("f_id", Column::I64((0..n).collect())),
+                ("f_a", Column::I64((0..n).map(|x| mix(x, na)).collect())),
+                ("f_b", Column::I64((0..n).map(|x| mix(x + 7, nb)).collect())),
+                ("f_val", Column::I64((0..n).map(|x| x % 1000).collect())),
+            ],
+        ),
+        dim_a: rel(
+            topo,
+            vec![
+                ("a_id", Column::I64((0..na).collect())),
+                ("a_grp", Column::I64((0..na).map(|x| x % 5).collect())),
+            ],
+        ),
+        dim_b: rel(
+            topo,
+            vec![
+                ("b_id", Column::I64((0..nb).collect())),
+                ("b_grp", Column::I64((0..nb).map(|x| x % 3).collect())),
+            ],
+        ),
+    }
+}
+
+#[test]
+fn two_join_aggregate_matches_oracle() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let s = star(&topo, 20_000, 50, 20, 0);
+
+    let logical = LogicalPlan::scan("fact", s.fact.clone(), None, &["f_a", "f_b", "f_val"])
+        .join(
+            LogicalPlan::scan(
+                "dim_a",
+                s.dim_a.clone(),
+                Some(ge(col(1), lit(2))),
+                &["a_id", "a_grp"],
+            ),
+            &["f_a"],
+            &["a_id"],
+        )
+        .join(
+            LogicalPlan::scan("dim_b", s.dim_b.clone(), None, &["b_id", "b_grp"]),
+            &["f_b"],
+            &["b_id"],
+        )
+        .aggregate(
+            &["a_grp", "b_grp"],
+            vec![("total", AggSpec::sum("f_val")), ("n", AggSpec::Count)],
+        )
+        .sort(vec![OrderBy::asc("a_grp"), OrderBy::asc("b_grp")], None);
+
+    let oracle = Plan::scan(s.fact.clone(), None, &["f_a", "f_b", "f_val"])
+        .join(
+            Plan::scan(
+                s.dim_a.clone(),
+                Some(ge(col(1), lit(2))),
+                &["a_id", "a_grp"],
+            ),
+            &["f_a"],
+            &["a_id"],
+            &["a_grp"],
+        )
+        .join(
+            Plan::scan(s.dim_b.clone(), None, &["b_id", "b_grp"]),
+            &["f_b"],
+            &["b_id"],
+            &["b_grp"],
+        )
+        .agg(
+            &["a_grp", "b_grp"],
+            vec![("total", AggFn::SumI64(2)), ("n", AggFn::Count)],
+        )
+        .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None);
+
+    let planner = Planner::new(&topo);
+    let (lowered, report) = planner.plan_with_report(&logical);
+    assert_eq!(report.blocks.len(), 1, "one inner-join block");
+    assert_eq!(report.blocks[0].leaves.len(), 3);
+
+    let got = run(&env, lowered);
+    let want = run(&env, oracle);
+    assert_eq!(got, want, "planner result diverged from oracle");
+}
+
+#[test]
+fn semi_join_blocks_are_respected() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let s = star(&topo, 10_000, 40, 15, 3);
+
+    let logical = LogicalPlan::scan("fact", s.fact.clone(), None, &["f_a", "f_b", "f_val"])
+        .join_kind(
+            LogicalPlan::scan(
+                "dim_a",
+                s.dim_a.clone(),
+                Some(gt(col(1), lit(1))),
+                &["a_id"],
+            ),
+            &["f_a"],
+            &["a_id"],
+            JoinKind::Semi,
+        )
+        .join(
+            LogicalPlan::scan("dim_b", s.dim_b.clone(), None, &["b_id", "b_grp"]),
+            &["f_b"],
+            &["b_id"],
+        )
+        .aggregate(&["b_grp"], vec![("total", AggSpec::sum("f_val"))])
+        .sort(vec![OrderBy::asc("b_grp")], None);
+
+    let oracle = Plan::scan(s.fact.clone(), None, &["f_a", "f_b", "f_val"])
+        .join_kind(
+            Plan::scan(s.dim_a.clone(), Some(gt(col(1), lit(1))), &["a_id"]),
+            &["f_a"],
+            &["a_id"],
+            &[],
+            JoinKind::Semi,
+        )
+        .join(
+            Plan::scan(s.dim_b.clone(), None, &["b_id", "b_grp"]),
+            &["f_b"],
+            &["b_id"],
+            &["b_grp"],
+        )
+        .agg(&["b_grp"], vec![("total", AggFn::SumI64(2))])
+        .sort_by(vec![SortKey::asc(0)], None);
+
+    let got = run(&env, Planner::new(&topo).plan(&logical));
+    let want = run(&env, oracle);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn projection_pruning_preserves_results() {
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let s = star(&topo, 5_000, 25, 10, 11);
+
+    // Scans declare more columns than the aggregate reads; pruned scans
+    // must not change the answer.
+    let logical = LogicalPlan::scan(
+        "fact",
+        s.fact.clone(),
+        None,
+        &["f_id", "f_a", "f_b", "f_val"],
+    )
+    .join(
+        LogicalPlan::scan("dim_a", s.dim_a.clone(), None, &["a_id", "a_grp"]),
+        &["f_a"],
+        &["a_id"],
+    )
+    .aggregate(&["a_grp"], vec![("n", AggSpec::Count)])
+    .sort(vec![OrderBy::asc("a_grp")], None);
+
+    let lowered = Planner::new(&topo).plan(&logical);
+    // The fact scan must have been narrowed: f_id and f_val are unread.
+    fn scan_widths(p: &Plan, out: &mut Vec<usize>) {
+        match p {
+            Plan::Scan { project, .. } => out.push(project.len()),
+            Plan::Filter { input, .. }
+            | Plan::Map { input, .. }
+            | Plan::Agg { input, .. }
+            | Plan::Sort { input, .. } => scan_widths(input, out),
+            Plan::Join { build, probe, .. } => {
+                scan_widths(probe, out);
+                scan_widths(build, out);
+            }
+        }
+    }
+    let mut widths = Vec::new();
+    scan_widths(&lowered, &mut widths);
+    assert!(
+        widths.iter().all(|&w| w <= 2),
+        "scans not pruned: {widths:?}"
+    );
+
+    let oracle = Plan::scan(s.fact.clone(), None, &["f_a"])
+        .join(
+            Plan::scan(s.dim_a.clone(), None, &["a_id", "a_grp"]),
+            &["f_a"],
+            &["a_id"],
+            &["a_grp"],
+        )
+        .agg(&["a_grp"], vec![("n", AggFn::Count)])
+        .sort_by(vec![SortKey::asc(0)], None);
+    assert_eq!(run(&env, lowered), run(&env, oracle));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random star shapes: the planner's chosen order always returns the
+    /// oracle's rows, whatever order it picked.
+    #[test]
+    fn random_star_equivalence(
+        n in 500i64..4_000,
+        na in 3i64..60,
+        nb in 2i64..25,
+        seed in 0i64..1_000,
+    ) {
+        let topo = Topology::nehalem_ex();
+        let env = ExecEnv::new(topo.clone());
+        let s = star(&topo, n, na, nb, seed);
+
+        let logical = LogicalPlan::scan("fact", s.fact.clone(), None, &["f_a", "f_b", "f_val"])
+            .join(
+                LogicalPlan::scan("dim_a", s.dim_a.clone(), None, &["a_id", "a_grp"]),
+                &["f_a"],
+                &["a_id"],
+            )
+            .join(
+                LogicalPlan::scan("dim_b", s.dim_b.clone(), None, &["b_id", "b_grp"]),
+                &["f_b"],
+                &["b_id"],
+            )
+            .aggregate(
+                &["a_grp", "b_grp"],
+                vec![("total", AggSpec::sum("f_val")), ("n", AggSpec::Count)],
+            );
+
+        let oracle = Plan::scan(s.fact.clone(), None, &["f_a", "f_b", "f_val"])
+            .join(
+                Plan::scan(s.dim_a.clone(), None, &["a_id", "a_grp"]),
+                &["f_a"],
+                &["a_id"],
+                &["a_grp"],
+            )
+            .join(
+                Plan::scan(s.dim_b.clone(), None, &["b_id", "b_grp"]),
+                &["f_b"],
+                &["b_id"],
+                &["b_grp"],
+            )
+            .agg(
+                &["a_grp", "b_grp"],
+                vec![("total", AggFn::SumI64(2)), ("n", AggFn::Count)],
+            );
+
+        // No sort in the plan: compare as multisets.
+        let got = normalized(&run(&env, Planner::new(&topo).plan(&logical)));
+        let want = normalized(&run(&env, oracle));
+        prop_assert_eq!(got, want);
+    }
+}

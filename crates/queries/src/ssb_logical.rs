@@ -1,28 +1,25 @@
-//! The 13 Star Schema Benchmark queries (Table 3 of the paper).
+//! All 13 Star Schema Benchmark queries as [`LogicalPlan`]s.
 //!
-//! Every query probes the big `lineorder` fact table through one or more
-//! small dimension hash tables — the workload where the paper's pipelined
-//! single-table join shines (Section 5.5: "All SSB queries join a large
-//! fact table with multiple smaller dimension tables").
+//! Same queries as [`crate::ssb_queries`], declaratively: the planner
+//! gets to discover for itself that the fact table should stream through
+//! dimension hash tables — the shape the paper fixes by hand in Table 3.
 
 use morsel_datagen::SsbDb;
-use morsel_exec::agg::AggFn;
-use morsel_exec::expr::{self, and, between, col, eq, ge, in_str, le, lit, sub};
+use morsel_exec::expr::{self, and, between, col, eq, ge, in_str, le, lit, sub, Expr};
 use morsel_exec::join::JoinKind;
-use morsel_exec::plan::Plan;
-use morsel_exec::sort::SortKey;
+use morsel_planner::{AggSpec, LogicalPlan, OrderBy};
 
 use crate::util::disc_product;
 
-/// Dimension scan helpers.
-fn dates(db: &SsbDb, filter: Option<expr::Expr>, cols: &[&str]) -> Plan {
-    Plan::scan(db.date_dim.clone(), filter, cols)
+fn dates(db: &SsbDb, filter: Option<Expr>, cols: &[&str]) -> LogicalPlan {
+    LogicalPlan::scan("date", db.date_dim.clone(), filter, cols)
 }
 
 /// Q1.x: revenue from discount brackets in a date window.
-fn q1_template(db: &SsbDb, date_filter: expr::Expr, disc: (i64, i64), qty: expr::Expr) -> Plan {
+fn q1_template(db: &SsbDb, date_filter: Expr, disc: (i64, i64), qty: Expr) -> LogicalPlan {
     let dim = dates(db, Some(date_filter), &["d_datekey"]);
-    Plan::scan_project(
+    LogicalPlan::scan_project(
+        "lineorder",
         db.lineorder.clone(),
         Some(and(between(col(7), disc.0, disc.1), qty)),
         vec![
@@ -30,19 +27,19 @@ fn q1_template(db: &SsbDb, date_filter: expr::Expr, disc: (i64, i64), qty: expr:
             ("rev", disc_product(col(6), col(7))),
         ],
     )
-    .join_kind(dim, &["lo_orderdate"], &["d_datekey"], &[], JoinKind::Semi)
-    .agg(&[], vec![("revenue", AggFn::SumI64(1))])
+    .join_kind(dim, &["lo_orderdate"], &["d_datekey"], JoinKind::Semi)
+    .aggregate(&[], vec![("revenue", AggSpec::sum("rev"))])
 }
 
-pub fn q1_1(db: &SsbDb) -> Plan {
+pub fn q1_1(db: &SsbDb) -> LogicalPlan {
     q1_template(db, eq(col(1), lit(1993)), (1, 3), expr::lt(col(5), lit(25)))
 }
 
-pub fn q1_2(db: &SsbDb) -> Plan {
+pub fn q1_2(db: &SsbDb) -> LogicalPlan {
     q1_template(db, eq(col(2), lit(199401)), (4, 6), between(col(5), 26, 35))
 }
 
-pub fn q1_3(db: &SsbDb) -> Plan {
+pub fn q1_3(db: &SsbDb) -> LogicalPlan {
     q1_template(
         db,
         and(eq(col(4), lit(6)), eq(col(1), lit(1994))),
@@ -52,35 +49,41 @@ pub fn q1_3(db: &SsbDb) -> Plan {
 }
 
 /// Q2.x: revenue by year and brand for a part subset and supplier region.
-fn q2_template(db: &SsbDb, part_filter: expr::Expr, region: &str) -> Plan {
-    let parts = Plan::scan(
+fn q2_template(db: &SsbDb, part_filter: Expr, region: &str) -> LogicalPlan {
+    let parts = LogicalPlan::scan(
+        "part",
         db.part.clone(),
         Some(part_filter),
         &["p_partkey", "p_brand1"],
     );
-    let supp = Plan::scan(
+    let supp = LogicalPlan::scan(
+        "supplier",
         db.supplier.clone(),
         Some(eq(col(4), expr::lits(region))),
         &["s_suppkey"],
     );
     let dim = dates(db, None, &["d_datekey", "d_year"]);
-    Plan::scan(
+    LogicalPlan::scan(
+        "lineorder",
         db.lineorder.clone(),
         None,
         &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"],
     )
-    .join(parts, &["lo_partkey"], &["p_partkey"], &["p_brand1"])
-    .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], &[], JoinKind::Semi)
-    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
-    .agg(&["d_year", "p_brand1"], vec![("revenue", AggFn::SumI64(3))])
-    .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None)
+    .join(parts, &["lo_partkey"], &["p_partkey"])
+    .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], JoinKind::Semi)
+    .join(dim, &["lo_orderdate"], &["d_datekey"])
+    .aggregate(
+        &["d_year", "p_brand1"],
+        vec![("revenue", AggSpec::sum("lo_revenue"))],
+    )
+    .sort(vec![OrderBy::asc("d_year"), OrderBy::asc("p_brand1")], None)
 }
 
-pub fn q2_1(db: &SsbDb) -> Plan {
+pub fn q2_1(db: &SsbDb) -> LogicalPlan {
     q2_template(db, eq(col(3), expr::lits("MFGR#12")), "AMERICA")
 }
 
-pub fn q2_2(db: &SsbDb) -> Plan {
+pub fn q2_2(db: &SsbDb) -> LogicalPlan {
     q2_template(
         db,
         and(
@@ -91,136 +94,128 @@ pub fn q2_2(db: &SsbDb) -> Plan {
     )
 }
 
-pub fn q2_3(db: &SsbDb) -> Plan {
+pub fn q2_3(db: &SsbDb) -> LogicalPlan {
     q2_template(db, eq(col(4), expr::lits("MFGR#2239")), "EUROPE")
 }
 
 /// Q3.x: revenue by customer/supplier geography and year.
 fn q3_template(
     db: &SsbDb,
-    cust_filter: expr::Expr,
-    supp_filter: expr::Expr,
+    cust_filter: Expr,
+    supp_filter: Expr,
     cust_group: &str,
     supp_group: &str,
-    date_filter: Option<expr::Expr>,
-) -> Plan {
-    let cust = Plan::scan_project(
+    date_filter: Option<Expr>,
+) -> LogicalPlan {
+    let cust = LogicalPlan::scan_project(
+        "customer",
         db.customer.clone(),
         Some(cust_filter),
-        vec![
-            ("c_custkey", col(0)),
-            ("c_group", col_by_name_cust(cust_group)),
-        ],
+        vec![("c_custkey", col(0)), ("c_group", col_by_name(cust_group))],
     );
-    let supp = Plan::scan_project(
+    let supp = LogicalPlan::scan_project(
+        "supplier",
         db.supplier.clone(),
         Some(supp_filter),
-        vec![
-            ("s_suppkey", col(0)),
-            ("s_group", col_by_name_supp(supp_group)),
-        ],
+        vec![("s_suppkey", col(0)), ("s_group", col_by_name(supp_group))],
     );
     let dim = dates(db, date_filter, &["d_datekey", "d_year"]);
-    Plan::scan(
+    LogicalPlan::scan(
+        "lineorder",
         db.lineorder.clone(),
         None,
         &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"],
     )
-    .join(cust, &["lo_custkey"], &["c_custkey"], &["c_group"])
-    .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_group"])
-    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
-    .agg(
+    .join(cust, &["lo_custkey"], &["c_custkey"])
+    .join(supp, &["lo_suppkey"], &["s_suppkey"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"])
+    .aggregate(
         &["c_group", "s_group", "d_year"],
-        vec![("revenue", AggFn::SumI64(3))],
+        vec![("revenue", AggSpec::sum("lo_revenue"))],
     )
-    .sort_by(vec![SortKey::asc(2), SortKey::desc(3)], None)
+    .sort(vec![OrderBy::asc("d_year"), OrderBy::desc("revenue")], None)
 }
 
-// Customer columns: 0 key, 1 name, 2 city, 3 nation, 4 region.
-fn col_by_name_cust(name: &str) -> expr::Expr {
+// Customer/supplier columns: 0 key, 1 name, 2 city, 3 nation, 4 region
+// (the two dimension schemas share this layout).
+fn col_by_name(name: &str) -> Expr {
     match name {
-        "c_city" => col(2),
-        "c_nation" => col(3),
-        "c_region" => col(4),
-        other => panic!("unknown customer group column {other}"),
+        "city" => col(2),
+        "nation" => col(3),
+        "region" => col(4),
+        other => panic!("unknown dimension group column {other}"),
     }
 }
 
-// Supplier columns: 0 key, 1 name, 2 city, 3 nation, 4 region.
-fn col_by_name_supp(name: &str) -> expr::Expr {
-    match name {
-        "s_city" => col(2),
-        "s_nation" => col(3),
-        "s_region" => col(4),
-        other => panic!("unknown supplier group column {other}"),
-    }
-}
-
-pub fn q3_1(db: &SsbDb) -> Plan {
+pub fn q3_1(db: &SsbDb) -> LogicalPlan {
     q3_template(
         db,
         eq(col(4), expr::lits("ASIA")),
         eq(col(4), expr::lits("ASIA")),
-        "c_nation",
-        "s_nation",
+        "nation",
+        "nation",
         Some(between(col(1), 1992, 1997)),
     )
 }
 
-pub fn q3_2(db: &SsbDb) -> Plan {
+pub fn q3_2(db: &SsbDb) -> LogicalPlan {
     q3_template(
         db,
         eq(col(3), expr::lits("UNITED STATES")),
         eq(col(3), expr::lits("UNITED STATES")),
-        "c_city",
-        "s_city",
+        "city",
+        "city",
         Some(between(col(1), 1992, 1997)),
     )
 }
 
-pub fn q3_3(db: &SsbDb) -> Plan {
+pub fn q3_3(db: &SsbDb) -> LogicalPlan {
     let cities: [&str; 2] = ["UNITED KI1", "UNITED KI5"];
     q3_template(
         db,
         in_str(col(2), &cities),
         in_str(col(2), &cities),
-        "c_city",
-        "s_city",
+        "city",
+        "city",
         Some(between(col(1), 1992, 1997)),
     )
 }
 
-pub fn q3_4(db: &SsbDb) -> Plan {
+pub fn q3_4(db: &SsbDb) -> LogicalPlan {
     let cities: [&str; 2] = ["UNITED KI1", "UNITED KI5"];
     q3_template(
         db,
         in_str(col(2), &cities),
         in_str(col(2), &cities),
-        "c_city",
-        "s_city",
+        "city",
+        "city",
         Some(eq(col(3), expr::lits("Dec1997"))),
     )
 }
 
 /// Q4.x: profit (revenue - supplycost) drill-down.
-pub fn q4_1(db: &SsbDb) -> Plan {
-    let cust = Plan::scan(
+pub fn q4_1(db: &SsbDb) -> LogicalPlan {
+    let cust = LogicalPlan::scan(
+        "customer",
         db.customer.clone(),
         Some(eq(col(4), expr::lits("AMERICA"))),
         &["c_custkey", "c_nation"],
     );
-    let supp = Plan::scan(
+    let supp = LogicalPlan::scan(
+        "supplier",
         db.supplier.clone(),
         Some(eq(col(4), expr::lits("AMERICA"))),
         &["s_suppkey"],
     );
-    let parts = Plan::scan(
+    let parts = LogicalPlan::scan(
+        "part",
         db.part.clone(),
         Some(in_str(col(2), &["MFGR#1", "MFGR#2"])),
         &["p_partkey"],
     );
     let dim = dates(db, None, &["d_datekey", "d_year"]);
-    Plan::scan_project(
+    LogicalPlan::scan_project(
+        "lineorder",
         db.lineorder.clone(),
         None,
         vec![
@@ -231,32 +226,39 @@ pub fn q4_1(db: &SsbDb) -> Plan {
             ("profit", sub(col(8), col(9))),
         ],
     )
-    .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], &[], JoinKind::Semi)
-    .join_kind(parts, &["lo_partkey"], &["p_partkey"], &[], JoinKind::Semi)
-    .join(cust, &["lo_custkey"], &["c_custkey"], &["c_nation"])
-    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
-    .agg(&["d_year", "c_nation"], vec![("profit", AggFn::SumI64(4))])
-    .sort_by(vec![SortKey::asc(0), SortKey::asc(1)], None)
+    .join_kind(supp, &["lo_suppkey"], &["s_suppkey"], JoinKind::Semi)
+    .join_kind(parts, &["lo_partkey"], &["p_partkey"], JoinKind::Semi)
+    .join(cust, &["lo_custkey"], &["c_custkey"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"])
+    .aggregate(
+        &["d_year", "c_nation"],
+        vec![("profit", AggSpec::sum("profit"))],
+    )
+    .sort(vec![OrderBy::asc("d_year"), OrderBy::asc("c_nation")], None)
 }
 
-pub fn q4_2(db: &SsbDb) -> Plan {
-    let cust = Plan::scan(
+pub fn q4_2(db: &SsbDb) -> LogicalPlan {
+    let cust = LogicalPlan::scan(
+        "customer",
         db.customer.clone(),
         Some(eq(col(4), expr::lits("AMERICA"))),
         &["c_custkey"],
     );
-    let supp = Plan::scan(
+    let supp = LogicalPlan::scan(
+        "supplier",
         db.supplier.clone(),
         Some(eq(col(4), expr::lits("AMERICA"))),
         &["s_suppkey", "s_nation"],
     );
-    let parts = Plan::scan(
+    let parts = LogicalPlan::scan(
+        "part",
         db.part.clone(),
         Some(in_str(col(2), &["MFGR#1", "MFGR#2"])),
         &["p_partkey", "p_category"],
     );
-    let dim = dates(db, Some(in_str_i64_years()), &["d_datekey", "d_year"]);
-    Plan::scan_project(
+    let dim = dates(db, Some(years_1997_1998()), &["d_datekey", "d_year"]);
+    LogicalPlan::scan_project(
+        "lineorder",
         db.lineorder.clone(),
         None,
         vec![
@@ -267,37 +269,44 @@ pub fn q4_2(db: &SsbDb) -> Plan {
             ("profit", sub(col(8), col(9))),
         ],
     )
-    .join_kind(cust, &["lo_custkey"], &["c_custkey"], &[], JoinKind::Semi)
-    .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_nation"])
-    .join(parts, &["lo_partkey"], &["p_partkey"], &["p_category"])
-    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
-    .agg(
+    .join_kind(cust, &["lo_custkey"], &["c_custkey"], JoinKind::Semi)
+    .join(supp, &["lo_suppkey"], &["s_suppkey"])
+    .join(parts, &["lo_partkey"], &["p_partkey"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"])
+    .aggregate(
         &["d_year", "s_nation", "p_category"],
-        vec![("profit", AggFn::SumI64(4))],
+        vec![("profit", AggSpec::sum("profit"))],
     )
-    .sort_by(
-        vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+    .sort(
+        vec![
+            OrderBy::asc("d_year"),
+            OrderBy::asc("s_nation"),
+            OrderBy::asc("p_category"),
+        ],
         None,
     )
 }
 
-fn in_str_i64_years() -> expr::Expr {
+fn years_1997_1998() -> Expr {
     expr::in_i64(col(1), vec![1997, 1998])
 }
 
-pub fn q4_3(db: &SsbDb) -> Plan {
-    let supp = Plan::scan(
+pub fn q4_3(db: &SsbDb) -> LogicalPlan {
+    let supp = LogicalPlan::scan(
+        "supplier",
         db.supplier.clone(),
         Some(eq(col(3), expr::lits("UNITED STATES"))),
         &["s_suppkey", "s_city"],
     );
-    let parts = Plan::scan(
+    let parts = LogicalPlan::scan(
+        "part",
         db.part.clone(),
         Some(eq(col(3), expr::lits("MFGR#14"))),
         &["p_partkey", "p_brand1"],
     );
-    let dim = dates(db, Some(in_str_i64_years()), &["d_datekey", "d_year"]);
-    Plan::scan_project(
+    let dim = dates(db, Some(years_1997_1998()), &["d_datekey", "d_year"]);
+    LogicalPlan::scan_project(
+        "lineorder",
         db.lineorder.clone(),
         None,
         vec![
@@ -307,25 +316,26 @@ pub fn q4_3(db: &SsbDb) -> Plan {
             ("profit", sub(col(8), col(9))),
         ],
     )
-    .join(supp, &["lo_suppkey"], &["s_suppkey"], &["s_city"])
-    .join(parts, &["lo_partkey"], &["p_partkey"], &["p_brand1"])
-    .join(dim, &["lo_orderdate"], &["d_datekey"], &["d_year"])
-    .agg(
+    .join(supp, &["lo_suppkey"], &["s_suppkey"])
+    .join(parts, &["lo_partkey"], &["p_partkey"])
+    .join(dim, &["lo_orderdate"], &["d_datekey"])
+    .aggregate(
         &["d_year", "s_city", "p_brand1"],
-        vec![("profit", AggFn::SumI64(3))],
+        vec![("profit", AggSpec::sum("profit"))],
     )
-    .sort_by(
-        vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+    .sort(
+        vec![
+            OrderBy::asc("d_year"),
+            OrderBy::asc("s_city"),
+            OrderBy::asc("p_brand1"),
+        ],
         None,
     )
 }
 
-/// The 13 query ids in Table 3 order.
-pub const IDS: [&str; 13] = [
-    "1.1", "1.2", "1.3", "2.1", "2.2", "2.3", "3.1", "3.2", "3.3", "3.4", "4.1", "4.2", "4.3",
-];
+pub use crate::ssb_queries::IDS;
 
-pub fn query(db: &SsbDb, id: &str) -> Plan {
+pub fn query(db: &SsbDb, id: &str) -> LogicalPlan {
     match id {
         "1.1" => q1_1(db),
         "1.2" => q1_2(db),
@@ -344,7 +354,7 @@ pub fn query(db: &SsbDb, id: &str) -> Plan {
     }
 }
 
-pub fn all(db: &SsbDb) -> Vec<(String, Plan)> {
+pub fn all(db: &SsbDb) -> Vec<(String, LogicalPlan)> {
     IDS.iter()
         .map(|id| (format!("SSB Q{id}"), query(db, id)))
         .collect()

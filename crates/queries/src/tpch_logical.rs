@@ -1,0 +1,589 @@
+//! A representative slice of TPC-H expressed as [`LogicalPlan`]s.
+//!
+//! These are declarative re-statements of the hand-authored plans in
+//! [`crate::tpch_queries`]: scans with the same filters, joins keyed by
+//! column names with **no** fixed order or build/probe choice, and named
+//! aggregates. The cost-based planner decides the physical shape; the
+//! hand plans remain the oracle the planner is tested against.
+//!
+//! The slice covers every plan shape the planner handles — scan+aggregate
+//! (Q1/Q6), selective joins (Q3/Q10), semi joins (Q4), deep inner-join
+//! blocks with 6–8 relations (Q5/Q8/Q9), count joins (Q13), and
+//! aggregate-below-join subplans (Q18). Queries built around broadcast
+//! tricks (Q11/Q15/Q17/Q22 re-join a scalar via a constant key) stay
+//! hand-authored.
+
+use morsel_datagen::TpchDb;
+use morsel_exec::expr::{
+    self, and, between, case, col, div, eq, gt, in_str, like, lit, litf, lt, mul, not, sub, to_f64,
+    year_of,
+};
+use morsel_exec::join::JoinKind;
+use morsel_planner::{AggSpec, LogicalPlan, OrderBy};
+
+use crate::util::{charged, d, disc_product, discounted};
+
+/// Q1: pricing summary report (scan + wide aggregate).
+pub fn q1(db: &TpchDb) -> LogicalPlan {
+    LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        Some(expr::le(col(10), lit(d(1998, 9, 2)))),
+        vec![
+            ("l_returnflag", col(8)),
+            ("l_linestatus", col(9)),
+            ("l_quantity", col(4)),
+            ("l_extendedprice", col(5)),
+            ("disc_price", discounted(col(5), col(6))),
+            ("charge", charged(col(5), col(6), col(7))),
+            ("l_discount", col(6)),
+        ],
+    )
+    .aggregate(
+        &["l_returnflag", "l_linestatus"],
+        vec![
+            ("sum_qty", AggSpec::sum("l_quantity")),
+            ("sum_base_price", AggSpec::sum("l_extendedprice")),
+            ("sum_disc_price", AggSpec::sum("disc_price")),
+            ("sum_charge", AggSpec::sum("charge")),
+            ("avg_qty", AggSpec::avg("l_quantity")),
+            ("avg_price", AggSpec::avg("l_extendedprice")),
+            ("avg_disc", AggSpec::avg("l_discount")),
+            ("count_order", AggSpec::Count),
+        ],
+    )
+    .sort(
+        vec![OrderBy::asc("l_returnflag"), OrderBy::asc("l_linestatus")],
+        None,
+    )
+}
+
+/// Q3: shipping priority (two joins, top 10).
+pub fn q3(db: &TpchDb) -> LogicalPlan {
+    let cust = LogicalPlan::scan(
+        "customer",
+        db.customer.clone(),
+        Some(eq(col(6), expr::lits("BUILDING"))),
+        &["c_custkey"],
+    );
+    let orders = LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        Some(lt(col(4), lit(d(1995, 3, 15)))),
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+    )
+    .join(cust, &["o_custkey"], &["c_custkey"]);
+    LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        Some(gt(col(10), lit(d(1995, 3, 15)))),
+        vec![
+            ("l_orderkey", col(0)),
+            ("revenue", discounted(col(5), col(6))),
+        ],
+    )
+    .join(orders, &["l_orderkey"], &["o_orderkey"])
+    .aggregate(
+        &["l_orderkey", "o_orderdate", "o_shippriority"],
+        vec![("revenue", AggSpec::sum("revenue"))],
+    )
+    .sort(
+        vec![OrderBy::desc("revenue"), OrderBy::asc("o_orderdate")],
+        Some(10),
+    )
+}
+
+/// Q4: order priority checking (semi join).
+pub fn q4(db: &TpchDb) -> LogicalPlan {
+    let late_lines = LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        Some(lt(col(11), col(12))),
+        vec![("l_orderkey", col(0))],
+    );
+    LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        Some(between(col(4), d(1993, 7, 1), d(1993, 10, 1) - 1)),
+        &["o_orderkey", "o_orderpriority"],
+    )
+    .join_kind(late_lines, &["o_orderkey"], &["l_orderkey"], JoinKind::Semi)
+    .aggregate(&["o_orderpriority"], vec![("order_count", AggSpec::Count)])
+    .sort(vec![OrderBy::asc("o_orderpriority")], None)
+}
+
+/// Q5: local supplier volume — a six-relation inner-join block. The
+/// `c_nationkey = s_nationkey` restriction becomes a second key pair on
+/// the supplier edge instead of a post-join filter, closing the cycle
+/// lineitem–orders–customer–supplier the query really describes.
+pub fn q5(db: &TpchDb) -> LogicalPlan {
+    let asia_nations = LogicalPlan::scan(
+        "nation",
+        db.nation.clone(),
+        None,
+        &["n_nationkey", "n_name", "n_regionkey"],
+    )
+    .join(
+        LogicalPlan::scan(
+            "region",
+            db.region.clone(),
+            Some(eq(col(1), expr::lits("ASIA"))),
+            &["r_regionkey"],
+        ),
+        &["n_regionkey"],
+        &["r_regionkey"],
+    );
+    let supp = LogicalPlan::scan(
+        "supplier",
+        db.supplier.clone(),
+        None,
+        &["s_suppkey", "s_nationkey"],
+    )
+    .join(asia_nations, &["s_nationkey"], &["n_nationkey"]);
+    let cust = LogicalPlan::scan(
+        "customer",
+        db.customer.clone(),
+        None,
+        &["c_custkey", "c_nationkey"],
+    );
+    let orders = LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        Some(between(col(4), d(1994, 1, 1), d(1995, 1, 1) - 1)),
+        &["o_orderkey", "o_custkey"],
+    )
+    .join(cust, &["o_custkey"], &["c_custkey"]);
+    LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        None,
+        vec![
+            ("l_orderkey", col(0)),
+            ("l_suppkey", col(2)),
+            ("revenue", discounted(col(5), col(6))),
+        ],
+    )
+    .join(orders, &["l_orderkey"], &["o_orderkey"])
+    .join(
+        supp,
+        &["l_suppkey", "c_nationkey"],
+        &["s_suppkey", "s_nationkey"],
+    )
+    .aggregate(&["n_name"], vec![("revenue", AggSpec::sum("revenue"))])
+    .sort(vec![OrderBy::desc("revenue")], None)
+}
+
+/// Q6: forecasting revenue change (scan only).
+pub fn q6(db: &TpchDb) -> LogicalPlan {
+    LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        Some(and(
+            and(
+                between(col(10), d(1994, 1, 1), d(1995, 1, 1) - 1),
+                between(col(6), 5, 7),
+            ),
+            lt(col(4), lit(24)),
+        )),
+        vec![("rev", disc_product(col(5), col(6)))],
+    )
+    .aggregate(&[], vec![("revenue", AggSpec::sum("rev"))])
+}
+
+/// Q8: national market share — an eight-relation block.
+pub fn q8(db: &TpchDb) -> LogicalPlan {
+    let parts = LogicalPlan::scan(
+        "part",
+        db.part.clone(),
+        Some(eq(col(4), expr::lits("ECONOMY ANODIZED STEEL"))),
+        &["p_partkey"],
+    );
+    let supp = LogicalPlan::scan(
+        "supplier",
+        db.supplier.clone(),
+        None,
+        &["s_suppkey", "s_nationkey"],
+    )
+    .join(
+        LogicalPlan::scan_project(
+            "nation",
+            db.nation.clone(),
+            None,
+            vec![("nkey", col(0)), ("supp_nation", col(1))],
+        ),
+        &["s_nationkey"],
+        &["nkey"],
+    );
+    let america_cust = LogicalPlan::scan(
+        "customer",
+        db.customer.clone(),
+        None,
+        &["c_custkey", "c_nationkey"],
+    )
+    .join(
+        LogicalPlan::scan(
+            "nation2",
+            db.nation.clone(),
+            None,
+            &["n_nationkey", "n_regionkey"],
+        )
+        .join(
+            LogicalPlan::scan(
+                "region",
+                db.region.clone(),
+                Some(eq(col(1), expr::lits("AMERICA"))),
+                &["r_regionkey"],
+            ),
+            &["n_regionkey"],
+            &["r_regionkey"],
+        ),
+        &["c_nationkey"],
+        &["n_nationkey"],
+    );
+    let orders = LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        Some(between(col(4), d(1995, 1, 1), d(1996, 12, 31))),
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+    )
+    .join(america_cust, &["o_custkey"], &["c_custkey"]);
+
+    let joined = LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        None,
+        vec![
+            ("l_orderkey", col(0)),
+            ("l_partkey", col(1)),
+            ("l_suppkey", col(2)),
+            ("volume", discounted(col(5), col(6))),
+        ],
+    )
+    .join(parts, &["l_partkey"], &["p_partkey"])
+    .join(supp, &["l_suppkey"], &["s_suppkey"])
+    .join(orders, &["l_orderkey"], &["o_orderkey"]);
+
+    let o_year = year_of(joined.cref("o_orderdate"));
+    let volume = joined.cref("volume");
+    let brazil = case(
+        eq(joined.cref("supp_nation"), expr::lits("BRAZIL")),
+        joined.cref("volume"),
+        lit(0),
+    );
+    joined
+        .project(vec![
+            ("o_year", o_year),
+            ("volume", volume),
+            ("brazil_volume", brazil),
+        ])
+        .aggregate(
+            &["o_year"],
+            vec![
+                ("brazil", AggSpec::sum("brazil_volume")),
+                ("total", AggSpec::sum("volume")),
+            ],
+        )
+        .project(vec![
+            ("o_year", col(0)),
+            (
+                "mkt_share",
+                div(mul(to_f64(col(1)), litf(1.0)), to_f64(col(2))),
+            ),
+        ])
+        .sort(vec![OrderBy::asc("o_year")], None)
+}
+
+/// Q9: product type profit (five-way block with a composite-key edge).
+pub fn q9(db: &TpchDb) -> LogicalPlan {
+    let parts = LogicalPlan::scan(
+        "part",
+        db.part.clone(),
+        Some(like(col(1), "%green%")),
+        &["p_partkey"],
+    );
+    let supp = LogicalPlan::scan(
+        "supplier",
+        db.supplier.clone(),
+        None,
+        &["s_suppkey", "s_nationkey"],
+    )
+    .join(
+        LogicalPlan::scan_project(
+            "nation",
+            db.nation.clone(),
+            None,
+            vec![("nkey", col(0)), ("nation", col(1))],
+        ),
+        &["s_nationkey"],
+        &["nkey"],
+    );
+    let ps = LogicalPlan::scan(
+        "partsupp",
+        db.partsupp.clone(),
+        None,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    );
+    let orders = LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        None,
+        &["o_orderkey", "o_orderdate"],
+    );
+
+    let joined = LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        None,
+        vec![
+            ("l_orderkey", col(0)),
+            ("l_partkey", col(1)),
+            ("l_suppkey", col(2)),
+            ("l_quantity", col(4)),
+            ("disc_rev", discounted(col(5), col(6))),
+        ],
+    )
+    .join(parts, &["l_partkey"], &["p_partkey"])
+    .join(
+        ps,
+        &["l_partkey", "l_suppkey"],
+        &["ps_partkey", "ps_suppkey"],
+    )
+    .join(supp, &["l_suppkey"], &["s_suppkey"])
+    .join(orders, &["l_orderkey"], &["o_orderkey"]);
+
+    let nation = joined.cref("nation");
+    let o_year = year_of(joined.cref("o_orderdate"));
+    let amount = sub(
+        joined.cref("disc_rev"),
+        mul(joined.cref("ps_supplycost"), joined.cref("l_quantity")),
+    );
+    joined
+        .project(vec![
+            ("nation", nation),
+            ("o_year", o_year),
+            ("amount", amount),
+        ])
+        .aggregate(
+            &["nation", "o_year"],
+            vec![("sum_profit", AggSpec::sum("amount"))],
+        )
+        .sort(vec![OrderBy::asc("nation"), OrderBy::desc("o_year")], None)
+}
+
+/// Q10: returned item reporting (top 20 customers).
+pub fn q10(db: &TpchDb) -> LogicalPlan {
+    let nations = LogicalPlan::scan_project(
+        "nation",
+        db.nation.clone(),
+        None,
+        vec![("nkey", col(0)), ("n_name", col(1))],
+    );
+    let cust = LogicalPlan::scan(
+        "customer",
+        db.customer.clone(),
+        None,
+        &[
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_address",
+            "c_comment",
+            "c_nationkey",
+        ],
+    )
+    .join(nations, &["c_nationkey"], &["nkey"]);
+    let orders = LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        Some(between(col(4), d(1993, 10, 1), d(1994, 1, 1) - 1)),
+        &["o_orderkey", "o_custkey"],
+    )
+    .join(cust, &["o_custkey"], &["c_custkey"]);
+    LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        Some(eq(col(8), expr::lits("R"))),
+        vec![
+            ("l_orderkey", col(0)),
+            ("revenue", discounted(col(5), col(6))),
+        ],
+    )
+    .join(orders, &["l_orderkey"], &["o_orderkey"])
+    .aggregate(
+        &[
+            "o_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "n_name",
+            "c_address",
+            "c_comment",
+        ],
+        vec![("revenue", AggSpec::sum("revenue"))],
+    )
+    .sort(vec![OrderBy::desc("revenue")], Some(20))
+}
+
+/// Q12: shipping modes and order priority.
+pub fn q12(db: &TpchDb) -> LogicalPlan {
+    let lines = LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        Some(and(
+            and(
+                in_str(col(14), &["MAIL", "SHIP"]),
+                and(lt(col(11), col(12)), lt(col(10), col(11))),
+            ),
+            between(col(12), d(1994, 1, 1), d(1995, 1, 1) - 1),
+        )),
+        vec![("l_orderkey", col(0)), ("l_shipmode", col(14))],
+    );
+    let joined = LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        None,
+        &["o_orderkey", "o_orderpriority"],
+    )
+    .join(lines, &["o_orderkey"], &["l_orderkey"]);
+    let urgent = in_str(joined.cref("o_orderpriority"), &["1-URGENT", "2-HIGH"]);
+    let shipmode = joined.cref("l_shipmode");
+    let high = case(urgent.clone(), lit(1), lit(0));
+    let low = case(urgent, lit(0), lit(1));
+    joined
+        .project(vec![("l_shipmode", shipmode), ("high", high), ("low", low)])
+        .aggregate(
+            &["l_shipmode"],
+            vec![
+                ("high_line_count", AggSpec::sum("high")),
+                ("low_line_count", AggSpec::sum("low")),
+            ],
+        )
+        .sort(vec![OrderBy::asc("l_shipmode")], None)
+}
+
+/// Q13: customer distribution (fused count join).
+pub fn q13(db: &TpchDb) -> LogicalPlan {
+    let orders = LogicalPlan::scan_project(
+        "orders",
+        db.orders.clone(),
+        Some(not(like(col(8), "%special%requests%"))),
+        vec![("o_custkey", col(1))],
+    );
+    LogicalPlan::scan("customer", db.customer.clone(), None, &["c_custkey"])
+        .join_kind(orders, &["c_custkey"], &["o_custkey"], JoinKind::Count)
+        .aggregate(&["match_count"], vec![("custdist", AggSpec::Count)])
+        .sort(
+            vec![OrderBy::desc("custdist"), OrderBy::desc("match_count")],
+            None,
+        )
+}
+
+/// Q14: promotion effect.
+pub fn q14(db: &TpchDb) -> LogicalPlan {
+    let parts = LogicalPlan::scan_project(
+        "part",
+        db.part.clone(),
+        None,
+        vec![("p_partkey", col(0)), ("p_type", col(4))],
+    );
+    let joined = LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        Some(between(col(10), d(1995, 9, 1), d(1995, 10, 1) - 1)),
+        vec![("l_partkey", col(1)), ("rev", discounted(col(5), col(6)))],
+    )
+    .join(parts, &["l_partkey"], &["p_partkey"]);
+    let rev = joined.cref("rev");
+    let promo = case(
+        expr::prefix(joined.cref("p_type"), "PROMO"),
+        joined.cref("rev"),
+        lit(0),
+    );
+    joined
+        .project(vec![("rev", rev), ("promo_rev", promo)])
+        .aggregate(
+            &[],
+            vec![
+                ("promo", AggSpec::sum("promo_rev")),
+                ("total", AggSpec::sum("rev")),
+            ],
+        )
+        .project(vec![(
+            "promo_revenue",
+            div(mul(litf(100.0), to_f64(col(0))), to_f64(col(1))),
+        )])
+}
+
+/// Q18: large volume customers (aggregate feeding a join, top 100).
+pub fn q18(db: &TpchDb) -> LogicalPlan {
+    let big_orders = LogicalPlan::scan_project(
+        "lineitem",
+        db.lineitem.clone(),
+        None,
+        vec![("l_orderkey", col(0)), ("l_quantity", col(4))],
+    )
+    .aggregate(
+        &["l_orderkey"],
+        vec![("sum_qty", AggSpec::sum("l_quantity"))],
+    )
+    .filter(gt(col(1), lit(300)));
+    let cust = LogicalPlan::scan(
+        "customer",
+        db.customer.clone(),
+        None,
+        &["c_custkey", "c_name"],
+    );
+    let joined = LogicalPlan::scan(
+        "orders",
+        db.orders.clone(),
+        None,
+        &["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"],
+    )
+    .join(big_orders, &["o_orderkey"], &["l_orderkey"])
+    .join(cust, &["o_custkey"], &["c_custkey"]);
+    // Pin the output layout to the oracle plan's column order.
+    let out = [
+        "o_orderkey",
+        "o_custkey",
+        "o_totalprice",
+        "o_orderdate",
+        "sum_qty",
+        "c_name",
+    ];
+    let projected: Vec<(&str, morsel_exec::expr::Expr)> =
+        out.iter().map(|&n| (n, joined.cref(n))).collect();
+    joined.project(projected).sort(
+        vec![OrderBy::desc("o_totalprice"), OrderBy::asc("o_orderdate")],
+        Some(100),
+    )
+}
+
+/// Query numbers covered by the logical slice.
+pub const IDS: [usize; 12] = [1, 3, 4, 5, 6, 8, 9, 10, 12, 13, 14, 18];
+
+/// The logical form of query `number`, if it is part of the slice.
+pub fn query(db: &TpchDb, number: usize) -> Option<LogicalPlan> {
+    Some(match number {
+        1 => q1(db),
+        3 => q3(db),
+        4 => q4(db),
+        5 => q5(db),
+        6 => q6(db),
+        8 => q8(db),
+        9 => q9(db),
+        10 => q10(db),
+        12 => q12(db),
+        13 => q13(db),
+        14 => q14(db),
+        18 => q18(db),
+        _ => return None,
+    })
+}
+
+/// All expressed queries as (name, plan) pairs.
+pub fn all(db: &TpchDb) -> Vec<(String, LogicalPlan)> {
+    IDS.iter()
+        .map(|&q| (format!("TPC-H Q{q}"), query(db, q).unwrap()))
+        .collect()
+}

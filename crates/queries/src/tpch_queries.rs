@@ -13,35 +13,14 @@
 use morsel_datagen::TpchDb;
 use morsel_exec::agg::AggFn;
 use morsel_exec::expr::{
-    self, add, and, between, case, col, div, eq, ge, gt, in_i64, in_str, le, like, lit, litf, lt,
-    mul, ne, not, or, prefix, sub, substr, to_f64, year_of, Expr,
+    self, and, between, case, col, div, eq, ge, gt, in_i64, in_str, le, like, lit, litf, lt, mul,
+    ne, not, or, prefix, sub, substr, to_f64, year_of,
 };
 use morsel_exec::join::JoinKind;
 use morsel_exec::plan::Plan;
 use morsel_exec::sort::SortKey;
-use morsel_storage::date;
 
-fn d(y: i32, m: u32, day: u32) -> i64 {
-    i64::from(date(y, m, day))
-}
-
-/// Append a computed column to a plan, keeping all existing columns.
-fn append(plan: Plan, name: &str, e: Expr) -> Plan {
-    let s = plan.schema();
-    let mut project: Vec<(String, Expr)> = (0..s.len())
-        .map(|i| (s.name(i).to_owned(), col(i)))
-        .collect();
-    project.push((name.to_owned(), e));
-    Plan::Map {
-        input: Box::new(plan),
-        project,
-    }
-}
-
-/// `revenue`-style expression: `price * (100 - disc) / 100` in cents.
-fn discounted(price: Expr, disc: Expr) -> Expr {
-    div(mul(price, sub(lit(100), disc)), lit(100))
-}
+use crate::util::{append, charged, d, disc_product, discounted};
 
 /// Q1: pricing summary report.
 pub fn q1(db: &TpchDb) -> Plan {
@@ -55,13 +34,7 @@ pub fn q1(db: &TpchDb) -> Plan {
             ("l_quantity", col(4)),
             ("l_extendedprice", col(5)),
             ("disc_price", discounted(col(5), col(6))),
-            (
-                "charge",
-                div(
-                    mul(discounted(col(5), col(6)), add(lit(100), col(7))),
-                    lit(100),
-                ),
-            ),
+            ("charge", charged(col(5), col(6), col(7))),
             ("l_discount", col(6)),
         ],
     );
@@ -299,7 +272,7 @@ pub fn q6(db: &TpchDb) -> Plan {
             ),
             lt(col(4), lit(24)),
         )),
-        vec![("rev", div(mul(col(5), col(6)), lit(100)))],
+        vec![("rev", disc_product(col(5), col(6)))],
     )
     .agg(&[], vec![("revenue", AggFn::SumI64(0))])
 }

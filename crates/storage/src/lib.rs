@@ -15,6 +15,7 @@ pub mod column;
 pub mod hash;
 pub mod relation;
 pub mod schema;
+pub mod stats;
 pub mod value;
 
 pub use area::{AreaSet, StorageArea};
@@ -23,4 +24,5 @@ pub use column::Column;
 pub use hash::{hash64, hash_bytes, hash_combine, hash_i64};
 pub use relation::{Partition, PartitionBy, Relation};
 pub use schema::{Field, Schema};
+pub use stats::{ColumnStats, HllSketch, TableStats};
 pub use value::{date, date_parts, decimal, format_date, DataType, Value, DECIMAL_SCALE};

@@ -7,11 +7,14 @@
 //! the primary key into 64 partitions. A partition lives entirely on one
 //! node; morsels never span partitions.
 
+use std::sync::{Arc, OnceLock};
+
 use morsel_numa::{Placement, SocketId, Topology};
 
 use crate::batch::Batch;
 use crate::hash::hash_i64;
 use crate::schema::Schema;
+use crate::stats::TableStats;
 
 /// One NUMA-resident fragment of a relation.
 #[derive(Debug, Clone)]
@@ -30,10 +33,31 @@ pub enum PartitionBy {
 }
 
 /// A base relation: schema plus NUMA-resident partitions.
+///
+/// Row/byte totals are computed once at construction, and catalog
+/// statistics ([`TableStats`]) are computed lazily on first use and
+/// cached — the planner's estimator hits both repeatedly.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
     partitions: Vec<Partition>,
+    total_rows: usize,
+    total_bytes: u64,
+    stats: OnceLock<Arc<TableStats>>,
+}
+
+impl Relation {
+    fn from_parts(schema: Schema, partitions: Vec<Partition>) -> Self {
+        let total_rows = partitions.iter().map(|p| p.data.rows()).sum();
+        let total_bytes = partitions.iter().map(|p| p.data.total_bytes()).sum();
+        Relation {
+            schema,
+            partitions,
+            total_rows,
+            total_bytes,
+            stats: OnceLock::new(),
+        }
+    }
 }
 
 impl Relation {
@@ -96,18 +120,18 @@ impl Relation {
                 data,
             })
             .collect();
-        Relation { schema, partitions }
+        Relation::from_parts(schema, partitions)
     }
 
     /// A single-partition relation on node 0 (for tests and tiny tables).
     pub fn single(schema: Schema, data: Batch) -> Self {
-        Relation {
+        Relation::from_parts(
             schema,
-            partitions: vec![Partition {
+            vec![Partition {
                 node: SocketId(0),
                 data,
             }],
-        }
+        )
     }
 
     pub fn schema(&self) -> &Schema {
@@ -123,11 +147,21 @@ impl Relation {
     }
 
     pub fn total_rows(&self) -> usize {
-        self.partitions.iter().map(|p| p.data.rows()).sum()
+        self.total_rows
     }
 
     pub fn total_bytes(&self) -> u64 {
-        self.partitions.iter().map(|p| p.data.total_bytes()).sum()
+        self.total_bytes
+    }
+
+    /// Merged catalog statistics, computed per partition on first use and
+    /// cached for the planner's repeated lookups.
+    pub fn stats(&self) -> Arc<TableStats> {
+        Arc::clone(self.stats.get_or_init(|| {
+            Arc::new(TableStats::from_partitions(
+                self.partitions.iter().map(|p| &p.data),
+            ))
+        }))
     }
 
     /// Re-place the partitions under a different policy without copying
@@ -146,6 +180,11 @@ impl Relation {
         Relation {
             schema: self.schema.clone(),
             partitions,
+            total_rows: self.total_rows,
+            total_bytes: self.total_bytes,
+            // Placement does not change the data, so the stats carry over
+            // (including an already-computed cache).
+            stats: self.stats.clone(),
         }
     }
 
@@ -288,6 +327,31 @@ mod tests {
         assert!(r2.partitions().iter().all(|p| p.node == SocketId(0)));
         assert_eq!(r2.total_rows(), r.total_rows());
         assert_eq!(r2.gather(), r.gather());
+    }
+
+    #[test]
+    fn stats_merge_partitions_and_cache() {
+        let t = Topology::nehalem_ex();
+        let data = sample_batch(1000);
+        let r = Relation::partitioned(
+            schema(),
+            &data,
+            PartitionBy::Hash { column: 0 },
+            16,
+            Placement::FirstTouch,
+            &t,
+        );
+        let s = r.stats();
+        assert_eq!(s.rows, 1000);
+        assert_eq!(s.bytes, r.total_bytes());
+        assert_eq!(s.column(0).min, Some(crate::value::Value::I64(0)));
+        assert_eq!(s.column(0).max, Some(crate::value::Value::I64(999)));
+        let err = (s.column(0).ndv - 1000.0).abs() / 1000.0;
+        assert!(err < 0.08, "ndv {}", s.column(0).ndv);
+        // Cached: same Arc on the second call, carried across re-placement.
+        assert!(Arc::ptr_eq(&s, &r.stats()));
+        let r2 = r.with_placement(Placement::OsDefault, &t);
+        assert!(Arc::ptr_eq(&s, &r2.stats()));
     }
 
     #[test]

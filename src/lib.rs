@@ -44,6 +44,7 @@ pub use morsel_core as core;
 pub use morsel_datagen as datagen;
 pub use morsel_exec as exec;
 pub use morsel_numa as numa;
+pub use morsel_planner as planner;
 pub use morsel_queries as queries;
 pub use morsel_service as service;
 pub use morsel_storage as storage;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use morsel_exec::sort::SortKey;
     pub use morsel_exec::SystemVariant;
     pub use morsel_numa::{CostModel, Placement, SocketId, Topology};
+    pub use morsel_planner::{AggSpec, LogicalPlan, OrderBy, Planner};
     pub use morsel_queries::{format_rows, run_sim, run_threaded};
     pub use morsel_storage::{date, Batch, Column, DataType, PartitionBy, Relation, Schema, Value};
 }
