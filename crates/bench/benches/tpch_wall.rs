@@ -22,9 +22,10 @@ fn bench_queries(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("tpch_wall");
     g.sample_size(10);
-    // A scan query, a join-heavy query, an outer-join query, an
-    // aggregation-heavy query.
-    for q in [1usize, 3, 6, 13] {
+    // A scan query, join-heavy queries, an outer-join query, an
+    // aggregation-heavy query, and the string-predicate-heavy slice
+    // (Q10 returnflag filter, Q12 shipmode IN, Q14 promo prefix).
+    for q in [1usize, 3, 6, 10, 12, 13, 14] {
         g.bench_with_input(BenchmarkId::new("q", q), &q, |b, &q| {
             b.iter(|| {
                 let out = run_threaded(

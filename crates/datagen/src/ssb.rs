@@ -147,7 +147,7 @@ fn gen_date_dim() -> Arc<Relation> {
         Column::I64(weeknuminyear),
         Column::Str(month),
     ]);
-    Arc::new(Relation::single(schema, data))
+    Arc::new(Relation::single(schema, data).dict_encoded())
 }
 
 fn gen_customer(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relation> {
@@ -183,14 +183,17 @@ fn gen_customer(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relatio
         Column::Str(region),
         Column::Str(segment),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 fn gen_supplier(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relation> {
@@ -222,14 +225,17 @@ fn gen_supplier(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relatio
         Column::Str(nation),
         Column::Str(region),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 fn gen_part(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relation> {
@@ -267,14 +273,17 @@ fn gen_part(config: SsbConfig, n: usize, topology: &Topology) -> Arc<Relation> {
         Column::Str(brand1),
         Column::Str(color),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 fn gen_lineorder(
@@ -337,14 +346,17 @@ fn gen_lineorder(
         Column::I64(revenue),
         Column::I64(supplycost),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 #[cfg(test)]

@@ -148,7 +148,7 @@ fn gen_region() -> Arc<Relation> {
         Column::Str(text::REGIONS.iter().map(|s| (*s).to_owned()).collect()),
         Column::Str((0..5).map(|i| format!("region comment {i}")).collect()),
     ]);
-    Arc::new(Relation::single(schema, data))
+    Arc::new(Relation::single(schema, data).dict_encoded())
 }
 
 fn gen_nation() -> Arc<Relation> {
@@ -164,7 +164,7 @@ fn gen_nation() -> Arc<Relation> {
         Column::I64(text::NATIONS.iter().map(|&(_, r)| r as i64).collect()),
         Column::Str((0..25).map(|i| format!("nation comment {i}")).collect()),
     ]);
-    Arc::new(Relation::single(schema, data))
+    Arc::new(Relation::single(schema, data).dict_encoded())
 }
 
 fn gen_supplier(config: TpchConfig, n: usize, topology: &Topology) -> Arc<Relation> {
@@ -210,14 +210,17 @@ fn gen_supplier(config: TpchConfig, n: usize, topology: &Topology) -> Arc<Relati
         Column::I64(acctbal),
         Column::Str(comment),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions.min(n.max(1)),
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions.min(n.max(1)),
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 fn gen_customer(config: TpchConfig, n: usize, topology: &Topology) -> Arc<Relation> {
@@ -261,14 +264,17 @@ fn gen_customer(config: TpchConfig, n: usize, topology: &Topology) -> Arc<Relati
         Column::Str(mktsegment),
         Column::Str(comment),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 fn gen_part(config: TpchConfig, n: usize, topology: &Topology) -> Arc<Relation> {
@@ -316,14 +322,17 @@ fn gen_part(config: TpchConfig, n: usize, topology: &Topology) -> Arc<Relation> 
         Column::I64(retailprice),
         Column::Str(comment),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 fn gen_partsupp(
@@ -367,14 +376,17 @@ fn gen_partsupp(
         Column::I64(supplycost),
         Column::Str(comment),
     ]);
-    Arc::new(Relation::partitioned(
-        schema,
-        &data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ))
+    Arc::new(
+        Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -530,14 +542,17 @@ fn gen_orders_lineitem(
         Column::I64(o_shippriority),
         Column::Str(o_comment),
     ]);
-    let orders = Arc::new(Relation::partitioned(
-        orders_schema,
-        &orders_data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ));
+    let orders = Arc::new(
+        Relation::partitioned(
+            orders_schema,
+            &orders_data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    );
 
     let lineitem_schema = Schema::new(vec![
         ("l_orderkey", DataType::I64),
@@ -576,14 +591,17 @@ fn gen_orders_lineitem(
         Column::Str(l_comment),
     ]);
     // Co-partitioned with orders on the orderkey (Section 4.3's example).
-    let lineitem = Arc::new(Relation::partitioned(
-        lineitem_schema,
-        &lineitem_data,
-        PartitionBy::Hash { column: 0 },
-        config.partitions,
-        config.placement,
-        topology,
-    ));
+    let lineitem = Arc::new(
+        Relation::partitioned(
+            lineitem_schema,
+            &lineitem_data,
+            PartitionBy::Hash { column: 0 },
+            config.partitions,
+            config.placement,
+            topology,
+        )
+        .dict_encoded(),
+    );
     (orders, lineitem)
 }
 

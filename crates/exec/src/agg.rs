@@ -12,11 +12,13 @@
 //! input, so partitioning costs nothing in pipelining (Section 4.4's
 //! closing remark).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use morsel_core::{Morsel, PipelineJob, ResultSlot, TaskContext};
 use morsel_numa::SocketId;
-use morsel_storage::{AreaSet, Batch, Column, DataType, Schema, StorageArea};
+use morsel_storage::{
+    AreaSet, Batch, Column, DataType, DictColumn, Dictionary, Schema, StorageArea,
+};
 use parking_lot::Mutex;
 
 use crate::key::{for_each_row, hash_rows, FxHashMap, FxHashSet, GroupKey, Rows};
@@ -314,6 +316,11 @@ struct WorkerAgg {
 pub struct AggPartitions {
     /// `parts[p]` = list of (node, fragment).
     parts: Vec<Vec<(SocketId, Mutex<Fragment>)>>,
+    /// Per group column: the shared dictionary, when that column arrived
+    /// dictionary-encoded. Spilled keys for such columns are integer
+    /// *codes*; phase 2 emits them into a code column sharing this
+    /// dictionary (strings never materialize inside the aggregation).
+    group_dicts: Vec<Option<Arc<Dictionary>>>,
 }
 
 impl AggPartitions {
@@ -344,6 +351,9 @@ pub struct AggPartialSink {
     capacity: usize,
     /// Force the row-at-a-time `GroupKey` path (benches, property tests).
     scalar: bool,
+    /// Dictionaries of dictionary-encoded group columns, captured from the
+    /// first batch (every batch of one pipeline shares them).
+    group_dicts: OnceLock<Vec<Option<Arc<Dictionary>>>>,
 }
 
 impl AggPartialSink {
@@ -378,6 +388,7 @@ impl AggPartialSink {
             out,
             capacity: capacity.max(1),
             scalar: false,
+            group_dicts: OnceLock::new(),
         }
     }
 
@@ -388,8 +399,16 @@ impl AggPartialSink {
     }
 
     /// Pick the pre-aggregation mode for this sink given the first batch.
+    /// Dictionary-encoded string group columns count as integer columns —
+    /// their codes are the keys — which is what unlocks the flat-table
+    /// fast path for TPC-H's string group-bys (Q1 et al.).
     fn make_table(&self, batch: &Batch) -> PreAgg {
-        let int_col = |c: usize| matches!(batch.column(c), Column::I64(_) | Column::I32(_));
+        let int_col = |c: usize| {
+            matches!(
+                batch.column(c),
+                Column::I64(_) | Column::I32(_) | Column::Dict(_)
+            )
+        };
         if self.scalar {
             return PreAgg::Scalar(FxHashMap::default());
         }
@@ -604,12 +623,18 @@ impl AggPartialSink {
     }
 }
 
-/// Extract an integer group column as widened `i64` keys.
+/// Extract an integer group column as widened `i64` keys. Dictionary
+/// columns contribute their codes — a valid key domain because all
+/// fragments of one aggregation share the dictionary.
 fn extract_i64_keys(col: &Column, rows: Rows<'_>) -> Vec<i64> {
     let mut out = vec![0i64; rows.len()];
     match col {
         Column::I64(v) => for_each_row!(rows, i, r, out[i] = v[r]),
         Column::I32(v) => for_each_row!(rows, i, r, out[i] = i64::from(v[r])),
+        Column::Dict(d) => {
+            let codes = d.codes();
+            for_each_row!(rows, i, r, out[i] = i64::from(codes[r]))
+        }
         other => panic!("expected integer group column, got {:?}", other.data_type()),
     }
     out
@@ -629,6 +654,18 @@ impl Sink for AggPartialSink {
         if matches!(w.table, PreAgg::Pending) {
             w.table = self.make_table(&input.batch);
         }
+        self.group_dicts.get_or_init(|| {
+            self.group_cols
+                .iter()
+                .map(|&c| {
+                    input
+                        .batch
+                        .column(c)
+                        .as_dict()
+                        .map(|d| Arc::clone(d.dict()))
+                })
+                .collect()
+        });
         let WorkerAgg { table, spill } = &mut *w;
         let batch = &input.batch;
         let row_ref = input.rows_ref();
@@ -679,7 +716,12 @@ impl Sink for AggPartialSink {
             }
         }
         ctx.write(ctx.socket, bytes);
-        *self.out.lock() = Some(Arc::new(AggPartitions { parts }));
+        let group_dicts = self
+            .group_dicts
+            .get()
+            .cloned()
+            .unwrap_or_else(|| vec![None; self.group_cols.len()]);
+        *self.out.lock() = Some(Arc::new(AggPartitions { parts, group_dicts }));
     }
 }
 
@@ -793,9 +835,19 @@ impl PipelineJob for AggMergeJob {
         }
         let types = self.schema.data_types();
         let n_group_cols = types.len() - self.aggs.len();
+        // Group columns that arrived dictionary-encoded emit code columns
+        // sharing the pipeline's dictionary; everything else by type.
         let mut cols: Vec<Column> = types
             .iter()
-            .map(|&t| Column::with_capacity(t, n_groups))
+            .enumerate()
+            .map(|(i, &t)| {
+                if i < n_group_cols {
+                    if let Some(Some(dict)) = self.input.group_dicts.get(i) {
+                        return Column::Dict(DictColumn::with_capacity(Arc::clone(dict), n_groups));
+                    }
+                }
+                Column::with_capacity(t, n_groups)
+            })
             .collect();
         for (key, slot) in &table {
             if n_group_cols > 0 {
@@ -837,7 +889,9 @@ impl PipelineJob for AggMergeJob {
             }
         }
         if let Some(result) = &self.result {
-            *result.lock() = Some(set.gather());
+            // Late materialization: group-key codes decode to strings only
+            // at the query-result boundary.
+            *result.lock() = Some(set.gather().decoded());
         }
         *self.out.lock() = Some(Arc::new(set));
     }

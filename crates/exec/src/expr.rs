@@ -7,8 +7,21 @@
 //! Decimals are fixed-point `i64`; expressions operate on raw integers and
 //! plans scale explicitly (e.g. `price * (100 - disc) / 100`), exactly as a
 //! fixed-point engine would generate.
+//!
+//! Evaluation is **zero-copy at the leaves**: a bare column reference
+//! borrows the column slice (`Cow::Borrowed`) instead of cloning it, and a
+//! dictionary-encoded string column surfaces as a [`Vector::Code`] of
+//! `u32` codes plus the shared sorted [`Dictionary`]. String predicates
+//! over codes resolve their constants against the dictionary **once per
+//! batch** — equality becomes a single-code compare, ranges and prefixes
+//! become code-range tests (sorted dictionaries preserve order), LIKE
+//! becomes a per-dictionary-value mask — so the per-row work is integer
+//! compares, never string traversal (DESIGN.md §9).
 
-use morsel_storage::{Batch, Column, DataType};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use morsel_storage::{Batch, Column, DataType, DictColumn, Dictionary};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +35,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn holds<T: PartialOrd>(self, a: &T, b: &T) -> bool {
+    fn holds<T: PartialOrd + ?Sized>(self, a: &T, b: &T) -> bool {
         match self {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
@@ -147,21 +160,28 @@ impl LikePattern {
     }
 }
 
-/// Result of evaluating an expression over `n` rows.
+/// Result of evaluating an expression over `n` rows. Borrows column data
+/// where evaluation is a plain read (leaf columns), owns it where it is
+/// computed.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Vector {
-    I64(Vec<i64>),
-    F64(Vec<f64>),
-    Str(Vec<String>),
+pub enum Vector<'a> {
+    I64(Cow<'a, [i64]>),
+    F64(Cow<'a, [f64]>),
+    Str(Cow<'a, [String]>),
+    /// Dictionary codes plus their shared domain: the encoded form of a
+    /// string result. Only materializes at [`Vector::into_column`] — and
+    /// even there only into a code column.
+    Code(Cow<'a, [u32]>, Arc<Dictionary>),
     Bool(Vec<bool>),
 }
 
-impl Vector {
+impl Vector<'_> {
     pub fn len(&self) -> usize {
         match self {
             Vector::I64(v) => v.len(),
             Vector::F64(v) => v.len(),
             Vector::Str(v) => v.len(),
+            Vector::Code(v, _) => v.len(),
             Vector::Bool(v) => v.len(),
         }
     }
@@ -191,13 +211,63 @@ impl Vector {
         }
     }
 
-    /// Convert into a storage column (booleans become 0/1 integers).
+    /// Apply a string predicate over every row. Code vectors evaluate the
+    /// predicate **once per dictionary value** and gather the per-row
+    /// answers by code — the batch-level rewrite all dictionary string
+    /// predicates share.
+    fn str_mask(&self, f: impl Fn(&str) -> bool) -> Vec<bool> {
+        match self {
+            Vector::Str(vs) => vs.iter().map(|s| f(s)).collect(),
+            Vector::Code(codes, dict) => {
+                let per: Vec<bool> = dict.values().iter().map(|s| f(s)).collect();
+                codes.iter().map(|&c| per[c as usize]).collect()
+            }
+            other => panic!("string predicate over non-string {other:?}"),
+        }
+    }
+
+    /// Convert into a storage column (booleans become 0/1 integers; code
+    /// vectors stay dictionary-encoded).
     pub fn into_column(self) -> Column {
         match self {
-            Vector::I64(v) => Column::I64(v),
-            Vector::F64(v) => Column::F64(v),
-            Vector::Str(v) => Column::Str(v),
+            Vector::I64(v) => Column::I64(v.into_owned()),
+            Vector::F64(v) => Column::F64(v.into_owned()),
+            Vector::Str(v) => Column::Str(v.into_owned()),
+            Vector::Code(codes, dict) => Column::Dict(DictColumn::new(dict, codes.into_owned())),
             Vector::Bool(v) => Column::I64(v.into_iter().map(i64::from).collect()),
+        }
+    }
+}
+
+/// One-per-batch rewrite of `op(value, const)` into a code test against a
+/// sorted dictionary: equality resolves to (at most) one code, ordering
+/// resolves to a code threshold.
+fn code_cmp_mask(op: CmpOp, codes: &[u32], dict: &Dictionary, s: &str) -> Vec<bool> {
+    match op {
+        CmpOp::Eq => match dict.code_of(s) {
+            Some(c) => codes.iter().map(|&x| x == c).collect(),
+            None => vec![false; codes.len()],
+        },
+        CmpOp::Ne => match dict.code_of(s) {
+            Some(c) => codes.iter().map(|&x| x != c).collect(),
+            None => vec![true; codes.len()],
+        },
+        // value < s ⟺ code < |{v : v < s}|, and friends.
+        CmpOp::Lt => {
+            let t = dict.lower_bound(s);
+            codes.iter().map(|&x| x < t).collect()
+        }
+        CmpOp::Le => {
+            let t = dict.upper_bound(s);
+            codes.iter().map(|&x| x < t).collect()
+        }
+        CmpOp::Ge => {
+            let t = dict.lower_bound(s);
+            codes.iter().map(|&x| x >= t).collect()
+        }
+        CmpOp::Gt => {
+            let t = dict.upper_bound(s);
+            codes.iter().map(|&x| x >= t).collect()
         }
     }
 }
@@ -227,18 +297,25 @@ impl Expr {
     }
 
     /// Evaluate over the rows `rows` of `batch`'s columns.
-    pub fn eval(&self, batch: &Batch, rows: std::ops::Range<usize>) -> Vector {
+    pub fn eval<'a>(&self, batch: &'a Batch, rows: std::ops::Range<usize>) -> Vector<'a> {
         let n = rows.len();
         match self {
+            // Leaf reads borrow the column slice: no copy for i64/f64 and
+            // no String clone, ever, for either string representation.
             Expr::Col(i) => match batch.column(*i) {
-                Column::I64(v) => Vector::I64(v[rows].to_vec()),
-                Column::I32(v) => Vector::I64(v[rows].iter().map(|&x| i64::from(x)).collect()),
-                Column::F64(v) => Vector::F64(v[rows].to_vec()),
-                Column::Str(v) => Vector::Str(v[rows].to_vec()),
+                Column::I64(v) => Vector::I64(Cow::Borrowed(&v[rows])),
+                Column::I32(v) => {
+                    Vector::I64(Cow::Owned(v[rows].iter().map(|&x| i64::from(x)).collect()))
+                }
+                Column::F64(v) => Vector::F64(Cow::Borrowed(&v[rows])),
+                Column::Str(v) => Vector::Str(Cow::Borrowed(&v[rows])),
+                Column::Dict(d) => {
+                    Vector::Code(Cow::Borrowed(&d.codes()[rows]), Arc::clone(d.dict()))
+                }
             },
-            Expr::ConstI64(c) => Vector::I64(vec![*c; n]),
-            Expr::ConstF64(c) => Vector::F64(vec![*c; n]),
-            Expr::ConstStr(c) => Vector::Str(vec![c.clone(); n]),
+            Expr::ConstI64(c) => Vector::I64(Cow::Owned(vec![*c; n])),
+            Expr::ConstF64(c) => Vector::F64(Cow::Owned(vec![*c; n])),
+            Expr::ConstStr(c) => Vector::Str(Cow::Owned(vec![c.clone(); n])),
             Expr::Add(a, b) => Self::arith(a, b, batch, rows, |x, y| x + y, |x, y| x + y),
             Expr::Sub(a, b) => Self::arith(a, b, batch, rows, |x, y| x - y, |x, y| x - y),
             Expr::Mul(a, b) => Self::arith(a, b, batch, rows, |x, y| x * y, |x, y| x * y),
@@ -253,7 +330,9 @@ impl Expr {
             Expr::ToF64(a) => {
                 let v = a.eval(batch, rows);
                 match v {
-                    Vector::I64(v) => Vector::F64(v.into_iter().map(|x| x as f64).collect()),
+                    Vector::I64(v) => {
+                        Vector::F64(Cow::Owned(v.iter().map(|&x| x as f64).collect()))
+                    }
                     f @ Vector::F64(_) => f,
                     other => panic!("ToF64 on non-numeric {other:?}"),
                 }
@@ -279,32 +358,75 @@ impl Expr {
                     }
                 }
                 if let (Expr::Col(i), Expr::ConstStr(s)) = (&**a, &**b) {
-                    if let Column::Str(v) = batch.column(*i) {
-                        return Vector::Bool(v[rows].iter().map(|x| op.holds(x, s)).collect());
+                    match batch.column(*i) {
+                        Column::Str(v) => {
+                            return Vector::Bool(v[rows].iter().map(|x| op.holds(x, s)).collect())
+                        }
+                        Column::Dict(d) => {
+                            return Vector::Bool(code_cmp_mask(*op, &d.codes()[rows], d.dict(), s))
+                        }
+                        _ => {}
                     }
                 }
                 let va = a.eval(batch, rows.clone());
+                // Comparing any string-typed expression to a string
+                // constant: resolve the constant against the dictionary
+                // once instead of cloning it per row.
+                if let (Vector::Code(codes, dict), Expr::ConstStr(s)) = (&va, &**b) {
+                    return Vector::Bool(code_cmp_mask(*op, codes, dict, s));
+                }
                 let vb = b.eval(batch, rows);
                 let out = match (&va, &vb) {
-                    (Vector::I64(x), Vector::I64(y)) => {
-                        x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
-                    }
-                    (Vector::F64(x), Vector::F64(y)) => {
-                        x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
-                    }
+                    (Vector::I64(x), Vector::I64(y)) => x
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(a, b)| op.holds(a, b))
+                        .collect(),
+                    (Vector::F64(x), Vector::F64(y)) => x
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(a, b)| op.holds(a, b))
+                        .collect(),
                     (Vector::I64(x), Vector::F64(y)) => x
                         .iter()
-                        .zip(y)
+                        .zip(y.iter())
                         .map(|(a, b)| op.holds(&(*a as f64), b))
                         .collect(),
                     (Vector::F64(x), Vector::I64(y)) => x
                         .iter()
-                        .zip(y)
+                        .zip(y.iter())
                         .map(|(a, b)| op.holds(a, &(*b as f64)))
                         .collect(),
-                    (Vector::Str(x), Vector::Str(y)) => {
-                        x.iter().zip(y).map(|(a, b)| op.holds(a, b)).collect()
+                    (Vector::Str(x), Vector::Str(y)) => x
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(a, b)| op.holds(a, b))
+                        .collect(),
+                    (Vector::Code(x, dx), Vector::Code(y, dy)) => {
+                        if Arc::ptr_eq(dx, dy) {
+                            // One shared sorted domain: code order == string
+                            // order, so compare codes directly.
+                            x.iter()
+                                .zip(y.iter())
+                                .map(|(a, b)| op.holds(a, b))
+                                .collect()
+                        } else {
+                            x.iter()
+                                .zip(y.iter())
+                                .map(|(&a, &b)| op.holds(dx.get(a), dy.get(b)))
+                                .collect()
+                        }
                     }
+                    (Vector::Code(x, dx), Vector::Str(y)) => x
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(&a, b)| op.holds(dx.get(a), b.as_str()))
+                        .collect(),
+                    (Vector::Str(x), Vector::Code(y, dy)) => x
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(a, &b)| op.holds(a.as_str(), dy.get(b)))
+                        .collect(),
                     _ => panic!("incomparable operand types in {self:?}"),
                 };
                 Vector::Bool(out)
@@ -378,82 +500,76 @@ impl Expr {
                 Vector::Bool(v.as_i64().iter().map(|x| list.contains(x)).collect())
             }
             Expr::InStr(a, list) => {
-                // String predicates on a bare column skip the per-row
-                // String clones a leaf eval would make.
+                // Bare dictionary column: resolve the IN-list to a code
+                // set once, then the row test is a few u32 compares.
                 if let Expr::Col(i) = &**a {
-                    if let Column::Str(v) = batch.column(*i) {
-                        return Vector::Bool(
-                            v[rows]
-                                .iter()
-                                .map(|s| list.iter().any(|l| l == s))
-                                .collect(),
-                        );
+                    match batch.column(*i) {
+                        Column::Str(v) => {
+                            return Vector::Bool(
+                                v[rows]
+                                    .iter()
+                                    .map(|s| list.iter().any(|l| l == s))
+                                    .collect(),
+                            )
+                        }
+                        Column::Dict(d) => {
+                            let set: Vec<u32> =
+                                list.iter().filter_map(|l| d.dict().code_of(l)).collect();
+                            return Vector::Bool(
+                                d.codes()[rows].iter().map(|c| set.contains(c)).collect(),
+                            );
+                        }
+                        _ => {}
                     }
                 }
                 let v = a.eval(batch, rows);
-                match v {
-                    Vector::Str(vs) => {
-                        Vector::Bool(vs.iter().map(|s| list.iter().any(|l| l == s)).collect())
-                    }
-                    other => panic!("InStr over non-string {other:?}"),
-                }
+                Vector::Bool(v.str_mask(|s| list.iter().any(|l| l == s)))
             }
             Expr::Like(a, pat) => {
-                if let Expr::Col(i) = &**a {
-                    if let Column::Str(v) = batch.column(*i) {
-                        return Vector::Bool(v[rows].iter().map(|s| pat.matches(s)).collect());
-                    }
-                }
                 let v = a.eval(batch, rows);
-                match v {
-                    Vector::Str(vs) => Vector::Bool(vs.iter().map(|s| pat.matches(s)).collect()),
-                    other => panic!("Like over non-string {other:?}"),
-                }
+                // `str_mask` runs the pattern once per *dictionary value*
+                // for code vectors — the LIKE rewrite.
+                Vector::Bool(v.str_mask(|s| pat.matches(s)))
             }
             Expr::StrPrefix(a, prefix) => {
+                // Bare dictionary column: prefix-sharing values are a
+                // contiguous code range in a sorted dictionary.
                 if let Expr::Col(i) = &**a {
-                    if let Column::Str(v) = batch.column(*i) {
+                    if let Column::Dict(d) = batch.column(*i) {
+                        let (lo, hi) = d.dict().prefix_range(prefix);
                         return Vector::Bool(
-                            v[rows]
-                                .iter()
-                                .map(|s| s.starts_with(prefix.as_str()))
-                                .collect(),
+                            d.codes()[rows].iter().map(|&c| c >= lo && c < hi).collect(),
                         );
                     }
                 }
                 let v = a.eval(batch, rows);
-                match v {
-                    Vector::Str(vs) => {
-                        Vector::Bool(vs.iter().map(|s| s.starts_with(prefix.as_str())).collect())
-                    }
-                    other => panic!("StrPrefix over non-string {other:?}"),
-                }
+                Vector::Bool(v.str_mask(|s| s.starts_with(prefix.as_str())))
             }
             Expr::Case(c, t, e) => {
                 let vc = c.eval(batch, rows.clone());
                 let vt = t.eval(batch, rows.clone());
                 let ve = e.eval(batch, rows);
                 match (vt, ve) {
-                    (Vector::I64(t), Vector::I64(e)) => Vector::I64(
+                    (Vector::I64(t), Vector::I64(e)) => Vector::I64(Cow::Owned(
                         vc.as_bool()
                             .iter()
-                            .zip(t.into_iter().zip(e))
-                            .map(|(&c, (t, e))| if c { t } else { e })
+                            .zip(t.iter().zip(e.iter()))
+                            .map(|(&c, (&t, &e))| if c { t } else { e })
                             .collect(),
-                    ),
-                    (Vector::F64(t), Vector::F64(e)) => Vector::F64(
+                    )),
+                    (Vector::F64(t), Vector::F64(e)) => Vector::F64(Cow::Owned(
                         vc.as_bool()
                             .iter()
-                            .zip(t.into_iter().zip(e))
-                            .map(|(&c, (t, e))| if c { t } else { e })
+                            .zip(t.iter().zip(e.iter()))
+                            .map(|(&c, (&t, &e))| if c { t } else { e })
                             .collect(),
-                    ),
+                    )),
                     other => panic!("Case branches of mismatched types {other:?}"),
                 }
             }
             Expr::YearOf(a) => {
                 let v = a.eval(batch, rows);
-                Vector::I64(
+                Vector::I64(Cow::Owned(
                     v.as_i64()
                         .iter()
                         .map(|&d| {
@@ -461,45 +577,57 @@ impl Expr {
                             i64::from(y)
                         })
                         .collect(),
-                )
+                ))
             }
             Expr::Substr(a, from, len) => {
                 let v = a.eval(batch, rows);
-                match v {
-                    Vector::Str(vs) => Vector::Str(
-                        vs.iter()
-                            .map(|s| s.chars().skip(from.saturating_sub(1)).take(*len).collect())
-                            .collect(),
-                    ),
+                let cut = |s: &str| -> String {
+                    s.chars().skip(from.saturating_sub(1)).take(*len).collect()
+                };
+                match &v {
+                    Vector::Str(vs) => Vector::Str(Cow::Owned(vs.iter().map(|s| cut(s)).collect())),
+                    Vector::Code(codes, dict) => {
+                        // Cut once per dictionary value, clone per row.
+                        let per: Vec<String> = dict.values().iter().map(|s| cut(s)).collect();
+                        Vector::Str(Cow::Owned(
+                            codes.iter().map(|&c| per[c as usize].clone()).collect(),
+                        ))
+                    }
                     other => panic!("Substr over non-string {other:?}"),
                 }
             }
         }
     }
 
-    fn arith(
+    fn arith<'a>(
         a: &Expr,
         b: &Expr,
-        batch: &Batch,
+        batch: &'a Batch,
         rows: std::ops::Range<usize>,
         fi: impl Fn(i64, i64) -> i64,
         ff: impl Fn(f64, f64) -> f64,
-    ) -> Vector {
+    ) -> Vector<'a> {
         let va = a.eval(batch, rows.clone());
         let vb = b.eval(batch, rows);
         match (va, vb) {
-            (Vector::I64(x), Vector::I64(y)) => {
-                Vector::I64(x.into_iter().zip(y).map(|(a, b)| fi(a, b)).collect())
-            }
-            (Vector::F64(x), Vector::F64(y)) => {
-                Vector::F64(x.into_iter().zip(y).map(|(a, b)| ff(a, b)).collect())
-            }
-            (Vector::I64(x), Vector::F64(y)) => {
-                Vector::F64(x.into_iter().zip(y).map(|(a, b)| ff(a as f64, b)).collect())
-            }
-            (Vector::F64(x), Vector::I64(y)) => {
-                Vector::F64(x.into_iter().zip(y).map(|(a, b)| ff(a, b as f64)).collect())
-            }
+            (Vector::I64(x), Vector::I64(y)) => Vector::I64(Cow::Owned(
+                x.iter().zip(y.iter()).map(|(&a, &b)| fi(a, b)).collect(),
+            )),
+            (Vector::F64(x), Vector::F64(y)) => Vector::F64(Cow::Owned(
+                x.iter().zip(y.iter()).map(|(&a, &b)| ff(a, b)).collect(),
+            )),
+            (Vector::I64(x), Vector::F64(y)) => Vector::F64(Cow::Owned(
+                x.iter()
+                    .zip(y.iter())
+                    .map(|(&a, &b)| ff(a as f64, b))
+                    .collect(),
+            )),
+            (Vector::F64(x), Vector::I64(y)) => Vector::F64(Cow::Owned(
+                x.iter()
+                    .zip(y.iter())
+                    .map(|(&a, &b)| ff(a, b as f64))
+                    .collect(),
+            )),
             other => panic!("arithmetic over non-numeric operands {other:?}"),
         }
     }
@@ -514,6 +642,35 @@ impl Expr {
             .enumerate()
             .filter_map(|(i, &b)| b.then_some(base + i as u32))
             .collect()
+    }
+
+    /// Precompute the selection-evaluation plan for this predicate over an
+    /// input of `width` columns: the referenced columns and the predicate
+    /// remapped onto that compact layout. Both are invariant per operator,
+    /// so callers that filter morsel after morsel (see
+    /// [`crate::pipeline::FilterOp`]) compute this once and reuse it.
+    pub fn sel_eval_plan(&self, width: usize) -> SelEvalPlan {
+        let mut used = Vec::new();
+        self.referenced_cols(&mut used);
+        used.sort_unstable();
+        let mut map = vec![None; width];
+        for (new, &old) in used.iter().enumerate() {
+            map[old] = Some(new);
+        }
+        SelEvalPlan {
+            used,
+            remapped: self.remap(&map),
+        }
+    }
+
+    /// Evaluate as a filter over *selected rows only*: gather the columns
+    /// this predicate references through `sel` (a cost proportional to the
+    /// selection, not the underlying batch), evaluate densely over that
+    /// compact view, and return the surviving subset of `sel`. The sparse-
+    /// selection companion of [`Expr::eval_filter`]. One-shot convenience
+    /// over [`Expr::sel_eval_plan`].
+    pub fn eval_filter_sel(&self, batch: &Batch, sel: &[u32]) -> Vec<u32> {
+        self.sel_eval_plan(batch.width()).eval_filter(batch, sel)
     }
 
     /// Source column indexes referenced by this expression (deduplicated,
@@ -618,6 +775,44 @@ impl Expr {
             Expr::YearOf(_) => DataType::I64,
             Expr::Substr(..) => DataType::Str,
         }
+    }
+}
+
+/// A predicate prepared for selection-aware evaluation: which input
+/// columns it reads, and the predicate rewritten against the compact
+/// gathered layout. Built by [`Expr::sel_eval_plan`].
+#[derive(Debug, Clone)]
+pub struct SelEvalPlan {
+    used: Vec<usize>,
+    remapped: Expr,
+}
+
+impl SelEvalPlan {
+    /// Gather the referenced columns of `batch` through `sel`, evaluate
+    /// the predicate densely over that view, and return the surviving
+    /// subset of `sel`.
+    pub fn eval_filter(&self, batch: &Batch, sel: &[u32]) -> Vec<u32> {
+        let mini_cols: Vec<Column> = self
+            .used
+            .iter()
+            .map(|&c| {
+                let src = batch.column(c);
+                let mut col = Column::with_capacity_like(src, sel.len());
+                col.extend_selected(src, sel);
+                col
+            })
+            .collect();
+        let mini = if mini_cols.is_empty() {
+            Batch::default()
+        } else {
+            Batch::from_columns(mini_cols)
+        };
+        let v = self.remapped.eval(&mini, 0..sel.len());
+        v.as_bool()
+            .iter()
+            .zip(sel)
+            .filter_map(|(&b, &r)| b.then_some(r))
+            .collect()
     }
 }
 
@@ -750,13 +945,56 @@ mod tests {
         ])
     }
 
+    /// The same batch with the string column dictionary-encoded.
+    fn dict_batch() -> Batch {
+        let b = batch();
+        let dict = Dictionary::from_values(b.column(2).as_str().iter().map(String::as_str));
+        let encoded = Column::Dict(DictColumn::encode(&dict, b.column(2).as_str()).unwrap());
+        Batch::from_columns(vec![
+            b.column(0).clone(),
+            b.column(1).clone(),
+            encoded,
+            b.column(3).clone(),
+        ])
+    }
+
+    fn iv(v: Vec<i64>) -> Vector<'static> {
+        Vector::I64(Cow::Owned(v))
+    }
+
+    fn fv(v: Vec<f64>) -> Vector<'static> {
+        Vector::F64(Cow::Owned(v))
+    }
+
     #[test]
     fn column_and_const() {
         let b = batch();
-        assert_eq!(col(0).eval(&b, 1..4), Vector::I64(vec![2, 3, 4]));
-        assert_eq!(lit(7).eval(&b, 0..2), Vector::I64(vec![7, 7]));
+        assert_eq!(col(0).eval(&b, 1..4), iv(vec![2, 3, 4]));
+        assert_eq!(lit(7).eval(&b, 0..2), iv(vec![7, 7]));
         // I32 widens to I64.
-        assert_eq!(col(3).eval(&b, 0..2), Vector::I64(vec![10, 20]));
+        assert_eq!(col(3).eval(&b, 0..2), iv(vec![10, 20]));
+    }
+
+    #[test]
+    fn leaf_reads_are_zero_copy() {
+        let b = batch();
+        assert!(matches!(
+            col(0).eval(&b, 1..4),
+            Vector::I64(Cow::Borrowed(_))
+        ));
+        assert!(matches!(
+            col(1).eval(&b, 0..5),
+            Vector::F64(Cow::Borrowed(_))
+        ));
+        assert!(matches!(
+            col(2).eval(&b, 0..5),
+            Vector::Str(Cow::Borrowed(_))
+        ));
+        let d = dict_batch();
+        assert!(matches!(
+            col(2).eval(&d, 0..5),
+            Vector::Code(Cow::Borrowed(_), _)
+        ));
     }
 
     #[test]
@@ -767,20 +1005,20 @@ mod tests {
             Column::I64(vec![10, 5]),          // 10%, 5%
         ]);
         let e = div(mul(col(0), sub(lit(100), col(1))), lit(100));
-        assert_eq!(e.eval(&b, 0..2), Vector::I64(vec![9_000, 19_000]));
+        assert_eq!(e.eval(&b, 0..2), iv(vec![9_000, 19_000]));
     }
 
     #[test]
     fn division_by_zero_yields_zero() {
         let b = Batch::from_columns(vec![Column::I64(vec![10])]);
-        assert_eq!(div(col(0), lit(0)).eval(&b, 0..1), Vector::I64(vec![0]));
+        assert_eq!(div(col(0), lit(0)).eval(&b, 0..1), iv(vec![0]));
     }
 
     #[test]
     fn mixed_numeric_promotes_to_f64() {
         let b = batch();
         let v = add(col(0), col(1)).eval(&b, 0..2);
-        assert_eq!(v, Vector::F64(vec![2.0, 2.5]));
+        assert_eq!(v, fv(vec![2.0, 2.5]));
     }
 
     #[test]
@@ -843,6 +1081,68 @@ mod tests {
     }
 
     #[test]
+    fn dict_string_predicates_match_plain() {
+        let plain = batch();
+        let dict = dict_batch();
+        let preds = [
+            eq(col(2), lits("cherry")),
+            eq(col(2), lits("missing")),
+            ne(col(2), lits("banana")),
+            ne(col(2), lits("missing")),
+            lt(col(2), lits("cherry")),
+            le(col(2), lits("cherry")),
+            gt(col(2), lits("banana")),
+            ge(col(2), lits("car")),
+            in_str(col(2), &["banana", "date", "nope"]),
+            like(col(2), "%an%"),
+            like(col(2), "gr%"),
+            prefix(col(2), "da"),
+            prefix(col(2), ""),
+            prefix(col(2), "zz"),
+            not(prefix(col(2), "ch")),
+        ];
+        for p in &preds {
+            assert_eq!(
+                p.eval(&dict, 0..5).as_bool(),
+                p.eval(&plain, 0..5).as_bool(),
+                "predicate {p:?}"
+            );
+            // Sub-ranges go through the same code-slice path.
+            assert_eq!(
+                p.eval(&dict, 1..4).as_bool(),
+                p.eval(&plain, 1..4).as_bool(),
+                "predicate {p:?} on subrange"
+            );
+        }
+    }
+
+    #[test]
+    fn dict_column_comparisons() {
+        let d = dict_batch();
+        // Code vs code through the same dictionary compares codes.
+        let e = eq(col(2), col(2));
+        assert_eq!(e.eval(&d, 0..5).as_bool(), &[true; 5]);
+        let e2 = lt(col(2), col(2));
+        assert_eq!(e2.eval(&d, 0..5).as_bool(), &[false; 5]);
+        // Substr decodes through the per-dictionary-value cut.
+        let v = substr(col(2), 1, 2).eval(&d, 0..3);
+        assert_eq!(
+            v,
+            Vector::Str(Cow::Owned(vec!["ap".into(), "ba".into(), "ch".into()]))
+        );
+    }
+
+    #[test]
+    fn dict_projection_stays_encoded() {
+        let d = dict_batch();
+        let out = col(2).eval(&d, 1..4).into_column();
+        let dc = out.as_dict().expect("projection keeps the encoding");
+        assert_eq!(dc.len(), 3);
+        assert_eq!(dc.str_at(0), "banana");
+        assert!(dc.same_dict(d.column(2).as_dict().unwrap()));
+    }
+
+    #[test]
     fn like_pattern_semantics() {
         let p = LikePattern::parse("%special%requests%");
         assert!(p.matches("the special customer requests"));
@@ -875,7 +1175,7 @@ mod tests {
     fn case_expression() {
         let b = batch();
         let e = case(gt(col(0), lit(3)), lit(1), lit(0));
-        assert_eq!(e.eval(&b, 0..5), Vector::I64(vec![0, 0, 0, 1, 1]));
+        assert_eq!(e.eval(&b, 0..5), iv(vec![0, 0, 0, 1, 1]));
     }
 
     #[test]
@@ -886,9 +1186,31 @@ mod tests {
     }
 
     #[test]
+    fn filter_sel_evaluates_selected_rows_only() {
+        let b = batch();
+        let e = gt(col(0), lit(2));
+        assert_eq!(e.eval_filter_sel(&b, &[0, 2, 4]), vec![2, 4]);
+        assert_eq!(e.eval_filter_sel(&b, &[]), Vec::<u32>::new());
+        // Matches the dense path intersected with the selection.
+        let dense = e.eval_filter(&b, 0..5);
+        let sel = [1u32, 2, 3];
+        let got = e.eval_filter_sel(&b, &sel);
+        let want: Vec<u32> = sel.iter().copied().filter(|r| dense.contains(r)).collect();
+        assert_eq!(got, want);
+        // String predicates (both representations) agree too.
+        let d = dict_batch();
+        let sp = prefix(col(2), "da");
+        assert_eq!(sp.eval_filter_sel(&d, &[2, 3, 4]), vec![3]);
+        assert_eq!(sp.eval_filter_sel(&b, &[2, 3, 4]), vec![3]);
+        // Constant predicates work over an empty reference set.
+        let c = gt(lit(3), lit(2));
+        assert_eq!(c.eval_filter_sel(&b, &[1, 4]), vec![1, 4]);
+    }
+
+    #[test]
     fn to_f64_cast() {
         let b = batch();
-        assert_eq!(to_f64(col(0)).eval(&b, 0..2), Vector::F64(vec![1.0, 2.0]));
+        assert_eq!(to_f64(col(0)).eval(&b, 0..2), fv(vec![1.0, 2.0]));
     }
 
     #[test]
@@ -914,10 +1236,7 @@ mod tests {
             morsel_storage::date(1995, 3, 15),
             morsel_storage::date(1998, 12, 31),
         ])]);
-        assert_eq!(
-            year_of(col(0)).eval(&b, 0..2),
-            Vector::I64(vec![1995, 1998])
-        );
+        assert_eq!(year_of(col(0)).eval(&b, 0..2), iv(vec![1995, 1998]));
         assert_eq!(year_of(col(0)).result_type(&[DataType::I32]), DataType::I64);
     }
 
@@ -925,7 +1244,7 @@ mod tests {
     fn substr_one_based() {
         let b = Batch::from_columns(vec![Column::Str(vec!["13-555".into(), "x".into()])]);
         let v = substr(col(0), 1, 2).eval(&b, 0..2);
-        assert_eq!(v, Vector::Str(vec!["13".into(), "x".into()]));
+        assert_eq!(v, Vector::Str(Cow::Owned(vec!["13".into(), "x".into()])));
         assert_eq!(
             substr(col(0), 1, 2).result_type(&[DataType::Str]),
             DataType::Str

@@ -218,12 +218,13 @@ impl PipeOp for ProbeOp {
                 );
                 // Assemble output: one gather per probe column through the
                 // match list, then one typed gather per build column.
+                // Dictionary columns gather codes and stay encoded.
                 let mut out_cols: Vec<Column> = input
                     .batch
                     .columns()
                     .iter()
                     .map(|c| {
-                        let mut col = Column::with_capacity(c.data_type(), cand.len());
+                        let mut col = Column::with_capacity_like(c, cand.len());
                         col.extend_selected(c, &cand.probe_row);
                         col
                     })
@@ -335,7 +336,7 @@ impl ProbeOp {
                     .columns()
                     .iter()
                     .map(|c| {
-                        let mut col = Column::with_capacity(c.data_type(), probe_sel.len());
+                        let mut col = Column::with_capacity_like(c, probe_sel.len());
                         col.extend_selected(c, &probe_sel);
                         col
                     })

@@ -11,7 +11,7 @@
 
 use std::ops::Range;
 
-use morsel_storage::{hash_bytes, hash_combine, hash_i64, AreaSet, Batch, Column};
+use morsel_storage::{hash_bytes, hash_combine, hash_i64, AreaSet, Batch, Column, DictColumn};
 
 /// Canonical bit pattern of an `f64` key: `-0.0` normalizes to `0.0` so
 /// that values that compare equal also hash equal. NaNs keep their bit
@@ -37,6 +37,10 @@ pub fn hash_row(batch: &Batch, cols: &[usize], row: usize) -> u64 {
             Column::I32(v) => hash_i64(i64::from(v[row])),
             Column::F64(v) => hash_i64(canon_f64_bits(v[row]) as i64),
             Column::Str(v) => hash_bytes(v[row].as_bytes()),
+            // Precomputed per-value hash: equals hashing the raw string,
+            // so dictionary keys join/group consistently with plain keys
+            // (and with codes from a *different* dictionary).
+            Column::Dict(d) => d.dict().hash_of(d.codes()[row]),
         };
         h = if i == 0 { hc } else { hash_combine(h, hc) };
     }
@@ -146,6 +150,39 @@ fn hash_column(col: &Column, rows: Rows<'_>, first: bool, out: &mut [u64]) {
         Column::I32(v) => fold!(v, |x: &i32| hash_i64(i64::from(*x))),
         Column::F64(v) => fold!(v, |x: &f64| hash_i64(canon_f64_bits(*x) as i64)),
         Column::Str(v) => fold!(v, |x: &String| hash_bytes(x.as_bytes())),
+        Column::Dict(d) => {
+            // One lookup per row instead of a string traversal; identical
+            // hashes to the plain-string path (precomputed in the dict).
+            let dict = d.dict();
+            let codes = d.codes();
+            fold!(codes, |x: &u32| dict.hash_of(*x))
+        }
+    }
+}
+
+/// Read-only view over either string representation, for key kernels that
+/// must compare across representations (or across dictionaries).
+#[derive(Clone, Copy)]
+enum StrView<'a> {
+    Plain(&'a [String]),
+    Dict(&'a DictColumn),
+}
+
+impl<'a> StrView<'a> {
+    fn of(col: &'a Column) -> StrView<'a> {
+        match col {
+            Column::Str(v) => StrView::Plain(v),
+            Column::Dict(d) => StrView::Dict(d),
+            other => panic!("expected string column, got {:?}", other.data_type()),
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> &'a str {
+        match self {
+            StrView::Plain(v) => &v[i],
+            StrView::Dict(d) => d.str_at(i),
+        }
     }
 }
 
@@ -276,9 +313,34 @@ impl MatchCandidates {
                 let bs: Vec<&[f64]> = slices!(as_f64);
                 self.retain_where(|p, a, r| pv[p] == bs[a][r]);
             }
-            (Column::Str(pv), morsel_storage::DataType::Str) => {
-                let bs: Vec<&[String]> = slices!(as_str);
-                self.retain_where(|p, a, r| pv[p] == bs[a][r]);
+            (p @ (Column::Str(_) | Column::Dict(_)), morsel_storage::DataType::Str) => {
+                // Probe and every populated build area sharing one
+                // dictionary: the branch-free loop compares u32 codes.
+                if let Column::Dict(pd) = p {
+                    let all_same = build.areas().iter().all(|a| {
+                        let c = a.data().column(bc);
+                        c.is_empty() || matches!(c.as_dict(), Some(bd) if bd.same_dict(pd))
+                    });
+                    if all_same {
+                        let pc = pd.codes();
+                        let bs: Vec<&[u32]> = build
+                            .areas()
+                            .iter()
+                            .map(|a| a.data().column(bc).as_dict().map_or(&[][..], |d| d.codes()))
+                            .collect();
+                        self.retain_where(|p, a, r| pc[p] == bs[a][r]);
+                        return;
+                    }
+                }
+                // Mixed representations or foreign dictionaries: compare
+                // borrowed strings (still no clones).
+                let pv = StrView::of(p);
+                let bs: Vec<StrView<'_>> = build
+                    .areas()
+                    .iter()
+                    .map(|a| StrView::of(a.data().column(bc)))
+                    .collect();
+                self.retain_where(|p, a, r| pv.at(p) == bs[a].at(r));
             }
             (p, b) => {
                 panic!("incomparable key columns {:?} vs {:?}", p.data_type(), b)
@@ -309,8 +371,54 @@ impl MatchCandidates {
             morsel_storage::DataType::I64 => gather!(as_i64, I64, |v: &i64| *v),
             morsel_storage::DataType::I32 => gather!(as_i32, I32, |v: &i32| *v),
             morsel_storage::DataType::F64 => gather!(as_f64, F64, |v: &f64| *v),
-            morsel_storage::DataType::Str => gather!(as_str, Str, |v: &String| v.clone()),
+            morsel_storage::DataType::Str => self.gather_build_strings(build, bc),
         }
+    }
+
+    /// String build-payload gather: when every populated area carries the
+    /// same dictionary, gather 4-byte codes and keep the encoding all the
+    /// way to the sink; otherwise fall back to cloning strings.
+    fn gather_build_strings(&self, build: &AreaSet, bc: usize) -> Column {
+        let n = self.len();
+        let shared = build
+            .areas()
+            .iter()
+            .filter(|a| !a.data().column(bc).is_empty())
+            .try_fold(None::<&DictColumn>, |acc, a| {
+                match (acc, a.data().column(bc).as_dict()) {
+                    (None, Some(d)) => Ok(Some(d)),
+                    (Some(prev), Some(d)) if prev.same_dict(d) => Ok(Some(prev)),
+                    _ => Err(()),
+                }
+            })
+            .ok()
+            .flatten();
+        if let Some(dc) = shared {
+            let bs: Vec<&[u32]> = build
+                .areas()
+                .iter()
+                .map(|a| a.data().column(bc).as_dict().map_or(&[][..], |d| d.codes()))
+                .collect();
+            let mut codes = Vec::with_capacity(n);
+            for i in 0..n {
+                codes.push(bs[self.area[i] as usize][self.row[i] as usize]);
+            }
+            return Column::Dict(DictColumn::new(std::sync::Arc::clone(dc.dict()), codes));
+        }
+        let bs: Vec<StrView<'_>> = build
+            .areas()
+            .iter()
+            .map(|a| StrView::of(a.data().column(bc)))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(
+                bs[self.area[i] as usize]
+                    .at(self.row[i] as usize)
+                    .to_owned(),
+            );
+        }
+        Column::Str(out)
     }
 }
 
@@ -335,6 +443,12 @@ pub fn rows_equal(
             (Column::I32(x), Column::I64(y)) => i64::from(x[a_row]) == y[b_row],
             (Column::F64(x), Column::F64(y)) => x[a_row] == y[b_row],
             (Column::Str(x), Column::Str(y)) => x[a_row] == y[b_row],
+            (Column::Dict(x), Column::Dict(y)) if x.same_dict(y) => {
+                x.codes()[a_row] == y.codes()[b_row]
+            }
+            (x @ (Column::Str(_) | Column::Dict(_)), y @ (Column::Str(_) | Column::Dict(_))) => {
+                x.str_at(a_row) == y.str_at(b_row)
+            }
             (x, y) => panic!(
                 "incomparable key columns {:?} vs {:?}",
                 x.data_type(),
@@ -367,6 +481,10 @@ impl GroupKey {
             Column::I64(v) => ScalarKey::I64(v[row]),
             Column::I32(v) => ScalarKey::I64(i64::from(v[row])),
             Column::Str(v) => ScalarKey::Str(v[row].clone()),
+            // Dictionary group keys are integer codes end-to-end: the
+            // aggregation emits codes and the sink decodes (all fragments
+            // of one aggregation share the dictionary, so codes agree).
+            Column::Dict(d) => ScalarKey::I64(i64::from(d.codes()[row])),
             Column::F64(_) => panic!("cannot group by F64 column"),
         };
         match cols {
@@ -406,6 +524,9 @@ impl GroupKey {
             (Column::I64(v), ScalarKey::I64(x)) => v.push(*x),
             (Column::I32(v), ScalarKey::I64(x)) => v.push(*x as i32),
             (Column::Str(v), ScalarKey::Str(s)) => v.push(s.clone()),
+            // Integer keys extracted from a dictionary column land back in
+            // a code column sharing the same dictionary.
+            (Column::Dict(v), ScalarKey::I64(x)) => v.codes_mut().push(*x as u32),
             (c, k) => panic!("key part {k:?} does not fit column {:?}", c.data_type()),
         }
     }

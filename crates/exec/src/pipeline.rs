@@ -27,6 +27,13 @@ use crate::weights;
 /// underlying rows survive.
 pub const SEL_COMPACT_DENOM: usize = 8;
 
+/// When a filter's input selection keeps fewer than `1/SEL_EVAL_DENOM` of
+/// the underlying rows, evaluate the predicate over the *selected* rows
+/// only (gather-then-evaluate) instead of running the vectorized kernels
+/// over every underlying row and intersecting. Above this density the
+/// dense kernels win (no gather, better locality).
+pub const SEL_EVAL_DENOM: usize = 2;
+
 /// A batch with an optional selection vector of surviving row indexes
 /// (sorted ascending). `sel: None` means every row is live ("dense").
 #[derive(Debug, Clone)]
@@ -98,28 +105,62 @@ pub trait PipeOp: Send + Sync {
 /// selection vector; no column is copied unless the density heuristic
 /// decides the survivors are sparse enough to gather.
 pub struct FilterOp {
-    pub predicate: Expr,
+    predicate: Expr,
+    /// Selection-aware evaluation plan (referenced columns + remapped
+    /// predicate), computed once on the first sparse morsel instead of
+    /// per batch — both are invariant for the operator's lifetime.
+    sel_plan: std::sync::OnceLock<crate::expr::SelEvalPlan>,
+}
+
+impl FilterOp {
+    pub fn new(predicate: Expr) -> Self {
+        FilterOp {
+            predicate,
+            sel_plan: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 impl PipeOp for FilterOp {
     fn apply(&self, ctx: &mut TaskContext<'_>, input: SelBatch) -> SelBatch {
         let underlying = input.batch.rows();
-        // The predicate is evaluated over all underlying rows (vectorized
-        // kernels do not skip holes); with a selection present the result
-        // is intersected with it. Charged accordingly.
-        ctx.cpu(
-            underlying as u64,
-            f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS,
-        );
         let out = match input.sel {
             None => {
+                ctx.cpu(
+                    underlying as u64,
+                    f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS,
+                );
                 let sel = self.predicate.eval_filter(&input.batch, 0..underlying);
                 SelBatch {
                     batch: input.batch,
                     sel: Some(sel),
                 }
             }
+            // A sparse selection evaluates over the selected rows only:
+            // gather the referenced columns through the selection and run
+            // the dense kernels on that compact view. Cost is proportional
+            // to the survivors, not the underlying morsel.
+            Some(sel) if sel.len() * SEL_EVAL_DENOM < underlying => {
+                ctx.cpu(
+                    sel.len() as u64,
+                    f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS + weights::GATHER_NS,
+                );
+                let plan = self
+                    .sel_plan
+                    .get_or_init(|| self.predicate.sel_eval_plan(input.batch.width()));
+                let sel = plan.eval_filter(&input.batch, &sel);
+                SelBatch {
+                    batch: input.batch,
+                    sel: Some(sel),
+                }
+            }
+            // Dense-ish selection: vectorized evaluation over all
+            // underlying rows, intersected with the selection.
             Some(mut sel) => {
+                ctx.cpu(
+                    underlying as u64,
+                    f64::from(self.predicate.weight()) * weights::EXPR_NODE_NS,
+                );
                 let mask = self.predicate.eval(&input.batch, 0..underlying);
                 let mask = mask.as_bool();
                 sel.retain(|&r| mask[r as usize]);
@@ -277,14 +318,16 @@ impl ExecPipeline {
         };
         let all_kept = sel.as_ref().is_none_or(|s| s.len() == range.len());
         let gather_one = |c: usize| -> Column {
+            // `with_capacity_like` keeps dictionary columns encoded: the
+            // scan moves 4-byte codes, never strings.
             let src = batch.column(c);
             if all_kept {
-                let mut col = Column::with_capacity(src.data_type(), range.len());
+                let mut col = Column::with_capacity_like(src, range.len());
                 col.extend_range(src, range.start, range.end);
                 col
             } else {
                 let sel = sel.as_ref().expect("partial keep implies a selection");
-                let mut col = Column::with_capacity(src.data_type(), sel.len());
+                let mut col = Column::with_capacity_like(src, sel.len());
                 col.extend_selected(src, sel);
                 col
             }
@@ -411,9 +454,7 @@ mod tests {
         let env = ExecEnv::new(Topology::laptop());
         let mut ctx = TaskContext::new(&env, 0);
         let input = SelBatch::dense(Batch::from_columns(vec![Column::I64(vec![1, 2, 3, 4])]));
-        let f = FilterOp {
-            predicate: gt(col(0), lit(2)),
-        };
+        let f = FilterOp::new(gt(col(0), lit(2)));
         let out = f.apply(&mut ctx, input);
         // Half the rows survive: dense enough to stay a selection vector.
         assert_eq!(out.sel.as_deref(), Some(&[2u32, 3][..]));
@@ -433,12 +474,8 @@ mod tests {
         let env = ExecEnv::new(Topology::laptop());
         let mut ctx = TaskContext::new(&env, 0);
         let input = SelBatch::dense(Batch::from_columns(vec![Column::I64((0..16).collect())]));
-        let f1 = FilterOp {
-            predicate: gt(col(0), lit(3)),
-        };
-        let f2 = FilterOp {
-            predicate: gt(col(0), lit(11)),
-        };
+        let f1 = FilterOp::new(gt(col(0), lit(3)));
+        let f2 = FilterOp::new(gt(col(0), lit(11)));
         let mid = f1.apply(&mut ctx, input);
         let out = f2.apply(&mut ctx, mid);
         // 4/16 survivors sits above the 1/8 compaction bound: stays a
@@ -453,9 +490,7 @@ mod tests {
         let env = ExecEnv::new(Topology::laptop());
         let mut ctx = TaskContext::new(&env, 0);
         let input = SelBatch::dense(Batch::from_columns(vec![Column::I64((0..100).collect())]));
-        let f = FilterOp {
-            predicate: gt(col(0), lit(95)),
-        };
+        let f = FilterOp::new(gt(col(0), lit(95)));
         let out = f.apply(&mut ctx, input);
         // 4/100 < 1/8: the heuristic gathers immediately.
         assert!(out.sel.is_none());
@@ -469,9 +504,7 @@ mod tests {
             rel,
             None,
             vec![col(0), mul(col(1), lit(2))],
-            vec![Box::new(FilterOp {
-                predicate: gt(col(0), lit(0)),
-            })],
+            vec![Box::new(FilterOp::new(gt(col(0), lit(0))))],
             Box::new(NullSink),
         );
         assert_eq!(pipe.output_types(), vec![DataType::I64, DataType::I64]);

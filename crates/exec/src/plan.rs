@@ -505,7 +505,7 @@ impl Compiler {
             }
             Plan::Filter { input, predicate } => {
                 let mut u = self.compile(*input);
-                u.ops.push(Box::new(FilterOp { predicate }));
+                u.ops.push(Box::new(FilterOp::new(predicate)));
                 u
             }
             Plan::Map { input, project } => {

@@ -95,7 +95,9 @@ impl Sink for MaterializeSink {
             .collect();
         let set = AreaSet::new(self.schema.clone(), areas).prune_empty();
         if let Some(result) = &self.result {
-            *result.lock() = Some(set.gather());
+            // The query-result boundary: dictionary columns decode here
+            // (intermediates handed to the next pipeline stay encoded).
+            *result.lock() = Some(set.gather().decoded());
         }
         *self.out.lock() = Some(Arc::new(set));
     }

@@ -48,6 +48,14 @@ pub fn cmp_rows(a: &Batch, ra: usize, b: &Batch, rb: usize, keys: &[SortKey]) ->
             (Column::I32(x), Column::I32(y)) => x[ra].cmp(&y[rb]),
             (Column::F64(x), Column::F64(y)) => x[ra].total_cmp(&y[rb]),
             (Column::Str(x), Column::Str(y)) => x[ra].cmp(&y[rb]),
+            // Sorted dictionaries preserve order: same-domain comparisons
+            // are branch-free integer compares on the codes.
+            (Column::Dict(x), Column::Dict(y)) if x.same_dict(y) => {
+                x.codes()[ra].cmp(&y.codes()[rb])
+            }
+            (x @ (Column::Str(_) | Column::Dict(_)), y @ (Column::Str(_) | Column::Dict(_))) => {
+                x.str_at(ra).cmp(y.str_at(rb))
+            }
             (x, y) => panic!(
                 "incomparable sort columns {:?} vs {:?}",
                 x.data_type(),
@@ -349,7 +357,9 @@ impl PipelineJob for MergeJob {
             }
         }
         if let Some(result) = &self.result {
-            *result.lock() = Some(final_batch);
+            // Late materialization: dictionary codes decode to strings
+            // only here, at the query-result boundary.
+            *result.lock() = Some(final_batch.decoded());
         }
         *self.out.lock() = Some(Arc::new(
             AreaSet::new(self.schema.clone(), areas).prune_empty(),
@@ -433,7 +443,7 @@ impl Sink for TopKSink {
         let mut area = morsel_storage::StorageArea::new(ctx.socket, &self.schema.data_types());
         area.data_mut().extend_from(&final_batch);
         if let Some(result) = &self.result {
-            *result.lock() = Some(final_batch);
+            *result.lock() = Some(final_batch.decoded());
         }
         *self.out.lock() = Some(Arc::new(
             AreaSet::new(self.schema.clone(), vec![area]).prune_empty(),

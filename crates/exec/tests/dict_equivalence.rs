@@ -1,0 +1,319 @@
+//! Property tests: dictionary-encoded string columns are observationally
+//! equivalent to plain string columns through every string-touching
+//! operator — expression predicates (equality, ordering, prefix, IN,
+//! LIKE), selection-aware filter evaluation, group-by on string keys
+//! (both the flat-table fast path and the scalar reference path), and
+//! sorting on string keys. The plain representation is the oracle, in the
+//! spirit of the scalar-vs-vectorized equivalence tests of PR 1.
+
+use std::sync::Arc;
+
+use morsel_core::{result_slot, ExecEnv, Morsel, PipelineJob, TaskContext};
+use morsel_exec::agg::{agg_slot, AggFn, AggMergeJob, AggPartialSink, N_PARTITIONS};
+use morsel_exec::expr::{and, col, eq, ge, gt, in_str, le, like, lt, ne, prefix, Expr};
+use morsel_exec::pipeline::{FilterOp, PipeOp, SelBatch};
+use morsel_exec::sink::{area_slot, Sink};
+use morsel_exec::sort::{sort_batch, SortKey};
+use morsel_numa::Topology;
+use morsel_storage::{Batch, Column, DataType, DictColumn, Dictionary, Schema, Value};
+use proptest::prelude::*;
+
+/// A small domain with shared prefixes, so prefix/LIKE/range predicates
+/// all have interesting hit sets. Deliberately unsorted here — the
+/// dictionary must sort it.
+const WORDS: &[&str] = &[
+    "truck", "mail", "ship", "air", "airreg", "rail", "fob", "promo", "pro", "",
+];
+
+/// Constants to compare against: domain members, absent values, values
+/// between domain members, and boundary-ish strings.
+const CONSTS: &[&str] = &["air", "airreg", "mai", "zzz", "", "pro", "promoX", "rail"];
+
+fn word(i: u8) -> String {
+    WORDS[i as usize % WORDS.len()].to_owned()
+}
+
+/// Build (plain, dict-encoded) twins of a batch with one string column
+/// (index 0) and one i64 payload column (index 1).
+fn twin_batches(codes: &[u8]) -> (Batch, Batch) {
+    let strings: Vec<String> = codes.iter().map(|&c| word(c)).collect();
+    let payload: Vec<i64> = codes.iter().map(|&c| i64::from(c) * 3 - 7).collect();
+    let plain = Batch::from_columns(vec![
+        Column::Str(strings.clone()),
+        Column::I64(payload.clone()),
+    ]);
+    let dict = Dictionary::from_values(WORDS.iter().copied());
+    let encoded = Column::Dict(DictColumn::encode(&dict, &strings).expect("domain covers words"));
+    let dicted = Batch::from_columns(vec![encoded, Column::I64(payload)]);
+    (plain, dicted)
+}
+
+/// Every string predicate shape under test, parameterized by a constant.
+fn predicates(c: &str) -> Vec<Expr> {
+    vec![
+        eq(col(0), morsel_exec::expr::lits(c)),
+        ne(col(0), morsel_exec::expr::lits(c)),
+        lt(col(0), morsel_exec::expr::lits(c)),
+        le(col(0), morsel_exec::expr::lits(c)),
+        gt(col(0), morsel_exec::expr::lits(c)),
+        ge(col(0), morsel_exec::expr::lits(c)),
+        prefix(col(0), c),
+        in_str(col(0), &[c, "ship", "nope"]),
+        like(col(0), &format!("%{c}%")),
+        like(col(0), &format!("{c}%")),
+        // String BETWEEN lo AND hi desugars to ge AND le.
+        and(
+            ge(col(0), morsel_exec::expr::lits("air")),
+            le(col(0), morsel_exec::expr::lits(c)),
+        ),
+    ]
+}
+
+fn env() -> ExecEnv {
+    ExecEnv::new(Topology::laptop())
+}
+
+/// Run a grouped aggregation (sum of payload, count) over one batch and
+/// return (key, sum, count) rows sorted by key, decoded.
+fn run_group_by(batch: Batch, scalar_path: bool, capacity: usize) -> Vec<(String, i64, i64)> {
+    let env = env();
+    let nodes = env.worker_sockets(2);
+    let slot = agg_slot();
+    let aggs = vec![AggFn::SumI64(1), AggFn::Count];
+    let sink = AggPartialSink::with_capacity(vec![0], aggs.clone(), &nodes, slot.clone(), capacity)
+        .with_scalar_path(scalar_path);
+    let mut ctx = TaskContext::new(&env, 0);
+    // Feed in two chunks to exercise multi-batch accumulation.
+    let rows = batch.rows();
+    let half = rows / 2;
+    let first: Vec<u32> = (0..half as u32).collect();
+    let second: Vec<u32> = (half as u32..rows as u32).collect();
+    for sel in [first, second] {
+        if !sel.is_empty() {
+            sink.consume(
+                &mut ctx,
+                SelBatch {
+                    batch: batch.clone(),
+                    sel: Some(sel),
+                },
+            );
+        }
+    }
+    sink.finish(&mut ctx);
+    let parts = slot.lock().take().unwrap();
+    let out = area_slot();
+    let result = result_slot();
+    let schema = Schema::new(vec![
+        ("k", DataType::Str),
+        ("sum", DataType::I64),
+        ("cnt", DataType::I64),
+    ]);
+    let job = AggMergeJob::new(
+        parts.clone(),
+        aggs,
+        schema,
+        &nodes,
+        out,
+        Some(result.clone()),
+    );
+    for p in 0..N_PARTITIONS {
+        if parts.partition_rows(p) > 0 {
+            job.run_morsel(
+                &mut ctx,
+                Morsel {
+                    chunk: p,
+                    range: 0..parts.partition_rows(p),
+                },
+            );
+        }
+    }
+    job.finish(&mut ctx);
+    let got = result.lock().take().unwrap();
+    let mut rows: Vec<(String, i64, i64)> = (0..got.rows())
+        .map(|i| {
+            let r = got.row(i);
+            (
+                match &r[0] {
+                    Value::Str(s) => s.clone(),
+                    other => panic!("group key should decode to a string, got {other:?}"),
+                },
+                r[1].as_i64(),
+                r[2].as_i64(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every string predicate selects exactly the same rows on the
+    /// dictionary-encoded twin as on the plain oracle, both through the
+    /// dense filter path and through arbitrary sub-ranges.
+    #[test]
+    fn predicates_select_identical_rows(
+        codes in proptest::collection::vec(0u8..40, 1..200),
+        const_sel in 0usize..CONSTS.len(),
+        lo_frac in 0usize..100,
+    ) {
+        let (plain, dicted) = twin_batches(&codes);
+        let n = plain.rows();
+        let lo = lo_frac * n / 100;
+        for p in predicates(CONSTS[const_sel]) {
+            let want = p.eval_filter(&plain, 0..n);
+            let got = p.eval_filter(&dicted, 0..n);
+            prop_assert_eq!(&got, &want, "predicate {:?}", &p);
+            // Sub-range evaluation slices the code vector the same way.
+            let want_sub = p.eval_filter(&plain, lo..n);
+            let got_sub = p.eval_filter(&dicted, lo..n);
+            prop_assert_eq!(&got_sub, &want_sub, "predicate {:?} on {}..{}", &p, lo, n);
+        }
+    }
+
+    /// The selection-aware filter path (gather referenced columns, then
+    /// evaluate selected rows only) agrees with dense evaluation
+    /// intersected with the selection — on both representations.
+    #[test]
+    fn filter_sel_matches_dense_intersection(
+        codes in proptest::collection::vec(0u8..40, 1..200),
+        keep in proptest::collection::vec(0u8..4, 1..200),
+        const_sel in 0usize..CONSTS.len(),
+    ) {
+        let (plain, dicted) = twin_batches(&codes);
+        let n = plain.rows();
+        let sel: Vec<u32> = (0..n as u32).filter(|&i| keep[i as usize % keep.len()] == 0).collect();
+        for p in predicates(CONSTS[const_sel]) {
+            let dense = p.eval_filter(&plain, 0..n);
+            let want: Vec<u32> = sel.iter().copied().filter(|r| dense.contains(r)).collect();
+            prop_assert_eq!(&p.eval_filter_sel(&plain, &sel), &want, "plain {:?}", &p);
+            prop_assert_eq!(&p.eval_filter_sel(&dicted, &sel), &want, "dict {:?}", &p);
+        }
+    }
+
+    /// FilterOp over a SelBatch (which routes sparse selections through
+    /// the selected-rows path and dense ones through the kernels) produces
+    /// identical surviving rows for both representations.
+    #[test]
+    fn filter_op_pipeline_equivalence(
+        codes in proptest::collection::vec(0u8..40, 1..200),
+        sparse in any::<bool>(),
+        const_sel in 0usize..CONSTS.len(),
+    ) {
+        let (plain, dicted) = twin_batches(&codes);
+        let n = plain.rows();
+        // A sparse (every 5th row) or dense-ish (4 of 5) input selection.
+        let sel: Vec<u32> = (0..n as u32)
+            .filter(|i| if sparse { i % 5 == 0 } else { i % 5 != 0 })
+            .collect();
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        for p in predicates(CONSTS[const_sel]) {
+            let f = FilterOp::new(p.clone());
+            let out_p = f
+                .apply(&mut ctx, SelBatch { batch: plain.clone(), sel: Some(sel.clone()) })
+                .materialize(&mut ctx);
+            let out_d = f
+                .apply(&mut ctx, SelBatch { batch: dicted.clone(), sel: Some(sel.clone()) })
+                .materialize(&mut ctx);
+            prop_assert_eq!(out_p.rows(), out_d.rows(), "predicate {:?}", &p);
+            prop_assert_eq!(out_p.column(1), out_d.column(1), "payload {:?}", &p);
+            prop_assert_eq!(&out_p.column(0).decoded(), &out_d.column(0).decoded(), "keys {:?}", &p);
+        }
+    }
+
+    /// Group-by on a string key: the dictionary fast path (integer-code
+    /// flat table), the dictionary scalar path, and the plain-string
+    /// oracle all produce identical groups — including through forced
+    /// spills (tiny pre-aggregation capacity).
+    #[test]
+    fn group_by_string_key_equivalence(
+        codes in proptest::collection::vec(0u8..40, 2..300),
+        tiny_capacity in any::<bool>(),
+    ) {
+        let (plain, dicted) = twin_batches(&codes);
+        let cap = if tiny_capacity { 3 } else { 4096 };
+        let want = run_group_by(plain, false, cap);
+        let fast = run_group_by(dicted.clone(), false, cap);
+        let scalar = run_group_by(dicted, true, cap);
+        prop_assert_eq!(&fast, &want);
+        prop_assert_eq!(&scalar, &want);
+    }
+
+    /// Sorting by a string key (with a payload tiebreaker) orders the
+    /// dictionary twin exactly like the plain oracle, ascending and
+    /// descending.
+    #[test]
+    fn sort_on_string_key_equivalence(
+        codes in proptest::collection::vec(0u8..40, 1..300),
+        desc in any::<bool>(),
+    ) {
+        let (plain, dicted) = twin_batches(&codes);
+        let keys = vec![
+            if desc { SortKey::desc(0) } else { SortKey::asc(0) },
+            SortKey::asc(1),
+        ];
+        let sp = sort_batch(&plain, &keys);
+        let sd = sort_batch(&dicted, &keys);
+        prop_assert_eq!(sp.column(1), sd.column(1));
+        prop_assert_eq!(&sp.column(0).decoded(), &sd.column(0).decoded());
+    }
+}
+
+/// Deterministic spot check: a join whose build payload and probe column
+/// are dictionary-encoded carries codes through and decodes to the same
+/// strings as the plain oracle (complements the proptest coverage with
+/// the join path).
+#[test]
+fn join_payload_dict_roundtrip() {
+    use morsel_exec::join::{join_slot, HtInsertJob, JoinKind, ProbeOp};
+    use morsel_storage::{AreaSet, StorageArea};
+
+    let dict = Dictionary::from_values(WORDS.iter().copied());
+    let build_keys: Vec<i64> = vec![1, 2, 3];
+    let payload_strs: Vec<String> = vec!["ship".into(), "air".into(), "promo".into()];
+
+    let run = |encode: bool| -> Vec<Vec<Value>> {
+        let schema = Schema::new(vec![("bk", DataType::I64), ("bp", DataType::Str)]);
+        let payload = if encode {
+            Column::Dict(DictColumn::encode(&dict, &payload_strs).unwrap())
+        } else {
+            Column::Str(payload_strs.clone())
+        };
+        let mut area = StorageArea::new(morsel_numa::SocketId(0), &schema.data_types());
+        area.data_mut().extend_from(&Batch::from_columns(vec![
+            Column::I64(build_keys.clone()),
+            payload,
+        ]));
+        let build = Arc::new(AreaSet::new(schema, vec![area]));
+        let slot = join_slot();
+        let env = env();
+        let mut ctx = TaskContext::new(&env, 0);
+        let job = HtInsertJob::new(Arc::clone(&build), vec![0], 2, slot.clone());
+        job.run_morsel(
+            &mut ctx,
+            Morsel {
+                chunk: 0,
+                range: 0..build_keys.len(),
+            },
+        );
+        job.finish(&mut ctx);
+        let op = ProbeOp {
+            table: slot,
+            probe_keys: vec![0],
+            kind: JoinKind::Inner,
+            build_cols: vec![1],
+            scalar: false,
+        };
+        let probe = Batch::from_columns(vec![Column::I64(vec![3, 1, 4, 3])]);
+        let out = op
+            .apply(&mut ctx, SelBatch::dense(probe))
+            .materialize(&mut ctx)
+            .decoded();
+        (0..out.rows()).map(|i| out.row(i)).collect()
+    };
+
+    assert_eq!(run(true), run(false));
+    assert_eq!(run(true).len(), 3);
+}

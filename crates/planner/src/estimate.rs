@@ -14,11 +14,12 @@
 //! documented default selectivities.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use morsel_exec::expr::{CmpOp, Expr};
 use morsel_exec::join::JoinKind;
 use morsel_exec::plan::Plan;
-use morsel_storage::{ColumnStats, DataType};
+use morsel_storage::{ColumnStats, DataType, Dictionary};
 
 /// Estimated properties of one output column.
 #[derive(Debug, Clone)]
@@ -29,6 +30,10 @@ pub struct ColEst {
     pub width: f64,
     /// Numeric `[min, max]` range, when known.
     pub span: Option<(f64, f64)>,
+    /// The column's sorted dictionary, when dictionary-encoded. String
+    /// range, prefix, LIKE, and IN predicates then resolve to exact
+    /// fractions of the code domain instead of default selectivities.
+    pub dict: Option<Arc<Dictionary>>,
 }
 
 impl ColEst {
@@ -41,6 +46,7 @@ impl ColEst {
                 _ => 8.0,
             },
             span: None,
+            dict: None,
         }
     }
 
@@ -52,6 +58,7 @@ impl ColEst {
                 (Some(lo), Some(hi)) => Some((lo.as_f64(), hi.as_f64())),
                 _ => None,
             }),
+            dict: s.dict.clone(),
         }
     }
 
@@ -60,6 +67,7 @@ impl ColEst {
             ndv: self.ndv.min(rows.max(1.0)),
             width: self.width,
             span: self.span,
+            dict: self.dict.clone(),
         }
     }
 }
@@ -201,6 +209,7 @@ impl Estimator {
                         ndv: (b.rows / ndv_b + 1.0).min(rows),
                         width: 8.0,
                         span: None,
+                        dict: None,
                     });
                 }
                 PlanEst { rows, cols }
@@ -230,6 +239,7 @@ impl Estimator {
                         ndv: rows,
                         width: 8.0,
                         span: None,
+                        dict: None,
                     });
                 }
                 PlanEst { rows, cols }
@@ -265,6 +275,7 @@ impl Estimator {
                             ndv: years.max(1.0).min(rows),
                             width: 8.0,
                             span: None,
+                            dict: None,
                         };
                     }
                 }
@@ -274,6 +285,7 @@ impl Estimator {
                 ndv: 1.0,
                 width: 8.0,
                 span: None,
+                dict: None,
             },
             other => ColEst::unknown(other.result_type(in_types), rows),
         }
@@ -294,12 +306,39 @@ impl Estimator {
                 _ => self.default_sel,
             },
             Expr::InI64(a, list) => self.membership(a, list.len(), cols),
-            Expr::InStr(a, list) => self.membership(a, list.len(), cols),
-            Expr::Like(a, _) => {
-                let _ = a;
+            Expr::InStr(a, list) => {
+                // Against a dictionary: count how many of the listed
+                // values exist in the domain — absent values contribute
+                // nothing (the executor's code-set rewrite drops them too).
+                if let Expr::Col(i) = a.as_ref() {
+                    if let Some(d) = &cols[*i].dict {
+                        let present = list.iter().filter(|l| d.code_of(l).is_some()).count() as f64;
+                        return (present / d.len().max(1) as f64).clamp(1e-7, 1.0);
+                    }
+                }
+                self.membership(a, list.len(), cols)
+            }
+            Expr::Like(a, pat) => {
+                // A dictionary enumerates the domain, so LIKE selectivity
+                // is exact over values (uniformity across values assumed).
+                if let Expr::Col(i) = a.as_ref() {
+                    if let Some(d) = &cols[*i].dict {
+                        let hits = d.values().iter().filter(|v| pat.matches(v)).count() as f64;
+                        return (hits / d.len().max(1) as f64).clamp(1e-7, 1.0);
+                    }
+                }
                 self.like_sel
             }
-            Expr::StrPrefix(..) => self.prefix_sel,
+            Expr::StrPrefix(a, p) => {
+                // Prefix predicates are code ranges of the sorted domain.
+                if let Expr::Col(i) = a.as_ref() {
+                    if let Some(d) = &cols[*i].dict {
+                        let (lo, hi) = d.prefix_range(p);
+                        return (f64::from(hi - lo) / d.len().max(1) as f64).clamp(1e-7, 1.0);
+                    }
+                }
+                self.prefix_sel
+            }
             _ => self.default_sel,
         };
         s.clamp(1e-7, 1.0)
@@ -318,10 +357,34 @@ impl Estimator {
             (Expr::Col(i), Expr::ConstI64(c)) => self.col_const_cmp(op, &cols[*i], *c as f64),
             (Expr::ConstI64(c), Expr::Col(i)) => self.col_const_cmp(flip(op), &cols[*i], *c as f64),
             (Expr::Col(i), Expr::ConstF64(c)) => self.col_const_cmp(op, &cols[*i], *c),
-            (Expr::Col(i), Expr::ConstStr(_)) => match op {
-                CmpOp::Eq => 1.0 / cols[*i].ndv,
-                CmpOp::Ne => 1.0 - 1.0 / cols[*i].ndv,
-                _ => self.col_cmp_sel,
+            (Expr::Col(i), Expr::ConstStr(s)) => match op {
+                CmpOp::Eq => match &cols[*i].dict {
+                    // Absent from the domain: selects nothing.
+                    Some(d) if d.code_of(s).is_none() => 1e-7,
+                    _ => 1.0 / cols[*i].ndv,
+                },
+                CmpOp::Ne => match &cols[*i].dict {
+                    // Absent from the domain: excludes nothing.
+                    Some(d) if d.code_of(s).is_none() => 1.0,
+                    _ => 1.0 - 1.0 / cols[*i].ndv,
+                },
+                // Ordering against a sorted dictionary: the constant's
+                // code position is the range fraction of the domain.
+                _ => match &cols[*i].dict {
+                    Some(d) if !d.is_empty() => {
+                        let len = d.len() as f64;
+                        let below = f64::from(d.lower_bound(s)) / len;
+                        let at_or_below = f64::from(d.upper_bound(s)) / len;
+                        match op {
+                            CmpOp::Lt => below,
+                            CmpOp::Le => at_or_below,
+                            CmpOp::Gt => 1.0 - at_or_below,
+                            CmpOp::Ge => 1.0 - below,
+                            CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+                        }
+                    }
+                    _ => self.col_cmp_sel,
+                },
             },
             (Expr::Col(i), Expr::Col(j)) => match op {
                 CmpOp::Eq => 1.0 / cols[*i].ndv.max(cols[*j].ndv),
@@ -448,6 +511,40 @@ mod tests {
         let e = est().estimate(&p);
         // ~10_000 / 100 / 11 ≈ 9.
         assert!(e.rows > 2.0 && e.rows < 40.0, "rows {}", e.rows);
+    }
+
+    #[test]
+    fn dict_domain_gives_exact_string_selectivities() {
+        use morsel_exec::expr::{ge, in_str, like, ne, prefix};
+        // 11 distinct values s0..s10 over 10k rows: the relation encodes.
+        let r = Arc::new(
+            Arc::try_unwrap(rel(10_000, 100))
+                .expect("sole owner")
+                .dict_encoded(),
+        );
+        let n = 10_000.0;
+        let sel_of = |p: morsel_exec::expr::Expr| {
+            est()
+                .estimate(&Plan::scan(Arc::clone(&r), Some(p), &["k"]))
+                .rows
+                / n
+        };
+        // Equality/inequality of an absent constant: nothing / everything.
+        assert!(sel_of(eq(col(2), lits("nope"))) < 1e-3);
+        assert!(sel_of(ne(col(2), lits("nope"))) > 0.99);
+        // Prefix covers the whole s0..s10 domain; an absent prefix none.
+        assert!(sel_of(prefix(col(2), "s")) > 0.99);
+        assert!(sel_of(prefix(col(2), "zz")) < 1e-3);
+        // IN counts only values present in the domain (1 of 11 here).
+        let in_sel = sel_of(in_str(col(2), &["s3", "absent"]));
+        assert!((in_sel - 1.0 / 11.0).abs() < 0.02, "in_sel {in_sel}");
+        // LIKE enumerates the domain exactly: '%0%' hits s0 and s10.
+        let like_sel = sel_of(like(col(2), "%0%"));
+        assert!((like_sel - 2.0 / 11.0).abs() < 0.02, "like_sel {like_sel}");
+        // Ordering uses code positions: >= "s10" keeps all but "s0"/"s1"
+        // (lexicographic order is s0 < s1 < s10 < s2 < ... < s9).
+        let ge_sel = sel_of(ge(col(2), lits("s10")));
+        assert!((ge_sel - 9.0 / 11.0).abs() < 0.02, "ge_sel {ge_sel}");
     }
 
     #[test]

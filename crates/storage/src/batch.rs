@@ -121,13 +121,14 @@ impl Batch {
     }
 
     /// Compact copy of the selected rows (capacity-exact gather; the
-    /// pipeline's selection-vector materialization point).
+    /// pipeline's selection-vector materialization point). Dictionary
+    /// columns gather codes and keep their encoding.
     pub fn gather(&self, sel: &[u32]) -> Batch {
         let cols: Vec<Column> = self
             .columns
             .iter()
             .map(|c| {
-                let mut out = Column::with_capacity(c.data_type(), sel.len());
+                let mut out = Column::with_capacity_like(c, sel.len());
                 out.extend_selected(c, sel);
                 out
             })
@@ -136,6 +137,22 @@ impl Batch {
             columns: cols,
             rows: sel.len(),
         }
+    }
+
+    /// Copy with every dictionary column decoded to plain strings — the
+    /// late-materialization point for query results.
+    pub fn decoded(&self) -> Batch {
+        Batch {
+            columns: self.columns.iter().map(Column::decoded).collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// Replace column `i` (same length required; used by load-time
+    /// dictionary encoding).
+    pub fn replace_column(&mut self, i: usize, col: Column) {
+        assert_eq!(col.len(), self.rows, "replacement column length mismatch");
+        self.columns[i] = col;
     }
 }
 

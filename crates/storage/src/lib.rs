@@ -2,9 +2,11 @@
 //!
 //! NUMA-partitioned columnar storage for the morsel-driven engine:
 //! [`value::Value`]/[`value::DataType`] scalars, [`column::Column`] typed
-//! columns, [`batch::Batch`] row batches, hash- or chunk-partitioned
-//! [`relation::Relation`]s placed across memory nodes, and per-worker
-//! [`area::StorageArea`]s that hold pipeline intermediates NUMA-locally.
+//! columns (with sorted per-relation string [`dict::Dictionary`]s behind
+//! the same logical string type), [`batch::Batch`] row batches, hash- or
+//! chunk-partitioned [`relation::Relation`]s placed across memory nodes,
+//! and per-worker [`area::StorageArea`]s that hold pipeline
+//! intermediates NUMA-locally.
 //!
 //! Morsels are *views*: a morsel is a `(partition/area, row-range)` pair cut
 //! out by the dispatcher; no storage type here owns scheduling state.
@@ -12,6 +14,7 @@
 pub mod area;
 pub mod batch;
 pub mod column;
+pub mod dict;
 pub mod hash;
 pub mod relation;
 pub mod schema;
@@ -20,9 +23,10 @@ pub mod value;
 
 pub use area::{AreaSet, StorageArea};
 pub use batch::Batch;
-pub use column::Column;
+pub use column::{encode_fragments, Column};
+pub use dict::{DictColumn, Dictionary};
 pub use hash::{hash64, hash_bytes, hash_combine, hash_i64};
 pub use relation::{Partition, PartitionBy, Relation};
 pub use schema::{Field, Schema};
 pub use stats::{ColumnStats, HllSketch, TableStats};
-pub use value::{date, date_parts, decimal, format_date, DataType, Value, DECIMAL_SCALE};
+pub use value::{date, date_parts, decimal, format_date, DataType, Value, ValueRef, DECIMAL_SCALE};

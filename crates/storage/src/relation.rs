@@ -188,13 +188,37 @@ impl Relation {
         }
     }
 
-    /// Concatenate all partitions back into one batch (tests/verification).
+    /// Concatenate all partitions back into one batch, with dictionary
+    /// columns decoded to plain strings (tests/verification — callers
+    /// compare raw values).
     pub fn gather(&self) -> Batch {
         let mut out = Batch::empty(&self.schema.data_types());
         for p in &self.partitions {
             out.extend_from(&p.data);
         }
-        out
+        out.decoded()
+    }
+
+    /// Dictionary-encode every low-cardinality string column (one sorted
+    /// dictionary per column, shared by all partitions). The load-time
+    /// step that turns string predicates, group-bys, and sorts into
+    /// integer-code kernels; columns whose domain fails
+    /// [`crate::dict::worth_encoding`] stay plain. Row counts are
+    /// unchanged; byte totals shrink to the 4-byte-code accounting.
+    pub fn dict_encoded(mut self) -> Relation {
+        let str_cols: Vec<usize> = (0..self.schema.len())
+            .filter(|&i| self.schema.dtype(i) == crate::value::DataType::Str)
+            .collect();
+        for c in str_cols {
+            let fragments: Vec<&crate::column::Column> =
+                self.partitions.iter().map(|p| p.data.column(c)).collect();
+            if let Some((_dict, encoded)) = crate::column::encode_fragments(&fragments) {
+                for (p, col) in self.partitions.iter_mut().zip(encoded) {
+                    p.data.replace_column(c, col);
+                }
+            }
+        }
+        Relation::from_parts(self.schema, self.partitions)
     }
 }
 
@@ -352,6 +376,58 @@ mod tests {
         assert!(Arc::ptr_eq(&s, &r.stats()));
         let r2 = r.with_placement(Placement::OsDefault, &t);
         assert!(Arc::ptr_eq(&s, &r2.stats()));
+    }
+
+    #[test]
+    fn dict_encoding_shares_dictionary_across_partitions() {
+        use crate::column::Column;
+        use crate::value::{DataType, Value};
+        let t = Topology::nehalem_ex();
+        let n = 400usize;
+        let data = Batch::from_columns(vec![
+            Column::I64((0..n as i64).collect()),
+            Column::Str((0..n).map(|i| format!("tag{}", i % 7)).collect()),
+            // High-cardinality column stays plain.
+            Column::Str((0..n).map(|i| format!("unique-{i}")).collect()),
+        ]);
+        let schema = Schema::new(vec![
+            ("k", DataType::I64),
+            ("tag", DataType::Str),
+            ("note", DataType::Str),
+        ]);
+        let plain = Relation::partitioned(
+            schema,
+            &data,
+            PartitionBy::Hash { column: 0 },
+            8,
+            Placement::FirstTouch,
+            &t,
+        );
+        let rows_before = plain.total_rows();
+        let gathered_before = plain.gather();
+        let r = plain.dict_encoded();
+        assert_eq!(r.total_rows(), rows_before);
+        // All partitions of the encoded column share one dictionary.
+        let dicts: Vec<_> = r
+            .partitions()
+            .iter()
+            .map(|p| p.data.column(1).as_dict().expect("tag should encode"))
+            .collect();
+        assert!(dicts.windows(2).all(|w| w[0].same_dict(w[1])));
+        assert_eq!(dicts[0].dict().len(), 7);
+        assert!(r
+            .partitions()
+            .iter()
+            .all(|p| p.data.column(2).as_dict().is_none()));
+        // Encoded bytes shrink; decoded gather is unchanged.
+        assert!(r.total_bytes() < rows_before as u64 * 100);
+        assert_eq!(r.gather(), gathered_before);
+        // Stats over codes expose the dictionary and the true NDV.
+        let s = r.stats();
+        assert!(s.column(1).dict.is_some());
+        assert!((s.column(1).ndv - 7.0).abs() < 1.0);
+        assert_eq!(s.column(1).min, Some(Value::Str("tag0".into())));
+        assert_eq!(s.column(1).max, Some(Value::Str("tag6".into())));
     }
 
     #[test]

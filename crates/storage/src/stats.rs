@@ -14,8 +14,11 @@
 //! `2^P` one-byte registers: mergeable across partitions by a register-wise
 //! max, ~3% standard error at `P = 10`, fixed 1 KiB per column.
 
+use std::sync::Arc;
+
 use crate::batch::Batch;
 use crate::column::Column;
+use crate::dict::Dictionary;
 use crate::hash::{hash64, hash_bytes};
 use crate::value::Value;
 
@@ -102,6 +105,10 @@ pub struct ColumnStats {
     /// Average in-memory bytes per value (same accounting as
     /// [`Column::byte_size`]).
     pub avg_width: f64,
+    /// The shared dictionary, when this column is dictionary-encoded —
+    /// lets the planner turn string range/prefix predicates into exact
+    /// code-domain fractions.
+    pub dict: Option<Arc<Dictionary>>,
     sketch: HllSketch,
 }
 
@@ -109,7 +116,25 @@ impl ColumnStats {
     /// Compute stats over one column fragment.
     pub fn from_column(col: &Column) -> Self {
         let mut sketch = HllSketch::new();
+        let mut dict = None;
         let (min, max) = match col {
+            Column::Dict(d) => {
+                // Codes are sort-ordered, so min/max over codes decode to
+                // the lexicographic min/max; the NDV sketch inserts the
+                // dictionary's precomputed per-value hashes, which keeps
+                // per-partition sketches mergeable with plain-string
+                // fragments of the same column.
+                for &c in d.codes() {
+                    sketch.insert_hash(d.dict().hash_of(c));
+                }
+                dict = Some(Arc::clone(d.dict()));
+                let min = d.codes().iter().min();
+                let max = d.codes().iter().max();
+                (
+                    min.map(|&c| Value::Str(d.dict().get(c).to_owned())),
+                    max.map(|&c| Value::Str(d.dict().get(c).to_owned())),
+                )
+            }
             Column::I64(v) => {
                 for &x in v {
                     sketch.insert_hash(hash64(x as u64));
@@ -160,6 +185,7 @@ impl ColumnStats {
             } else {
                 col.total_bytes() as f64 / rows as f64
             },
+            dict,
             sketch,
         }
     }
@@ -168,6 +194,14 @@ impl ColumnStats {
     pub fn merge(&mut self, other: &ColumnStats, own_rows: u64, other_rows: u64) {
         self.sketch.merge(&other.sketch);
         self.null_count += other.null_count;
+        // Partitions of one relation share their dictionary; anything else
+        // (or a plain fragment) drops it.
+        self.dict = match (self.dict.take(), &other.dict) {
+            (Some(a), Some(b)) if Arc::ptr_eq(&a, b) => Some(a),
+            (Some(a), None) if other_rows == 0 => Some(a),
+            (None, Some(b)) if own_rows == 0 => Some(Arc::clone(b)),
+            _ => None,
+        };
         self.min = match (self.min.take(), other.min.clone()) {
             (Some(a), Some(b)) => Some(if value_le(&b, &a) { b } else { a }),
             (a, b) => a.or(b),

@@ -99,6 +99,77 @@ impl From<&str> for Value {
     }
 }
 
+/// A borrowed scalar: what [`crate::Column::value_ref`] returns. Carries
+/// `&str` instead of `String`, so row accessors that only compare or hash
+/// never clone (the dictionary-encoded representation decodes to a
+/// borrowed `&str` for free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    I64(i64),
+    I32(i32),
+    F64(f64),
+    Str(&'a str),
+}
+
+impl<'a> ValueRef<'a> {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ValueRef::I64(_) => DataType::I64,
+            ValueRef::I32(_) => DataType::I32,
+            ValueRef::F64(_) => DataType::F64,
+            ValueRef::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Promote to an owned [`Value`] (the only allocating step).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::I64(v) => Value::I64(v),
+            ValueRef::I32(v) => Value::I32(v),
+            ValueRef::F64(v) => Value::F64(v),
+            ValueRef::Str(s) => Value::Str(s.to_owned()),
+        }
+    }
+
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            ValueRef::I64(v) => *v,
+            ValueRef::I32(v) => i64::from(*v),
+            _ => panic!("value {self:?} is not an integer"),
+        }
+    }
+
+    pub fn as_str(&self) -> &'a str {
+        match self {
+            ValueRef::Str(s) => s,
+            _ => panic!("value {self:?} is not a string"),
+        }
+    }
+}
+
+impl PartialEq<Value> for ValueRef<'_> {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (ValueRef::I64(a), Value::I64(b)) => a == b,
+            (ValueRef::I32(a), Value::I32(b)) => a == b,
+            (ValueRef::F64(a), Value::F64(b)) => a == b,
+            (ValueRef::Str(a), Value::Str(b)) => *a == b.as_str(),
+            _ => false,
+        }
+    }
+}
+
+impl<'a> From<&'a Value> for ValueRef<'a> {
+    fn from(v: &'a Value) -> Self {
+        match v {
+            Value::I64(x) => ValueRef::I64(*x),
+            Value::I32(x) => ValueRef::I32(*x),
+            Value::F64(x) => ValueRef::F64(*x),
+            Value::Str(s) => ValueRef::Str(s),
+        }
+    }
+}
+
 /// Fixed-point decimal scale used for TPC-H money columns (2 digits).
 pub const DECIMAL_SCALE: i64 = 100;
 

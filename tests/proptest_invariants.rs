@@ -151,7 +151,7 @@ proptest! {
             Column::I64(rows.iter().map(|r| r.0).collect()),
             Column::I64(rows.iter().map(|r| r.1).collect()),
         ]);
-        let filter = FilterOp { predicate: gt(col(1), lit(threshold)) };
+        let filter = FilterOp::new(gt(col(1), lit(threshold)));
         let make_probe = |scalar: bool| ProbeOp {
             table: slot.clone(),
             probe_keys: vec![0],
