@@ -2,26 +2,62 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--scale SF] [--ssb-scale SF] [--workers N] [--morsel N] [--quick] <experiment>...
+//! repro [--scale SF] [--ssb-scale SF] [--workers N] [--morsel N] [--quick]
+//!       [--db tpch|ssb] <experiment>...
 //! experiments: fig6 fig11 table1 table2 table3 summary numa_placement
 //!              numa_micro fig12 fig13 interference all
 //! extras:      service_load  (wall-clock serving scenario; not part of "all")
 //!              plan_quality  (cost-based planner vs hand-authored plans)
 //!              explain <q>   (planner join order + est/actual rows, e.g.
 //!                             `explain q5` or `explain ssb2.1`)
+//!              explain --sql "<text>"  (same, for a SQL query)
+//!              sql "<text>"  (parse, bind, plan, and execute SQL text
+//!                             against the generated DB; `--db` picks
+//!                             TPC-H (default) or SSB)
 //! ```
+//!
+//! `sql` and `explain --sql` exit non-zero on any parse/bind error,
+//! printing the caret diagnostic — CI's smoke step relies on that.
 
 use morsel_bench::experiments::{self, ExpConfig};
+use morsel_bench::SqlDb;
+
+enum ExplainTarget {
+    Query(String),
+    Sql(String),
+}
 
 fn main() {
     let mut cfg = ExpConfig::default();
     let mut experiments_to_run: Vec<String> = Vec::new();
-    let mut explain_targets: Vec<String> = Vec::new();
+    let mut explain_targets: Vec<ExplainTarget> = Vec::new();
+    let mut sql_texts: Vec<String> = Vec::new();
+    let mut db = SqlDb::Tpch;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "explain" => {
-                explain_targets.push(args.next().expect("explain needs a query, e.g. q5"));
+                let target = args.next().expect("explain needs a query, e.g. q5");
+                if target == "--sql" {
+                    explain_targets.push(ExplainTarget::Sql(
+                        args.next().expect("explain --sql needs a query string"),
+                    ));
+                } else {
+                    explain_targets.push(ExplainTarget::Query(target));
+                }
+            }
+            "sql" => {
+                sql_texts.push(args.next().expect("sql needs a query string"));
+            }
+            "--db" => {
+                db = match args.next().expect("--db needs tpch or ssb").as_str() {
+                    "tpch" => SqlDb::Tpch,
+                    "ssb" => SqlDb::Ssb,
+                    other => {
+                        eprintln!("--db must be tpch or ssb, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--scale" => {
                 cfg.scale = args.next().expect("--scale needs a value").parse().unwrap();
@@ -56,18 +92,47 @@ fn main() {
             other => experiments_to_run.push(other.to_owned()),
         }
     }
-    if experiments_to_run.is_empty() && explain_targets.is_empty() {
+    if experiments_to_run.is_empty() && explain_targets.is_empty() && sql_texts.is_empty() {
         eprintln!(
-            "usage: repro [--scale SF] [--workers N] [--morsel N] [--quick] <experiment>...\n\
+            "usage: repro [--scale SF] [--workers N] [--morsel N] [--quick] \
+             [--db tpch|ssb] <experiment>...\n\
              experiments: fig6 fig11 table1 table2 table3 summary numa_placement\n\
              \x20            numa_micro fig12 fig13 interference all\n\
              extras: service_load (wall-clock serving scenario)\n\
-             \x20       plan_quality | explain <q> (cost-based planner)"
+             \x20       plan_quality | explain <q> | explain --sql \"<text>\"\n\
+             \x20       sql \"<text>\" (full text -> plan -> execute path)"
         );
         std::process::exit(2);
     }
-    for q in &explain_targets {
-        println!("{}", morsel_bench::explain_query(&cfg, q));
+    // Every SQL statement in one invocation shares `--db`; generate the
+    // database once and bind them all against the same catalog.
+    let needs_sql = !sql_texts.is_empty()
+        || explain_targets
+            .iter()
+            .any(|t| matches!(t, ExplainTarget::Sql(_)));
+    let sql_catalog = needs_sql.then(|| morsel_bench::sql_catalog(&cfg, db));
+    let fail = |diag: String| -> ! {
+        eprintln!("{diag}");
+        std::process::exit(1);
+    };
+    for target in &explain_targets {
+        match target {
+            ExplainTarget::Query(q) => println!("{}", morsel_bench::explain_query(&cfg, q)),
+            ExplainTarget::Sql(text) => {
+                let (catalog, scale) = sql_catalog.as_ref().unwrap();
+                match morsel_bench::explain_sql_in(&cfg, catalog, *scale, text) {
+                    Ok(out) => println!("{out}"),
+                    Err(diag) => fail(diag),
+                }
+            }
+        }
+    }
+    for text in &sql_texts {
+        let (catalog, scale) = sql_catalog.as_ref().unwrap();
+        match morsel_bench::run_sql_in(&cfg, db, catalog, *scale, text) {
+            Ok(out) => println!("{out}"),
+            Err(diag) => fail(diag),
+        }
     }
     let all = [
         "fig6",

@@ -15,5 +15,8 @@ pub mod report;
 pub mod service_load;
 
 pub use experiments::*;
-pub use plan_quality::{explain_query, plan_quality};
+pub use plan_quality::{
+    explain_query, explain_sql, explain_sql_in, plan_quality, run_sql, run_sql_in, sql_catalog,
+    SqlDb,
+};
 pub use service_load::service_load;

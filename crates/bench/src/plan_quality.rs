@@ -1,5 +1,5 @@
 //! Planner-vs-oracle comparison (`repro plan_quality`) and the
-//! `repro explain` command.
+//! `repro explain` / `repro sql` commands.
 //!
 //! For every query that exists in both hand-authored and logical form,
 //! `plan_quality` lowers the logical plan with the cost-based planner and
@@ -14,7 +14,8 @@ use morsel_exec::plan::Plan;
 use morsel_exec::SystemVariant;
 use morsel_numa::Topology;
 use morsel_planner::{explain, plan_cost, Planner};
-use morsel_queries::{run_sim, ssb_logical, ssb_queries, tpch_logical, tpch_queries};
+use morsel_queries::{format_rows, run_sim, ssb_logical, ssb_queries, tpch_logical, tpch_queries};
+use morsel_storage::Catalog;
 
 use crate::experiments::ExpConfig;
 use crate::report::{ratio, secs, Table};
@@ -188,6 +189,20 @@ pub fn explain_query(cfg: &ExpConfig, query: &str) -> String {
         (format!("TPC-H Q{n}"), cfg.scale, lowered, report)
     };
 
+    render_explain(&env, &planner, cfg, &name, scale, &lowered, &report)
+}
+
+/// Shared explain rendering: chosen join orders plus estimated vs.
+/// measured per-operator cardinalities (every subtree is executed).
+fn render_explain(
+    env: &ExecEnv,
+    planner: &Planner,
+    cfg: &ExpConfig,
+    name: &str,
+    scale: f64,
+    lowered: &Plan,
+    report: &morsel_planner::PlanReport,
+) -> String {
     let mut out = format!("explain {name} (scale {scale}, workers 16)\n\n");
     for (i, b) in report.blocks.iter().enumerate() {
         out.push_str(&format!(
@@ -205,13 +220,13 @@ pub fn explain_query(cfg: &ExpConfig, query: &str) -> String {
     }
 
     // Estimated vs actual: run every operator's subtree and count rows.
-    let lines = explain::collect(&lowered, &planner.estimator);
+    let lines = explain::collect(lowered, &planner.estimator);
     let actuals: Vec<usize> = lines
         .iter()
         .enumerate()
         .map(|(i, line)| {
             run_sim(
-                &env,
+                env,
                 &format!("explain-{i}"),
                 line.subplan.clone(),
                 SystemVariant::full(),
@@ -225,6 +240,113 @@ pub fn explain_query(cfg: &ExpConfig, query: &str) -> String {
     out.push_str("\noperators (estimated vs measured cardinality):\n");
     out.push_str(&explain::render(&lines, Some(&actuals)));
     out
+}
+
+/// Which generated database `repro sql` binds against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlDb {
+    Tpch,
+    Ssb,
+}
+
+/// Generate the database `repro sql` binds against and export its
+/// catalog (plus the effective scale factor). Generation dominates the
+/// cost of a `sql` invocation — callers issuing several statements (the
+/// CLI loops, CI's chained smoke) build this once and reuse it.
+pub fn sql_catalog(cfg: &ExpConfig, db: SqlDb) -> (Catalog, f64) {
+    let topo = Topology::nehalem_ex();
+    match db {
+        SqlDb::Tpch => (
+            morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(cfg.scale), &topo)
+                .catalog(),
+            cfg.scale,
+        ),
+        SqlDb::Ssb => (
+            morsel_datagen::generate_ssb(morsel_datagen::SsbConfig::scaled(cfg.ssb_scale), &topo)
+                .catalog(),
+            cfg.ssb_scale,
+        ),
+    }
+}
+
+/// The `repro sql "<text>"` command: lex → parse → bind → plan → execute
+/// against the generated TPC-H or SSB database. Errors return the
+/// rendered caret diagnostic so the CLI (and CI) can fail loudly.
+pub fn run_sql(cfg: &ExpConfig, db: SqlDb, sql: &str) -> Result<String, String> {
+    let (catalog, scale) = sql_catalog(cfg, db);
+    run_sql_in(cfg, db, &catalog, scale, sql)
+}
+
+/// [`run_sql`] against a prebuilt catalog.
+pub fn run_sql_in(
+    cfg: &ExpConfig,
+    db: SqlDb,
+    catalog: &Catalog,
+    scale: f64,
+    sql: &str,
+) -> Result<String, String> {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let planner = Planner::new(&topo);
+    let logical = morsel_sql::plan_sql(catalog, sql).map_err(|e| e.render(sql))?;
+    let (lowered, report) = planner.plan_with_report(&logical);
+    let schema = logical.schema();
+
+    let started = std::time::Instant::now();
+    let outcome = run_sim(
+        &env,
+        "sql",
+        lowered,
+        SystemVariant::full(),
+        16,
+        cfg.morsel_size,
+    );
+    let wall = started.elapsed();
+
+    let mut out = format!(
+        "sql ({db:?} scale {scale}, workers 16)\n> {}\n\n",
+        sql.trim()
+    );
+    for b in &report.blocks {
+        out.push_str(&format!("join order: {}\n", b.order));
+    }
+    out.push_str(&format!("columns: {}\n", schema.names().join(" | ")));
+    let rows = outcome.result.rows();
+    for line in format_rows(&outcome.result, 20) {
+        out.push_str(&format!("  {line}\n"));
+    }
+    if rows > 20 {
+        out.push_str(&format!("  ... ({} more rows)\n", rows - 20));
+    }
+    out.push_str(&format!(
+        "{rows} row(s); {:.1} ms simulated, {:.1} ms wall\n",
+        outcome.seconds() * 1e3,
+        wall.as_secs_f64() * 1e3,
+    ));
+    Ok(out)
+}
+
+/// The `repro explain --sql "<text>"` command.
+pub fn explain_sql(cfg: &ExpConfig, db: SqlDb, sql: &str) -> Result<String, String> {
+    let (catalog, scale) = sql_catalog(cfg, db);
+    explain_sql_in(cfg, &catalog, scale, sql)
+}
+
+/// [`explain_sql`] against a prebuilt catalog.
+pub fn explain_sql_in(
+    cfg: &ExpConfig,
+    catalog: &Catalog,
+    scale: f64,
+    sql: &str,
+) -> Result<String, String> {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let planner = Planner::new(&topo);
+    let logical = morsel_sql::plan_sql(catalog, sql).map_err(|e| e.render(sql))?;
+    let (lowered, report) = planner.plan_with_report(&logical);
+    Ok(render_explain(
+        &env, &planner, cfg, "sql", scale, &lowered, &report,
+    ))
 }
 
 #[cfg(test)]
@@ -245,5 +367,57 @@ mod tests {
         assert!(text.contains("actual="));
         let ssb = explain_query(&cfg, "ssb2.1");
         assert!(ssb.contains("SSB Q2.1"));
+    }
+
+    #[test]
+    fn run_sql_executes_text_end_to_end() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            ssb_scale: 0.002,
+            quick: true,
+            ..Default::default()
+        };
+        let out = run_sql(
+            &cfg,
+            SqlDb::Tpch,
+            "SELECT l_returnflag, COUNT(*) AS n FROM lineitem \
+             GROUP BY l_returnflag ORDER BY l_returnflag",
+        )
+        .expect("valid SQL runs");
+        assert!(out.contains("columns: l_returnflag | n"), "{out}");
+        assert!(out.contains("row(s)"), "{out}");
+
+        let ssb = run_sql(
+            &cfg,
+            SqlDb::Ssb,
+            "SELECT d_year, SUM(lo_revenue) AS revenue FROM lineorder \
+             JOIN date ON lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+        )
+        .expect("SSB SQL runs");
+        assert!(ssb.contains("join order"), "{ssb}");
+
+        let err = run_sql(&cfg, SqlDb::Tpch, "SELECT nope FROM lineitem")
+            .expect_err("unknown column must fail");
+        assert!(err.contains("unknown column"), "{err}");
+        assert!(err.contains('^'), "diagnostic rendered: {err}");
+    }
+
+    #[test]
+    fn explain_sql_reports_cardinalities() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            ssb_scale: 0.002,
+            quick: true,
+            ..Default::default()
+        };
+        let out = explain_sql(
+            &cfg,
+            SqlDb::Tpch,
+            "SELECT o_orderpriority, COUNT(*) AS n FROM orders, lineitem \
+             WHERE o_orderkey = l_orderkey GROUP BY o_orderpriority ORDER BY o_orderpriority",
+        )
+        .expect("valid SQL explains");
+        assert!(out.contains("join block 1:"), "{out}");
+        assert!(out.contains("actual="), "{out}");
     }
 }

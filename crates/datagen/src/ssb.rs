@@ -56,6 +56,17 @@ pub struct SsbDb {
 }
 
 impl SsbDb {
+    /// Name → relation catalog for text front ends (SQL binding). The
+    /// date dimension is registered as `date`, the name SSB queries use.
+    pub fn catalog(&self) -> morsel_storage::Catalog {
+        morsel_storage::Catalog::new()
+            .with_table("lineorder", self.lineorder.clone())
+            .with_table("date", self.date_dim.clone())
+            .with_table("customer", self.customer.clone())
+            .with_table("supplier", self.supplier.clone())
+            .with_table("part", self.part.clone())
+    }
+
     pub fn total_bytes(&self) -> u64 {
         [
             &self.lineorder,

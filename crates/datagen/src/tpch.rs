@@ -66,6 +66,19 @@ pub struct TpchDb {
 }
 
 impl TpchDb {
+    /// Name → relation catalog for text front ends (SQL binding).
+    pub fn catalog(&self) -> morsel_storage::Catalog {
+        morsel_storage::Catalog::new()
+            .with_table("region", self.region.clone())
+            .with_table("nation", self.nation.clone())
+            .with_table("supplier", self.supplier.clone())
+            .with_table("customer", self.customer.clone())
+            .with_table("part", self.part.clone())
+            .with_table("partsupp", self.partsupp.clone())
+            .with_table("orders", self.orders.clone())
+            .with_table("lineitem", self.lineitem.clone())
+    }
+
     /// Total bytes across all relations (approximate).
     pub fn total_bytes(&self) -> u64 {
         [

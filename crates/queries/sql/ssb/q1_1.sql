@@ -1,0 +1,6 @@
+-- SSB Q1.1: discount-bracket revenue in a year.
+SELECT SUM(lo_extendedprice * lo_discount / 100) AS revenue
+FROM lineorder
+SEMI JOIN (SELECT d_datekey FROM date WHERE d_year = 1993) AS d
+  ON lo_orderdate = d_datekey
+WHERE lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25

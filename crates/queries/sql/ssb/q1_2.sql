@@ -1,0 +1,6 @@
+-- SSB Q1.2: discount-bracket revenue in a month.
+SELECT SUM(lo_extendedprice * lo_discount / 100) AS revenue
+FROM lineorder
+SEMI JOIN (SELECT d_datekey FROM date WHERE d_yearmonthnum = 199401) AS d
+  ON lo_orderdate = d_datekey
+WHERE lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35

@@ -1,0 +1,7 @@
+-- SSB Q1.3: discount-bracket revenue in a week.
+SELECT SUM(lo_extendedprice * lo_discount / 100) AS revenue
+FROM lineorder
+SEMI JOIN (SELECT d_datekey FROM date
+           WHERE d_weeknuminyear = 6 AND d_year = 1994) AS d
+  ON lo_orderdate = d_datekey
+WHERE lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35

@@ -1,0 +1,10 @@
+-- SSB Q2.1: revenue by year and brand, one part category.
+SELECT d_year, p_brand1, SUM(lo_revenue) AS revenue
+FROM lineorder
+JOIN part ON lo_partkey = p_partkey
+SEMI JOIN (SELECT s_suppkey FROM supplier WHERE s_region = 'AMERICA') AS s
+  ON lo_suppkey = s_suppkey
+JOIN date ON lo_orderdate = d_datekey
+WHERE p_category = 'MFGR#12'
+GROUP BY d_year, p_brand1
+ORDER BY d_year, p_brand1

@@ -1,0 +1,10 @@
+-- SSB Q2.2: revenue by year and brand, a brand range.
+SELECT d_year, p_brand1, SUM(lo_revenue) AS revenue
+FROM lineorder
+JOIN part ON lo_partkey = p_partkey
+SEMI JOIN (SELECT s_suppkey FROM supplier WHERE s_region = 'ASIA') AS s
+  ON lo_suppkey = s_suppkey
+JOIN date ON lo_orderdate = d_datekey
+WHERE p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'
+GROUP BY d_year, p_brand1
+ORDER BY d_year, p_brand1

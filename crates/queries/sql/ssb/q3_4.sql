@@ -1,0 +1,11 @@
+-- SSB Q3.4: revenue between two cities in one month.
+SELECT c_city AS c_group, s_city AS s_group, d_year, SUM(lo_revenue) AS revenue
+FROM lineorder
+JOIN customer ON lo_custkey = c_custkey
+JOIN supplier ON lo_suppkey = s_suppkey
+JOIN date ON lo_orderdate = d_datekey
+WHERE c_city IN ('UNITED KI1', 'UNITED KI5')
+  AND s_city IN ('UNITED KI1', 'UNITED KI5')
+  AND d_yearmonth = 'Dec1997'
+GROUP BY c_group, s_group, d_year
+ORDER BY d_year, revenue DESC

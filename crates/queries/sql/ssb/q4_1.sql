@@ -1,0 +1,12 @@
+-- SSB Q4.1: profit by year and customer nation.
+SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+FROM lineorder
+SEMI JOIN (SELECT s_suppkey FROM supplier WHERE s_region = 'AMERICA') AS s
+  ON lo_suppkey = s_suppkey
+SEMI JOIN (SELECT p_partkey FROM part WHERE p_mfgr IN ('MFGR#1', 'MFGR#2')) AS p
+  ON lo_partkey = p_partkey
+JOIN customer ON lo_custkey = c_custkey
+JOIN date ON lo_orderdate = d_datekey
+WHERE c_region = 'AMERICA'
+GROUP BY d_year, c_nation
+ORDER BY d_year, c_nation

@@ -1,0 +1,13 @@
+-- SSB Q4.2: profit drill-down to supplier nation and part category.
+SELECT d_year, s_nation, p_category, SUM(lo_revenue - lo_supplycost) AS profit
+FROM lineorder
+SEMI JOIN (SELECT c_custkey FROM customer WHERE c_region = 'AMERICA') AS c
+  ON lo_custkey = c_custkey
+JOIN supplier ON lo_suppkey = s_suppkey
+JOIN part ON lo_partkey = p_partkey
+JOIN date ON lo_orderdate = d_datekey
+WHERE s_region = 'AMERICA'
+  AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+  AND d_year IN (1997, 1998)
+GROUP BY d_year, s_nation, p_category
+ORDER BY d_year, s_nation, p_category

@@ -1,0 +1,11 @@
+-- SSB Q4.3: profit drill-down to supplier city and brand.
+SELECT d_year, s_city, p_brand1, SUM(lo_revenue - lo_supplycost) AS profit
+FROM lineorder
+JOIN supplier ON lo_suppkey = s_suppkey
+JOIN part ON lo_partkey = p_partkey
+JOIN date ON lo_orderdate = d_datekey
+WHERE s_nation = 'UNITED STATES'
+  AND p_category = 'MFGR#14'
+  AND d_year IN (1997, 1998)
+GROUP BY d_year, s_city, p_brand1
+ORDER BY d_year, s_city, p_brand1

@@ -1,0 +1,14 @@
+-- TPC-H Q1: pricing summary report (fixed-point cents dialect).
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (100 - l_discount) / 100) AS sum_disc_price,
+       SUM(l_extendedprice * (100 - l_discount) / 100 * (100 + l_tax) / 100) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus

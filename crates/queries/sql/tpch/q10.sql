@@ -1,0 +1,12 @@
+-- TPC-H Q10: returned item reporting (top 20 customers).
+SELECT o_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment,
+       SUM(l_extendedprice * (100 - l_discount) / 100) AS revenue
+FROM lineitem, orders, customer, nation
+WHERE l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n_nationkey
+  AND o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+GROUP BY o_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20

@@ -1,0 +1,9 @@
+-- TPC-H Q13: customer distribution (COUNT JOIN spells the fused
+-- left-outer-join-then-count; it appends `match_count`).
+SELECT match_count, COUNT(*) AS custdist
+FROM customer
+COUNT JOIN (SELECT o_custkey FROM orders
+            WHERE o_comment NOT LIKE '%special%requests%') AS o
+  ON c_custkey = o_custkey
+GROUP BY match_count
+ORDER BY custdist DESC, match_count DESC

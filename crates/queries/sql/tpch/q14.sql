@@ -1,0 +1,8 @@
+-- TPC-H Q14: promotion effect (percentage over two conditional sums).
+SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (100 - l_discount) / 100
+                        ELSE 0 END)
+       / SUM(l_extendedprice * (100 - l_discount) / 100) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'

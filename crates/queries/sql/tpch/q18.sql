@@ -1,0 +1,10 @@
+-- TPC-H Q18: large volume customers (aggregate feeding a join).
+SELECT o_orderkey, o_custkey, o_totalprice, o_orderdate, sum_qty, c_name
+FROM orders
+JOIN (SELECT l_orderkey, SUM(l_quantity) AS sum_qty
+      FROM lineitem GROUP BY l_orderkey
+      HAVING SUM(l_quantity) > 300) AS big
+  ON o_orderkey = l_orderkey
+JOIN customer ON o_custkey = c_custkey
+ORDER BY o_totalprice DESC, o_orderdate ASC
+LIMIT 100

@@ -1,0 +1,12 @@
+-- TPC-H Q3: shipping priority (comma FROM, joins from WHERE).
+SELECT l_orderkey, o_orderdate, o_shippriority,
+       SUM(l_extendedprice * (100 - l_discount) / 100) AS revenue
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate ASC
+LIMIT 10

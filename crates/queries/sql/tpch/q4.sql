@@ -1,0 +1,8 @@
+-- TPC-H Q4: order priority checking (SEMI JOIN spells EXISTS).
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders
+SEMI JOIN (SELECT l_orderkey FROM lineitem WHERE l_commitdate < l_receiptdate) AS l
+  ON o_orderkey = l_orderkey
+WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority

@@ -1,0 +1,6 @@
+-- TPC-H Q6: forecasting revenue change (scan + scalar aggregate).
+SELECT SUM(l_extendedprice * l_discount / 100) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 5 AND 7
+  AND l_quantity < 24

@@ -1,0 +1,19 @@
+-- TPC-H Q8: national market share (nation self-join via aliases).
+SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(CASE WHEN n1.n_name = 'BRAZIL'
+                THEN l_extendedprice * (100 - l_discount) / 100
+                ELSE 0 END) * 1.0
+         / SUM(l_extendedprice * (100 - l_discount) / 100) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation AS n1, nation AS n2, region
+WHERE p_partkey = l_partkey
+  AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n2.n_nationkey
+  AND s_nationkey = n1.n_nationkey
+  AND n2.n_regionkey = r_regionkey
+  AND r_name = 'AMERICA'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY o_year
+ORDER BY o_year

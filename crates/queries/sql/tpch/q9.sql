@@ -1,0 +1,14 @@
+-- TPC-H Q9: product type profit (composite partsupp key).
+SELECT n_name AS nation,
+       EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(l_extendedprice * (100 - l_discount) / 100 - ps_supplycost * l_quantity) AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE p_partkey = l_partkey
+  AND s_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND ps_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC

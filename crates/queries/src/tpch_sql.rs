@@ -1,0 +1,56 @@
+//! The TPC-H logical slice as SQL text fixtures.
+//!
+//! Every query in [`crate::tpch_logical`] is re-expressed as `SELECT`
+//! text under `sql/tpch/`. The three-way oracle in
+//! `tests/planner_equivalence.rs` holds each fixture to the same bar as
+//! the logical plans: parse → bind → plan → execute must return exactly
+//! what the hand-authored physical plan returns.
+//!
+//! The texts use this engine's fixed-point dialect: decimals are cents
+//! (`l_extendedprice * (100 - l_discount) / 100`), discounts are whole
+//! percents (`l_discount BETWEEN 5 AND 7`), and dates are
+//! `DATE 'yyyy-mm-dd'` literals over day-number columns.
+
+pub use crate::tpch_logical::IDS;
+
+/// SQL text of TPC-H query `number`, if it is part of the slice.
+pub fn text(number: usize) -> Option<&'static str> {
+    Some(match number {
+        1 => include_str!("../sql/tpch/q1.sql"),
+        3 => include_str!("../sql/tpch/q3.sql"),
+        4 => include_str!("../sql/tpch/q4.sql"),
+        5 => include_str!("../sql/tpch/q5.sql"),
+        6 => include_str!("../sql/tpch/q6.sql"),
+        8 => include_str!("../sql/tpch/q8.sql"),
+        9 => include_str!("../sql/tpch/q9.sql"),
+        10 => include_str!("../sql/tpch/q10.sql"),
+        12 => include_str!("../sql/tpch/q12.sql"),
+        13 => include_str!("../sql/tpch/q13.sql"),
+        14 => include_str!("../sql/tpch/q14.sql"),
+        18 => include_str!("../sql/tpch/q18.sql"),
+        _ => return None,
+    })
+}
+
+/// All fixtures as `(query number, text)` pairs.
+pub fn all() -> Vec<(usize, &'static str)> {
+    IDS.iter().map(|&q| (q, text(q).unwrap())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_logical_query_has_a_sql_fixture() {
+        for &q in &IDS {
+            let sql = text(q).unwrap_or_else(|| panic!("Q{q} fixture missing"));
+            assert!(
+                sql.to_ascii_lowercase().contains("select"),
+                "Q{q} fixture looks empty"
+            );
+        }
+        assert!(text(2).is_none(), "Q2 is not part of the slice");
+        assert_eq!(all().len(), IDS.len());
+    }
+}

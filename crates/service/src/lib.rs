@@ -48,6 +48,7 @@ pub mod admission;
 pub mod client;
 pub mod histogram;
 pub mod service;
+pub mod sql;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue};
 pub use client::run_closed_loop;
@@ -55,3 +56,4 @@ pub use histogram::{fmt_ns, LatencyHistogram};
 pub use service::{
     QueryReport, QueryRequest, QueryService, QueryTicket, ServiceConfig, ServiceReport,
 };
+pub use sql::QuerySpecSqlExt;

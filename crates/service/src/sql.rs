@@ -1,0 +1,98 @@
+//! SQL submission for the query service: text in, compiled
+//! [`QuerySpec`] out.
+//!
+//! This is the last mile of the text→plan→execute path: the SQL front
+//! end binds against a [`Catalog`], the cost-based [`Planner`] picks
+//! join orders and build sides, and the executor's compiler turns the
+//! physical plan into dispatchable pipeline stages. The extension trait
+//! keeps the ergonomic constructor spelling (`QuerySpec::from_sql`)
+//! even though `QuerySpec` lives in `morsel-core`, which knows nothing
+//! about SQL.
+
+use morsel_core::{QuerySpec, ResultSlot};
+use morsel_exec::plan::compile_query;
+use morsel_exec::SystemVariant;
+use morsel_planner::Planner;
+use morsel_sql::{plan_sql, SqlError};
+use morsel_storage::Catalog;
+
+/// Extension adding SQL construction to [`QuerySpec`].
+pub trait QuerySpecSqlExt: Sized {
+    /// Parse, bind, plan, and compile `sql` into a ready-to-submit query
+    /// spec plus its result slot. Errors carry source positions; render
+    /// them with [`SqlError::render`].
+    fn from_sql(
+        name: impl Into<String>,
+        sql: &str,
+        catalog: &Catalog,
+        planner: &Planner,
+        variant: SystemVariant,
+    ) -> Result<(Self, ResultSlot), SqlError>;
+}
+
+impl QuerySpecSqlExt for QuerySpec {
+    fn from_sql(
+        name: impl Into<String>,
+        sql: &str,
+        catalog: &Catalog,
+        planner: &Planner,
+        variant: SystemVariant,
+    ) -> Result<(QuerySpec, ResultSlot), SqlError> {
+        let logical = plan_sql(catalog, sql)?;
+        let physical = planner.plan(&logical);
+        Ok(compile_query(name, physical, variant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QueryRequest, QueryService, ServiceConfig};
+    use morsel_core::{ExecEnv, QueryOutcome};
+    use morsel_numa::Topology;
+
+    #[test]
+    fn sql_text_runs_through_the_service() {
+        let topo = Topology::laptop();
+        let db = morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(0.002), &topo);
+        let catalog = db.catalog();
+        let planner = Planner::new(&topo);
+        let (spec, result) = QuerySpec::from_sql(
+            "sql-q6",
+            "SELECT SUM(l_extendedprice * l_discount / 100) AS revenue \
+             FROM lineitem \
+             WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+               AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24",
+            &catalog,
+            &planner,
+            SystemVariant::full(),
+        )
+        .expect("fixture binds");
+
+        let service = QueryService::start(ExecEnv::new(topo), ServiceConfig::new(2));
+        let ticket = service.submit(QueryRequest::new(spec));
+        let report = ticket.wait();
+        assert_eq!(report.outcome, QueryOutcome::Completed);
+        let batch = result.lock().take().expect("result produced");
+        assert_eq!(batch.rows(), 1, "scalar aggregate returns one row");
+        service.shutdown();
+    }
+
+    #[test]
+    fn bind_errors_surface_before_submission() {
+        let topo = Topology::laptop();
+        let db = morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(0.001), &topo);
+        let catalog = db.catalog();
+        let planner = Planner::new(&topo);
+        let err = QuerySpec::from_sql(
+            "bad",
+            "SELECT nope FROM lineitem",
+            &catalog,
+            &planner,
+            SystemVariant::full(),
+        )
+        .err()
+        .expect("unknown column must fail");
+        assert!(err.message.contains("unknown column"), "{err}");
+    }
+}

@@ -1,0 +1,452 @@
+//! The SQL abstract syntax tree, with spans and a canonical printer.
+//!
+//! Equality on AST nodes ignores spans (two trees are equal when they
+//! describe the same query, wherever the text came from), which is what
+//! the round-trip property tests rely on: pretty-print a tree with
+//! [`fmt::Display`], re-parse it, and the result compares equal even
+//! though every span moved. The printer fully parenthesizes operators,
+//! so printed text never depends on precedence.
+
+use std::fmt;
+
+use crate::error::Span;
+
+/// A spanned expression. `PartialEq` compares the [`ExprKind`] only.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// Binary operators (arithmetic, comparison, boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Aggregate functions of the supported subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Min,
+    Max,
+    Avg,
+    Count,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+            AggFunc::Count => "COUNT",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `c` or `t.c`.
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `DATE 'yyyy-mm-dd'`.
+    Date {
+        y: i32,
+        m: u32,
+        d: u32,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Not(Box<Expr>),
+    Between {
+        expr: Box<Expr>,
+        negated: bool,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+    },
+    InList {
+        expr: Box<Expr>,
+        negated: bool,
+        list: Vec<Expr>,
+    },
+    Like {
+        expr: Box<Expr>,
+        negated: bool,
+        pattern: String,
+    },
+    /// `CASE WHEN c THEN t ELSE e END` (single branch — the shape the
+    /// executor's conditional supports).
+    Case {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        else_: Box<Expr>,
+    },
+    /// `EXTRACT(YEAR FROM e)`.
+    ExtractYear(Box<Expr>),
+    /// `SUBSTRING(e, from, len)` with 1-based `from`.
+    Substring {
+        expr: Box<Expr>,
+        from: u32,
+        len: u32,
+    },
+    /// Aggregate call; `arg: None` is `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Does any aggregate call appear in this tree?
+    pub fn has_agg(&self) -> bool {
+        match &self.kind {
+            ExprKind::Agg { .. } => true,
+            ExprKind::Column { .. }
+            | ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Date { .. } => false,
+            ExprKind::Binary { left, right, .. } => left.has_agg() || right.has_agg(),
+            ExprKind::Not(e) | ExprKind::ExtractYear(e) => e.has_agg(),
+            ExprKind::Between { expr, lo, hi, .. } => {
+                expr.has_agg() || lo.has_agg() || hi.has_agg()
+            }
+            ExprKind::InList { expr, list, .. } => expr.has_agg() || list.iter().any(Expr::has_agg),
+            ExprKind::Like { expr, .. } | ExprKind::Substring { expr, .. } => expr.has_agg(),
+            ExprKind::Case { cond, then, else_ } => {
+                cond.has_agg() || then.has_agg() || else_.has_agg()
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ExprKind::Column { table, name } => match table {
+                Some(t) => write!(f, "{t}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            ExprKind::Int(v) => write!(f, "{v}"),
+            ExprKind::Float(v) => write!(f, "{v:?}"),
+            ExprKind::Str(s) => write!(f, "'{}'", escape(s)),
+            ExprKind::Date { y, m, d } => write!(f, "DATE '{y:04}-{m:02}-{d:02}'"),
+            ExprKind::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            ExprKind::Not(e) => write!(f, "(NOT {e})"),
+            ExprKind::Between {
+                expr,
+                negated,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {lo} AND {hi})",
+                if *negated { "NOT " } else { "" }
+            ),
+            ExprKind::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            ExprKind::Like {
+                expr,
+                negated,
+                pattern,
+            } => write!(
+                f,
+                "({expr} {}LIKE '{}')",
+                if *negated { "NOT " } else { "" },
+                escape(pattern)
+            ),
+            ExprKind::Case { cond, then, else_ } => {
+                write!(f, "CASE WHEN {cond} THEN {then} ELSE {else_} END")
+            }
+            ExprKind::ExtractYear(e) => write!(f, "EXTRACT(YEAR FROM {e})"),
+            ExprKind::Substring { expr, from, len } => {
+                write!(f, "SUBSTRING({expr}, {from}, {len})")
+            }
+            ExprKind::Agg {
+                func,
+                distinct,
+                arg,
+            } => match arg {
+                None => write!(f, "COUNT(*)"),
+                Some(a) => write!(
+                    f,
+                    "{}({}{a})",
+                    func.name(),
+                    if *distinct { "DISTINCT " } else { "" }
+                ),
+            },
+        }
+    }
+}
+
+/// One `SELECT`-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.expr),
+            None => write!(f, "{}", self.expr),
+        }
+    }
+}
+
+/// A base table or a parenthesized subquery in `FROM`.
+#[derive(Debug, Clone)]
+pub enum TableFactor {
+    Table {
+        name: String,
+        alias: Option<String>,
+        span: Span,
+    },
+    Derived {
+        query: Box<Select>,
+        alias: String,
+        span: Span,
+    },
+}
+
+impl TableFactor {
+    /// The name this factor is referred to by (alias, or table name).
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableFactor::Table { name, alias, .. } => alias.as_deref().unwrap_or(name),
+            TableFactor::Derived { alias, .. } => alias,
+        }
+    }
+
+    pub fn span(&self) -> Span {
+        match self {
+            TableFactor::Table { span, .. } | TableFactor::Derived { span, .. } => *span,
+        }
+    }
+}
+
+impl PartialEq for TableFactor {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                TableFactor::Table { name, alias, .. },
+                TableFactor::Table {
+                    name: n2,
+                    alias: a2,
+                    ..
+                },
+            ) => name == n2 && alias == a2,
+            (
+                TableFactor::Derived { query, alias, .. },
+                TableFactor::Derived {
+                    query: q2,
+                    alias: a2,
+                    ..
+                },
+            ) => query == q2 && alias == a2,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for TableFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableFactor::Table { name, alias, .. } => match alias {
+                Some(a) => write!(f, "{name} AS {a}"),
+                None => write!(f, "{name}"),
+            },
+            TableFactor::Derived { query, alias, .. } => write!(f, "({query}) AS {alias}"),
+        }
+    }
+}
+
+/// How a `FROM` entry attaches to what precedes it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinOp {
+    /// Comma-separated entry; joined via `WHERE` equi-predicates.
+    Comma,
+    /// `[INNER] JOIN ... ON`.
+    Inner(Expr),
+    /// `SEMI JOIN ... ON` — keeps left rows with a match.
+    Semi(Expr),
+    /// `ANTI JOIN ... ON` — keeps left rows without a match.
+    Anti(Expr),
+    /// `COUNT JOIN ... ON` — keeps left rows, appends `match_count`.
+    CountMatches(Expr),
+}
+
+/// One entry of the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub join: JoinOp,
+    pub factor: TableFactor,
+}
+
+/// An `ORDER BY` entry: an output column name plus direction.
+#[derive(Debug, Clone)]
+pub struct OrderItem {
+    pub name: String,
+    pub desc: bool,
+    pub span: Span,
+}
+
+impl PartialEq for OrderItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.desc == other.desc
+    }
+}
+
+/// A full `SELECT` statement. Equality ignores `limit_span` (like every
+/// other span).
+#[derive(Debug, Clone, Default)]
+pub struct Select {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+    /// Position of the `LIMIT` keyword, for bind diagnostics.
+    pub limit_span: Span,
+}
+
+impl PartialEq for Select {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+            && self.from == other.from
+            && self.where_clause == other.where_clause
+            && self.group_by == other.group_by
+            && self.having == other.having
+            && self.order_by == other.order_by
+            && self.limit == other.limit
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, tref) in self.from.iter().enumerate() {
+            match &tref.join {
+                JoinOp::Comma => {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", tref.factor)?;
+                }
+                JoinOp::Inner(on) => write!(f, " JOIN {} ON {on}", tref.factor)?,
+                JoinOp::Semi(on) => write!(f, " SEMI JOIN {} ON {on}", tref.factor)?,
+                JoinOp::Anti(on) => write!(f, " ANTI JOIN {} ON {on}", tref.factor)?,
+                JoinOp::CountMatches(on) => write!(f, " COUNT JOIN {} ON {on}", tref.factor)?,
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", o.name, if o.desc { " DESC" } else { " ASC" })?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,107 @@
+//! SQL front-end errors, with byte-accurate source positions.
+//!
+//! Every stage (lexer, parser, binder) reports a [`SqlError`] anchored at
+//! a [`Span`] into the original query text. [`SqlError::render`] turns
+//! that into the familiar caret diagnostic:
+//!
+//! ```text
+//! error: unknown column `l_shipdat`
+//!   |
+//! 1 | SELECT l_shipdat FROM lineitem
+//!   |        ^^^^^^^^^
+//! ```
+
+use std::fmt;
+
+/// A half-open byte range into the query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A lex, parse, or bind failure at a known position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl SqlError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// 1-based (line, column) of the error start within `sql`.
+    pub fn line_col(&self, sql: &str) -> (usize, usize) {
+        let start = self.span.start.min(sql.len());
+        let before = &sql[..start];
+        let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = before.rfind('\n').map_or(start + 1, |p| start - p);
+        (line, col)
+    }
+
+    /// Render a caret diagnostic against the query text.
+    pub fn render(&self, sql: &str) -> String {
+        let (line_no, col) = self.line_col(sql);
+        let line = sql.lines().nth(line_no - 1).unwrap_or("");
+        let width = (self.span.end.saturating_sub(self.span.start))
+            .clamp(1, line.len().saturating_sub(col - 1).max(1));
+        format!(
+            "error: {msg}\n  |\n{line_no} | {line}\n  | {pad}{carets}",
+            msg = self.message,
+            pad = " ".repeat(col - 1),
+            carets = "^".repeat(width),
+        )
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.span.start)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_and_render() {
+        let sql = "SELECT x\nFROM t";
+        let err = SqlError::new("unknown column `x`", Span::new(7, 8));
+        assert_eq!(err.line_col(sql), (1, 8));
+        let rendered = err.render(sql);
+        assert!(rendered.contains("unknown column `x`"), "{rendered}");
+        assert!(rendered.contains("1 | SELECT x"), "{rendered}");
+        assert!(rendered.ends_with("       ^"), "{rendered}");
+
+        let err2 = SqlError::new("bad table", Span::new(14, 15));
+        assert_eq!(err2.line_col(sql), (2, 6));
+    }
+
+    #[test]
+    fn span_join_covers_both() {
+        assert_eq!(Span::new(3, 5).to(Span::new(8, 9)), Span::new(3, 9));
+        assert_eq!(Span::new(8, 9).to(Span::new(3, 5)), Span::new(3, 9));
+    }
+}

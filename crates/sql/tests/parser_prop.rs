@@ -1,0 +1,380 @@
+//! Parser property tests: pretty-print a random supported AST, reparse
+//! it, and require structural equality (spans excepted — AST equality
+//! ignores them by construction). Plus error-position tests over a real
+//! TPC-H catalog: every rejection must point at the offending bytes.
+
+use morsel_sql::ast::{
+    AggFunc, BinOp, Expr, ExprKind, JoinOp, OrderItem, Select, SelectItem, TableFactor, TableRef,
+};
+use morsel_sql::error::Span;
+use morsel_sql::{parse, plan_sql, Binder, SqlError};
+use proptest::prelude::*;
+
+/// A small deterministic generator (xorshift) driving AST construction.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn ident(&mut self) -> String {
+        const NAMES: &[&str] = &[
+            "a",
+            "b",
+            "c_city",
+            "l_qty",
+            "rev",
+            "x1",
+            "total_price",
+            "d_year",
+        ];
+        NAMES[self.below(NAMES.len())].to_owned()
+    }
+
+    fn string(&mut self) -> String {
+        const STRINGS: &[&str] = &["ASIA", "MFGR#12", "it's", "1-URGENT", ""];
+        STRINGS[self.below(STRINGS.len())].to_owned()
+    }
+
+    fn pattern(&mut self) -> String {
+        const PATTERNS: &[&str] = &["%green%", "PROMO%", "%BRASS", "a%b%c", "exact"];
+        PATTERNS[self.below(PATTERNS.len())].to_owned()
+    }
+
+    fn expr(&mut self, depth: usize, allow_agg: bool) -> Expr {
+        let mk = |kind| Expr::new(kind, Span::default());
+        if depth == 0 {
+            return mk(match self.below(5) {
+                0 => ExprKind::Column {
+                    table: None,
+                    name: self.ident(),
+                },
+                1 => ExprKind::Column {
+                    table: Some("t1".to_owned()),
+                    name: self.ident(),
+                },
+                2 => ExprKind::Int(self.next() as i64 % 1_000),
+                // Include magnitudes whose shortest repr needs exponent
+                // notation — printing must stay re-lexable.
+                3 => ExprKind::Float(match self.below(4) {
+                    0 => 1.2345678912345678e17,
+                    1 => 2e-7,
+                    _ => (self.next() % 1_000) as f64 * 0.25,
+                }),
+                _ => ExprKind::Str(self.string()),
+            });
+        }
+        let d = depth - 1;
+        match self.below(if allow_agg { 10 } else { 9 }) {
+            0 => {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::And,
+                    BinOp::Or,
+                ];
+                mk(ExprKind::Binary {
+                    op: ops[self.below(ops.len())],
+                    left: Box::new(self.expr(d, allow_agg)),
+                    right: Box::new(self.expr(d, allow_agg)),
+                })
+            }
+            1 => mk(ExprKind::Not(Box::new(self.expr(d, allow_agg)))),
+            2 => mk(ExprKind::Between {
+                expr: Box::new(self.expr(d, allow_agg)),
+                negated: self.below(2) == 0,
+                lo: Box::new(self.expr(0, false)),
+                hi: Box::new(self.expr(0, false)),
+            }),
+            3 => {
+                let n = 1 + self.below(3);
+                mk(ExprKind::InList {
+                    expr: Box::new(self.expr(d, allow_agg)),
+                    negated: self.below(2) == 0,
+                    list: (0..n).map(|_| self.expr(0, false)).collect(),
+                })
+            }
+            4 => mk(ExprKind::Like {
+                expr: Box::new(self.expr(d, allow_agg)),
+                negated: self.below(2) == 0,
+                pattern: self.pattern(),
+            }),
+            5 => mk(ExprKind::Case {
+                cond: Box::new(self.expr(d, allow_agg)),
+                then: Box::new(self.expr(d, allow_agg)),
+                else_: Box::new(self.expr(d, allow_agg)),
+            }),
+            6 => mk(ExprKind::ExtractYear(Box::new(self.expr(d, allow_agg)))),
+            7 => mk(ExprKind::Substring {
+                expr: Box::new(self.expr(d, allow_agg)),
+                from: 1 + self.below(4) as u32,
+                len: 1 + self.below(6) as u32,
+            }),
+            8 => mk(ExprKind::Date {
+                y: 1992 + self.below(7) as i32,
+                m: 1 + self.below(12) as u32,
+                d: 1 + self.below(28) as u32,
+            }),
+            _ => {
+                let funcs = [
+                    AggFunc::Sum,
+                    AggFunc::Min,
+                    AggFunc::Max,
+                    AggFunc::Avg,
+                    AggFunc::Count,
+                ];
+                let func = funcs[self.below(funcs.len())];
+                let arg = if func == AggFunc::Count && self.below(2) == 0 {
+                    None
+                } else {
+                    Some(Box::new(self.expr(d, false)))
+                };
+                mk(ExprKind::Agg {
+                    func,
+                    distinct: func == AggFunc::Count && arg.is_some() && self.below(3) == 0,
+                    arg,
+                })
+            }
+        }
+    }
+
+    fn factor(&mut self, depth: usize, alias: &str) -> TableFactor {
+        if depth > 0 && self.below(4) == 0 {
+            TableFactor::Derived {
+                query: Box::new(self.select(depth - 1)),
+                alias: alias.to_owned(),
+                span: Span::default(),
+            }
+        } else {
+            TableFactor::Table {
+                name: ["lineitem", "orders", "part"][self.below(3)].to_owned(),
+                alias: (self.below(2) == 0).then(|| alias.to_owned()),
+                span: Span::default(),
+            }
+        }
+    }
+
+    fn select(&mut self, depth: usize) -> Select {
+        let n_items = 1 + self.below(3);
+        let items = (0..n_items)
+            .map(|i| {
+                let d = 1 + self.below(2);
+                SelectItem {
+                    expr: self.expr(d, true),
+                    alias: (self.below(2) == 0).then(|| format!("out{i}")),
+                }
+            })
+            .collect();
+        let mut from = vec![TableRef {
+            join: JoinOp::Comma,
+            factor: self.factor(depth, "t1"),
+        }];
+        for i in 1..=self.below(3) {
+            let on = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::Eq,
+                    left: Box::new(Expr::new(
+                        ExprKind::Column {
+                            table: None,
+                            name: self.ident(),
+                        },
+                        Span::default(),
+                    )),
+                    right: Box::new(Expr::new(
+                        ExprKind::Column {
+                            table: None,
+                            name: self.ident(),
+                        },
+                        Span::default(),
+                    )),
+                },
+                Span::default(),
+            );
+            let join = match self.below(5) {
+                0 => JoinOp::Comma,
+                1 => JoinOp::Semi(on),
+                2 => JoinOp::Anti(on),
+                3 => JoinOp::CountMatches(on),
+                _ => JoinOp::Inner(on),
+            };
+            from.push(TableRef {
+                join,
+                factor: self.factor(depth, &format!("j{i}")),
+            });
+        }
+        Select {
+            items,
+            from,
+            where_clause: (self.below(2) == 0).then(|| self.expr(2, false)),
+            group_by: (0..self.below(3)).map(|_| self.expr(1, false)).collect(),
+            having: (self.below(4) == 0).then(|| self.expr(1, true)),
+            order_by: (0..self.below(3))
+                .map(|_| OrderItem {
+                    name: self.ident(),
+                    desc: self.below(2) == 0,
+                    span: Span::default(),
+                })
+                .collect(),
+            limit: (self.below(3) == 0).then(|| self.below(100)),
+            limit_span: Span::default(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse is the identity on ASTs (spans ignored).
+    #[test]
+    fn pretty_printed_ast_reparses_identically(seed in 0u64..4096) {
+        let ast = Gen::new(seed).select(2);
+        let printed = ast.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!("seed {seed}: reparse failed: {}\n{printed}", e.render(&printed))
+        });
+        prop_assert_eq!(&ast, &reparsed, "seed {}: {}", seed, printed);
+        // And printing is a fixpoint.
+        prop_assert_eq!(printed.clone(), reparsed.to_string());
+    }
+}
+
+// ---- error positions over a real catalog --------------------------------
+
+fn tpch_catalog() -> morsel_storage::Catalog {
+    let topo = morsel_numa::Topology::laptop();
+    morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(0.001), &topo).catalog()
+}
+
+fn bind_err(catalog: &morsel_storage::Catalog, sql: &str) -> SqlError {
+    match plan_sql(catalog, sql) {
+        Ok(_) => panic!("expected an error for {sql:?}"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn unknown_column_points_at_the_reference() {
+    let cat = tpch_catalog();
+    let sql = "SELECT l_orderkey, l_shipdat FROM lineitem";
+    let err = bind_err(&cat, sql);
+    assert_eq!(&sql[err.span.start..err.span.end], "l_shipdat");
+    assert!(err.message.contains("unknown column `l_shipdat`"), "{err}");
+    let rendered = err.render(sql);
+    assert!(rendered.contains("^^^^^^^^^"), "{rendered}");
+}
+
+#[test]
+fn ambiguous_name_points_at_the_reference_and_lists_sources() {
+    let cat = tpch_catalog();
+    // c_comment exists in customer; o_comment in orders; `n_comment` vs...
+    // `c_custkey` appears in both customer and orders? No — use two
+    // aliases of the same table.
+    let sql = "SELECT n_name FROM nation AS n1, nation AS n2, region \
+               WHERE n1.n_regionkey = r_regionkey AND n2.n_regionkey = r_regionkey";
+    let err = bind_err(&cat, sql);
+    assert_eq!(&sql[err.span.start..err.span.end], "n_name");
+    assert!(err.message.contains("ambiguous column `n_name`"), "{err}");
+    assert!(
+        err.message.contains("n1") && err.message.contains("n2"),
+        "{err}"
+    );
+}
+
+#[test]
+fn type_mismatched_predicate_points_at_the_comparison() {
+    let cat = tpch_catalog();
+    let sql = "SELECT l_orderkey FROM lineitem WHERE l_shipmode > 5";
+    let err = bind_err(&cat, sql);
+    assert_eq!(&sql[err.span.start..err.span.end], "l_shipmode > 5");
+    assert!(
+        err.message.contains("cannot compare string to integer"),
+        "{err}"
+    );
+
+    // Join keys are typed too.
+    let sql2 = "SELECT l_orderkey FROM lineitem, orders WHERE l_comment = o_orderkey";
+    let err2 = bind_err(&cat, sql2);
+    assert!(
+        err2.message.contains("type mismatch in join predicate"),
+        "{err2}"
+    );
+    assert_eq!(
+        &sql2[err2.span.start..err2.span.end],
+        "l_comment = o_orderkey"
+    );
+}
+
+#[test]
+fn trailing_garbage_points_past_the_statement() {
+    let cat = tpch_catalog();
+    let sql = "SELECT l_orderkey FROM lineitem ORDER BY l_orderkey 42";
+    let err = parse(sql).unwrap_err();
+    assert!(err.message.contains("trailing"), "{err}");
+    assert_eq!(&sql[err.span.start..err.span.end], "42");
+    // The binder surfaces parse errors through the same path.
+    let err2 = bind_err(&cat, sql);
+    assert_eq!(err2, err);
+}
+
+#[test]
+fn lexer_errors_carry_positions_through_plan_sql() {
+    let cat = tpch_catalog();
+    let sql = "SELECT l_orderkey FROM lineitem WHERE l_comment = 'open";
+    let err = bind_err(&cat, sql);
+    assert!(err.message.contains("unterminated"), "{err}");
+    assert_eq!(err.span.end, sql.len());
+}
+
+#[test]
+fn binder_rejects_aggregates_in_where() {
+    let cat = tpch_catalog();
+    let sql = "SELECT l_orderkey FROM lineitem WHERE SUM(l_quantity) > 5";
+    let err = bind_err(&cat, sql);
+    assert!(err.message.contains("not allowed here"), "{err}");
+    assert_eq!(&sql[err.span.start..err.span.end], "SUM(l_quantity)");
+}
+
+#[test]
+fn bound_fixture_asts_roundtrip_through_the_printer() {
+    // The 25 shipped fixtures are real-world inputs; their parsed ASTs
+    // must survive print → reparse → bind unchanged.
+    let cat = tpch_catalog();
+    let binder = Binder::new(&cat);
+    for (q, sql) in morsel_queries::tpch_sql::all() {
+        let ast = parse(sql).unwrap_or_else(|e| panic!("Q{q}: {}", e.render(sql)));
+        let printed = ast.to_string();
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("Q{q} reprint: {}", e.render(&printed)));
+        assert_eq!(ast, reparsed, "Q{q} roundtrip changed the AST");
+        assert!(
+            binder.bind(&reparsed).is_ok(),
+            "Q{q}: reprinted text no longer binds"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod area;
 pub mod batch;
+pub mod catalog;
 pub mod column;
 pub mod dict;
 pub mod hash;
@@ -23,6 +24,7 @@ pub mod value;
 
 pub use area::{AreaSet, StorageArea};
 pub use batch::Batch;
+pub use catalog::Catalog;
 pub use column::{encode_fragments, Column};
 pub use dict::{DictColumn, Dictionary};
 pub use hash::{hash64, hash_bytes, hash_combine, hash_i64};

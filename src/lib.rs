@@ -47,6 +47,7 @@ pub use morsel_numa as numa;
 pub use morsel_planner as planner;
 pub use morsel_queries as queries;
 pub use morsel_service as service;
+pub use morsel_sql as sql;
 pub use morsel_storage as storage;
 
 /// Everything needed to build and run queries.
@@ -65,5 +66,8 @@ pub mod prelude {
     pub use morsel_numa::{CostModel, Placement, SocketId, Topology};
     pub use morsel_planner::{AggSpec, LogicalPlan, OrderBy, Planner};
     pub use morsel_queries::{format_rows, run_sim, run_threaded};
-    pub use morsel_storage::{date, Batch, Column, DataType, PartitionBy, Relation, Schema, Value};
+    pub use morsel_sql::{plan_sql, SqlError};
+    pub use morsel_storage::{
+        date, Batch, Catalog, Column, DataType, PartitionBy, Relation, Schema, Value,
+    };
 }

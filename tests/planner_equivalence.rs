@@ -1,5 +1,8 @@
-//! The planner's oracle gate: every query expressed as a `LogicalPlan`
-//! must return exactly what its hand-authored `exec::Plan` returns.
+//! The planner's oracle gate, three ways: every query expressed as a
+//! `LogicalPlan` — and every query expressed as SQL *text* — must return
+//! exactly what its hand-authored `exec::Plan` returns. The SQL leg runs
+//! the complete front end (lex → parse → bind → plan → execute), so this
+//! test holds the text path to the same bar as the algebra it lowers to.
 //!
 //! Result comparison accounts for what each query actually pins down:
 //! un-limited queries compare full results (normalized by sorting on all
@@ -10,9 +13,11 @@
 
 use morsel_repro::exec::plan::Plan;
 use morsel_repro::exec::sort::{sort_batch, SortKey};
-use morsel_repro::planner::{plan_cost, Planner};
+use morsel_repro::planner::{plan_cost, LogicalPlan, Planner};
 use morsel_repro::prelude::*;
-use morsel_repro::queries::{run_sim, ssb_logical, ssb_queries, tpch_logical, tpch_queries};
+use morsel_repro::queries::{
+    run_sim, ssb_logical, ssb_queries, ssb_sql, tpch_logical, tpch_queries, tpch_sql,
+};
 use morsel_repro::storage::Batch;
 
 fn normalized(batch: &Batch) -> Batch {
@@ -77,17 +82,31 @@ fn assert_equivalent(env: &ExecEnv, name: &str, oracle: Plan, lowered: Plan) {
     }
 }
 
+/// Bind a fixture, failing with the rendered caret diagnostic.
+fn bind_fixture(catalog: &Catalog, name: &str, sql: &str) -> LogicalPlan {
+    match plan_sql(catalog, sql) {
+        Ok(plan) => plan,
+        Err(e) => panic!("{name}: SQL fixture failed to bind\n{}", e.render(sql)),
+    }
+}
+
 #[test]
 fn tpch_logical_slice_matches_oracle_plans() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
     let db = generate_tpch(TpchConfig::scaled(0.01), &topo);
+    let catalog = db.catalog();
     let planner = Planner::new(&topo);
     for &q in &tpch_logical::IDS {
         let logical = tpch_logical::query(&db, q).unwrap();
         let lowered = planner.plan(&logical);
         let oracle = tpch_queries::query(&db, q);
         assert_equivalent(&env, &format!("Q{q}"), oracle, lowered);
+        // Third leg: the SQL fixture through the full text front end.
+        let bound = bind_fixture(&catalog, &format!("Q{q}"), tpch_sql::text(q).unwrap());
+        let from_sql = planner.plan(&bound);
+        let oracle = tpch_queries::query(&db, q);
+        assert_equivalent(&env, &format!("Q{q}-sql"), oracle, from_sql);
     }
 }
 
@@ -96,11 +115,56 @@ fn ssb_logical_matches_oracle_plans() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
     let db = generate_ssb(SsbConfig::scaled(0.01), &topo);
+    let catalog = db.catalog();
     let planner = Planner::new(&topo);
     for id in ssb_logical::IDS {
         let lowered = planner.plan(&ssb_logical::query(&db, id));
         let oracle = ssb_queries::query(&db, id);
         assert_equivalent(&env, &format!("SSB{id}"), oracle, lowered);
+        let bound = bind_fixture(&catalog, &format!("SSB{id}"), ssb_sql::text(id).unwrap());
+        let from_sql = planner.plan(&bound);
+        let oracle = ssb_queries::query(&db, id);
+        assert_equivalent(&env, &format!("SSB{id}-sql"), oracle, from_sql);
+    }
+}
+
+#[test]
+fn sql_fixtures_bind_to_the_logical_schemas() {
+    // Cheap structural gate on top of the result oracle: the SQL text
+    // produces the same output column names and types as the logical
+    // plans, at a tiny scale.
+    let topo = Topology::nehalem_ex();
+    let db = generate_tpch(TpchConfig::scaled(0.002), &topo);
+    let catalog = db.catalog();
+    for (q, sql) in tpch_sql::all() {
+        let bound = bind_fixture(&catalog, &format!("Q{q}"), sql);
+        let logical = tpch_logical::query(&db, q).unwrap();
+        assert_eq!(
+            bound.schema().names(),
+            logical.schema().names(),
+            "Q{q}: SQL output columns diverge from the logical plan"
+        );
+        assert_eq!(
+            bound.schema().data_types(),
+            logical.schema().data_types(),
+            "Q{q}: SQL output types diverge from the logical plan"
+        );
+    }
+    let ssb = generate_ssb(SsbConfig::scaled(0.002), &topo);
+    let catalog = ssb.catalog();
+    for (id, sql) in ssb_sql::all() {
+        let bound = bind_fixture(&catalog, &format!("SSB{id}"), sql);
+        let logical = ssb_logical::query(&ssb, id);
+        assert_eq!(
+            bound.schema().names(),
+            logical.schema().names(),
+            "SSB{id}: SQL output columns diverge from the logical plan"
+        );
+        assert_eq!(
+            bound.schema().data_types(),
+            logical.schema().data_types(),
+            "SSB{id}: SQL output types diverge from the logical plan"
+        );
     }
 }
 
