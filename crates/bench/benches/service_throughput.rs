@@ -59,13 +59,15 @@ fn bench_service(c: &mut Criterion) {
                     );
                     let tpch = Arc::clone(&tpch);
                     let ssb = Arc::clone(&ssb);
-                    let reports =
+                    let run =
                         run_closed_loop(&service, clients, QUERIES_PER_CLIENT, move |cl, seq| {
                             QueryRequest::new(build_query(&tpch, &ssb, cl, seq))
                         });
                     let summary = service.shutdown();
-                    assert_eq!(summary.completed as usize, reports.len());
-                    black_box(summary.completed)
+                    assert_eq!(run.failed_clients, 0);
+                    assert_eq!(summary.totals.total() as usize, run.len());
+                    assert_eq!(summary.completed() as usize, run.len());
+                    black_box(summary.completed())
                 });
             },
         );

@@ -89,7 +89,7 @@ pub fn service_load(cfg: &ExpConfig) -> String {
     let per_client = if cfg.quick { 4 } else { 8 };
 
     let mut t = Table::new(&[
-        "clients", "done", "canc", "rej", "q/s", "p50 lo", "p99 lo", "p50 hi", "p99 hi",
+        "clients", "done", "canc", "rej", "fail", "q/s", "p50 lo", "p99 lo", "p50 hi", "p99 hi",
     ]);
     for &clients in &client_counts {
         let service = QueryService::start(
@@ -110,9 +110,7 @@ pub fn service_load(cfg: &ExpConfig) -> String {
         let summary = service.shutdown();
         let quantiles = |prio: u32| -> (String, String) {
             summary
-                .per_priority
-                .iter()
-                .find(|(p, _)| *p == prio)
+                .priority(prio)
                 .map(|(_, h)| (fmt_ns(h.p50()), fmt_ns(h.p99())))
                 .unwrap_or_else(|| ("-".into(), "-".into()))
         };
@@ -120,9 +118,10 @@ pub fn service_load(cfg: &ExpConfig) -> String {
         let (hi50, hi99) = quantiles(8);
         t.row(vec![
             clients.to_string(),
-            summary.completed.to_string(),
-            summary.cancelled.to_string(),
-            summary.rejected.to_string(),
+            summary.completed().to_string(),
+            summary.cancelled().to_string(),
+            summary.rejected().to_string(),
+            summary.failed().to_string(),
             format!("{:.1}", summary.throughput_qps()),
             lo50,
             lo99,

@@ -16,6 +16,7 @@
 //! exactly like an explicit [`crate::query::QueryHandle::cancel`].
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -23,10 +24,22 @@ use morsel_numa::AccessCounters;
 use parking_lot::{Mutex, RwLock};
 
 use crate::env::ExecEnv;
+use crate::govern::MemBudget;
 use crate::job::{Claim, JobExec};
-use crate::query::{QueryHandle, QueryShared, QuerySpec, QueryStats, Stage};
+use crate::query::{FailReason, QueryHandle, QueryShared, QuerySpec, QueryStats, Stage};
 use crate::queue::SchedulingMode;
 use crate::task::{Morsel, TaskContext, DEFAULT_MORSEL_SIZE};
+
+/// Render a caught panic payload for [`crate::query::QueryHandle::failure`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 /// Priority aging: a waiting query's *effective* priority grows with the
 /// time since its submission, so sustained high-priority traffic cannot
@@ -172,8 +185,35 @@ impl Task {
     }
 
     /// Execute the morsel (operators record costs into `ctx`).
+    ///
+    /// This is the panic-containment boundary: a panicking operator —
+    /// organic or injected via [`crate::FaultPlan`] — is caught here and
+    /// fails only its own query ([`FailReason::OperatorPanic`], unless an
+    /// earlier cause such as deadline expiry already decided the
+    /// outcome). The unwind is safe to assert across: the engine's
+    /// shared operator state (hash tables, per-worker areas) is only
+    /// ever *read* by the query that owns it, and a failed query never
+    /// reaches the stages that would read the partially-mutated state —
+    /// `advance` discards its remaining stages and the reaping path
+    /// drops the poisoned structures wholesale.
     pub fn run(&self, ctx: &mut TaskContext<'_>) {
-        self.job.job.run_morsel(ctx, self.morsel.clone());
+        let shared = &self.query.shared;
+        let fault = ctx.env().faults().on_morsel(&shared.name, &self.job.label);
+        if fault.delay_ns > 0 {
+            // Charge the injected delay as compute: deterministic under
+            // the simulator's virtual clock (the threaded executor
+            // records it in the profile but does not sleep).
+            ctx.cpu(1, fault.delay_ns as f64);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(msg) = fault.panic_msg {
+                panic!("{msg}");
+            }
+            self.job.job.run_morsel(ctx, self.morsel.clone());
+        }));
+        if let Err(payload) = result {
+            shared.fail(FailReason::OperatorPanic, panic_message(payload));
+        }
     }
 
     /// Per-query traffic counters, so executors can attach them to the
@@ -229,6 +269,8 @@ impl Dispatcher {
             started_ns: AtomicU64::new(now_ns),
             submitted_ns: AtomicU64::new(spec.submitted_ns.unwrap_or(now_ns)),
             deadline_ns: AtomicU64::new(spec.deadline_ns.unwrap_or(u64::MAX)),
+            budget: MemBudget::new(spec.mem_cap, self.env.mem_pool().cloned()),
+            failure: Mutex::new(None),
         });
         let exec = Arc::new(QueryExec {
             shared: Arc::clone(&shared),
@@ -324,9 +366,7 @@ impl Dispatcher {
                     // and advance the query, exactly as the last completer
                     // would have.
                     let mut ctx = TaskContext::new(&self.env, worker);
-                    if !q.shared.cancelled.load(Ordering::Acquire) {
-                        job.job.finish(&mut ctx);
-                    }
+                    self.contained_finish(&mut ctx, q, &job);
                     q.absorb_job_stats(&job);
                     *q.current.lock() = None;
                     self.advance(&mut ctx, q, now_ns);
@@ -355,12 +395,24 @@ impl Dispatcher {
     pub fn complete_task(&self, ctx: &mut TaskContext<'_>, task: Task, now_ns: u64) {
         task.query.active_workers.fetch_sub(1, Ordering::SeqCst);
         if task.job.release() {
-            if !task.query.shared.cancelled.load(Ordering::Acquire) {
-                task.job.job.finish(ctx);
-            }
+            self.contained_finish(ctx, &task.query, &task.job);
             task.query.absorb_job_stats(&task.job);
             *task.query.current.lock() = None;
             self.advance(ctx, &task.query, now_ns);
+        }
+    }
+
+    /// Run a pipeline's `finish` under the same panic containment as
+    /// morsel execution, skipping it entirely for queries already being
+    /// torn down (cancelled or failed) — their partial state is
+    /// discarded, not finalized.
+    fn contained_finish(&self, ctx: &mut TaskContext<'_>, q: &Arc<QueryExec>, job: &JobExec) {
+        if q.shared.cancelled.load(Ordering::Acquire) {
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job.job.finish(ctx))) {
+            q.shared
+                .fail(FailReason::OperatorPanic, panic_message(payload));
         }
     }
 
@@ -410,13 +462,43 @@ impl Dispatcher {
                         .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                     {
+                        // Retirement drains and closes the memory ledger:
+                        // every byte the query reserved goes back to the
+                        // pool exactly once, on every exit path
+                        // (completed, cancelled, or failed).
+                        q.shared.budget.release_all();
                         self.remaining.fetch_sub(1, Ordering::SeqCst);
                         self.queries.write().retain(|e| !Arc::ptr_eq(e, q));
                     }
                     return;
                 }
                 Some(stage) => {
-                    let built = stage.build(&self.env, self.config.workers);
+                    // Stage construction runs operator code (allocating
+                    // hash tables, partitioning state) and is contained
+                    // like morsel execution: a panic fails this query
+                    // only, and the loop retries with the cancelled flag
+                    // now set, which tears the query down.
+                    let built = match catch_unwind(AssertUnwindSafe(|| {
+                        stage.build(&self.env, self.config.workers)
+                    })) {
+                        Ok(built) => built,
+                        Err(payload) => {
+                            q.shared
+                                .fail(FailReason::OperatorPanic, panic_message(payload));
+                            continue;
+                        }
+                    };
+                    // Charge build-time operator state (e.g. the join
+                    // hash table) against the query's budget before any
+                    // morsel runs; refusal fails the query here, never
+                    // the process.
+                    if built.reserve_bytes > 0
+                        && q.shared
+                            .try_reserve(built.reserve_bytes, self.env.faults())
+                            .is_err()
+                    {
+                        continue;
+                    }
                     let job = JobExec::new(
                         built,
                         self.config.mode,
@@ -427,7 +509,7 @@ impl Dispatcher {
                     if job.queues.total_rows() == 0 {
                         // Empty pipeline: finish inline and continue.
                         if job.force_finish() {
-                            job.job.finish(ctx);
+                            self.contained_finish(ctx, q, &job);
                             q.absorb_job_stats(&job);
                         }
                         continue;
@@ -760,6 +842,210 @@ mod tests {
             d.complete_task(&mut ctx, t, 0);
         }
         drive_to_completion(&d, 0);
+    }
+
+    #[test]
+    fn operator_panic_fails_only_its_query() {
+        use crate::fault::FaultPlan;
+        use crate::query::{FailReason, QueryOutcome};
+        let plan: FaultPlan = "panic@bad/count#1".parse().unwrap();
+        let env = ExecEnv::new(Topology::laptop()).with_fault_plan(plan);
+        let d = Dispatcher::new(env, DispatchConfig::new(1));
+        let jb = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let jg = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let hb = d.submit(
+            QuerySpec::new("bad", vec![count_stage(100_000, jb)], result_slot()),
+            0,
+        );
+        let hg = d.submit(
+            QuerySpec::new(
+                "good",
+                vec![count_stage(100_000, Arc::clone(&jg))],
+                result_slot(),
+            ),
+            0,
+        );
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        drive_to_completion(&d, 0);
+        std::panic::set_hook(hook);
+        assert!(d.all_done(), "a contained panic must not wedge the engine");
+        assert_eq!(
+            hb.outcome(),
+            Some(QueryOutcome::Failed(FailReason::OperatorPanic))
+        );
+        let (_, msg) = hb.failure().unwrap();
+        assert!(msg.contains("panic@bad/count#1"), "got {msg:?}");
+        assert_eq!(hg.outcome(), Some(QueryOutcome::Completed));
+        assert_eq!(jg.rows_seen.load(Ordering::Relaxed), 100_000);
+    }
+
+    /// Satellite regression: a query that panics *after* its deadline
+    /// fired must resolve as `Cancelled` (the first cause), not
+    /// `Failed`, and exactly once. Virtual timestamps drive the race
+    /// deterministically: the morsel is claimed before the deadline,
+    /// the deadline sweep cancels the query, and only then does the
+    /// claimed morsel run and hit its injected panic.
+    #[test]
+    fn panic_after_deadline_resolves_cancelled_exactly_once() {
+        use crate::fault::FaultPlan;
+        use crate::query::QueryOutcome;
+        let plan: FaultPlan = "panic@q#0".parse().unwrap();
+        let env = ExecEnv::new(Topology::laptop()).with_fault_plan(plan);
+        let d = Dispatcher::new(env, DispatchConfig::new(1));
+        let j = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let h = d.submit(
+            QuerySpec::new("q", vec![count_stage(1_000_000, j)], result_slot())
+                .with_deadline_ns(100),
+            0,
+        );
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, 0);
+        // Claim (but do not run) a morsel before the deadline.
+        let t = d.next_task(0, 50).unwrap();
+        // The deadline sweep fires: the query is cancelled while the
+        // claimed morsel is still in flight.
+        assert!(d.next_task(0, 150).is_none());
+        assert!(h.is_cancelled());
+        assert!(!h.is_done(), "in-flight morsel defers teardown");
+        // The in-flight morsel now runs and panics; containment records
+        // the panic but the deadline already decided the outcome.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        t.run(&mut ctx);
+        std::panic::set_hook(hook);
+        d.complete_task(&mut ctx, t, 160);
+        // The next work request reaps the cancelled query (nothing else
+        // is in flight now).
+        assert!(d.next_task(0, 170).is_none());
+        assert!(h.is_done());
+        assert_eq!(h.outcome(), Some(QueryOutcome::Cancelled));
+        assert!(
+            h.failure().is_none(),
+            "first cause wins: no failure recorded"
+        );
+        // Exactly once: the outcome is stable across repeated reads.
+        assert_eq!(h.outcome(), Some(QueryOutcome::Cancelled));
+        assert!(d.all_done());
+    }
+
+    /// The mirror case: the panic lands first, then the deadline passes.
+    /// The panic is the first cause, so the query reports `Failed`.
+    #[test]
+    fn panic_before_deadline_resolves_failed() {
+        use crate::fault::FaultPlan;
+        use crate::query::{FailReason, QueryOutcome};
+        let plan: FaultPlan = "panic@q#0".parse().unwrap();
+        let env = ExecEnv::new(Topology::laptop()).with_fault_plan(plan);
+        let d = Dispatcher::new(env, DispatchConfig::new(1));
+        let j = Arc::new(CountJob {
+            rows_seen: TestCounter::new(0),
+            finished: AtomicBool::new(false),
+        });
+        let h = d.submit(
+            QuerySpec::new("q", vec![count_stage(1_000_000, j)], result_slot())
+                .with_deadline_ns(100),
+            0,
+        );
+        let env = d.env().clone();
+        let mut ctx = TaskContext::new(&env, 0);
+        let t = d.next_task(0, 50).unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        t.run(&mut ctx); // panics at t=50, before the deadline
+        std::panic::set_hook(hook);
+        d.complete_task(&mut ctx, t, 150); // deadline long gone
+        assert!(d.next_task(0, 160).is_none()); // reap
+        assert!(h.is_done());
+        assert_eq!(
+            h.outcome(),
+            Some(QueryOutcome::Failed(FailReason::OperatorPanic))
+        );
+    }
+
+    #[test]
+    fn build_panic_is_contained() {
+        use crate::query::{FailReason, QueryOutcome};
+        let d = dispatcher(1);
+        let stage: Box<dyn Stage> = Box::new(FnStage::new("explode", |_env: &ExecEnv, _w| {
+            panic!("bad build");
+        }));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let h = d.submit(QuerySpec::new("q", vec![stage], result_slot()), 0);
+        std::panic::set_hook(hook);
+        assert!(h.is_done());
+        assert_eq!(
+            h.outcome(),
+            Some(QueryOutcome::Failed(FailReason::OperatorPanic))
+        );
+        let (_, msg) = h.failure().unwrap();
+        assert_eq!(msg, "bad build");
+        assert!(d.all_done());
+    }
+
+    #[test]
+    fn build_reservation_over_cap_fails_query_and_releases_pool() {
+        use crate::govern::MemPool;
+        use crate::query::{FailReason, QueryOutcome};
+        let pool = MemPool::new(1 << 20);
+        let env = ExecEnv::new(Topology::laptop()).with_mem_pool(Arc::clone(&pool));
+        let d = Dispatcher::new(env, DispatchConfig::new(1));
+        let stage: Box<dyn Stage> = Box::new(FnStage::new("hungry", |_env: &ExecEnv, _w| {
+            BuiltJob::new(
+                "hungry",
+                Arc::new(CountJob {
+                    rows_seen: TestCounter::new(0),
+                    finished: AtomicBool::new(false),
+                }),
+                vec![ChunkMeta {
+                    node: SocketId(0),
+                    rows: 10,
+                }],
+            )
+            .with_reserve_bytes(4_096)
+        }));
+        let h = d.submit(
+            QuerySpec::new("q", vec![stage], result_slot()).with_mem_cap(1_000),
+            0,
+        );
+        assert!(h.is_done());
+        assert_eq!(
+            h.outcome(),
+            Some(QueryOutcome::Failed(FailReason::ResourceExhausted))
+        );
+        assert_eq!(pool.reserved(), 0, "failed reservation leaks nothing");
+        assert_eq!(h.mem_reserved(), 0);
+
+        // The same stage under a sufficient cap completes and the pool
+        // still drains to zero at retirement.
+        let stage: Box<dyn Stage> = Box::new(FnStage::new("ok", |_env: &ExecEnv, _w| {
+            BuiltJob::new(
+                "ok",
+                Arc::new(CountJob {
+                    rows_seen: TestCounter::new(0),
+                    finished: AtomicBool::new(false),
+                }),
+                vec![ChunkMeta {
+                    node: SocketId(0),
+                    rows: 10,
+                }],
+            )
+            .with_reserve_bytes(4_096)
+        }));
+        let h = d.submit(QuerySpec::new("q2", vec![stage], result_slot()), 0);
+        drive_to_completion(&d, 0);
+        assert_eq!(h.outcome(), Some(QueryOutcome::Completed));
+        assert_eq!(pool.reserved(), 0, "retirement returns every byte");
     }
 
     #[test]

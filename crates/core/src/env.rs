@@ -4,6 +4,9 @@ use std::sync::Arc;
 
 use morsel_numa::{AccessCounters, CostModel, SocketId, Topology};
 
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::govern::MemPool;
+
 /// Everything the engine needs to know about the (simulated) machine.
 #[derive(Debug, Clone)]
 pub struct ExecEnv {
@@ -11,26 +14,63 @@ pub struct ExecEnv {
     cost: Arc<CostModel>,
     /// Machine-wide traffic counters (the "Intel PCM" substitute).
     counters: Arc<AccessCounters>,
+    /// Fault-injection hook (empty plan by default: hooks are inert).
+    faults: Arc<FaultInjector>,
+    /// Service-wide memory pool backing per-query budgets, if governed.
+    mem_pool: Option<Arc<MemPool>>,
 }
 
 impl ExecEnv {
     pub fn new(topology: Topology) -> Self {
         let cost = CostModel::for_topology(&topology);
-        let counters = AccessCounters::new(&topology);
-        ExecEnv {
-            topology: Arc::new(topology),
-            cost: Arc::new(cost),
-            counters: Arc::new(counters),
-        }
+        Self::with_cost_model_arc(topology, cost)
     }
 
     pub fn with_cost_model(topology: Topology, cost: CostModel) -> Self {
+        Self::with_cost_model_arc(topology, cost)
+    }
+
+    fn with_cost_model_arc(topology: Topology, cost: CostModel) -> Self {
+        // Honor `MORSEL_FAULT_PLAN` from the environment so any binary
+        // (examples, `repro`, tests) can be fault-injected without code
+        // changes; `with_fault_plan` still overrides. A malformed plan
+        // aborts loudly — silently dropping a chaos schedule would make
+        // every "fault survived" result meaningless.
+        let faults = match FaultPlan::from_env() {
+            Ok(Some(plan)) => FaultInjector::new(plan),
+            Ok(None) => FaultInjector::default(),
+            Err(e) => panic!("malformed {}: {e}", crate::fault::FAULT_PLAN_ENV),
+        };
         let counters = AccessCounters::new(&topology);
         ExecEnv {
             topology: Arc::new(topology),
             cost: Arc::new(cost),
             counters: Arc::new(counters),
+            faults: Arc::new(faults),
+            mem_pool: None,
         }
+    }
+
+    /// Attach a fault-injection plan; both executors honor it at the
+    /// morsel boundary and in the budget reservation path.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Arc::new(FaultInjector::new(plan));
+        self
+    }
+
+    /// Attach a service-wide memory pool; per-query [`crate::MemBudget`]s
+    /// created at submit time draw from it.
+    pub fn with_mem_pool(mut self, pool: Arc<MemPool>) -> Self {
+        self.mem_pool = Some(pool);
+        self
+    }
+
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    pub fn mem_pool(&self) -> Option<&Arc<MemPool>> {
+        self.mem_pool.as_ref()
     }
 
     pub fn topology(&self) -> &Topology {

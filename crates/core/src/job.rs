@@ -32,6 +32,12 @@ pub struct BuiltJob {
     /// chunk, even under static division.
     pub atomic_chunks: bool,
     pub label: String,
+    /// Bytes of operator state this job allocated (or will allocate) at
+    /// build time — e.g. a join's hash-table directory and tuple
+    /// storage. The dispatcher charges this against the query's memory
+    /// budget right after the stage builds; if the budget refuses, the
+    /// query fails with `ResourceExhausted` before any morsel runs.
+    pub reserve_bytes: u64,
 }
 
 impl BuiltJob {
@@ -46,11 +52,19 @@ impl BuiltJob {
             morsel_size: None,
             atomic_chunks: false,
             label: label.into(),
+            reserve_bytes: 0,
         }
     }
 
     pub fn with_morsel_size(mut self, size: usize) -> Self {
         self.morsel_size = Some(size);
+        self
+    }
+
+    /// Declare build-time operator state for the query's memory budget
+    /// (see [`BuiltJob::reserve_bytes`]).
+    pub fn with_reserve_bytes(mut self, bytes: u64) -> Self {
+        self.reserve_bytes = bytes;
         self
     }
 

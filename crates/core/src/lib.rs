@@ -18,6 +18,8 @@
 
 pub mod dispatcher;
 pub mod env;
+pub mod fault;
+pub mod govern;
 pub mod job;
 pub mod query;
 pub mod queue;
@@ -28,9 +30,12 @@ pub mod trace;
 
 pub use dispatcher::{AgingPolicy, DispatchConfig, Dispatcher, Task};
 pub use env::ExecEnv;
+pub use fault::{Fault, FaultInjector, FaultPlan, MorselFault, FAULT_PLAN_ENV};
+pub use govern::{EngineError, MemBudget, MemPool};
 pub use job::{BuiltJob, PipelineJob};
 pub use query::{
-    result_slot, FnStage, QueryHandle, QueryOutcome, QuerySpec, QueryStats, ResultSlot, Stage,
+    result_slot, FailReason, FnStage, QueryHandle, QueryOutcome, QuerySpec, QueryStats,
+    RejectReason, ResultSlot, Stage,
 };
 pub use queue::{MorselQueues, SchedulingMode};
 pub use sim::{SimExecutor, SimReport};

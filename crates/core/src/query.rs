@@ -15,6 +15,8 @@ use morsel_storage::Batch;
 use parking_lot::Mutex;
 
 use crate::env::ExecEnv;
+use crate::fault::FaultInjector;
+use crate::govern::{EngineError, MemBudget};
 use crate::job::BuiltJob;
 
 /// One pipeline stage of a query. Built exactly once, when all previous
@@ -80,6 +82,10 @@ pub struct QuerySpec {
     /// the query cooperatively (at the next morsel boundary) once the
     /// clock passes it.
     pub deadline_ns: Option<u64>,
+    /// Per-query memory cap in bytes. Reservations beyond it raise
+    /// [`crate::EngineError::ResourceExhausted`] and the query fails at
+    /// the next morsel boundary. `None` means pool-limited only.
+    pub mem_cap: Option<u64>,
 }
 
 impl QuerySpec {
@@ -91,6 +97,7 @@ impl QuerySpec {
             result,
             submitted_ns: None,
             deadline_ns: None,
+            mem_cap: None,
         }
     }
 
@@ -111,15 +118,71 @@ impl QuerySpec {
         self.deadline_ns = Some(deadline_ns);
         self
     }
+
+    /// Cap this query's memory reservations (see [`QuerySpec::mem_cap`]).
+    pub fn with_mem_cap(mut self, bytes: u64) -> Self {
+        self.mem_cap = Some(bytes);
+        self
+    }
+}
+
+/// Why admission control refused a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// Both the in-flight bound and the wait queue were full.
+    QueueFull,
+    /// The admission controller shed the query because the shared
+    /// memory pool was under pressure: admitting it would commit
+    /// capacity to work destined to fail.
+    MemoryPressure,
+    /// The service was draining at submit time.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RejectReason::QueueFull => "queue full",
+            RejectReason::MemoryPressure => "memory pressure",
+            RejectReason::ShuttingDown => "shutting down",
+        })
+    }
+}
+
+/// Why a dispatched query failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailReason {
+    /// A memory reservation exceeded the per-query cap or the shared
+    /// pool; the query unwound at the next morsel boundary with every
+    /// reservation released.
+    ResourceExhausted,
+    /// An operator panicked; the panic was contained at the morsel
+    /// boundary and only this query failed. The rendered message is
+    /// available via [`QueryHandle::failure`].
+    OperatorPanic,
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailReason::ResourceExhausted => "resource exhausted",
+            FailReason::OperatorPanic => "operator panic",
+        })
+    }
 }
 
 /// Terminal state of a query, as reported to service clients.
 ///
-/// The dispatcher itself only produces [`Completed`](QueryOutcome::Completed)
-/// and [`Cancelled`](QueryOutcome::Cancelled) (deadline expiry and explicit
-/// [`QueryHandle::cancel`] both surface as `Cancelled`);
-/// [`Rejected`](QueryOutcome::Rejected) is produced by an admission-control
-/// layer such as `morsel-service` when a query is refused before dispatch.
+/// The dispatcher itself produces [`Completed`](QueryOutcome::Completed),
+/// [`Cancelled`](QueryOutcome::Cancelled) (deadline expiry and explicit
+/// [`QueryHandle::cancel`] both surface as `Cancelled`), and
+/// [`Failed`](QueryOutcome::Failed) (contained operator panics and
+/// exhausted memory budgets); [`Rejected`](QueryOutcome::Rejected) is
+/// produced by an admission-control layer such as `morsel-service` when
+/// a query is refused before dispatch.
+///
+/// When causes race, the *first* cause wins: a query cancelled by its
+/// deadline and then hit by a panic reports `Cancelled`, not `Failed`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryOutcome {
     /// Ran all stages and produced its result.
@@ -128,16 +191,30 @@ pub enum QueryOutcome {
     /// deadline expiry); no result was produced.
     Cancelled,
     /// Refused by admission control; never dispatched.
-    Rejected,
+    Rejected(RejectReason),
+    /// Dispatched but failed: its fault was contained and the rest of
+    /// the service kept running.
+    Failed(FailReason),
+}
+
+impl QueryOutcome {
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, QueryOutcome::Rejected(_))
+    }
+
+    pub fn is_failed(&self) -> bool {
+        matches!(self, QueryOutcome::Failed(_))
+    }
 }
 
 impl std::fmt::Display for QueryOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            QueryOutcome::Completed => "completed",
-            QueryOutcome::Cancelled => "cancelled",
-            QueryOutcome::Rejected => "rejected",
-        })
+        match self {
+            QueryOutcome::Completed => f.write_str("completed"),
+            QueryOutcome::Cancelled => f.write_str("cancelled"),
+            QueryOutcome::Rejected(reason) => write!(f, "rejected ({reason})"),
+            QueryOutcome::Failed(reason) => write!(f, "failed ({reason})"),
+        }
     }
 }
 
@@ -177,6 +254,51 @@ pub struct QueryShared {
     pub submitted_ns: AtomicU64,
     /// Absolute cancellation deadline; `u64::MAX` means none.
     pub deadline_ns: AtomicU64,
+    /// Per-query memory ledger; closed and drained when the query retires.
+    pub budget: MemBudget,
+    /// First failure cause, if the query failed rather than being
+    /// cancelled. Written at most once, by [`QueryShared::fail`].
+    pub failure: Mutex<Option<(FailReason, String)>>,
+}
+
+impl QueryShared {
+    /// Mark the query failed with `reason` unless it was already being
+    /// torn down. First cause wins: if the cancelled flag is already set
+    /// (deadline expiry, explicit cancel, or an earlier failure), this
+    /// is a no-op and the earlier cause decides the outcome. On the
+    /// winning path the failure is recorded *before* downstream
+    /// observers can see `done`, because teardown itself is gated on the
+    /// cancelled flag this CAS sets.
+    pub fn fail(&self, reason: FailReason, message: impl Into<String>) {
+        if self
+            .cancelled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            *self.failure.lock() = Some((reason, message.into()));
+        }
+    }
+
+    /// Reserve `bytes` against this query's budget, honoring injected
+    /// allocation faults. On failure the query is marked failed
+    /// ([`FailReason::ResourceExhausted`]) so it unwinds cooperatively
+    /// at the next morsel boundary; the caller should stop its current
+    /// unit of work.
+    pub fn try_reserve(&self, bytes: u64, faults: &FaultInjector) -> Result<(), EngineError> {
+        let res = if faults.on_alloc(&self.name) {
+            Err(EngineError::ResourceExhausted {
+                requested: bytes,
+                reserved: self.budget.reserved(),
+                limit: 0,
+            })
+        } else {
+            self.budget.try_reserve(bytes)
+        };
+        if let Err(err) = &res {
+            self.fail(FailReason::ResourceExhausted, err.to_string());
+        }
+        res
+    }
 }
 
 /// Caller-facing handle: inspect results, change priority, cancel.
@@ -229,15 +351,29 @@ impl QueryHandle {
 
     /// Terminal outcome, or `None` while the query is still running. A
     /// handle never reports [`QueryOutcome::Rejected`]: rejection happens
-    /// in admission control, before a handle exists.
+    /// in admission control, before a handle exists. A query that both
+    /// failed and was cancelled reports whichever cause came first (see
+    /// [`QueryShared::fail`]).
     pub fn outcome(&self) -> Option<QueryOutcome> {
         if !self.is_done() {
             None
+        } else if let Some((reason, _)) = self.shared.failure.lock().as_ref() {
+            Some(QueryOutcome::Failed(*reason))
         } else if self.is_cancelled() {
             Some(QueryOutcome::Cancelled)
         } else {
             Some(QueryOutcome::Completed)
         }
+    }
+
+    /// The recorded failure cause and message, if the query failed.
+    pub fn failure(&self) -> Option<(FailReason, String)> {
+        self.shared.failure.lock().clone()
+    }
+
+    /// Bytes currently reserved by this query's memory budget.
+    pub fn mem_reserved(&self) -> u64 {
+        self.shared.budget.reserved()
     }
 
     /// Take the result batch, if the query completed and produced one.
@@ -273,6 +409,8 @@ mod tests {
             started_ns: AtomicU64::new(u64::MAX),
             submitted_ns: AtomicU64::new(0),
             deadline_ns: AtomicU64::new(u64::MAX),
+            budget: MemBudget::unlimited(),
+            failure: Mutex::new(None),
         })
     }
 
@@ -338,7 +476,108 @@ mod tests {
         assert_eq!(h.outcome(), Some(QueryOutcome::Completed));
         h.cancel();
         assert_eq!(h.outcome(), Some(QueryOutcome::Cancelled));
-        assert_eq!(QueryOutcome::Rejected.to_string(), "rejected");
+        assert_eq!(
+            QueryOutcome::Rejected(RejectReason::QueueFull).to_string(),
+            "rejected (queue full)"
+        );
+        assert_eq!(
+            QueryOutcome::Rejected(RejectReason::MemoryPressure).to_string(),
+            "rejected (memory pressure)"
+        );
+        assert_eq!(
+            QueryOutcome::Failed(FailReason::OperatorPanic).to_string(),
+            "failed (operator panic)"
+        );
+        assert_eq!(
+            QueryOutcome::Failed(FailReason::ResourceExhausted).to_string(),
+            "failed (resource exhausted)"
+        );
+    }
+
+    #[test]
+    fn first_failure_cause_wins() {
+        // Panic first, deadline-style cancel second: Failed.
+        let h = QueryHandle { shared: shared() };
+        h.shared.fail(FailReason::OperatorPanic, "boom");
+        h.cancel();
+        h.shared.done.store(true, Ordering::Release);
+        assert_eq!(
+            h.outcome(),
+            Some(QueryOutcome::Failed(FailReason::OperatorPanic))
+        );
+        let (reason, msg) = h.failure().unwrap();
+        assert_eq!(reason, FailReason::OperatorPanic);
+        assert_eq!(msg, "boom");
+
+        // Cancel first (deadline fired), panic second: Cancelled.
+        let h = QueryHandle { shared: shared() };
+        h.cancel();
+        h.shared.fail(FailReason::OperatorPanic, "late panic");
+        h.shared.done.store(true, Ordering::Release);
+        assert_eq!(h.outcome(), Some(QueryOutcome::Cancelled));
+        assert!(h.failure().is_none());
+
+        // Two failures: the first reason sticks.
+        let h = QueryHandle { shared: shared() };
+        h.shared.fail(FailReason::ResourceExhausted, "oom");
+        h.shared.fail(FailReason::OperatorPanic, "boom");
+        h.shared.done.store(true, Ordering::Release);
+        assert_eq!(
+            h.outcome(),
+            Some(QueryOutcome::Failed(FailReason::ResourceExhausted))
+        );
+    }
+
+    #[test]
+    fn shared_try_reserve_enforces_budget_and_fails_query() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let topo = Topology::laptop();
+        let shared = Arc::new(QueryShared {
+            name: "q".into(),
+            priority: AtomicU32::new(1),
+            cancelled: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            result: result_slot(),
+            counters: AccessCounters::new(&topo),
+            stats: Mutex::new(QueryStats::default()),
+            started_ns: AtomicU64::new(u64::MAX),
+            submitted_ns: AtomicU64::new(0),
+            deadline_ns: AtomicU64::new(u64::MAX),
+            budget: MemBudget::new(Some(100), None),
+            failure: Mutex::new(None),
+        });
+        let inert = FaultInjector::default();
+        assert!(shared.try_reserve(60, &inert).is_ok());
+        assert!(shared.try_reserve(60, &inert).is_err());
+        assert!(shared.cancelled.load(Ordering::Acquire), "failure cancels");
+        shared.done.store(true, Ordering::Release);
+        let h = QueryHandle {
+            shared: Arc::clone(&shared),
+        };
+        assert_eq!(
+            h.outcome(),
+            Some(QueryOutcome::Failed(FailReason::ResourceExhausted))
+        );
+
+        // An injected allocation fault fails a reservation that fits.
+        let plan: FaultPlan = "alloc@q2#0".parse().unwrap();
+        let faulty = FaultInjector::new(plan);
+        let shared2 = Arc::new(QueryShared {
+            name: "q2".into(),
+            priority: AtomicU32::new(1),
+            cancelled: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            result: result_slot(),
+            counters: AccessCounters::new(&topo),
+            stats: Mutex::new(QueryStats::default()),
+            started_ns: AtomicU64::new(u64::MAX),
+            submitted_ns: AtomicU64::new(0),
+            deadline_ns: AtomicU64::new(u64::MAX),
+            budget: MemBudget::unlimited(),
+            failure: Mutex::new(None),
+        });
+        assert!(shared2.try_reserve(1, &faulty).is_err());
+        assert_eq!(shared2.budget.reserved(), 0);
     }
 
     #[test]

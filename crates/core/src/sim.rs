@@ -207,7 +207,7 @@ impl SimExecutor {
                         }
                         states[w].busy = false;
                         let qs = rt.task.query_counters();
-                        let mut ctx = TaskContext::new(&env, w).with_query_counters(&qs.counters);
+                        let mut ctx = TaskContext::new(&env, w).with_query(&qs);
                         dispatcher.complete_task(&mut ctx, rt.task, t);
                         // A pipeline may have completed and a new one been
                         // installed: give idle workers a chance.
@@ -216,7 +216,7 @@ impl SimExecutor {
                     // Phase 2: request the next task.
                     if let Some(task) = dispatcher.next_task(w, t) {
                         let qs = task.query_counters();
-                        let mut ctx = TaskContext::new(&env, w).with_query_counters(&qs.counters);
+                        let mut ctx = TaskContext::new(&env, w).with_query(&qs);
                         task.run(&mut ctx);
                         let profile = ctx.take_profile();
 

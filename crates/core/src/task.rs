@@ -5,6 +5,8 @@ use std::ops::Range;
 use morsel_numa::{AccessCounters, Residency, SocketId};
 
 use crate::env::ExecEnv;
+use crate::govern::EngineError;
+use crate::query::QueryShared;
 
 /// The paper's experimentally determined default morsel size is ~100,000
 /// tuples (Section 3). Our default is smaller because the reproduction runs
@@ -69,6 +71,9 @@ pub struct TaskContext<'a> {
     env: &'a ExecEnv,
     /// Per-query counters (for Table 1-style per-query statistics), if any.
     query_counters: Option<&'a AccessCounters>,
+    /// The query this context is executing a morsel of, if any. Gives
+    /// operators access to the per-query memory budget.
+    query: Option<&'a QueryShared>,
     pub worker: usize,
     pub socket: SocketId,
     profile: MorselProfile,
@@ -81,6 +86,7 @@ impl<'a> TaskContext<'a> {
         TaskContext {
             env,
             query_counters: None,
+            query: None,
             worker,
             socket,
             profile,
@@ -90,6 +96,36 @@ impl<'a> TaskContext<'a> {
     pub fn with_query_counters(mut self, counters: &'a AccessCounters) -> Self {
         self.query_counters = Some(counters);
         self
+    }
+
+    /// Bind this context to a query: traffic is charged to its counters
+    /// and reservations to its memory budget. Supersedes
+    /// [`TaskContext::with_query_counters`] at executor call sites.
+    pub fn with_query(mut self, query: &'a QueryShared) -> Self {
+        self.query_counters = Some(&query.counters);
+        self.query = Some(query);
+        self
+    }
+
+    /// Reserve `bytes` of operator state against the bound query's
+    /// memory budget. `Err` means the budget (or the shared pool) is
+    /// exhausted — the query has already been marked failed and will
+    /// unwind at the next morsel boundary; the operator should abandon
+    /// its current unit of work and return. Contexts without a bound
+    /// query (unit tests, standalone jobs) always succeed.
+    pub fn try_reserve(&self, bytes: u64) -> Result<(), EngineError> {
+        match self.query {
+            Some(q) => q.try_reserve(bytes, self.env.faults()),
+            None => Ok(()),
+        }
+    }
+
+    /// Return `bytes` previously reserved via [`TaskContext::try_reserve`]
+    /// (for operators whose footprint shrinks, e.g. TopK trimming).
+    pub fn release_reserved(&self, bytes: u64) {
+        if let Some(q) = self.query {
+            q.budget.release(bytes);
+        }
     }
 
     pub fn env(&self) -> &ExecEnv {

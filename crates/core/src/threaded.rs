@@ -51,8 +51,7 @@ impl ThreadedExecutor {
                     match dispatcher.next_task(w, now) {
                         Some(task) => {
                             let qs = task.query_counters();
-                            let mut ctx =
-                                TaskContext::new(env, w).with_query_counters(&qs.counters);
+                            let mut ctx = TaskContext::new(env, w).with_query(&qs);
                             task.run(&mut ctx);
                             let now = start.elapsed().as_nanos() as u64;
                             dispatcher.complete_task(&mut ctx, task, now);

@@ -696,6 +696,12 @@ impl Sink for AggPartialSink {
             }
         };
         if spilled_bytes > 0 {
+            // Spill fragments are the unbounded part of pre-aggregation
+            // state (the pre-agg tables themselves are capacity-bounded):
+            // charge them to the query's budget. Accounting trails the
+            // append by one morsel at most — refusal fails the query and
+            // execution stops at this morsel boundary.
+            let _ = ctx.try_reserve(spilled_bytes);
             ctx.write(self.worker_nodes[ctx.worker], spilled_bytes);
         }
     }
@@ -715,6 +721,9 @@ impl Sink for AggPartialSink {
                 }
             }
         }
+        // The final flush converts bounded pre-agg tables into spill
+        // fragments that outlive this pipeline; account for them.
+        let _ = ctx.try_reserve(bytes);
         ctx.write(ctx.socket, bytes);
         let group_dicts = self
             .group_dicts
@@ -864,6 +873,11 @@ impl PipelineJob for AggMergeJob {
             }
         }
         let batch = Batch::from_columns(cols);
+        // The merged partition's result rows are retained in the worker
+        // area until the next stage consumes them.
+        if ctx.try_reserve(batch.total_bytes()).is_err() {
+            return;
+        }
         let mut area = self.areas[ctx.worker].lock();
         ctx.write(area.node(), batch.total_bytes());
         area.data_mut().extend_from(&batch);

@@ -96,6 +96,16 @@ impl TaggedHashTable {
         }
     }
 
+    /// Estimated allocation footprint of a table over `rows` build-side
+    /// tuples: the directory (8 B/slot, sized to the next power of two
+    /// of at least twice the input) plus per-entry hash, next-pointer,
+    /// marker, and loc storage. Used to charge the owning query's
+    /// memory budget *before* the build pipeline allocates.
+    pub fn estimate_bytes(rows: usize) -> u64 {
+        let cap = (2 * rows).next_power_of_two().max(16) as u64;
+        8 * cap + 25 * rows as u64
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.locs.len()

@@ -21,6 +21,7 @@ use morsel_storage::{DataType, Relation, Schema};
 
 use crate::agg::{agg_slot, AggFn, AggMergeJob, AggPartialSink};
 use crate::expr::{col, Expr};
+use crate::ht::TaggedHashTable;
 use crate::join::{join_slot, HtInsertJob, JoinKind, ProbeOp};
 use crate::pipeline::{ExecPipeline, FilterOp, MapOp, PipeOp};
 use crate::sink::{area_slot, AreaSlot, MaterializeSink};
@@ -575,6 +576,7 @@ impl Compiler {
                         move |env, _workers| {
                             let set = slot.lock().clone().expect("build side not materialized");
                             let chunks = set.chunk_meta();
+                            let rows: usize = chunks.iter().map(|c| c.rows).sum();
                             let job = HtInsertJob::with_tagging(
                                 set,
                                 keys,
@@ -582,7 +584,11 @@ impl Compiler {
                                 out,
                                 tagging,
                             );
+                            // Declare the hash table's footprint so the
+                            // dispatcher charges the query's budget
+                            // before the build pipeline runs.
                             BuiltJob::new(label, Arc::new(job), chunks)
+                                .with_reserve_bytes(TaggedHashTable::estimate_bytes(rows))
                         },
                     )));
                 }

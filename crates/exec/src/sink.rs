@@ -64,21 +64,28 @@ impl Sink for MaterializeSink {
         if input.is_empty() {
             return;
         }
+        let appended = match &input.sel {
+            None => input.batch.total_bytes(),
+            Some(sel) => input.batch.selected_bytes(sel),
+        };
+        // Materialized output is retained operator state: charge it to
+        // the query's budget and stop at this morsel boundary if the
+        // budget refuses (the query is already marked failed).
+        if ctx.try_reserve(appended).is_err() {
+            return;
+        }
         let mut area = self.areas[ctx.worker].lock();
         ctx.cpu(
             input.rows() as u64,
             crate::weights::GATHER_NS * input.batch.width() as f64,
         );
+        ctx.write(area.node(), appended);
         match &input.sel {
-            None => {
-                ctx.write(area.node(), input.batch.total_bytes());
-                area.data_mut().extend_from(&input.batch);
-            }
+            None => area.data_mut().extend_from(&input.batch),
             Some(sel) => {
                 // Gather through the selection straight into the area:
                 // the single deferred copy of the filtered pipeline.
-                ctx.write(area.node(), input.batch.selected_bytes(sel));
-                area.data_mut().extend_selected(&input.batch, sel);
+                area.data_mut().extend_selected(&input.batch, sel)
             }
         }
     }

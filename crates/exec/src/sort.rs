@@ -135,6 +135,11 @@ impl PipelineJob for LocalSortJob {
         let area = self.input.area(morsel.chunk);
         let batch = area.data();
         let n = batch.rows();
+        // The sorted copy of this area is retained until the merge:
+        // charge it before doing the n log n work.
+        if ctx.try_reserve(batch.total_bytes()).is_err() {
+            return;
+        }
         ctx.read(area.node(), batch.total_bytes());
         // n log n comparisons.
         let cmps = if n > 1 {
@@ -302,10 +307,17 @@ impl PipelineJob for MergeJob {
             .filter(|&(_, lo, hi)| lo < hi)
             .collect();
         let total: usize = cursors.iter().map(|&(_, lo, hi)| hi - lo).sum();
-        // Charge reads from each run's node.
+        // Charge reads from each run's node; the merged segment retains
+        // the same bytes, so reserve them before merging.
+        let mut seg_bytes = 0u64;
         for &(r, lo, hi) in &cursors {
             let (node, run) = &runs.runs[r];
-            ctx.read(*node, run.byte_size(lo, hi));
+            let bytes = run.byte_size(lo, hi);
+            ctx.read(*node, bytes);
+            seg_bytes += bytes;
+        }
+        if ctx.try_reserve(seg_bytes).is_err() {
+            return;
         }
         ctx.cpu(
             total as u64,
@@ -427,6 +439,18 @@ impl Sink for TopKSink {
         let sel: Vec<u32> = (0..keep as u32).collect();
         let mut trimmed = Batch::empty(&self.schema.data_types());
         trimmed.extend_selected(&sorted, &sel);
+        // Delta-account the held set (bounded at k rows per worker, but
+        // row width is data-dependent): grow the reservation when the
+        // trimmed set grows, shrink it when heavier rows are evicted.
+        let held_before = best.total_bytes();
+        let held_after = trimmed.total_bytes();
+        if held_after > held_before {
+            if ctx.try_reserve(held_after - held_before).is_err() {
+                return;
+            }
+        } else {
+            ctx.release_reserved(held_before - held_after);
+        }
         *best = trimmed;
     }
 

@@ -1,6 +1,8 @@
 //! Convenience runners used by tests, examples, and the bench harness.
 
-use morsel_core::{DispatchConfig, ExecEnv, QueryStats, SimExecutor, ThreadedExecutor};
+use morsel_core::{
+    DispatchConfig, ExecEnv, QueryOutcome, QueryStats, SimExecutor, ThreadedExecutor,
+};
 use morsel_exec::plan::{compile_query, Plan};
 use morsel_exec::SystemVariant;
 use morsel_numa::TrafficSnapshot;
@@ -9,6 +11,11 @@ use morsel_storage::Batch;
 /// Outcome of one query run.
 pub struct RunOutcome {
     pub name: String,
+    /// Terminal state. Anything but `Completed` (a fault-injected panic,
+    /// a blown memory cap, a deadline) means `result` is empty, not the
+    /// query's answer; the runners also warn on stderr so a governed
+    /// failure is never mistaken for an empty result set.
+    pub outcome: QueryOutcome,
     pub result: Batch,
     pub stats: QueryStats,
     pub traffic: TrafficSnapshot,
@@ -38,13 +45,18 @@ pub fn run_sim(
     sim.submit(spec);
     let report = sim.run();
     let handle = report.handle(name);
-    let outcome = RunOutcome {
+    let outcome = handle
+        .outcome()
+        .expect("sim.run() leaves every query terminal");
+    warn_if_not_completed(name, outcome);
+    let rows = result.lock().take().unwrap_or_default();
+    RunOutcome {
         name: name.to_owned(),
-        result: result.lock().take().unwrap_or_default(),
+        outcome,
+        result: rows,
         stats: handle.stats(),
         traffic: handle.traffic(),
-    };
-    outcome
+    }
 }
 
 /// Run one plan on real threads.
@@ -62,13 +74,24 @@ pub fn run_threaded(
     let (spec, result) = compile_query(name, plan, variant);
     let exec = ThreadedExecutor::new(env.clone(), config);
     let handles = exec.run(vec![spec]);
-    let outcome = RunOutcome {
+    let outcome = handles[0]
+        .outcome()
+        .expect("exec.run() joins every query to a terminal state");
+    warn_if_not_completed(name, outcome);
+    let rows = result.lock().take().unwrap_or_default();
+    RunOutcome {
         name: name.to_owned(),
-        result: result.lock().take().unwrap_or_default(),
+        outcome,
+        result: rows,
         stats: handles[0].stats(),
         traffic: handles[0].traffic(),
-    };
-    outcome
+    }
+}
+
+fn warn_if_not_completed(name: &str, outcome: QueryOutcome) {
+    if outcome != QueryOutcome::Completed {
+        eprintln!("warning: query '{name}' did not complete: {outcome:?}");
+    }
 }
 
 /// Render a batch as rows of strings (tests, examples, harness output).

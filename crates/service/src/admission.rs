@@ -123,7 +123,24 @@ impl<T> AdmissionQueue<T> {
         now_ns: u64,
         deadline_ns: Option<u64>,
     ) -> AdmissionDecision<T> {
-        if self.in_flight < self.config.max_in_flight {
+        self.submit_gated(payload, priority, now_ns, deadline_ns, true)
+    }
+
+    /// [`submit`](Self::submit) with an external admission gate. When
+    /// `admit` is false (the service sees memory pressure), the
+    /// immediate-dispatch fast path is skipped: the query is parked in
+    /// the wait queue even if in-flight capacity is free, so it is only
+    /// dispatched once a later housekeeping pass observes headroom. The
+    /// queue-full bound still applies.
+    pub fn submit_gated(
+        &mut self,
+        payload: T,
+        priority: u32,
+        now_ns: u64,
+        deadline_ns: Option<u64>,
+        admit: bool,
+    ) -> AdmissionDecision<T> {
+        if admit && self.in_flight < self.config.max_in_flight {
             self.in_flight += 1;
             AdmissionDecision::Admitted(payload)
         } else if self.waiting.len() < self.config.max_queue {
@@ -141,13 +158,58 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
-    /// Report one in-flight query finished (completed or cancelled).
-    /// Returns the payloads admitted into the freed capacity, in
-    /// admission order — the caller must dispatch each.
+    /// Report one in-flight query finished (completed, cancelled, or
+    /// failed). Returns the payloads admitted into the freed capacity,
+    /// in admission order — the caller must dispatch each.
     pub fn complete(&mut self, now_ns: u64) -> Vec<T> {
+        self.complete_while(now_ns, true)
+    }
+
+    /// [`complete`](Self::complete) with an external admission gate:
+    /// when `admit` is false the freed capacity is recorded but nothing
+    /// is admitted into it — waiters stay parked until a later
+    /// [`poll_admit`](Self::poll_admit) observes headroom.
+    pub fn complete_while(&mut self, now_ns: u64, admit: bool) -> Vec<T> {
         assert!(self.in_flight > 0, "complete() without an in-flight query");
         self.in_flight -= 1;
+        if admit {
+            self.admit_ready(now_ns)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Admit waiters into any free in-flight capacity right now. A no-op
+    /// when the bound is saturated; used by the service to resume
+    /// admission after a pressure episode gated it off.
+    pub fn poll_admit(&mut self, now_ns: u64) -> Vec<T> {
         self.admit_ready(now_ns)
+    }
+
+    /// Remove and return up to `count` waiters, lowest effective
+    /// priority first (newest submission breaks ties, so the query that
+    /// has invested the least waiting is shed first). Used for load
+    /// shedding under memory pressure; the caller rejects the payloads.
+    pub fn shed_lowest(&mut self, now_ns: u64, count: usize) -> Vec<T> {
+        let mut shed = Vec::new();
+        let aging = self.config.aging;
+        for _ in 0..count {
+            let worst = self
+                .waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| {
+                    let waited = now_ns.saturating_sub(w.submitted_ns);
+                    (
+                        aging.effective_priority(w.priority, waited),
+                        std::cmp::Reverse(w.seq),
+                    )
+                })
+                .map(|(i, _)| i);
+            let Some(worst) = worst else { break };
+            shed.push(self.waiting.swap_remove(worst).payload);
+        }
+        shed
     }
 
     fn admit_ready(&mut self, now_ns: u64) -> Vec<T> {
@@ -326,5 +388,84 @@ mod tests {
     #[should_panic(expected = "in-flight bound must be positive")]
     fn zero_bound_rejected() {
         let _ = AdmissionConfig::new(0);
+    }
+
+    #[test]
+    fn gated_submit_queues_despite_free_capacity() {
+        let mut q = queue(2, 2);
+        assert!(matches!(
+            q.submit_gated("a", 1, 0, None, false),
+            AdmissionDecision::Queued
+        ));
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.queued(), 1);
+        // Pressure clears: a poll admits the parked query.
+        assert_eq!(q.poll_admit(1), vec!["a"]);
+        assert_eq!(q.in_flight(), 1);
+        // The queue-full bound still rejects when gated.
+        assert!(matches!(
+            q.submit_gated("b", 1, 2, None, false),
+            AdmissionDecision::Queued
+        ));
+        assert!(matches!(
+            q.submit_gated("c", 1, 2, None, false),
+            AdmissionDecision::Queued
+        ));
+        assert!(matches!(
+            q.submit_gated("d", 1, 2, None, false),
+            AdmissionDecision::Rejected("d")
+        ));
+    }
+
+    #[test]
+    fn gated_complete_frees_capacity_without_admitting() {
+        let mut q = queue(1, 4);
+        let _ = admitted(q.submit("running", 1, 0, None));
+        assert!(matches!(
+            q.submit("waiter", 1, 0, None),
+            AdmissionDecision::Queued
+        ));
+        assert!(q.complete_while(1, false).is_empty());
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.queued(), 1);
+        assert_eq!(q.poll_admit(2), vec!["waiter"]);
+        assert!(q.poll_admit(3).is_empty());
+    }
+
+    #[test]
+    fn shed_lowest_drops_lowest_priority_newest_first() {
+        let mut q = queue(1, 8);
+        let _ = admitted(q.submit("running", 5, 0, None));
+        for (name, prio) in [("lo-old", 1u32), ("lo-new", 1), ("hi", 8)] {
+            assert!(matches!(
+                q.submit(name, prio, 1, None),
+                AdmissionDecision::Queued
+            ));
+        }
+        // Lowest priority goes first; among equals, the newest.
+        assert_eq!(q.shed_lowest(2, 1), vec!["lo-new"]);
+        assert_eq!(q.shed_lowest(2, 5), vec!["lo-old", "hi"]);
+        assert!(q.shed_lowest(2, 1).is_empty());
+        assert_eq!(q.queued(), 0);
+        assert_eq!(q.in_flight(), 1);
+    }
+
+    #[test]
+    fn shed_lowest_respects_aging() {
+        let aging = AgingPolicy::every(100).with_max_boost(32);
+        let mut q: AdmissionQueue<&str> =
+            AdmissionQueue::new(AdmissionConfig::new(1).with_max_queue(8).with_aging(aging));
+        let _ = admitted(q.submit("running", 8, 0, None));
+        assert!(matches!(
+            q.submit("aged-lo", 1, 0, None),
+            AdmissionDecision::Queued
+        ));
+        assert!(matches!(
+            q.submit("fresh-mid", 5, 1_000, None),
+            AdmissionDecision::Queued
+        ));
+        // By t=1000 the priority-1 waiter has aged to 11 > 5: the fresh
+        // mid-priority query is the effective-lowest and is shed first.
+        assert_eq!(q.shed_lowest(1_000, 1), vec!["fresh-mid"]);
     }
 }

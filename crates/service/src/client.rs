@@ -8,10 +8,34 @@
 
 use crate::service::{QueryReport, QueryRequest, QueryService};
 
+/// Everything a closed-loop run produced: the terminal report of every
+/// query the surviving clients issued, plus how many client threads
+/// panicked partway (their completed reports are lost with the thread).
+pub struct LoadRun {
+    /// Terminal [`QueryReport`]s (completed, cancelled, rejected, and
+    /// failed alike), grouped by client in submission order.
+    pub reports: Vec<QueryReport>,
+    /// Client threads that panicked instead of finishing their rotation.
+    pub failed_clients: usize,
+}
+
+impl LoadRun {
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
 /// Run `clients` concurrent closed-loop clients against `service`, each
 /// issuing `queries_per_client` queries built by `make(client, seq)`.
-/// Returns every query's terminal [`QueryReport`] (completed, cancelled,
-/// and rejected alike), grouped by client in submission order.
+///
+/// A client thread that panics (e.g. a `make` closure hitting a bug) is
+/// recorded in [`LoadRun::failed_clients`] instead of killing the whole
+/// load run: the other clients' reports are still collected, so one bad
+/// workload generator does not zero out an entire measurement.
 ///
 /// `make` runs on the client threads, so it must be `Sync`; plans that
 /// share relations via `Arc` (as all of `morsel-queries` does) satisfy
@@ -21,11 +45,12 @@ pub fn run_closed_loop<F>(
     clients: usize,
     queries_per_client: usize,
     make: F,
-) -> Vec<QueryReport>
+) -> LoadRun
 where
     F: Fn(usize, usize) -> QueryRequest + Sync,
 {
     let mut all = Vec::with_capacity(clients * queries_per_client);
+    let mut failed_clients = 0;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
@@ -41,8 +66,14 @@ where
             })
             .collect();
         for h in handles {
-            all.extend(h.join().expect("client thread panicked"));
+            match h.join() {
+                Ok(reports) => all.extend(reports),
+                Err(_) => failed_clients += 1,
+            }
         }
     });
-    all
+    LoadRun {
+        reports: all,
+        failed_clients,
+    }
 }

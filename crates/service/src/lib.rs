@@ -51,9 +51,10 @@ pub mod service;
 pub mod sql;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue};
-pub use client::run_closed_loop;
+pub use client::{run_closed_loop, LoadRun};
 pub use histogram::{fmt_ns, LatencyHistogram};
 pub use service::{
-    QueryReport, QueryRequest, QueryService, QueryTicket, ServiceConfig, ServiceReport,
+    OutcomeCounts, QueryReport, QueryRequest, QueryService, QueryTicket, ServiceConfig,
+    ServiceReport,
 };
 pub use sql::QuerySpecSqlExt;

@@ -23,8 +23,8 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use morsel_core::{
-    AgingPolicy, DispatchConfig, Dispatcher, ExecEnv, QueryHandle, QueryOutcome, QuerySpec,
-    TaskContext, DEFAULT_MORSEL_SIZE,
+    AgingPolicy, DispatchConfig, Dispatcher, ExecEnv, MemPool, QueryHandle, QueryOutcome,
+    QuerySpec, RejectReason, TaskContext, DEFAULT_MORSEL_SIZE,
 };
 use parking_lot::Mutex;
 
@@ -45,6 +45,14 @@ pub struct ServiceConfig {
     /// Priority aging, applied both to admission order and to the
     /// dispatcher's share computation.
     pub aging: AgingPolicy,
+    /// Service-wide memory pool capacity in bytes. When set, the service
+    /// installs a [`MemPool`] of this size on the execution environment
+    /// (unless the environment already carries one) and uses its
+    /// headroom for pressure-aware admission: under pressure, new
+    /// submissions bypass the immediate-dispatch fast path and the
+    /// lowest-priority waiter is shed per housekeeping pass with
+    /// [`RejectReason::MemoryPressure`].
+    pub mem_pool_bytes: Option<u64>,
 }
 
 impl ServiceConfig {
@@ -56,6 +64,7 @@ impl ServiceConfig {
             max_in_flight: workers.max(2),
             max_queue: 256,
             aging: AgingPolicy::none(),
+            mem_pool_bytes: None,
         }
     }
 
@@ -80,6 +89,12 @@ impl ServiceConfig {
         self.aging = aging;
         self
     }
+
+    pub fn with_mem_pool_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "memory pool must be non-empty");
+        self.mem_pool_bytes = Some(bytes);
+        self
+    }
 }
 
 /// One query submission: the compiled spec plus service-level options.
@@ -102,6 +117,14 @@ impl QueryRequest {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Cap this query's memory reservations at `bytes`; exceeding the
+    /// cap fails the query with `ResourceExhausted` at the next morsel
+    /// boundary instead of aborting anything.
+    pub fn with_mem_cap(mut self, bytes: u64) -> Self {
+        self.spec = self.spec.with_mem_cap(bytes);
+        self
+    }
 }
 
 /// Terminal report for one query.
@@ -111,7 +134,8 @@ pub struct QueryReport {
     pub priority: u32,
     pub outcome: QueryOutcome,
     /// Submission-to-termination latency on the service clock (0 for
-    /// rejected queries, which never wait).
+    /// queries rejected at submission, which never wait; waiters shed
+    /// under memory pressure record the time they spent queued).
     pub latency_ns: u64,
 }
 
@@ -189,16 +213,43 @@ struct ServiceState {
     running: Vec<Running>,
 }
 
+/// Terminal-outcome counters: one slot per [`QueryOutcome`] variant
+/// (reject and failure *reasons* are collapsed; the per-query
+/// [`QueryReport`] retains them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    pub completed: u64,
+    pub cancelled: u64,
+    pub rejected: u64,
+    pub failed: u64,
+}
+
+impl OutcomeCounts {
+    pub fn total(&self) -> u64 {
+        self.completed + self.cancelled + self.rejected + self.failed
+    }
+
+    fn record(&mut self, outcome: QueryOutcome) {
+        match outcome {
+            QueryOutcome::Completed => self.completed += 1,
+            QueryOutcome::Cancelled => self.cancelled += 1,
+            QueryOutcome::Rejected(_) => self.rejected += 1,
+            QueryOutcome::Failed(_) => self.failed += 1,
+        }
+    }
+}
+
 #[derive(Default)]
 struct Metrics {
-    completed: u64,
-    cancelled: u64,
-    rejected: u64,
-    per_priority: BTreeMap<u32, LatencyHistogram>,
+    totals: OutcomeCounts,
+    per_priority: BTreeMap<u32, (OutcomeCounts, LatencyHistogram)>,
 }
 
 struct ServiceInner {
     dispatcher: Dispatcher,
+    /// The environment's service-wide memory pool, if any (cached off
+    /// the env so the hot admission path avoids the indirection).
+    mem_pool: Option<Arc<MemPool>>,
     start: Instant,
     state: Mutex<ServiceState>,
     metrics: Mutex<Metrics>,
@@ -212,19 +263,24 @@ impl ServiceInner {
         self.start.elapsed().as_nanos() as u64
     }
 
+    /// Whether admission is currently open: false while the memory pool
+    /// is under pressure (little headroom left), at which point new
+    /// work queues instead of dispatching and waiters start shedding.
+    fn admission_open(&self) -> bool {
+        self.mem_pool.as_ref().is_none_or(|p| !p.under_pressure())
+    }
+
     fn finalize(&self, ticket: &TicketInner, outcome: QueryOutcome, latency_ns: u64) {
         {
             let mut m = self.metrics.lock();
-            match outcome {
-                QueryOutcome::Completed => {
-                    m.completed += 1;
-                    m.per_priority
-                        .entry(ticket.priority)
-                        .or_default()
-                        .record(latency_ns);
-                }
-                QueryOutcome::Cancelled => m.cancelled += 1,
-                QueryOutcome::Rejected => m.rejected += 1,
+            m.totals.record(outcome);
+            let (counts, hist) = m.per_priority.entry(ticket.priority).or_default();
+            counts.record(outcome);
+            // Latency percentiles stay completed-only: mixing in
+            // rejected (latency 0) or failed queries would make the
+            // histograms lie about served traffic.
+            if outcome == QueryOutcome::Completed {
+                hist.record(latency_ns);
             }
         }
         ticket.finalize(QueryReport {
@@ -245,6 +301,7 @@ impl ServiceInner {
     /// accounting (and the drain check) exact in the gap.
     fn maintain(&self) {
         let now = self.now_ns();
+        let admit = self.admission_open();
         let mut finished: Vec<(Arc<TicketInner>, QueryOutcome, u64)> = Vec::new();
         let mut to_dispatch: Vec<Pending> = Vec::new();
         {
@@ -256,7 +313,7 @@ impl ServiceInner {
                     let end = r.handle.stats().finished_ns;
                     let latency = end.saturating_sub(r.ticket.submitted_ns);
                     finished.push((r.ticket, outcome, latency));
-                    to_dispatch.extend(st.admission.complete(now));
+                    to_dispatch.extend(st.admission.complete_while(now, admit));
                 } else {
                     i += 1;
                 }
@@ -264,6 +321,23 @@ impl ServiceInner {
             for p in st.admission.expire_overdue(now) {
                 let latency = now.saturating_sub(p.ticket.submitted_ns);
                 finished.push((p.ticket, QueryOutcome::Cancelled, latency));
+            }
+            if admit {
+                // Capacity freed while admission was gated off (or by a
+                // pressure-parked submission): admit into it now.
+                to_dispatch.extend(st.admission.poll_admit(now));
+            } else {
+                // Still under pressure: shed the lowest-priority waiter
+                // (one per housekeeping pass) so the queue does not
+                // grow without bound while nothing is being admitted.
+                for p in st.admission.shed_lowest(now, 1) {
+                    let latency = now.saturating_sub(p.ticket.submitted_ns);
+                    finished.push((
+                        p.ticket,
+                        QueryOutcome::Rejected(RejectReason::MemoryPressure),
+                        latency,
+                    ));
+                }
             }
         }
         if !to_dispatch.is_empty() {
@@ -302,8 +376,16 @@ impl QueryService {
         let admission = AdmissionConfig::new(config.max_in_flight)
             .with_max_queue(config.max_queue)
             .with_aging(config.aging);
+        // An environment that already carries a pool keeps it; otherwise
+        // the config's pool size (if any) installs one.
+        let env = match (env.mem_pool(), config.mem_pool_bytes) {
+            (None, Some(bytes)) => env.with_mem_pool(MemPool::new(bytes)),
+            _ => env,
+        };
+        let mem_pool = env.mem_pool().cloned();
         let inner = Arc::new(ServiceInner {
             dispatcher: Dispatcher::new(env, dispatch),
+            mem_pool,
             start: Instant::now(),
             state: Mutex::new(ServiceState {
                 admission: AdmissionQueue::new(admission),
@@ -355,10 +437,14 @@ impl QueryService {
             // until the dispatch lands.
             if inner.draining.load(Ordering::SeqCst) {
                 drop(st);
-                inner.finalize(&ticket, QueryOutcome::Rejected, 0);
+                inner.finalize(
+                    &ticket,
+                    QueryOutcome::Rejected(RejectReason::ShuttingDown),
+                    0,
+                );
                 return QueryTicket { inner: ticket };
             }
-            st.admission.submit(
+            st.admission.submit_gated(
                 Pending {
                     spec,
                     ticket: Arc::clone(&ticket),
@@ -366,6 +452,7 @@ impl QueryService {
                 priority,
                 now,
                 deadline_ns,
+                inner.admission_open(),
             )
         };
         match decision {
@@ -379,10 +466,20 @@ impl QueryService {
             }
             AdmissionDecision::Queued => {}
             AdmissionDecision::Rejected(p) => {
-                inner.finalize(&p.ticket, QueryOutcome::Rejected, 0);
+                inner.finalize(
+                    &p.ticket,
+                    QueryOutcome::Rejected(RejectReason::QueueFull),
+                    0,
+                );
             }
         }
         QueryTicket { inner: ticket }
+    }
+
+    /// The service-wide memory pool, if one is configured (either on the
+    /// environment or via [`ServiceConfig::with_mem_pool_bytes`]).
+    pub fn mem_pool(&self) -> Option<&Arc<MemPool>> {
+        self.inner.mem_pool.as_ref()
     }
 
     /// Queries currently dispatched / waiting (for tests and monitoring).
@@ -393,26 +490,34 @@ impl QueryService {
 
     /// Stop accepting queries, drain everything in flight and queued,
     /// join the workers, and return the aggregate report.
+    ///
+    /// A panicked worker thread (which containment at the morsel
+    /// boundary should make impossible for operator code) is counted in
+    /// [`ServiceReport::worker_panics`] rather than re-panicking the
+    /// caller, so one poisoned worker cannot take down the report for
+    /// everything that did finish.
     pub fn shutdown(self) -> ServiceReport {
         self.inner.draining.store(true, Ordering::SeqCst);
+        let mut worker_panics = 0u64;
         for t in self.threads {
-            t.join().expect("service worker panicked");
+            if t.join().is_err() {
+                worker_panics += 1;
+            }
         }
         // Workers exit only once the service is fully idle, but the last
         // finalizations happen after the exit condition check.
         self.inner.maintain();
-        debug_assert!(self.inner.is_idle());
+        debug_assert!(worker_panics > 0 || self.inner.is_idle());
         let wall_ns = self.inner.now_ns();
         let m = self.inner.metrics.lock();
         ServiceReport {
             wall_ns,
-            completed: m.completed,
-            cancelled: m.cancelled,
-            rejected: m.rejected,
+            worker_panics,
+            totals: m.totals,
             per_priority: m
                 .per_priority
                 .iter()
-                .map(|(p, h)| (*p, h.clone()))
+                .map(|(p, (c, h))| (*p, *c, h.clone()))
                 .collect(),
         }
     }
@@ -440,7 +545,7 @@ fn worker_loop(inner: &Arc<ServiceInner>, w: usize) {
             Some(task) => {
                 idle_polls = 0;
                 let qs = task.query_counters();
-                let mut ctx = TaskContext::new(&env, w).with_query_counters(&qs.counters);
+                let mut ctx = TaskContext::new(&env, w).with_query(&qs);
                 task.run(&mut ctx);
                 let now = inner.now_ns();
                 inner.dispatcher.complete_task(&mut ctx, task, now);
@@ -476,43 +581,76 @@ fn worker_loop(inner: &Arc<ServiceInner>, w: usize) {
 pub struct ServiceReport {
     /// Total service lifetime (start to shutdown) in wall nanoseconds.
     pub wall_ns: u64,
-    pub completed: u64,
-    pub cancelled: u64,
-    pub rejected: u64,
-    /// Completed-query latency histograms, keyed by priority.
-    pub per_priority: Vec<(u32, LatencyHistogram)>,
+    /// Worker threads that exited by panic instead of draining (0 unless
+    /// containment was defeated; see [`QueryService::shutdown`]).
+    pub worker_panics: u64,
+    /// Terminal outcomes across every submitted query.
+    pub totals: OutcomeCounts,
+    /// Per-priority outcome counts and completed-query latency
+    /// histograms.
+    pub per_priority: Vec<(u32, OutcomeCounts, LatencyHistogram)>,
 }
 
 impl ServiceReport {
+    pub fn completed(&self) -> u64 {
+        self.totals.completed
+    }
+
+    pub fn cancelled(&self) -> u64 {
+        self.totals.cancelled
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.totals.rejected
+    }
+
+    pub fn failed(&self) -> u64 {
+        self.totals.failed
+    }
+
     /// Completed queries per second of service lifetime.
     pub fn throughput_qps(&self) -> f64 {
-        self.completed as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+        self.totals.completed as f64 / (self.wall_ns.max(1) as f64 / 1e9)
     }
 
     /// All priorities merged into one latency histogram.
     pub fn overall(&self) -> LatencyHistogram {
         let mut all = LatencyHistogram::new();
-        for (_, h) in &self.per_priority {
+        for (_, _, h) in &self.per_priority {
             all.merge(h);
         }
         all
+    }
+
+    /// The outcome counts and latency histogram for one priority, if any
+    /// query of that priority was submitted.
+    pub fn priority(&self, prio: u32) -> Option<(&OutcomeCounts, &LatencyHistogram)> {
+        self.per_priority
+            .iter()
+            .find(|(p, _, _)| *p == prio)
+            .map(|(_, c, h)| (c, h))
     }
 
     /// A human-readable per-priority summary (used by the example and the
     /// bench harness).
     pub fn summary(&self) -> String {
         let mut out = format!(
-            "completed {}  cancelled {}  rejected {}  throughput {:.1} q/s\n",
-            self.completed,
-            self.cancelled,
-            self.rejected,
+            "completed {}  cancelled {}  rejected {}  failed {}  throughput {:.1} q/s\n",
+            self.totals.completed,
+            self.totals.cancelled,
+            self.totals.rejected,
+            self.totals.failed,
             self.throughput_qps()
         );
-        for (prio, h) in &self.per_priority {
+        for (prio, counts, h) in &self.per_priority {
             out.push_str(&format!(
-                "  priority {:>2}: {:>6} queries  p50 {:>9}  p95 {:>9}  p99 {:>9}\n",
+                "  priority {:>2}: {:>6} done / {:>3} canc / {:>3} rej / {:>3} fail  \
+                 p50 {:>9}  p95 {:>9}  p99 {:>9}\n",
                 prio,
-                h.count(),
+                counts.completed,
+                counts.cancelled,
+                counts.rejected,
+                counts.failed,
                 fmt_ns(h.p50()),
                 fmt_ns(h.p95()),
                 fmt_ns(h.p99()),

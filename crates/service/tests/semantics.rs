@@ -11,8 +11,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use morsel_core::{
-    result_slot, AgingPolicy, BuiltJob, ChunkMeta, DispatchConfig, ExecEnv, FnStage, Morsel,
-    PipelineJob, QueryOutcome, QuerySpec, SimExecutor, Stage, TaskContext,
+    result_slot, AgingPolicy, BuiltJob, ChunkMeta, DispatchConfig, ExecEnv, FailReason, FnStage,
+    MemPool, Morsel, PipelineJob, QueryOutcome, QuerySpec, RejectReason, SimExecutor, Stage,
+    TaskContext,
 };
 use morsel_numa::{SocketId, Topology};
 use morsel_service::{
@@ -235,22 +236,31 @@ fn service_runs_mixed_priority_load_to_completion() {
             .with_max_queue(64)
             .with_aging(AgingPolicy::every(1_000_000)),
     );
-    let reports = run_closed_loop(&service, 4, 5, |client, seq| {
+    let run = run_closed_loop(&service, 4, 5, |client, seq| {
         let prio = if client.is_multiple_of(2) { 1 } else { 8 };
         QueryRequest::new(
             sleep_spec(&format!("c{client}-q{seq}"), 2, Duration::from_micros(200))
                 .with_priority(prio),
         )
     });
-    assert_eq!(reports.len(), 20);
-    assert!(reports.iter().all(|r| r.outcome == QueryOutcome::Completed));
-    assert!(reports.iter().all(|r| r.latency_ns > 0));
+    assert_eq!(run.len(), 20);
+    assert_eq!(run.failed_clients, 0);
+    assert!(run
+        .reports
+        .iter()
+        .all(|r| r.outcome == QueryOutcome::Completed));
+    assert!(run.reports.iter().all(|r| r.latency_ns > 0));
     let summary = service.shutdown();
-    assert_eq!(summary.completed, 20);
-    assert_eq!(summary.cancelled + summary.rejected, 0);
+    assert_eq!(summary.completed(), 20);
+    assert_eq!(
+        summary.cancelled() + summary.rejected() + summary.failed(),
+        0
+    );
+    assert_eq!(summary.worker_panics, 0);
     assert_eq!(summary.per_priority.len(), 2);
-    let total: u64 = summary.per_priority.iter().map(|(_, h)| h.count()).sum();
+    let total: u64 = summary.per_priority.iter().map(|(_, _, h)| h.count()).sum();
     assert_eq!(total, 20);
+    assert_eq!(summary.totals.total(), 20);
     assert!(summary.throughput_qps() > 0.0);
 }
 
@@ -275,12 +285,15 @@ fn service_rejects_when_queue_is_full() {
         Duration::from_micros(10),
     )));
     let refused = refused.wait();
-    assert_eq!(refused.outcome, QueryOutcome::Rejected);
+    assert_eq!(
+        refused.outcome,
+        QueryOutcome::Rejected(RejectReason::QueueFull)
+    );
     assert_eq!(refused.latency_ns, 0);
     assert_eq!(slow.wait().outcome, QueryOutcome::Completed);
     let summary = service.shutdown();
-    assert_eq!(summary.completed, 1);
-    assert_eq!(summary.rejected, 1);
+    assert_eq!(summary.completed(), 1);
+    assert_eq!(summary.rejected(), 1);
 }
 
 #[test]
@@ -305,8 +318,167 @@ fn service_cancels_on_deadline_running_and_queued() {
     assert_eq!(doomed.wait().outcome, QueryOutcome::Cancelled);
     assert_eq!(stale.wait().outcome, QueryOutcome::Cancelled);
     let summary = service.shutdown();
-    assert_eq!(summary.cancelled, 2);
-    assert_eq!(summary.completed, 0);
+    assert_eq!(summary.cancelled(), 2);
+    assert_eq!(summary.completed(), 0);
+}
+
+/// A pipeline that reserves `per_morsel` bytes of budgeted memory on
+/// every morsel and sleeps, stopping cooperatively once the budget
+/// refuses (the refusal itself marks the query failed).
+struct ReserveJob {
+    per_morsel: u64,
+    sleep: Duration,
+}
+
+impl PipelineJob for ReserveJob {
+    fn run_morsel(&self, ctx: &mut TaskContext<'_>, _m: Morsel) {
+        if ctx.try_reserve(self.per_morsel).is_err() {
+            return;
+        }
+        std::thread::sleep(self.sleep);
+    }
+}
+
+fn reserve_spec(name: &str, morsels: usize, per_morsel: u64, sleep: Duration) -> QuerySpec {
+    let stage: Box<dyn Stage> = Box::new(FnStage::new("reserve", move |_env, _w| {
+        BuiltJob::new(
+            "reserve",
+            Arc::new(ReserveJob { per_morsel, sleep }),
+            vec![ChunkMeta {
+                node: SocketId(0),
+                rows: morsels,
+            }],
+        )
+        .with_morsel_size(1)
+    }));
+    QuerySpec::new(name, vec![stage], result_slot())
+}
+
+/// An over-budget query resolves `Failed(ResourceExhausted)` without
+/// disturbing the service: later queries complete, the report counts the
+/// failure per priority, and every reserved byte returns to the pool.
+#[test]
+fn over_budget_query_fails_without_killing_service() {
+    let env = ExecEnv::new(Topology::laptop());
+    let service = QueryService::start(env, ServiceConfig::new(2).with_mem_pool_bytes(16 << 20));
+    let pool = Arc::clone(service.mem_pool().expect("config installed a pool"));
+    // 8 morsels wanting 1 MiB each against a 2.5 MiB cap: the third
+    // reservation must push the query over its budget.
+    let hog = service.submit(
+        QueryRequest::new(reserve_spec("hog", 8, 1 << 20, Duration::from_micros(50)))
+            .with_mem_cap(5 << 19),
+    );
+    assert_eq!(
+        hog.wait().outcome,
+        QueryOutcome::Failed(FailReason::ResourceExhausted)
+    );
+    let fine = service.submit(QueryRequest::new(sleep_spec(
+        "fine",
+        2,
+        Duration::from_micros(100),
+    )));
+    assert_eq!(fine.wait().outcome, QueryOutcome::Completed);
+    let summary = service.shutdown();
+    assert_eq!(summary.failed(), 1);
+    assert_eq!(summary.completed(), 1);
+    assert_eq!(summary.totals.total(), 2);
+    assert_eq!(pool.reserved(), 0, "failed query leaked pool reservations");
+}
+
+/// The service keeps an environment-supplied pool rather than installing
+/// a second one from the config.
+#[test]
+fn env_pool_takes_precedence_over_config() {
+    let pool = MemPool::new(4 << 20);
+    let env = ExecEnv::new(Topology::laptop()).with_mem_pool(Arc::clone(&pool));
+    let service = QueryService::start(env, ServiceConfig::new(1).with_mem_pool_bytes(512 << 20));
+    assert!(Arc::ptr_eq(service.mem_pool().unwrap(), &pool));
+    service.shutdown();
+}
+
+/// Under memory pressure the service stops fast-path admission and sheds
+/// the waiting query with `Rejected(MemoryPressure)`; once the pressure
+/// clears, admission resumes.
+#[test]
+fn memory_pressure_sheds_waiters_then_recovers() {
+    let env = ExecEnv::new(Topology::laptop());
+    let service = QueryService::start(
+        env,
+        ServiceConfig::new(2)
+            .with_max_in_flight(4)
+            .with_max_queue(8)
+            .with_mem_pool_bytes(8 << 20),
+    );
+    let pool = Arc::clone(service.mem_pool().unwrap());
+    // The first morsel reserves 7.5 MiB (beyond the 7/8 pressure
+    // threshold); the remaining ~40 hold it while sleeping, so the pool
+    // stays pressured for the hog's whole runtime.
+    struct HogJob {
+        reserve: u64,
+        taken: std::sync::atomic::AtomicBool,
+        sleep: Duration,
+    }
+    impl PipelineJob for HogJob {
+        fn run_morsel(&self, ctx: &mut TaskContext<'_>, _m: Morsel) {
+            if !self.taken.swap(true, Ordering::AcqRel) {
+                ctx.try_reserve(self.reserve).expect("pool fits the hog");
+            }
+            std::thread::sleep(self.sleep);
+        }
+    }
+    let job = Arc::new(HogJob {
+        reserve: (15 << 20) / 2,
+        taken: std::sync::atomic::AtomicBool::new(false),
+        sleep: Duration::from_millis(2),
+    });
+    let stage: Box<dyn Stage> = Box::new(FnStage::new("hog", move |_env, _w| {
+        BuiltJob::new(
+            "hog",
+            Arc::clone(&job) as Arc<dyn PipelineJob>,
+            vec![ChunkMeta {
+                node: SocketId(0),
+                rows: 40,
+            }],
+        )
+        .with_morsel_size(1)
+    }));
+    let hog = service.submit(QueryRequest::new(QuerySpec::new(
+        "hog",
+        vec![stage],
+        result_slot(),
+    )));
+    // Wait until the hog's reservations actually push the pool under
+    // pressure before offering the victim.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !pool.under_pressure() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "hog never pressured the pool (reserved {} B)",
+            pool.reserved()
+        );
+        std::thread::yield_now();
+    }
+    let victim = service.submit(QueryRequest::new(sleep_spec(
+        "victim",
+        1,
+        Duration::from_micros(10),
+    )));
+    assert_eq!(
+        victim.wait().outcome,
+        QueryOutcome::Rejected(RejectReason::MemoryPressure)
+    );
+    assert_eq!(hog.wait().outcome, QueryOutcome::Completed);
+    // Pressure gone: admission works again.
+    let after = service.submit(QueryRequest::new(sleep_spec(
+        "after",
+        1,
+        Duration::from_micros(10),
+    )));
+    assert_eq!(after.wait().outcome, QueryOutcome::Completed);
+    let summary = service.shutdown();
+    assert_eq!(summary.rejected(), 1);
+    assert_eq!(summary.completed(), 2);
+    assert_eq!(pool.reserved(), 0);
 }
 
 /// A deadline-cancelled query must resolve promptly even when every
