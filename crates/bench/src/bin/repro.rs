@@ -7,13 +7,17 @@
 //! experiments: fig6 fig11 table1 table2 table3 summary numa_placement
 //!              numa_micro fig12 fig13 interference all
 //! extras:      service_load  (wall-clock serving scenario; not part of "all")
+//!              service_load_zipf  (skewed SQL replay through the plan/result
+//!                             caches, one row per caching mode)
 //!              plan_quality  (cost-based planner vs hand-authored plans)
 //!              explain <q>   (planner join order + est/actual rows, e.g.
 //!                             `explain q5` or `explain ssb2.1`)
 //!              explain --sql "<text>"  (same, for a SQL query)
 //!              sql "<text>"  (parse, bind, plan, and execute SQL text
 //!                             against the generated DB; `--db` picks
-//!                             TPC-H (default) or SSB)
+//!                             TPC-H (default) or SSB; `--repeat N` re-runs
+//!                             through the plan cache and reports each
+//!                             run's hit/miss)
 //! ```
 //!
 //! `sql` and `explain --sql` exit non-zero on any parse/bind error,
@@ -33,6 +37,7 @@ fn main() {
     let mut explain_targets: Vec<ExplainTarget> = Vec::new();
     let mut sql_texts: Vec<String> = Vec::new();
     let mut db = SqlDb::Tpch;
+    let mut repeat = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -76,6 +81,14 @@ fn main() {
                     .parse()
                     .unwrap();
             }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .expect("--repeat needs a value")
+                    .parse()
+                    .expect("--repeat must be a positive integer");
+                assert!(repeat > 0, "--repeat must be at least 1");
+            }
             "--morsel" => {
                 cfg.morsel_size = args
                     .next()
@@ -99,8 +112,9 @@ fn main() {
              experiments: fig6 fig11 table1 table2 table3 summary numa_placement\n\
              \x20            numa_micro fig12 fig13 interference all\n\
              extras: service_load (wall-clock serving scenario)\n\
+             \x20       service_load_zipf (skewed replay through the caches)\n\
              \x20       plan_quality | explain <q> | explain --sql \"<text>\"\n\
-             \x20       sql \"<text>\" (full text -> plan -> execute path)"
+             \x20       sql \"<text>\" [--repeat N] (full text -> plan -> execute path)"
         );
         std::process::exit(2);
     }
@@ -129,7 +143,7 @@ fn main() {
     }
     for text in &sql_texts {
         let (catalog, scale) = sql_catalog.as_ref().unwrap();
-        match morsel_bench::run_sql_in(&cfg, db, catalog, *scale, text) {
+        match morsel_bench::run_sql_in(&cfg, db, catalog, *scale, text, repeat) {
             Ok(out) => println!("{out}"),
             Err(diag) => fail(diag),
         }
@@ -167,6 +181,7 @@ fn main() {
             "fig13" => experiments::fig13(&cfg),
             "interference" => experiments::interference(&cfg),
             "service_load" => morsel_bench::service_load(&cfg),
+            "service_load_zipf" => morsel_bench::service_load_zipf(&cfg),
             "plan_quality" => morsel_bench::plan_quality(&cfg),
             other => {
                 eprintln!("unknown experiment {other:?}");

@@ -19,4 +19,4 @@ pub use plan_quality::{
     explain_query, explain_sql, explain_sql_in, plan_quality, run_sql, run_sql_in, sql_catalog,
     SqlDb,
 };
-pub use service_load::service_load;
+pub use service_load::{service_load, service_load_zipf};

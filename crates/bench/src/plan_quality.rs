@@ -272,9 +272,11 @@ pub fn sql_catalog(cfg: &ExpConfig, db: SqlDb) -> (Catalog, f64) {
 /// The `repro sql "<text>"` command: lex → parse → bind → plan → execute
 /// against the generated TPC-H or SSB database. Errors return the
 /// rendered caret diagnostic so the CLI (and CI) can fail loudly.
-pub fn run_sql(cfg: &ExpConfig, db: SqlDb, sql: &str) -> Result<String, String> {
+/// `repeat` > 1 re-executes through the session plan cache, reporting
+/// each run's cache disposition (the second run reports a hit).
+pub fn run_sql(cfg: &ExpConfig, db: SqlDb, sql: &str, repeat: usize) -> Result<String, String> {
     let (catalog, scale) = sql_catalog(cfg, db);
-    run_sql_in(cfg, db, &catalog, scale, sql)
+    run_sql_in(cfg, db, &catalog, scale, sql, repeat)
 }
 
 /// [`run_sql`] against a prebuilt catalog.
@@ -284,45 +286,73 @@ pub fn run_sql_in(
     catalog: &Catalog,
     scale: f64,
     sql: &str,
+    repeat: usize,
 ) -> Result<String, String> {
+    assert!(repeat > 0, "--repeat needs at least one run");
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let planner = Planner::new(&topo);
-    let logical = morsel_sql::plan_sql(catalog, sql).map_err(|e| e.render(sql))?;
-    let (lowered, report) = planner.plan_with_report(&logical);
-    let schema = logical.schema();
-
-    let started = std::time::Instant::now();
-    let outcome = run_sim(
-        &env,
-        "sql",
-        lowered,
+    let session = morsel_service::SqlSession::new(
+        catalog.clone(),
+        Planner::new(&topo),
         SystemVariant::full(),
-        16,
-        cfg.morsel_size,
     );
-    let wall = started.elapsed();
 
     let mut out = format!(
         "sql ({db:?} scale {scale}, workers 16)\n> {}\n\n",
         sql.trim()
     );
-    for b in &report.blocks {
-        out.push_str(&format!("join order: {}\n", b.order));
+    for run in 1..=repeat {
+        let plan_started = std::time::Instant::now();
+        let (handle, disposition) = session.plan_cached(sql).map_err(|e| e.render(sql))?;
+        let plan_wall = plan_started.elapsed();
+        let started = std::time::Instant::now();
+        let outcome = run_sim(
+            &env,
+            "sql",
+            handle.plan.clone(),
+            SystemVariant::full(),
+            16,
+            cfg.morsel_size,
+        );
+        let wall = started.elapsed();
+
+        if run == 1 {
+            for b in &handle.report.blocks {
+                out.push_str(&format!("join order: {}\n", b.order));
+            }
+            out.push_str(&format!("columns: {}\n", handle.schema.names().join(" | ")));
+            let rows = outcome.result.rows();
+            for line in format_rows(&outcome.result, 20) {
+                out.push_str(&format!("  {line}\n"));
+            }
+            if rows > 20 {
+                out.push_str(&format!("  ... ({} more rows)\n", rows - 20));
+            }
+            out.push_str(&format!(
+                "{rows} row(s); {:.1} ms simulated, {:.1} ms wall\n",
+                outcome.seconds() * 1e3,
+                wall.as_secs_f64() * 1e3,
+            ));
+        }
+        if repeat > 1 {
+            out.push_str(&format!(
+                "run {run}: plan cache {} ({:.1} µs parse+plan), {:.1} ms simulated, \
+                 {:.1} ms wall\n",
+                match disposition {
+                    morsel_service::CacheDisposition::Hit => "hit",
+                    morsel_service::CacheDisposition::Miss => "miss",
+                    morsel_service::CacheDisposition::Bypass => "bypass",
+                },
+                plan_wall.as_secs_f64() * 1e6,
+                outcome.seconds() * 1e3,
+                wall.as_secs_f64() * 1e3,
+            ));
+        }
     }
-    out.push_str(&format!("columns: {}\n", schema.names().join(" | ")));
-    let rows = outcome.result.rows();
-    for line in format_rows(&outcome.result, 20) {
-        out.push_str(&format!("  {line}\n"));
+    if repeat > 1 {
+        let stats = session.stats();
+        out.push_str(&format!("{stats}\n"));
     }
-    if rows > 20 {
-        out.push_str(&format!("  ... ({} more rows)\n", rows - 20));
-    }
-    out.push_str(&format!(
-        "{rows} row(s); {:.1} ms simulated, {:.1} ms wall\n",
-        outcome.seconds() * 1e3,
-        wall.as_secs_f64() * 1e3,
-    ));
     Ok(out)
 }
 
@@ -382,6 +412,7 @@ mod tests {
             SqlDb::Tpch,
             "SELECT l_returnflag, COUNT(*) AS n FROM lineitem \
              GROUP BY l_returnflag ORDER BY l_returnflag",
+            1,
         )
         .expect("valid SQL runs");
         assert!(out.contains("columns: l_returnflag | n"), "{out}");
@@ -392,14 +423,36 @@ mod tests {
             SqlDb::Ssb,
             "SELECT d_year, SUM(lo_revenue) AS revenue FROM lineorder \
              JOIN date ON lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year",
+            1,
         )
         .expect("SSB SQL runs");
         assert!(ssb.contains("join order"), "{ssb}");
 
-        let err = run_sql(&cfg, SqlDb::Tpch, "SELECT nope FROM lineitem")
+        let err = run_sql(&cfg, SqlDb::Tpch, "SELECT nope FROM lineitem", 1)
             .expect_err("unknown column must fail");
         assert!(err.contains("unknown column"), "{err}");
         assert!(err.contains('^'), "diagnostic rendered: {err}");
+    }
+
+    #[test]
+    fn repeated_sql_reports_a_plan_cache_hit() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            ssb_scale: 0.002,
+            quick: true,
+            ..Default::default()
+        };
+        let out = run_sql(
+            &cfg,
+            SqlDb::Tpch,
+            "SELECT SUM(l_extendedprice) AS total FROM lineitem WHERE l_quantity < 24",
+            3,
+        )
+        .expect("valid SQL runs");
+        assert!(out.contains("run 1: plan cache miss"), "{out}");
+        assert!(out.contains("run 2: plan cache hit"), "{out}");
+        assert!(out.contains("run 3: plan cache hit"), "{out}");
+        assert!(out.contains("plan cache: 2 hit / 1 miss"), "{out}");
     }
 
     #[test]

@@ -139,6 +139,153 @@ pub fn service_load(cfg: &ExpConfig) -> String {
     )
 }
 
+// ------------------------------------------------- Zipfian SQL replay
+
+/// Client count for the Zipfian replay (the acceptance bar wants a
+/// many-client skewed mix).
+const ZIPF_CLIENTS: usize = 8;
+/// Queries per client per mode.
+const ZIPF_PER_CLIENT: usize = 24;
+/// Zipf exponent: rank r drawn with weight 1/(r+1)^s.
+const ZIPF_EXPONENT: f64 = 1.3;
+
+/// Deterministic Zipf rank for `(client, seq)` over `n` shapes, so the
+/// cached and uncached modes replay byte-identical query sequences.
+fn zipf_pick(client: usize, seq: usize, n: usize) -> usize {
+    // SplitMix-style scramble of the (client, seq) coordinate.
+    let mut x = (client as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq as u64)
+        .wrapping_add(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let u = x as f64 / u64::MAX as f64;
+    let weights: Vec<f64> = (0..n)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(ZIPF_EXPONENT))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for (r, w) in weights.iter().enumerate() {
+        acc += w / total;
+        if u < acc {
+            return r;
+        }
+    }
+    n - 1
+}
+
+/// The `service_load_zipf` experiment: a skewed (Zipfian) SQL replay of
+/// the TPC-H fixture texts through the service's [`morsel_service::SqlSession`], once
+/// per caching mode, over identical query sequences. What to look for:
+/// the plan-cache rows keep the same completion counts (cached plans
+/// are equivalent) at a higher sustained q/s, with a plan-cache hit
+/// rate ≥ 90% (misses are bounded by the number of distinct shapes).
+///
+/// Emits one machine-parseable `RESULT mode=… hits=… misses=…
+/// hit_rate=… qps=…` line per mode for CI's assertions.
+pub fn service_load_zipf(cfg: &ExpConfig) -> String {
+    use morsel_planner::Planner;
+    use morsel_queries::tpch_sql;
+    use morsel_service::SqlSession;
+
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let tpch = generate_tpch(
+        TpchConfig {
+            scale: cfg.scale,
+            ..Default::default()
+        },
+        &topo,
+    );
+    let catalog = tpch.catalog();
+    let fixtures: Vec<(usize, &'static str)> = tpch_sql::all();
+    let workers = cfg.workers.min(4);
+
+    // (label, plan caching, result caching)
+    let modes: [(&str, bool, bool); 3] = [
+        ("uncached", false, false),
+        ("plan", true, false),
+        ("plan+result", true, true),
+    ];
+    let mut t = Table::new(&[
+        "mode",
+        "done",
+        "fail",
+        "q/s",
+        "plan hit",
+        "plan miss",
+        "hit %",
+        "result hit",
+    ]);
+    let mut result_lines = String::new();
+    for (label, plan_caching, result_caching) in modes {
+        let service = QueryService::start(
+            env.clone(),
+            ServiceConfig::new(workers)
+                .with_morsel_size(cfg.morsel_size.max(2_048))
+                .with_max_in_flight(workers.max(2))
+                .with_max_queue(4 * ZIPF_CLIENTS + 8),
+        );
+        let session = SqlSession::for_service(
+            &service,
+            catalog.clone(),
+            Planner::new(&topo),
+            SystemVariant::full(),
+        )
+        .with_plan_caching(plan_caching)
+        .with_result_caching(result_caching);
+        std::thread::scope(|scope| {
+            for client in 0..ZIPF_CLIENTS {
+                let service = &service;
+                let session = &session;
+                let fixtures = &fixtures;
+                scope.spawn(move || {
+                    for seq in 0..ZIPF_PER_CLIENT {
+                        let (q, sql) = fixtures[zipf_pick(client, seq, fixtures.len())];
+                        session
+                            .execute(service, format!("z{client}-{seq}-q{q}"), sql)
+                            .expect("fixture SQL binds");
+                    }
+                });
+            }
+        });
+        let summary = service.shutdown();
+        let stats = summary.cache;
+        t.row(vec![
+            label.to_owned(),
+            summary.completed().to_string(),
+            summary.failed().to_string(),
+            format!("{:.1}", summary.throughput_qps()),
+            stats.plan_hits.to_string(),
+            stats.plan_misses.to_string(),
+            format!("{:.1}", stats.plan_hit_rate() * 100.0),
+            stats.result_hits.to_string(),
+        ]);
+        result_lines.push_str(&format!(
+            "RESULT mode={label} completed={} hits={} misses={} hit_rate={:.3} \
+             result_hits={} qps={:.2}\n",
+            summary.completed(),
+            stats.plan_hits,
+            stats.plan_misses,
+            stats.plan_hit_rate(),
+            stats.result_hits,
+            summary.throughput_qps(),
+        ));
+    }
+    format!(
+        "Service load (Zipfian replay) — {ZIPF_CLIENTS} closed-loop clients, \
+         {ZIPF_PER_CLIENT} queries each, Zipf(s={ZIPF_EXPONENT}) over {} TPC-H SQL \
+         fixtures (SF {}), {workers} workers; identical sequences per mode\n{}\n{}",
+        fixtures.len(),
+        cfg.scale,
+        t.render(),
+        result_lines
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +307,66 @@ mod tests {
                 "missing row for {c} clients:\n{out}"
             );
         }
+    }
+
+    #[test]
+    fn zipf_replay_modes_share_sequences_and_cache_pays_off() {
+        let cfg = ExpConfig {
+            scale: 0.001,
+            ssb_scale: 0.001,
+            workers: 2,
+            morsel_size: 2048,
+            quick: true,
+        };
+        let out = service_load_zipf(&cfg);
+        for mode in ["uncached", "plan", "plan+result"] {
+            assert!(
+                out.contains(&format!("RESULT mode={mode} ")),
+                "missing RESULT line for {mode}:\n{out}"
+            );
+        }
+        let field = |mode: &str, key: &str| -> f64 {
+            out.lines()
+                .find(|l| l.starts_with(&format!("RESULT mode={mode} ")))
+                .and_then(|l| {
+                    l.split_whitespace()
+                        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+                })
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("no {key} for {mode}:\n{out}"))
+        };
+        let submissions = (ZIPF_CLIENTS * ZIPF_PER_CLIENT) as f64;
+        assert_eq!(field("uncached", "completed"), submissions);
+        assert_eq!(field("plan", "completed"), submissions);
+        assert_eq!(field("uncached", "hits") + field("uncached", "misses"), 0.0);
+        // Every submission consults the cache; misses are bounded by the
+        // number of distinct shapes, so the skewed replay hits >= 90%.
+        assert_eq!(
+            field("plan", "hits") + field("plan", "misses"),
+            submissions,
+            "every plan-cached submission is a hit or a miss"
+        );
+        assert!(
+            field("plan", "hit_rate") >= 0.9,
+            "plan-cache hit rate below 90%:\n{out}"
+        );
+        assert!(
+            field("plan+result", "result_hits") > 0.0,
+            "result cache never hit:\n{out}"
+        );
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_and_skewed() {
+        let n = 12;
+        let picks: Vec<usize> = (0..256).map(|s| zipf_pick(3, s, n)).collect();
+        let again: Vec<usize> = (0..256).map(|s| zipf_pick(3, s, n)).collect();
+        assert_eq!(picks, again, "same coordinates, same ranks");
+        assert!(picks.iter().all(|&r| r < n));
+        let head = picks.iter().filter(|&&r| r < 3).count();
+        assert!(
+            head * 2 > picks.len(),
+            "Zipf head (top 3 of {n}) drew only {head}/256"
+        );
     }
 }

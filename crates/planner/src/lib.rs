@@ -35,4 +35,4 @@ pub use joinorder::{
     enumerate, left_deep_cost, GraphEdge, GraphNode, JoinGraph, JoinTree, DP_BUDGET_DEFAULT,
 };
 pub use logical::{AggSpec, LogicalPlan, OrderBy};
-pub use lower::{BlockReport, PlanReport, Planner};
+pub use lower::{BlockReport, PlanHandle, PlanReport, Planner};

@@ -50,6 +50,19 @@ pub struct PlanReport {
     pub blocks: Vec<BlockReport>,
 }
 
+/// A cacheable planning product: the physical [`Plan`] plus everything a
+/// cache needs to replay an execution without re-planning — the output
+/// [`Schema`] (for result wiring) and the [`PlanReport`] (so a cache hit
+/// can still explain itself). `Plan` is `Clone`, so a handle can be
+/// stored once and cloned per execution; only `compile_query` (cheap,
+/// per-run) happens on the hit path.
+#[derive(Clone)]
+pub struct PlanHandle {
+    pub plan: Plan,
+    pub schema: Schema,
+    pub report: PlanReport,
+}
+
 /// The cost-based planner.
 pub struct Planner {
     pub params: CostParams,
@@ -98,6 +111,18 @@ impl Planner {
              finish the query with a Project or Aggregate to pin column order"
         );
         (lowered, report)
+    }
+
+    /// Lower into a self-describing [`PlanHandle`] — the unit a plan
+    /// cache stores.
+    pub fn plan_handle(&self, lp: &LogicalPlan) -> PlanHandle {
+        let (plan, report) = self.plan_with_report(lp);
+        let schema = plan.schema();
+        PlanHandle {
+            plan,
+            schema,
+            report,
+        }
     }
 
     /// Recursive lowering. `needed` is the set of output column names the

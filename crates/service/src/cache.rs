@@ -1,0 +1,627 @@
+//! Prepared statements and the service's plan / result caches.
+//!
+//! A [`SqlSession`] is the stateful SQL entry point for one catalog:
+//! it owns three layers, each skippable, each observable through
+//! [`CacheCounters`]:
+//!
+//! 1. **Prepared statements** — [`SqlSession::prepare`] lexes and
+//!    parses once; [`SqlSession::execute_prepared`] splices
+//!    [`LiteralValue`] parameters over the `?`/`$n` placeholders and
+//!    continues down the same path as ad-hoc text.
+//! 2. **Plan cache** — a bounded LRU keyed on the normalized
+//!    [`ShapeKey`] (literals stripped, whitespace- and
+//!    table-alias-insensitive; see `morsel_sql::normalize`). Because
+//!    physical plans embed folded constants and literal-dependent
+//!    cardinality estimates, a shape hit alone is *not* sufficient:
+//!    every entry also guards on the exact literal vector and the
+//!    catalog version it was planned under, and a guard mismatch
+//!    replans (overwriting the entry) instead of serving a wrong plan.
+//!    A hit skips parse→bind→DPsize→lowering and goes straight to the
+//!    cheap per-run pipeline compile.
+//! 3. **Result cache** (opt-in) — completed aggregate results keyed on
+//!    the full canonical query text plus the catalog version. Explicit
+//!    invalidation: [`SqlSession::update_catalog`] (bumps the version,
+//!    so stale entries can never be served) and
+//!    [`SqlSession::invalidate_results`] (drops everything now).
+//!
+//! Planning happens *under* the session's cache lock, which makes cold
+//! planning single-flight: N concurrent clients racing one cold shape
+//! produce exactly one plan and N−1 hits. A query that terminates
+//! [`QueryOutcome::Failed`] evicts its plan entry (counted in
+//! [`CacheStats::plan_poisoned`]) so a poisoned plan is never served
+//! from cache; the next submission of that shape replans from scratch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use morsel_exec::plan::compile_query;
+use morsel_exec::SystemVariant;
+use morsel_planner::{PlanHandle, Planner};
+use morsel_sql::normalize::{param_count, same_literals, shape_of};
+use morsel_sql::{bind_params, parse, Binder, LiteralValue, Select, ShapeKey, SqlError};
+use morsel_storage::{Batch, Catalog};
+use parking_lot::Mutex;
+
+use crate::service::{QueryReport, QueryRequest, QueryService};
+use morsel_core::QueryOutcome;
+
+// ------------------------------------------------------------ counters
+
+/// Live cache counters, shared between a session and (optionally) the
+/// [`QueryService`] it executes through, so [`crate::ServiceReport`]
+/// can include them at shutdown.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
+    /// Guard mismatches: shape present but literals or catalog version
+    /// differed, forcing a replan (also counted as a miss).
+    plan_invalidations: AtomicU64,
+    /// Entries evicted because their query failed.
+    plan_poisoned: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    result_invalidations: AtomicU64,
+}
+
+impl CacheCounters {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting (individual counters
+    /// are exact; cross-counter sums can lag in-flight updates).
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+            plan_invalidations: self.plan_invalidations.load(Ordering::Relaxed),
+            plan_poisoned: self.plan_poisoned.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            result_invalidations: self.result_invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time cache statistics (see [`CacheCounters::snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub plan_evictions: u64,
+    pub plan_invalidations: u64,
+    pub plan_poisoned: u64,
+    pub result_hits: u64,
+    pub result_misses: u64,
+    pub result_invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total plan-cache lookups (hits + misses).
+    pub fn plan_lookups(&self) -> u64 {
+        self.plan_hits + self.plan_misses
+    }
+
+    /// Fraction of plan lookups served from cache (0 when none ran).
+    pub fn plan_hit_rate(&self) -> f64 {
+        match self.plan_lookups() {
+            0 => 0.0,
+            n => self.plan_hits as f64 / n as f64,
+        }
+    }
+
+    /// Did any cached lookup happen at all?
+    pub fn is_active(&self) -> bool {
+        self.plan_lookups() + self.result_hits + self.result_misses > 0
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan cache: {} hit / {} miss ({:.1}% hit rate, {} evicted, \
+             {} invalidated, {} poisoned)  result cache: {} hit / {} miss \
+             ({} invalidated)",
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_hit_rate() * 100.0,
+            self.plan_evictions,
+            self.plan_invalidations,
+            self.plan_poisoned,
+            self.result_hits,
+            self.result_misses,
+            self.result_invalidations,
+        )
+    }
+}
+
+// ------------------------------------------------- prepared statements
+
+/// A parsed-once query template with `?` / `$n` placeholders.
+///
+/// Preparing stops after the parse: binding needs concrete literal
+/// types (the binder constant-folds dates and validates comparisons),
+/// so name resolution and planning happen on first execution — and are
+/// then amortized by the plan cache, since a template and every query
+/// bound from it share one [`ShapeKey`].
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    template: Select,
+    shape: ShapeKey,
+    params: usize,
+}
+
+impl PreparedStatement {
+    /// Number of parameter values [`SqlSession::execute_prepared`] expects.
+    pub fn param_count(&self) -> usize {
+        self.params
+    }
+
+    /// The normalized plan-cache key this statement executes under.
+    pub fn shape(&self) -> &ShapeKey {
+        &self.shape
+    }
+
+    /// The canonical text of the template (placeholders print as `$n`).
+    pub fn text(&self) -> String {
+        self.template.to_string()
+    }
+}
+
+// ------------------------------------------------------- cache bodies
+
+/// How one execution interacted with a cache layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    Hit,
+    Miss,
+    /// The layer was disabled or the query was ineligible for it.
+    Bypass,
+}
+
+struct PlanEntry {
+    literals: Vec<LiteralValue>,
+    catalog_version: u64,
+    handle: PlanHandle,
+    last_used: u64,
+}
+
+/// Bounded shape → plan LRU. Small by design (tens of entries): the
+/// eviction scan is O(len) and irrelevant next to a single DPsize run.
+struct PlanCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<ShapeKey, PlanEntry>,
+}
+
+impl PlanCache {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn insert(&mut self, key: ShapeKey, entry: PlanEntry, counters: &CacheCounters) {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                CacheCounters::bump(&counters.plan_evictions);
+            }
+        }
+        self.entries.insert(key, entry);
+    }
+}
+
+struct ResultEntry {
+    catalog_version: u64,
+    rows: Batch,
+    last_used: u64,
+}
+
+struct SessionCaches {
+    plans: PlanCache,
+    results: HashMap<String, ResultEntry>,
+}
+
+// ------------------------------------------------------------ session
+
+/// One completed SQL execution through a [`SqlSession`].
+#[derive(Debug, Clone)]
+pub struct SqlExecution {
+    /// The service's terminal report (outcome, latency, priority).
+    pub report: QueryReport,
+    /// The result batch, when the query completed.
+    pub rows: Option<Batch>,
+    /// Whether the physical plan came from the plan cache.
+    pub plan_cache: CacheDisposition,
+    /// Whether the rows came from the result cache.
+    pub result_cache: CacheDisposition,
+    /// Time spent in parse + cache lookup + (on a miss) bind/plan.
+    pub plan_ns: u64,
+}
+
+/// The stateful SQL front end: catalog + planner + caches. See the
+/// [module docs](self).
+///
+/// Lock order is `caches → catalog`, never the reverse: planning holds
+/// the cache lock (that is what makes it single-flight) and briefly
+/// takes the catalog inside it; [`SqlSession::update_catalog`] takes
+/// only the catalog lock.
+pub struct SqlSession {
+    catalog: Mutex<Catalog>,
+    planner: Planner,
+    variant: SystemVariant,
+    caches: Mutex<SessionCaches>,
+    counters: Arc<CacheCounters>,
+    plan_caching: bool,
+    result_caching: bool,
+}
+
+/// Default plan-cache capacity (distinct shapes retained).
+pub const PLAN_CACHE_CAPACITY_DEFAULT: usize = 64;
+
+impl SqlSession {
+    /// A standalone session with its own private counters.
+    pub fn new(catalog: Catalog, planner: Planner, variant: SystemVariant) -> Self {
+        SqlSession {
+            catalog: Mutex::new(catalog),
+            planner,
+            variant,
+            caches: Mutex::new(SessionCaches {
+                plans: PlanCache {
+                    capacity: PLAN_CACHE_CAPACITY_DEFAULT,
+                    clock: 0,
+                    entries: HashMap::new(),
+                },
+                results: HashMap::new(),
+            }),
+            counters: Arc::new(CacheCounters::default()),
+            plan_caching: true,
+            result_caching: false,
+        }
+    }
+
+    /// A session whose counters feed `service`'s shutdown report.
+    pub fn for_service(
+        service: &QueryService,
+        catalog: Catalog,
+        planner: Planner,
+        variant: SystemVariant,
+    ) -> Self {
+        let mut session = SqlSession::new(catalog, planner, variant);
+        session.counters = Arc::clone(service.cache_counters());
+        session
+    }
+
+    /// Bound on distinct shapes the plan cache retains (LRU beyond it).
+    pub fn with_plan_cache_capacity(self, capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        self.caches.lock().plans.capacity = capacity;
+        self
+    }
+
+    /// Ablation knob: disable the plan cache entirely (every execution
+    /// parses, binds, and plans from scratch).
+    pub fn with_plan_caching(mut self, enabled: bool) -> Self {
+        self.plan_caching = enabled;
+        self
+    }
+
+    /// Opt into the result cache for aggregate queries.
+    pub fn with_result_caching(mut self, enabled: bool) -> Self {
+        self.result_caching = enabled;
+        self
+    }
+
+    /// This session's live counters (shared with the service when built
+    /// via [`SqlSession::for_service`]).
+    pub fn counters(&self) -> &Arc<CacheCounters> {
+        &self.counters
+    }
+
+    /// Snapshot of the session's cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    /// Run `f` over the catalog and advance its version, invalidating
+    /// every cached plan and result bound against the old one. The
+    /// version advances even if `f` only mutates data in place (the
+    /// explicit invalidation hook for changes the table map cannot see).
+    pub fn update_catalog<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        let mut cat = self.catalog.lock();
+        let before = cat.version();
+        let out = f(&mut cat);
+        if cat.version() == before {
+            cat.bump_version();
+        }
+        out
+    }
+
+    /// Drop every cached result now (counted per entry dropped). Plans
+    /// survive: they are invalidated by catalog version, not by data
+    /// freshness policy.
+    pub fn invalidate_results(&self) {
+        let mut caches = self.caches.lock();
+        let dropped = caches.results.len() as u64;
+        caches.results.clear();
+        self.counters
+            .result_invalidations
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Parse `sql` into a reusable template. Placeholder arity is
+    /// validated here; names and types are validated on first execution
+    /// (binding needs concrete literals).
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, SqlError> {
+        let template = parse(sql)?;
+        let (shape, _) = shape_of(&template);
+        let params = param_count(&template);
+        Ok(PreparedStatement {
+            template,
+            shape,
+            params,
+        })
+    }
+
+    /// Resolve `select` to a physical plan, through the plan cache when
+    /// enabled. Returns the handle and how the cache treated the lookup.
+    ///
+    /// Planning runs under the cache lock, so concurrent executions of
+    /// one cold shape plan exactly once (single-flight) — the others
+    /// block briefly and then hit.
+    fn resolve_plan(&self, select: &Select) -> Result<(PlanHandle, CacheDisposition), SqlError> {
+        if !self.plan_caching {
+            let cat = self.catalog.lock();
+            let logical = Binder::new(&cat).bind(select)?;
+            return Ok((self.planner.plan_handle(&logical), CacheDisposition::Bypass));
+        }
+        let (key, literals) = shape_of(select);
+        let mut caches = self.caches.lock();
+        let stamp = caches.plans.touch();
+        let version = self.catalog.lock().version();
+        let mut invalidated = false;
+        if let Some(entry) = caches.plans.entries.get_mut(&key) {
+            if entry.catalog_version == version && same_literals(&entry.literals, &literals) {
+                entry.last_used = stamp;
+                CacheCounters::bump(&self.counters.plan_hits);
+                return Ok((entry.handle.clone(), CacheDisposition::Hit));
+            }
+            // Same shape, different literals or stale catalog: the
+            // cached plan would embed the wrong constants. Replan and
+            // let the fresh entry overwrite this one.
+            invalidated = true;
+        }
+        CacheCounters::bump(&self.counters.plan_misses);
+        if invalidated {
+            CacheCounters::bump(&self.counters.plan_invalidations);
+        }
+        let handle = {
+            let cat = self.catalog.lock();
+            let logical = Binder::new(&cat).bind(select)?;
+            self.planner.plan_handle(&logical)
+        };
+        caches.plans.insert(
+            key,
+            PlanEntry {
+                literals,
+                catalog_version: version,
+                handle: handle.clone(),
+                last_used: stamp,
+            },
+            &self.counters,
+        );
+        Ok((handle, CacheDisposition::Miss))
+    }
+
+    /// Execute ad-hoc SQL text through `service`.
+    pub fn execute(
+        &self,
+        service: &QueryService,
+        name: impl Into<String>,
+        sql: &str,
+    ) -> Result<SqlExecution, SqlError> {
+        self.execute_with(service, name, sql, |r| r)
+    }
+
+    /// [`SqlSession::execute`] with a hook to decorate the submission
+    /// (deadline, memory cap) before it enters admission.
+    pub fn execute_with(
+        &self,
+        service: &QueryService,
+        name: impl Into<String>,
+        sql: &str,
+        configure: impl FnOnce(QueryRequest) -> QueryRequest,
+    ) -> Result<SqlExecution, SqlError> {
+        let select = parse(sql)?;
+        self.execute_select(service, name.into(), &select, configure)
+    }
+
+    /// Execute a prepared statement with `params` bound over its
+    /// placeholders.
+    pub fn execute_prepared(
+        &self,
+        service: &QueryService,
+        name: impl Into<String>,
+        statement: &PreparedStatement,
+        params: &[LiteralValue],
+    ) -> Result<SqlExecution, SqlError> {
+        let select = bind_params(&statement.template, params)?;
+        self.execute_select(service, name.into(), &select, |r| r)
+    }
+
+    fn execute_select(
+        &self,
+        service: &QueryService,
+        name: String,
+        select: &Select,
+        configure: impl FnOnce(QueryRequest) -> QueryRequest,
+    ) -> Result<SqlExecution, SqlError> {
+        let started = Instant::now();
+        // Result-cache eligibility: aggregate output only. Aggregates
+        // collapse the data to a few rows, so caching them is cheap and
+        // high-value; raw scans could pin arbitrarily large batches.
+        let eligible = self.result_caching
+            && (!select.group_by.is_empty() || select.items.iter().any(|i| i.expr.has_agg()));
+        let result_key = if eligible {
+            let text = select.to_string();
+            let mut caches = self.caches.lock();
+            let stamp = caches.plans.touch();
+            let version = self.catalog.lock().version();
+            match caches.results.get_mut(&text) {
+                Some(entry) if entry.catalog_version == version => {
+                    entry.last_used = stamp;
+                    let rows = entry.rows.clone();
+                    drop(caches);
+                    CacheCounters::bump(&self.counters.result_hits);
+                    let report = service.complete_cached(&name).wait();
+                    let rows = (report.outcome == QueryOutcome::Completed).then_some(rows);
+                    return Ok(SqlExecution {
+                        report,
+                        rows,
+                        plan_cache: CacheDisposition::Bypass,
+                        result_cache: CacheDisposition::Hit,
+                        plan_ns: started.elapsed().as_nanos() as u64,
+                    });
+                }
+                Some(_) => {
+                    // Stale version: drop it now rather than serve it
+                    // ever again.
+                    caches.results.remove(&text);
+                    CacheCounters::bump(&self.counters.result_invalidations);
+                    CacheCounters::bump(&self.counters.result_misses);
+                }
+                None => CacheCounters::bump(&self.counters.result_misses),
+            }
+            Some(text)
+        } else {
+            None
+        };
+
+        let (handle, plan_disposition) = self.resolve_plan(select)?;
+        let plan_ns = started.elapsed().as_nanos() as u64;
+        let (spec, slot) = compile_query(name, handle.plan.clone(), self.variant);
+        let ticket = service.submit(configure(QueryRequest::new(spec)));
+        let report = ticket.wait();
+
+        match report.outcome {
+            QueryOutcome::Completed => {
+                let rows = slot.lock().take();
+                if let (Some(key), Some(batch)) = (result_key, rows.as_ref()) {
+                    let mut caches = self.caches.lock();
+                    let stamp = caches.plans.touch();
+                    // Re-read the version: if the catalog moved while we
+                    // executed, this result is already stale — skip it.
+                    let version = self.catalog.lock().version();
+                    if self.plan_caching {
+                        // Guard against a racing update: only fill if the
+                        // plan we ran is still what the cache would serve.
+                        let (shape, _) = shape_of(select);
+                        let current = caches.plans.entries.get(&shape);
+                        if current.is_none_or(|e| e.catalog_version != version) {
+                            return Ok(SqlExecution {
+                                report,
+                                rows,
+                                plan_cache: plan_disposition,
+                                result_cache: CacheDisposition::Miss,
+                                plan_ns,
+                            });
+                        }
+                    }
+                    caches.results.insert(
+                        key,
+                        ResultEntry {
+                            catalog_version: version,
+                            rows: batch.clone(),
+                            last_used: stamp,
+                        },
+                    );
+                }
+                Ok(SqlExecution {
+                    report,
+                    rows,
+                    plan_cache: plan_disposition,
+                    result_cache: if eligible {
+                        CacheDisposition::Miss
+                    } else {
+                        CacheDisposition::Bypass
+                    },
+                    plan_ns,
+                })
+            }
+            QueryOutcome::Failed(_) => {
+                // Never retain a plan whose execution failed: evict the
+                // shape so the next submission replans cold.
+                if self.plan_caching {
+                    let (shape, literals) = shape_of(select);
+                    let mut caches = self.caches.lock();
+                    if let Some(entry) = caches.plans.entries.get(&shape) {
+                        if same_literals(&entry.literals, &literals) {
+                            caches.plans.entries.remove(&shape);
+                            CacheCounters::bump(&self.counters.plan_poisoned);
+                        }
+                    }
+                }
+                Ok(SqlExecution {
+                    report,
+                    rows: None,
+                    plan_cache: plan_disposition,
+                    result_cache: if eligible {
+                        CacheDisposition::Miss
+                    } else {
+                        CacheDisposition::Bypass
+                    },
+                    plan_ns,
+                })
+            }
+            QueryOutcome::Cancelled | QueryOutcome::Rejected(_) => Ok(SqlExecution {
+                report,
+                rows: None,
+                plan_cache: plan_disposition,
+                result_cache: if eligible {
+                    CacheDisposition::Miss
+                } else {
+                    CacheDisposition::Bypass
+                },
+                plan_ns,
+            }),
+        }
+    }
+
+    /// Cache-aware planning without execution: parse, consult the plan
+    /// cache, plan on a miss. Public for tests and tooling that drive
+    /// the executor directly (e.g. the planner-equivalence oracle).
+    pub fn plan_cached(&self, sql: &str) -> Result<(PlanHandle, CacheDisposition), SqlError> {
+        let select = parse(sql)?;
+        self.resolve_plan(&select)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_math() {
+        let counters = CacheCounters::default();
+        counters.plan_hits.store(9, Ordering::Relaxed);
+        counters.plan_misses.store(1, Ordering::Relaxed);
+        let stats = counters.snapshot();
+        assert_eq!(stats.plan_lookups(), 10);
+        assert!((stats.plan_hit_rate() - 0.9).abs() < 1e-12);
+        assert!(stats.is_active());
+        assert!(stats.to_string().contains("90.0% hit rate"));
+        assert!(!CacheStats::default().is_active());
+        assert_eq!(CacheStats::default().plan_hit_rate(), 0.0);
+    }
+}

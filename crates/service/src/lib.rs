@@ -45,12 +45,16 @@
 //! ```
 
 pub mod admission;
+pub mod cache;
 pub mod client;
 pub mod histogram;
 pub mod service;
 pub mod sql;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue};
+pub use cache::{
+    CacheCounters, CacheDisposition, CacheStats, PreparedStatement, SqlExecution, SqlSession,
+};
 pub use client::{run_closed_loop, LoadRun};
 pub use histogram::{fmt_ns, LatencyHistogram};
 pub use service::{

@@ -29,6 +29,7 @@ use morsel_core::{
 use parking_lot::Mutex;
 
 use crate::admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue};
+use crate::cache::{CacheCounters, CacheStats};
 use crate::histogram::{fmt_ns, LatencyHistogram};
 
 /// Service-wide configuration.
@@ -256,6 +257,9 @@ struct ServiceInner {
     /// Once set, new submissions are rejected and workers exit when the
     /// service drains.
     draining: AtomicBool,
+    /// Shared cache counters, fed by [`crate::SqlSession`]s built with
+    /// [`crate::SqlSession::for_service`] and reported at shutdown.
+    cache: Arc<CacheCounters>,
 }
 
 impl ServiceInner {
@@ -393,6 +397,7 @@ impl QueryService {
             }),
             metrics: Mutex::new(Metrics::default()),
             draining: AtomicBool::new(false),
+            cache: Arc::new(CacheCounters::default()),
         });
         let threads = (0..config.workers)
             .map(|w| {
@@ -482,6 +487,37 @@ impl QueryService {
         self.inner.mem_pool.as_ref()
     }
 
+    /// The service's shared cache counters (see
+    /// [`crate::SqlSession::for_service`]); snapshotted into
+    /// [`ServiceReport::cache`] at shutdown.
+    pub fn cache_counters(&self) -> &Arc<CacheCounters> {
+        &self.inner.cache
+    }
+
+    /// Resolve a result-cache hit as a served query: no spec is built
+    /// and nothing dispatches, but the completion is recorded in the
+    /// service metrics (so cached and executed queries reconcile in one
+    /// report) unless the service is draining, in which case the hit is
+    /// rejected like any other submission would be.
+    pub(crate) fn complete_cached(&self, name: &str) -> QueryTicket {
+        let inner = &self.inner;
+        let now = inner.now_ns();
+        let ticket = Arc::new(TicketInner {
+            name: name.to_owned(),
+            priority: 1,
+            submitted_ns: now,
+            state: StdMutex::new(TicketState { report: None }),
+            done: Condvar::new(),
+        });
+        let outcome = if inner.draining.load(Ordering::SeqCst) {
+            QueryOutcome::Rejected(RejectReason::ShuttingDown)
+        } else {
+            QueryOutcome::Completed
+        };
+        inner.finalize(&ticket, outcome, inner.now_ns().saturating_sub(now));
+        QueryTicket { inner: ticket }
+    }
+
     /// Queries currently dispatched / waiting (for tests and monitoring).
     pub fn depth(&self) -> (usize, usize) {
         let st = self.inner.state.lock();
@@ -519,6 +555,7 @@ impl QueryService {
                 .iter()
                 .map(|(p, (c, h))| (*p, *c, h.clone()))
                 .collect(),
+            cache: self.inner.cache.snapshot(),
         }
     }
 }
@@ -589,6 +626,9 @@ pub struct ServiceReport {
     /// Per-priority outcome counts and completed-query latency
     /// histograms.
     pub per_priority: Vec<(u32, OutcomeCounts, LatencyHistogram)>,
+    /// Plan/result cache counters at shutdown (all zero unless a
+    /// [`crate::SqlSession`] executed through this service).
+    pub cache: CacheStats,
 }
 
 impl ServiceReport {
@@ -655,6 +695,9 @@ impl ServiceReport {
                 fmt_ns(h.p95()),
                 fmt_ns(h.p99()),
             ));
+        }
+        if self.cache.is_active() {
+            out.push_str(&format!("  {}\n", self.cache));
         }
         out
     }

@@ -1,0 +1,337 @@
+//! Cache behaviour under the real threaded service: single-flight
+//! planning under contention, literal/catalog guards, prepared
+//! statements, the opt-in result cache, and LRU bounds.
+//!
+//! These are the concurrency halves of the cache oracle — the key
+//! function itself is property-tested in `morsel-sql`'s `shape_prop`
+//! suite, and result equivalence across all 25 fixtures is held by the
+//! workspace-level `planner_equivalence` four-way gate.
+
+use morsel_core::{ExecEnv, QueryOutcome};
+use morsel_datagen::{generate_tpch, TpchConfig, TpchDb};
+use morsel_exec::SystemVariant;
+use morsel_numa::Topology;
+use morsel_planner::Planner;
+use morsel_service::{CacheDisposition, QueryService, ServiceConfig, SqlSession};
+use morsel_sql::LiteralValue;
+
+fn tpch() -> (Topology, TpchDb) {
+    let topo = Topology::laptop();
+    let db = generate_tpch(TpchConfig::scaled(0.002), &topo);
+    (topo, db)
+}
+
+fn start_service(topo: &Topology) -> QueryService {
+    QueryService::start(
+        ExecEnv::new(topo.clone()),
+        ServiceConfig::new(4)
+            .with_morsel_size(2048)
+            .with_max_in_flight(8)
+            .with_max_queue(256),
+    )
+}
+
+const REVENUE: &str = "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+                       FROM lineitem WHERE l_quantity < 24";
+
+/// N clients hammering one query shape: planning happens exactly once
+/// (the cold planner runs under the cache lock, so the other clients
+/// block on it and then hit), hits + misses reconcile with submissions,
+/// and every client sees byte-identical rows.
+#[test]
+fn one_hot_shape_plans_exactly_once_under_contention() {
+    let (topo, db) = tpch();
+    let service = start_service(&topo);
+    let session = SqlSession::for_service(
+        &service,
+        db.catalog(),
+        Planner::new(&topo),
+        SystemVariant::full(),
+    );
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 6;
+    let mut results = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let session = &session;
+                let service = &service;
+                s.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|i| {
+                            let exec = session
+                                .execute(service, format!("hot-{c}-{i}"), REVENUE)
+                                .expect("query binds");
+                            assert_eq!(
+                                exec.report.outcome,
+                                QueryOutcome::Completed,
+                                "hot-{c}-{i}: {}",
+                                exec.report.outcome
+                            );
+                            assert_ne!(
+                                exec.plan_cache,
+                                CacheDisposition::Bypass,
+                                "plan caching is on"
+                            );
+                            exec.rows.expect("completed query returns rows")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("client thread panicked"));
+        }
+    });
+
+    let submitted = (CLIENTS * PER_CLIENT) as u64;
+    let first = &results[0];
+    for (i, batch) in results.iter().enumerate() {
+        assert_eq!(batch, first, "client result #{i} diverged");
+    }
+    let stats = session.stats();
+    assert_eq!(stats.plan_misses, 1, "one shape, one cold plan: {stats}");
+    assert_eq!(stats.plan_hits, submitted - 1, "{stats}");
+    assert_eq!(stats.plan_lookups(), submitted, "{stats}");
+    assert_eq!(stats.plan_poisoned, 0, "{stats}");
+
+    // The session fed the service's counters, so the shutdown report
+    // carries the same numbers.
+    let report = service.shutdown();
+    assert_eq!(report.totals.total(), submitted, "ticket conservation");
+    assert_eq!(report.completed(), submitted);
+    assert_eq!(report.cache, stats);
+    assert!(report.summary().contains("plan cache"));
+}
+
+/// Same shape, different literals: the shape key matches but the entry
+/// guard must reject the cached plan (it embeds the old constants), so
+/// the lookup is a guarded miss, counted as an invalidation. A catalog
+/// version bump invalidates the same way.
+#[test]
+fn literal_and_catalog_churn_invalidate_cached_plans() {
+    let (topo, db) = tpch();
+    let service = start_service(&topo);
+    let session = SqlSession::for_service(
+        &service,
+        db.catalog(),
+        Planner::new(&topo),
+        SystemVariant::full(),
+    );
+
+    let narrow = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10";
+    let wide = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 45";
+
+    let a = session.execute(&service, "a", narrow).unwrap();
+    assert_eq!(a.plan_cache, CacheDisposition::Miss);
+    let b = session.execute(&service, "b", narrow).unwrap();
+    assert_eq!(b.plan_cache, CacheDisposition::Hit);
+
+    // Different literal, same shape: serving the cached plan would
+    // return the narrow count for the wide query.
+    let c = session.execute(&service, "c", wide).unwrap();
+    assert_eq!(c.plan_cache, CacheDisposition::Miss);
+    assert_eq!(session.stats().plan_invalidations, 1);
+    let (a_rows, c_rows) = (a.rows.unwrap(), c.rows.unwrap());
+    assert_ne!(
+        a_rows, c_rows,
+        "fixture counts must differ for the guard to matter"
+    );
+
+    // Explicit invalidation hook: the catalog version moves even when
+    // the closure only touches data the table map cannot see.
+    session.update_catalog(|_| {});
+    let d = session.execute(&service, "d", wide).unwrap();
+    assert_eq!(
+        d.plan_cache,
+        CacheDisposition::Miss,
+        "stale catalog version"
+    );
+    assert_eq!(session.stats().plan_invalidations, 2);
+    let e = session.execute(&service, "e", wide).unwrap();
+    assert_eq!(e.plan_cache, CacheDisposition::Hit);
+    assert_eq!(e.rows.unwrap(), c_rows);
+
+    service.shutdown();
+}
+
+/// Prepared-statement round trip: parse once, bind literals per
+/// execution; the template shares its cache shape with the equivalent
+/// ad-hoc spelling, and placeholder arity is enforced.
+#[test]
+fn prepared_statements_share_the_plan_cache_with_adhoc_text() {
+    let (topo, db) = tpch();
+    let service = start_service(&topo);
+    let session = SqlSession::for_service(
+        &service,
+        db.catalog(),
+        Planner::new(&topo),
+        SystemVariant::full(),
+    );
+
+    let stmt = session
+        .prepare("SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < ? AND l_discount > $2")
+        .expect("template parses");
+    assert_eq!(stmt.param_count(), 2);
+
+    let p1 = session
+        .execute_prepared(
+            &service,
+            "p1",
+            &stmt,
+            &[LiteralValue::Int(24), LiteralValue::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(p1.plan_cache, CacheDisposition::Miss);
+    assert_eq!(p1.report.outcome, QueryOutcome::Completed);
+
+    let p2 = session
+        .execute_prepared(
+            &service,
+            "p2",
+            &stmt,
+            &[LiteralValue::Int(24), LiteralValue::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(p2.plan_cache, CacheDisposition::Hit);
+    assert_eq!(p2.rows, p1.rows);
+
+    // Re-binding with new values is a guarded miss, not a collision.
+    let p3 = session
+        .execute_prepared(
+            &service,
+            "p3",
+            &stmt,
+            &[LiteralValue::Int(10), LiteralValue::Int(5)],
+        )
+        .unwrap();
+    assert_eq!(p3.plan_cache, CacheDisposition::Miss);
+
+    // The ad-hoc spelling of the same query is the same shape AND the
+    // same literal vector: a clean hit.
+    let adhoc = session
+        .execute(
+            &service,
+            "p4",
+            "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10 AND l_discount > 5",
+        )
+        .unwrap();
+    assert_eq!(adhoc.plan_cache, CacheDisposition::Hit);
+    assert_eq!(adhoc.rows, p3.rows);
+
+    let err = session
+        .execute_prepared(&service, "p5", &stmt, &[LiteralValue::Int(1)])
+        .expect_err("arity mismatch must fail");
+    assert!(err.message.contains("2 parameter"), "{err}");
+
+    service.shutdown();
+}
+
+/// The opt-in result cache: aggregate queries are served without
+/// executing on a repeat, explicit and version-driven invalidation both
+/// drop entries, non-aggregates bypass, and the served hit still counts
+/// as a completed query in the service ledger.
+#[test]
+fn result_cache_serves_aggregates_and_honours_invalidation() {
+    let (topo, db) = tpch();
+    let service = start_service(&topo);
+    let session = SqlSession::for_service(
+        &service,
+        db.catalog(),
+        Planner::new(&topo),
+        SystemVariant::full(),
+    )
+    .with_result_caching(true);
+
+    let r1 = session.execute(&service, "r1", REVENUE).unwrap();
+    assert_eq!(r1.result_cache, CacheDisposition::Miss);
+    assert_eq!(r1.plan_cache, CacheDisposition::Miss);
+    let rows = r1.rows.expect("completed");
+
+    let r2 = session.execute(&service, "r2", REVENUE).unwrap();
+    assert_eq!(r2.result_cache, CacheDisposition::Hit);
+    assert_eq!(
+        r2.plan_cache,
+        CacheDisposition::Bypass,
+        "a result hit never consults the plan cache"
+    );
+    assert_eq!(r2.report.outcome, QueryOutcome::Completed);
+    assert_eq!(r2.rows.as_ref(), Some(&rows), "cached rows are identical");
+
+    // Explicit invalidation hook.
+    session.invalidate_results();
+    let r3 = session.execute(&service, "r3", REVENUE).unwrap();
+    assert_eq!(r3.result_cache, CacheDisposition::Miss);
+    assert_eq!(r3.plan_cache, CacheDisposition::Hit, "plans survive");
+    assert_eq!(r3.rows.as_ref(), Some(&rows));
+
+    // Version-driven invalidation: the stale entry is dropped on lookup.
+    session.update_catalog(|_| {});
+    let r4 = session.execute(&service, "r4", REVENUE).unwrap();
+    assert_eq!(r4.result_cache, CacheDisposition::Miss);
+    assert_eq!(r4.plan_cache, CacheDisposition::Miss);
+    assert_eq!(r4.rows.as_ref(), Some(&rows));
+
+    // Non-aggregate scans never enter the result cache.
+    let scan = session
+        .execute(
+            &service,
+            "scan",
+            "SELECT l_quantity FROM lineitem WHERE l_quantity < 2",
+        )
+        .unwrap();
+    assert_eq!(scan.result_cache, CacheDisposition::Bypass);
+
+    let stats = session.stats();
+    assert_eq!(stats.result_hits, 1, "{stats}");
+    assert_eq!(stats.result_misses, 3, "{stats}");
+    assert_eq!(
+        stats.result_invalidations, 2,
+        "one explicit, one stale-on-lookup: {stats}"
+    );
+
+    let report = service.shutdown();
+    assert_eq!(report.totals.total(), 5, "the cached hit is a real ticket");
+    assert_eq!(report.completed(), 5);
+    assert_eq!(report.cache, stats, "shutdown snapshot matches the session");
+}
+
+/// The plan cache is bounded: beyond capacity the least-recently used
+/// shape is evicted and replans on its next appearance.
+#[test]
+fn plan_cache_is_lru_bounded() {
+    let (topo, db) = tpch();
+    let service = start_service(&topo);
+    let session = SqlSession::for_service(
+        &service,
+        db.catalog(),
+        Planner::new(&topo),
+        SystemVariant::full(),
+    )
+    .with_plan_cache_capacity(2);
+
+    let q1 = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 5";
+    let q2 = "SELECT SUM(l_quantity) AS s FROM lineitem WHERE l_quantity < 5";
+    let q3 = "SELECT MAX(l_quantity) AS m FROM lineitem WHERE l_quantity < 5";
+
+    for (name, sql) in [("q1", q1), ("q2", q2), ("q3", q3)] {
+        let exec = session.execute(&service, name, sql).unwrap();
+        assert_eq!(exec.plan_cache, CacheDisposition::Miss, "{name}");
+    }
+    assert_eq!(session.stats().plan_evictions, 1, "q1 was evicted by q3");
+    let again = session.execute(&service, "q1-again", q1).unwrap();
+    assert_eq!(
+        again.plan_cache,
+        CacheDisposition::Miss,
+        "evicted shape replans"
+    );
+    let warm = session.execute(&service, "q3-again", q3).unwrap();
+    assert_eq!(
+        warm.plan_cache,
+        CacheDisposition::Hit,
+        "resident shape hits"
+    );
+
+    service.shutdown();
+}

@@ -104,6 +104,12 @@ pub enum ExprKind {
         m: u32,
         d: u32,
     },
+    /// A prepared-statement placeholder (`?` or `$n`), holding its
+    /// 0-based parameter index. Placeholders never reach the binder:
+    /// [`crate::normalize::bind_params`] splices literal values over
+    /// them first, and binding an AST that still contains one is an
+    /// error.
+    Param(usize),
     Binary {
         op: BinOp,
         left: Box<Expr>,
@@ -158,7 +164,8 @@ impl Expr {
             | ExprKind::Int(_)
             | ExprKind::Float(_)
             | ExprKind::Str(_)
-            | ExprKind::Date { .. } => false,
+            | ExprKind::Date { .. }
+            | ExprKind::Param(_) => false,
             ExprKind::Binary { left, right, .. } => left.has_agg() || right.has_agg(),
             ExprKind::Not(e) | ExprKind::ExtractYear(e) => e.has_agg(),
             ExprKind::Between { expr, lo, hi, .. } => {
@@ -188,6 +195,9 @@ impl fmt::Display for Expr {
             ExprKind::Float(v) => write!(f, "{v:?}"),
             ExprKind::Str(s) => write!(f, "'{}'", escape(s)),
             ExprKind::Date { y, m, d } => write!(f, "DATE '{y:04}-{m:02}-{d:02}'"),
+            // 1-based on the way out so printed text re-parses to the
+            // same index ($n is explicit; `?` assignment is positional).
+            ExprKind::Param(i) => write!(f, "${}", i + 1),
             ExprKind::Binary { op, left, right } => {
                 write!(f, "({left} {} {right})", op.symbol())
             }

@@ -329,9 +329,11 @@ impl<'s> BindCtx<'s> {
     fn walk_columns(e: &Expr, f: ColumnVisitor<'_>) -> Result<(), SqlError> {
         match &e.kind {
             ExprKind::Column { table, name } => f(table.as_deref(), name, e.span),
-            ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Str(_) | ExprKind::Date { .. } => {
-                Ok(())
-            }
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Date { .. }
+            | ExprKind::Param(_) => Ok(()),
             ExprKind::Binary { left, right, .. } => {
                 Self::walk_columns(left, f)?;
                 Self::walk_columns(right, f)
@@ -433,6 +435,12 @@ impl<'s> BindCtx<'s> {
             ExprKind::Float(v) => Ok((ex::litf(*v), Ty::Float)),
             ExprKind::Str(s) => Ok((ex::lits(s), Ty::Str)),
             ExprKind::Date { y, m, d } => Ok((ex::lit(i64::from(date(*y, *m, *d))), Ty::Int)),
+            // Placeholders are a prepare-time construct: normalize::bind_params
+            // splices concrete literals over them before binding.
+            ExprKind::Param(i) => Err(SqlError::new(
+                format!("unbound parameter ${}: bind a value before planning", i + 1),
+                e.span,
+            )),
             ExprKind::Binary { op, left, right } => {
                 let (le, lt) = self.bind_scalar(left, lookup, aggs)?;
                 let (re, rt) = self.bind_scalar(right, lookup, aggs)?;
@@ -1547,6 +1555,7 @@ fn subst_group_exprs(e: &Expr, groups: &[GroupItem]) -> Expr {
         | ExprKind::Float(_)
         | ExprKind::Str(_)
         | ExprKind::Date { .. }
+        | ExprKind::Param(_)
         | ExprKind::Agg { .. }) => k.clone(),
         ExprKind::Binary { op, left, right } => ExprKind::Binary {
             op: *op,
@@ -1658,7 +1667,8 @@ fn collect_aggs(
         | ExprKind::Int(_)
         | ExprKind::Float(_)
         | ExprKind::Str(_)
-        | ExprKind::Date { .. } => Ok(()),
+        | ExprKind::Date { .. }
+        | ExprKind::Param(_) => Ok(()),
         ExprKind::Binary { left, right, .. } => {
             collect_aggs(left, f)?;
             collect_aggs(right, f)

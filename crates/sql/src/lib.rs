@@ -38,11 +38,13 @@ pub mod ast;
 pub mod binder;
 pub mod error;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 
 pub use ast::Select;
 pub use binder::Binder;
 pub use error::{Span, SqlError};
+pub use normalize::{bind_params, param_count, shape_of, LiteralValue, ShapeKey};
 pub use parser::parse;
 
 use morsel_planner::LogicalPlan;

@@ -1,0 +1,598 @@
+//! Query-shape normalization and prepared-statement parameter binding.
+//!
+//! A [`ShapeKey`] identifies what a query *does* independently of what
+//! it mentions: two texts get the same key exactly when their ASTs are
+//! equal after
+//!
+//! 1. stripping every literal (integers, floats, strings, dates, `LIKE`
+//!    patterns) to a `?` hole — the stripped values come back in
+//!    canonical traversal order as the [`LiteralValue`] vector, and
+//! 2. renaming every *table* binding positionally (`_r1`, `_r2`, … in
+//!    `FROM` order, qualified column references rewritten to match), so
+//!    `FROM nation n1` and `FROM nation x` — or no alias at all —
+//!    normalize identically.
+//!
+//! Whitespace insensitivity is inherited from the parser (the key is
+//! computed from the AST, never the text). Select-item aliases, `ORDER
+//! BY`, `LIMIT`, and `SUBSTRING` offsets stay in the key: they change
+//! the output schema or the plan structure, so queries differing there
+//! must not share a cached plan.
+//!
+//! Placeholders ([`ExprKind::Param`]) normalize to the same `?` hole as
+//! a literal, so a prepared template and the concrete query it binds to
+//! share one shape. [`bind_params`] splices [`LiteralValue`]s over the
+//! placeholders to produce the concrete, bindable AST.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Expr, ExprKind, JoinOp, Select, TableFactor};
+use crate::error::{Span, SqlError};
+
+/// A concrete literal stripped from (or bound into) a query.
+///
+/// Equality and hashing are bitwise for floats, so a literal vector is
+/// usable as a cache guard: a cached plan is reusable only for the
+/// exact literal values it was planned with (plans embed folded
+/// constants, and cardinality estimates depend on them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiteralValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Date { y: i32, m: u32, d: u32 },
+}
+
+impl LiteralValue {
+    fn to_expr_kind(&self) -> ExprKind {
+        match self {
+            LiteralValue::Int(v) => ExprKind::Int(*v),
+            LiteralValue::Float(v) => ExprKind::Float(*v),
+            LiteralValue::Str(s) => ExprKind::Str(s.clone()),
+            LiteralValue::Date { y, m, d } => ExprKind::Date {
+                y: *y,
+                m: *m,
+                d: *d,
+            },
+        }
+    }
+
+    /// Bitwise equality (floats compared by bits, so `NaN == NaN` and a
+    /// cached guard never wobbles on representation).
+    pub fn same(&self, other: &LiteralValue) -> bool {
+        match (self, other) {
+            (LiteralValue::Float(a), LiteralValue::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => self == other,
+        }
+    }
+}
+
+/// Are two literal vectors identical (bitwise on floats)?
+pub fn same_literals(a: &[LiteralValue], b: &[LiteralValue]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same(y))
+}
+
+/// The normalized shape of one query: the plan-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShapeKey(String);
+
+impl ShapeKey {
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ShapeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Normalize a parsed query: its [`ShapeKey`] plus the literal values
+/// stripped out of it, in canonical traversal order.
+pub fn shape_of(select: &Select) -> (ShapeKey, Vec<LiteralValue>) {
+    let mut w = ShapeWriter {
+        out: String::new(),
+        literals: Vec::new(),
+    };
+    w.select(select);
+    (ShapeKey(w.out), w.literals)
+}
+
+/// How many parameters a template needs: one past the highest
+/// placeholder index (0 for a query without placeholders).
+pub fn param_count(select: &Select) -> usize {
+    let mut max: Option<usize> = None;
+    walk_select(select, &mut |e| {
+        if let ExprKind::Param(i) = &e.kind {
+            max = Some(max.map_or(*i, |m: usize| m.max(*i)));
+        }
+    });
+    max.map_or(0, |m| m + 1)
+}
+
+/// Splice `params` over the placeholders of `template`, producing the
+/// concrete AST a binder can consume. Requires exactly
+/// [`param_count`] values; every placeholder index must be covered.
+pub fn bind_params(template: &Select, params: &[LiteralValue]) -> Result<Select, SqlError> {
+    let need = param_count(template);
+    if params.len() != need {
+        return Err(SqlError::new(
+            format!(
+                "statement takes {need} parameter(s), {} provided",
+                params.len()
+            ),
+            Span::default(),
+        ));
+    }
+    let mut bound = template.clone();
+    let mut err = None;
+    walk_select_mut(&mut bound, &mut |e| {
+        if let ExprKind::Param(i) = &e.kind {
+            match params.get(*i) {
+                Some(v) => e.kind = v.to_expr_kind(),
+                None => err = Some((*i, e.span)),
+            }
+        }
+    });
+    match err {
+        None => Ok(bound),
+        Some((i, span)) => Err(SqlError::new(
+            format!("no value bound for placeholder ${}", i + 1),
+            span,
+        )),
+    }
+}
+
+// ------------------------------------------------------- AST walkers
+
+fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Column { .. }
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Date { .. }
+        | ExprKind::Param(_) => {}
+        ExprKind::Binary { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        ExprKind::Not(inner) | ExprKind::ExtractYear(inner) => walk_expr(inner, f),
+        ExprKind::Between { expr, lo, hi, .. } => {
+            walk_expr(expr, f);
+            walk_expr(lo, f);
+            walk_expr(hi, f);
+        }
+        ExprKind::InList { expr, list, .. } => {
+            walk_expr(expr, f);
+            for item in list {
+                walk_expr(item, f);
+            }
+        }
+        ExprKind::Like { expr, .. } | ExprKind::Substring { expr, .. } => walk_expr(expr, f),
+        ExprKind::Case { cond, then, else_ } => {
+            walk_expr(cond, f);
+            walk_expr(then, f);
+            walk_expr(else_, f);
+        }
+        ExprKind::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                walk_expr(a, f);
+            }
+        }
+    }
+}
+
+fn walk_select(s: &Select, f: &mut impl FnMut(&Expr)) {
+    for item in &s.items {
+        walk_expr(&item.expr, f);
+    }
+    for tref in &s.from {
+        match &tref.join {
+            JoinOp::Comma => {}
+            JoinOp::Inner(on) | JoinOp::Semi(on) | JoinOp::Anti(on) | JoinOp::CountMatches(on) => {
+                walk_expr(on, f)
+            }
+        }
+        if let TableFactor::Derived { query, .. } = &tref.factor {
+            walk_select(query, f);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        walk_expr(w, f);
+    }
+    for g in &s.group_by {
+        walk_expr(g, f);
+    }
+    if let Some(h) = &s.having {
+        walk_expr(h, f);
+    }
+}
+
+fn walk_expr_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    f(e);
+    match &mut e.kind {
+        ExprKind::Column { .. }
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Date { .. }
+        | ExprKind::Param(_) => {}
+        ExprKind::Binary { left, right, .. } => {
+            walk_expr_mut(left, f);
+            walk_expr_mut(right, f);
+        }
+        ExprKind::Not(inner) | ExprKind::ExtractYear(inner) => walk_expr_mut(inner, f),
+        ExprKind::Between { expr, lo, hi, .. } => {
+            walk_expr_mut(expr, f);
+            walk_expr_mut(lo, f);
+            walk_expr_mut(hi, f);
+        }
+        ExprKind::InList { expr, list, .. } => {
+            walk_expr_mut(expr, f);
+            for item in list {
+                walk_expr_mut(item, f);
+            }
+        }
+        ExprKind::Like { expr, .. } | ExprKind::Substring { expr, .. } => walk_expr_mut(expr, f),
+        ExprKind::Case { cond, then, else_ } => {
+            walk_expr_mut(cond, f);
+            walk_expr_mut(then, f);
+            walk_expr_mut(else_, f);
+        }
+        ExprKind::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                walk_expr_mut(a, f);
+            }
+        }
+    }
+}
+
+fn walk_select_mut(s: &mut Select, f: &mut impl FnMut(&mut Expr)) {
+    for item in &mut s.items {
+        walk_expr_mut(&mut item.expr, f);
+    }
+    for tref in &mut s.from {
+        match &mut tref.join {
+            JoinOp::Comma => {}
+            JoinOp::Inner(on) | JoinOp::Semi(on) | JoinOp::Anti(on) | JoinOp::CountMatches(on) => {
+                walk_expr_mut(on, f)
+            }
+        }
+        if let TableFactor::Derived { query, .. } = &mut tref.factor {
+            walk_select_mut(query, f);
+        }
+    }
+    if let Some(w) = &mut s.where_clause {
+        walk_expr_mut(w, f);
+    }
+    for g in &mut s.group_by {
+        walk_expr_mut(g, f);
+    }
+    if let Some(h) = &mut s.having {
+        walk_expr_mut(h, f);
+    }
+}
+
+// --------------------------------------------------- the shape writer
+
+/// Mirrors the AST's canonical [`std::fmt::Display`] printer, with
+/// literals emitted as `?` (collected into `literals`) and table
+/// bindings renamed positionally per `SELECT` scope.
+struct ShapeWriter {
+    out: String,
+    literals: Vec<LiteralValue>,
+}
+
+impl ShapeWriter {
+    fn select(&mut self, s: &Select) {
+        // One binding scope per SELECT: the subset has no correlated
+        // references, so a scope is exactly its own FROM list.
+        let scope: Vec<(String, String)> = s
+            .from
+            .iter()
+            .enumerate()
+            .map(|(i, tref)| {
+                (
+                    tref.factor.binding_name().to_owned(),
+                    format!("_r{}", i + 1),
+                )
+            })
+            .collect();
+        self.out.push_str("SELECT ");
+        for (i, item) in s.items.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.expr(&item.expr, &scope);
+            if let Some(a) = &item.alias {
+                let _ = write!(self.out, " AS {a}");
+            }
+        }
+        self.out.push_str(" FROM ");
+        for (i, tref) in s.from.iter().enumerate() {
+            match &tref.join {
+                JoinOp::Comma => {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.factor(&tref.factor, &scope, i);
+                }
+                JoinOp::Inner(on) => self.join("JOIN", &tref.factor, on, &scope, i),
+                JoinOp::Semi(on) => self.join("SEMI JOIN", &tref.factor, on, &scope, i),
+                JoinOp::Anti(on) => self.join("ANTI JOIN", &tref.factor, on, &scope, i),
+                JoinOp::CountMatches(on) => self.join("COUNT JOIN", &tref.factor, on, &scope, i),
+            }
+        }
+        if let Some(w) = &s.where_clause {
+            self.out.push_str(" WHERE ");
+            self.expr(w, &scope);
+        }
+        if !s.group_by.is_empty() {
+            self.out.push_str(" GROUP BY ");
+            for (i, g) in s.group_by.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.expr(g, &scope);
+            }
+        }
+        if let Some(h) = &s.having {
+            self.out.push_str(" HAVING ");
+            self.expr(h, &scope);
+        }
+        if !s.order_by.is_empty() {
+            self.out.push_str(" ORDER BY ");
+            for (i, o) in s.order_by.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let _ = write!(
+                    self.out,
+                    "{}{}",
+                    o.name,
+                    if o.desc { " DESC" } else { " ASC" }
+                );
+            }
+        }
+        if let Some(l) = s.limit {
+            let _ = write!(self.out, " LIMIT {l}");
+        }
+    }
+
+    fn join(
+        &mut self,
+        kw: &str,
+        factor: &TableFactor,
+        on: &Expr,
+        scope: &[(String, String)],
+        i: usize,
+    ) {
+        let _ = write!(self.out, " {kw} ");
+        self.factor(factor, scope, i);
+        self.out.push_str(" ON ");
+        self.expr(on, scope);
+    }
+
+    fn factor(&mut self, factor: &TableFactor, scope: &[(String, String)], index: usize) {
+        let renamed = &scope[index].1;
+        match factor {
+            TableFactor::Table { name, .. } => {
+                let _ = write!(self.out, "{name} AS {renamed}");
+            }
+            TableFactor::Derived { query, .. } => {
+                self.out.push('(');
+                self.select(query);
+                let _ = write!(self.out, ") AS {renamed}");
+            }
+        }
+    }
+
+    fn hole(&mut self, v: LiteralValue) {
+        self.out.push('?');
+        self.literals.push(v);
+    }
+
+    fn expr(&mut self, e: &Expr, scope: &[(String, String)]) {
+        match &e.kind {
+            ExprKind::Column { table, name } => match table {
+                Some(t) => {
+                    let t = scope
+                        .iter()
+                        .find(|(b, _)| b == t)
+                        .map(|(_, r)| r.as_str())
+                        .unwrap_or(t.as_str());
+                    let _ = write!(self.out, "{t}.{name}");
+                }
+                None => {
+                    let _ = write!(self.out, "{name}");
+                }
+            },
+            ExprKind::Int(v) => self.hole(LiteralValue::Int(*v)),
+            ExprKind::Float(v) => self.hole(LiteralValue::Float(*v)),
+            ExprKind::Str(s) => self.hole(LiteralValue::Str(s.clone())),
+            ExprKind::Date { y, m, d } => self.hole(LiteralValue::Date {
+                y: *y,
+                m: *m,
+                d: *d,
+            }),
+            // A placeholder is already a hole; it contributes no literal
+            // (values arrive at bind time), so a template and its bound
+            // form share a shape.
+            ExprKind::Param(_) => self.out.push('?'),
+            ExprKind::Binary { op, left, right } => {
+                self.out.push('(');
+                self.expr(left, scope);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr(right, scope);
+                self.out.push(')');
+            }
+            ExprKind::Not(inner) => {
+                self.out.push_str("(NOT ");
+                self.expr(inner, scope);
+                self.out.push(')');
+            }
+            ExprKind::Between {
+                expr,
+                negated,
+                lo,
+                hi,
+            } => {
+                self.out.push('(');
+                self.expr(expr, scope);
+                self.out.push_str(if *negated {
+                    " NOT BETWEEN "
+                } else {
+                    " BETWEEN "
+                });
+                self.expr(lo, scope);
+                self.out.push_str(" AND ");
+                self.expr(hi, scope);
+                self.out.push(')');
+            }
+            ExprKind::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                self.out.push('(');
+                self.expr(expr, scope);
+                self.out
+                    .push_str(if *negated { " NOT IN (" } else { " IN (" });
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(item, scope);
+                }
+                self.out.push_str("))");
+            }
+            ExprKind::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                self.out.push('(');
+                self.expr(expr, scope);
+                self.out
+                    .push_str(if *negated { " NOT LIKE " } else { " LIKE " });
+                self.hole(LiteralValue::Str(pattern.clone()));
+                self.out.push(')');
+            }
+            ExprKind::Case { cond, then, else_ } => {
+                self.out.push_str("CASE WHEN ");
+                self.expr(cond, scope);
+                self.out.push_str(" THEN ");
+                self.expr(then, scope);
+                self.out.push_str(" ELSE ");
+                self.expr(else_, scope);
+                self.out.push_str(" END");
+            }
+            ExprKind::ExtractYear(inner) => {
+                self.out.push_str("EXTRACT(YEAR FROM ");
+                self.expr(inner, scope);
+                self.out.push(')');
+            }
+            ExprKind::Substring { expr, from, len } => {
+                self.out.push_str("SUBSTRING(");
+                self.expr(expr, scope);
+                let _ = write!(self.out, ", {from}, {len})");
+            }
+            ExprKind::Agg {
+                func,
+                distinct,
+                arg,
+            } => match arg {
+                None => self.out.push_str("COUNT(*)"),
+                Some(a) => {
+                    let _ = write!(
+                        self.out,
+                        "{}({}",
+                        func.name(),
+                        if *distinct { "DISTINCT " } else { "" }
+                    );
+                    self.expr(a, scope);
+                    self.out.push(')');
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn key(sql: &str) -> ShapeKey {
+        shape_of(&parse(sql).unwrap()).0
+    }
+
+    #[test]
+    fn literals_and_whitespace_do_not_change_the_shape() {
+        let a = key("SELECT SUM(x) AS s FROM t WHERE a > 5 AND b = 'ASIA'");
+        let b = key("SELECT  SUM( x )  AS s\n FROM t\n WHERE a > 99 AND b = 'EUROPE'");
+        assert_eq!(a, b);
+        let (_, lits) =
+            shape_of(&parse("SELECT SUM(x) AS s FROM t WHERE a > 5 AND b = 'ASIA'").unwrap());
+        assert_eq!(
+            lits,
+            vec![LiteralValue::Int(5), LiteralValue::Str("ASIA".to_owned())]
+        );
+    }
+
+    #[test]
+    fn table_aliases_normalize_positionally() {
+        let a =
+            key("SELECT n1.n_name FROM nation AS n1, region WHERE n1.n_regionkey = r_regionkey");
+        let b = key("SELECT x.n_name FROM nation x, region WHERE x.n_regionkey = r_regionkey");
+        let c =
+            key("SELECT nation.n_name FROM nation, region WHERE nation.n_regionkey = r_regionkey");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn output_aliases_and_limits_stay_significant() {
+        assert_ne!(
+            key("SELECT SUM(x) AS a FROM t"),
+            key("SELECT SUM(x) AS b FROM t"),
+            "select-item aliases change the output schema"
+        );
+        assert_ne!(
+            key("SELECT x FROM t ORDER BY x LIMIT 5"),
+            key("SELECT x FROM t ORDER BY x LIMIT 6"),
+            "limit changes the plan structure"
+        );
+    }
+
+    #[test]
+    fn templates_share_shape_with_their_bound_form() {
+        let template = parse("SELECT x FROM t WHERE a > ? AND b = $2").unwrap();
+        assert_eq!(param_count(&template), 2);
+        let bound = bind_params(
+            &template,
+            &[LiteralValue::Int(7), LiteralValue::Str("z".to_owned())],
+        )
+        .unwrap();
+        assert_eq!(shape_of(&template).0, shape_of(&bound).0);
+        assert_eq!(
+            shape_of(&bound).1,
+            vec![LiteralValue::Int(7), LiteralValue::Str("z".to_owned())]
+        );
+        // Wrong arity is an error, not a partial splice.
+        assert!(bind_params(&template, &[LiteralValue::Int(7)]).is_err());
+    }
+
+    #[test]
+    fn float_guard_is_bitwise() {
+        assert!(LiteralValue::Float(f64::NAN).same(&LiteralValue::Float(f64::NAN)));
+        assert!(!LiteralValue::Float(0.1).same(&LiteralValue::Float(0.2)));
+        assert!(!LiteralValue::Int(1).same(&LiteralValue::Float(1.0)));
+        assert!(same_literals(
+            &[LiteralValue::Int(1)],
+            &[LiteralValue::Int(1)]
+        ));
+    }
+}

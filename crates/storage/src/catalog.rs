@@ -18,6 +18,7 @@ use crate::schema::Schema;
 #[derive(Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<Relation>>,
+    version: u64,
 }
 
 impl Catalog {
@@ -26,8 +27,27 @@ impl Catalog {
     }
 
     /// Register `relation` under `name` (replacing any previous entry).
+    /// Every registration advances [`Catalog::version`].
     pub fn add(&mut self, name: &str, relation: Arc<Relation>) {
         self.tables.insert(name.to_owned(), relation);
+        self.version += 1;
+    }
+
+    /// Monotonic change counter: advances on every [`Catalog::add`] and
+    /// on explicit [`Catalog::bump_version`] calls. Plan and result
+    /// caches key on this so entries bound against a stale snapshot are
+    /// invalidated instead of served.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Explicit invalidation hook for in-place data changes the table
+    /// map cannot see (a reloaded relation behind an existing `Arc`, a
+    /// regenerated database reusing the same names): advances the
+    /// version without touching any entry.
+    pub fn bump_version(&mut self) -> u64 {
+        self.version += 1;
+        self.version
     }
 
     /// Builder-style [`Catalog::add`].
@@ -98,5 +118,20 @@ mod tests {
         cat.add("t", rel(&["b"]));
         assert_eq!(cat.schema("t").unwrap().names(), vec!["b"]);
         assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn version_advances_on_change() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.version(), 0);
+        cat.add("t", rel(&["a"]));
+        assert_eq!(cat.version(), 1);
+        cat.add("t", rel(&["b"]));
+        assert_eq!(cat.version(), 2, "replacement is a change too");
+        assert_eq!(cat.bump_version(), 3);
+        let snapshot = cat.clone();
+        assert_eq!(snapshot.version(), 3, "clones carry the version");
+        cat.bump_version();
+        assert_eq!(snapshot.version(), 3, "snapshots stay pinned");
     }
 }

@@ -32,7 +32,9 @@ use morsel_repro::core::{
 use morsel_repro::datagen::{SsbDb, TpchDb};
 use morsel_repro::prelude::*;
 use morsel_repro::queries::{format_rows, ssb_queries, tpch_queries};
-use morsel_repro::service::{QueryRequest, QueryService, ServiceConfig};
+use morsel_repro::service::{
+    CacheDisposition, QueryRequest, QueryService, ServiceConfig, SqlSession,
+};
 
 // ------------------------------------------------------------ utilities
 
@@ -454,6 +456,172 @@ fn run_service_chaos(seed: u64, artifact: Option<&std::path::Path>) {
 #[test]
 fn service_chaos_gate_fixed_seed() {
     run_service_chaos(0xC0FFEE, None);
+}
+
+// ------------------------------------------------- cached-plan chaos
+
+/// Faults injected into a *cached-plan* execution: the plan cache must
+/// never retain a poisoned entry, reservations release exactly once,
+/// and a later hit on the same shape succeeds. Covers both failure
+/// classes — an injected operator panic and a starvation-level memory
+/// cap (typed `ResourceExhausted`).
+#[test]
+fn poisoned_cached_plans_are_evicted_and_recover() {
+    let w = workload();
+    // The fault targets the submission *named* "poison", which is the
+    // second execution of its shape — i.e. it runs a cache hit.
+    let plan = FaultPlan::none().with(Fault::PanicAt {
+        query: "poison".to_owned(),
+        op: String::new(),
+        morsel: 0,
+    });
+    let pool = MemPool::new(1 << 30);
+    let env = ExecEnv::new(Topology::laptop())
+        .with_fault_plan(plan)
+        .with_mem_pool(Arc::clone(&pool));
+    let service = QueryService::start(
+        env,
+        ServiceConfig::new(4)
+            .with_morsel_size(2048)
+            .with_max_in_flight(4)
+            .with_max_queue(16),
+    );
+    let topo = Topology::laptop();
+    let session = SqlSession::for_service(
+        &service,
+        w.tpch.catalog(),
+        Planner::new(&topo),
+        SystemVariant::full(),
+    );
+    let sql = "SELECT COUNT(*) AS n, SUM(l_quantity) AS qty \
+               FROM lineitem WHERE l_quantity < 30";
+    // TPC-H Q1 for the memory-cap leg: its aggregation state cannot fit
+    // a 64-byte reservation budget, so exhaustion is guaranteed.
+    let q1 = morsel_repro::queries::tpch_sql::text(1).unwrap();
+
+    let report = silenced(|| {
+        let run = |name: &str, text: &str| session.execute(&service, name, text).unwrap();
+
+        let warm = run("warm", sql);
+        assert_eq!(warm.report.outcome, QueryOutcome::Completed);
+        assert_eq!(warm.plan_cache, CacheDisposition::Miss);
+        let baseline = warm.rows.expect("warm run returns rows");
+
+        // The hit that dies mid-flight.
+        let poison = run("poison", sql);
+        assert_eq!(poison.plan_cache, CacheDisposition::Hit);
+        assert_eq!(
+            poison.report.outcome,
+            QueryOutcome::Failed(FailReason::OperatorPanic),
+            "{}",
+            poison.report.outcome
+        );
+        assert!(poison.rows.is_none());
+        assert_eq!(session.stats().plan_poisoned, 1);
+        assert_eq!(pool.reserved(), 0, "panic leg leaked a reservation");
+
+        // The poisoned entry is gone: cold replan, then hits again.
+        let recover = run("recover", sql);
+        assert_eq!(recover.plan_cache, CacheDisposition::Miss);
+        assert_eq!(recover.report.outcome, QueryOutcome::Completed);
+        assert_eq!(recover.rows.as_ref(), Some(&baseline));
+        let rehit = run("rehit", sql);
+        assert_eq!(rehit.plan_cache, CacheDisposition::Hit);
+        assert_eq!(rehit.rows.as_ref(), Some(&baseline));
+
+        // Resource exhaustion on a warmed shape behaves the same way.
+        let warm_q1 = run("warm-q1", q1);
+        assert_eq!(warm_q1.report.outcome, QueryOutcome::Completed);
+        let squeeze = session
+            .execute_with(&service, "squeeze", q1, |r| r.with_mem_cap(64))
+            .unwrap();
+        assert_eq!(squeeze.plan_cache, CacheDisposition::Hit);
+        assert_eq!(
+            squeeze.report.outcome,
+            QueryOutcome::Failed(FailReason::ResourceExhausted),
+            "{}",
+            squeeze.report.outcome
+        );
+        assert_eq!(session.stats().plan_poisoned, 2);
+        assert_eq!(pool.reserved(), 0, "cap leg leaked a reservation");
+        let recover_q1 = run("recover-q1", q1);
+        assert_eq!(recover_q1.plan_cache, CacheDisposition::Miss);
+        assert_eq!(recover_q1.report.outcome, QueryOutcome::Completed);
+
+        service.shutdown()
+    });
+
+    assert_eq!(report.totals.total(), 7, "ticket conservation");
+    assert_eq!(report.completed(), 5);
+    assert_eq!(report.failed(), 2);
+    assert_eq!(report.worker_panics, 0, "a worker thread died");
+    assert_eq!(pool.reserved(), 0, "pool holds leaked reservations");
+}
+
+/// The result cache under a fault: a cold execution that fails must not
+/// seed the cache, the retry repopulates it, and only then does a
+/// repeat get served from memory.
+#[test]
+fn result_cache_never_retains_a_poisoned_entry() {
+    let w = workload();
+    let plan = FaultPlan::none().with(Fault::PanicAt {
+        query: "cold".to_owned(),
+        op: String::new(),
+        morsel: 0,
+    });
+    let pool = MemPool::new(1 << 30);
+    let env = ExecEnv::new(Topology::laptop())
+        .with_fault_plan(plan)
+        .with_mem_pool(Arc::clone(&pool));
+    let service = QueryService::start(
+        env,
+        ServiceConfig::new(4)
+            .with_morsel_size(2048)
+            .with_max_in_flight(4)
+            .with_max_queue(16),
+    );
+    let topo = Topology::laptop();
+    let session = SqlSession::for_service(
+        &service,
+        w.tpch.catalog(),
+        Planner::new(&topo),
+        SystemVariant::full(),
+    )
+    .with_result_caching(true);
+    let sql = "SELECT SUM(l_extendedprice) AS total \
+               FROM lineitem WHERE l_quantity < 20";
+
+    let report = silenced(|| {
+        let cold = session.execute(&service, "cold", sql).unwrap();
+        assert_eq!(cold.result_cache, CacheDisposition::Miss);
+        assert_eq!(
+            cold.report.outcome,
+            QueryOutcome::Failed(FailReason::OperatorPanic)
+        );
+        assert_eq!(pool.reserved(), 0, "failed run leaked a reservation");
+
+        // Nothing was cached by the failure: this is a miss that runs
+        // for real (the injected fault only targeted "cold").
+        let retry = session.execute(&service, "retry", sql).unwrap();
+        assert_eq!(retry.result_cache, CacheDisposition::Miss);
+        assert_eq!(retry.plan_cache, CacheDisposition::Miss, "plan was evicted");
+        assert_eq!(retry.report.outcome, QueryOutcome::Completed);
+        let rows = retry.rows.expect("retry returns rows");
+
+        let served = session.execute(&service, "served", sql).unwrap();
+        assert_eq!(served.result_cache, CacheDisposition::Hit);
+        assert_eq!(served.report.outcome, QueryOutcome::Completed);
+        assert_eq!(served.rows.as_ref(), Some(&rows));
+
+        service.shutdown()
+    });
+
+    assert_eq!(report.totals.total(), 3, "ticket conservation");
+    assert_eq!(report.completed(), 2);
+    assert_eq!(report.failed(), 1);
+    assert_eq!(report.cache.result_hits, 1);
+    assert_eq!(report.cache.plan_poisoned, 1);
+    assert_eq!(pool.reserved(), 0, "pool holds leaked reservations");
 }
 
 /// Opt-in randomized round (CI runs one per build with a fresh seed).

@@ -18,6 +18,7 @@ use morsel_repro::prelude::*;
 use morsel_repro::queries::{
     run_sim, ssb_logical, ssb_queries, ssb_sql, tpch_logical, tpch_queries, tpch_sql,
 };
+use morsel_repro::service::{CacheDisposition, SqlSession};
 use morsel_repro::storage::Batch;
 
 fn normalized(batch: &Batch) -> Batch {
@@ -125,6 +126,76 @@ fn ssb_logical_matches_oracle_plans() {
         let from_sql = planner.plan(&bound);
         let oracle = ssb_queries::query(&db, id);
         assert_equivalent(&env, &format!("SSB{id}-sql"), oracle, from_sql);
+    }
+}
+
+/// Fourth leg of the oracle: the plan-cache path. For every SQL fixture,
+/// plan cold (a miss), plan again (a hit), and run both physical plans —
+/// the results must be *exactly* equal (the cache may never change what
+/// a query returns), and the warm plan must still pass the hand-authored
+/// oracle gate from [`assert_equivalent`].
+#[test]
+fn cached_plans_are_byte_identical_to_cold_plans() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+
+    fn check_fixture(env: &ExecEnv, session: &SqlSession, name: &str, sql: &str, oracle: Plan) {
+        let (cold, first) = session
+            .plan_cached(sql)
+            .unwrap_or_else(|e| panic!("{name}: fixture failed to plan\n{}", e.render(sql)));
+        assert_eq!(first, CacheDisposition::Miss, "{name}: cold lookup");
+        let (warm, second) = session.plan_cached(sql).unwrap();
+        assert_eq!(second, CacheDisposition::Hit, "{name}: warm lookup");
+        let a = run_sim(
+            env,
+            &format!("{name}-cold"),
+            cold.plan,
+            SystemVariant::full(),
+            16,
+            512,
+        );
+        let b = run_sim(
+            env,
+            &format!("{name}-warm"),
+            warm.plan.clone(),
+            SystemVariant::full(),
+            16,
+            512,
+        );
+        assert_eq!(
+            a.result, b.result,
+            "{name}: cached plan result differs from the cold-planned result"
+        );
+        assert_equivalent(env, &format!("{name}-cached"), oracle, warm.plan);
+    }
+
+    let tpch = generate_tpch(TpchConfig::scaled(0.002), &topo);
+    let session = SqlSession::new(tpch.catalog(), Planner::new(&topo), SystemVariant::full());
+    let mut fixtures = 0u64;
+    for (q, sql) in tpch_sql::all() {
+        check_fixture(
+            &env,
+            &session,
+            &format!("Q{q}"),
+            sql,
+            tpch_queries::query(&tpch, q),
+        );
+        fixtures += 1;
+    }
+    let stats = session.stats();
+    assert_eq!(stats.plan_misses, fixtures, "one cold plan per fixture");
+    assert_eq!(stats.plan_hits, fixtures, "one warm hit per fixture");
+
+    let ssb = generate_ssb(SsbConfig::scaled(0.002), &topo);
+    let session = SqlSession::new(ssb.catalog(), Planner::new(&topo), SystemVariant::full());
+    for (id, sql) in ssb_sql::all() {
+        check_fixture(
+            &env,
+            &session,
+            &format!("SSB{id}"),
+            sql,
+            ssb_queries::query(&ssb, id),
+        );
     }
 }
 
