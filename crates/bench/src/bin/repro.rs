@@ -20,6 +20,21 @@
 //!                             run's hit/miss)
 //! ```
 //!
+//! Observability commands:
+//! ```text
+//! repro sql --analyze "<text>"   est-vs-actual rows + per-operator runtime
+//!                                profile from one profiled execution
+//! repro explain --analyze <q>    same profile detail for a fixture query
+//! repro metrics                  run a short service workload, print its
+//!                                metrics in Prometheus text format
+//!                                (self-validated; exits non-zero if bad)
+//! repro trace <q> [--out FILE]   run <q> on the threaded executor and
+//!                                export query/pipeline/morsel spans as
+//!                                Chrome-trace JSON (default trace_<q>.json)
+//! repro <experiment> --json      also write RESULT lines to
+//!                                BENCH_observability.json
+//! ```
+//!
 //! `sql` and `explain --sql` exit non-zero on any parse/bind error,
 //! printing the caret diagnostic — CI's smoke step relies on that.
 
@@ -38,11 +53,17 @@ fn main() {
     let mut sql_texts: Vec<String> = Vec::new();
     let mut db = SqlDb::Tpch;
     let mut repeat = 1usize;
+    let mut trace_queries: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "explain" => {
-                let target = args.next().expect("explain needs a query, e.g. q5");
+                let mut target = args.next().expect("explain needs a query, e.g. q5");
+                if target == "--analyze" {
+                    cfg.analyze = true;
+                    target = args.next().expect("explain --analyze needs a query");
+                }
                 if target == "--sql" {
                     explain_targets.push(ExplainTarget::Sql(
                         args.next().expect("explain --sql needs a query string"),
@@ -51,8 +72,21 @@ fn main() {
                     explain_targets.push(ExplainTarget::Query(target));
                 }
             }
+            "trace" => {
+                trace_queries.push(args.next().expect("trace needs a query, e.g. q6"));
+            }
+            "--out" => {
+                trace_out = Some(args.next().expect("--out needs a file path"));
+            }
+            "--analyze" => cfg.analyze = true,
+            "--json" => cfg.json = true,
             "sql" => {
-                sql_texts.push(args.next().expect("sql needs a query string"));
+                let mut text = args.next().expect("sql needs a query string");
+                if text == "--analyze" {
+                    cfg.analyze = true;
+                    text = args.next().expect("sql --analyze needs a query string");
+                }
+                sql_texts.push(text);
             }
             "--db" => {
                 db = match args.next().expect("--db needs tpch or ssb").as_str() {
@@ -105,7 +139,11 @@ fn main() {
             other => experiments_to_run.push(other.to_owned()),
         }
     }
-    if experiments_to_run.is_empty() && explain_targets.is_empty() && sql_texts.is_empty() {
+    if experiments_to_run.is_empty()
+        && explain_targets.is_empty()
+        && sql_texts.is_empty()
+        && trace_queries.is_empty()
+    {
         eprintln!(
             "usage: repro [--scale SF] [--workers N] [--morsel N] [--quick] \
              [--db tpch|ssb] <experiment>...\n\
@@ -113,8 +151,11 @@ fn main() {
              \x20            numa_micro fig12 fig13 interference all\n\
              extras: service_load (wall-clock serving scenario)\n\
              \x20       service_load_zipf (skewed replay through the caches)\n\
-             \x20       plan_quality | explain <q> | explain --sql \"<text>\"\n\
-             \x20       sql \"<text>\" [--repeat N] (full text -> plan -> execute path)"
+             \x20       plan_quality | explain [--analyze] <q> | explain --sql \"<text>\"\n\
+             \x20       sql [--analyze] \"<text>\" [--repeat N] (full text -> plan -> execute)\n\
+             \x20       metrics (Prometheus exposition of a short service run)\n\
+             \x20       trace <q> [--out FILE] (Chrome-trace JSON span export)\n\
+             \x20       --json (write RESULT lines to BENCH_observability.json)"
         );
         std::process::exit(2);
     }
@@ -148,6 +189,17 @@ fn main() {
             Err(diag) => fail(diag),
         }
     }
+    for q in &trace_queries {
+        let (summary, json) = morsel_bench::trace_query(&cfg, q);
+        let path = trace_out
+            .clone()
+            .unwrap_or_else(|| format!("trace_{}.json", q.replace('.', "_")));
+        if let Err(e) = std::fs::write(&path, &json) {
+            fail(format!("trace: cannot write {path}: {e}"));
+        }
+        print!("{summary}");
+        println!("chrome trace written to {path} ({} bytes)", json.len());
+    }
     let all = [
         "fig6",
         "numa_micro",
@@ -166,6 +218,7 @@ fn main() {
     } else {
         experiments_to_run.iter().map(String::as_str).collect()
     };
+    let mut json_reports: Vec<(String, String)> = Vec::new();
     for exp in list {
         let started = std::time::Instant::now();
         let report = match exp {
@@ -183,6 +236,10 @@ fn main() {
             "service_load" => morsel_bench::service_load(&cfg),
             "service_load_zipf" => morsel_bench::service_load_zipf(&cfg),
             "plan_quality" => morsel_bench::plan_quality(&cfg),
+            "metrics" => match morsel_bench::metrics_snapshot(&cfg) {
+                Ok(text) => text,
+                Err(e) => fail(e),
+            },
             other => {
                 eprintln!("unknown experiment {other:?}");
                 std::process::exit(2);
@@ -193,5 +250,14 @@ fn main() {
             "[{exp} regenerated in {:.1}s wall time]\n",
             started.elapsed().as_secs_f64()
         );
+        if cfg.json {
+            json_reports.push((exp.to_owned(), report));
+        }
+    }
+    if cfg.json && !json_reports.is_empty() {
+        match morsel_bench::write_bench_json(&json_reports) {
+            Ok(path) => println!("machine-readable results written to {path}"),
+            Err(e) => fail(format!("--json: cannot write results: {e}")),
+        }
     }
 }

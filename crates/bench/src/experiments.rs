@@ -32,6 +32,12 @@ pub struct ExpConfig {
     pub morsel_size: usize,
     /// Reduced sweeps for CI / quick runs.
     pub quick: bool,
+    /// `--analyze`: augment `explain`/`sql` output with the full
+    /// per-operator runtime profile from the single profiled execution.
+    pub analyze: bool,
+    /// `--json`: write machine-readable `RESULT` lines to
+    /// `BENCH_observability.json` after the run.
+    pub json: bool,
 }
 
 impl Default for ExpConfig {
@@ -45,6 +51,8 @@ impl Default for ExpConfig {
             workers: 64,
             morsel_size: 512,
             quick: false,
+            analyze: false,
+            json: false,
         }
     }
 }
@@ -651,6 +659,7 @@ mod tests {
             workers: 16,
             morsel_size: 2048,
             quick: true,
+            ..Default::default()
         }
     }
 

@@ -1,0 +1,106 @@
+//! Machine-readable bench output (`repro … --json`).
+//!
+//! Experiments already print machine-parseable `RESULT key=value …`
+//! lines for CI's `awk` assertions; this module re-packages those lines
+//! into one JSON document, `BENCH_observability.json`, so downstream
+//! tooling gets structured numbers without scraping tables. JSON is
+//! hand-rolled — the workspace vendors no serde.
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One `key=value` pair rendered as a JSON member: numeric values stay
+/// numbers (JSON forbids `NaN`/`inf`, which fall back to strings).
+fn member(key: &str, value: &str) -> String {
+    match value.parse::<f64>() {
+        Ok(v) if v.is_finite() => format!("\"{}\":{}", escape(key), value),
+        _ => format!("\"{}\":\"{}\"", escape(key), escape(value)),
+    }
+}
+
+/// Parse every `RESULT k=v …` line of one report into a JSON array of
+/// objects (one per line, members in line order).
+fn results_array(report: &str) -> String {
+    let rows: Vec<String> = report
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("RESULT "))
+        .map(|rest| {
+            let members: Vec<String> = rest
+                .split_whitespace()
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| member(k, v))
+                .collect();
+            format!("{{{}}}", members.join(","))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Render the whole document: `{"experiments":{name:[rows…],…}}`.
+pub fn render_bench_json(entries: &[(String, String)]) -> String {
+    let exps: Vec<String> = entries
+        .iter()
+        .map(|(name, report)| format!("\"{}\":{}", escape(name), results_array(report)))
+        .collect();
+    format!("{{\"experiments\":{{{}}}}}", exps.join(","))
+}
+
+/// Write `BENCH_observability.json` from the run's reports. Returns the
+/// path written to.
+pub fn write_bench_json(entries: &[(String, String)]) -> std::io::Result<&'static str> {
+    const PATH: &str = "BENCH_observability.json";
+    std::fs::write(PATH, render_bench_json(entries))?;
+    Ok(PATH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_lines_become_json_rows() {
+        let report = "header\nRESULT mode=plan hits=10 misses=2 hit_rate=0.833 qps=12.5\n\
+                      RESULT mode=uncached hits=0 misses=0 hit_rate=0.000 qps=9.1\ntrailer\n";
+        let doc = render_bench_json(&[("service_load_zipf".into(), report.into())]);
+        assert!(doc.starts_with("{\"experiments\":{\"service_load_zipf\":["));
+        assert!(doc.contains("\"mode\":\"plan\""), "{doc}");
+        assert!(doc.contains("\"hits\":10"), "{doc}");
+        assert!(doc.contains("\"hit_rate\":0.833"), "{doc}");
+        // Two RESULT lines, two rows.
+        assert_eq!(doc.matches("\"mode\"").count(), 2);
+        // Balanced braces/brackets — cheap structural sanity.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn non_numeric_and_special_values_are_quoted() {
+        let report = "RESULT mode=a+b ratio=inf note=hello\n";
+        let doc = render_bench_json(&[("x".into(), report.into())]);
+        assert!(doc.contains("\"mode\":\"a+b\""));
+        assert!(
+            doc.contains("\"ratio\":\"inf\""),
+            "inf is not valid JSON: {doc}"
+        );
+        assert!(doc.contains("\"note\":\"hello\""));
+    }
+
+    #[test]
+    fn reports_without_result_lines_yield_empty_arrays() {
+        let doc = render_bench_json(&[("fig6".into(), "just a table\n".into())]);
+        assert_eq!(doc, "{\"experiments\":{\"fig6\":[]}}");
+    }
+}

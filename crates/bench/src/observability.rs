@@ -1,0 +1,160 @@
+//! The `repro metrics` and `repro trace` commands: the CLI surface of
+//! the observability stack.
+//!
+//! `metrics` drives a short closed-loop workload through the query
+//! service and prints the resulting [`morsel_service::ServiceReport`] in
+//! Prometheus text exposition format, self-validated with
+//! [`validate_exposition`] so a malformed exposition exits non-zero.
+//! `trace` runs one query on the real threaded executor with a
+//! [`TraceRecorder`] attached and exports the query → pipeline → morsel
+//! span hierarchy as Chrome-trace JSON (loadable in `chrome://tracing`
+//! or Perfetto).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morsel_core::{
+    render_chrome_trace, validate_exposition, AgingPolicy, DispatchConfig, ExecEnv, SpanKind,
+    ThreadedExecutor, TraceRecorder,
+};
+use morsel_exec::plan::{compile_query, Plan};
+use morsel_exec::SystemVariant;
+use morsel_numa::Topology;
+use morsel_queries::{ssb_queries, tpch_queries};
+use morsel_service::{run_closed_loop, QueryRequest, QueryService, ServiceConfig};
+
+use crate::experiments::ExpConfig;
+use crate::service_load::build_query;
+
+/// The `repro metrics` command: run a short mixed TPC-H/SSB closed-loop
+/// workload through the service and return its metrics in Prometheus
+/// text format. The exposition is validated before being returned;
+/// a violation is an `Err` (the CLI exits non-zero on it).
+pub fn metrics_snapshot(cfg: &ExpConfig) -> Result<String, String> {
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let tpch = Arc::new(morsel_datagen::generate_tpch(
+        morsel_datagen::TpchConfig::scaled(cfg.scale),
+        &topo,
+    ));
+    let ssb = Arc::new(morsel_datagen::generate_ssb(
+        morsel_datagen::SsbConfig::scaled(cfg.ssb_scale),
+        &topo,
+    ));
+    let workers = cfg.workers.min(4);
+    let clients = 4;
+    let per_client = if cfg.quick { 3 } else { 6 };
+    let service = QueryService::start(
+        env,
+        ServiceConfig::new(workers)
+            .with_morsel_size(cfg.morsel_size.max(2_048))
+            .with_max_in_flight(workers.max(2))
+            .with_max_queue(4 * clients + 8)
+            .with_aging(AgingPolicy::every(
+                Duration::from_millis(5).as_nanos() as u64
+            )),
+    );
+    let _reports = run_closed_loop(&service, clients, per_client, move |client, seq| {
+        QueryRequest::new(build_query(&tpch, &ssb, client, seq))
+    });
+    let text = service.shutdown().render_prometheus();
+    let samples = validate_exposition(&text)
+        .map_err(|e| format!("metrics exposition failed validation: {e}"))?;
+    debug_assert!(samples > 0);
+    Ok(text)
+}
+
+/// Resolve `q5`/`5` (TPC-H) or `ssb2.1`/`2.1` (SSB) to a hand-authored
+/// physical plan against a freshly generated database, mirroring
+/// `repro explain`'s query grammar.
+fn resolve_query(cfg: &ExpConfig, query: &str) -> (String, Plan) {
+    let topo = Topology::laptop();
+    let spec = query.trim().to_lowercase();
+    if let Some(id) = spec
+        .strip_prefix("ssb")
+        .map(str::to_owned)
+        .or_else(|| spec.contains('.').then(|| spec.clone()))
+    {
+        let db =
+            morsel_datagen::generate_ssb(morsel_datagen::SsbConfig::scaled(cfg.ssb_scale), &topo);
+        (format!("ssb{id}"), ssb_queries::query(&db, &id))
+    } else {
+        let n: usize = spec
+            .strip_prefix('q')
+            .unwrap_or(&spec)
+            .parse()
+            .unwrap_or_else(|_| panic!("unrecognized query {query:?}; try q5 or ssb2.1"));
+        let db =
+            morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(cfg.scale), &topo);
+        (format!("q{n}"), tpch_queries::query(&db, n))
+    }
+}
+
+/// The `repro trace <q>` command: execute one query on the threaded
+/// executor with span recording on and return `(summary, chrome_json)`.
+/// The caller decides where the JSON lands (`--out`, default
+/// `trace_<q>.json`).
+pub fn trace_query(cfg: &ExpConfig, query: &str) -> (String, String) {
+    let topo = Topology::laptop();
+    let env = ExecEnv::new(topo.clone());
+    let (name, plan) = resolve_query(cfg, query);
+    let workers = cfg.workers.min(4);
+    let variant = SystemVariant::full();
+    let config = DispatchConfig::new(workers)
+        .with_mode(variant.mode(workers))
+        .with_morsel_size(cfg.morsel_size);
+    let recorder = Arc::new(TraceRecorder::new());
+    let exec = ThreadedExecutor::new(env, config).with_trace(Arc::clone(&recorder));
+    let (spec, _result) = compile_query(name.clone(), plan, variant);
+    let handles = exec.run(vec![spec]);
+    let outcome = handles[0].outcome().expect("run() joins to terminal state");
+    let events = recorder.take();
+    let count = |kind: SpanKind| events.iter().filter(|e| e.kind == kind).count();
+    let summary = format!(
+        "trace {name}: {:?}, {} spans ({} query / {} pipeline / {} morsel), {workers} workers\n",
+        outcome,
+        events.len(),
+        count(SpanKind::Query),
+        count(SpanKind::Pipeline),
+        count(SpanKind::Morsel),
+    );
+    (summary, render_chrome_trace(&events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 0.001,
+            ssb_scale: 0.001,
+            workers: 2,
+            morsel_size: 2048,
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_is_valid_prometheus() {
+        let text = metrics_snapshot(&tiny()).expect("exposition validates");
+        assert!(text.contains("# TYPE morsel_service_queries_total counter"));
+        assert!(text.contains("morsel_service_queries_total{outcome=\"completed\"}"));
+        assert!(text.contains("morsel_exec_morsels_total"));
+    }
+
+    #[test]
+    fn trace_query_emits_all_three_span_kinds() {
+        let (summary, json) = trace_query(&tiny(), "q6");
+        assert!(summary.contains("Completed"), "{summary}");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for cat in [
+            "\"cat\":\"query\"",
+            "\"cat\":\"pipeline\"",
+            "\"cat\":\"morsel\"",
+        ] {
+            assert!(json.contains(cat), "missing {cat} in trace");
+        }
+    }
+}

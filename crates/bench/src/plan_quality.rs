@@ -219,15 +219,54 @@ fn render_explain(
         ));
     }
 
-    // Estimated vs actual: run every operator's subtree and count rows.
+    // Estimated vs actual from ONE profiled execution: the runtime
+    // profile's slots are numbered in explain order (pre-order,
+    // probe-first), so `profile.ops[i].rows_out` is line i's actual.
+    // Re-executing every subtree survives only as the test oracle
+    // (`subtree_actuals`, asserted equal in tests/planner_equivalence.rs).
     let lines = explain::collect(lowered, &planner.estimator);
-    let actuals: Vec<usize> = lines
+    let run = run_sim(
+        env,
+        "explain-analyze",
+        lowered.clone(),
+        SystemVariant::full(),
+        16,
+        cfg.morsel_size,
+    );
+    let profile = run
+        .profile
+        .expect("SystemVariant::full() compiles with profiling on");
+    assert_eq!(
+        profile.ops.len(),
+        lines.len(),
+        "profile slots diverge from explain lines"
+    );
+    let actuals: Vec<usize> = profile.ops.iter().map(|o| o.rows_out as usize).collect();
+    out.push_str("\noperators (estimated vs actual, one profiled execution):\n");
+    out.push_str(&explain::render(&lines, Some(&actuals)));
+    if cfg.analyze {
+        out.push_str("\nruntime profile (per operator, summed over workers):\n");
+        out.push_str(&profile.render());
+    }
+    out
+}
+
+/// The old est-vs-actual oracle: run every explain line's subtree in
+/// isolation and count its result rows. Quadratic in plan depth — kept
+/// *only* so tests can assert the single-execution profile agrees with
+/// it on every fixture; the CLI paths never call this.
+pub fn subtree_actuals(
+    env: &ExecEnv,
+    cfg: &ExpConfig,
+    lines: &[explain::ExplainLine],
+) -> Vec<usize> {
+    lines
         .iter()
         .enumerate()
         .map(|(i, line)| {
             run_sim(
                 env,
-                &format!("explain-{i}"),
+                &format!("explain-oracle-{i}"),
                 line.subplan.clone(),
                 SystemVariant::full(),
                 16,
@@ -236,10 +275,7 @@ fn render_explain(
             .result
             .rows()
         })
-        .collect();
-    out.push_str("\noperators (estimated vs measured cardinality):\n");
-    out.push_str(&explain::render(&lines, Some(&actuals)));
-    out
+        .collect()
 }
 
 /// Which generated database `repro sql` binds against.
@@ -319,6 +355,19 @@ pub fn run_sql_in(
         if run == 1 {
             for b in &handle.report.blocks {
                 out.push_str(&format!("join order: {}\n", b.order));
+            }
+            if cfg.analyze {
+                let planner = Planner::new(&topo);
+                let lines = explain::collect(&handle.plan, &planner.estimator);
+                let profile = outcome
+                    .profile
+                    .as_ref()
+                    .expect("SystemVariant::full() compiles with profiling on");
+                let actuals: Vec<usize> = profile.ops.iter().map(|o| o.rows_out as usize).collect();
+                out.push_str("operators (estimated vs actual, one profiled execution):\n");
+                out.push_str(&explain::render(&lines, Some(&actuals)));
+                out.push_str("runtime profile (per operator, summed over workers):\n");
+                out.push_str(&profile.render());
             }
             out.push_str(&format!("columns: {}\n", handle.schema.names().join(" | ")));
             let rows = outcome.result.rows();
@@ -432,6 +481,29 @@ mod tests {
             .expect_err("unknown column must fail");
         assert!(err.contains("unknown column"), "{err}");
         assert!(err.contains('^'), "diagnostic rendered: {err}");
+    }
+
+    #[test]
+    fn sql_analyze_renders_est_vs_actual_and_profile() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            ssb_scale: 0.002,
+            quick: true,
+            analyze: true,
+            ..Default::default()
+        };
+        let out = run_sql(
+            &cfg,
+            SqlDb::Tpch,
+            "SELECT o_orderpriority, COUNT(*) AS n FROM orders, lineitem \
+             WHERE o_orderkey = l_orderkey GROUP BY o_orderpriority ORDER BY o_orderpriority",
+            1,
+        )
+        .expect("valid SQL runs under --analyze");
+        assert!(out.contains("est="), "{out}");
+        assert!(out.contains("actual="), "{out}");
+        assert!(out.contains("runtime profile"), "{out}");
+        assert!(out.contains("wall="), "{out}");
     }
 
     #[test]

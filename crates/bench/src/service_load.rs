@@ -91,6 +91,7 @@ pub fn service_load(cfg: &ExpConfig) -> String {
     let mut t = Table::new(&[
         "clients", "done", "canc", "rej", "fail", "q/s", "p50 lo", "p99 lo", "p50 hi", "p99 hi",
     ]);
+    let mut result_lines = String::new();
     for &clients in &client_counts {
         let service = QueryService::start(
             env.clone(),
@@ -114,6 +115,23 @@ pub fn service_load(cfg: &ExpConfig) -> String {
                 .map(|(_, h)| (fmt_ns(h.p50()), fmt_ns(h.p99())))
                 .unwrap_or_else(|| ("-".into(), "-".into()))
         };
+        let raw = |prio: u32| -> (u64, u64) {
+            summary
+                .priority(prio)
+                .map(|(_, h)| (h.p50(), h.p99()))
+                .unwrap_or((0, 0))
+        };
+        let ((lo50_ns, lo99_ns), (hi50_ns, hi99_ns)) = (raw(1), raw(8));
+        result_lines.push_str(&format!(
+            "RESULT clients={clients} completed={} cancelled={} rejected={} failed={} \
+             qps={:.2} p50_lo_ns={lo50_ns} p99_lo_ns={lo99_ns} p50_hi_ns={hi50_ns} \
+             p99_hi_ns={hi99_ns}\n",
+            summary.completed(),
+            summary.cancelled(),
+            summary.rejected(),
+            summary.failed(),
+            summary.throughput_qps(),
+        ));
         let (lo50, lo99) = quantiles(1);
         let (hi50, hi99) = quantiles(8);
         t.row(vec![
@@ -132,10 +150,11 @@ pub fn service_load(cfg: &ExpConfig) -> String {
     format!(
         "Service load — closed-loop clients over admission-controlled service \
          ({workers} workers, TPC-H SF {} + SSB SF {}, {per_client} queries/client; \
-         lo = priority 1, hi = priority 8)\n{}",
+         lo = priority 1, hi = priority 8)\n{}\n{}",
         cfg.scale,
         cfg.ssb_scale,
-        t.render()
+        t.render(),
+        result_lines
     )
 }
 
@@ -298,6 +317,7 @@ mod tests {
             workers: 2,
             morsel_size: 2048,
             quick: true,
+            ..Default::default()
         };
         let out = service_load(&cfg);
         assert!(out.contains("clients"), "missing header:\n{out}");
@@ -317,6 +337,7 @@ mod tests {
             workers: 2,
             morsel_size: 2048,
             quick: true,
+            ..Default::default()
         };
         let out = service_load_zipf(&cfg);
         for mode in ["uncached", "plan", "plan+result"] {

@@ -255,6 +255,14 @@ impl Dispatcher {
     /// Register a query and build its first executable pipeline. `now_ns`
     /// stamps the query start (virtual or wall clock, per executor).
     pub fn submit(&self, spec: QuerySpec, now_ns: u64) -> QueryHandle {
+        let profile = if spec.profile_ops.is_empty() {
+            None
+        } else {
+            Some(Arc::new(crate::profile::ProfileSlots::new(
+                spec.profile_ops,
+                self.config.workers,
+            )))
+        };
         let shared = Arc::new(QueryShared {
             name: spec.name,
             priority: AtomicU32::new(spec.priority),
@@ -271,6 +279,7 @@ impl Dispatcher {
             deadline_ns: AtomicU64::new(spec.deadline_ns.unwrap_or(u64::MAX)),
             budget: MemBudget::new(spec.mem_cap, self.env.mem_pool().cloned()),
             failure: Mutex::new(None),
+            profile,
         });
         let exec = Arc::new(QueryExec {
             shared: Arc::clone(&shared),
@@ -406,11 +415,19 @@ impl Dispatcher {
     /// morsel execution, skipping it entirely for queries already being
     /// torn down (cancelled or failed) — their partial state is
     /// discarded, not finalized.
+    ///
+    /// Finish work always runs in a context *bound to the owning query*,
+    /// even when the observing context is unbound (a `Claim::Drained`
+    /// race, or submit-time empty stages): finish-time recording —
+    /// result-assembly rows, profile counters — must be attributed to
+    /// the query, not dropped.
     fn contained_finish(&self, ctx: &mut TaskContext<'_>, q: &Arc<QueryExec>, job: &JobExec) {
         if q.shared.cancelled.load(Ordering::Acquire) {
             return;
         }
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job.job.finish(ctx))) {
+        let shared = Arc::clone(&q.shared);
+        let mut bound = TaskContext::new(&self.env, ctx.worker).with_query(&shared);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job.job.finish(&mut bound))) {
             q.shared
                 .fail(FailReason::OperatorPanic, panic_message(payload));
         }

@@ -143,6 +143,9 @@ impl MemPool {
 #[derive(Debug, Default)]
 struct BudgetState {
     reserved: u64,
+    /// High-water mark of `reserved` over the query's lifetime; survives
+    /// releases and `release_all` so the profile can report peak memory.
+    peak: u64,
     /// Set by `release_all`: the query is retired and late reservations
     /// (racing morsels observed mid-teardown) must be refused so they
     /// cannot leak pool bytes past the query's lifetime.
@@ -197,6 +200,12 @@ impl MemBudget {
         self.cap
     }
 
+    /// High-water mark of this query's reservations, in bytes. Stable
+    /// after retirement (releases never lower it).
+    pub fn peak(&self) -> u64 {
+        self.state.lock().peak
+    }
+
     /// Reserve `bytes` against the cap and the pool.
     ///
     /// On `Err` nothing is retained: the caller should mark the query
@@ -222,6 +231,7 @@ impl MemBudget {
                     }
                 }
                 st.reserved = next;
+                st.peak = st.peak.max(next);
                 Ok(())
             }
             _ => Err(exhausted(&st, self.cap)),
@@ -345,6 +355,27 @@ mod tests {
         assert_eq!(budget.reserved(), 0);
         assert_eq!(pool.reserved(), 0);
         budget.release_all();
+    }
+
+    #[test]
+    fn peak_tracks_high_water_across_releases() {
+        let budget = MemBudget::new(Some(100), None);
+        assert_eq!(budget.peak(), 0);
+        budget.try_reserve(40).unwrap();
+        budget.try_reserve(30).unwrap();
+        assert_eq!(budget.peak(), 70);
+        budget.release(50);
+        assert_eq!(budget.peak(), 70, "release never lowers the peak");
+        budget.try_reserve(20).unwrap();
+        assert_eq!(budget.peak(), 70);
+        budget.try_reserve(40).unwrap();
+        assert_eq!(budget.peak(), 80);
+        // A refused reservation leaves the peak untouched.
+        assert!(budget.try_reserve(1_000).is_err());
+        assert_eq!(budget.peak(), 80);
+        budget.release_all();
+        assert_eq!(budget.reserved(), 0);
+        assert_eq!(budget.peak(), 80, "peak survives retirement");
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub mod env;
 pub mod fault;
 pub mod govern;
 pub mod job;
+pub mod metrics;
+pub mod profile;
 pub mod query;
 pub mod queue;
 pub mod sim;
@@ -33,6 +35,8 @@ pub use env::ExecEnv;
 pub use fault::{Fault, FaultInjector, FaultPlan, MorselFault, FAULT_PLAN_ENV};
 pub use govern::{EngineError, MemBudget, MemPool};
 pub use job::{BuiltJob, PipelineJob};
+pub use metrics::{validate_exposition, MetricFamily, MetricKind, MetricsRegistry};
+pub use profile::{OpProfile, ProfileSlots, QueryProfile};
 pub use query::{
     result_slot, FailReason, FnStage, QueryHandle, QueryOutcome, QuerySpec, QueryStats,
     RejectReason, ResultSlot, Stage,
@@ -41,4 +45,4 @@ pub use queue::{MorselQueues, SchedulingMode};
 pub use sim::{SimExecutor, SimReport};
 pub use task::{ChunkMeta, Morsel, MorselProfile, TaskContext, DEFAULT_MORSEL_SIZE};
 pub use threaded::ThreadedExecutor;
-pub use trace::{render_ascii, TraceEvent, TraceRecorder};
+pub use trace::{render_ascii, render_chrome_trace, SpanKind, TraceEvent, TraceRecorder};

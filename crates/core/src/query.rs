@@ -18,6 +18,7 @@ use crate::env::ExecEnv;
 use crate::fault::FaultInjector;
 use crate::govern::{EngineError, MemBudget};
 use crate::job::BuiltJob;
+use crate::profile::{ProfileSlots, QueryProfile};
 
 /// One pipeline stage of a query. Built exactly once, when all previous
 /// stages have completed, on a worker thread.
@@ -86,6 +87,12 @@ pub struct QuerySpec {
     /// [`crate::EngineError::ResourceExhausted`] and the query fails at
     /// the next morsel boundary. `None` means pool-limited only.
     pub mem_cap: Option<u64>,
+    /// Operator labels for runtime profiling, in explain (pre-order,
+    /// probe-first) plan order. Non-empty ⇒ the dispatcher allocates a
+    /// [`ProfileSlots`] table at submit time and operators record
+    /// per-morsel counters into it; empty ⇒ profiling is off for this
+    /// query and every recording call is a no-op.
+    pub profile_ops: Vec<String>,
 }
 
 impl QuerySpec {
@@ -98,6 +105,7 @@ impl QuerySpec {
             submitted_ns: None,
             deadline_ns: None,
             mem_cap: None,
+            profile_ops: Vec::new(),
         }
     }
 
@@ -122,6 +130,13 @@ impl QuerySpec {
     /// Cap this query's memory reservations (see [`QuerySpec::mem_cap`]).
     pub fn with_mem_cap(mut self, bytes: u64) -> Self {
         self.mem_cap = Some(bytes);
+        self
+    }
+
+    /// Enable per-operator profiling with these slot labels (see
+    /// [`QuerySpec::profile_ops`]).
+    pub fn with_profile_ops(mut self, labels: Vec<String>) -> Self {
+        self.profile_ops = labels;
         self
     }
 }
@@ -259,6 +274,9 @@ pub struct QueryShared {
     /// First failure cause, if the query failed rather than being
     /// cancelled. Written at most once, by [`QueryShared::fail`].
     pub failure: Mutex<Option<(FailReason, String)>>,
+    /// Per-operator runtime counters, if profiling is enabled for this
+    /// query (see [`QuerySpec::profile_ops`]).
+    pub profile: Option<Arc<ProfileSlots>>,
 }
 
 impl QueryShared {
@@ -389,6 +407,16 @@ impl QueryHandle {
     pub fn traffic(&self) -> morsel_numa::TrafficSnapshot {
         self.shared.counters.snapshot()
     }
+
+    /// Merged per-operator runtime profile, if profiling was enabled for
+    /// this query. Valid any time; stable once the query is done.
+    pub fn profile(&self) -> Option<QueryProfile> {
+        self.shared.profile.as_ref().map(|slots| {
+            let mut p = slots.snapshot();
+            p.peak_reserved_bytes = self.shared.budget.peak();
+            p
+        })
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +439,7 @@ mod tests {
             deadline_ns: AtomicU64::new(u64::MAX),
             budget: MemBudget::unlimited(),
             failure: Mutex::new(None),
+            profile: None,
         })
     }
 
@@ -545,6 +574,7 @@ mod tests {
             deadline_ns: AtomicU64::new(u64::MAX),
             budget: MemBudget::new(Some(100), None),
             failure: Mutex::new(None),
+            profile: None,
         });
         let inert = FaultInjector::default();
         assert!(shared.try_reserve(60, &inert).is_ok());
@@ -575,6 +605,7 @@ mod tests {
             deadline_ns: AtomicU64::new(u64::MAX),
             budget: MemBudget::unlimited(),
             failure: Mutex::new(None),
+            profile: None,
         });
         assert!(shared2.try_reserve(1, &faulty).is_err());
         assert_eq!(shared2.budget.reserved(), 0);

@@ -26,7 +26,7 @@ use crate::dispatcher::{DispatchConfig, Dispatcher, Task};
 use crate::env::ExecEnv;
 use crate::query::{QueryHandle, QuerySpec};
 use crate::task::TaskContext;
-use crate::trace::{TraceEvent, TraceRecorder};
+use crate::trace::{SpanKind, TraceEvent, TraceRecorder};
 
 /// A scheduled control action.
 enum Action {
@@ -264,6 +264,7 @@ impl SimExecutor {
                                 end_ns: t + duration,
                                 query: task.query_name().to_owned(),
                                 job: task.job_label().to_owned(),
+                                kind: SpanKind::Morsel,
                             });
                         }
                         states[w].busy = true;

@@ -6,6 +6,7 @@ use morsel_numa::{AccessCounters, Residency, SocketId};
 
 use crate::env::ExecEnv;
 use crate::govern::EngineError;
+use crate::profile::ProfileSlots;
 use crate::query::QueryShared;
 
 /// The paper's experimentally determined default morsel size is ~100,000
@@ -229,6 +230,75 @@ impl<'a> TaskContext<'a> {
     /// Record pure compute: `tuples` processed at `ns_per_tuple`.
     pub fn cpu(&mut self, tuples: u64, ns_per_tuple: f64) {
         self.profile.cpu_ns += tuples as f64 * ns_per_tuple;
+    }
+
+    // ---- per-operator runtime profiling --------------------------------
+    //
+    // All methods take `&self`: the counters live in the bound query's
+    // `ProfileSlots` (per-worker atomic rows), not in this context. Every
+    // call is a no-op when the context has no bound query or the query
+    // was submitted without profile labels, so operators record
+    // unconditionally and the `SystemVariant::profiling` knob gates cost
+    // at plan-compile time.
+
+    /// True when per-operator profiling is live for the bound query.
+    pub fn profiling(&self) -> bool {
+        self.prof_slots().is_some()
+    }
+
+    #[inline]
+    fn prof_slots(&self) -> Option<&ProfileSlots> {
+        self.query.and_then(|q| q.profile.as_deref())
+    }
+
+    /// A morsel entered the pipeline led by operator `op` (its scan):
+    /// `rows_in` raw tuples, `rows_out` after the scan's filter+project.
+    pub fn prof_morsel(&self, op: u32, rows_in: u64, rows_out: u64, wall_ns: u64) {
+        if let Some(s) = self.prof_slots() {
+            s.record_morsel(self.worker, op, rows_in, rows_out, wall_ns);
+        }
+    }
+
+    /// One batch flowed through in-pipeline operator `op`.
+    pub fn prof_rows(&self, op: u32, rows_in: u64, rows_out: u64, wall_ns: u64) {
+        if let Some(s) = self.prof_slots() {
+            s.record_batch(self.worker, op, rows_in, rows_out, wall_ns);
+        }
+    }
+
+    /// Rows flowing into pipeline breaker `op` (agg/sort input).
+    pub fn prof_rows_in(&self, op: u32, n: u64) {
+        if let Some(s) = self.prof_slots() {
+            s.add_rows_in(self.worker, op, n);
+        }
+    }
+
+    /// Rows breaker `op` produced (groups, merged sort output).
+    pub fn prof_rows_out(&self, op: u32, n: u64) {
+        if let Some(s) = self.prof_slots() {
+            s.add_rows_out(self.worker, op, n);
+        }
+    }
+
+    /// Rows inserted into join `op`'s hash-table build.
+    pub fn prof_build_rows(&self, op: u32, n: u64) {
+        if let Some(s) = self.prof_slots() {
+            s.add_build_rows(self.worker, op, n);
+        }
+    }
+
+    /// Spill fragments / sort runs emitted by operator `op`.
+    pub fn prof_fragments(&self, op: u32, n: u64) {
+        if let Some(s) = self.prof_slots() {
+            s.add_fragments(self.worker, op, n);
+        }
+    }
+
+    /// Wall time charged to breaker `op`'s build/merge work.
+    pub fn prof_wall_ns(&self, op: u32, n: u64) {
+        if let Some(s) = self.prof_slots() {
+            s.add_wall_ns(self.worker, op, n);
+        }
     }
 }
 

@@ -8,22 +8,40 @@
 //! the requesting worker itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::dispatcher::{DispatchConfig, Dispatcher};
 use crate::env::ExecEnv;
 use crate::query::{QueryHandle, QuerySpec};
 use crate::task::TaskContext;
+use crate::trace::{SpanKind, TraceEvent, TraceRecorder};
 
 /// Runs batches of queries on real OS threads.
 pub struct ThreadedExecutor {
     env: ExecEnv,
     config: DispatchConfig,
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl ThreadedExecutor {
     pub fn new(env: ExecEnv, config: DispatchConfig) -> Self {
-        ThreadedExecutor { env, config }
+        ThreadedExecutor {
+            env,
+            config,
+            recorder: None,
+        }
+    }
+
+    /// Record wall-clock execution spans into `recorder`: one
+    /// [`SpanKind::Morsel`] per executed morsel, one
+    /// [`SpanKind::Pipeline`] per contiguous run of same-pipeline morsels
+    /// on one worker, and one [`SpanKind::Query`] per query. Workers
+    /// buffer spans thread-locally and flush once at exit, so tracing
+    /// adds no cross-thread synchronization to the morsel loop.
+    pub fn with_trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     pub fn env(&self) -> &ExecEnv {
@@ -46,29 +64,97 @@ impl ThreadedExecutor {
                 let dispatcher = &dispatcher;
                 let env = &self.env;
                 let executed = &executed;
-                scope.spawn(move || loop {
-                    let now = start.elapsed().as_nanos() as u64;
-                    match dispatcher.next_task(w, now) {
-                        Some(task) => {
-                            let qs = task.query_counters();
-                            let mut ctx = TaskContext::new(env, w).with_query(&qs);
-                            task.run(&mut ctx);
-                            let now = start.elapsed().as_nanos() as u64;
-                            dispatcher.complete_task(&mut ctx, task, now);
-                            executed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        None => {
-                            if dispatcher.all_done() {
-                                break;
+                let recorder = self.recorder.clone();
+                scope.spawn(move || {
+                    let mut spans: Vec<TraceEvent> = Vec::new();
+                    // The open pipeline span: (query, job, start, end).
+                    let mut pipe: Option<(String, String, u64, u64)> = None;
+                    loop {
+                        let now = start.elapsed().as_nanos() as u64;
+                        match dispatcher.next_task(w, now) {
+                            Some(task) => {
+                                // Capture identity before complete_task
+                                // consumes the task.
+                                let ident = recorder.is_some().then(|| {
+                                    (task.query_name().to_owned(), task.job_label().to_owned())
+                                });
+                                let qs = task.query_counters();
+                                let mut ctx = TaskContext::new(env, w).with_query(&qs);
+                                let t0 = start.elapsed().as_nanos() as u64;
+                                task.run(&mut ctx);
+                                let t1 = start.elapsed().as_nanos() as u64;
+                                dispatcher.complete_task(&mut ctx, task, t1);
+                                executed.fetch_add(1, Ordering::Relaxed);
+                                if let Some((query, job)) = ident {
+                                    spans.push(TraceEvent {
+                                        worker: w,
+                                        start_ns: t0,
+                                        end_ns: t1,
+                                        query: query.clone(),
+                                        job: job.clone(),
+                                        kind: SpanKind::Morsel,
+                                    });
+                                    match &mut pipe {
+                                        Some((pq, pj, _, pe)) if *pq == query && *pj == job => {
+                                            *pe = t1;
+                                        }
+                                        _ => {
+                                            if let Some(done) = pipe.take() {
+                                                spans.push(pipeline_span(w, done));
+                                            }
+                                            pipe = Some((query, job, t0, t1));
+                                        }
+                                    }
+                                }
                             }
-                            std::thread::yield_now();
+                            None => {
+                                if dispatcher.all_done() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    if let Some(rec) = recorder {
+                        if let Some(done) = pipe.take() {
+                            spans.push(pipeline_span(w, done));
+                        }
+                        for s in spans {
+                            rec.record(s);
                         }
                     }
                 });
             }
         });
         debug_assert!(dispatcher.all_done());
+        if let Some(rec) = &self.recorder {
+            for h in &handles {
+                let stats = h.stats();
+                rec.record(TraceEvent {
+                    worker: 0,
+                    start_ns: stats.started_ns,
+                    end_ns: stats.finished_ns,
+                    query: h.name().to_owned(),
+                    job: String::new(),
+                    kind: SpanKind::Query,
+                });
+            }
+        }
         handles
+    }
+}
+
+fn pipeline_span(
+    worker: usize,
+    (query, job, start_ns, end_ns): (String, String, u64, u64),
+) -> TraceEvent {
+    TraceEvent {
+        worker,
+        start_ns,
+        end_ns,
+        query,
+        job,
+        kind: SpanKind::Pipeline,
     }
 }
 

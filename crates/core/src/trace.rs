@@ -1,8 +1,37 @@
-//! Execution traces, for the paper's Figure 13 (morsel-wise elasticity).
+//! Execution traces, for the paper's Figure 13 (morsel-wise elasticity)
+//! and Chrome-trace/Perfetto export.
+//!
+//! Spans form a three-level hierarchy: a [`SpanKind::Query`] span covers
+//! one query end to end; [`SpanKind::Pipeline`] spans cover one worker's
+//! contiguous participation in one pipeline; [`SpanKind::Morsel`] spans
+//! are individual morsel executions. Both executors record through the
+//! same [`TraceRecorder`] (the simulator in virtual time, the threaded
+//! executor in wall time).
 
 use parking_lot::Mutex;
 
-/// One executed morsel, as recorded by the simulator.
+/// The level of a trace span (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One query, submission to retirement.
+    Query,
+    /// One worker's contiguous run of morsels within one pipeline job.
+    Pipeline,
+    /// One executed morsel.
+    Morsel,
+}
+
+impl SpanKind {
+    fn category(&self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Pipeline => "pipeline",
+            SpanKind::Morsel => "morsel",
+        }
+    }
+}
+
+/// One recorded span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     pub worker: usize,
@@ -10,6 +39,7 @@ pub struct TraceEvent {
     pub end_ns: u64,
     pub query: String,
     pub job: String,
+    pub kind: SpanKind,
 }
 
 /// A thread-safe recorder of trace events.
@@ -42,7 +72,13 @@ impl TraceRecorder {
 
 /// Render a trace as ASCII art in the style of Figure 13: one row per
 /// worker, one glyph per time bucket, with a distinct letter per query.
-pub fn render_ascii(events: &[TraceEvent], workers: usize, columns: usize) -> String {
+/// Only [`SpanKind::Morsel`] spans paint the grid — pipeline and query
+/// summary spans would otherwise double-cover their own morsels.
+pub fn render_ascii(all_events: &[TraceEvent], workers: usize, columns: usize) -> String {
+    let events: Vec<&TraceEvent> = all_events
+        .iter()
+        .filter(|e| e.kind == SpanKind::Morsel)
+        .collect();
     if events.is_empty() {
         return String::from("(empty trace)\n");
     }
@@ -51,7 +87,7 @@ pub fn render_ascii(events: &[TraceEvent], workers: usize, columns: usize) -> St
 
     // Assign a letter per distinct query, in order of first appearance.
     let mut names: Vec<&str> = Vec::new();
-    for e in events {
+    for e in &events {
         if !names.contains(&e.query.as_str()) {
             names.push(&e.query);
         }
@@ -62,7 +98,7 @@ pub fn render_ascii(events: &[TraceEvent], workers: usize, columns: usize) -> St
     };
 
     let mut rows = vec![vec![' '; columns]; workers];
-    for e in events {
+    for e in &events {
         if e.worker >= workers {
             continue;
         }
@@ -89,6 +125,51 @@ pub fn render_ascii(events: &[TraceEvent], workers: usize, columns: usize) -> St
     out
 }
 
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Export a trace as Chrome-trace ("Trace Event Format") JSON, loadable
+/// in `chrome://tracing` and Perfetto. Every span becomes a complete
+/// (`"ph":"X"`) event with microsecond `ts`/`dur`; morsel and pipeline
+/// spans land on `pid` 0 with `tid` = worker, query summary spans on
+/// `pid` 1 so the per-query swimlanes sit in their own process group.
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (pid, tid, name) = match e.kind {
+            SpanKind::Query => (1, 0, e.query.clone()),
+            SpanKind::Pipeline | SpanKind::Morsel => {
+                (0, e.worker, format!("{}/{}", e.query, e.job))
+            }
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid}}}",
+            escape_json(&name),
+            e.kind.category(),
+            e.start_ns as f64 / 1e3,
+            e.end_ns.saturating_sub(e.start_ns) as f64 / 1e3,
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +181,7 @@ mod tests {
             end_ns: end,
             query: q.into(),
             job: "p".into(),
+            kind: SpanKind::Morsel,
         }
     }
 
@@ -128,6 +210,58 @@ mod tests {
     #[test]
     fn empty_trace_renders_placeholder() {
         assert_eq!(render_ascii(&[], 4, 10), "(empty trace)\n");
+    }
+
+    #[test]
+    fn ascii_render_ignores_summary_spans() {
+        // Only the q1 morsel may paint; q2 exists solely as summary
+        // spans and must not reach the grid or the legend.
+        let mut evs = vec![ev(0, 0, 50, "q1")];
+        evs.push(TraceEvent {
+            kind: SpanKind::Query,
+            ..ev(0, 0, 100, "q2")
+        });
+        evs.push(TraceEvent {
+            kind: SpanKind::Pipeline,
+            ..ev(0, 0, 100, "q2")
+        });
+        let art = render_ascii(&evs, 1, 10);
+        assert!(art.contains('A'));
+        assert!(!art.contains('B'), "summary spans must not paint: {art}");
+        assert!(art.contains("legend: A=q1\n"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let mut evs = vec![ev(0, 1_000, 2_500, "q1"), ev(1, 2_000, 3_000, "q2")];
+        evs.push(TraceEvent {
+            worker: 0,
+            start_ns: 0,
+            end_ns: 5_000,
+            query: "q1".into(),
+            job: String::new(),
+            kind: SpanKind::Query,
+        });
+        let json = render_chrome_trace(&evs);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ns\"}"));
+        assert!(json.contains("\"name\":\"q1/p\""));
+        assert!(json.contains("\"cat\":\"morsel\""));
+        assert!(json.contains("\"cat\":\"query\""));
+        assert!(json.contains("\"ts\":1,\"dur\":1.5"));
+        assert!(json.contains("\"pid\":1"), "query span on its own pid");
+        // Balanced braces — a cheap structural sanity check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_trace_escapes_names() {
+        let mut e = ev(0, 0, 1, "q\"uote");
+        e.job = "a\\b".into();
+        let json = render_chrome_trace(&[e]);
+        assert!(json.contains("q\\\"uote/a\\\\b"));
     }
 
     #[test]

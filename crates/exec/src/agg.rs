@@ -354,6 +354,9 @@ pub struct AggPartialSink {
     /// Dictionaries of dictionary-encoded group columns, captured from the
     /// first batch (every batch of one pipeline shares them).
     group_dicts: OnceLock<Vec<Option<Arc<Dictionary>>>>,
+    /// Profile slot of the aggregation plan node (credited with spill
+    /// fragments).
+    prof_slot: Option<u32>,
 }
 
 impl AggPartialSink {
@@ -389,12 +392,19 @@ impl AggPartialSink {
             capacity: capacity.max(1),
             scalar: false,
             group_dicts: OnceLock::new(),
+            prof_slot: None,
         }
     }
 
     /// Use the row-at-a-time reference path even for integer keys.
     pub fn with_scalar_path(mut self, scalar: bool) -> Self {
         self.scalar = scalar;
+        self
+    }
+
+    /// Credit spill fragments to the given profile slot.
+    pub fn with_prof_slot(mut self, slot: Option<u32>) -> Self {
+        self.prof_slot = slot;
         self
     }
 
@@ -696,6 +706,9 @@ impl Sink for AggPartialSink {
             }
         };
         if spilled_bytes > 0 {
+            if let Some(slot) = self.prof_slot {
+                ctx.prof_fragments(slot, 1);
+            }
             // Spill fragments are the unbounded part of pre-aggregation
             // state (the pre-agg tables themselves are capacity-bounded):
             // charge them to the query's budget. Accounting trails the
@@ -746,6 +759,9 @@ pub struct AggMergeJob {
     /// Scalar (no GROUP BY) aggregation: an empty result is fixed up to
     /// the SQL default row (count = 0, sum = 0, ...).
     scalar_default: Option<Vec<AggFn>>,
+    /// Profile slot of the aggregation plan node (credited with emitted
+    /// groups and merge wall time).
+    prof_slot: Option<u32>,
 }
 
 impl AggMergeJob {
@@ -769,7 +785,15 @@ impl AggMergeJob {
             out,
             result,
             scalar_default: None,
+            prof_slot: None,
         }
+    }
+
+    /// Credit emitted groups and merge wall time to the given profile
+    /// slot.
+    pub fn with_prof_slot(mut self, slot: Option<u32>) -> Self {
+        self.prof_slot = slot;
+        self
     }
 
     /// Configure the SQL scalar-aggregation default row (only meaningful
@@ -796,6 +820,7 @@ impl PipelineJob for AggMergeJob {
     fn run_morsel(&self, ctx: &mut TaskContext<'_>, morsel: Morsel) {
         // One morsel = one whole partition (the dispatcher is configured
         // with an unbounded morsel size for this job).
+        let prof = (ctx.profiling() && self.prof_slot.is_some()).then(std::time::Instant::now);
         let p = morsel.chunk;
         let fragments = &self.input.parts[p];
         let n_aggs = self.aggs.len();
@@ -839,6 +864,13 @@ impl PipelineJob for AggMergeJob {
         // Emit: group key columns then aggregate columns, straight into
         // the worker's local area.
         let n_groups = table.len();
+        if let (Some(slot), Some(t0)) = (self.prof_slot, prof) {
+            // The merged groups of this partition are the aggregation's
+            // output rows (each partition is consumed exactly once);
+            // `rows_in` is credited at the phase-1 sink, not here.
+            ctx.prof_rows_out(slot, n_groups as u64);
+            ctx.prof_wall_ns(slot, t0.elapsed().as_nanos() as u64);
+        }
         if n_groups == 0 {
             return;
         }
@@ -883,7 +915,7 @@ impl PipelineJob for AggMergeJob {
         area.data_mut().extend_from(&batch);
     }
 
-    fn finish(&self, _ctx: &mut TaskContext<'_>) {
+    fn finish(&self, ctx: &mut TaskContext<'_>) {
         let areas: Vec<StorageArea> = self
             .areas
             .iter()
@@ -900,6 +932,10 @@ impl PipelineJob for AggMergeJob {
                 let mut area = StorageArea::new(SocketId(0), &types);
                 area.data_mut().push_row(scalar_default_row(aggs));
                 set = AreaSet::new(self.schema.clone(), vec![area]);
+                // The synthesized default row is an output row too.
+                if let Some(slot) = self.prof_slot {
+                    ctx.prof_rows_out(slot, 1);
+                }
             }
         }
         if let Some(result) = &self.result {

@@ -41,6 +41,8 @@ pub struct HtInsertJob {
     /// Entry index base per area.
     bases: Vec<usize>,
     out: JoinSlot,
+    /// Profile slot of the join plan node (credited with build rows).
+    prof_slot: Option<u32>,
 }
 
 impl HtInsertJob {
@@ -72,7 +74,14 @@ impl HtInsertJob {
             key_cols,
             bases,
             out,
+            prof_slot: None,
         }
+    }
+
+    /// Credit hash-table build sizes to the given profile slot.
+    pub fn with_prof_slot(mut self, slot: Option<u32>) -> Self {
+        self.prof_slot = slot;
+        self
     }
 }
 
@@ -100,6 +109,10 @@ impl PipelineJob for HtInsertJob {
         ctx.random_access_interleaved(rows / 4);
         ctx.write_spread(rows * (weights::HT_DIR_BYTES + weights::HT_ENTRY_BYTES));
         ctx.cpu(rows, weights::HASH_NS + weights::INSERT_NS);
+
+        if let Some(slot) = self.prof_slot {
+            ctx.prof_build_rows(slot, rows);
+        }
 
         // Columnar key hashing for the whole morsel, then the CAS loop.
         let hashes = hash_rows(batch, &self.key_cols, Rows::range(morsel.range.clone()));

@@ -228,6 +228,14 @@ pub struct ExecPipeline {
     /// Extra per-tuple CPU charged at the scan (Volcano exchange
     /// emulation; 0 for the morsel-driven engine).
     extra_scan_ns: f64,
+    /// Profile slot of the scan's plan node (`None`: not profiled, e.g.
+    /// a re-scan of an already-profiled breaker's output).
+    scan_slot: Option<u32>,
+    /// Profile slot per entry of `ops` (parallel vector).
+    op_slots: Vec<Option<u32>>,
+    /// Profile slot credited with the rows entering the sink (the
+    /// breaker plan node the sink feeds: agg or sort input cardinality).
+    sink_slot: Option<u32>,
 }
 
 impl ExecPipeline {
@@ -270,12 +278,32 @@ impl ExecPipeline {
             ops,
             sink,
             extra_scan_ns: 0.0,
+            scan_slot: None,
+            op_slots: Vec::new(),
+            sink_slot: None,
         }
     }
 
     /// Charge `ns` extra CPU per scanned tuple (baseline emulation knob).
     pub fn with_extra_scan_ns(mut self, ns: f64) -> Self {
         self.extra_scan_ns = ns;
+        self
+    }
+
+    /// Attach per-operator profile slots (see [`morsel_core::ProfileSlots`]):
+    /// one for the scan, one per pipeline op, and optionally one credited
+    /// with the rows delivered to the sink. Recording is skipped entirely
+    /// when the task's query carries no profile.
+    pub fn with_profile(
+        mut self,
+        scan_slot: Option<u32>,
+        op_slots: Vec<Option<u32>>,
+        sink_slot: Option<u32>,
+    ) -> Self {
+        debug_assert_eq!(op_slots.len(), self.ops.len());
+        self.scan_slot = scan_slot;
+        self.op_slots = op_slots;
+        self.sink_slot = sink_slot;
         self
     }
 
@@ -369,12 +397,46 @@ impl ExecPipeline {
 
 impl PipelineJob for ExecPipeline {
     fn run_morsel(&self, ctx: &mut TaskContext<'_>, morsel: Morsel) {
+        // Profiling is recorded at morsel boundaries into worker-local
+        // slots; when the query carries no profile every call below is a
+        // no-op and no clock is read.
+        let profiling = ctx.profiling();
+        let rows_in = morsel.range.len() as u64;
+        let t0 = (profiling && self.scan_slot.is_some()).then(std::time::Instant::now);
         let mut working = SelBatch::dense(self.scan(ctx, morsel.chunk, morsel.range));
-        for op in &self.ops {
+        if let (Some(slot), Some(t0)) = (self.scan_slot, t0) {
+            ctx.prof_morsel(
+                slot,
+                rows_in,
+                working.rows() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        for (i, op) in self.ops.iter().enumerate() {
             if working.is_empty() {
                 break;
             }
+            let slot = if profiling {
+                self.op_slots.get(i).copied().flatten()
+            } else {
+                None
+            };
+            let t = slot.map(|_| std::time::Instant::now());
+            let op_in = working.rows() as u64;
             working = op.apply(ctx, working);
+            if let (Some(slot), Some(t)) = (slot, t) {
+                ctx.prof_rows(
+                    slot,
+                    op_in,
+                    working.rows() as u64,
+                    t.elapsed().as_nanos() as u64,
+                );
+            }
+        }
+        if profiling {
+            if let Some(slot) = self.sink_slot {
+                ctx.prof_rows_in(slot, working.rows() as u64);
+            }
         }
         self.sink.consume(ctx, working);
     }

@@ -405,6 +405,11 @@ struct PipeUnder {
     projection: Vec<Expr>,
     ops: Vec<Box<dyn PipeOp>>,
     schema: Schema,
+    /// Profile slot of the pipeline's scan node (`None` when the source
+    /// is an already-profiled breaker's output).
+    scan_slot: Option<u32>,
+    /// Profile slot per entry of `ops` (parallel vector).
+    op_slots: Vec<Option<u32>>,
 }
 
 /// Compiles plans into stage sequences.
@@ -429,10 +434,23 @@ impl Compiler {
     }
 
     /// Compile a full query. The result slot receives the final batch.
+    ///
+    /// When the variant has profiling enabled, the spec carries one
+    /// profile label per plan node in [`profile_labels`] order (pre-order,
+    /// probe subtree before build subtree), and every compiled pipeline
+    /// and breaker job records its counters into the matching slot.
     pub fn compile_query(mut self, name: impl Into<String>, plan: Plan) -> (QuerySpec, ResultSlot) {
+        let labels = if self.variant.profiling {
+            profile_labels(&plan)
+        } else {
+            Vec::new()
+        };
         let result = result_slot();
         self.compile_root(plan, result.clone());
-        let spec = QuerySpec::new(name, self.stages, result.clone());
+        let mut spec = QuerySpec::new(name, self.stages, result.clone());
+        if !labels.is_empty() {
+            spec = spec.with_profile_ops(labels);
+        }
         (spec, result)
     }
 
@@ -443,15 +461,15 @@ impl Compiler {
                 group_cols,
                 aggs,
             } => {
-                let u = self.compile(*input);
-                self.emit_agg(u, group_cols, aggs, Some(result));
+                let u = self.compile(*input, 1);
+                self.emit_agg(u, group_cols, aggs, Some(result), 0);
             }
             Plan::Sort { input, keys, limit } => {
-                let u = self.compile(*input);
-                self.emit_sort(u, keys, limit, Some(result));
+                let u = self.compile(*input, 1);
+                self.emit_sort(u, keys, limit, Some(result), 0);
             }
             other => {
-                let u = self.compile(other);
+                let u = self.compile(other, 0);
                 let schema = u.schema.clone();
                 let label = self.label("materialize");
                 let variant = self.variant;
@@ -474,7 +492,8 @@ impl Compiler {
                             u.ops,
                             Box::new(sink),
                         )
-                        .with_extra_scan_ns(variant.exchange_ns);
+                        .with_extra_scan_ns(variant.exchange_ns)
+                        .with_profile(u.scan_slot, u.op_slots, None);
                         BuiltJob::new(label, Arc::new(pipe), chunks)
                     },
                 )));
@@ -482,7 +501,11 @@ impl Compiler {
         }
     }
 
-    fn compile(&mut self, plan: Plan) -> PipeUnder {
+    /// Compile a plan subtree whose root occupies profile slot `slot`
+    /// (structural numbering: a unary child sits at `slot + 1`; a join's
+    /// probe subtree at `slot + 1`, its build subtree after the whole
+    /// probe subtree — exactly [`profile_labels`]' pre-order).
+    fn compile(&mut self, plan: Plan, slot: u32) -> PipeUnder {
         match plan {
             Plan::Scan {
                 relation,
@@ -502,15 +525,18 @@ impl Compiler {
                     projection: project.into_iter().map(|(_, e)| e).collect(),
                     ops: Vec::new(),
                     schema,
+                    scan_slot: Some(slot),
+                    op_slots: Vec::new(),
                 }
             }
             Plan::Filter { input, predicate } => {
-                let mut u = self.compile(*input);
+                let mut u = self.compile(*input, slot + 1);
                 u.ops.push(Box::new(FilterOp::new(predicate)));
+                u.op_slots.push(Some(slot));
                 u
             }
             Plan::Map { input, project } => {
-                let mut u = self.compile(*input);
+                let mut u = self.compile(*input, slot + 1);
                 let in_types = u.schema.data_types();
                 let schema = Schema::new(
                     project
@@ -521,6 +547,7 @@ impl Compiler {
                 u.ops.push(Box::new(MapOp {
                     exprs: project.into_iter().map(|(_, e)| e).collect(),
                 }));
+                u.op_slots.push(Some(slot));
                 u.schema = schema;
                 u
             }
@@ -533,8 +560,11 @@ impl Compiler {
                 build_payload,
             } => {
                 // Build side: two stages (Figure 3's phases).
+                let probe_slot = slot + 1;
+                let build_slot = slot + 1 + plan_size(&probe) as u32;
+                let join_prof = self.variant.profiling.then_some(slot);
                 let build_schema = build.schema();
-                let bu = self.compile(*build);
+                let bu = self.compile(*build, build_slot);
                 let built_slot = area_slot();
                 {
                     let label = self.label("build-materialize");
@@ -559,7 +589,12 @@ impl Compiler {
                                 bu.ops,
                                 Box::new(sink),
                             )
-                            .with_extra_scan_ns(variant.exchange_ns);
+                            .with_extra_scan_ns(variant.exchange_ns)
+                            .with_profile(
+                                bu.scan_slot,
+                                bu.op_slots,
+                                None,
+                            );
                             BuiltJob::new(label, Arc::new(pipe), chunks)
                         },
                     )));
@@ -583,7 +618,8 @@ impl Compiler {
                                 env.topology().sockets(),
                                 out,
                                 tagging,
-                            );
+                            )
+                            .with_prof_slot(join_prof);
                             // Declare the hash table's footprint so the
                             // dispatcher charges the query's budget
                             // before the build pipeline runs.
@@ -594,7 +630,7 @@ impl Compiler {
                 }
 
                 // Probe side: continue its pipeline with the probe op.
-                let mut pu = self.compile(*probe);
+                let mut pu = self.compile(*probe, probe_slot);
                 let probe_schema = pu.schema.clone();
                 let mut fields: Vec<(String, DataType)> = (0..probe_schema.len())
                     .map(|i| (probe_schema.name(i).to_owned(), probe_schema.dtype(i)))
@@ -616,6 +652,7 @@ impl Compiler {
                     build_cols: build_payload,
                     scalar: !self.variant.vectorized,
                 }));
+                pu.op_slots.push(Some(slot));
                 pu
             }
             Plan::Agg {
@@ -623,12 +660,12 @@ impl Compiler {
                 group_cols,
                 aggs,
             } => {
-                let u = self.compile(*input);
-                self.emit_agg(u, group_cols, aggs, None)
+                let u = self.compile(*input, slot + 1);
+                self.emit_agg(u, group_cols, aggs, None, slot)
             }
             Plan::Sort { input, keys, limit } => {
-                let u = self.compile(*input);
-                self.emit_sort(u, keys, limit, None)
+                let u = self.compile(*input, slot + 1);
+                self.emit_sort(u, keys, limit, None, slot)
             }
         }
     }
@@ -641,7 +678,9 @@ impl Compiler {
         group_cols: Vec<usize>,
         aggs: Vec<(String, AggFn)>,
         result: Option<ResultSlot>,
+        slot: u32,
     ) -> PipeUnder {
+        let prof = self.variant.profiling.then_some(slot);
         let in_schema = u.schema.clone();
         let mut fields: Vec<(String, DataType)> = group_cols
             .iter()
@@ -665,10 +704,12 @@ impl Compiler {
                     let chunks = source.chunk_meta();
                     let sink =
                         AggPartialSink::new(group_cols, fns, &env.worker_sockets(workers), slot)
-                            .with_scalar_path(!variant.vectorized);
+                            .with_scalar_path(!variant.vectorized)
+                            .with_prof_slot(prof);
                     let pipe =
                         ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
-                            .with_extra_scan_ns(variant.exchange_ns);
+                            .with_extra_scan_ns(variant.exchange_ns)
+                            .with_profile(u.scan_slot, u.op_slots, prof);
                     BuiltJob::new(label, Arc::new(pipe), chunks)
                 },
             )));
@@ -695,10 +736,8 @@ impl Compiler {
                         out,
                         result,
                     )
-                    .with_scalar_default(
-                        scalar,
-                        aggs_for_default.iter().map(|(_, f)| *f).collect(),
-                    );
+                    .with_scalar_default(scalar, aggs_for_default.iter().map(|(_, f)| *f).collect())
+                    .with_prof_slot(prof);
                     BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
                 },
             )));
@@ -709,6 +748,10 @@ impl Compiler {
             projection: (0..out_schema.len()).map(col).collect(),
             ops: Vec::new(),
             schema: out_schema,
+            // The aggregation's own counters are recorded by its breaker
+            // jobs; re-scanning its output is not a plan node.
+            scan_slot: None,
+            op_slots: Vec::new(),
         }
     }
 
@@ -719,7 +762,9 @@ impl Compiler {
         keys: Vec<SortKey>,
         limit: Option<usize>,
         result: Option<ResultSlot>,
+        slot: u32,
     ) -> PipeUnder {
+        let prof = self.variant.profiling.then_some(slot);
         let schema = u.schema.clone();
         let out = area_slot();
         if let Some(k) = limit {
@@ -735,7 +780,8 @@ impl Compiler {
                         let _ = env;
                         let source = u.source.resolve();
                         let chunks = source.chunk_meta();
-                        let sink = TopKSink::new(keys, k, schema2, workers, out2, result);
+                        let sink = TopKSink::new(keys, k, schema2, workers, out2, result)
+                            .with_prof_slot(prof);
                         let pipe = ExecPipeline::new(
                             source,
                             u.filter,
@@ -743,7 +789,8 @@ impl Compiler {
                             u.ops,
                             Box::new(sink),
                         )
-                        .with_extra_scan_ns(variant.exchange_ns);
+                        .with_extra_scan_ns(variant.exchange_ns)
+                        .with_profile(u.scan_slot, u.op_slots, prof);
                         BuiltJob::new(label, Arc::new(pipe), chunks)
                     },
                 )));
@@ -753,6 +800,8 @@ impl Compiler {
                     projection: (0..schema.len()).map(col).collect(),
                     ops: Vec::new(),
                     schema,
+                    scan_slot: None,
+                    op_slots: Vec::new(),
                 };
             }
         }
@@ -772,7 +821,8 @@ impl Compiler {
                         MaterializeSink::new(schema2, &env.worker_sockets(workers), slot, None);
                     let pipe =
                         ExecPipeline::new(source, u.filter, u.projection, u.ops, Box::new(sink))
-                            .with_extra_scan_ns(variant.exchange_ns);
+                            .with_extra_scan_ns(variant.exchange_ns)
+                            .with_profile(u.scan_slot, u.op_slots, prof);
                     BuiltJob::new(label, Arc::new(pipe), chunks)
                 },
             )));
@@ -789,7 +839,7 @@ impl Compiler {
                 move |_env, _workers| {
                     let input = slot.lock().clone().expect("sort input not materialized");
                     let chunks = input.chunk_meta();
-                    let job = LocalSortJob::new(input, keys, runs);
+                    let job = LocalSortJob::new(input, keys, runs).with_prof_slot(prof);
                     BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
                 },
             )));
@@ -805,7 +855,7 @@ impl Compiler {
                     let runs = runs.lock().clone().expect("local sort not finished");
                     let plan = Arc::new(MergePlan::compute(runs, workers.max(1)));
                     let chunks = MergeJob::chunk_meta(&plan, env.topology().sockets());
-                    let job = MergeJob::new(plan, schema2, out, result, limit);
+                    let job = MergeJob::new(plan, schema2, out, result, limit).with_prof_slot(prof);
                     BuiltJob::new(label, Arc::new(job), chunks).with_atomic_chunks()
                 },
             )));
@@ -816,8 +866,78 @@ impl Compiler {
             projection: (0..schema.len()).map(col).collect(),
             ops: Vec::new(),
             schema,
+            scan_slot: None,
+            op_slots: Vec::new(),
         }
     }
+}
+
+/// Number of operator nodes in a plan tree.
+pub fn plan_size(plan: &Plan) -> usize {
+    1 + match plan {
+        Plan::Scan { .. } => 0,
+        Plan::Filter { input, .. }
+        | Plan::Map { input, .. }
+        | Plan::Agg { input, .. }
+        | Plan::Sort { input, .. } => plan_size(input),
+        Plan::Join { build, probe, .. } => plan_size(build) + plan_size(probe),
+    }
+}
+
+/// Per-node profile labels in profile-slot order: pre-order, with a
+/// join's probe subtree before its build subtree. This is the same order
+/// the planner's EXPLAIN uses, so `QueryProfile::ops[i]` lines up with
+/// explain line `i`.
+pub fn profile_labels(plan: &Plan) -> Vec<String> {
+    fn walk(p: &Plan, out: &mut Vec<String>) {
+        match p {
+            Plan::Scan { filter, .. } => out.push(
+                if filter.is_some() {
+                    "scan(filtered)"
+                } else {
+                    "scan"
+                }
+                .to_owned(),
+            ),
+            Plan::Filter { input, .. } => {
+                out.push("filter".to_owned());
+                walk(input, out);
+            }
+            Plan::Map { input, project } => {
+                out.push(format!("map({} cols)", project.len()));
+                walk(input, out);
+            }
+            Plan::Join {
+                build, probe, kind, ..
+            } => {
+                out.push(format!("join({kind:?})"));
+                walk(probe, out);
+                walk(build, out);
+            }
+            Plan::Agg {
+                input,
+                group_cols,
+                aggs,
+            } => {
+                out.push(format!(
+                    "agg({} keys, {} fns)",
+                    group_cols.len(),
+                    aggs.len()
+                ));
+                walk(input, out);
+            }
+            Plan::Sort { input, limit, .. } => {
+                out.push(match limit {
+                    Some(k) => format!("sort(limit={k})"),
+                    None => "sort".to_owned(),
+                });
+                walk(input, out);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(plan_size(plan));
+    walk(plan, &mut out);
+    out
 }
 
 /// One-call helper: compile under a variant and return the spec.

@@ -95,6 +95,9 @@ pub struct LocalSortJob {
     keys: Vec<SortKey>,
     sorted: Vec<Mutex<Option<Batch>>>,
     out: RunsSlot,
+    /// Profile slot of the sort plan node (credited with one fragment
+    /// per sorted run and the local-sort wall time).
+    prof_slot: Option<u32>,
 }
 
 impl LocalSortJob {
@@ -105,7 +108,14 @@ impl LocalSortJob {
             keys,
             sorted: (0..n).map(|_| Mutex::new(None)).collect(),
             out,
+            prof_slot: None,
         }
+    }
+
+    /// Credit sorted-run fragments to the given profile slot.
+    pub fn with_prof_slot(mut self, slot: Option<u32>) -> Self {
+        self.prof_slot = slot;
+        self
     }
 
     pub fn chunk_meta(input: &AreaSet) -> Vec<morsel_core::ChunkMeta> {
@@ -151,7 +161,12 @@ impl PipelineJob for LocalSortJob {
             1,
             cmps * weights::SORT_CMP_NS * self.keys.len().max(1) as f64,
         );
+        let t0 = (ctx.profiling() && self.prof_slot.is_some()).then(std::time::Instant::now);
         let sorted = sort_batch(batch, &self.keys);
+        if let (Some(slot), Some(t0)) = (self.prof_slot, t0) {
+            ctx.prof_fragments(slot, 1);
+            ctx.prof_wall_ns(slot, t0.elapsed().as_nanos() as u64);
+        }
         ctx.write(ctx.socket, sorted.total_bytes());
         *self.sorted[morsel.chunk].lock() = Some(sorted);
     }
@@ -261,6 +276,9 @@ pub struct MergeJob {
     out: AreaSlot,
     result: Option<ResultSlot>,
     limit: Option<usize>,
+    /// Profile slot of the sort plan node (credited with the final
+    /// output rows at finish).
+    prof_slot: Option<u32>,
 }
 
 impl MergeJob {
@@ -279,7 +297,14 @@ impl MergeJob {
             out,
             result,
             limit,
+            prof_slot: None,
         }
+    }
+
+    /// Credit final output rows to the given profile slot.
+    pub fn with_prof_slot(mut self, slot: Option<u32>) -> Self {
+        self.prof_slot = slot;
+        self
     }
 
     pub fn chunk_meta(plan: &MergePlan, sockets: u16) -> Vec<morsel_core::ChunkMeta> {
@@ -347,7 +372,7 @@ impl PipelineJob for MergeJob {
         *self.segments_out[seg].lock() = Some(out);
     }
 
-    fn finish(&self, _ctx: &mut TaskContext<'_>) {
+    fn finish(&self, ctx: &mut TaskContext<'_>) {
         let types = self.schema.data_types();
         let mut final_batch = Batch::empty(&types);
         let mut areas = Vec::new();
@@ -367,6 +392,9 @@ impl PipelineJob for MergeJob {
                 trimmed.extend_selected(&final_batch, &sel);
                 final_batch = trimmed;
             }
+        }
+        if let Some(slot) = self.prof_slot {
+            ctx.prof_rows_out(slot, final_batch.rows() as u64);
         }
         if let Some(result) = &self.result {
             // Late materialization: dictionary codes decode to strings
@@ -388,6 +416,9 @@ pub struct TopKSink {
     workers: Vec<Mutex<Batch>>,
     result: Option<ResultSlot>,
     out: AreaSlot,
+    /// Profile slot of the sort plan node (credited with the kept rows
+    /// at finish).
+    prof_slot: Option<u32>,
 }
 
 impl TopKSink {
@@ -410,7 +441,14 @@ impl TopKSink {
                 .collect(),
             result,
             out,
+            prof_slot: None,
         }
+    }
+
+    /// Credit kept rows to the given profile slot.
+    pub fn with_prof_slot(mut self, slot: Option<u32>) -> Self {
+        self.prof_slot = slot;
+        self
     }
 }
 
@@ -461,6 +499,9 @@ impl Sink for TopKSink {
         }
         let sorted = sort_batch(&all, &self.keys);
         let keep = sorted.rows().min(self.k);
+        if let Some(slot) = self.prof_slot {
+            ctx.prof_rows_out(slot, keep as u64);
+        }
         let sel: Vec<u32> = (0..keep as u32).collect();
         let mut final_batch = Batch::empty(&self.schema.data_types());
         final_batch.extend_selected(&sorted, &sel);

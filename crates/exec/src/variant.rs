@@ -30,6 +30,9 @@ pub struct SystemVariant {
     /// columnar key hashing). Disabled only by the scalar ablation
     /// variant; every paper system runs vectorized.
     pub vectorized: bool,
+    /// Per-operator runtime profiling (rows, batches, morsels, wall
+    /// time). On by default; the overhead ablation bench turns it off.
+    pub profiling: bool,
 }
 
 impl SystemVariant {
@@ -43,6 +46,7 @@ impl SystemVariant {
             tagging: true,
             exchange_ns: 0.0,
             vectorized: true,
+            profiling: true,
         }
     }
 
@@ -67,6 +71,7 @@ impl SystemVariant {
             tagging: true,
             exchange_ns: 0.0,
             vectorized: true,
+            profiling: true,
         }
     }
 
@@ -81,6 +86,7 @@ impl SystemVariant {
             tagging: false,
             exchange_ns: 0.0,
             vectorized: true,
+            profiling: true,
         }
     }
 
@@ -94,6 +100,7 @@ impl SystemVariant {
             tagging: false,
             exchange_ns: weights::EXCHANGE_NS,
             vectorized: true,
+            profiling: true,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Convenience runners used by tests, examples, and the bench harness.
 
 use morsel_core::{
-    DispatchConfig, ExecEnv, QueryOutcome, QueryStats, SimExecutor, ThreadedExecutor,
+    DispatchConfig, ExecEnv, QueryOutcome, QueryProfile, QueryStats, SimExecutor, ThreadedExecutor,
 };
 use morsel_exec::plan::{compile_query, Plan};
 use morsel_exec::SystemVariant;
@@ -19,6 +19,9 @@ pub struct RunOutcome {
     pub result: Batch,
     pub stats: QueryStats,
     pub traffic: TrafficSnapshot,
+    /// Per-operator runtime profile, present when the variant compiled
+    /// with profiling enabled (one entry per plan node, explain order).
+    pub profile: Option<QueryProfile>,
 }
 
 impl RunOutcome {
@@ -77,6 +80,7 @@ pub fn run_sim_n(
                 result: rows,
                 stats: handle.stats(),
                 traffic: handle.traffic(),
+                profile: handle.profile(),
             }
         })
         .collect()
@@ -127,6 +131,7 @@ pub fn run_threaded_n(
                 result: rows,
                 stats: handles[0].stats(),
                 traffic: handles[0].traffic(),
+                profile: handles[0].profile(),
             }
         })
         .collect()

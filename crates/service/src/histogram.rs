@@ -101,6 +101,26 @@ impl LatencyHistogram {
         self.total == 0
     }
 
+    /// Exact sum of all recorded values in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum
+    }
+
+    /// Cumulative count of observations whose bucket value is `<= bound`
+    /// nanoseconds (monotone in `bound`; used for Prometheus histogram
+    /// exposition). Buckets are attributed by their midpoint, so the cut
+    /// carries the same ≤ ~3.2% relative error as quantiles.
+    pub fn cumulative_le(&self, bound_ns: u64) -> u64 {
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if Self::bucket_value(idx) > bound_ns {
+                break;
+            }
+            seen += c;
+        }
+        seen
+    }
+
     /// Arithmetic mean of the recorded values (exact, not bucketed).
     pub fn mean_ns(&self) -> f64 {
         if self.total == 0 {
@@ -247,6 +267,124 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean_ns(), 0.0);
         assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        // (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) must agree bucket-for-bucket.
+        let mk = |seed: u64, n: u64| {
+            let mut h = LatencyHistogram::new();
+            let mut x = seed;
+            for _ in 0..n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(x % 10_000_000);
+            }
+            h
+        };
+        let (a, b, c) = (mk(1, 3000), mk(2, 500), mk(3, 7000));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum_ns(), right.sum_ns());
+        assert_eq!(left.min_ns(), right.min_ns());
+        assert_eq!(left.max_ns(), right.max_ns());
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.999] {
+            assert_eq!(left.quantile(q), right.quantile(q));
+        }
+        for bound in [100, 10_000, 1_000_000, 100_000_000] {
+            assert_eq!(left.cumulative_le(bound), right.cumulative_le(bound));
+        }
+    }
+
+    #[test]
+    fn bimodal_distribution_quantiles() {
+        // 90% fast mode around 10us, 10% slow mode around 50ms: p50 must
+        // sit in the fast mode, p99 in the slow one, both within the
+        // log-linear error bound.
+        let mut h = LatencyHistogram::new();
+        for i in 0..9_000u64 {
+            h.record(10_000 + i % 100);
+        }
+        for i in 0..1_000u64 {
+            h.record(50_000_000 + i * 1_000);
+        }
+        let p50 = h.quantile(0.50) as f64;
+        assert!(
+            (p50 - 10_050.0).abs() / 10_050.0 < 0.032,
+            "p50 {p50} outside fast mode"
+        );
+        let p99 = h.quantile(0.99) as f64;
+        let exact_p99 = 50_899_000.0; // rank 9900 = slow sample #900
+        assert!(
+            (p99 - exact_p99).abs() / exact_p99 < 0.032,
+            "p99 {p99} vs {exact_p99}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_distribution_quantiles() {
+        // Pareto-ish tail: latency = 1000 * 2^(k) for k drawn with
+        // geometric weights. Quantiles must stay within the bucket-width
+        // bound even across 6 orders of magnitude.
+        let mut h = LatencyHistogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        for i in 0..20_000u64 {
+            let k = (i % 16) / 2; // 0..8, heavier at the low end
+            let v = 1_000u64 << k;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let want = exact[rank - 1] as f64;
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - want).abs() / want < 0.032,
+                "q={q}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_edges() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_456);
+        assert_eq!(h.count(), 1);
+        // Every quantile of a single observation is that observation,
+        // within bucket error — and clamped to [min, max] = exact.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 123_456);
+        }
+        assert_eq!(h.min_ns(), 123_456);
+        assert_eq!(h.max_ns(), 123_456);
+        assert_eq!(h.sum_ns(), 123_456);
+        // Merging an empty histogram changes nothing.
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), 123_456);
+    }
+
+    #[test]
+    fn cumulative_le_is_monotone_and_complete() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for bound in [0u64, 50, 500, 5_000, 50_000, u64::MAX] {
+            let c = h.cumulative_le(bound);
+            assert!(c >= last, "cumulative count decreased at {bound}");
+            last = c;
+        }
+        assert_eq!(h.cumulative_le(u64::MAX), h.count());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use cache::{
 pub use client::{run_closed_loop, LoadRun};
 pub use histogram::{fmt_ns, LatencyHistogram};
 pub use service::{
-    OutcomeCounts, QueryReport, QueryRequest, QueryService, QueryTicket, ServiceConfig,
+    ExecTotals, OutcomeCounts, QueryReport, QueryRequest, QueryService, QueryTicket, ServiceConfig,
     ServiceReport,
 };
 pub use sql::QuerySpecSqlExt;

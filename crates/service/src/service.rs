@@ -23,8 +23,9 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use morsel_core::{
-    AgingPolicy, DispatchConfig, Dispatcher, ExecEnv, MemPool, QueryHandle, QueryOutcome,
-    QuerySpec, RejectReason, TaskContext, DEFAULT_MORSEL_SIZE,
+    validate_exposition, AgingPolicy, DispatchConfig, Dispatcher, ExecEnv, MemPool,
+    MetricsRegistry, QueryHandle, QueryOutcome, QueryProfile, QuerySpec, RejectReason, TaskContext,
+    DEFAULT_MORSEL_SIZE,
 };
 use parking_lot::Mutex;
 
@@ -138,6 +139,10 @@ pub struct QueryReport {
     /// queries rejected at submission, which never wait; waiters shed
     /// under memory pressure record the time they spent queued).
     pub latency_ns: u64,
+    /// Per-operator runtime profile, snapshotted when the service reaped
+    /// the query (`None` for queries that never dispatched or ran with
+    /// profiling disabled).
+    pub profile: Option<QueryProfile>,
 }
 
 struct TicketState {
@@ -240,10 +245,39 @@ impl OutcomeCounts {
     }
 }
 
+/// Execution totals aggregated from per-query profiles at reap time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecTotals {
+    /// Queries that terminated with a profile attached.
+    pub profiled_queries: u64,
+    /// Morsels executed across all profiled queries.
+    pub morsels: u64,
+    /// Operator batches processed.
+    pub batches: u64,
+    /// Rows produced, summed over every operator.
+    pub rows_out: u64,
+    /// Operator wall nanoseconds, summed over workers (exceeds elapsed
+    /// time under parallelism).
+    pub operator_wall_ns: u64,
+}
+
+impl ExecTotals {
+    fn absorb(&mut self, profile: &QueryProfile) {
+        self.profiled_queries += 1;
+        for op in &profile.ops {
+            self.morsels += op.morsels;
+            self.batches += op.batches;
+            self.rows_out += op.rows_out;
+            self.operator_wall_ns += op.wall_ns;
+        }
+    }
+}
+
 #[derive(Default)]
 struct Metrics {
     totals: OutcomeCounts,
     per_priority: BTreeMap<u32, (OutcomeCounts, LatencyHistogram)>,
+    exec: ExecTotals,
 }
 
 struct ServiceInner {
@@ -274,10 +308,19 @@ impl ServiceInner {
         self.mem_pool.as_ref().is_none_or(|p| !p.under_pressure())
     }
 
-    fn finalize(&self, ticket: &TicketInner, outcome: QueryOutcome, latency_ns: u64) {
+    fn finalize(
+        &self,
+        ticket: &TicketInner,
+        outcome: QueryOutcome,
+        latency_ns: u64,
+        profile: Option<QueryProfile>,
+    ) {
         {
             let mut m = self.metrics.lock();
             m.totals.record(outcome);
+            if let Some(p) = &profile {
+                m.exec.absorb(p);
+            }
             let (counts, hist) = m.per_priority.entry(ticket.priority).or_default();
             counts.record(outcome);
             // Latency percentiles stay completed-only: mixing in
@@ -292,6 +335,7 @@ impl ServiceInner {
             priority: ticket.priority,
             outcome,
             latency_ns,
+            profile,
         });
     }
 
@@ -306,7 +350,8 @@ impl ServiceInner {
     fn maintain(&self) {
         let now = self.now_ns();
         let admit = self.admission_open();
-        let mut finished: Vec<(Arc<TicketInner>, QueryOutcome, u64)> = Vec::new();
+        let mut finished: Vec<(Arc<TicketInner>, QueryOutcome, u64, Option<QueryProfile>)> =
+            Vec::new();
         let mut to_dispatch: Vec<Pending> = Vec::new();
         {
             let mut st = self.state.lock();
@@ -316,7 +361,7 @@ impl ServiceInner {
                     let r = st.running.swap_remove(i);
                     let end = r.handle.stats().finished_ns;
                     let latency = end.saturating_sub(r.ticket.submitted_ns);
-                    finished.push((r.ticket, outcome, latency));
+                    finished.push((r.ticket, outcome, latency, r.handle.profile()));
                     to_dispatch.extend(st.admission.complete_while(now, admit));
                 } else {
                     i += 1;
@@ -324,7 +369,7 @@ impl ServiceInner {
             }
             for p in st.admission.expire_overdue(now) {
                 let latency = now.saturating_sub(p.ticket.submitted_ns);
-                finished.push((p.ticket, QueryOutcome::Cancelled, latency));
+                finished.push((p.ticket, QueryOutcome::Cancelled, latency, None));
             }
             if admit {
                 // Capacity freed while admission was gated off (or by a
@@ -340,6 +385,7 @@ impl ServiceInner {
                         p.ticket,
                         QueryOutcome::Rejected(RejectReason::MemoryPressure),
                         latency,
+                        None,
                     ));
                 }
             }
@@ -354,8 +400,8 @@ impl ServiceInner {
                 .collect();
             self.state.lock().running.extend(running);
         }
-        for (ticket, outcome, latency) in finished {
-            self.finalize(&ticket, outcome, latency);
+        for (ticket, outcome, latency, profile) in finished {
+            self.finalize(&ticket, outcome, latency, profile);
         }
     }
 
@@ -446,6 +492,7 @@ impl QueryService {
                     &ticket,
                     QueryOutcome::Rejected(RejectReason::ShuttingDown),
                     0,
+                    None,
                 );
                 return QueryTicket { inner: ticket };
             }
@@ -475,6 +522,7 @@ impl QueryService {
                     &p.ticket,
                     QueryOutcome::Rejected(RejectReason::QueueFull),
                     0,
+                    None,
                 );
             }
         }
@@ -514,7 +562,7 @@ impl QueryService {
         } else {
             QueryOutcome::Completed
         };
-        inner.finalize(&ticket, outcome, inner.now_ns().saturating_sub(now));
+        inner.finalize(&ticket, outcome, inner.now_ns().saturating_sub(now), None);
         QueryTicket { inner: ticket }
     }
 
@@ -556,6 +604,7 @@ impl QueryService {
                 .map(|(p, (c, h))| (*p, *c, h.clone()))
                 .collect(),
             cache: self.inner.cache.snapshot(),
+            exec: m.exec,
         }
     }
 }
@@ -629,7 +678,24 @@ pub struct ServiceReport {
     /// Plan/result cache counters at shutdown (all zero unless a
     /// [`crate::SqlSession`] executed through this service).
     pub cache: CacheStats,
+    /// Execution totals merged from per-query runtime profiles.
+    pub exec: ExecTotals,
 }
+
+/// Latency histogram bucket bounds exposed to Prometheus, in
+/// nanoseconds: decades from 10µs to 100s. Coarser than the internal
+/// log-linear buckets, so every cut is exact up to the histogram's own
+/// ≤ ~3.2% bucket error.
+const PROM_LATENCY_BOUNDS_NS: [u64; 8] = [
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+];
 
 impl ServiceReport {
     pub fn completed(&self) -> u64 {
@@ -700,5 +766,193 @@ impl ServiceReport {
             out.push_str(&format!("  {}\n", self.cache));
         }
         out
+    }
+
+    /// Render the whole report in the Prometheus text exposition format.
+    /// The output always passes [`validate_exposition`]; the `metrics`
+    /// unit test and the CI `observability` job both enforce that.
+    pub fn render_prometheus(&self) -> String {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge(
+            "morsel_service_uptime_seconds",
+            "Service lifetime from start to shutdown.",
+            &[],
+            self.wall_ns as f64 / 1e9,
+        );
+        reg.counter(
+            "morsel_service_worker_panics_total",
+            "Worker threads that exited by panic instead of draining.",
+            &[],
+            self.worker_panics as f64,
+        );
+        for (outcome, v) in [
+            ("completed", self.totals.completed),
+            ("cancelled", self.totals.cancelled),
+            ("rejected", self.totals.rejected),
+            ("failed", self.totals.failed),
+        ] {
+            reg.counter(
+                "morsel_service_queries_total",
+                "Terminal query outcomes.",
+                &[("outcome", outcome)],
+                v as f64,
+            );
+        }
+        for (prio, counts, hist) in &self.per_priority {
+            let p = prio.to_string();
+            for (outcome, v) in [
+                ("completed", counts.completed),
+                ("cancelled", counts.cancelled),
+                ("rejected", counts.rejected),
+                ("failed", counts.failed),
+            ] {
+                if v > 0 {
+                    reg.counter(
+                        "morsel_service_priority_queries_total",
+                        "Terminal query outcomes by priority.",
+                        &[("priority", p.as_str()), ("outcome", outcome)],
+                        v as f64,
+                    );
+                }
+            }
+            if !hist.is_empty() {
+                let buckets: Vec<(f64, u64)> = PROM_LATENCY_BOUNDS_NS
+                    .iter()
+                    .map(|&b| (b as f64, hist.cumulative_le(b)))
+                    .collect();
+                reg.histogram(
+                    "morsel_service_query_latency_ns",
+                    "End-to-end completed-query latency (submission to retirement).",
+                    &[("priority", p.as_str())],
+                    &buckets,
+                    hist.sum_ns() as f64,
+                    hist.count(),
+                );
+            }
+        }
+        for (cache, event, v) in [
+            ("plan", "hit", self.cache.plan_hits),
+            ("plan", "miss", self.cache.plan_misses),
+            ("plan", "eviction", self.cache.plan_evictions),
+            ("plan", "invalidation", self.cache.plan_invalidations),
+            ("plan", "poisoned", self.cache.plan_poisoned),
+            ("result", "hit", self.cache.result_hits),
+            ("result", "miss", self.cache.result_misses),
+            ("result", "invalidation", self.cache.result_invalidations),
+        ] {
+            reg.counter(
+                "morsel_cache_events_total",
+                "Plan/result cache events.",
+                &[("cache", cache), ("event", event)],
+                v as f64,
+            );
+        }
+        reg.counter(
+            "morsel_exec_profiled_queries_total",
+            "Queries that retired with a runtime profile.",
+            &[],
+            self.exec.profiled_queries as f64,
+        );
+        reg.counter(
+            "morsel_exec_morsels_total",
+            "Morsels executed across profiled queries.",
+            &[],
+            self.exec.morsels as f64,
+        );
+        reg.counter(
+            "morsel_exec_batches_total",
+            "Operator batches processed across profiled queries.",
+            &[],
+            self.exec.batches as f64,
+        );
+        reg.counter(
+            "morsel_exec_rows_total",
+            "Rows produced, summed over every operator.",
+            &[],
+            self.exec.rows_out as f64,
+        );
+        reg.counter(
+            "morsel_exec_operator_wall_ns_total",
+            "Operator wall time summed over workers.",
+            &[],
+            self.exec.operator_wall_ns as f64,
+        );
+        let text = reg.render();
+        debug_assert!(
+            validate_exposition(&text).is_ok(),
+            "service exposition failed self-validation"
+        );
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_report_validates_and_carries_series() {
+        let mut h = LatencyHistogram::new();
+        for v in [40_000u64, 900_000, 2_000_000, 450_000_000] {
+            h.record(v);
+        }
+        let report = ServiceReport {
+            wall_ns: 3_000_000_000,
+            worker_panics: 0,
+            totals: OutcomeCounts {
+                completed: 4,
+                cancelled: 1,
+                rejected: 2,
+                failed: 0,
+            },
+            per_priority: vec![(
+                1,
+                OutcomeCounts {
+                    completed: 4,
+                    cancelled: 1,
+                    rejected: 2,
+                    failed: 0,
+                },
+                h,
+            )],
+            cache: CacheStats {
+                plan_hits: 3,
+                plan_misses: 1,
+                ..CacheStats::default()
+            },
+            exec: ExecTotals {
+                profiled_queries: 4,
+                morsels: 128,
+                batches: 256,
+                rows_out: 10_000,
+                operator_wall_ns: 5_000_000,
+            },
+        };
+        let text = report.render_prometheus();
+        let samples = validate_exposition(&text).expect("exposition must validate");
+        assert!(
+            samples > 10,
+            "expected a full report, got {samples} samples"
+        );
+        assert!(text.contains("morsel_service_queries_total{outcome=\"completed\"} 4"));
+        assert!(
+            text.contains("morsel_service_query_latency_ns_bucket{priority=\"1\",le=\"100000\"} 1")
+        );
+        assert!(text.contains("morsel_service_query_latency_ns_count{priority=\"1\"} 4"));
+        assert!(text.contains("morsel_cache_events_total{cache=\"plan\",event=\"hit\"} 3"));
+        assert!(text.contains("morsel_exec_morsels_total 128"));
+    }
+
+    #[test]
+    fn empty_report_still_validates() {
+        let report = ServiceReport {
+            wall_ns: 1,
+            worker_panics: 0,
+            totals: OutcomeCounts::default(),
+            per_priority: Vec::new(),
+            cache: CacheStats::default(),
+            exec: ExecTotals::default(),
+        };
+        assert!(validate_exposition(&report.render_prometheus()).is_ok());
     }
 }

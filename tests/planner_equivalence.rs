@@ -239,6 +239,74 @@ fn sql_fixtures_bind_to_the_logical_schemas() {
     }
 }
 
+/// The EXPLAIN ANALYZE oracle: the per-operator actuals reported by ONE
+/// profiled execution (what `repro explain` / `repro sql --analyze`
+/// print) must equal the old quadratic oracle — re-executing every
+/// explain line's subtree in isolation and counting its result rows —
+/// on every TPC-H and SSB fixture.
+#[test]
+fn analyze_profile_matches_subtree_oracle_on_all_fixtures() {
+    use morsel_repro::planner::explain;
+    use morsel_repro::queries::{ssb_logical, tpch_logical};
+
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let planner = Planner::new(&topo);
+    let tpch = generate_tpch(TpchConfig::scaled(0.002), &topo);
+    let ssb = generate_ssb(SsbConfig::scaled(0.002), &topo);
+
+    let mut fixtures: Vec<(String, Plan)> = Vec::new();
+    for &q in &tpch_logical::IDS {
+        let logical = tpch_logical::query(&tpch, q).unwrap();
+        fixtures.push((format!("Q{q}"), planner.plan(&logical)));
+    }
+    for id in ssb_logical::IDS {
+        fixtures.push((
+            format!("SSB{id}"),
+            planner.plan(&ssb_logical::query(&ssb, id)),
+        ));
+    }
+    assert_eq!(fixtures.len(), 25, "the full TPC-H + SSB fixture set");
+
+    for (name, plan) in fixtures {
+        let lines = explain::collect(&plan, &planner.estimator);
+        let run = run_sim(
+            &env,
+            &format!("{name}-analyze"),
+            plan.clone(),
+            SystemVariant::full(),
+            16,
+            512,
+        );
+        let profile = run
+            .profile
+            .unwrap_or_else(|| panic!("{name}: profiling on, no profile attached"));
+        assert_eq!(
+            profile.ops.len(),
+            lines.len(),
+            "{name}: profile slot count diverges from explain lines"
+        );
+        for (i, line) in lines.iter().enumerate() {
+            let oracle = run_sim(
+                &env,
+                &format!("{name}-sub{i}"),
+                line.subplan.clone(),
+                SystemVariant::full(),
+                16,
+                512,
+            )
+            .result
+            .rows();
+            assert_eq!(
+                profile.ops[i].rows_out as usize, oracle,
+                "{name} line {i} ({}): profiled actual diverges from the \
+                 subtree re-execution oracle",
+                line.label
+            );
+        }
+    }
+}
+
 #[test]
 fn planner_cost_beats_or_matches_hand_orders_on_multi_join_queries() {
     // The acceptance bar: on the multi-join slice, the enumerator's
