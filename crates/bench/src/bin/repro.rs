@@ -35,6 +35,22 @@
 //!                                BENCH_observability.json
 //! ```
 //!
+//! Write-path commands:
+//! ```text
+//! repro txn                      guided demo of the durable write path:
+//!                                SQL DML auto-commit, cache-coherent
+//!                                reads, and a crash-and-recover smoke
+//! repro txn_bench [--json]       RESULT lines: commits/s and group-commit
+//!                                batch size per client count, recovery
+//!                                time vs WAL length; --json writes them
+//!                                to BENCH_txn.json
+//! repro recovery_smoke           seeded workload killed by crash@lsn at
+//!                                three points, recovered, and diffed
+//!                                against an uncrashed oracle; exits
+//!                                non-zero (leaving recovery_artifacts/)
+//!                                on any divergence — CI's recovery job
+//! ```
+//!
 //! `sql` and `explain --sql` exit non-zero on any parse/bind error,
 //! printing the caret diagnostic — CI's smoke step relies on that.
 
@@ -155,6 +171,8 @@ fn main() {
              \x20       sql [--analyze] \"<text>\" [--repeat N] (full text -> plan -> execute)\n\
              \x20       metrics (Prometheus exposition of a short service run)\n\
              \x20       trace <q> [--out FILE] (Chrome-trace JSON span export)\n\
+             \x20       txn (write-path demo) | txn_bench [--json -> BENCH_txn.json]\n\
+             \x20       recovery_smoke (crash@lsn sweep vs oracle; CI gate)\n\
              \x20       --json (write RESULT lines to BENCH_observability.json)"
         );
         std::process::exit(2);
@@ -236,6 +254,12 @@ fn main() {
             "service_load" => morsel_bench::service_load(&cfg),
             "service_load_zipf" => morsel_bench::service_load_zipf(&cfg),
             "plan_quality" => morsel_bench::plan_quality(&cfg),
+            "txn" => morsel_bench::txn_demo(&cfg),
+            "txn_bench" => morsel_bench::txn_bench(&cfg),
+            "recovery_smoke" => match morsel_bench::recovery_smoke(&cfg) {
+                Ok(text) => text,
+                Err(e) => fail(e),
+            },
             "metrics" => match morsel_bench::metrics_snapshot(&cfg) {
                 Ok(text) => text,
                 Err(e) => fail(e),
@@ -255,9 +279,22 @@ fn main() {
         }
     }
     if cfg.json && !json_reports.is_empty() {
-        match morsel_bench::write_bench_json(&json_reports) {
-            Ok(path) => println!("machine-readable results written to {path}"),
-            Err(e) => fail(format!("--json: cannot write results: {e}")),
+        // Write-path numbers go to their own document so reruns of the
+        // observability experiments don't clobber them (and vice versa).
+        let (txn_reports, other_reports): (Vec<_>, Vec<_>) = json_reports
+            .into_iter()
+            .partition(|(name, _)| name == "txn_bench");
+        if !txn_reports.is_empty() {
+            match morsel_bench::write_bench_json_to("BENCH_txn.json", &txn_reports) {
+                Ok(()) => println!("machine-readable results written to BENCH_txn.json"),
+                Err(e) => fail(format!("--json: cannot write BENCH_txn.json: {e}")),
+            }
+        }
+        if !other_reports.is_empty() {
+            match morsel_bench::write_bench_json(&other_reports) {
+                Ok(path) => println!("machine-readable results written to {path}"),
+                Err(e) => fail(format!("--json: cannot write results: {e}")),
+            }
         }
     }
 }

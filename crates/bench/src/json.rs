@@ -66,6 +66,13 @@ pub fn write_bench_json(entries: &[(String, String)]) -> std::io::Result<&'stati
     Ok(PATH)
 }
 
+/// Same document, caller-chosen path (`repro txn_bench --json` writes
+/// `BENCH_txn.json` so write-path numbers don't clobber the
+/// observability ones).
+pub fn write_bench_json_to(path: &str, entries: &[(String, String)]) -> std::io::Result<()> {
+    std::fs::write(path, render_bench_json(entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,12 +15,14 @@ pub mod observability;
 pub mod plan_quality;
 pub mod report;
 pub mod service_load;
+pub mod txn_bench;
 
 pub use experiments::*;
-pub use json::{render_bench_json, write_bench_json};
+pub use json::{render_bench_json, write_bench_json, write_bench_json_to};
 pub use observability::{metrics_snapshot, trace_query};
 pub use plan_quality::{
     explain_query, explain_sql, explain_sql_in, plan_quality, run_sql, run_sql_in, sql_catalog,
     subtree_actuals, SqlDb,
 };
 pub use service_load::{service_load, service_load_zipf};
+pub use txn_bench::{recovery_smoke, txn_bench, txn_demo};

@@ -30,6 +30,15 @@
 //!   perturbs the schedule; the threaded executor records it in the
 //!   morsel profile but does not sleep.
 //!
+//! The write path adds three WAL-targeted kinds, consumed by the
+//! storage layer's log (via [`FaultPlan::wal_faults`]) rather than the
+//! executors:
+//!
+//! - `crash@lsn#<n>` — kill the log immediately before writing LSN
+//!   `<n>`; the file keeps exactly the preceding records.
+//! - `torn@lsn#<n>+<b>` — write only `<b>` bytes of LSN `<n>`'s frame.
+//! - `fsync@wal#<n>` — fail the `<n>`-th WAL fsync (0-based).
+//!
 //! Morsel indices count *executions* of (query, operator) pairs as
 //! observed by the injector. Under the simulator's single event loop
 //! this is fully deterministic; under real threads the interleaving
@@ -66,6 +75,17 @@ pub enum Fault {
         morsel: u64,
         delay_ns: u64,
     },
+    /// Kill the write-ahead log immediately before it writes the frame
+    /// with this LSN: the file keeps exactly the preceding records and
+    /// the engine is poisoned (must restart and recover).
+    CrashAtLsn { lsn: u64 },
+    /// Write only `keep` bytes of the frame with this LSN (a torn
+    /// write), then poison the log.
+    TornWrite { lsn: u64, keep: u32 },
+    /// Fail the `nth` WAL fsync (0-based), poisoning the log — the
+    /// post-fsyncgate model: a failed fsync means durability is
+    /// unknowable and the only safe move is crash-and-recover.
+    FailFsync { nth: u64 },
 }
 
 impl fmt::Display for Fault {
@@ -79,6 +99,9 @@ impl fmt::Display for Fault {
                 morsel,
                 delay_ns,
             } => write!(f, "delay@{query}/{op}#{morsel}+{delay_ns}"),
+            Fault::CrashAtLsn { lsn } => write!(f, "crash@lsn#{lsn}"),
+            Fault::TornWrite { lsn, keep } => write!(f, "torn@lsn#{lsn}+{keep}"),
+            Fault::FailFsync { nth } => write!(f, "fsync@wal#{nth}"),
         }
     }
 }
@@ -127,6 +150,34 @@ impl FromStr for Fault {
                     alloc: num(alloc, "alloc index")?,
                 })
             }
+            "crash" => {
+                let tail = rest
+                    .strip_prefix("lsn#")
+                    .ok_or_else(|| format!("fault {s:?}: crash targets 'lsn#<n>'"))?;
+                Ok(Fault::CrashAtLsn {
+                    lsn: num(tail, "lsn")?,
+                })
+            }
+            "torn" => {
+                let tail = rest
+                    .strip_prefix("lsn#")
+                    .ok_or_else(|| format!("fault {s:?}: torn targets 'lsn#<n>+<bytes>'"))?;
+                let (lsn, keep) = tail
+                    .split_once('+')
+                    .ok_or_else(|| format!("fault {s:?}: torn needs '+<bytes>'"))?;
+                Ok(Fault::TornWrite {
+                    lsn: num(lsn, "lsn")?,
+                    keep: num(keep, "byte count")? as u32,
+                })
+            }
+            "fsync" => {
+                let tail = rest
+                    .strip_prefix("wal#")
+                    .ok_or_else(|| format!("fault {s:?}: fsync targets 'wal#<n>'"))?;
+                Ok(Fault::FailFsync {
+                    nth: num(tail, "fsync index")?,
+                })
+            }
             other => Err(format!("fault {s:?}: unknown kind {other:?}")),
         }
     }
@@ -162,6 +213,28 @@ impl FaultPlan {
             Ok(v) if !v.trim().is_empty() => v.parse().map(Some),
             _ => Ok(None),
         }
+    }
+
+    /// Extract the WAL-targeted entries as a storage-layer fault
+    /// schedule (the transaction layer attaches it to its log). Plans
+    /// mixing executor faults and WAL faults work: each layer consumes
+    /// the entries it understands.
+    pub fn wal_faults(&self) -> morsel_storage::WalFaults {
+        let mut wf = morsel_storage::WalFaults::none();
+        for fault in &self.faults {
+            match fault {
+                Fault::CrashAtLsn { lsn } => wf.crash_at_lsn.push(*lsn),
+                Fault::TornWrite { lsn, keep } => wf.torn_write.push((*lsn, *keep)),
+                Fault::FailFsync { nth } => wf.fail_fsync.push(*nth),
+                _ => {}
+            }
+        }
+        wf
+    }
+
+    /// True when the plan contains at least one WAL fault.
+    pub fn has_wal_faults(&self) -> bool {
+        !self.wal_faults().is_empty()
     }
 }
 
@@ -392,6 +465,31 @@ mod tests {
         let hit = inj.on_morsel("q", "scan-stage");
         assert_eq!(hit.delay_ns, 750);
         assert!(hit.panic_msg.is_none());
+    }
+
+    #[test]
+    fn wal_faults_round_trip_and_extract() {
+        let text = "crash@lsn#42;torn@lsn#7+13;fsync@wal#2;panic@q/scan#0";
+        let plan: FaultPlan = text.parse().unwrap();
+        assert_eq!(plan.to_string(), text);
+        assert!(plan.has_wal_faults());
+        let wf = plan.wal_faults();
+        assert_eq!(wf.crash_at_lsn, vec![42]);
+        assert_eq!(wf.torn_write, vec![(7, 13)]);
+        assert_eq!(wf.fail_fsync, vec![2]);
+        // Executor-side entries are invisible to the WAL extraction and
+        // vice versa.
+        let exec_only: FaultPlan = "panic@q#0".parse().unwrap();
+        assert!(!exec_only.has_wal_faults());
+        assert!(exec_only.wal_faults().is_empty());
+    }
+
+    #[test]
+    fn malformed_wal_faults_error_loudly() {
+        assert!("crash@q#1".parse::<FaultPlan>().is_err()); // must target lsn#
+        assert!("crash@lsn#".parse::<FaultPlan>().is_err());
+        assert!("torn@lsn#5".parse::<FaultPlan>().is_err()); // missing +bytes
+        assert!("fsync@lsn#1".parse::<FaultPlan>().is_err()); // must target wal#
     }
 
     #[test]

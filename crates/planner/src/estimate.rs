@@ -50,7 +50,7 @@ impl ColEst {
         }
     }
 
-    fn from_stats(s: &ColumnStats) -> Self {
+    pub(crate) fn from_stats(s: &ColumnStats) -> Self {
         ColEst {
             ndv: s.ndv.max(1.0),
             width: s.avg_width.max(1.0),

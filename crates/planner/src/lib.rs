@@ -23,6 +23,7 @@
 //!    service layer run planned queries unchanged.
 
 pub mod cost;
+pub mod dml;
 pub mod estimate;
 pub mod explain;
 pub mod joinorder;
@@ -30,6 +31,7 @@ pub mod logical;
 pub mod lower;
 
 pub use cost::{plan_cost, CostParams};
+pub use dml::{DmlKind, DmlPlan};
 pub use estimate::{ColEst, Estimator, PlanEst};
 pub use joinorder::{
     enumerate, left_deep_cost, GraphEdge, GraphNode, JoinGraph, JoinTree, DP_BUDGET_DEFAULT,

@@ -50,6 +50,7 @@ pub mod client;
 pub mod histogram;
 pub mod service;
 pub mod sql;
+pub mod txn;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue};
 pub use cache::{
@@ -62,3 +63,4 @@ pub use service::{
     ServiceReport,
 };
 pub use sql::QuerySpecSqlExt;
+pub use txn::{DmlReport, TxnExecution, TxnSession, TxnSqlError};

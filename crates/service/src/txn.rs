@@ -1,0 +1,481 @@
+//! The transactional SQL front end: one session over a
+//! [`morsel_txn::TxnDb`] write path and the cached read path of
+//! [`SqlSession`].
+//!
+//! A [`TxnSession`] accepts any SQL statement ([`parse_statement`]) and
+//! routes it by kind:
+//!
+//! - **SELECT** runs through the existing [`SqlSession`] machinery —
+//!   prepared-statement parse, plan cache, opt-in result cache — against
+//!   the latest *committed* snapshot of the database. Before planning,
+//!   the session refreshes its catalog from [`TxnDb::snapshot`] and
+//!   stamps the snapshot timestamp onto the compiled
+//!   [`morsel_core::QuerySpec`], so a query's provenance (which commit
+//!   it read) is recorded end to end.
+//! - **INSERT / UPDATE / DELETE** bind to a [`DmlPlan`] (same binder,
+//!   same statistics-backed cardinality estimate as the read-side
+//!   planner) and execute through the MVCC write path with auto-commit:
+//!   begin, buffer, validate, WAL, group-commit fsync, acknowledge.
+//!
+//! ## Cache coherence across commits
+//!
+//! [`TxnDb::snapshot_catalog`] stamps a strictly advancing version
+//! (bumped by every commit *and* every merge). [`TxnSession::refresh`]
+//! installs the new catalog into the inner session whenever that
+//! version moved, which is exactly the invalidation hook the plan and
+//! result caches key on: a cached plan or aggregate result bound
+//! against version `v` can never be served once the catalog reads
+//! `v' > v`. The regression test below pins the end-to-end property —
+//! a cached aggregate is never served stale across a committed
+//! `INSERT`.
+
+use std::sync::Arc;
+
+use morsel_exec::expr::{eq, lit, Expr};
+use morsel_exec::SystemVariant;
+use morsel_planner::{DmlKind, DmlPlan, Planner};
+use morsel_sql::{parse_statement, Binder, BoundStatement, SqlError, Statement};
+use morsel_txn::{TxnDb, TxnError};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheStats, SqlExecution, SqlSession};
+use crate::service::QueryService;
+
+// ------------------------------------------------------------- errors
+
+/// Everything that can go wrong executing a statement transactionally:
+/// front-end errors (parse/bind, with source positions) and write-path
+/// errors (conflicts, WAL faults, schema and budget violations).
+#[derive(Debug)]
+pub enum TxnSqlError {
+    Sql(SqlError),
+    Txn(TxnError),
+}
+
+impl std::fmt::Display for TxnSqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnSqlError::Sql(e) => write!(f, "{e}"),
+            TxnSqlError::Txn(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnSqlError {}
+
+impl From<SqlError> for TxnSqlError {
+    fn from(e: SqlError) -> Self {
+        TxnSqlError::Sql(e)
+    }
+}
+
+impl From<TxnError> for TxnSqlError {
+    fn from(e: TxnError) -> Self {
+        TxnSqlError::Txn(e)
+    }
+}
+
+// ------------------------------------------------------------ results
+
+/// Acknowledgement of one auto-committed DML statement. Returned only
+/// after the commit's WAL group is durable.
+#[derive(Debug, Clone)]
+pub struct DmlReport {
+    pub kind: DmlKind,
+    pub table: String,
+    /// Rows the statement touched (inserted, updated, or deleted).
+    pub rows_affected: usize,
+    /// The planner's statistics-based prediction for `rows_affected`.
+    pub estimated_rows: f64,
+    /// The commit timestamp the write became visible at.
+    pub commit_ts: u64,
+}
+
+impl std::fmt::Display for DmlReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {} row(s) committed @ ts {}",
+            self.kind.verb(),
+            self.table,
+            self.rows_affected,
+            self.commit_ts
+        )
+    }
+}
+
+/// What one statement produced: a query result (through the cached
+/// read path) or a durable DML acknowledgement.
+#[derive(Debug)]
+pub enum TxnExecution {
+    Query(SqlExecution),
+    Dml(DmlReport),
+}
+
+impl TxnExecution {
+    /// The query execution, when the statement was a `SELECT`.
+    pub fn query(&self) -> Option<&SqlExecution> {
+        match self {
+            TxnExecution::Query(q) => Some(q),
+            TxnExecution::Dml(_) => None,
+        }
+    }
+
+    /// The DML acknowledgement, when the statement wrote.
+    pub fn dml(&self) -> Option<&DmlReport> {
+        match self {
+            TxnExecution::Dml(d) => Some(d),
+            TxnExecution::Query(_) => None,
+        }
+    }
+}
+
+// ------------------------------------------------------------ session
+
+/// A transactional SQL session: see the [module docs](self).
+pub struct TxnSession {
+    db: Arc<TxnDb>,
+    session: SqlSession,
+    /// Catalog version currently installed in the inner session —
+    /// compared against [`TxnDb::snapshot_catalog`]'s on every refresh
+    /// so an unchanged database costs one lock, not a catalog rebuild.
+    installed: Mutex<u64>,
+}
+
+impl TxnSession {
+    /// A standalone session (private cache counters) over `db`.
+    pub fn new(db: Arc<TxnDb>, planner: Planner, variant: SystemVariant) -> Self {
+        let catalog = db.snapshot_catalog();
+        let installed = catalog.version();
+        TxnSession {
+            db,
+            session: SqlSession::new(catalog, planner, variant),
+            installed: Mutex::new(installed),
+        }
+    }
+
+    /// A session whose cache counters feed `service`'s shutdown report.
+    pub fn for_service(
+        service: &QueryService,
+        db: Arc<TxnDb>,
+        planner: Planner,
+        variant: SystemVariant,
+    ) -> Self {
+        let catalog = db.snapshot_catalog();
+        let installed = catalog.version();
+        TxnSession {
+            db,
+            session: SqlSession::for_service(service, catalog, planner, variant),
+            installed: Mutex::new(installed),
+        }
+    }
+
+    /// Opt into the result cache for aggregate queries (safe here
+    /// precisely because every commit and merge bumps the catalog
+    /// version the cache keys on).
+    pub fn with_result_caching(mut self, enabled: bool) -> Self {
+        self.session = self.session.with_result_caching(enabled);
+        self
+    }
+
+    /// Ablation knob: disable the plan cache.
+    pub fn with_plan_caching(mut self, enabled: bool) -> Self {
+        self.session = self.session.with_plan_caching(enabled);
+        self
+    }
+
+    /// The transactional database this session reads and writes.
+    pub fn db(&self) -> &Arc<TxnDb> {
+        &self.db
+    }
+
+    /// The inner cached SQL session (for cache-aware planning helpers).
+    pub fn session(&self) -> &SqlSession {
+        &self.session
+    }
+
+    /// Snapshot of the inner session's cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.session.stats()
+    }
+
+    /// Re-sync the read side with the latest committed snapshot and
+    /// return its snapshot timestamp. When a commit or merge advanced
+    /// the database since the last refresh, the new catalog (with its
+    /// bumped version) is installed into the inner session, which
+    /// invalidates every cached plan and result bound to the old one.
+    pub fn refresh(&self) -> u64 {
+        let (catalog, ts) = self.db.snapshot();
+        let version = catalog.version();
+        let mut installed = self.installed.lock();
+        if *installed != version {
+            self.session.update_catalog(|cat| *cat = catalog);
+            *installed = version;
+        }
+        ts
+    }
+
+    /// Execute one SQL statement. `SELECT` goes through the cached read
+    /// path against the latest committed snapshot (its compiled spec is
+    /// stamped with the snapshot timestamp); DML auto-commits through
+    /// the MVCC write path and is acknowledged only once durable.
+    pub fn execute(
+        &self,
+        service: &QueryService,
+        name: impl Into<String>,
+        sql: &str,
+    ) -> Result<TxnExecution, TxnSqlError> {
+        let stmt = parse_statement(sql)?;
+        if matches!(stmt, Statement::Select(_)) {
+            let snapshot_ts = self.refresh();
+            let exec = self.session.execute_with(service, name, sql, |mut req| {
+                req.spec.snapshot_ts = Some(snapshot_ts);
+                req
+            })?;
+            return Ok(TxnExecution::Query(exec));
+        }
+        let plan = {
+            let catalog = self.db.snapshot_catalog();
+            match Binder::new(&catalog).bind_statement(&stmt)? {
+                BoundStatement::Dml(plan) => plan,
+                BoundStatement::Select(_) => unreachable!("SELECT handled above"),
+            }
+        };
+        self.apply_dml(&plan).map(TxnExecution::Dml)
+    }
+
+    /// Execute a bound [`DmlPlan`] as one auto-committed transaction:
+    /// begin → buffer writes → commit (validate, WAL, group fsync). Any
+    /// buffering error aborts the transaction locally; nothing was
+    /// logged or applied.
+    pub fn apply_dml(&self, plan: &DmlPlan) -> Result<DmlReport, TxnSqlError> {
+        let mut txn = self.db.begin()?;
+        let buffered = (|| match plan.kind {
+            DmlKind::Insert => {
+                for row in &plan.rows {
+                    self.db.insert(&mut txn, &plan.table, row.clone())?;
+                }
+                Ok(plan.rows.len())
+            }
+            DmlKind::Update => {
+                let pred = plan.predicate.clone().unwrap_or_else(match_all);
+                self.db
+                    .update_where(&mut txn, &plan.table, &pred, &plan.sets)
+            }
+            DmlKind::Delete => {
+                let pred = plan.predicate.clone().unwrap_or_else(match_all);
+                self.db.delete_where(&mut txn, &plan.table, &pred)
+            }
+        })();
+        let rows_affected = match buffered {
+            Ok(n) => n,
+            Err(e) => {
+                self.db.abort(txn);
+                return Err(e.into());
+            }
+        };
+        let commit_ts = self.db.commit(txn)?;
+        // The commit bumped the database version; pull the new catalog
+        // in now so the caches invalidate before the next read plans.
+        self.refresh();
+        Ok(DmlReport {
+            kind: plan.kind,
+            table: plan.table.clone(),
+            rows_affected,
+            estimated_rows: plan.estimated_rows,
+            commit_ts,
+        })
+    }
+
+    /// Fold every table's committed delta into fresh base partitions,
+    /// then refresh so the version bump invalidates the caches.
+    pub fn merge_all(&self) -> Result<(), TxnSqlError> {
+        self.db.merge_all()?;
+        self.refresh();
+        Ok(())
+    }
+}
+
+/// A trivially-true predicate for `UPDATE`/`DELETE` without a `WHERE`
+/// clause (constant expressions broadcast over the batch).
+fn match_all() -> Expr {
+    eq(lit(0), lit(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheDisposition, ServiceConfig};
+    use morsel_core::ExecEnv;
+    use morsel_numa::Topology;
+    use morsel_txn::kv_relation;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "morsel-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("tmpdir");
+        d
+    }
+
+    fn setup(tag: &str) -> (PathBuf, Arc<TxnDb>, TxnSession, QueryService) {
+        let dir = tmpdir(tag);
+        let topo = Topology::laptop();
+        let db = Arc::new(TxnDb::create(&dir, vec![("kv", kv_relation(4))]).expect("create"));
+        let service = QueryService::start(ExecEnv::new(topo.clone()), ServiceConfig::new(2));
+        let session = TxnSession::for_service(
+            &service,
+            Arc::clone(&db),
+            Planner::new(&topo),
+            SystemVariant::full(),
+        )
+        .with_result_caching(true);
+        (dir, db, session, service)
+    }
+
+    fn sum(session: &TxnSession, service: &QueryService, name: &str) -> (i64, CacheDisposition) {
+        let exec = session
+            .execute(service, name, "SELECT SUM(val) AS s FROM kv")
+            .expect("aggregate runs");
+        let q = exec.query().expect("select produces a query execution");
+        let rows = q.rows.as_ref().expect("completed");
+        (rows.column(0).as_i64()[0], q.result_cache)
+    }
+
+    /// The satellite regression: a cached aggregate must never be
+    /// served stale across a committed INSERT. The second execution
+    /// hits the result cache; the commit bumps the catalog version;
+    /// the third execution must miss and see the new row.
+    #[test]
+    fn cached_aggregate_is_never_served_stale_across_a_commit() {
+        let (dir, _db, session, service) = setup("txn-session-stale");
+
+        let (s1, d1) = sum(&session, &service, "agg-cold");
+        assert_eq!(s1, 0, "seed kv table starts with val = 0 everywhere");
+        assert_eq!(d1, CacheDisposition::Miss);
+        let (s2, d2) = sum(&session, &service, "agg-warm");
+        assert_eq!(s2, 0);
+        assert_eq!(d2, CacheDisposition::Hit, "second run is a result hit");
+
+        let ack = session
+            .execute(
+                &service,
+                "ins",
+                "INSERT INTO kv (key, val) VALUES (100, 100)",
+            )
+            .expect("insert commits");
+        let ack = ack.dml().expect("DML acknowledgement");
+        assert_eq!(ack.rows_affected, 1);
+        assert!(ack.commit_ts > 0);
+
+        let (s3, d3) = sum(&session, &service, "agg-after-commit");
+        assert_eq!(s3, 100, "aggregate reflects the committed insert");
+        assert_ne!(
+            d3,
+            CacheDisposition::Hit,
+            "stale cached aggregate must not be served after a commit"
+        );
+        let stats = session.stats();
+        assert!(
+            stats.result_hits >= 1 && stats.result_misses >= 2,
+            "{stats}"
+        );
+
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Auto-commit DML through SQL text: insert, update (with and
+    /// without WHERE), delete — each visible to the next SELECT.
+    #[test]
+    fn dml_statements_autocommit_and_reads_observe_them() {
+        let (dir, db, session, service) = setup("txn-session-dml");
+
+        let ins = session
+            .execute(
+                &service,
+                "ins",
+                "INSERT INTO kv (key, val) VALUES (10, 1), (11, 2)",
+            )
+            .expect("insert");
+        assert_eq!(ins.dml().unwrap().rows_affected, 2);
+
+        let upd = session
+            .execute(&service, "upd", "UPDATE kv SET val = 7 WHERE key = 10")
+            .expect("update");
+        let upd = upd.dml().unwrap();
+        assert_eq!(upd.rows_affected, 1);
+        assert!(
+            upd.estimated_rows >= 1.0,
+            "statistics-backed estimate filled in: {}",
+            upd.estimated_rows
+        );
+
+        let (s, _) = sum(&session, &service, "after-upd");
+        assert_eq!(s, 7 + 2, "4 seed rows at 0, key 10 -> 7, key 11 -> 2");
+
+        // Unfiltered UPDATE exercises the match-all predicate path.
+        let all = session
+            .execute(&service, "upd-all", "UPDATE kv SET val = 1")
+            .expect("update all");
+        assert_eq!(all.dml().unwrap().rows_affected, 6);
+        let (s, _) = sum(&session, &service, "after-upd-all");
+        assert_eq!(s, 6);
+
+        let del = session
+            .execute(&service, "del", "DELETE FROM kv WHERE key >= 10")
+            .expect("delete");
+        assert_eq!(del.dml().unwrap().rows_affected, 2);
+        let (s, _) = sum(&session, &service, "after-del");
+        assert_eq!(s, 4);
+
+        // The write path saw every statement as its own transaction.
+        assert!(db.version() > 0);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Merges rewrite partitions without changing logical contents —
+    /// but they *do* bump the version, so caches refill rather than
+    /// serve entries bound to dropped partitions.
+    #[test]
+    fn merge_invalidates_caches_without_changing_results() {
+        let (dir, db, session, service) = setup("txn-session-merge");
+
+        session
+            .execute(&service, "ins", "INSERT INTO kv (key, val) VALUES (50, 9)")
+            .expect("insert");
+        let (s1, _) = sum(&session, &service, "pre-merge");
+        assert_eq!(s1, 9);
+        let (_, d) = sum(&session, &service, "pre-merge-warm");
+        assert_eq!(d, CacheDisposition::Hit);
+
+        session.merge_all().expect("merge");
+        assert_eq!(db.delta_stats("kv").expect("kv").2, 1, "epoch advanced");
+
+        let (s2, d2) = sum(&session, &service, "post-merge");
+        assert_eq!(s2, 9, "merge preserves logical contents");
+        assert_ne!(d2, CacheDisposition::Hit, "merge invalidated the cache");
+
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Bind errors from DML surface as `TxnSqlError::Sql` with spans;
+    /// write-path conflicts surface as `TxnSqlError::Txn`.
+    #[test]
+    fn dml_errors_keep_their_layer() {
+        let (dir, _db, session, service) = setup("txn-session-err");
+        let err = session
+            .execute(&service, "bad", "INSERT INTO nope (key) VALUES (1)")
+            .expect_err("unknown table");
+        assert!(matches!(err, TxnSqlError::Sql(_)), "{err}");
+        assert!(err.to_string().contains("nope"), "{err}");
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -406,6 +406,141 @@ impl PartialEq for Select {
     }
 }
 
+/// Any parsed statement: a query or one of the DML forms. The DML
+/// keywords (`INSERT`, `INTO`, `VALUES`, `UPDATE`, `SET`, `DELETE`)
+/// are contextual — they stay usable as column and table names inside
+/// `SELECT`, so adding the write path cannot un-parse a read-only
+/// query that used them as identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Select),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Insert(s) => write!(f, "{s}"),
+            Statement::Update(s) => write!(f, "{s}"),
+            Statement::Delete(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// `INSERT INTO t [(c1, ...)] VALUES (e1, ...), ...`.
+#[derive(Debug, Clone)]
+pub struct Insert {
+    pub table: String,
+    /// Explicit column list; empty means schema order.
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+    pub span: Span,
+}
+
+impl PartialEq for Insert {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table && self.columns == other.columns && self.rows == other.rows
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// One `SET column = value` assignment.
+#[derive(Debug, Clone)]
+pub struct SetItem {
+    pub column: String,
+    pub value: Expr,
+    pub span: Span,
+}
+
+impl PartialEq for SetItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.column == other.column && self.value == other.value
+    }
+}
+
+/// `UPDATE t SET c = e, ... [WHERE expr]`.
+#[derive(Debug, Clone)]
+pub struct Update {
+    pub table: String,
+    pub sets: Vec<SetItem>,
+    pub where_clause: Option<Expr>,
+    pub span: Span,
+}
+
+impl PartialEq for Update {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table
+            && self.sets == other.sets
+            && self.where_clause == other.where_clause
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, s) in self.sets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} = {}", s.column, s.value)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `DELETE FROM t [WHERE expr]`.
+#[derive(Debug, Clone)]
+pub struct Delete {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+    pub span: Span,
+}
+
+impl PartialEq for Delete {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table && self.where_clause == other.where_clause
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for Select {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SELECT ")?;

@@ -34,11 +34,23 @@ use std::sync::Arc;
 
 use morsel_exec::expr as ex;
 use morsel_exec::join::JoinKind;
-use morsel_planner::{AggSpec, LogicalPlan, OrderBy};
-use morsel_storage::{date, Catalog, DataType, Relation, Schema};
+use morsel_planner::{AggSpec, DmlPlan, LogicalPlan, OrderBy};
+use morsel_storage::{date, Catalog, DataType, Relation, Schema, Value};
 
-use crate::ast::{AggFunc, BinOp, Expr, ExprKind, JoinOp, Select, TableFactor};
+use crate::ast::{
+    AggFunc, BinOp, Delete, Expr, ExprKind, Insert, JoinOp, Select, Statement, TableFactor, Update,
+};
 use crate::error::{Span, SqlError};
+
+/// A bound statement, ready for the planner or a transactional
+/// executor. Reads become [`LogicalPlan`]s exactly as before; writes
+/// become [`DmlPlan`]s with the predicate's column indices resolved
+/// against the target table schema and literal payloads coerced to the
+/// column types.
+pub enum BoundStatement {
+    Select(LogicalPlan),
+    Dml(DmlPlan),
+}
 
 /// Binds parsed statements against a catalog.
 pub struct Binder<'a> {
@@ -53,6 +65,171 @@ impl<'a> Binder<'a> {
     /// Bind a `SELECT` to a logical plan.
     pub fn bind(&self, select: &Select) -> Result<LogicalPlan, SqlError> {
         BindCtx::build(self.catalog, select)?.bind()
+    }
+
+    /// Bind any statement. DML estimates touched-row counts from the
+    /// target relation's statistics on the way through.
+    pub fn bind_statement(&self, stmt: &Statement) -> Result<BoundStatement, SqlError> {
+        match stmt {
+            Statement::Select(s) => Ok(BoundStatement::Select(self.bind(s)?)),
+            Statement::Insert(i) => self.bind_insert(i).map(BoundStatement::Dml),
+            Statement::Update(u) => self.bind_update(u).map(BoundStatement::Dml),
+            Statement::Delete(d) => self.bind_delete(d).map(BoundStatement::Dml),
+        }
+    }
+
+    fn target(&self, table: &str, span: Span) -> Result<Arc<Relation>, SqlError> {
+        self.catalog.get(table).cloned().ok_or_else(|| {
+            SqlError::new(
+                format!(
+                    "unknown table `{table}` (known: {})",
+                    self.catalog.names().join(", ")
+                ),
+                span,
+            )
+        })
+    }
+
+    fn bind_insert(&self, ins: &Insert) -> Result<DmlPlan, SqlError> {
+        let rel = self.target(&ins.table, ins.span)?;
+        let schema = rel.schema();
+        // The column list (when given) must be a permutation of the
+        // whole schema: partial inserts would need per-column defaults
+        // the engine does not have.
+        let order: Vec<usize> = if ins.columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            if ins.columns.len() != schema.len() {
+                return Err(SqlError::new(
+                    format!(
+                        "INSERT must name every column of `{}` ({} given, {} in the table)",
+                        ins.table,
+                        ins.columns.len(),
+                        schema.len()
+                    ),
+                    ins.span,
+                ));
+            }
+            let mut order = Vec::with_capacity(ins.columns.len());
+            for c in &ins.columns {
+                let Some(i) = schema.names().iter().position(|&n| n == c) else {
+                    return Err(SqlError::new(
+                        format!("unknown column `{c}` in `{}`", ins.table),
+                        ins.span,
+                    ));
+                };
+                if order.contains(&i) {
+                    return Err(SqlError::new(
+                        format!("column `{c}` named twice in INSERT"),
+                        ins.span,
+                    ));
+                }
+                order.push(i);
+            }
+            order
+        };
+        let mut rows = Vec::with_capacity(ins.rows.len());
+        for row in &ins.rows {
+            if row.len() != order.len() {
+                return Err(SqlError::new(
+                    format!(
+                        "VALUES row has {} values, expected {}",
+                        row.len(),
+                        order.len()
+                    ),
+                    row.first().map_or(ins.span, |e| e.span),
+                ));
+            }
+            let mut out = vec![Value::I64(0); schema.len()];
+            for (slot, e) in order.iter().zip(row) {
+                out[*slot] = literal_value(e, schema.dtype(*slot))?;
+            }
+            rows.push(out);
+        }
+        Ok(DmlPlan::insert(&ins.table, rows).estimate(&rel))
+    }
+
+    fn bind_update(&self, upd: &Update) -> Result<DmlPlan, SqlError> {
+        let rel = self.target(&upd.table, upd.span)?;
+        let schema = rel.schema();
+        let mut sets = Vec::with_capacity(upd.sets.len());
+        for item in &upd.sets {
+            let Some(i) = schema.names().iter().position(|&n| n == item.column) else {
+                return Err(SqlError::new(
+                    format!("unknown column `{}` in `{}`", item.column, upd.table),
+                    item.span,
+                ));
+            };
+            if sets.iter().any(|&(j, _)| j == i) {
+                return Err(SqlError::new(
+                    format!("column `{}` assigned twice", item.column),
+                    item.span,
+                ));
+            }
+            sets.push((i, literal_value(&item.value, schema.dtype(i))?));
+        }
+        let predicate = bind_table_predicate(&upd.table, schema, upd.where_clause.as_ref())?;
+        Ok(DmlPlan::update(&upd.table, predicate, sets).estimate(&rel))
+    }
+
+    fn bind_delete(&self, del: &Delete) -> Result<DmlPlan, SqlError> {
+        let rel = self.target(&del.table, del.span)?;
+        let predicate = bind_table_predicate(&del.table, rel.schema(), del.where_clause.as_ref())?;
+        Ok(DmlPlan::delete(&del.table, predicate).estimate(&rel))
+    }
+}
+
+/// Bind a DML `WHERE` clause against a single table's schema.
+fn bind_table_predicate(
+    table: &str,
+    schema: &Schema,
+    pred: Option<&Expr>,
+) -> Result<Option<ex::Expr>, SqlError> {
+    let Some(pred) = pred else { return Ok(None) };
+    let lookup = |qual: Option<&str>, name: &str, span: Span| {
+        if let Some(q) = qual {
+            if q != table {
+                return Err(SqlError::new(
+                    format!("`{q}` does not name the target table `{table}`"),
+                    span,
+                ));
+            }
+        }
+        match schema.names().iter().position(|&n| n == name) {
+            Some(i) => Ok((i, Ty::of(schema.dtype(i)))),
+            None => Err(SqlError::new(
+                format!("unknown column `{name}` in `{table}`"),
+                span,
+            )),
+        }
+    };
+    let (bound, ty) = bind_scalar(pred, &lookup, None)?;
+    expect_bool(ty, pred.span)?;
+    Ok(Some(bound))
+}
+
+/// Evaluate a literal AST expression to a [`Value`] of the column's
+/// type. DML payloads are literal-only: computed values belong in a
+/// query, and keeping VALUES constant keeps the WAL record a plain
+/// row image.
+fn literal_value(e: &Expr, dt: DataType) -> Result<Value, SqlError> {
+    let fail =
+        |got: &str| SqlError::new(format!("expected a {dt:?} literal here, got {got}"), e.span);
+    match (&e.kind, dt) {
+        (ExprKind::Int(v), DataType::I64) => Ok(Value::I64(*v)),
+        (ExprKind::Int(v), DataType::I32) => i32::try_from(*v)
+            .map(Value::I32)
+            .map_err(|_| fail("an out-of-range integer")),
+        (ExprKind::Int(v), DataType::F64) => Ok(Value::F64(*v as f64)),
+        (ExprKind::Float(v), DataType::F64) => Ok(Value::F64(*v)),
+        (ExprKind::Str(s), DataType::Str) => Ok(Value::Str(s.clone())),
+        (ExprKind::Date { y, m, d }, DataType::I32) => Ok(Value::I32(date(*y, *m, *d))),
+        (ExprKind::Date { y, m, d }, DataType::I64) => Ok(Value::I64(i64::from(date(*y, *m, *d)))),
+        (ExprKind::Int(_), _) => Err(fail("an integer")),
+        (ExprKind::Float(_), _) => Err(fail("a float")),
+        (ExprKind::Str(_), _) => Err(fail("a string")),
+        (ExprKind::Date { .. }, _) => Err(fail("a date")),
+        _ => Err(fail("a non-literal expression")),
     }
 }
 
@@ -415,262 +592,265 @@ impl<'s> BindCtx<'s> {
         Ok(if generated { None } else { Some(srcs) })
     }
 
-    // ---- scalar binding -------------------------------------------------
+    // ---- scalar binding (see the free `bind_scalar` below) --------------
+}
 
-    /// Bind a scalar expression through a column-lookup closure. `aggs`
-    /// carries the collected aggregate slots (and the index where their
-    /// output columns start) when aggregate references are legal here.
-    fn bind_scalar(
-        &self,
-        e: &Expr,
-        lookup: Lookup<'_>,
-        aggs: Option<(&[AggSlot], usize)>,
-    ) -> Result<(ex::Expr, Ty), SqlError> {
-        match &e.kind {
-            ExprKind::Column { table, name } => {
-                let (i, ty) = lookup(table.as_deref(), name, e.span)?;
-                Ok((ex::col(i), ty))
-            }
-            ExprKind::Int(v) => Ok((ex::lit(*v), Ty::Int)),
-            ExprKind::Float(v) => Ok((ex::litf(*v), Ty::Float)),
-            ExprKind::Str(s) => Ok((ex::lits(s), Ty::Str)),
-            ExprKind::Date { y, m, d } => Ok((ex::lit(i64::from(date(*y, *m, *d))), Ty::Int)),
-            // Placeholders are a prepare-time construct: normalize::bind_params
-            // splices concrete literals over them before binding.
-            ExprKind::Param(i) => Err(SqlError::new(
-                format!("unbound parameter ${}: bind a value before planning", i + 1),
-                e.span,
-            )),
-            ExprKind::Binary { op, left, right } => {
-                let (le, lt) = self.bind_scalar(left, lookup, aggs)?;
-                let (re, rt) = self.bind_scalar(right, lookup, aggs)?;
-                match op {
-                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                        if !lt.numeric() || !rt.numeric() {
-                            return Err(SqlError::new(
-                                format!(
-                                    "arithmetic needs numeric operands, got {} and {}",
-                                    lt.describe(),
-                                    rt.describe()
-                                ),
-                                e.span,
-                            ));
-                        }
-                        let out = if lt == Ty::Float || rt == Ty::Float {
-                            Ty::Float
-                        } else {
-                            Ty::Int
-                        };
-                        let built = match op {
-                            BinOp::Add => ex::add(le, re),
-                            BinOp::Sub => ex::sub(le, re),
-                            BinOp::Mul => ex::mul(le, re),
-                            _ => ex::div(le, re),
-                        };
-                        Ok((built, out))
+/// Bind a scalar expression through a column-lookup closure. `aggs`
+/// carries the collected aggregate slots (and the index where their
+/// output columns start) when aggregate references are legal here. A
+/// free function (not a `BindCtx` method) so single-table DML binding
+/// reuses it without a join context.
+fn bind_scalar(
+    e: &Expr,
+    lookup: Lookup<'_>,
+    aggs: Option<(&[AggSlot], usize)>,
+) -> Result<(ex::Expr, Ty), SqlError> {
+    match &e.kind {
+        ExprKind::Column { table, name } => {
+            let (i, ty) = lookup(table.as_deref(), name, e.span)?;
+            Ok((ex::col(i), ty))
+        }
+        ExprKind::Int(v) => Ok((ex::lit(*v), Ty::Int)),
+        ExprKind::Float(v) => Ok((ex::litf(*v), Ty::Float)),
+        ExprKind::Str(s) => Ok((ex::lits(s), Ty::Str)),
+        ExprKind::Date { y, m, d } => Ok((ex::lit(i64::from(date(*y, *m, *d))), Ty::Int)),
+        // Placeholders are a prepare-time construct: normalize::bind_params
+        // splices concrete literals over them before binding.
+        ExprKind::Param(i) => Err(SqlError::new(
+            format!("unbound parameter ${}: bind a value before planning", i + 1),
+            e.span,
+        )),
+        ExprKind::Binary { op, left, right } => {
+            let (le, lt) = bind_scalar(left, lookup, aggs)?;
+            let (re, rt) = bind_scalar(right, lookup, aggs)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    if !lt.numeric() || !rt.numeric() {
+                        return Err(SqlError::new(
+                            format!(
+                                "arithmetic needs numeric operands, got {} and {}",
+                                lt.describe(),
+                                rt.describe()
+                            ),
+                            e.span,
+                        ));
                     }
-                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        let compatible =
-                            (lt.numeric() && rt.numeric()) || (lt == Ty::Str && rt == Ty::Str);
-                        if !compatible {
-                            return Err(SqlError::new(
-                                format!("cannot compare {} to {}", lt.describe(), rt.describe()),
-                                e.span,
-                            ));
-                        }
-                        let cmp_op = match op {
-                            BinOp::Eq => ex::CmpOp::Eq,
-                            BinOp::Ne => ex::CmpOp::Ne,
-                            BinOp::Lt => ex::CmpOp::Lt,
-                            BinOp::Le => ex::CmpOp::Le,
-                            BinOp::Gt => ex::CmpOp::Gt,
-                            _ => ex::CmpOp::Ge,
-                        };
-                        Ok((ex::cmp(cmp_op, le, re), Ty::Bool))
+                    let out = if lt == Ty::Float || rt == Ty::Float {
+                        Ty::Float
+                    } else {
+                        Ty::Int
+                    };
+                    let built = match op {
+                        BinOp::Add => ex::add(le, re),
+                        BinOp::Sub => ex::sub(le, re),
+                        BinOp::Mul => ex::mul(le, re),
+                        _ => ex::div(le, re),
+                    };
+                    Ok((built, out))
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let compatible =
+                        (lt.numeric() && rt.numeric()) || (lt == Ty::Str && rt == Ty::Str);
+                    if !compatible {
+                        return Err(SqlError::new(
+                            format!("cannot compare {} to {}", lt.describe(), rt.describe()),
+                            e.span,
+                        ));
                     }
-                    BinOp::And | BinOp::Or => {
-                        if lt != Ty::Bool || rt != Ty::Bool {
-                            return Err(SqlError::new(
-                                format!(
-                                    "{} needs boolean operands, got {} and {}",
-                                    op.symbol(),
-                                    lt.describe(),
-                                    rt.describe()
-                                ),
-                                e.span,
-                            ));
-                        }
-                        let built = if *op == BinOp::And {
-                            ex::and(le, re)
-                        } else {
-                            ex::or(le, re)
-                        };
-                        Ok((built, Ty::Bool))
+                    let cmp_op = match op {
+                        BinOp::Eq => ex::CmpOp::Eq,
+                        BinOp::Ne => ex::CmpOp::Ne,
+                        BinOp::Lt => ex::CmpOp::Lt,
+                        BinOp::Le => ex::CmpOp::Le,
+                        BinOp::Gt => ex::CmpOp::Gt,
+                        _ => ex::CmpOp::Ge,
+                    };
+                    Ok((ex::cmp(cmp_op, le, re), Ty::Bool))
+                }
+                BinOp::And | BinOp::Or => {
+                    if lt != Ty::Bool || rt != Ty::Bool {
+                        return Err(SqlError::new(
+                            format!(
+                                "{} needs boolean operands, got {} and {}",
+                                op.symbol(),
+                                lt.describe(),
+                                rt.describe()
+                            ),
+                            e.span,
+                        ));
                     }
+                    let built = if *op == BinOp::And {
+                        ex::and(le, re)
+                    } else {
+                        ex::or(le, re)
+                    };
+                    Ok((built, Ty::Bool))
                 }
             }
-            ExprKind::Not(x) => {
-                let (xe, xt) = self.bind_scalar(x, lookup, aggs)?;
-                if xt != Ty::Bool {
-                    return Err(SqlError::new(
-                        format!("NOT needs a boolean operand, got {}", xt.describe()),
-                        e.span,
-                    ));
-                }
-                Ok((ex::not(xe), Ty::Bool))
+        }
+        ExprKind::Not(x) => {
+            let (xe, xt) = bind_scalar(x, lookup, aggs)?;
+            if xt != Ty::Bool {
+                return Err(SqlError::new(
+                    format!("NOT needs a boolean operand, got {}", xt.describe()),
+                    e.span,
+                ));
             }
-            ExprKind::Between {
-                expr,
-                negated,
-                lo,
-                hi,
-            } => {
-                let (xe, xt) = self.bind_scalar(expr, lookup, aggs)?;
-                let (loe, lot) = self.bind_scalar(lo, lookup, aggs)?;
-                let (hie, hit) = self.bind_scalar(hi, lookup, aggs)?;
-                let families_ok = (xt.numeric() && lot.numeric() && hit.numeric())
-                    || (xt == Ty::Str && lot == Ty::Str && hit == Ty::Str);
-                if !families_ok {
-                    return Err(SqlError::new(
-                        format!(
-                            "BETWEEN over mixed types: {} vs {} and {}",
-                            xt.describe(),
-                            lot.describe(),
-                            hit.describe()
-                        ),
-                        e.span,
-                    ));
-                }
-                let built = match (xt, const_i64(lo), const_i64(hi)) {
-                    (Ty::Int, Some(l), Some(h)) => ex::between(xe, l, h),
-                    _ => ex::and(ex::ge(xe.clone(), loe), ex::le(xe, hie)),
-                };
-                Ok((maybe_not(built, *negated), Ty::Bool))
+            Ok((ex::not(xe), Ty::Bool))
+        }
+        ExprKind::Between {
+            expr,
+            negated,
+            lo,
+            hi,
+        } => {
+            let (xe, xt) = bind_scalar(expr, lookup, aggs)?;
+            let (loe, lot) = bind_scalar(lo, lookup, aggs)?;
+            let (hie, hit) = bind_scalar(hi, lookup, aggs)?;
+            let families_ok = (xt.numeric() && lot.numeric() && hit.numeric())
+                || (xt == Ty::Str && lot == Ty::Str && hit == Ty::Str);
+            if !families_ok {
+                return Err(SqlError::new(
+                    format!(
+                        "BETWEEN over mixed types: {} vs {} and {}",
+                        xt.describe(),
+                        lot.describe(),
+                        hit.describe()
+                    ),
+                    e.span,
+                ));
             }
-            ExprKind::InList {
-                expr,
-                negated,
-                list,
-            } => {
-                let (xe, xt) = self.bind_scalar(expr, lookup, aggs)?;
-                match xt {
-                    Ty::Int => {
-                        let mut vals = Vec::with_capacity(list.len());
-                        for item in list {
-                            vals.push(const_i64(item).ok_or_else(|| {
-                                SqlError::new(
-                                    "IN list over an integer needs integer or date literals",
+            let built = match (xt, const_i64(lo), const_i64(hi)) {
+                (Ty::Int, Some(l), Some(h)) => ex::between(xe, l, h),
+                _ => ex::and(ex::ge(xe.clone(), loe), ex::le(xe, hie)),
+            };
+            Ok((maybe_not(built, *negated), Ty::Bool))
+        }
+        ExprKind::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let (xe, xt) = bind_scalar(expr, lookup, aggs)?;
+            match xt {
+                Ty::Int => {
+                    let mut vals = Vec::with_capacity(list.len());
+                    for item in list {
+                        vals.push(const_i64(item).ok_or_else(|| {
+                            SqlError::new(
+                                "IN list over an integer needs integer or date literals",
+                                item.span,
+                            )
+                        })?);
+                    }
+                    Ok((maybe_not(ex::in_i64(xe, vals), *negated), Ty::Bool))
+                }
+                Ty::Str => {
+                    let mut vals = Vec::with_capacity(list.len());
+                    for item in list {
+                        match &item.kind {
+                            ExprKind::Str(s) => vals.push(s.clone()),
+                            _ => {
+                                return Err(SqlError::new(
+                                    "IN list over a string needs string literals",
                                     item.span,
-                                )
-                            })?);
-                        }
-                        Ok((maybe_not(ex::in_i64(xe, vals), *negated), Ty::Bool))
-                    }
-                    Ty::Str => {
-                        let mut vals = Vec::with_capacity(list.len());
-                        for item in list {
-                            match &item.kind {
-                                ExprKind::Str(s) => vals.push(s.clone()),
-                                _ => {
-                                    return Err(SqlError::new(
-                                        "IN list over a string needs string literals",
-                                        item.span,
-                                    ))
-                                }
+                                ))
                             }
                         }
-                        let built = ex::Expr::InStr(Box::new(xe), vals);
-                        Ok((maybe_not(built, *negated), Ty::Bool))
                     }
-                    other => Err(SqlError::new(
-                        format!("IN over unsupported type {}", other.describe()),
-                        e.span,
-                    )),
+                    let built = ex::Expr::InStr(Box::new(xe), vals);
+                    Ok((maybe_not(built, *negated), Ty::Bool))
                 }
-            }
-            ExprKind::Like {
-                expr,
-                negated,
-                pattern,
-            } => {
-                let (xe, xt) = self.bind_scalar(expr, lookup, aggs)?;
-                if xt != Ty::Str {
-                    return Err(SqlError::new(
-                        format!("LIKE needs a string, got {}", xt.describe()),
-                        e.span,
-                    ));
-                }
-                // `abc%` is a pure prefix test; use the dedicated
-                // operator (dictionary scans turn it into a code range).
-                let built = match pattern.strip_suffix('%') {
-                    Some(prefix) if !prefix.is_empty() && !prefix.contains('%') => {
-                        ex::prefix(xe, prefix)
-                    }
-                    _ => ex::like(xe, pattern),
-                };
-                Ok((maybe_not(built, *negated), Ty::Bool))
-            }
-            ExprKind::Case { cond, then, else_ } => {
-                let (ce, ct) = self.bind_scalar(cond, lookup, aggs)?;
-                if ct != Ty::Bool {
-                    return Err(SqlError::new(
-                        format!("CASE WHEN needs a boolean, got {}", ct.describe()),
-                        cond.span,
-                    ));
-                }
-                let (te, tt) = self.bind_scalar(then, lookup, aggs)?;
-                let (ee, et) = self.bind_scalar(else_, lookup, aggs)?;
-                if tt != et {
-                    return Err(SqlError::new(
-                        format!(
-                            "CASE branches disagree: {} vs {}",
-                            tt.describe(),
-                            et.describe()
-                        ),
-                        e.span,
-                    ));
-                }
-                Ok((ex::case(ce, te, ee), tt))
-            }
-            ExprKind::ExtractYear(x) => {
-                let (xe, xt) = self.bind_scalar(x, lookup, aggs)?;
-                if xt != Ty::Int {
-                    return Err(SqlError::new(
-                        format!(
-                            "EXTRACT(YEAR ...) needs a date (integer) column, got {}",
-                            xt.describe()
-                        ),
-                        e.span,
-                    ));
-                }
-                Ok((ex::year_of(xe), Ty::Int))
-            }
-            ExprKind::Substring { expr, from, len } => {
-                let (xe, xt) = self.bind_scalar(expr, lookup, aggs)?;
-                if xt != Ty::Str {
-                    return Err(SqlError::new(
-                        format!("SUBSTRING needs a string, got {}", xt.describe()),
-                        e.span,
-                    ));
-                }
-                Ok((ex::substr(xe, *from as usize, *len as usize), Ty::Str))
-            }
-            ExprKind::Agg { .. } => match aggs {
-                Some((slots, base)) => {
-                    let idx = slots
-                        .iter()
-                        .position(|s| &s.call == e)
-                        .expect("aggregate slots collected before binding");
-                    Ok((ex::col(base + idx), slots[idx].out_ty))
-                }
-                None => Err(SqlError::new(
-                    "aggregate calls are not allowed here",
+                other => Err(SqlError::new(
+                    format!("IN over unsupported type {}", other.describe()),
                     e.span,
                 )),
-            },
+            }
         }
+        ExprKind::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
+            let (xe, xt) = bind_scalar(expr, lookup, aggs)?;
+            if xt != Ty::Str {
+                return Err(SqlError::new(
+                    format!("LIKE needs a string, got {}", xt.describe()),
+                    e.span,
+                ));
+            }
+            // `abc%` is a pure prefix test; use the dedicated
+            // operator (dictionary scans turn it into a code range).
+            let built = match pattern.strip_suffix('%') {
+                Some(prefix) if !prefix.is_empty() && !prefix.contains('%') => {
+                    ex::prefix(xe, prefix)
+                }
+                _ => ex::like(xe, pattern),
+            };
+            Ok((maybe_not(built, *negated), Ty::Bool))
+        }
+        ExprKind::Case { cond, then, else_ } => {
+            let (ce, ct) = bind_scalar(cond, lookup, aggs)?;
+            if ct != Ty::Bool {
+                return Err(SqlError::new(
+                    format!("CASE WHEN needs a boolean, got {}", ct.describe()),
+                    cond.span,
+                ));
+            }
+            let (te, tt) = bind_scalar(then, lookup, aggs)?;
+            let (ee, et) = bind_scalar(else_, lookup, aggs)?;
+            if tt != et {
+                return Err(SqlError::new(
+                    format!(
+                        "CASE branches disagree: {} vs {}",
+                        tt.describe(),
+                        et.describe()
+                    ),
+                    e.span,
+                ));
+            }
+            Ok((ex::case(ce, te, ee), tt))
+        }
+        ExprKind::ExtractYear(x) => {
+            let (xe, xt) = bind_scalar(x, lookup, aggs)?;
+            if xt != Ty::Int {
+                return Err(SqlError::new(
+                    format!(
+                        "EXTRACT(YEAR ...) needs a date (integer) column, got {}",
+                        xt.describe()
+                    ),
+                    e.span,
+                ));
+            }
+            Ok((ex::year_of(xe), Ty::Int))
+        }
+        ExprKind::Substring { expr, from, len } => {
+            let (xe, xt) = bind_scalar(expr, lookup, aggs)?;
+            if xt != Ty::Str {
+                return Err(SqlError::new(
+                    format!("SUBSTRING needs a string, got {}", xt.describe()),
+                    e.span,
+                ));
+            }
+            Ok((ex::substr(xe, *from as usize, *len as usize), Ty::Str))
+        }
+        ExprKind::Agg { .. } => match aggs {
+            Some((slots, base)) => {
+                let idx = slots
+                    .iter()
+                    .position(|s| &s.call == e)
+                    .expect("aggregate slots collected before binding");
+                Ok((ex::col(base + idx), slots[idx].out_ty))
+            }
+            None => Err(SqlError::new(
+                "aggregate calls are not allowed here",
+                e.span,
+            )),
+        },
     }
+}
 
+impl<'s> BindCtx<'s> {
     /// Bind a predicate against one base source's schema (scan filter).
     fn bind_on_source(&self, src: usize, e: &Expr) -> Result<ex::Expr, SqlError> {
         let schema = &self.sources[src].schema;
@@ -685,7 +865,7 @@ impl<'s> BindCtx<'s> {
                     span,
                 )),
             };
-        let (bound, ty) = self.bind_scalar(e, &lookup, None)?;
+        let (bound, ty) = bind_scalar(e, &lookup, None)?;
         expect_bool(ty, e.span)?;
         Ok(bound)
     }
@@ -711,7 +891,7 @@ impl<'s> BindCtx<'s> {
     fn bind_on_joined(&self, plan: &LogicalPlan, e: &Expr) -> Result<ex::Expr, SqlError> {
         let schema = plan.schema();
         let lookup = self.joined_lookup(&schema);
-        let (bound, ty) = self.bind_scalar(e, &lookup, None)?;
+        let (bound, ty) = bind_scalar(e, &lookup, None)?;
         expect_bool(ty, e.span)?;
         Ok(bound)
     }
@@ -884,7 +1064,7 @@ impl<'s> BindCtx<'s> {
                     span,
                 )),
             };
-        let (bound, ty) = self.bind_scalar(e, &lookup, None)?;
+        let (bound, ty) = bind_scalar(e, &lookup, None)?;
         expect_bool(ty, e.span)?;
         Ok(bound)
     }
@@ -1140,7 +1320,7 @@ impl<'s> BindCtx<'s> {
         {
             let lookup = self.joined_lookup(&schema);
             for (item, name) in self.select.items.iter().zip(&names) {
-                let (bound, _) = self.bind_scalar(&item.expr, &lookup, None)?;
+                let (bound, _) = bind_scalar(&item.expr, &lookup, None)?;
                 entries.push((name.clone(), bound));
             }
         }
@@ -1169,7 +1349,7 @@ impl<'s> BindCtx<'s> {
             let names = self.output_names()?;
             let mut project = Vec::new();
             for (item, name) in self.select.items.iter().zip(&names) {
-                let (bound, _) = self.bind_scalar(&item.expr, &lookup, None)?;
+                let (bound, _) = bind_scalar(&item.expr, &lookup, None)?;
                 project.push((name.clone(), bound));
             }
             let plan = LogicalPlan::Scan {
@@ -1244,7 +1424,7 @@ impl<'s> BindCtx<'s> {
                     g.span,
                 ));
             }
-            let (bound, ty) = self.bind_scalar(&ast, lookup, None)?;
+            let (bound, ty) = bind_scalar(&ast, lookup, None)?;
             let passthrough = match &ast.kind {
                 ExprKind::Column { table, name: n } => {
                     let res = self.resolve(table.as_deref(), n, ast.span)?;
@@ -1332,7 +1512,7 @@ impl<'s> BindCtx<'s> {
             if a.has_agg() {
                 return Err(SqlError::new("nested aggregate calls", a.span));
             }
-            let (bound, ty) = self.bind_scalar(a, lookup, None)?;
+            let (bound, ty) = bind_scalar(a, lookup, None)?;
             arg_ty = ty;
             if let ExprKind::Column { table, name } = &a.kind {
                 let res = self.resolve(table.as_deref(), name, a.span)?;
@@ -1465,7 +1645,7 @@ impl<'s> BindCtx<'s> {
                     span,
                 ))
             };
-            self.bind_scalar(e, &lookup, Some((&slots, groups.len())))
+            bind_scalar(e, &lookup, Some((&slots, groups.len())))
         };
 
         if let Some(h) = &self.select.having {

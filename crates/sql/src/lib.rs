@@ -41,11 +41,11 @@ pub mod lexer;
 pub mod normalize;
 pub mod parser;
 
-pub use ast::Select;
-pub use binder::Binder;
+pub use ast::{Select, Statement};
+pub use binder::{Binder, BoundStatement};
 pub use error::{Span, SqlError};
 pub use normalize::{bind_params, param_count, shape_of, LiteralValue, ShapeKey};
-pub use parser::parse;
+pub use parser::{parse, parse_statement};
 
 use morsel_planner::LogicalPlan;
 use morsel_storage::Catalog;
@@ -54,6 +54,12 @@ use morsel_storage::Catalog;
 pub fn plan_sql(catalog: &Catalog, sql: &str) -> Result<LogicalPlan, SqlError> {
     let ast = parse(sql)?;
     Binder::new(catalog).bind(&ast)
+}
+
+/// Parse and bind any statement — `SELECT` or DML.
+pub fn plan_statement(catalog: &Catalog, sql: &str) -> Result<BoundStatement, SqlError> {
+    let ast = parse_statement(sql)?;
+    Binder::new(catalog).bind_statement(&ast)
 }
 
 #[cfg(test)]
@@ -215,5 +221,103 @@ mod tests {
         let cat = mini_catalog();
         let err = bind_err(&cat, "SELECT id FROM emp ORDER BY salary");
         assert!(err.message.contains("ORDER BY"), "{err:?}");
+    }
+
+    fn bound_dml(cat: &Catalog, sql: &str) -> morsel_planner::DmlPlan {
+        match plan_statement(cat, sql) {
+            Ok(BoundStatement::Dml(p)) => p,
+            Ok(BoundStatement::Select(_)) => panic!("{sql:?} bound to a SELECT"),
+            Err(e) => panic!("bind of {sql:?} failed: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn binds_insert_with_column_permutation() {
+        let cat = mini_catalog();
+        let p = bound_dml(
+            &cat,
+            "INSERT INTO emp (name, id, salary, dept) VALUES ('e', 5, 500, 10)",
+        );
+        assert_eq!(p.kind, morsel_planner::DmlKind::Insert);
+        // Values land in schema order: (id, dept, salary, name).
+        use morsel_storage::Value;
+        assert_eq!(
+            p.rows,
+            vec![vec![
+                Value::I64(5),
+                Value::I64(10),
+                Value::I64(500),
+                Value::Str("e".into())
+            ]]
+        );
+        assert_eq!(p.estimated_rows, 1.0);
+    }
+
+    #[test]
+    fn binds_update_predicate_against_table_schema() {
+        let cat = mini_catalog();
+        let p = bound_dml(
+            &cat,
+            "UPDATE emp SET salary = 999 WHERE dept = 10 AND id > 1",
+        );
+        assert_eq!(p.kind, morsel_planner::DmlKind::Update);
+        assert_eq!(p.sets, vec![(2, morsel_storage::Value::I64(999))]);
+        assert!(p.predicate.is_some());
+        assert!(p.estimated_rows > 0.0);
+        assert!(p.explain().contains("UPDATE emp"));
+    }
+
+    #[test]
+    fn binds_delete_and_estimates_from_stats() {
+        let cat = mini_catalog();
+        let p = bound_dml(&cat, "DELETE FROM emp WHERE salary > 250");
+        assert_eq!(p.kind, morsel_planner::DmlKind::Delete);
+        // 2 of 4 rows exceed 250; the estimate should be in that
+        // neighborhood, not the full table.
+        assert!(p.estimated_rows <= 4.0 && p.estimated_rows >= 1.0);
+        let full = bound_dml(&cat, "DELETE FROM emp");
+        assert_eq!(full.estimated_rows, 4.0);
+    }
+
+    #[test]
+    fn dml_bind_errors_carry_spans() {
+        let cat = mini_catalog();
+        let sql = "UPDATE emp SET salry = 1";
+        let err = match plan_statement(&cat, sql) {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert!(err.message.contains("unknown column"), "{err:?}");
+        assert_eq!(&sql[err.span.start..err.span.end], "salry = 1");
+
+        let err = match plan_statement(&cat, "INSERT INTO emp VALUES (1, 2)") {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert!(err.message.contains("4"), "{err:?}");
+
+        let err = match plan_statement(&cat, "INSERT INTO emp VALUES (1, 2, 3, 4)") {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert!(err.message.contains("Str literal"), "{err:?}");
+
+        let err = match plan_statement(&cat, "DELETE FROM emp WHERE salary + 1") {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert!(err.message.contains("boolean"), "{err:?}");
+    }
+
+    #[test]
+    fn select_through_plan_statement_is_unchanged() {
+        let cat = mini_catalog();
+        let sql = "SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept";
+        let via_stmt = match plan_statement(&cat, sql) {
+            Ok(BoundStatement::Select(p)) => p,
+            _ => panic!("expected a select"),
+        };
+        let direct = plan_sql(&cat, sql).unwrap();
+        assert_eq!(via_stmt.schema().names(), direct.schema().names());
     }
 }

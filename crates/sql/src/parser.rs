@@ -28,7 +28,8 @@
 //! simpler and the plans are identical with the explicit forms).
 
 use crate::ast::{
-    AggFunc, BinOp, Expr, ExprKind, JoinOp, OrderItem, Select, SelectItem, TableFactor, TableRef,
+    AggFunc, BinOp, Delete, Expr, ExprKind, Insert, JoinOp, OrderItem, Select, SelectItem, SetItem,
+    Statement, TableFactor, TableRef, Update,
 };
 use crate::error::{Span, SqlError};
 use crate::lexer::{lex, Token, TokenKind};
@@ -49,13 +50,31 @@ pub fn parse(sql: &str) -> Result<Select, SqlError> {
         positional_params: 0,
     };
     let select = p.select()?;
-    match p.peek_kind() {
-        TokenKind::Eof => Ok(select),
-        other => Err(SqlError::new(
-            format!("unexpected trailing input {}", other.describe()),
-            p.peek_span(),
-        )),
-    }
+    p.expect_eof()?;
+    Ok(select)
+}
+
+/// Parse one statement — `SELECT` or DML. The DML keywords are
+/// contextual (decided by the first word only), so every query `parse`
+/// accepts comes back identical through here.
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        positional_params: 0,
+    };
+    let stmt = if p.at_kw("insert") {
+        Statement::Insert(p.insert()?)
+    } else if p.at_kw("update") {
+        Statement::Update(p.update()?)
+    } else if p.at_kw("delete") {
+        Statement::Delete(p.delete()?)
+    } else {
+        Statement::Select(p.select()?)
+    };
+    p.expect_eof()?;
+    Ok(stmt)
 }
 
 struct Parser {
@@ -170,6 +189,102 @@ impl Parser {
             ));
         }
         Ok((s, span))
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        match self.peek_kind() {
+            TokenKind::Eof => Ok(()),
+            other => Err(SqlError::new(
+                format!("unexpected trailing input {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    // ---- DML ------------------------------------------------------------
+
+    fn insert(&mut self) -> Result<Insert, SqlError> {
+        let start = self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let (table, tspan) = self.plain_ident()?;
+        let mut columns = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                columns.push(self.ident()?.0);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(TokenKind::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Insert {
+            table,
+            columns,
+            rows,
+            span: start.to(tspan),
+        })
+    }
+
+    fn update(&mut self) -> Result<Update, SqlError> {
+        let start = self.expect_kw("update")?;
+        let (table, tspan) = self.plain_ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let (column, cspan) = self.ident()?;
+            self.expect(TokenKind::Eq)?;
+            let value = self.expr()?;
+            let span = cspan.to(value.span);
+            sets.push(SetItem {
+                column,
+                value,
+                span,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Update {
+            table,
+            sets,
+            where_clause,
+            span: start.to(tspan),
+        })
+    }
+
+    fn delete(&mut self) -> Result<Delete, SqlError> {
+        let start = self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let (table, tspan) = self.plain_ident()?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Delete {
+            table,
+            where_clause,
+            span: start.to(tspan),
+        })
     }
 
     // ---- clauses --------------------------------------------------------
@@ -921,5 +1036,69 @@ mod tests {
     fn negative_literal_folds() {
         let ast = parse("SELECT x FROM t WHERE a > -5").unwrap();
         assert!(ast.where_clause.unwrap().to_string().contains("-5"));
+    }
+
+    fn roundtrip_stmt(sql: &str) -> Statement {
+        let ast = parse_statement(sql).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {}", e.render(&printed)));
+        assert_eq!(ast, reparsed, "printer/parser disagree for {printed:?}");
+        ast
+    }
+
+    #[test]
+    fn insert_forms_roundtrip() {
+        let ast = roundtrip_stmt("INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+        let Statement::Insert(i) = ast else {
+            panic!("not an insert")
+        };
+        assert!(i.columns.is_empty());
+        assert_eq!(i.rows.len(), 2);
+        let ast = roundtrip_stmt("INSERT INTO t (b, a) VALUES (DATE '1994-01-01', -3)");
+        let Statement::Insert(i) = ast else {
+            panic!("not an insert")
+        };
+        assert_eq!(i.columns, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn update_and_delete_roundtrip() {
+        let ast = roundtrip_stmt("UPDATE t SET a = 1, b = 'x' WHERE c BETWEEN 2 AND 4");
+        let Statement::Update(u) = ast else {
+            panic!("not an update")
+        };
+        assert_eq!(u.sets.len(), 2);
+        assert!(u.where_clause.is_some());
+        let ast = roundtrip_stmt("DELETE FROM t WHERE a = 1 OR b < 0");
+        assert!(matches!(ast, Statement::Delete(_)));
+        let ast = roundtrip_stmt("DELETE FROM t");
+        let Statement::Delete(d) = ast else {
+            panic!("not a delete")
+        };
+        assert!(d.where_clause.is_none());
+    }
+
+    #[test]
+    fn dml_keywords_stay_contextual_in_select() {
+        // `update`, `set`, `values`, `insert` were never reserved: a
+        // read-only query using them as names must keep parsing.
+        let ast = parse_statement("SELECT update, set FROM values WHERE insert = 1").unwrap();
+        let Statement::Select(s) = ast else {
+            panic!("not a select")
+        };
+        assert_eq!(s.items.len(), 2);
+    }
+
+    #[test]
+    fn dml_errors_have_positions() {
+        let err = parse_statement("INSERT INTO t").unwrap_err();
+        assert!(err.message.contains("VALUES"), "{err:?}");
+        let err = parse_statement("UPDATE t SET").unwrap_err();
+        assert!(err.message.contains("identifier"), "{err:?}");
+        let err = parse_statement("DELETE t WHERE a = 1").unwrap_err();
+        assert!(err.message.contains("FROM"), "{err:?}");
+        let err = parse_statement("INSERT INTO t VALUES (1) garbage").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err:?}");
     }
 }

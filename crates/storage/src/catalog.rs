@@ -50,6 +50,21 @@ impl Catalog {
         self.version
     }
 
+    /// Force the version to `v` (must not move backwards). Transactional
+    /// snapshot catalogs are rebuilt from scratch per snapshot, so their
+    /// `add`-counted versions would restart low; the transaction layer
+    /// stamps them with its own monotonic counter instead so downstream
+    /// plan/result caches see a strictly advancing version across
+    /// commits and merges.
+    pub fn set_version(&mut self, v: u64) {
+        assert!(
+            v >= self.version,
+            "catalog version must be monotonic ({} -> {v})",
+            self.version
+        );
+        self.version = v;
+    }
+
     /// Builder-style [`Catalog::add`].
     pub fn with_table(mut self, name: &str, relation: Arc<Relation>) -> Self {
         self.add(name, relation);

@@ -1,0 +1,378 @@
+//! Versioned delta stores: the MVCC write side of immutable column
+//! partitions.
+//!
+//! Base relations stay exactly what the read path built at load time —
+//! immutable, NUMA-placed, dictionary-encoded column partitions. All
+//! writes go to a per-relation [`DeltaStore`]: committed inserts append
+//! to a row-ordered delta batch stamped with their commit timestamp,
+//! and deletes are tombstones (`row id → delete timestamp`) that may
+//! point at base rows or at delta rows. An `UPDATE` is a delete plus an
+//! insert in the same transaction. A reader at snapshot timestamp `ts`
+//! sees: base rows without a tombstone `≤ ts`, plus delta rows inserted
+//! `≤ ts` and not tombstoned `≤ ts` — writers never block readers and
+//! vice versa.
+//!
+//! **Row addressing.** Base rows are numbered globally in partition
+//! order (partition 0's rows first, then partition 1's, …). Delta rows
+//! set the high bit: [`delta_row_id`]. A background merge folds all
+//! committed delta state into fresh base partitions, which renumbers
+//! rows and bumps the store's *epoch* — transactions that captured row
+//! ids under the old epoch must conflict-abort, which the transaction
+//! layer enforces by comparing epochs at commit.
+//!
+//! The store holds **committed data only**. Uncommitted writes live in
+//! per-transaction buffers (in `morsel-txn`) and are applied here in
+//! one deterministic sequence at commit, mirroring the WAL record
+//! order. That makes crash recovery trivial to state: replaying the
+//! committed prefix of the log through [`DeltaStore::apply_insert`] /
+//! [`DeltaStore::apply_delete`] / [`DeltaStore::merge`] reconstructs a
+//! store that is `==` (field-for-field, row-for-row) to the one the
+//! crashed process held — the property the crash sweep asserts.
+
+use std::collections::BTreeMap;
+
+use morsel_numa::SocketId;
+
+use crate::batch::Batch;
+use crate::relation::{Partition, Relation};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// High bit marks a delta row id; the low bits are the index into the
+/// delta batch.
+pub const DELTA_ROW_BIT: u64 = 1 << 63;
+
+/// Row id of the `i`-th delta row of the current epoch.
+pub fn delta_row_id(i: usize) -> u64 {
+    DELTA_ROW_BIT | i as u64
+}
+
+/// Approximate in-memory bytes of one row (memory-budget accounting;
+/// matches the column layer's byte accounting conventions).
+pub fn row_bytes(row: &[Value]) -> u64 {
+    row.iter()
+        .map(|v| match v {
+            Value::I64(_) | Value::F64(_) => 8,
+            Value::I32(_) => 4,
+            Value::Str(s) => 1 + s.len() as u64,
+        })
+        .sum()
+}
+
+/// Committed MVCC delta state for one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaStore {
+    schema: Schema,
+    /// Inserted rows in commit order (plain columns; dictionary
+    /// encoding happens only when a merge folds them into base
+    /// partitions).
+    rows: Batch,
+    /// Commit timestamp of each delta row, aligned with `rows`.
+    insert_ts: Vec<u64>,
+    /// Deleted row id → commit timestamp of the delete.
+    tombstones: BTreeMap<u64, u64>,
+    /// Bumped by every merge; row ids are only meaningful within one
+    /// epoch.
+    epoch: u64,
+    /// Highest commit timestamp applied to this store.
+    last_commit_ts: u64,
+}
+
+impl DeltaStore {
+    pub fn new(schema: Schema) -> Self {
+        let types = schema.data_types();
+        DeltaStore {
+            schema,
+            rows: Batch::empty(&types),
+            insert_ts: Vec::new(),
+            tombstones: BTreeMap::new(),
+            epoch: 0,
+            last_commit_ts: 0,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// No committed writes at all (a snapshot is exactly the base).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.tombstones.is_empty()
+    }
+
+    pub fn delta_rows(&self) -> usize {
+        self.rows.rows()
+    }
+
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn last_commit_ts(&self) -> u64 {
+        self.last_commit_ts
+    }
+
+    /// Approximate committed delta bytes (rows + tombstone entries).
+    pub fn approx_bytes(&self) -> u64 {
+        self.rows.total_bytes() + self.tombstones.len() as u64 * 16
+    }
+
+    /// Append a committed insert; returns the new row's id.
+    pub fn apply_insert(&mut self, row: Vec<Value>, commit_ts: u64) -> u64 {
+        let id = delta_row_id(self.rows.rows());
+        self.rows.push_row(row);
+        self.insert_ts.push(commit_ts);
+        self.last_commit_ts = self.last_commit_ts.max(commit_ts);
+        id
+    }
+
+    /// Record a committed delete of `row_id` (base or delta). A second
+    /// delete of the same row can only happen when write-write conflict
+    /// detection is deliberately disabled (the SI checker's teeth
+    /// mode); the earliest tombstone governs visibility, and replaying
+    /// such a log must reproduce the same state, so first delete wins.
+    pub fn apply_delete(&mut self, row_id: u64, commit_ts: u64) {
+        self.tombstones.entry(row_id).or_insert(commit_ts);
+        self.last_commit_ts = self.last_commit_ts.max(commit_ts);
+    }
+
+    fn deleted_at(&self, row_id: u64, ts: u64) -> bool {
+        self.tombstones.get(&row_id).is_some_and(|&d| d <= ts)
+    }
+
+    /// Whether `row_id` carries a tombstone of *any* timestamp. The
+    /// first-committer-wins check: a committing transaction saw this
+    /// row alive at its begin snapshot, so any tombstone present now
+    /// was committed by a concurrent transaction — write-write
+    /// conflict.
+    pub fn tombstoned(&self, row_id: u64) -> bool {
+        self.tombstones.contains_key(&row_id)
+    }
+
+    /// True when a snapshot at `ts` sees no delta effects: the caller
+    /// can serve the base relation unchanged (and byte-identical).
+    pub fn snapshot_is_base(&self, ts: u64) -> bool {
+        self.insert_ts.iter().all(|&t| t > ts) && self.tombstones.values().all(|&t| t > ts)
+    }
+
+    /// Materialize the relation a snapshot at `ts` sees: base partitions
+    /// with tombstoned rows filtered out (in place, keeping node
+    /// placement and dictionary encoding) plus one extra plain
+    /// partition of visible delta rows. Always builds a **fresh**
+    /// [`Relation`], so row/byte totals and planner statistics are
+    /// recomputed — never served from a pre-write cache.
+    pub fn snapshot(&self, base: &Relation, ts: u64) -> Relation {
+        let mut parts: Vec<Partition> = Vec::with_capacity(base.partitions().len() + 1);
+        let mut start = 0u64;
+        for p in base.partitions() {
+            let n = p.data.rows() as u64;
+            let dead: Vec<u32> = self
+                .tombstones
+                .range(start..start + n)
+                .filter(|&(_, &d)| d <= ts)
+                .map(|(&id, _)| (id - start) as u32)
+                .collect();
+            let data = if dead.is_empty() {
+                p.data.clone()
+            } else {
+                let dead_set: std::collections::HashSet<u32> = dead.into_iter().collect();
+                let sel: Vec<u32> = (0..p.data.rows() as u32)
+                    .filter(|i| !dead_set.contains(i))
+                    .collect();
+                p.data.gather(&sel)
+            };
+            parts.push(Partition { node: p.node, data });
+            start += n;
+        }
+        let mut extra = Batch::empty(&self.schema.data_types());
+        for i in 0..self.rows.rows() {
+            if self.insert_ts[i] <= ts && !self.deleted_at(delta_row_id(i), ts) {
+                extra.push_from(&self.rows, i);
+            }
+        }
+        if !extra.is_empty() {
+            parts.push(Partition {
+                node: SocketId(0),
+                data: extra,
+            });
+        }
+        Relation::from_partitions(self.schema.clone(), parts)
+    }
+
+    /// All rows visible at `ts` as one decoded batch plus their row ids
+    /// (aligned). The transaction layer scans this to resolve `UPDATE`
+    /// / `DELETE` predicates to row ids.
+    pub fn visible_rows(&self, base: &Relation, ts: u64) -> (Batch, Vec<u64>) {
+        let mut out = Batch::empty(&self.schema.data_types());
+        let mut ids = Vec::new();
+        let mut start = 0u64;
+        for p in base.partitions() {
+            let decoded = p.data.decoded();
+            for i in 0..decoded.rows() {
+                let id = start + i as u64;
+                if !self.deleted_at(id, ts) {
+                    out.push_from(&decoded, i);
+                    ids.push(id);
+                }
+            }
+            start += p.data.rows() as u64;
+        }
+        for i in 0..self.rows.rows() {
+            let id = delta_row_id(i);
+            if self.insert_ts[i] <= ts && !self.deleted_at(id, ts) {
+                out.push_from(&self.rows, i);
+                ids.push(id);
+            }
+        }
+        (out, ids)
+    }
+
+    /// Fold all committed delta state into fresh base partitions and
+    /// start a new epoch. `upto_ts` must cover every commit in the
+    /// store (the transaction layer merges under its commit lock, so
+    /// nothing newer can exist); it is logged in the WAL `Merge` record
+    /// so replay re-folds at exactly the same point and reconstructs
+    /// the same row numbering.
+    pub fn merge(&self, base: &Relation, upto_ts: u64) -> (Relation, DeltaStore) {
+        assert!(
+            upto_ts >= self.last_commit_ts,
+            "merge upto_ts {upto_ts} must cover last commit {}",
+            self.last_commit_ts
+        );
+        let folded = self.snapshot(base, upto_ts);
+        let next = DeltaStore {
+            schema: self.schema.clone(),
+            rows: Batch::empty(&self.schema.data_types()),
+            insert_ts: Vec::new(),
+            tombstones: BTreeMap::new(),
+            epoch: self.epoch + 1,
+            last_commit_ts: self.last_commit_ts,
+        };
+        (folded, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::DataType;
+    use morsel_numa::{Placement, Topology};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("k", DataType::I64), ("tag", DataType::Str)])
+    }
+
+    fn base() -> Relation {
+        let data = Batch::from_columns(vec![
+            Column::I64(vec![1, 2, 3, 4]),
+            Column::Str(vec!["a".into(), "b".into(), "a".into(), "b".into()]),
+        ]);
+        Relation::partitioned(
+            schema(),
+            &data,
+            crate::relation::PartitionBy::Chunks,
+            2,
+            Placement::FirstTouch,
+            &Topology::laptop(),
+        )
+    }
+
+    fn row(k: i64, tag: &str) -> Vec<Value> {
+        vec![Value::I64(k), Value::Str(tag.into())]
+    }
+
+    #[test]
+    fn empty_delta_serves_base_unchanged() {
+        let b = base();
+        let d = DeltaStore::new(schema());
+        assert!(d.is_empty());
+        assert!(d.snapshot_is_base(u64::MAX));
+        let snap = d.snapshot(&b, 100);
+        assert_eq!(snap.gather(), b.gather());
+    }
+
+    #[test]
+    fn snapshot_respects_timestamps() {
+        let b = base();
+        let mut d = DeltaStore::new(schema());
+        d.apply_insert(row(5, "c"), 10);
+        d.apply_delete(0, 20); // base row k=1
+        d.apply_delete(delta_row_id(0), 30); // the row we inserted
+
+        assert!(d.snapshot_is_base(9));
+        assert!(!d.snapshot_is_base(10));
+
+        let at9 = d.snapshot(&b, 9).gather();
+        assert_eq!(at9.column(0).as_i64(), &[1, 2, 3, 4]);
+
+        let at10 = d.snapshot(&b, 10).gather();
+        assert_eq!(at10.column(0).as_i64(), &[1, 2, 3, 4, 5]);
+
+        let at20 = d.snapshot(&b, 20).gather();
+        assert_eq!(at20.column(0).as_i64(), &[2, 3, 4, 5]);
+
+        let at30 = d.snapshot(&b, 30).gather();
+        assert_eq!(at30.column(0).as_i64(), &[2, 3, 4]);
+        assert_eq!(d.last_commit_ts(), 30);
+    }
+
+    #[test]
+    fn visible_rows_align_ids() {
+        let b = base();
+        let mut d = DeltaStore::new(schema());
+        d.apply_insert(row(5, "c"), 10);
+        d.apply_delete(1, 10); // base row k=2
+        let (rows, ids) = d.visible_rows(&b, 10);
+        assert_eq!(rows.column(0).as_i64(), &[1, 3, 4, 5]);
+        assert_eq!(ids, vec![0, 2, 3, delta_row_id(0)]);
+        for (i, &id) in ids.iter().enumerate() {
+            if id & DELTA_ROW_BIT == 0 {
+                assert!(id < b.total_rows() as u64, "base id in range");
+            }
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn merge_folds_and_bumps_epoch() {
+        let b = base();
+        let mut d = DeltaStore::new(schema());
+        d.apply_insert(row(5, "c"), 10);
+        d.apply_delete(0, 20);
+        let (merged, next) = d.merge(&b, 20);
+        assert_eq!(merged.gather().column(0).as_i64(), &[2, 3, 4, 5]);
+        assert_eq!(merged.total_rows(), 4);
+        assert!(next.is_empty());
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(next.last_commit_ts(), 20);
+        // Fresh relation → fresh stats (not the base's cached ones).
+        assert_eq!(merged.stats().rows, 4);
+        assert_eq!(b.stats().rows, 4 /* base never mutated */);
+        assert_eq!(b.total_rows(), 4);
+    }
+
+    #[test]
+    fn replay_reconstructs_identical_store() {
+        let b = base();
+        let mut live = DeltaStore::new(schema());
+        live.apply_insert(row(5, "c"), 10);
+        live.apply_delete(2, 11);
+        live.apply_insert(row(6, "d"), 12);
+
+        let mut replayed = DeltaStore::new(schema());
+        replayed.apply_insert(row(5, "c"), 10);
+        replayed.apply_delete(2, 11);
+        replayed.apply_insert(row(6, "d"), 12);
+
+        assert_eq!(live, replayed, "same op sequence, equal stores");
+        assert_eq!(
+            live.snapshot(&b, 12).gather(),
+            replayed.snapshot(&b, 12).gather()
+        );
+    }
+}

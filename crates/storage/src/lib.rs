@@ -15,20 +15,26 @@ pub mod area;
 pub mod batch;
 pub mod catalog;
 pub mod column;
+pub mod delta;
 pub mod dict;
 pub mod hash;
+pub mod recovery;
 pub mod relation;
 pub mod schema;
 pub mod stats;
 pub mod value;
+pub mod wal;
 
 pub use area::{AreaSet, StorageArea};
 pub use batch::Batch;
 pub use catalog::Catalog;
 pub use column::{encode_fragments, Column};
+pub use delta::{delta_row_id, row_bytes, DeltaStore, DELTA_ROW_BIT};
 pub use dict::{DictColumn, Dictionary};
 pub use hash::{hash64, hash_bytes, hash_combine, hash_i64};
+pub use recovery::{replay, scan_bytes, scan_wal, RecoveredState, WalScan};
 pub use relation::{Partition, PartitionBy, Relation};
 pub use schema::{Field, Schema};
 pub use stats::{ColumnStats, HllSketch, TableStats};
 pub use value::{date, date_parts, decimal, format_date, DataType, Value, ValueRef, DECIMAL_SCALE};
+pub use wal::{Wal, WalError, WalFaults, WalOp, WalRecord, WalStats};

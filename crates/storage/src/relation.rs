@@ -58,6 +58,21 @@ impl Relation {
             stats: OnceLock::new(),
         }
     }
+
+    /// Build a relation from already-placed partitions. Row/byte totals
+    /// and the stats cache are recomputed from scratch, which is the
+    /// write path's staleness guarantee: a snapshot or merge that
+    /// changes row data must construct a *new* `Relation` through here
+    /// (never mutate one in place), so the planner can never cost
+    /// against pre-write `total_rows`/`total_bytes`/`stats()` values —
+    /// the caches belong to the instance and the instance is immutable.
+    pub fn from_partitions(schema: Schema, partitions: Vec<Partition>) -> Self {
+        assert!(
+            !partitions.is_empty(),
+            "a relation needs at least one partition"
+        );
+        Relation::from_parts(schema, partitions)
+    }
 }
 
 impl Relation {

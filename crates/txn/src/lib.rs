@@ -1,0 +1,36 @@
+//! Durable transactional write path over the morsel engine's immutable
+//! column partitions.
+//!
+//! The read side of this engine (PRs 1–8) treats relations as
+//! immutable: scans pin `Arc<Relation>` snapshots and never observe a
+//! mutation. This crate keeps that invariant while adding writes:
+//!
+//! - [`db::TxnDb`] — MVCC snapshot isolation over per-table
+//!   [`DeltaStore`](morsel_storage::DeltaStore)s. Transactions buffer
+//!   their writes privately, commit under first-committer-wins
+//!   conflict detection, and readers materialize `Relation` snapshots
+//!   (base partitions + visible delta rows) that are immutable like
+//!   any other relation.
+//! - a group-commit WAL ([`morsel_storage::Wal`]) — commit
+//!   acknowledgment means the commit record is fsync-durable, batched
+//!   with concurrent committers into one fsync.
+//! - crash recovery ([`morsel_storage::replay`]) — redo-only replay
+//!   reconstructs the delta stores byte-identically from whatever
+//!   prefix of the WAL survived, truncating torn tails.
+//! - [`checker`] — a black-box snapshot-isolation checker (after
+//!   arXiv 2301.07313) that validates client-observed histories of
+//!   concurrent transactions, plus [`manager::SiMode`] knobs that
+//!   deliberately break one isolation rule at a time to prove the
+//!   checker has teeth.
+
+pub mod checker;
+pub mod db;
+pub mod manager;
+pub mod workload;
+
+pub use checker::{
+    check_history, kv_relation, run_history, Ev, ExecMode, History, HistorySpec, Lcg, TxnRec,
+};
+pub use db::{Txn, TxnDb, TxnDbConfig, TxnError};
+pub use manager::{SiMode, TxnManager};
+pub use workload::{diff_logical_state, run_seeded, run_step, skip_step, WorkloadSpec};

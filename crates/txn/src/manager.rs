@@ -1,0 +1,148 @@
+//! Transaction ids, timestamps, and the isolation-breaking knobs the
+//! SI checker's teeth test flips.
+//!
+//! Timestamp discipline is the whole of snapshot isolation here: a
+//! transaction reads at the commit timestamp that was current when it
+//! began, and commit timestamps are handed out strictly monotonically
+//! under the database's commit lock. [`SiMode`] deliberately breaks
+//! one rule at a time so the black-box checker can prove it detects
+//! the resulting anomalies — a checker that never fails on a broken
+//! engine is not evidence of anything.
+
+use parking_lot::Mutex;
+
+/// Which isolation rule (if any) to break — test-only knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiMode {
+    /// Snapshot isolation as specified.
+    #[default]
+    Correct,
+    /// Reads ignore the begin snapshot and see the latest committed
+    /// state at each read — non-repeatable reads across a concurrent
+    /// commit (breaks read consistency).
+    ReadLatest,
+    /// Skip write-write conflict detection — concurrent updates of the
+    /// same row both commit (lost update).
+    WwBlind,
+    /// Every other commit reuses the previous commit timestamp instead
+    /// of advancing — two distinct commits become indistinguishable to
+    /// visibility, so a snapshot between them tears.
+    ReuseCommitTs,
+}
+
+#[derive(Debug, Default)]
+struct MgrState {
+    next_txn: u64,
+    last_ts: u64,
+    /// ReuseCommitTs: alternates advance / reuse.
+    reuse_flip: bool,
+}
+
+/// Allocates transaction ids and commit timestamps.
+#[derive(Debug)]
+pub struct TxnManager {
+    mode: SiMode,
+    state: Mutex<MgrState>,
+}
+
+impl TxnManager {
+    pub fn new(mode: SiMode) -> Self {
+        TxnManager {
+            mode,
+            state: Mutex::new(MgrState {
+                next_txn: 1,
+                last_ts: 0,
+                reuse_flip: false,
+            }),
+        }
+    }
+
+    /// Restore counters after recovery so restarted ids and timestamps
+    /// never collide with logged ones.
+    pub fn restore(&self, next_txn: u64, last_commit_ts: u64) {
+        let mut st = self.state.lock();
+        st.next_txn = st.next_txn.max(next_txn);
+        st.last_ts = st.last_ts.max(last_commit_ts);
+    }
+
+    pub fn mode(&self) -> SiMode {
+        self.mode
+    }
+
+    /// A fresh transaction id.
+    pub fn next_txn_id(&self) -> u64 {
+        let mut st = self.state.lock();
+        let id = st.next_txn;
+        st.next_txn += 1;
+        id
+    }
+
+    /// The next commit timestamp. Called under the database's commit
+    /// lock, so monotonicity here is global monotonicity — except in
+    /// [`SiMode::ReuseCommitTs`], which hands the previous timestamp
+    /// out again on every second call.
+    pub fn next_commit_ts(&self) -> u64 {
+        let mut st = self.state.lock();
+        let reuse = self.mode == SiMode::ReuseCommitTs && st.reuse_flip && st.last_ts > 0;
+        st.reuse_flip = !st.reuse_flip;
+        if !reuse {
+            st.last_ts += 1;
+        }
+        st.last_ts
+    }
+
+    /// Whether write-write conflicts should abort the second committer.
+    pub fn detect_conflicts(&self) -> bool {
+        self.mode != SiMode::WwBlind
+    }
+
+    /// Whether reads pin to the begin snapshot (correct) or chase the
+    /// latest committed state (broken).
+    pub fn reads_pin_snapshot(&self) -> bool {
+        self.mode != SiMode::ReadLatest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_timestamps_advance() {
+        let m = TxnManager::new(SiMode::Correct);
+        assert_eq!(m.next_txn_id(), 1);
+        assert_eq!(m.next_txn_id(), 2);
+        assert_eq!(m.next_commit_ts(), 1);
+        assert_eq!(m.next_commit_ts(), 2);
+        assert!(m.detect_conflicts());
+        assert!(m.reads_pin_snapshot());
+    }
+
+    #[test]
+    fn restore_never_moves_backwards() {
+        let m = TxnManager::new(SiMode::Correct);
+        m.restore(10, 5);
+        assert_eq!(m.next_txn_id(), 10);
+        assert_eq!(m.next_commit_ts(), 6);
+        m.restore(3, 2); // stale restore is a no-op
+        assert_eq!(m.next_txn_id(), 11);
+        assert_eq!(m.next_commit_ts(), 7);
+    }
+
+    #[test]
+    fn reuse_mode_repeats_every_other_timestamp() {
+        let m = TxnManager::new(SiMode::ReuseCommitTs);
+        assert_eq!(m.next_commit_ts(), 1);
+        assert_eq!(m.next_commit_ts(), 1, "second commit reuses");
+        assert_eq!(m.next_commit_ts(), 2);
+        assert_eq!(m.next_commit_ts(), 2);
+    }
+
+    #[test]
+    fn broken_modes_flip_the_right_knob() {
+        assert!(!TxnManager::new(SiMode::WwBlind).detect_conflicts());
+        assert!(!TxnManager::new(SiMode::ReadLatest).reads_pin_snapshot());
+        let r = TxnManager::new(SiMode::ReadLatest);
+        assert!(r.detect_conflicts(), "only one rule broken at a time");
+    }
+}

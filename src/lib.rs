@@ -49,6 +49,7 @@ pub use morsel_queries as queries;
 pub use morsel_service as service;
 pub use morsel_sql as sql;
 pub use morsel_storage as storage;
+pub use morsel_txn as txn;
 
 /// Everything needed to build and run queries.
 pub mod prelude {

@@ -307,6 +307,99 @@ fn analyze_profile_matches_subtree_oracle_on_all_fixtures() {
     }
 }
 
+/// Fifth leg: the write path compiled in but quiescent. Every SQL
+/// fixture must return byte-identical results whether planned against
+/// the generated catalog directly or against a [`TxnDb`] snapshot of
+/// the same tables with empty delta stores — the read side may not pay
+/// (or change) anything for durability it isn't using. With no
+/// committed deltas the snapshot hands back the *same* `Arc<Relation>`
+/// pointers, which the test also pins down directly.
+#[test]
+fn empty_delta_snapshots_are_byte_identical_for_all_fixtures() {
+    use morsel_repro::txn::TxnDb;
+    use std::sync::Arc;
+
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+    let planner = Planner::new(&topo);
+
+    fn check(
+        env: &ExecEnv,
+        planner: &Planner,
+        name: &str,
+        direct: &Catalog,
+        snap: &Catalog,
+        sql: &str,
+    ) {
+        let a_plan = planner.plan(&bind_fixture(direct, name, sql));
+        let b_plan = planner.plan(&bind_fixture(snap, name, sql));
+        let a = run_sim(
+            env,
+            &format!("{name}-direct"),
+            a_plan,
+            SystemVariant::full(),
+            16,
+            512,
+        );
+        let b = run_sim(
+            env,
+            &format!("{name}-empty-delta"),
+            b_plan,
+            SystemVariant::full(),
+            16,
+            512,
+        );
+        assert_eq!(
+            a.result, b.result,
+            "{name}: empty-delta snapshot result differs from the direct catalog"
+        );
+    }
+
+    let mut fixtures = 0usize;
+    for is_tpch in [true, false] {
+        let (direct, tag): (Catalog, &str) = if is_tpch {
+            (
+                generate_tpch(TpchConfig::scaled(0.002), &topo).catalog(),
+                "tpch",
+            )
+        } else {
+            (
+                generate_ssb(SsbConfig::scaled(0.002), &topo).catalog(),
+                "ssb",
+            )
+        };
+        let dir =
+            std::env::temp_dir().join(format!("morsel-empty-delta-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tables: Vec<(&str, Arc<Relation>)> = direct
+            .iter()
+            .map(|(name, rel)| (name, Arc::clone(rel)))
+            .collect();
+        let db = TxnDb::create(&dir, tables).expect("txn db over the generated tables");
+        let snap = db.snapshot_catalog();
+        for (name, rel) in direct.iter() {
+            assert!(
+                Arc::ptr_eq(rel, snap.get(name).expect("table survives the snapshot")),
+                "{tag}.{name}: an empty delta store must hand back the base relation"
+            );
+        }
+        if is_tpch {
+            for (q, sql) in tpch_sql::all() {
+                check(&env, &planner, &format!("Q{q}"), &direct, &snap, sql);
+                fixtures += 1;
+            }
+        } else {
+            for (id, sql) in ssb_sql::all() {
+                check(&env, &planner, &format!("SSB{id}"), &direct, &snap, sql);
+                fixtures += 1;
+            }
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(fixtures, 25, "the full TPC-H + SSB fixture set");
+}
+
 #[test]
 fn planner_cost_beats_or_matches_hand_orders_on_multi_join_queries() {
     // The acceptance bar: on the multi-join slice, the enumerator's

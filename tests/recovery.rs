@@ -1,0 +1,181 @@
+//! The crash-recovery acceptance gate: for **every WAL record
+//! boundary** in a seeded 200-transaction workload, killing the engine
+//! there (via the chaos grammar's `crash@lsn#n` fault) and recovering
+//! must yield committed state identical to an uncrashed oracle run of
+//! exactly the acknowledged prefix — with zero leaked memory
+//! reservations at every step.
+//!
+//! The oracle is cheap because the workload is prefix-deterministic
+//! (see `morsel_txn::workload`): one uncrashed pass, snapshotting
+//! logical state after every commit, yields the expected state for
+//! *any* crash point. The sweep then replays the workload once per
+//! boundary under an injected fault and compares the recovered state
+//! against the snapshot at its acknowledged commit count.
+
+use std::sync::Arc;
+
+use morsel_repro::core::{FaultPlan, MemPool};
+use morsel_repro::storage::Batch;
+use morsel_repro::txn::{kv_relation, run_step, skip_step, Lcg, TxnDb, TxnDbConfig, WorkloadSpec};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "morsel-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn pooled_config(pool: &Arc<MemPool>) -> TxnDbConfig {
+    TxnDbConfig {
+        pool: Some(Arc::clone(pool)),
+        ..TxnDbConfig::default()
+    }
+}
+
+const SEED: u64 = 0xC0FFEE;
+const TXNS: usize = 200;
+const KEYS: i64 = 16;
+
+#[test]
+fn crash_sweep_recovers_every_wal_boundary() {
+    let spec = WorkloadSpec::new(SEED, TXNS, KEYS);
+
+    // Uncrashed oracle pass: snapshot the committed logical state after
+    // every acknowledged commit. states[k] is the expected state of any
+    // run that acked exactly k commits.
+    let oracle_pool = MemPool::new(256 << 20);
+    let oracle_dir = tmpdir("oracle");
+    let oracle = TxnDb::create_with(
+        &oracle_dir,
+        vec![("kv", kv_relation(KEYS))],
+        pooled_config(&oracle_pool),
+    )
+    .expect("oracle create");
+    let mut states: Vec<Vec<(String, Batch)>> = Vec::with_capacity(TXNS + 1);
+    states.push(oracle.logical_state());
+    let mut rng = Lcg(spec.seed);
+    for i in 0..TXNS {
+        assert!(
+            run_step(&oracle, &spec, &mut rng, i),
+            "oracle commit {i} must be acknowledged"
+        );
+        states.push(oracle.logical_state());
+    }
+    let total_records = oracle.wal_stats().next_lsn - 1;
+    assert!(
+        total_records > TXNS as u64,
+        "each commit logs its row ops plus a Commit marker"
+    );
+    drop(oracle);
+    assert_eq!(oracle_pool.reserved(), 0, "oracle leaked reservations");
+    let _ = std::fs::remove_dir_all(&oracle_dir);
+
+    // The sweep: crash immediately before writing WAL record L, for
+    // every L. A crash can land mid-batch (between a transaction's row
+    // ops and its Commit marker) — recovery must discard the torn
+    // transaction. Everything the client was told is durable must
+    // survive, nothing more may appear.
+    for crash_lsn in 1..=total_records {
+        let plan: FaultPlan = format!("crash@lsn#{crash_lsn}")
+            .parse()
+            .expect("chaos grammar accepts crash@lsn");
+        let pool = MemPool::new(256 << 20);
+        let dir = tmpdir(&format!("sweep-{crash_lsn}"));
+        let victim = TxnDb::create_with(
+            &dir,
+            vec![("kv", kv_relation(KEYS))],
+            TxnDbConfig {
+                faults: plan.wal_faults(),
+                ..pooled_config(&pool)
+            },
+        )
+        .expect("victim create");
+        let acked = morsel_repro::txn::run_seeded(&victim, &spec, spec.txns);
+        assert!(
+            victim.is_poisoned(),
+            "crash@lsn#{crash_lsn} must poison the engine"
+        );
+        assert!(
+            (acked as u64) < crash_lsn,
+            "crash@lsn#{crash_lsn}: acked {acked} commits but only \
+             {crash_lsn} records could have been written"
+        );
+        drop(victim);
+        assert_eq!(
+            pool.reserved(),
+            0,
+            "crash@lsn#{crash_lsn}: victim leaked reservations"
+        );
+
+        let recovered =
+            TxnDb::open_with(&dir, vec![("kv", kv_relation(KEYS))], pooled_config(&pool))
+                .expect("recovery succeeds");
+        assert_eq!(
+            recovered.logical_state(),
+            states[acked],
+            "crash@lsn#{crash_lsn}: recovered state diverges from the \
+             oracle prefix of {acked} commits"
+        );
+        drop(recovered);
+        assert_eq!(
+            pool.reserved(),
+            0,
+            "crash@lsn#{crash_lsn}: recovered engine leaked reservations"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A recovered engine is not a dead end: it accepts the remainder of
+/// the stream and converges to the uncrashed oracle's final state.
+#[test]
+fn recovered_engine_resumes_the_stream_to_the_oracle_state() {
+    let spec = WorkloadSpec::new(SEED, TXNS, KEYS);
+    let oracle_dir = tmpdir("resume-oracle");
+    let oracle =
+        TxnDb::create(&oracle_dir, vec![("kv", kv_relation(KEYS))]).expect("oracle create");
+    assert_eq!(
+        morsel_repro::txn::run_seeded(&oracle, &spec, spec.txns),
+        TXNS
+    );
+
+    // Crash mid-stream, recover, and resume from the acked prefix by
+    // fast-forwarding a fresh rng over the transactions that survived.
+    let crash_lsn = (TXNS / 2) as u64;
+    let plan: FaultPlan = format!("crash@lsn#{crash_lsn}").parse().unwrap();
+    let dir = tmpdir("resume-victim");
+    let victim = TxnDb::create_with(
+        &dir,
+        vec![("kv", kv_relation(KEYS))],
+        TxnDbConfig {
+            faults: plan.wal_faults(),
+            ..TxnDbConfig::default()
+        },
+    )
+    .expect("victim create");
+    let acked = morsel_repro::txn::run_seeded(&victim, &spec, spec.txns);
+    drop(victim);
+
+    let recovered = TxnDb::open(&dir, vec![("kv", kv_relation(KEYS))]).expect("recovery");
+    let mut rng = Lcg(spec.seed);
+    for i in 0..acked {
+        skip_step(&mut rng, &spec, i);
+    }
+    for i in acked..TXNS {
+        assert!(
+            run_step(&recovered, &spec, &mut rng, i),
+            "resumed commit {i} must be acknowledged"
+        );
+    }
+    assert_eq!(
+        morsel_repro::txn::diff_logical_state(&recovered, &oracle),
+        None,
+        "resumed run must converge to the uncrashed oracle"
+    );
+    for d in [oracle_dir, dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
