@@ -173,6 +173,7 @@ fn main() {
              \x20       trace <q> [--out FILE] (Chrome-trace JSON span export)\n\
              \x20       txn (write-path demo) | txn_bench [--json -> BENCH_txn.json]\n\
              \x20       recovery_smoke (crash@lsn sweep vs oracle; CI gate)\n\
+             \x20       adaptive (feedback replay; --json -> BENCH_adaptive.json)\n\
              \x20       --json (write RESULT lines to BENCH_observability.json)"
         );
         std::process::exit(2);
@@ -254,6 +255,7 @@ fn main() {
             "service_load" => morsel_bench::service_load(&cfg),
             "service_load_zipf" => morsel_bench::service_load_zipf(&cfg),
             "plan_quality" => morsel_bench::plan_quality(&cfg),
+            "adaptive" => morsel_bench::adaptive(&cfg),
             "txn" => morsel_bench::txn_demo(&cfg),
             "txn_bench" => morsel_bench::txn_bench(&cfg),
             "recovery_smoke" => match morsel_bench::recovery_smoke(&cfg) {
@@ -281,13 +283,23 @@ fn main() {
     if cfg.json && !json_reports.is_empty() {
         // Write-path numbers go to their own document so reruns of the
         // observability experiments don't clobber them (and vice versa).
-        let (txn_reports, other_reports): (Vec<_>, Vec<_>) = json_reports
+        let (txn_reports, rest): (Vec<_>, Vec<_>) = json_reports
             .into_iter()
             .partition(|(name, _)| name == "txn_bench");
         if !txn_reports.is_empty() {
             match morsel_bench::write_bench_json_to("BENCH_txn.json", &txn_reports) {
                 Ok(()) => println!("machine-readable results written to BENCH_txn.json"),
                 Err(e) => fail(format!("--json: cannot write BENCH_txn.json: {e}")),
+            }
+        }
+        // Likewise the adaptive replay: its document is a CI artifact of
+        // its own job, so it never clobbers the observability numbers.
+        let (adaptive_reports, other_reports): (Vec<_>, Vec<_>) =
+            rest.into_iter().partition(|(name, _)| name == "adaptive");
+        if !adaptive_reports.is_empty() {
+            match morsel_bench::write_bench_json_to("BENCH_adaptive.json", &adaptive_reports) {
+                Ok(()) => println!("machine-readable results written to BENCH_adaptive.json"),
+                Err(e) => fail(format!("--json: cannot write BENCH_adaptive.json: {e}")),
             }
         }
         if !other_reports.is_empty() {

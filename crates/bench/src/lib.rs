@@ -9,6 +9,7 @@
 //! wall-clock micro-benchmarks (hash table tagging, morsel cut-out,
 //! operator ablations, service throughput, plan search).
 
+pub mod adaptive;
 pub mod experiments;
 pub mod json;
 pub mod observability;
@@ -17,6 +18,7 @@ pub mod report;
 pub mod service_load;
 pub mod txn_bench;
 
+pub use adaptive::adaptive;
 pub use experiments::*;
 pub use json::{render_bench_json, write_bench_json, write_bench_json_to};
 pub use observability::{metrics_snapshot, trace_query};

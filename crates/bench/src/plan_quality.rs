@@ -327,11 +327,10 @@ pub fn run_sql_in(
     assert!(repeat > 0, "--repeat needs at least one run");
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
-    let session = morsel_service::SqlSession::new(
-        catalog.clone(),
-        Planner::new(&topo),
-        SystemVariant::full(),
-    );
+    let session = morsel_service::Session::builder()
+        .catalog(catalog.clone())
+        .topology(&topo)
+        .build();
 
     let mut out = format!(
         "sql ({db:?} scale {scale}, workers 16)\n> {}\n\n",
@@ -339,7 +338,7 @@ pub fn run_sql_in(
     );
     for run in 1..=repeat {
         let plan_started = std::time::Instant::now();
-        let (handle, disposition) = session.plan_cached(sql).map_err(|e| e.render(sql))?;
+        let (handle, disposition) = session.resolve(sql).map_err(|e| e.render(sql))?;
         let plan_wall = plan_started.elapsed();
         let started = std::time::Instant::now();
         let outcome = run_sim(

@@ -197,7 +197,7 @@ fn zipf_pick(client: usize, seq: usize, n: usize) -> usize {
 }
 
 /// The `service_load_zipf` experiment: a skewed (Zipfian) SQL replay of
-/// the TPC-H fixture texts through the service's [`morsel_service::SqlSession`], once
+/// the TPC-H fixture texts through the service's [`morsel_service::Session`], once
 /// per caching mode, over identical query sequences. What to look for:
 /// the plan-cache rows keep the same completion counts (cached plans
 /// are equivalent) at a higher sustained q/s, with a plan-cache hit
@@ -206,9 +206,8 @@ fn zipf_pick(client: usize, seq: usize, n: usize) -> usize {
 /// Emits one machine-parseable `RESULT mode=… hits=… misses=…
 /// hit_rate=… qps=…` line per mode for CI's assertions.
 pub fn service_load_zipf(cfg: &ExpConfig) -> String {
-    use morsel_planner::Planner;
     use morsel_queries::tpch_sql;
-    use morsel_service::SqlSession;
+    use morsel_service::Session;
 
     let topo = Topology::laptop();
     let env = ExecEnv::new(topo.clone());
@@ -248,14 +247,13 @@ pub fn service_load_zipf(cfg: &ExpConfig) -> String {
                 .with_max_in_flight(workers.max(2))
                 .with_max_queue(4 * ZIPF_CLIENTS + 8),
         );
-        let session = SqlSession::for_service(
-            &service,
-            catalog.clone(),
-            Planner::new(&topo),
-            SystemVariant::full(),
-        )
-        .with_plan_caching(plan_caching)
-        .with_result_caching(result_caching);
+        let session = Session::builder()
+            .catalog(catalog.clone())
+            .topology(&topo)
+            .for_service(&service)
+            .plan_caching(plan_caching)
+            .result_caching(result_caching)
+            .build();
         std::thread::scope(|scope| {
             for client in 0..ZIPF_CLIENTS {
                 let service = &service;

@@ -12,10 +12,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use morsel_core::{ExecEnv, Fault, FaultPlan};
-use morsel_exec::SystemVariant;
 use morsel_numa::Topology;
-use morsel_planner::Planner;
-use morsel_service::{QueryService, ServiceConfig, TxnSession};
+use morsel_service::{QueryService, ServiceConfig, Session};
 use morsel_storage::Value;
 use morsel_txn::{diff_logical_state, kv_relation, run_seeded, TxnDb, TxnDbConfig, WorkloadSpec};
 
@@ -38,13 +36,12 @@ pub fn txn_demo(_cfg: &ExpConfig) -> String {
     let topo = Topology::laptop();
     let db = Arc::new(TxnDb::create(&dir, vec![("kv", kv_relation(8))]).expect("create demo db"));
     let service = QueryService::start(ExecEnv::new(topo.clone()), ServiceConfig::new(2));
-    let session = TxnSession::for_service(
-        &service,
-        Arc::clone(&db),
-        Planner::new(&topo),
-        SystemVariant::full(),
-    )
-    .with_result_caching(true);
+    let session = Session::builder()
+        .database(Arc::clone(&db))
+        .topology(&topo)
+        .for_service(&service)
+        .result_caching(true)
+        .build();
 
     out.push_str("== transactional SQL (auto-commit) ==\n");
     for sql in [

@@ -300,6 +300,17 @@ impl<'a> TaskContext<'a> {
             s.add_wall_ns(self.worker, op, n);
         }
     }
+
+    /// Pipeline breaker `op` finished: its counters are final. Called
+    /// from `PipelineJob::finish` (exactly once, by the worker that
+    /// completed the last morsel), so mid-query profile snapshots can
+    /// surface the breaker's true cardinality while later pipelines are
+    /// still running.
+    pub fn prof_breaker_done(&self, op: u32) {
+        if let Some(s) = self.prof_slots() {
+            s.mark_breaker_done(op);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -121,7 +121,7 @@ impl PipelineJob for HtInsertJob {
         }
     }
 
-    fn finish(&self, _ctx: &mut TaskContext<'_>) {
+    fn finish(&self, ctx: &mut TaskContext<'_>) {
         let table = JoinTable {
             ht: Arc::clone(&self.ht),
             build: Arc::clone(&self.build),
@@ -131,6 +131,12 @@ impl PipelineJob for HtInsertJob {
             .set(Arc::new(table))
             .ok()
             .expect("join slot set twice");
+        // The build side is a pipeline breaker: its cardinality is final
+        // the moment the last insert morsel lands, long before the probe
+        // pipeline runs. Surface that for mid-query re-optimization.
+        if let Some(slot) = self.prof_slot {
+            ctx.prof_breaker_done(slot);
+        }
     }
 }
 

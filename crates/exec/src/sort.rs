@@ -395,6 +395,8 @@ impl PipelineJob for MergeJob {
         }
         if let Some(slot) = self.prof_slot {
             ctx.prof_rows_out(slot, final_batch.rows() as u64);
+            // Sort merged: output cardinality is final.
+            ctx.prof_breaker_done(slot);
         }
         if let Some(result) = &self.result {
             // Late materialization: dictionary codes decode to strings
@@ -501,6 +503,8 @@ impl Sink for TopKSink {
         let keep = sorted.rows().min(self.k);
         if let Some(slot) = self.prof_slot {
             ctx.prof_rows_out(slot, keep as u64);
+            // Top-k merged: output cardinality is final.
+            ctx.prof_breaker_done(slot);
         }
         let sel: Vec<u32> = (0..keep as u32).collect();
         let mut final_batch = Batch::empty(&self.schema.data_types());

@@ -1,0 +1,475 @@
+//! Mid-query re-optimization: re-cost the remaining join order once
+//! runtime feedback has corrected the estimates, and splice a cheaper
+//! plan if one exists.
+//!
+//! The morsel engine's pipeline breakers (hash-table build, aggregate
+//! merge, sort merge) are natural re-optimization points: when a
+//! breaker finishes, the true cardinality of that subtree is known
+//! while the rest of the query has not started. The session layer
+//! executes the top build side standalone, feeds the observed
+//! cardinalities into the [`FeedbackCache`](crate::feedback), replaces
+//! the build with its materialized result, and calls [`reoptimize`] to
+//! re-enumerate the remaining inner-join block via DPsize under the
+//! corrected statistics.
+//!
+//! Splice invariants (what makes this safe):
+//!
+//! - only a **maximal run of `JoinKind::Inner` joins** at the top of the
+//!   plan (below any unary Sort/Agg/Map/Filter spine) is reordered;
+//!   semi/anti/mark joins and anything inside a leaf stay untouched;
+//! - leaves are required to have **globally unique column names** (the
+//!   lowering pass guarantees this for planned queries); re-emitted
+//!   joins resolve keys and payloads by name;
+//! - the re-emitted block is wrapped in a `Plan::Map` that restores the
+//!   **exact original block-root schema** (names, order, types), so
+//!   index-based operators above the splice are oblivious to it;
+//! - a replacement is returned only if its estimated cost is at least
+//!   [`REOPT_MIN_GAIN`] cheaper **and** the join order actually changed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use morsel_exec::expr::col;
+use morsel_exec::join::JoinKind;
+use morsel_exec::plan::Plan;
+
+use crate::cost::CostParams;
+use crate::estimate::Estimator;
+use crate::joinorder::{enumerate, tree_cost, GraphEdge, GraphNode, JoinGraph, JoinTree};
+
+/// Minimum relative cost improvement before a splice is worth the churn.
+pub const REOPT_MIN_GAIN: f64 = 0.01;
+
+/// Default divergence threshold: re-optimize when a breaker's actual
+/// cardinality is off from the estimate by at least this factor (either
+/// direction).
+pub const REOPT_THRESHOLD_DEFAULT: f64 = 4.0;
+
+/// A successful re-optimization.
+#[derive(Clone)]
+pub struct Reopt {
+    /// The spliced plan (same output schema as the input plan).
+    pub plan: Plan,
+    /// Estimated cost of the incumbent join order under current stats.
+    pub old_cost: f64,
+    /// Estimated cost of the chosen replacement order.
+    pub new_cost: f64,
+    /// Incumbent order, rendered `((a ⋈ b) ⋈ c)`.
+    pub old_order: String,
+    /// Replacement order.
+    pub new_order: String,
+}
+
+/// The build side of the topmost inner join (descending through unary
+/// operators), i.e. the first pipeline breaker a staged execution would
+/// materialize.
+pub fn top_build(plan: &Plan) -> Option<&Plan> {
+    match plan {
+        Plan::Filter { input, .. }
+        | Plan::Map { input, .. }
+        | Plan::Agg { input, .. }
+        | Plan::Sort { input, .. } => top_build(input),
+        Plan::Join {
+            build,
+            kind: JoinKind::Inner,
+            ..
+        } => Some(build),
+        _ => None,
+    }
+}
+
+/// Clone `plan` with the topmost inner join's build side replaced
+/// (typically by a scan of its materialized result). The replacement
+/// must produce the same schema as the subtree it replaces.
+pub fn with_top_build_replaced(plan: &Plan, replacement: Plan) -> Option<Plan> {
+    match plan {
+        Plan::Filter { input, predicate } => Some(Plan::Filter {
+            input: Box::new(with_top_build_replaced(input, replacement)?),
+            predicate: predicate.clone(),
+        }),
+        Plan::Map { input, project } => Some(Plan::Map {
+            input: Box::new(with_top_build_replaced(input, replacement)?),
+            project: project.clone(),
+        }),
+        Plan::Agg {
+            input,
+            group_cols,
+            aggs,
+        } => Some(Plan::Agg {
+            input: Box::new(with_top_build_replaced(input, replacement)?),
+            group_cols: group_cols.clone(),
+            aggs: aggs.clone(),
+        }),
+        Plan::Sort { input, keys, limit } => Some(Plan::Sort {
+            input: Box::new(with_top_build_replaced(input, replacement)?),
+            keys: keys.clone(),
+            limit: *limit,
+        }),
+        Plan::Join {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            kind,
+            build_payload,
+        } if matches!(kind, JoinKind::Inner) => {
+            debug_assert_eq!(
+                replacement.schema().names(),
+                build.schema().names(),
+                "replacement must preserve the build schema"
+            );
+            Some(Plan::Join {
+                build: Box::new(replacement),
+                probe: probe.clone(),
+                build_keys: build_keys.clone(),
+                probe_keys: probe_keys.clone(),
+                kind: *kind,
+                build_payload: build_payload.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// One extracted inner-join block.
+struct Block<'a> {
+    leaves: Vec<&'a Plan>,
+    /// Equi-join key name pairs, one per key column per join.
+    pairs: Vec<(String, String)>,
+}
+
+fn collect_block<'a>(plan: &'a Plan, block: &mut Block<'a>) -> JoinTree {
+    match plan {
+        Plan::Join {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            kind: JoinKind::Inner,
+            ..
+        } => {
+            let ps = probe.schema();
+            let bs = build.schema();
+            for (&pi, &bi) in probe_keys.iter().zip(build_keys.iter()) {
+                block
+                    .pairs
+                    .push((ps.name(pi).to_owned(), bs.name(bi).to_owned()));
+            }
+            let pt = collect_block(probe, block);
+            let bt = collect_block(build, block);
+            JoinTree::Node {
+                probe: Box::new(pt),
+                build: Box::new(bt),
+                edges: Vec::new(),
+                rows: 0.0,
+            }
+        }
+        other => {
+            block.leaves.push(other);
+            JoinTree::Leaf(block.leaves.len() - 1)
+        }
+    }
+}
+
+/// Re-enumerate the topmost inner-join block of `plan` under the
+/// estimator's *current* statistics (feedback included) and return a
+/// spliced plan if a meaningfully cheaper, different join order exists.
+///
+/// Returns `None` when there is no reorderable block (fewer than three
+/// leaves), when leaf column names are ambiguous, when the enumerator
+/// would need a cross product, or when the incumbent order is already
+/// (close enough to) optimal.
+pub fn reoptimize(
+    plan: &Plan,
+    estimator: &Estimator,
+    params: &CostParams,
+    dp_budget: usize,
+) -> Option<Reopt> {
+    // Descend the unary spine to the block root.
+    match plan {
+        Plan::Filter { input, .. }
+        | Plan::Map { input, .. }
+        | Plan::Agg { input, .. }
+        | Plan::Sort { input, .. } => {
+            let inner = reoptimize(input, estimator, params, dp_budget)?;
+            return Some(Reopt {
+                plan: rebuild_spine(plan, inner.plan),
+                ..inner
+            });
+        }
+        Plan::Join {
+            kind: JoinKind::Inner,
+            ..
+        } => {}
+        _ => return None,
+    }
+
+    let mut block = Block {
+        leaves: Vec::new(),
+        pairs: Vec::new(),
+    };
+    let incumbent = collect_block(plan, &mut block);
+    if block.leaves.len() < 3 || block.leaves.len() > 64 {
+        return None;
+    }
+
+    // Name → leaf ownership; bail on ambiguity (e.g. self-joins).
+    let mut owner: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, leaf) in block.leaves.iter().enumerate() {
+        let s = leaf.schema();
+        for n in s.names() {
+            if owner.insert(n.to_owned(), i).is_some() {
+                return None;
+            }
+        }
+    }
+
+    // Merge key pairs into per-leaf-pair edges (mirrors the lowering
+    // pass) and apply any observed edge selectivities.
+    let mut edges: Vec<GraphEdge> = Vec::new();
+    for (l, r) in &block.pairs {
+        let (&a, &b) = (owner.get(l)?, owner.get(r)?);
+        if a == b {
+            return None;
+        }
+        let (a, b, ak, bk) = if a < b {
+            (a, b, l.clone(), r.clone())
+        } else {
+            (b, a, r.clone(), l.clone())
+        };
+        if let Some(e) = edges.iter_mut().find(|e| e.a == a && e.b == b) {
+            e.a_keys.push(ak);
+            e.b_keys.push(bk);
+        } else {
+            edges.push(GraphEdge {
+                a,
+                b,
+                a_keys: vec![ak],
+                b_keys: vec![bk],
+                sel_override: None,
+            });
+        }
+    }
+    if let Some(fb) = &estimator.feedback {
+        for e in &mut edges {
+            e.sel_override = fb.lookup(&crate::feedback::join_key(&e.a_keys, &e.b_keys));
+        }
+    }
+
+    let key_names: BTreeSet<&String> = block.pairs.iter().flat_map(|(l, r)| [l, r]).collect();
+    let nodes: Vec<GraphNode> = block
+        .leaves
+        .iter()
+        .map(|leaf| {
+            let est = estimator.estimate(leaf);
+            let schema = leaf.schema();
+            let key_ndv = key_names
+                .iter()
+                .filter(|k| schema.names().contains(&k.as_str()))
+                .map(|k| {
+                    let pos = schema.index_of(k);
+                    ((*k).clone(), est.cols[pos].ndv)
+                })
+                .collect();
+            GraphNode {
+                label: schema.name(0).to_owned(),
+                rows: est.rows,
+                width: est.row_width(),
+                key_ndv,
+            }
+        })
+        .collect();
+    let graph = JoinGraph { nodes, edges };
+
+    let chosen = enumerate(&graph, params, dp_budget);
+    if chosen.forced_cross {
+        return None;
+    }
+    let old_cost = tree_cost(&graph, params, &incumbent);
+    let old_order = incumbent.render(&graph);
+    let new_order = chosen.tree.render(&graph);
+    if new_order == old_order || chosen.cost >= old_cost * (1.0 - REOPT_MIN_GAIN) {
+        return None;
+    }
+
+    // Re-emit the block over the untouched leaf subplans.
+    let root_schema = plan.schema();
+    let mut required: BTreeSet<String> =
+        root_schema.names().iter().map(|&s| s.to_owned()).collect();
+    for (l, r) in &block.pairs {
+        required.insert(l.clone());
+        required.insert(r.clone());
+    }
+    let mut used = vec![false; block.pairs.len()];
+    let emitted = emit(
+        &chosen.tree,
+        &block.leaves,
+        &block.pairs,
+        &mut used,
+        &required,
+    )?;
+
+    // Restore the original schema so operators above are unaffected.
+    let spliced = emitted.clone().map(
+        root_schema
+            .names()
+            .iter()
+            .map(|&n| (n, col(emitted.schema().index_of(n))))
+            .collect(),
+    );
+    Some(Reopt {
+        plan: spliced,
+        old_cost,
+        new_cost: chosen.cost,
+        old_order,
+        new_order,
+    })
+}
+
+fn emit(
+    tree: &JoinTree,
+    leaves: &[&Plan],
+    pairs: &[(String, String)],
+    used: &mut [bool],
+    required: &BTreeSet<String>,
+) -> Option<Plan> {
+    match tree {
+        JoinTree::Leaf(i) => Some(leaves[*i].clone()),
+        JoinTree::Node { probe, build, .. } => {
+            let p = emit(probe, leaves, pairs, used, required)?;
+            let b = emit(build, leaves, pairs, used, required)?;
+            let ps = p.schema();
+            let bs = b.schema();
+            let pnames: BTreeSet<&str> = ps.names().into_iter().collect();
+            let bnames: BTreeSet<&str> = bs.names().into_iter().collect();
+            let mut pk: Vec<&str> = Vec::new();
+            let mut bk: Vec<&str> = Vec::new();
+            for (i, (l, r)) in pairs.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                if pnames.contains(l.as_str()) && bnames.contains(r.as_str()) {
+                    pk.push(l);
+                    bk.push(r);
+                    used[i] = true;
+                } else if pnames.contains(r.as_str()) && bnames.contains(l.as_str()) {
+                    pk.push(r);
+                    bk.push(l);
+                    used[i] = true;
+                }
+            }
+            if pk.is_empty() {
+                return None; // would be a cross product
+            }
+            let payload: Vec<&str> = bs
+                .names()
+                .into_iter()
+                .filter(|n| required.contains(*n))
+                .collect();
+            Some(p.join(b, &pk, &bk, &payload))
+        }
+    }
+}
+
+/// Clone the unary spine of `plan`, substituting `new_block` for the
+/// first join encountered (the block root `reoptimize` rewrote).
+fn rebuild_spine(plan: &Plan, new_block: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(rebuild_spine(input, new_block)),
+            predicate: predicate.clone(),
+        },
+        Plan::Map { input, project } => Plan::Map {
+            input: Box::new(rebuild_spine(input, new_block)),
+            project: project.clone(),
+        },
+        Plan::Agg {
+            input,
+            group_cols,
+            aggs,
+        } => Plan::Agg {
+            input: Box::new(rebuild_spine(input, new_block)),
+            group_cols: group_cols.clone(),
+            aggs: aggs.clone(),
+        },
+        Plan::Sort { input, keys, limit } => Plan::Sort {
+            input: Box::new(rebuild_spine(input, new_block)),
+            keys: keys.clone(),
+            limit: *limit,
+        },
+        _ => new_block,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joinorder::DP_BUDGET_DEFAULT;
+    use morsel_numa::Topology;
+    use morsel_storage::{Batch, Column, DataType, Relation, Schema};
+    use std::sync::Arc;
+
+    fn rel(names: [&str; 2], rows: i64, second_mod: i64) -> Arc<Relation> {
+        Arc::new(Relation::single(
+            Schema::new(vec![(names[0], DataType::I64), (names[1], DataType::I64)]),
+            Batch::from_columns(vec![
+                Column::I64((0..rows).collect()),
+                Column::I64((0..rows).map(|x| x % second_mod.max(1)).collect()),
+            ]),
+        ))
+    }
+
+    /// Incumbent ((big ⋈ mid) ⋈ small) with an expensive 10k-row build;
+    /// the enumerator should prefer reducing mid against small first.
+    fn bad_plan() -> Plan {
+        let big = Plan::scan(rel(["b_k", "b_v"], 20_000, 7), None, &["b_k", "b_v"]);
+        let mid = Plan::scan(rel(["m_k", "m_j"], 10_000, 10_000), None, &["m_k", "m_j"]);
+        let small = Plan::scan(rel(["s_j", "s_v"], 50, 5), None, &["s_j", "s_v"]);
+        big.join(mid, &["b_k"], &["m_k"], &["m_j"])
+            .join(small, &["m_j"], &["s_j"], &["s_v"])
+    }
+
+    fn params() -> CostParams {
+        CostParams::for_topology(&Topology::nehalem_ex())
+    }
+
+    #[test]
+    fn reoptimize_splices_a_cheaper_order_and_preserves_the_schema() {
+        let plan = bad_plan();
+        let r = reoptimize(&plan, &Estimator::default(), &params(), DP_BUDGET_DEFAULT)
+            .expect("a 10k-row premature build must be beatable");
+        assert!(r.new_cost < r.old_cost);
+        assert_ne!(r.new_order, r.old_order);
+        assert_eq!(
+            r.plan.schema().names(),
+            plan.schema().names(),
+            "splice must restore the block-root schema exactly"
+        );
+    }
+
+    #[test]
+    fn reoptimize_descends_a_unary_spine() {
+        let plan = bad_plan().agg(&["s_v"], vec![("n", morsel_exec::agg::AggFn::Count)]);
+        let r = reoptimize(&plan, &Estimator::default(), &params(), DP_BUDGET_DEFAULT)
+            .expect("the spine must not hide the block");
+        assert_eq!(r.plan.schema().names(), plan.schema().names());
+    }
+
+    #[test]
+    fn two_way_joins_are_left_alone() {
+        let big = Plan::scan(rel(["b_k", "b_v"], 1000, 7), None, &["b_k", "b_v"]);
+        let mid = Plan::scan(rel(["m_k", "m_j"], 100, 100), None, &["m_k"]);
+        let plan = big.join(mid, &["b_k"], &["m_k"], &[]);
+        assert!(reoptimize(&plan, &Estimator::default(), &params(), DP_BUDGET_DEFAULT).is_none());
+    }
+
+    #[test]
+    fn top_build_finds_the_first_breaker() {
+        let plan = bad_plan();
+        let build = top_build(&plan).expect("plan has an inner join");
+        // The top join's build side is the small relation's scan.
+        assert_eq!(build.schema().names(), vec!["s_j", "s_v"]);
+        let replacement = build.clone();
+        let swapped = with_top_build_replaced(&plan, replacement).unwrap();
+        assert_eq!(swapped.schema().names(), plan.schema().names());
+    }
+}

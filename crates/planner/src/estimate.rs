@@ -21,6 +21,8 @@ use morsel_exec::join::JoinKind;
 use morsel_exec::plan::Plan;
 use morsel_storage::{ColumnStats, DataType, Dictionary};
 
+use crate::feedback::{self, FeedbackCache};
+
 /// Estimated properties of one output column.
 #[derive(Debug, Clone)]
 pub struct ColEst {
@@ -104,6 +106,10 @@ pub struct Estimator {
     pub like_sel: f64,
     /// Selectivity of prefix-anchored string predicates.
     pub prefix_sel: f64,
+    /// Runtime cardinality feedback, consulted before the model above:
+    /// an observed selectivity for a scan filter or join edge overrides
+    /// the textbook estimate. `None` disables feedback entirely.
+    pub feedback: Option<Arc<FeedbackCache>>,
 }
 
 impl Default for Estimator {
@@ -113,7 +119,16 @@ impl Default for Estimator {
             col_cmp_sel: 1.0 / 3.0,
             like_sel: 0.1,
             prefix_sel: 0.05,
+            feedback: None,
         }
+    }
+}
+
+impl Estimator {
+    /// Attach a feedback cache (builder style).
+    pub fn with_feedback(mut self, cache: Arc<FeedbackCache>) -> Self {
+        self.feedback = Some(cache);
+        self
     }
 }
 
@@ -150,7 +165,14 @@ impl Estimator {
             } => {
                 let stats = relation.stats();
                 let base: Vec<ColEst> = stats.columns.iter().map(ColEst::from_stats).collect();
-                let sel = filter.as_ref().map_or(1.0, |f| self.selectivity(f, &base));
+                // An observed selectivity for this exact predicate shape
+                // beats the independence model.
+                let sel = filter.as_ref().map_or(1.0, |f| {
+                    self.feedback
+                        .as_ref()
+                        .and_then(|fb| fb.lookup(&feedback::scan_key(relation.schema(), f)))
+                        .unwrap_or_else(|| self.selectivity(f, &base))
+                });
                 let rows = (relation.total_rows() as f64 * sel).max(1.0);
                 let src_types = relation.schema().data_types();
                 let cols = project
@@ -192,7 +214,22 @@ impl Estimator {
                 let ndv_p = combined_ndv(&p, probe_keys);
                 let (rows, emit_build) = match kind {
                     JoinKind::Inner | JoinKind::InnerMark => {
-                        ((p.rows * b.rows / ndv_b.max(ndv_p)).max(1.0), true)
+                        // Observed join-edge selectivity (actual_out /
+                        // (probe_in * build_in)) overrides containment.
+                        let observed = self.feedback.as_ref().and_then(|fb| {
+                            let ps = probe.schema();
+                            let bs = build.schema();
+                            let pk: Vec<String> =
+                                probe_keys.iter().map(|&i| ps.name(i).to_owned()).collect();
+                            let bk: Vec<String> =
+                                build_keys.iter().map(|&i| bs.name(i).to_owned()).collect();
+                            fb.lookup(&feedback::join_key(&pk, &bk))
+                        });
+                        let rows = match observed {
+                            Some(s) => (p.rows * b.rows * s).max(1.0),
+                            None => (p.rows * b.rows / ndv_b.max(ndv_p)).max(1.0),
+                        };
+                        (rows, true)
                     }
                     JoinKind::Semi => ((p.rows * (ndv_b / ndv_p).min(1.0)).max(1.0), false),
                     JoinKind::Anti => ((p.rows * (1.0 - (ndv_b / ndv_p).min(1.0))).max(1.0), false),

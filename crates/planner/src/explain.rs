@@ -82,19 +82,39 @@ fn walk(
 }
 
 /// Render collected lines; `actuals[i]` (if given) is the measured row
-/// count of `lines[i]`'s subtree.
+/// count of `lines[i]`'s subtree. Uses the default re-optimization
+/// threshold ([`crate::adaptive::REOPT_THRESHOLD_DEFAULT`]) for the
+/// drift highlight.
 pub fn render(lines: &[ExplainLine], actuals: Option<&[usize]>) -> String {
+    render_with_threshold(lines, actuals, crate::adaptive::REOPT_THRESHOLD_DEFAULT)
+}
+
+/// Like [`render`], with an explicit divergence threshold: every line
+/// with an actual gains a `drift` column (actual/est ratio), and rows
+/// whose drift exceeds the threshold in either direction are flagged as
+/// the re-optimization candidates mid-query adaptivity would act on.
+pub fn render_with_threshold(
+    lines: &[ExplainLine],
+    actuals: Option<&[usize]>,
+    threshold: f64,
+) -> String {
     let mut out = String::new();
     for (i, line) in lines.iter().enumerate() {
         let pad = "  ".repeat(line.depth);
         out.push_str(&format!("{pad}{}  est={:.0}", line.label, line.est_rows));
         if let Some(actual) = actuals.and_then(|a| a.get(i)) {
-            let err = if *actual > 0 {
-                line.est_rows / *actual as f64
+            let drift = if line.est_rows > 0.0 {
+                *actual as f64 / line.est_rows
             } else {
                 f64::NAN
             };
-            out.push_str(&format!("  actual={actual}  (est/actual {err:.2}x)"));
+            out.push_str(&format!("  actual={actual}  drift={drift:.2}x"));
+            if drift.is_finite()
+                && threshold > 1.0
+                && (drift >= threshold || drift <= 1.0 / threshold)
+            {
+                out.push_str("  <<< exceeds re-opt threshold");
+            }
         }
         out.push('\n');
     }
@@ -127,5 +147,13 @@ mod tests {
         let text = render(&lines, Some(&[100, 100]));
         assert!(text.contains("est="));
         assert!(text.contains("actual=100"));
+        assert!(text.contains("drift=1.00x"));
+        assert!(
+            !text.contains("re-opt threshold"),
+            "accurate estimates must not be flagged"
+        );
+        // A 100x miss on the scan line trips the divergence highlight.
+        let text = render_with_threshold(&lines, Some(&[100, 10_000]), 4.0);
+        assert!(text.contains("<<< exceeds re-opt threshold"));
     }
 }

@@ -53,6 +53,10 @@ pub struct GraphEdge {
     pub b: usize,
     pub a_keys: Vec<String>,
     pub b_keys: Vec<String>,
+    /// Observed selectivity from runtime feedback
+    /// ([`crate::feedback::FeedbackCache`]); when set it replaces the
+    /// containment estimate for this edge.
+    pub sel_override: Option<f64>,
 }
 
 /// The join graph for one inner-join block.
@@ -66,6 +70,9 @@ impl JoinGraph {
     /// Selectivity of one edge: containment of value sets over the
     /// combined (multi-column) key.
     fn edge_selectivity(&self, e: &GraphEdge) -> f64 {
+        if let Some(s) = e.sel_override {
+            return s.clamp(1e-9, 1.0);
+        }
         let na = &self.nodes[e.a];
         let nb = &self.nodes[e.b];
         let ndv_a = e
@@ -323,6 +330,25 @@ pub fn left_deep_cost(graph: &JoinGraph, params: &CostParams, order: &[usize]) -
     acc.cost
 }
 
+/// Cost of a specific join tree under the current graph statistics
+/// (build/probe orientation re-chosen per step, like the enumerator).
+/// This is how mid-query re-optimization prices the *incumbent* order
+/// under feedback-updated statistics, for an apples-to-apples comparison
+/// with a fresh enumeration.
+pub fn tree_cost(graph: &JoinGraph, params: &CostParams, tree: &JoinTree) -> f64 {
+    fn solve(graph: &JoinGraph, params: &CostParams, tree: &JoinTree) -> Best {
+        match tree {
+            JoinTree::Leaf(i) => leaf_best(*i),
+            JoinTree::Node { probe, build, .. } => {
+                let p = solve(graph, params, probe);
+                let b = solve(graph, params, build);
+                join_sets(graph, params, &p, &b)
+            }
+        }
+    }
+    solve(graph, params, tree).cost
+}
+
 /// Connected components as bitsets.
 fn connected_components(graph: &JoinGraph) -> Vec<u64> {
     let n = graph.nodes.len();
@@ -420,6 +446,7 @@ mod tests {
             b,
             a_keys: vec![ak.to_owned()],
             b_keys: vec![bk.to_owned()],
+            sel_override: None,
         }
     }
 
@@ -469,6 +496,45 @@ mod tests {
             JoinTree::Node { edges, .. } => assert!(edges.is_empty()),
             other => panic!("expected a join node, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tree_cost_agrees_with_enumeration() {
+        let g = JoinGraph {
+            nodes: vec![
+                node("a", 50_000.0, &[("k", 50_000.0)]),
+                node("b", 5_000.0, &[("k", 5_000.0), ("j", 100.0)]),
+                node("c", 200.0, &[("j", 100.0)]),
+            ],
+            edges: vec![edge(0, 1, "k", "k"), edge(1, 2, "j", "j")],
+        };
+        let e = enumerate(&g, &params(), DP_BUDGET_DEFAULT);
+        let c = tree_cost(&g, &params(), &e.tree);
+        assert!((c - e.cost).abs() / e.cost.max(1.0) < 1e-9);
+    }
+
+    #[test]
+    fn sel_override_redirects_the_plan() {
+        // Without feedback both edges look alike; an override that makes
+        // the a–b edge explosive pushes the enumerator to start with b⋈c.
+        let mk = |sel: Option<f64>| {
+            let mut e0 = edge(0, 1, "k", "k");
+            e0.sel_override = sel;
+            JoinGraph {
+                nodes: vec![
+                    node("a", 10_000.0, &[("k", 10_000.0)]),
+                    node("b", 10_000.0, &[("k", 10_000.0), ("j", 10_000.0)]),
+                    node("c", 10_000.0, &[("j", 10_000.0)]),
+                ],
+                edges: vec![e0, edge(1, 2, "j", "j")],
+            }
+        };
+        let base = enumerate(&mk(None), &params(), DP_BUDGET_DEFAULT);
+        let fed = enumerate(&mk(Some(0.5)), &params(), DP_BUDGET_DEFAULT);
+        assert!(
+            fed.cost > base.cost,
+            "a 0.5-selectivity edge must look far more expensive than 1/ndv"
+        );
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Feedback-cache property tests.
+//!
+//! The feedback key function must be exactly as coarse as the plan
+//! cache's shape key: invariant under literal churn and table-alias
+//! renames (so evidence accumulates across a parameterized workload),
+//! while structurally different predicates never collide by
+//! construction of the printed shape. The cache's lifecycle invariant —
+//! a (decayed) entry never outlives a catalog-version bump — is checked
+//! over random interleavings of observations and bumps.
+
+use morsel_exec::expr::{CmpOp, Expr, LikePattern};
+use morsel_exec::plan::Plan;
+use morsel_planner::feedback::{join_key, scan_key, FeedbackCache};
+use morsel_planner::Planner;
+use morsel_storage::{DataType, Schema};
+use proptest::prelude::*;
+
+fn fixture_schema() -> Schema {
+    Schema::new(vec![
+        ("l_orderkey", DataType::I64),
+        ("l_quantity", DataType::I64),
+        ("l_shipdate", DataType::I64),
+        ("l_shipmode", DataType::Str),
+    ])
+}
+
+const INT_COLS: [usize; 3] = [0, 1, 2];
+const STR_COL: usize = 3;
+
+/// A small deterministic generator (xorshift) driving predicate
+/// construction — the same idiom as `morsel-sql`'s `shape_prop.rs`, since
+/// the vendored proptest stub has no combinators.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn int(&mut self) -> i64 {
+        self.next() as i64 % 10_000
+    }
+
+    fn int_col(&mut self) -> Expr {
+        Expr::Col(INT_COLS[self.below(INT_COLS.len())])
+    }
+
+    /// A random boolean predicate over the fixture schema, structured
+    /// like real pushed-down scan filters.
+    fn pred(&mut self, depth: usize) -> Expr {
+        if depth == 0 {
+            return match self.below(6) {
+                0 => {
+                    const OPS: [CmpOp; 6] = [
+                        CmpOp::Eq,
+                        CmpOp::Ne,
+                        CmpOp::Lt,
+                        CmpOp::Le,
+                        CmpOp::Gt,
+                        CmpOp::Ge,
+                    ];
+                    Expr::Cmp(
+                        OPS[self.below(OPS.len())],
+                        Box::new(self.int_col()),
+                        Box::new(Expr::ConstI64(self.int())),
+                    )
+                }
+                1 => {
+                    let (a, b) = (self.int(), self.int());
+                    Expr::BetweenI64(Box::new(self.int_col()), a.min(b), a.max(b))
+                }
+                2 => {
+                    let n = 1 + self.below(4);
+                    let list = (0..n).map(|_| self.int()).collect();
+                    Expr::InI64(Box::new(self.int_col()), list)
+                }
+                3 => {
+                    let n = 1 + self.below(3);
+                    let list = (0..n).map(|_| format!("s{}", self.int())).collect();
+                    Expr::InStr(Box::new(Expr::Col(STR_COL)), list)
+                }
+                4 => Expr::Like(
+                    Box::new(Expr::Col(STR_COL)),
+                    LikePattern::parse(&format!("%x{}%", self.int())),
+                ),
+                _ => Expr::StrPrefix(Box::new(Expr::Col(STR_COL)), format!("p{}", self.int())),
+            };
+        }
+        match self.below(4) {
+            0 => Expr::And(
+                Box::new(self.pred(depth - 1)),
+                Box::new(self.pred(depth - 1)),
+            ),
+            1 => Expr::Or(
+                Box::new(self.pred(depth - 1)),
+                Box::new(self.pred(depth - 1)),
+            ),
+            2 => Expr::Not(Box::new(self.pred(depth - 1))),
+            _ => self.pred(0),
+        }
+    }
+}
+
+/// Replace every literal in `expr` with values drawn from `churn`,
+/// preserving structure (including `IN`-list arity).
+fn churn_literals(expr: &Expr, churn: &mut dyn FnMut() -> i64) -> Expr {
+    match expr {
+        Expr::Col(i) => Expr::Col(*i),
+        Expr::ConstI64(_) => Expr::ConstI64(churn()),
+        Expr::ConstF64(_) => Expr::ConstF64(churn() as f64),
+        Expr::ConstStr(_) => Expr::ConstStr(format!("s{}", churn())),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(churn_literals(a, churn)),
+            Box::new(churn_literals(b, churn)),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(churn_literals(a, churn)),
+            Box::new(churn_literals(b, churn)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(churn_literals(a, churn)),
+            Box::new(churn_literals(b, churn)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(churn_literals(a, churn))),
+        Expr::BetweenI64(a, _, _) => {
+            let (lo, hi) = (churn(), churn());
+            Expr::BetweenI64(Box::new(churn_literals(a, churn)), lo.min(hi), lo.max(hi))
+        }
+        Expr::InI64(a, list) => Expr::InI64(
+            Box::new(churn_literals(a, churn)),
+            list.iter().map(|_| churn()).collect(),
+        ),
+        Expr::InStr(a, list) => Expr::InStr(
+            Box::new(churn_literals(a, churn)),
+            list.iter().map(|_| format!("s{}", churn())).collect(),
+        ),
+        Expr::Like(a, _) => Expr::Like(
+            Box::new(churn_literals(a, churn)),
+            LikePattern::parse(&format!("%x{}%", churn())),
+        ),
+        Expr::StrPrefix(a, _) => {
+            Expr::StrPrefix(Box::new(churn_literals(a, churn)), format!("p{}", churn()))
+        }
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Literal churn never changes a scan key: a parameterized workload
+    /// accumulates evidence under ONE key per predicate shape.
+    #[test]
+    fn scan_keys_survive_literal_churn(seed in any::<u64>(), churn_seed in any::<i64>()) {
+        let schema = fixture_schema();
+        let mut gen = Gen::new(seed);
+        let depth = gen.below(4);
+        let pred = gen.pred(depth);
+        let mut i = 0i64;
+        let mut churn = || {
+            i += 1;
+            churn_seed.wrapping_mul(31).wrapping_add(i)
+        };
+        let churned = churn_literals(&pred, &mut churn);
+        prop_assert_eq!(scan_key(&schema, &pred), scan_key(&schema, &churned));
+    }
+
+    /// Join keys are orientation-free (swapping build and probe sides
+    /// yields the same key) and stable across repeated computation.
+    #[test]
+    fn join_keys_are_orientation_free(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let cols = ["l_orderkey", "o_orderkey", "c_custkey", "ps_partkey"];
+        let n = 1 + gen.below(3);
+        let a: Vec<String> = (0..n).map(|_| cols[gen.below(cols.len())].to_owned()).collect();
+        let b: Vec<String> = (0..n).map(|_| cols[gen.below(cols.len())].to_owned()).collect();
+        prop_assert_eq!(join_key(&a, &b), join_key(&b, &a));
+        prop_assert_eq!(join_key(&a, &b), join_key(&a, &b));
+    }
+
+    /// A decayed entry never outlives a catalog-version bump: whatever
+    /// interleaving of observations and version changes ran, entries
+    /// observed before the last bump are gone, and every survivor was
+    /// observed at the live version.
+    #[test]
+    fn entries_never_outlive_a_catalog_bump(
+        ops in collection::vec((0usize..10, 1u64..1000), 1..64)
+    ) {
+        let fb = FeedbackCache::new();
+        let mut version = 0u64;
+        let mut live: std::collections::HashSet<usize> = Default::default();
+        for (op, raw) in ops {
+            if op < 8 {
+                // Observation of one of 8 keys; selectivity in (0, 1].
+                fb.observe(&format!("key-{op}"), raw as f64 / 1000.0);
+                live.insert(op);
+            } else {
+                version += 1;
+                fb.set_catalog_version(version);
+                live.clear();
+            }
+        }
+        for k in 0..8usize {
+            let entry = fb.entry(&format!("key-{k}"));
+            if live.contains(&k) {
+                let entry = entry.expect("observed since the last bump");
+                prop_assert_eq!(entry.catalog_version, version);
+                prop_assert!(entry.sel >= 1e-9 && entry.sel <= 1.0);
+            } else {
+                prop_assert!(
+                    entry.is_none(),
+                    "key-{} observed before the bump must be dropped", k
+                );
+            }
+        }
+        prop_assert_eq!(fb.len(), live.len());
+    }
+}
+
+/// Alias renames never change a feedback key, end to end: two SQL
+/// spellings of the same query differing only in table aliases (and in
+/// literals) lower to scans whose filters key identically — the binder's
+/// alias names never reach the physical plan, whose keys use the base
+/// relation's canonical column names.
+#[test]
+fn scan_keys_survive_alias_renames_end_to_end() {
+    let topo = morsel_numa::Topology::laptop();
+    let db = morsel_datagen::generate_tpch(morsel_datagen::TpchConfig::scaled(0.002), &topo);
+    let catalog = db.catalog();
+    let planner = Planner::new(&topo);
+
+    fn first_filtered_scan(plan: &Plan) -> Option<(&morsel_storage::Relation, &Expr)> {
+        match plan {
+            Plan::Scan {
+                relation,
+                filter: Some(f),
+                ..
+            } => Some((relation.as_ref(), f)),
+            Plan::Scan { .. } => None,
+            Plan::Filter { input, .. }
+            | Plan::Map { input, .. }
+            | Plan::Agg { input, .. }
+            | Plan::Sort { input, .. } => first_filtered_scan(input),
+            Plan::Join { build, probe, .. } => {
+                first_filtered_scan(probe).or_else(|| first_filtered_scan(build))
+            }
+        }
+    }
+
+    let key_of = |sql: &str| {
+        let logical = morsel_sql::plan_sql(&catalog, sql).expect("fixture SQL binds");
+        let plan = planner.plan(&logical);
+        let (relation, filter) =
+            first_filtered_scan(&plan).expect("fixture has a pushed-down filter");
+        scan_key(relation.schema(), filter)
+    };
+
+    let base = key_of("SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 24");
+    let aliased = key_of("SELECT COUNT(*) AS n FROM lineitem ali WHERE ali.l_quantity < 24");
+    let renamed = key_of("SELECT COUNT(*) AS n FROM lineitem zz99 WHERE zz99.l_quantity < 11");
+    assert_eq!(base, aliased, "alias spelling leaked into the key");
+    assert_eq!(
+        base, renamed,
+        "alias rename + literal churn changed the key"
+    );
+
+    let other = key_of("SELECT COUNT(*) AS n FROM lineitem WHERE l_orderkey < 24");
+    assert_ne!(base, other, "different columns must not collide");
+}

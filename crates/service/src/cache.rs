@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use morsel_exec::plan::compile_query;
 use morsel_exec::SystemVariant;
-use morsel_planner::{PlanHandle, Planner};
+use morsel_planner::{FeedbackCache, PlanHandle, Planner};
 use morsel_sql::normalize::{param_count, same_literals, shape_of};
 use morsel_sql::{bind_params, parse, Binder, LiteralValue, Select, ShapeKey, SqlError};
 use morsel_storage::{Batch, Catalog};
@@ -188,6 +188,11 @@ pub enum CacheDisposition {
 struct PlanEntry {
     literals: Vec<LiteralValue>,
     catalog_version: u64,
+    /// Feedback-cache epoch the plan was produced under (0 when the
+    /// session has no feedback cache). New runtime observations bump
+    /// the epoch, and a mismatch forces a replan — a plan chosen under
+    /// stale selectivities is as wrong as one bound to a stale catalog.
+    feedback_epoch: u64,
     handle: PlanHandle,
     last_used: u64,
 }
@@ -265,6 +270,7 @@ pub struct SqlSession {
     counters: Arc<CacheCounters>,
     plan_caching: bool,
     result_caching: bool,
+    feedback: Option<Arc<FeedbackCache>>,
 }
 
 /// Default plan-cache capacity (distinct shapes retained).
@@ -272,6 +278,7 @@ pub const PLAN_CACHE_CAPACITY_DEFAULT: usize = 64;
 
 impl SqlSession {
     /// A standalone session with its own private counters.
+    #[deprecated(note = "construct sessions through morsel_service::Session::builder()")]
     pub fn new(catalog: Catalog, planner: Planner, variant: SystemVariant) -> Self {
         SqlSession {
             catalog: Mutex::new(catalog),
@@ -288,16 +295,19 @@ impl SqlSession {
             counters: Arc::new(CacheCounters::default()),
             plan_caching: true,
             result_caching: false,
+            feedback: None,
         }
     }
 
     /// A session whose counters feed `service`'s shutdown report.
+    #[deprecated(note = "construct sessions through morsel_service::Session::builder()")]
     pub fn for_service(
         service: &QueryService,
         catalog: Catalog,
         planner: Planner,
         variant: SystemVariant,
     ) -> Self {
+        #[allow(deprecated)]
         let mut session = SqlSession::new(catalog, planner, variant);
         session.counters = Arc::clone(service.cache_counters());
         session
@@ -323,10 +333,42 @@ impl SqlSession {
         self
     }
 
+    /// Attach a runtime cardinality feedback cache. Two effects: the
+    /// planner's estimator consults observed selectivities before its
+    /// model, and every cached plan is additionally guarded on the
+    /// cache's epoch, so new observations force a replan (counted as a
+    /// plan invalidation) instead of serving a plan chosen under stale
+    /// selectivities.
+    pub fn with_feedback(mut self, fb: Arc<FeedbackCache>) -> Self {
+        self.planner.estimator.feedback = Some(Arc::clone(&fb));
+        self.feedback = Some(fb);
+        self
+    }
+
+    /// The attached feedback cache, if any.
+    pub fn feedback(&self) -> Option<&Arc<FeedbackCache>> {
+        self.feedback.as_ref()
+    }
+
+    /// The planner this session resolves plans with.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The current catalog version (what cached plans are guarded on).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.lock().version()
+    }
+
     /// This session's live counters (shared with the service when built
     /// via [`SqlSession::for_service`]).
     pub fn counters(&self) -> &Arc<CacheCounters> {
         &self.counters
+    }
+
+    /// Share counters with a service (used by the `Session` builder).
+    pub(crate) fn set_counters(&mut self, counters: Arc<CacheCounters>) {
+        self.counters = counters;
     }
 
     /// Snapshot of the session's cache counters.
@@ -383,6 +425,9 @@ impl SqlSession {
     fn resolve_plan(&self, select: &Select) -> Result<(PlanHandle, CacheDisposition), SqlError> {
         if !self.plan_caching {
             let cat = self.catalog.lock();
+            if let Some(fb) = &self.feedback {
+                fb.set_catalog_version(cat.version());
+            }
             let logical = Binder::new(&cat).bind(select)?;
             return Ok((self.planner.plan_handle(&logical), CacheDisposition::Bypass));
         }
@@ -390,9 +435,19 @@ impl SqlSession {
         let mut caches = self.caches.lock();
         let stamp = caches.plans.touch();
         let version = self.catalog.lock().version();
+        // Sync the feedback cache with the live catalog before reading
+        // its epoch: a catalog bump purges learned selectivities (they
+        // described the old data) and advances the epoch exactly once.
+        let fb_epoch = self.feedback.as_ref().map_or(0, |fb| {
+            fb.set_catalog_version(version);
+            fb.epoch()
+        });
         let mut invalidated = false;
         if let Some(entry) = caches.plans.entries.get_mut(&key) {
-            if entry.catalog_version == version && same_literals(&entry.literals, &literals) {
+            if entry.catalog_version == version
+                && entry.feedback_epoch == fb_epoch
+                && same_literals(&entry.literals, &literals)
+            {
                 entry.last_used = stamp;
                 CacheCounters::bump(&self.counters.plan_hits);
                 return Ok((entry.handle.clone(), CacheDisposition::Hit));
@@ -416,6 +471,7 @@ impl SqlSession {
             PlanEntry {
                 literals,
                 catalog_version: version,
+                feedback_epoch: fb_epoch,
                 handle: handle.clone(),
                 last_used: stamp,
             },

@@ -47,8 +47,10 @@
 pub mod admission;
 pub mod cache;
 pub mod client;
+pub mod error;
 pub mod histogram;
 pub mod service;
+pub mod session;
 pub mod sql;
 pub mod txn;
 
@@ -57,10 +59,12 @@ pub use cache::{
     CacheCounters, CacheDisposition, CacheStats, PreparedStatement, SqlExecution, SqlSession,
 };
 pub use client::{run_closed_loop, LoadRun};
+pub use error::{Error, ErrorKind};
 pub use histogram::{fmt_ns, LatencyHistogram};
 pub use service::{
     ExecTotals, OutcomeCounts, QueryReport, QueryRequest, QueryService, QueryTicket, ServiceConfig,
     ServiceReport,
 };
+pub use session::{Execution, ReoptInfo, Session, SessionBuilder, StagedOutcome};
 pub use sql::QuerySpecSqlExt;
 pub use txn::{DmlReport, TxnExecution, TxnSession, TxnSqlError};

@@ -1,0 +1,563 @@
+//! The unified [`Session`] facade: one configurable entry point over
+//! the service's SQL machinery.
+//!
+//! Historically the crate grew two session types — [`SqlSession`] (plan
+//! and result caches over a static catalog) and [`TxnSession`] (the
+//! same read path over a transactional database) — plus free-floating
+//! configuration knobs, and no single owner for runtime cardinality
+//! feedback. `Session::builder()` subsumes both:
+//!
+//! ```no_run
+//! # use morsel_service::Session;
+//! # let catalog = morsel_storage::Catalog::new();
+//! let session = Session::builder()
+//!     .catalog(catalog)                 // or .database(db) for MVCC
+//!     .topology(&morsel_numa::Topology::laptop())
+//!     .result_caching(true)
+//!     .feedback(true)                   // learn from runtime actuals
+//!     .build();
+//! ```
+//!
+//! The session owns the [`FeedbackCache`]: it wires it into the
+//! planner's estimator, guards cached plans on its epoch, harvests
+//! observed cardinalities from every completed profiled query, and —
+//! in transactional mode — invalidates learned selectivities on
+//! commit/merge alongside the plan cache (both key on the catalog
+//! version). [`Session::execute`] returns the crate's unified
+//! [`Error`] instead of a zoo of per-layer error types, and mid-query
+//! adaptivity is available through [`Session::stage_and_reoptimize`].
+
+use std::sync::Arc;
+
+use morsel_core::QueryProfile;
+use morsel_exec::plan::Plan;
+use morsel_exec::SystemVariant;
+use morsel_numa::{Placement, Topology};
+use morsel_planner::{adaptive, FeedbackCache, PlanHandle, Planner};
+use morsel_sql::LiteralValue;
+use morsel_storage::{Batch, Catalog, PartitionBy, Relation};
+use morsel_txn::TxnDb;
+
+use crate::cache::{
+    CacheDisposition, CacheStats, PreparedStatement, SqlExecution, SqlSession,
+    PLAN_CACHE_CAPACITY_DEFAULT,
+};
+use crate::error::Error;
+use crate::service::{QueryRequest, QueryService};
+use crate::txn::{DmlReport, TxnExecution, TxnSession};
+
+// ------------------------------------------------------------- builder
+
+/// Configures and constructs a [`Session`]. Obtain via
+/// [`Session::builder`].
+pub struct SessionBuilder {
+    catalog: Option<Catalog>,
+    db: Option<Arc<TxnDb>>,
+    topology: Topology,
+    variant: SystemVariant,
+    plan_caching: bool,
+    plan_cache_capacity: usize,
+    result_caching: bool,
+    feedback: bool,
+    reopt_threshold: f64,
+    mem_cap: Option<u64>,
+    counters: Option<Arc<crate::cache::CacheCounters>>,
+    dp_budget: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Serve a static (non-transactional) catalog. Mutually exclusive
+    /// with [`SessionBuilder::database`].
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// Serve a transactional database: SELECTs read the latest
+    /// committed snapshot, DML auto-commits through the MVCC write
+    /// path. Mutually exclusive with [`SessionBuilder::catalog`].
+    pub fn database(mut self, db: Arc<TxnDb>) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    /// Topology the planner's cost model is calibrated for (defaults to
+    /// the paper's Nehalem EX box).
+    pub fn topology(mut self, topology: &Topology) -> Self {
+        self.topology = topology.clone();
+        self
+    }
+
+    /// Executor variant compiled plans run under (default: full).
+    pub fn variant(mut self, variant: SystemVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Enable/disable the plan cache (default: enabled).
+    pub fn plan_caching(mut self, enabled: bool) -> Self {
+        self.plan_caching = enabled;
+        self
+    }
+
+    /// Bound on distinct shapes the plan cache retains.
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Opt into the result cache for aggregate queries (default: off).
+    pub fn result_caching(mut self, enabled: bool) -> Self {
+        self.result_caching = enabled;
+        self
+    }
+
+    /// Learn observed selectivities from completed queries and let the
+    /// planner use them (default: off). The session owns the cache;
+    /// access it via [`Session::feedback`].
+    pub fn feedback(mut self, enabled: bool) -> Self {
+        self.feedback = enabled;
+        self
+    }
+
+    /// Divergence factor (actual vs estimate, either direction) beyond
+    /// which [`Session::stage_and_reoptimize`] re-enumerates the join
+    /// order (default: [`adaptive::REOPT_THRESHOLD_DEFAULT`]).
+    pub fn reopt_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 1.0, "re-opt threshold must exceed 1.0");
+        self.reopt_threshold = threshold;
+        self
+    }
+
+    /// Per-query memory cap applied to every execution (default: none).
+    pub fn mem_cap(mut self, bytes: u64) -> Self {
+        self.mem_cap = Some(bytes);
+        self
+    }
+
+    /// Relation-count budget for exhaustive DPsize enumeration.
+    pub fn dp_budget(mut self, budget: usize) -> Self {
+        self.dp_budget = Some(budget);
+        self
+    }
+
+    /// Feed this session's cache counters into `service`'s shutdown
+    /// report.
+    pub fn for_service(mut self, service: &QueryService) -> Self {
+        self.counters = Some(Arc::clone(service.cache_counters()));
+        self
+    }
+
+    /// Construct the session.
+    ///
+    /// # Panics
+    /// Panics unless exactly one of [`SessionBuilder::catalog`] /
+    /// [`SessionBuilder::database`] was provided.
+    pub fn build(self) -> Session {
+        let mut planner = Planner::new(&self.topology);
+        if let Some(budget) = self.dp_budget {
+            planner = planner.with_dp_budget(budget);
+        }
+        let feedback = self.feedback.then(FeedbackCache::new);
+        let inner = match (self.catalog, self.db) {
+            (Some(catalog), None) => {
+                #[allow(deprecated)]
+                let mut s = SqlSession::new(catalog, planner, self.variant)
+                    .with_plan_caching(self.plan_caching)
+                    .with_result_caching(self.result_caching)
+                    .with_plan_cache_capacity(self.plan_cache_capacity);
+                if let Some(fb) = &feedback {
+                    s = s.with_feedback(Arc::clone(fb));
+                }
+                if let Some(c) = self.counters {
+                    s.set_counters(c);
+                }
+                Inner::Sql(s)
+            }
+            (None, Some(db)) => {
+                #[allow(deprecated)]
+                let mut t = TxnSession::new(db, planner, self.variant)
+                    .with_plan_caching(self.plan_caching)
+                    .with_result_caching(self.result_caching);
+                if let Some(fb) = &feedback {
+                    t = t.with_feedback(Arc::clone(fb));
+                }
+                if let Some(c) = self.counters {
+                    t.set_counters(c);
+                }
+                Inner::Txn(t)
+            }
+            (Some(_), Some(_)) => panic!("Session: give either a catalog or a database, not both"),
+            (None, None) => panic!("Session: a catalog or a database is required"),
+        };
+        Session {
+            inner,
+            feedback,
+            topology: self.topology,
+            reopt_threshold: self.reopt_threshold,
+            mem_cap: self.mem_cap,
+        }
+    }
+}
+
+// ------------------------------------------------------------- session
+
+enum Inner {
+    Sql(SqlSession),
+    Txn(TxnSession),
+}
+
+/// What one [`Session::execute`] produced: a query result or a durable
+/// DML acknowledgement.
+#[derive(Debug)]
+pub enum Execution {
+    Query(SqlExecution),
+    Dml(DmlReport),
+}
+
+impl Execution {
+    /// The query execution, when the statement was a `SELECT`.
+    pub fn query(&self) -> Option<&SqlExecution> {
+        match self {
+            Execution::Query(q) => Some(q),
+            Execution::Dml(_) => None,
+        }
+    }
+
+    /// The DML acknowledgement, when the statement wrote.
+    pub fn dml(&self) -> Option<&DmlReport> {
+        match self {
+            Execution::Dml(d) => Some(d),
+            Execution::Query(_) => None,
+        }
+    }
+
+    /// The result batch of a completed query.
+    pub fn rows(&self) -> Option<&Batch> {
+        self.query().and_then(|q| q.rows.as_ref())
+    }
+}
+
+/// What [`Session::stage_and_reoptimize`] decided (see its docs).
+pub struct StagedOutcome {
+    /// The plan to run: the original, or — when staging fired — a plan
+    /// whose top build side is the materialized intermediate, possibly
+    /// with a re-enumerated join order spliced in.
+    pub plan: Plan,
+    /// Whether the top build was executed and materialized.
+    pub staged: bool,
+    /// Present when staging found a strictly cheaper join order.
+    pub resplice: Option<ReoptInfo>,
+}
+
+/// Diagnostics of one mid-query re-optimization splice.
+#[derive(Debug, Clone)]
+pub struct ReoptInfo {
+    pub old_order: String,
+    pub new_order: String,
+    pub old_cost: f64,
+    pub new_cost: f64,
+    /// Observed divergence (actual vs estimated build rows) that
+    /// triggered re-enumeration.
+    pub divergence: f64,
+}
+
+/// The unified session facade. See the [module docs](self).
+pub struct Session {
+    inner: Inner,
+    feedback: Option<Arc<FeedbackCache>>,
+    topology: Topology,
+    reopt_threshold: f64,
+    mem_cap: Option<u64>,
+}
+
+impl Session {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            catalog: None,
+            db: None,
+            topology: Topology::nehalem_ex(),
+            variant: SystemVariant::full(),
+            plan_caching: true,
+            plan_cache_capacity: PLAN_CACHE_CAPACITY_DEFAULT,
+            result_caching: false,
+            feedback: false,
+            reopt_threshold: adaptive::REOPT_THRESHOLD_DEFAULT,
+            mem_cap: None,
+            counters: None,
+            dp_budget: None,
+        }
+    }
+
+    fn sql(&self) -> &SqlSession {
+        match &self.inner {
+            Inner::Sql(s) => s,
+            Inner::Txn(t) => t.session(),
+        }
+    }
+
+    /// The session's feedback cache, when feedback is enabled.
+    pub fn feedback(&self) -> Option<&Arc<FeedbackCache>> {
+        self.feedback.as_ref()
+    }
+
+    /// The divergence threshold mid-query re-optimization acts on.
+    pub fn reopt_threshold(&self) -> f64 {
+        self.reopt_threshold
+    }
+
+    /// The planner this session resolves plans with.
+    pub fn planner(&self) -> &Planner {
+        self.sql().planner()
+    }
+
+    /// Snapshot of the session's cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.sql().stats()
+    }
+
+    /// The transactional database, in transactional mode.
+    pub fn db(&self) -> Option<&Arc<TxnDb>> {
+        match &self.inner {
+            Inner::Sql(_) => None,
+            Inner::Txn(t) => Some(t.db()),
+        }
+    }
+
+    /// Re-sync the read side with the latest committed snapshot
+    /// (transactional mode; no-op otherwise).
+    pub fn refresh(&self) {
+        if let Inner::Txn(t) = &self.inner {
+            t.refresh();
+            self.sync_feedback_version();
+        }
+    }
+
+    /// Fold committed deltas into fresh base partitions, bumping the
+    /// catalog version (which purges plans, results, and learned
+    /// selectivities alike).
+    pub fn merge_all(&self) -> Result<(), Error> {
+        match &self.inner {
+            Inner::Sql(_) => Ok(()),
+            Inner::Txn(t) => {
+                t.merge_all()?;
+                self.sync_feedback_version();
+                Ok(())
+            }
+        }
+    }
+
+    /// Run `f` over the catalog and advance its version (static-catalog
+    /// mode), invalidating cached plans, results, and learned
+    /// selectivities bound against the old one.
+    pub fn update_catalog<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        let out = self.sql().update_catalog(f);
+        self.sync_feedback_version();
+        out
+    }
+
+    fn sync_feedback_version(&self) {
+        if let Some(fb) = &self.feedback {
+            fb.set_catalog_version(self.sql().catalog_version());
+        }
+    }
+
+    /// Drop all cached results (plans and learned selectivities
+    /// survive).
+    pub fn invalidate_results(&self) {
+        self.sql().invalidate_results();
+    }
+
+    /// Parse `sql` into a reusable prepared statement.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, Error> {
+        self.sql().prepare(sql).map_err(Error::from)
+    }
+
+    /// Cache-aware planning without execution (refreshes the snapshot
+    /// first in transactional mode).
+    pub fn resolve(&self, sql: &str) -> Result<(PlanHandle, CacheDisposition), Error> {
+        self.refresh();
+        self.sql().plan_cached(sql).map_err(Error::from)
+    }
+
+    /// Execute one SQL statement through `service`.
+    ///
+    /// Unlike the raw sessions, a non-`Completed` outcome is an
+    /// [`Error`] (kinds `Rejected` / `Cancelled` / `Failed`), so `Ok`
+    /// always carries a usable result. Completed profiled queries are
+    /// harvested into the feedback cache automatically.
+    pub fn execute(
+        &self,
+        service: &QueryService,
+        name: impl Into<String>,
+        sql: &str,
+    ) -> Result<Execution, Error> {
+        let name = name.into();
+        let mem_cap = self.mem_cap;
+        let configure = move |req: QueryRequest| match mem_cap {
+            Some(bytes) => req.with_mem_cap(bytes),
+            None => req,
+        };
+        let exec = match &self.inner {
+            Inner::Sql(s) => {
+                Execution::Query(s.execute_with(service, name.clone(), sql, configure)?)
+            }
+            Inner::Txn(t) => match t.execute(service, name.clone(), sql)? {
+                TxnExecution::Query(q) => Execution::Query(q),
+                TxnExecution::Dml(d) => {
+                    // The commit bumped the catalog version; drop
+                    // learned selectivities observed under the old data.
+                    self.sync_feedback_version();
+                    Execution::Dml(d)
+                }
+            },
+        };
+        if let Execution::Query(q) = &exec {
+            if let Some(err) = Error::from_outcome(&name, &q.report.outcome) {
+                return Err(err);
+            }
+            // Feed runtime actuals back to the planner. The plan is
+            // re-fetched through the cache (a hit: we just ran it).
+            if let (Some(_), Some(profile)) = (&self.feedback, &q.report.profile) {
+                if let Ok((handle, _)) = self.sql().plan_cached(sql) {
+                    self.observe(&handle.plan, profile);
+                }
+            }
+        }
+        Ok(exec)
+    }
+
+    /// Execute a prepared statement (SELECT-only in transactional
+    /// mode) with `params` bound over its placeholders.
+    pub fn execute_prepared(
+        &self,
+        service: &QueryService,
+        name: impl Into<String>,
+        statement: &PreparedStatement,
+        params: &[LiteralValue],
+    ) -> Result<Execution, Error> {
+        let name = name.into();
+        self.refresh();
+        let q = self
+            .sql()
+            .execute_prepared(service, name.clone(), statement, params)?;
+        if let Some(err) = Error::from_outcome(&name, &q.report.outcome) {
+            return Err(err);
+        }
+        Ok(Execution::Query(q))
+    }
+
+    /// Fold one finished execution's runtime actuals into the feedback
+    /// cache: observed scan selectivities and join-edge selectivities,
+    /// keyed on normalized shape. Returns the number of observations
+    /// (0 when feedback is disabled). `profile.ops` must be in explain
+    /// (pre-order, probe-first) order — which is how the executor
+    /// numbers its profile slots.
+    pub fn observe(&self, plan: &Plan, profile: &QueryProfile) -> usize {
+        match &self.feedback {
+            Some(fb) => {
+                let actuals: Vec<u64> = profile.ops.iter().map(|o| o.rows_out).collect();
+                morsel_planner::harvest(plan, &actuals, fb)
+            }
+            None => 0,
+        }
+    }
+
+    /// Mid-query adaptivity over an executor the caller drives (the
+    /// simulator in benchmarks, the live service in production): run
+    /// the top pipeline breaker (the first inner join's build side)
+    /// through `exec_build`, observe its true cardinality, and — if it
+    /// diverges from the estimate by at least the configured threshold
+    /// — re-enumerate the remaining join order via DPsize over the
+    /// *materialized* intermediate and splice the cheaper plan.
+    ///
+    /// Staging only activates once the feedback cache is warm (a cold
+    /// first run executes the plan unchanged, byte-for-byte identical
+    /// to a non-adaptive session) and when the plan has a reorderable
+    /// block. The returned plan always produces the same rows as the
+    /// input plan.
+    pub fn stage_and_reoptimize<E>(
+        &self,
+        plan: &Plan,
+        exec_build: E,
+    ) -> Result<StagedOutcome, Error>
+    where
+        E: FnOnce(&Plan) -> Result<(Batch, QueryProfile), Error>,
+    {
+        let unstaged = |plan: &Plan| StagedOutcome {
+            plan: plan.clone(),
+            staged: false,
+            resplice: None,
+        };
+        let Some(fb) = &self.feedback else {
+            return Ok(unstaged(plan));
+        };
+        if fb.is_empty() {
+            // Cold cache: nothing learned yet, so re-enumeration could
+            // only repeat the original decision. Skipping keeps run 1
+            // bit-identical to a non-adaptive session.
+            return Ok(unstaged(plan));
+        }
+        let Some(build) = adaptive::top_build(plan) else {
+            return Ok(unstaged(plan));
+        };
+        let est_rows = self.planner().estimator.estimate(build).rows;
+        let (batch, profile) = exec_build(build)?;
+        self.observe(build, &profile);
+        let actual = batch.rows() as f64;
+        let divergence = if actual > 0.0 && est_rows > 0.0 {
+            (actual / est_rows).max(est_rows / actual)
+        } else {
+            f64::INFINITY
+        };
+
+        // Replace the executed subtree by its materialized result so
+        // the re-enumeration (and the final execution) sees the truth.
+        let schema = build.schema();
+        let names: Vec<&str> = schema.names();
+        let parts = self.topology.physical_cores().max(1) as usize;
+        let relation = Arc::new(Relation::partitioned(
+            build.schema(),
+            &batch,
+            PartitionBy::Chunks,
+            parts.min(batch.rows().max(1)),
+            Placement::FirstTouch,
+            &self.topology,
+        ));
+        let scan = Plan::scan(relation, None, &names);
+        let Some(replaced) = adaptive::with_top_build_replaced(plan, scan) else {
+            return Ok(unstaged(plan));
+        };
+        if divergence < self.reopt_threshold {
+            return Ok(StagedOutcome {
+                plan: replaced,
+                staged: true,
+                resplice: None,
+            });
+        }
+        match adaptive::reoptimize(
+            &replaced,
+            &self.planner().estimator,
+            &self.planner().params,
+            self.planner().dp_budget,
+        ) {
+            Some(r) => Ok(StagedOutcome {
+                plan: r.plan,
+                staged: true,
+                resplice: Some(ReoptInfo {
+                    old_order: r.old_order,
+                    new_order: r.new_order,
+                    old_cost: r.old_cost,
+                    new_cost: r.new_cost,
+                    divergence,
+                }),
+            }),
+            None => Ok(StagedOutcome {
+                plan: replaced,
+                staged: true,
+                resplice: None,
+            }),
+        }
+    }
+}

@@ -144,17 +144,20 @@ pub struct TxnSession {
 
 impl TxnSession {
     /// A standalone session (private cache counters) over `db`.
+    #[deprecated(note = "construct sessions through morsel_service::Session::builder()")]
     pub fn new(db: Arc<TxnDb>, planner: Planner, variant: SystemVariant) -> Self {
         let catalog = db.snapshot_catalog();
         let installed = catalog.version();
         TxnSession {
             db,
+            #[allow(deprecated)]
             session: SqlSession::new(catalog, planner, variant),
             installed: Mutex::new(installed),
         }
     }
 
     /// A session whose cache counters feed `service`'s shutdown report.
+    #[deprecated(note = "construct sessions through morsel_service::Session::builder()")]
     pub fn for_service(
         service: &QueryService,
         db: Arc<TxnDb>,
@@ -165,9 +168,19 @@ impl TxnSession {
         let installed = catalog.version();
         TxnSession {
             db,
+            #[allow(deprecated)]
             session: SqlSession::for_service(service, catalog, planner, variant),
             installed: Mutex::new(installed),
         }
+    }
+
+    /// Attach a runtime cardinality feedback cache to the inner cached
+    /// read path (see [`SqlSession::with_feedback`]). Every commit and
+    /// merge bumps the catalog version, which purges learned
+    /// selectivities alongside the plan and result caches.
+    pub fn with_feedback(mut self, fb: Arc<morsel_planner::FeedbackCache>) -> Self {
+        self.session = self.session.with_feedback(fb);
+        self
     }
 
     /// Opt into the result cache for aggregate queries (safe here
@@ -192,6 +205,11 @@ impl TxnSession {
     /// The inner cached SQL session (for cache-aware planning helpers).
     pub fn session(&self) -> &SqlSession {
         &self.session
+    }
+
+    /// Share counters with a service (used by the `Session` builder).
+    pub(crate) fn set_counters(&mut self, counters: Arc<crate::cache::CacheCounters>) {
+        self.session.set_counters(counters);
     }
 
     /// Snapshot of the inner session's cache counters.
@@ -327,6 +345,7 @@ mod tests {
         let topo = Topology::laptop();
         let db = Arc::new(TxnDb::create(&dir, vec![("kv", kv_relation(4))]).expect("create"));
         let service = QueryService::start(ExecEnv::new(topo.clone()), ServiceConfig::new(2));
+        #[allow(deprecated)]
         let session = TxnSession::for_service(
             &service,
             Arc::clone(&db),

@@ -1,6 +1,7 @@
 //! Cache behaviour under the real threaded service: single-flight
 //! planning under contention, literal/catalog guards, prepared
-//! statements, the opt-in result cache, and LRU bounds.
+//! statements, the opt-in result cache, and LRU bounds — all driven
+//! through the unified [`Session`] facade.
 //!
 //! These are the concurrency halves of the cache oracle — the key
 //! function itself is property-tested in `morsel-sql`'s `shape_prop`
@@ -9,10 +10,8 @@
 
 use morsel_core::{ExecEnv, QueryOutcome};
 use morsel_datagen::{generate_tpch, TpchConfig, TpchDb};
-use morsel_exec::SystemVariant;
 use morsel_numa::Topology;
-use morsel_planner::Planner;
-use morsel_service::{CacheDisposition, QueryService, ServiceConfig, SqlSession};
+use morsel_service::{CacheDisposition, QueryService, ServiceConfig, Session};
 use morsel_sql::LiteralValue;
 
 fn tpch() -> (Topology, TpchDb) {
@@ -31,6 +30,14 @@ fn start_service(topo: &Topology) -> QueryService {
     )
 }
 
+fn session_for(service: &QueryService, topo: &Topology, db: &TpchDb) -> Session {
+    Session::builder()
+        .catalog(db.catalog())
+        .topology(topo)
+        .for_service(service)
+        .build()
+}
+
 const REVENUE: &str = "SELECT SUM(l_extendedprice * l_discount) AS revenue \
                        FROM lineitem WHERE l_quantity < 24";
 
@@ -42,12 +49,7 @@ const REVENUE: &str = "SELECT SUM(l_extendedprice * l_discount) AS revenue \
 fn one_hot_shape_plans_exactly_once_under_contention() {
     let (topo, db) = tpch();
     let service = start_service(&topo);
-    let session = SqlSession::for_service(
-        &service,
-        db.catalog(),
-        Planner::new(&topo),
-        SystemVariant::full(),
-    );
+    let session = session_for(&service, &topo, &db);
 
     const CLIENTS: usize = 8;
     const PER_CLIENT: usize = 6;
@@ -62,19 +64,15 @@ fn one_hot_shape_plans_exactly_once_under_contention() {
                         .map(|i| {
                             let exec = session
                                 .execute(service, format!("hot-{c}-{i}"), REVENUE)
-                                .expect("query binds");
-                            assert_eq!(
-                                exec.report.outcome,
-                                QueryOutcome::Completed,
-                                "hot-{c}-{i}: {}",
-                                exec.report.outcome
-                            );
+                                .expect("query completes");
+                            let q = exec.query().expect("select yields a query execution");
+                            assert_eq!(q.report.outcome, QueryOutcome::Completed);
                             assert_ne!(
-                                exec.plan_cache,
+                                q.plan_cache,
                                 CacheDisposition::Bypass,
                                 "plan caching is on"
                             );
-                            exec.rows.expect("completed query returns rows")
+                            q.rows.clone().expect("completed query returns rows")
                         })
                         .collect::<Vec<_>>()
                 })
@@ -113,27 +111,27 @@ fn one_hot_shape_plans_exactly_once_under_contention() {
 fn literal_and_catalog_churn_invalidate_cached_plans() {
     let (topo, db) = tpch();
     let service = start_service(&topo);
-    let session = SqlSession::for_service(
-        &service,
-        db.catalog(),
-        Planner::new(&topo),
-        SystemVariant::full(),
-    );
+    let session = session_for(&service, &topo, &db);
 
     let narrow = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10";
     let wide = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 45";
 
-    let a = session.execute(&service, "a", narrow).unwrap();
-    assert_eq!(a.plan_cache, CacheDisposition::Miss);
-    let b = session.execute(&service, "b", narrow).unwrap();
-    assert_eq!(b.plan_cache, CacheDisposition::Hit);
+    let run = |name: &str, sql: &str| {
+        let exec = session.execute(&service, name, sql).unwrap();
+        let q = exec.query().unwrap();
+        (q.plan_cache, q.rows.clone().unwrap())
+    };
+
+    let (a_disp, a_rows) = run("a", narrow);
+    assert_eq!(a_disp, CacheDisposition::Miss);
+    let (b_disp, _) = run("b", narrow);
+    assert_eq!(b_disp, CacheDisposition::Hit);
 
     // Different literal, same shape: serving the cached plan would
     // return the narrow count for the wide query.
-    let c = session.execute(&service, "c", wide).unwrap();
-    assert_eq!(c.plan_cache, CacheDisposition::Miss);
+    let (c_disp, c_rows) = run("c", wide);
+    assert_eq!(c_disp, CacheDisposition::Miss);
     assert_eq!(session.stats().plan_invalidations, 1);
-    let (a_rows, c_rows) = (a.rows.unwrap(), c.rows.unwrap());
     assert_ne!(
         a_rows, c_rows,
         "fixture counts must differ for the guard to matter"
@@ -142,16 +140,12 @@ fn literal_and_catalog_churn_invalidate_cached_plans() {
     // Explicit invalidation hook: the catalog version moves even when
     // the closure only touches data the table map cannot see.
     session.update_catalog(|_| {});
-    let d = session.execute(&service, "d", wide).unwrap();
-    assert_eq!(
-        d.plan_cache,
-        CacheDisposition::Miss,
-        "stale catalog version"
-    );
+    let (d_disp, _) = run("d", wide);
+    assert_eq!(d_disp, CacheDisposition::Miss, "stale catalog version");
     assert_eq!(session.stats().plan_invalidations, 2);
-    let e = session.execute(&service, "e", wide).unwrap();
-    assert_eq!(e.plan_cache, CacheDisposition::Hit);
-    assert_eq!(e.rows.unwrap(), c_rows);
+    let (e_disp, e_rows) = run("e", wide);
+    assert_eq!(e_disp, CacheDisposition::Hit);
+    assert_eq!(e_rows, c_rows);
 
     service.shutdown();
 }
@@ -163,50 +157,35 @@ fn literal_and_catalog_churn_invalidate_cached_plans() {
 fn prepared_statements_share_the_plan_cache_with_adhoc_text() {
     let (topo, db) = tpch();
     let service = start_service(&topo);
-    let session = SqlSession::for_service(
-        &service,
-        db.catalog(),
-        Planner::new(&topo),
-        SystemVariant::full(),
-    );
+    let session = session_for(&service, &topo, &db);
 
     let stmt = session
         .prepare("SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < ? AND l_discount > $2")
         .expect("template parses");
     assert_eq!(stmt.param_count(), 2);
 
-    let p1 = session
-        .execute_prepared(
-            &service,
-            "p1",
-            &stmt,
-            &[LiteralValue::Int(24), LiteralValue::Int(3)],
-        )
-        .unwrap();
-    assert_eq!(p1.plan_cache, CacheDisposition::Miss);
-    assert_eq!(p1.report.outcome, QueryOutcome::Completed);
+    let prepared = |name: &str, params: &[LiteralValue]| {
+        session
+            .execute_prepared(&service, name, &stmt, params)
+            .map(|exec| {
+                let q = exec.query().unwrap();
+                (q.plan_cache, q.rows.clone())
+            })
+    };
 
-    let p2 = session
-        .execute_prepared(
-            &service,
-            "p2",
-            &stmt,
-            &[LiteralValue::Int(24), LiteralValue::Int(3)],
-        )
-        .unwrap();
-    assert_eq!(p2.plan_cache, CacheDisposition::Hit);
-    assert_eq!(p2.rows, p1.rows);
+    let (p1_disp, p1_rows) =
+        prepared("p1", &[LiteralValue::Int(24), LiteralValue::Int(3)]).expect("p1 completes");
+    assert_eq!(p1_disp, CacheDisposition::Miss);
+
+    let (p2_disp, p2_rows) =
+        prepared("p2", &[LiteralValue::Int(24), LiteralValue::Int(3)]).expect("p2 completes");
+    assert_eq!(p2_disp, CacheDisposition::Hit);
+    assert_eq!(p2_rows, p1_rows);
 
     // Re-binding with new values is a guarded miss, not a collision.
-    let p3 = session
-        .execute_prepared(
-            &service,
-            "p3",
-            &stmt,
-            &[LiteralValue::Int(10), LiteralValue::Int(5)],
-        )
-        .unwrap();
-    assert_eq!(p3.plan_cache, CacheDisposition::Miss);
+    let (p3_disp, p3_rows) =
+        prepared("p3", &[LiteralValue::Int(10), LiteralValue::Int(5)]).expect("p3 completes");
+    assert_eq!(p3_disp, CacheDisposition::Miss);
 
     // The ad-hoc spelling of the same query is the same shape AND the
     // same literal vector: a clean hit.
@@ -217,13 +196,16 @@ fn prepared_statements_share_the_plan_cache_with_adhoc_text() {
             "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10 AND l_discount > 5",
         )
         .unwrap();
+    let adhoc = adhoc.query().unwrap();
     assert_eq!(adhoc.plan_cache, CacheDisposition::Hit);
-    assert_eq!(adhoc.rows, p3.rows);
+    assert_eq!(adhoc.rows, p3_rows);
 
-    let err = session
-        .execute_prepared(&service, "p5", &stmt, &[LiteralValue::Int(1)])
-        .expect_err("arity mismatch must fail");
-    assert!(err.message.contains("2 parameter"), "{err}");
+    let err = prepared("p5", &[LiteralValue::Int(1)]).expect_err("arity mismatch must fail");
+    assert!(
+        matches!(err.kind(), morsel_service::ErrorKind::Sql),
+        "{err}"
+    );
+    assert!(err.to_string().contains("2 parameter"), "{err}");
 
     service.shutdown();
 }
@@ -236,52 +218,53 @@ fn prepared_statements_share_the_plan_cache_with_adhoc_text() {
 fn result_cache_serves_aggregates_and_honours_invalidation() {
     let (topo, db) = tpch();
     let service = start_service(&topo);
-    let session = SqlSession::for_service(
-        &service,
-        db.catalog(),
-        Planner::new(&topo),
-        SystemVariant::full(),
-    )
-    .with_result_caching(true);
+    let session = Session::builder()
+        .catalog(db.catalog())
+        .topology(&topo)
+        .for_service(&service)
+        .result_caching(true)
+        .build();
 
-    let r1 = session.execute(&service, "r1", REVENUE).unwrap();
-    assert_eq!(r1.result_cache, CacheDisposition::Miss);
-    assert_eq!(r1.plan_cache, CacheDisposition::Miss);
-    let rows = r1.rows.expect("completed");
+    let run = |name: &str, sql: &str| {
+        let exec = session.execute(&service, name, sql).unwrap();
+        let q = exec.query().unwrap();
+        (q.result_cache, q.plan_cache, q.rows.clone())
+    };
 
-    let r2 = session.execute(&service, "r2", REVENUE).unwrap();
-    assert_eq!(r2.result_cache, CacheDisposition::Hit);
+    let (r1_res, r1_plan, rows) = run("r1", REVENUE);
+    assert_eq!(r1_res, CacheDisposition::Miss);
+    assert_eq!(r1_plan, CacheDisposition::Miss);
+    let rows = rows.expect("completed");
+
+    let (r2_res, r2_plan, r2_rows) = run("r2", REVENUE);
+    assert_eq!(r2_res, CacheDisposition::Hit);
     assert_eq!(
-        r2.plan_cache,
+        r2_plan,
         CacheDisposition::Bypass,
         "a result hit never consults the plan cache"
     );
-    assert_eq!(r2.report.outcome, QueryOutcome::Completed);
-    assert_eq!(r2.rows.as_ref(), Some(&rows), "cached rows are identical");
+    assert_eq!(r2_rows.as_ref(), Some(&rows), "cached rows are identical");
 
     // Explicit invalidation hook.
     session.invalidate_results();
-    let r3 = session.execute(&service, "r3", REVENUE).unwrap();
-    assert_eq!(r3.result_cache, CacheDisposition::Miss);
-    assert_eq!(r3.plan_cache, CacheDisposition::Hit, "plans survive");
-    assert_eq!(r3.rows.as_ref(), Some(&rows));
+    let (r3_res, r3_plan, r3_rows) = run("r3", REVENUE);
+    assert_eq!(r3_res, CacheDisposition::Miss);
+    assert_eq!(r3_plan, CacheDisposition::Hit, "plans survive");
+    assert_eq!(r3_rows.as_ref(), Some(&rows));
 
     // Version-driven invalidation: the stale entry is dropped on lookup.
     session.update_catalog(|_| {});
-    let r4 = session.execute(&service, "r4", REVENUE).unwrap();
-    assert_eq!(r4.result_cache, CacheDisposition::Miss);
-    assert_eq!(r4.plan_cache, CacheDisposition::Miss);
-    assert_eq!(r4.rows.as_ref(), Some(&rows));
+    let (r4_res, r4_plan, r4_rows) = run("r4", REVENUE);
+    assert_eq!(r4_res, CacheDisposition::Miss);
+    assert_eq!(r4_plan, CacheDisposition::Miss);
+    assert_eq!(r4_rows.as_ref(), Some(&rows));
 
     // Non-aggregate scans never enter the result cache.
-    let scan = session
-        .execute(
-            &service,
-            "scan",
-            "SELECT l_quantity FROM lineitem WHERE l_quantity < 2",
-        )
-        .unwrap();
-    assert_eq!(scan.result_cache, CacheDisposition::Bypass);
+    let (scan_res, _, _) = run(
+        "scan",
+        "SELECT l_quantity FROM lineitem WHERE l_quantity < 2",
+    );
+    assert_eq!(scan_res, CacheDisposition::Bypass);
 
     let stats = session.stats();
     assert_eq!(stats.result_hits, 1, "{stats}");
@@ -303,35 +286,78 @@ fn result_cache_serves_aggregates_and_honours_invalidation() {
 fn plan_cache_is_lru_bounded() {
     let (topo, db) = tpch();
     let service = start_service(&topo);
-    let session = SqlSession::for_service(
-        &service,
-        db.catalog(),
-        Planner::new(&topo),
-        SystemVariant::full(),
-    )
-    .with_plan_cache_capacity(2);
+    let session = Session::builder()
+        .catalog(db.catalog())
+        .topology(&topo)
+        .for_service(&service)
+        .plan_cache_capacity(2)
+        .build();
 
     let q1 = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 5";
     let q2 = "SELECT SUM(l_quantity) AS s FROM lineitem WHERE l_quantity < 5";
     let q3 = "SELECT MAX(l_quantity) AS m FROM lineitem WHERE l_quantity < 5";
 
-    for (name, sql) in [("q1", q1), ("q2", q2), ("q3", q3)] {
+    let disp = |name: &str, sql: &str| {
         let exec = session.execute(&service, name, sql).unwrap();
-        assert_eq!(exec.plan_cache, CacheDisposition::Miss, "{name}");
+        exec.query().unwrap().plan_cache
+    };
+
+    for (name, sql) in [("q1", q1), ("q2", q2), ("q3", q3)] {
+        assert_eq!(disp(name, sql), CacheDisposition::Miss, "{name}");
     }
     assert_eq!(session.stats().plan_evictions, 1, "q1 was evicted by q3");
-    let again = session.execute(&service, "q1-again", q1).unwrap();
     assert_eq!(
-        again.plan_cache,
+        disp("q1-again", q1),
         CacheDisposition::Miss,
         "evicted shape replans"
     );
-    let warm = session.execute(&service, "q3-again", q3).unwrap();
     assert_eq!(
-        warm.plan_cache,
+        disp("q3-again", q3),
         CacheDisposition::Hit,
         "resident shape hits"
     );
+
+    service.shutdown();
+}
+
+/// Feedback-enabled sessions keep serving cached plans once learned
+/// selectivities stop changing: the first harvest bumps the feedback
+/// epoch (guarded miss), but a converged cache leaves entries valid.
+#[test]
+fn feedback_epoch_guards_cached_plans_until_convergence() {
+    let (topo, db) = tpch();
+    let service = start_service(&topo);
+    let session = Session::builder()
+        .catalog(db.catalog())
+        .topology(&topo)
+        .for_service(&service)
+        .feedback(true)
+        .build();
+    let fb = session.feedback().expect("feedback enabled").clone();
+
+    let exec = session.execute(&service, "f1", REVENUE).unwrap();
+    let q1 = exec.query().unwrap();
+    assert_eq!(q1.plan_cache, CacheDisposition::Miss);
+    assert!(!fb.is_empty(), "the completed query was harvested");
+    let rows = q1.rows.clone().unwrap();
+
+    // The harvest moved the epoch, so the cached plan (priced with the
+    // old estimates) is invalidated exactly once...
+    let exec = session.execute(&service, "f2", REVENUE).unwrap();
+    let q2 = exec.query().unwrap();
+    assert_eq!(q2.plan_cache, CacheDisposition::Miss, "epoch moved");
+    assert_eq!(
+        q2.rows.clone().unwrap(),
+        rows,
+        "feedback never changes results"
+    );
+
+    // ...and once observations repeat (within tolerance), the epoch is
+    // stable and the plan cache serves hits again.
+    let exec = session.execute(&service, "f3", REVENUE).unwrap();
+    let q3 = exec.query().unwrap();
+    assert_eq!(q3.plan_cache, CacheDisposition::Hit, "converged");
+    assert_eq!(q3.rows.clone().unwrap(), rows);
 
     service.shutdown();
 }

@@ -79,6 +79,8 @@ impl std::fmt::Display for TxnError {
     }
 }
 
+impl std::error::Error for TxnError {}
+
 impl From<WalError> for TxnError {
     fn from(e: WalError) -> Self {
         TxnError::Wal(e)

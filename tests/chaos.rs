@@ -487,6 +487,10 @@ fn poisoned_cached_plans_are_evicted_and_recover() {
             .with_max_queue(16),
     );
     let topo = Topology::laptop();
+    // Deliberately the raw session, not `Session::builder()`: this suite
+    // asserts on the cache dispositions of *failed* executions, which
+    // the facade folds into errors.
+    #[allow(deprecated)]
     let session = SqlSession::for_service(
         &service,
         w.tpch.catalog(),
@@ -581,6 +585,7 @@ fn result_cache_never_retains_a_poisoned_entry() {
             .with_max_queue(16),
     );
     let topo = Topology::laptop();
+    #[allow(deprecated)]
     let session = SqlSession::for_service(
         &service,
         w.tpch.catalog(),

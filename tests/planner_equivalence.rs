@@ -18,7 +18,7 @@ use morsel_repro::prelude::*;
 use morsel_repro::queries::{
     run_sim, ssb_logical, ssb_queries, ssb_sql, tpch_logical, tpch_queries, tpch_sql,
 };
-use morsel_repro::service::{CacheDisposition, SqlSession};
+use morsel_repro::service::{CacheDisposition, Session};
 use morsel_repro::storage::Batch;
 
 fn normalized(batch: &Batch) -> Batch {
@@ -139,12 +139,12 @@ fn cached_plans_are_byte_identical_to_cold_plans() {
     let topo = Topology::nehalem_ex();
     let env = ExecEnv::new(topo.clone());
 
-    fn check_fixture(env: &ExecEnv, session: &SqlSession, name: &str, sql: &str, oracle: Plan) {
+    fn check_fixture(env: &ExecEnv, session: &Session, name: &str, sql: &str, oracle: Plan) {
         let (cold, first) = session
-            .plan_cached(sql)
+            .resolve(sql)
             .unwrap_or_else(|e| panic!("{name}: fixture failed to plan\n{}", e.render(sql)));
         assert_eq!(first, CacheDisposition::Miss, "{name}: cold lookup");
-        let (warm, second) = session.plan_cached(sql).unwrap();
+        let (warm, second) = session.resolve(sql).unwrap();
         assert_eq!(second, CacheDisposition::Hit, "{name}: warm lookup");
         let a = run_sim(
             env,
@@ -170,7 +170,10 @@ fn cached_plans_are_byte_identical_to_cold_plans() {
     }
 
     let tpch = generate_tpch(TpchConfig::scaled(0.002), &topo);
-    let session = SqlSession::new(tpch.catalog(), Planner::new(&topo), SystemVariant::full());
+    let session = Session::builder()
+        .catalog(tpch.catalog())
+        .topology(&topo)
+        .build();
     let mut fixtures = 0u64;
     for (q, sql) in tpch_sql::all() {
         check_fixture(
@@ -187,7 +190,10 @@ fn cached_plans_are_byte_identical_to_cold_plans() {
     assert_eq!(stats.plan_hits, fixtures, "one warm hit per fixture");
 
     let ssb = generate_ssb(SsbConfig::scaled(0.002), &topo);
-    let session = SqlSession::new(ssb.catalog(), Planner::new(&topo), SystemVariant::full());
+    let session = Session::builder()
+        .catalog(ssb.catalog())
+        .topology(&topo)
+        .build();
     for (id, sql) in ssb_sql::all() {
         check_fixture(
             &env,
@@ -197,6 +203,102 @@ fn cached_plans_are_byte_identical_to_cold_plans() {
             ssb_queries::query(&ssb, id),
         );
     }
+}
+
+/// Fifth leg of the oracle: the feedback-warm path. Every SQL fixture is
+/// run once cold through a feedback-enabled session (identical to the
+/// non-adaptive plan by construction — the cache is empty), the whole
+/// workload's actuals are harvested, and the replay with learned
+/// selectivities must return byte-identical results — re-chosen join
+/// orders may only change *how* a result is computed, never the result —
+/// and still pass the hand-authored oracle gate.
+#[test]
+fn feedback_warm_plans_are_byte_identical_to_cold_plans() {
+    let topo = Topology::nehalem_ex();
+    let env = ExecEnv::new(topo.clone());
+
+    fn check_workload(
+        env: &ExecEnv,
+        session: &Session,
+        fixtures: &[(String, &'static str)],
+        oracles: Vec<Plan>,
+    ) {
+        let fb = session.feedback().expect("feedback-enabled session");
+        assert!(fb.is_empty(), "the first pass must be cold");
+        // Cold pass: run, record, and only then harvest (mirrors a
+        // workload replay — within one pass nothing is learned yet).
+        let mut cold_results = Vec::new();
+        let mut harvest = Vec::new();
+        for (name, sql) in fixtures {
+            let (handle, _) = session
+                .resolve(sql)
+                .unwrap_or_else(|e| panic!("{name}: {}", e.render(sql)));
+            let out = run_sim(
+                env,
+                &format!("{name}-fb-cold"),
+                handle.plan.clone(),
+                SystemVariant::full(),
+                16,
+                512,
+            );
+            let profile = out.profile.expect("profiling on");
+            cold_results.push(out.result);
+            harvest.push((handle.plan, profile));
+        }
+        for (plan, profile) in &harvest {
+            session.observe(plan, profile);
+        }
+        assert!(!fb.is_empty(), "the workload harvest populated the cache");
+        // Warm pass: learned selectivities may re-choose join orders.
+        for (((name, sql), cold), oracle) in fixtures.iter().zip(&cold_results).zip(oracles) {
+            let (handle, _) = session.resolve(sql).unwrap();
+            let out = run_sim(
+                env,
+                &format!("{name}-fb-warm"),
+                handle.plan.clone(),
+                SystemVariant::full(),
+                16,
+                512,
+            );
+            assert_eq!(
+                &out.result, cold,
+                "{name}: feedback-warm result differs from the cold result"
+            );
+            assert_equivalent(env, &format!("{name}-fb"), oracle, handle.plan);
+        }
+    }
+
+    let tpch = generate_tpch(TpchConfig::scaled(0.002), &topo);
+    let session = Session::builder()
+        .catalog(tpch.catalog())
+        .topology(&topo)
+        .feedback(true)
+        .build();
+    let fixtures: Vec<(String, &'static str)> = tpch_sql::all()
+        .into_iter()
+        .map(|(q, sql)| (format!("Q{q}"), sql))
+        .collect();
+    let oracles: Vec<Plan> = tpch_sql::all()
+        .into_iter()
+        .map(|(q, _)| tpch_queries::query(&tpch, q))
+        .collect();
+    check_workload(&env, &session, &fixtures, oracles);
+
+    let ssb = generate_ssb(SsbConfig::scaled(0.002), &topo);
+    let session = Session::builder()
+        .catalog(ssb.catalog())
+        .topology(&topo)
+        .feedback(true)
+        .build();
+    let fixtures: Vec<(String, &'static str)> = ssb_sql::all()
+        .into_iter()
+        .map(|(id, sql)| (format!("SSB{id}"), sql))
+        .collect();
+    let oracles: Vec<Plan> = ssb_sql::all()
+        .into_iter()
+        .map(|(id, _)| ssb_queries::query(&ssb, id))
+        .collect();
+    check_workload(&env, &session, &fixtures, oracles);
 }
 
 #[test]
